@@ -1,0 +1,33 @@
+//! # velox-bandit
+//!
+//! Contextual-bandit serving policies (paper §5, "Bandits and Multiple
+//! Models").
+//!
+//! A model that always serves its argmax prediction creates a feedback
+//! loop: "a music recommendation service that only plays the current Top40
+//! songs will never receive feedback from users indicating that other songs
+//! are preferable." Velox breaks the loop with contextual-bandit techniques
+//! [Li et al., WWW'10]: every candidate gets an *uncertainty* score in
+//! addition to its predicted score, and the served item maximizes the
+//! *potential* score — prediction plus uncertainty — so observations flow
+//! toward the directions the user model knows least about.
+//!
+//! The uncertainty is exactly the ridge-posterior variance
+//! `xᵀ(FᵀF + λI)⁻¹x` that the Sherman–Morrison online learner already
+//! maintains (`velox-online`), so bandit serving costs one extra O(d²)
+//! quadratic form per candidate and no extra state.
+//!
+//! Provided policies: [`GreedyPolicy`] (the feedback-loop baseline),
+//! [`EpsilonGreedyPolicy`], [`LinUcbPolicy`] (the paper's choice), and
+//! [`ThompsonPolicy`]. [`ValidationPool`] implements §4.3's "pool of
+//! validation data that is not influenced by the model".
+
+#![warn(missing_docs)]
+
+pub mod policy;
+pub mod validation;
+
+pub use policy::{
+    BanditPolicy, Candidate, EpsilonGreedyPolicy, GreedyPolicy, LinUcbPolicy, ThompsonPolicy,
+};
+pub use validation::ValidationPool;

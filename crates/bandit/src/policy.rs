@@ -1,0 +1,370 @@
+//! Selection policies over scored, uncertainty-tagged candidates.
+//!
+//! The predictor scores a candidate set (`topK`); a [`BanditPolicy`] decides
+//! which candidate to *serve*. Policies see only `(score, variance)` pairs —
+//! they are decoupled from the model family, which is what lets Velox swap
+//! exploration strategies per §8's future work without touching the serving
+//! path.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One scored candidate, as produced by the predictor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Predicted score `wᵤᵀ f(x, θ)`.
+    pub score: f64,
+    /// Posterior variance proxy `f(x,θ)ᵀ A⁻¹ f(x,θ)` (≥ 0).
+    pub variance: f64,
+}
+
+/// A serving-selection policy.
+///
+/// `select` returns the index of the candidate to serve. Policies may be
+/// stateful (RNG streams); one policy instance serves one stream of
+/// requests and is deterministic in its seed.
+pub trait BanditPolicy: Send {
+    /// Short diagnostic name (used in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Chooses the candidate to serve. `candidates` is non-empty.
+    fn select(&mut self, candidates: &[Candidate]) -> usize;
+
+    /// Whether this policy reads [`Candidate::variance`]. Exploitation-only
+    /// policies return `false` so the predictor can skip the O(d²)
+    /// per-candidate uncertainty computation entirely.
+    fn wants_uncertainty(&self) -> bool {
+        true
+    }
+}
+
+fn argmax_by<F: Fn(&Candidate) -> f64>(candidates: &[Candidate], key: F) -> usize {
+    let mut best = 0usize;
+    let mut best_v = f64::NEG_INFINITY;
+    for (i, c) in candidates.iter().enumerate() {
+        let v = key(c);
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Pure exploitation: always the highest predicted score. The baseline that
+/// exhibits the paper's feedback-loop pathology.
+#[derive(Debug, Default)]
+pub struct GreedyPolicy;
+
+impl BanditPolicy for GreedyPolicy {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+    fn select(&mut self, candidates: &[Candidate]) -> usize {
+        argmax_by(candidates, |c| c.score)
+    }
+    fn wants_uncertainty(&self) -> bool {
+        false
+    }
+}
+
+/// With probability ε serve a uniformly random candidate, otherwise the
+/// greedy choice. The simplest exploration baseline.
+#[derive(Debug)]
+pub struct EpsilonGreedyPolicy {
+    epsilon: f64,
+    rng: StdRng,
+}
+
+impl EpsilonGreedyPolicy {
+    /// Creates a policy with exploration rate `epsilon ∈ [0, 1]`.
+    pub fn new(epsilon: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&epsilon));
+        EpsilonGreedyPolicy { epsilon, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl BanditPolicy for EpsilonGreedyPolicy {
+    fn name(&self) -> &'static str {
+        "epsilon-greedy"
+    }
+    fn select(&mut self, candidates: &[Candidate]) -> usize {
+        if self.rng.gen::<f64>() < self.epsilon {
+            self.rng.gen_range(0..candidates.len())
+        } else {
+            argmax_by(candidates, |c| c.score)
+        }
+    }
+    fn wants_uncertainty(&self) -> bool {
+        false
+    }
+}
+
+/// LinUCB [Li et al., WWW'10] — the paper's named technique: serve the
+/// candidate with "the best potential prediction score (i.e., the item with
+/// max sum of score and uncertainty)". The uncertainty bonus is
+/// `α·√variance`.
+#[derive(Debug)]
+pub struct LinUcbPolicy {
+    alpha: f64,
+}
+
+impl LinUcbPolicy {
+    /// Creates a policy with exploration width `alpha > 0` (1.0–2.0 is the
+    /// usual range).
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0);
+        LinUcbPolicy { alpha }
+    }
+
+    /// The exploration width.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl BanditPolicy for LinUcbPolicy {
+    fn name(&self) -> &'static str {
+        "linucb"
+    }
+    fn select(&mut self, candidates: &[Candidate]) -> usize {
+        argmax_by(candidates, |c| c.score + self.alpha * c.variance.max(0.0).sqrt())
+    }
+}
+
+/// Thompson sampling on the Gaussian score marginal: draw
+/// `score + z·√variance` per candidate, serve the argmax. Randomized
+/// exploration proportional to posterior uncertainty.
+#[derive(Debug)]
+pub struct ThompsonPolicy {
+    rng: StdRng,
+    /// Scale on the sampled noise (1.0 = the posterior itself).
+    scale: f64,
+}
+
+impl ThompsonPolicy {
+    /// Creates a policy; `scale` widens (>1) or narrows (<1) the sampling
+    /// distribution relative to the posterior.
+    pub fn new(scale: f64, seed: u64) -> Self {
+        assert!(scale > 0.0);
+        ThompsonPolicy { rng: StdRng::seed_from_u64(seed), scale }
+    }
+
+    fn gaussian(&mut self) -> f64 {
+        // Box–Muller (polar).
+        loop {
+            let u = 2.0 * self.rng.gen::<f64>() - 1.0;
+            let v = 2.0 * self.rng.gen::<f64>() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+}
+
+impl BanditPolicy for ThompsonPolicy {
+    fn name(&self) -> &'static str {
+        "thompson"
+    }
+    fn select(&mut self, candidates: &[Candidate]) -> usize {
+        let mut best = 0usize;
+        let mut best_v = f64::NEG_INFINITY;
+        for (i, c) in candidates.iter().enumerate() {
+            let draw = c.score + self.scale * c.variance.max(0.0).sqrt() * self.gaussian();
+            if draw > best_v {
+                best_v = draw;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cands(pairs: &[(f64, f64)]) -> Vec<Candidate> {
+        pairs.iter().map(|&(score, variance)| Candidate { score, variance }).collect()
+    }
+
+    #[test]
+    fn greedy_takes_max_score() {
+        let mut p = GreedyPolicy;
+        let c = cands(&[(1.0, 9.0), (3.0, 0.0), (2.0, 9.0)]);
+        assert_eq!(p.select(&c), 1);
+        assert_eq!(p.name(), "greedy");
+    }
+
+    #[test]
+    fn greedy_ties_break_to_first() {
+        let mut p = GreedyPolicy;
+        let c = cands(&[(2.0, 0.0), (2.0, 0.0)]);
+        assert_eq!(p.select(&c), 0);
+    }
+
+    #[test]
+    fn linucb_prefers_uncertain_when_bonus_dominates() {
+        let mut p = LinUcbPolicy::new(2.0);
+        // score 1.0 + 2·√4 = 5 beats score 3.0 + 0.
+        let c = cands(&[(3.0, 0.0), (1.0, 4.0)]);
+        assert_eq!(p.select(&c), 1);
+        // With tiny alpha, exploitation wins.
+        let mut narrow = LinUcbPolicy::new(0.01);
+        assert_eq!(narrow.select(&c), 0);
+    }
+
+    #[test]
+    fn linucb_handles_negative_variance_gracefully() {
+        // Round-off can push a variance epsilon-negative; must not NaN.
+        let mut p = LinUcbPolicy::new(1.0);
+        let c = cands(&[(1.0, -1e-15), (0.5, 0.0)]);
+        assert_eq!(p.select(&c), 0);
+    }
+
+    #[test]
+    fn epsilon_zero_is_greedy_epsilon_one_is_uniform() {
+        let c = cands(&[(0.0, 0.0), (5.0, 0.0), (1.0, 0.0)]);
+        let mut never = EpsilonGreedyPolicy::new(0.0, 1);
+        for _ in 0..50 {
+            assert_eq!(never.select(&c), 1);
+        }
+        let mut always = EpsilonGreedyPolicy::new(1.0, 1);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[always.select(&c)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "uniform exploration must hit every arm");
+    }
+
+    #[test]
+    fn epsilon_rate_is_respected() {
+        let c = cands(&[(0.0, 0.0), (5.0, 0.0)]);
+        let mut p = EpsilonGreedyPolicy::new(0.2, 7);
+        let n = 10_000;
+        let explored = (0..n).filter(|_| p.select(&c) == 0).count();
+        // Arm 0 is only chosen by exploration (half of the ε draws).
+        let rate = explored as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.02, "explore-to-arm-0 rate {rate}");
+    }
+
+    #[test]
+    fn thompson_with_zero_variance_is_greedy() {
+        let c = cands(&[(1.0, 0.0), (2.0, 0.0)]);
+        let mut p = ThompsonPolicy::new(1.0, 3);
+        for _ in 0..50 {
+            assert_eq!(p.select(&c), 1);
+        }
+    }
+
+    #[test]
+    fn thompson_explores_proportionally_to_variance() {
+        // Arm 0: lower mean but huge variance → must be tried sometimes.
+        let c = cands(&[(0.0, 4.0), (1.0, 0.0)]);
+        let mut p = ThompsonPolicy::new(1.0, 5);
+        let n = 2000;
+        let tried0 = (0..n).filter(|_| p.select(&c) == 0).count();
+        // P(N(0,2) > 1) ≈ 0.31.
+        let rate = tried0 as f64 / n as f64;
+        assert!(rate > 0.2 && rate < 0.45, "exploration rate {rate}");
+    }
+
+    #[test]
+    fn policies_are_deterministic_in_seed() {
+        let c = cands(&[(0.0, 1.0), (0.5, 1.0), (1.0, 1.0)]);
+        let mut a = ThompsonPolicy::new(1.0, 11);
+        let mut b = ThompsonPolicy::new(1.0, 11);
+        for _ in 0..100 {
+            assert_eq!(a.select(&c), b.select(&c));
+        }
+        let mut e1 = EpsilonGreedyPolicy::new(0.5, 13);
+        let mut e2 = EpsilonGreedyPolicy::new(0.5, 13);
+        for _ in 0..100 {
+            assert_eq!(e1.select(&c), e2.select(&c));
+        }
+    }
+
+    /// End-to-end sanity: the paper's feedback-loop pathology. With
+    /// orthogonal arm features (observing one arm teaches nothing about the
+    /// others — "a service that only recommends sports articles never
+    /// learns about politics"), greedy locks onto the first arm that looks
+    /// positive, while LinUCB's uncertainty bonus forces it to try every
+    /// arm and find the best one. This is the in-crate miniature of the
+    /// ABL-BANDIT experiment.
+    #[test]
+    fn linucb_beats_greedy_on_orthogonal_arms() {
+        use velox_linalg::{IncrementalRidge, Vector};
+
+        let n_arms = 10;
+        let rounds = 600;
+        // Arm k has feature e_k; true reward of arm k is k/10 + 0.1, so arm
+        // 9 is best (1.0) but arm 0 already yields positive reward (0.1) —
+        // the greedy trap.
+        let arms: Vec<Vector> =
+            (0..n_arms).map(|k| Vector::basis(n_arms, k).unwrap()).collect();
+        let rewards: Vec<f64> = (0..n_arms).map(|k| 0.1 + k as f64 / 10.0).collect();
+        let best = rewards[n_arms - 1];
+
+        let run = |policy: &mut dyn BanditPolicy, noise_seed: u64| -> f64 {
+            let mut model = IncrementalRidge::new(n_arms, 1.0);
+            let mut nstate = noise_seed | 1;
+            let mut noise = move || {
+                nstate ^= nstate << 13;
+                nstate ^= nstate >> 7;
+                nstate ^= nstate << 17;
+                (nstate as f64 / u64::MAX as f64 - 0.5) * 0.2
+            };
+            let mut regret = 0.0;
+            for _ in 0..rounds {
+                let cands: Vec<Candidate> = arms
+                    .iter()
+                    .map(|a| Candidate {
+                        score: model.predict(a).unwrap(),
+                        variance: model.variance(a).unwrap(),
+                    })
+                    .collect();
+                let pick = policy.select(&cands);
+                regret += best - rewards[pick];
+                model.observe(&arms[pick], rewards[pick] + noise()).unwrap();
+            }
+            regret
+        };
+
+        let mut greedy = GreedyPolicy;
+        let mut linucb = LinUcbPolicy::new(1.5);
+        let greedy_regret = run(&mut greedy, 101);
+        let linucb_regret = run(&mut linucb, 101);
+        assert!(
+            linucb_regret < greedy_regret * 0.5,
+            "LinUCB regret {linucb_regret} should clearly beat greedy {greedy_regret}"
+        );
+        // And LinUCB's regret must be sublinear: the second half of the run
+        // should add much less regret than the first half.
+        let mut linucb2 = LinUcbPolicy::new(1.5);
+        let mut model = IncrementalRidge::new(n_arms, 1.0);
+        let mut first_half = 0.0;
+        let mut second_half = 0.0;
+        for round in 0..rounds {
+            let cands: Vec<Candidate> = arms
+                .iter()
+                .map(|a| Candidate {
+                    score: model.predict(a).unwrap(),
+                    variance: model.variance(a).unwrap(),
+                })
+                .collect();
+            let pick = linucb2.select(&cands);
+            let r = best - rewards[pick];
+            if round < rounds / 2 {
+                first_half += r;
+            } else {
+                second_half += r;
+            }
+            model.observe(&arms[pick], rewards[pick]).unwrap();
+        }
+        assert!(
+            second_half < first_half * 0.5,
+            "regret should flatten: first {first_half}, second {second_half}"
+        );
+    }
+}

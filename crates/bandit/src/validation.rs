@@ -1,0 +1,180 @@
+//! Model-independent validation data collection (§4.3).
+//!
+//! "When the topK prediction API is used, Velox employs bandit algorithms
+//! to collect a pool of validation data that is not influenced by the
+//! model." Concretely: a configurable fraction of topK requests are served
+//! a *uniformly random* candidate instead of the policy's choice; the
+//! resulting observations form an unbiased sample of user–item outcomes,
+//! usable to estimate true model quality (a model cannot grade its own
+//! homework on data it selected).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One validation observation gathered from an exploration-served request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationObservation {
+    /// The user.
+    pub uid: u64,
+    /// The randomly served item.
+    pub item_id: u64,
+    /// The model's predicted score at serve time.
+    pub predicted: f64,
+    /// The observed label.
+    pub actual: f64,
+}
+
+/// Collects an unbiased validation pool by randomizing a fraction of serves.
+#[derive(Debug)]
+pub struct ValidationPool {
+    fraction: f64,
+    rng: StdRng,
+    pool: Vec<ValidationObservation>,
+    capacity: usize,
+    /// Serves randomized so far (including ones whose label never arrived).
+    explorations: u64,
+    /// Total serve decisions consulted.
+    decisions: u64,
+}
+
+impl ValidationPool {
+    /// Creates a pool. `fraction ∈ [0, 1]` of serve decisions are
+    /// randomized; at most `capacity` labelled observations are retained
+    /// (oldest evicted first).
+    pub fn new(fraction: f64, capacity: usize, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction));
+        assert!(capacity > 0);
+        ValidationPool {
+            fraction,
+            rng: StdRng::seed_from_u64(seed),
+            pool: Vec::new(),
+            capacity,
+            explorations: 0,
+            decisions: 0,
+        }
+    }
+
+    /// Consulted once per topK serve: returns `Some(index)` into the
+    /// candidate list when this serve should be randomized, `None` when the
+    /// policy's choice should stand.
+    pub fn maybe_randomize(&mut self, n_candidates: usize) -> Option<usize> {
+        self.decisions += 1;
+        if n_candidates == 0 {
+            return None;
+        }
+        if self.rng.gen::<f64>() < self.fraction {
+            self.explorations += 1;
+            Some(self.rng.gen_range(0..n_candidates))
+        } else {
+            None
+        }
+    }
+
+    /// Records the label for a randomized serve.
+    pub fn record(&mut self, obs: ValidationObservation) {
+        if self.pool.len() == self.capacity {
+            self.pool.remove(0);
+        }
+        self.pool.push(obs);
+    }
+
+    /// The current pool contents, oldest first.
+    pub fn observations(&self) -> &[ValidationObservation] {
+        &self.pool
+    }
+
+    /// Unbiased RMSE of the model on exploration-served data; `None` when
+    /// the pool is empty.
+    pub fn rmse(&self) -> Option<f64> {
+        if self.pool.is_empty() {
+            return None;
+        }
+        let sse: f64 = self
+            .pool
+            .iter()
+            .map(|o| (o.predicted - o.actual) * (o.predicted - o.actual))
+            .sum();
+        Some((sse / self.pool.len() as f64).sqrt())
+    }
+
+    /// `(randomized, total)` serve-decision counts.
+    pub fn decision_counts(&self) -> (u64, u64) {
+        (self.explorations, self.decisions)
+    }
+
+    /// Drops all pooled observations (after a retrain, old validation data
+    /// graded the old model).
+    pub fn clear(&mut self) {
+        self.pool.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(uid: u64, pred: f64, actual: f64) -> ValidationObservation {
+        ValidationObservation { uid, item_id: uid * 10, predicted: pred, actual }
+    }
+
+    #[test]
+    fn randomization_rate_matches_fraction() {
+        let mut pool = ValidationPool::new(0.1, 100, 3);
+        let n = 20_000;
+        let randomized = (0..n).filter(|_| pool.maybe_randomize(50).is_some()).count();
+        let rate = randomized as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "rate {rate}");
+        let (expl, dec) = pool.decision_counts();
+        assert_eq!(dec, n as u64);
+        assert_eq!(expl, randomized as u64);
+    }
+
+    #[test]
+    fn randomized_index_in_range() {
+        let mut pool = ValidationPool::new(1.0, 10, 5);
+        for _ in 0..500 {
+            let idx = pool.maybe_randomize(7).expect("fraction 1.0 always randomizes");
+            assert!(idx < 7);
+        }
+        assert!(pool.maybe_randomize(0).is_none(), "empty candidate set");
+    }
+
+    #[test]
+    fn zero_fraction_never_randomizes() {
+        let mut pool = ValidationPool::new(0.0, 10, 5);
+        for _ in 0..100 {
+            assert!(pool.maybe_randomize(10).is_none());
+        }
+    }
+
+    #[test]
+    fn pool_is_bounded_fifo() {
+        let mut pool = ValidationPool::new(0.5, 3, 1);
+        for i in 0..5 {
+            pool.record(obs(i, 0.0, 0.0));
+        }
+        let uids: Vec<u64> = pool.observations().iter().map(|o| o.uid).collect();
+        assert_eq!(uids, vec![2, 3, 4], "oldest evicted first");
+    }
+
+    #[test]
+    fn rmse_over_pool() {
+        let mut pool = ValidationPool::new(0.5, 10, 1);
+        assert!(pool.rmse().is_none());
+        pool.record(obs(1, 3.0, 5.0)); // err 2
+        pool.record(obs(2, 1.0, 1.0)); // err 0
+        let rmse = pool.rmse().unwrap();
+        assert!((rmse - 2.0f64.sqrt()).abs() < 1e-12);
+        pool.clear();
+        assert!(pool.rmse().is_none());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = ValidationPool::new(0.3, 10, 9);
+        let mut b = ValidationPool::new(0.3, 10, 9);
+        for _ in 0..200 {
+            assert_eq!(a.maybe_randomize(5), b.maybe_randomize(5));
+        }
+    }
+}

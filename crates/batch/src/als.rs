@@ -1,0 +1,351 @@
+//! Alternating Least Squares matrix factorization — the offline trainer.
+//!
+//! This is the batch job Velox delegates to "Spark" (§4.2): from the full
+//! observation log, learn the latent item factors (the feature parameters
+//! `θ` of the paper's generalized linear model) and the user weight table
+//! `W`, minimizing
+//!
+//! ```text
+//! λ(||W||² + ||X||²) + Σ_{(u,i)∈Obs} (r_ui − μ − wᵤᵀ xᵢ)²
+//! ```
+//!
+//! exactly the objective of §2. ALS alternates two embarrassingly parallel
+//! half-steps — fix `X`, ridge-solve every `wᵤ`; fix `W`, ridge-solve every
+//! `xᵢ` — each scheduled across the [`JobExecutor`]. Per-entity solves use
+//! the same `velox-linalg` ridge machinery as the online path, so offline
+//! and online training are numerically consistent by construction.
+
+use velox_data::Rating;
+use velox_linalg::{ridge_fit, Matrix, Vector};
+
+use crate::executor::JobExecutor;
+
+/// ALS hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct AlsConfig {
+    /// Latent dimension.
+    pub rank: usize,
+    /// L2 regularization constant λ.
+    pub lambda: f64,
+    /// Number of full (user + item) alternations.
+    pub iterations: usize,
+    /// Seed for factor initialization.
+    pub seed: u64,
+}
+
+impl Default for AlsConfig {
+    fn default() -> Self {
+        AlsConfig { rank: 10, lambda: 0.1, iterations: 10, seed: 0xA15 }
+    }
+}
+
+/// A trained matrix-factorization model.
+#[derive(Debug, Clone)]
+pub struct AlsModel {
+    /// Per-user latent factors (index = uid). Users with no training
+    /// ratings keep their initialization.
+    pub user_factors: Vec<Vector>,
+    /// Per-item latent factors (index = item id) — the `θ` table served by
+    /// the predictor.
+    pub item_factors: Vec<Vector>,
+    /// Global rating mean `μ`, subtracted before factorization.
+    pub global_mean: f64,
+    /// The hyper-parameters used.
+    pub config: AlsConfig,
+    /// Training RMSE after each iteration (monotone decrease expected).
+    pub training_curve: Vec<f64>,
+}
+
+/// Deterministic small pseudo-random initializer (splitmix64 → (−0.5, 0.5)
+/// scaled by 1/√rank), independent of thread scheduling.
+fn init_factor(entity: u64, salt: u64, rank: usize) -> Vector {
+    let scale = 1.0 / (rank as f64).sqrt();
+    let mut v = Vec::with_capacity(rank);
+    for k in 0..rank as u64 {
+        let mut z = entity
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(salt)
+            .wrapping_add(k.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+        v.push((u - 0.5) * scale);
+    }
+    Vector::from_vec(v)
+}
+
+impl AlsModel {
+    /// Trains from scratch on `ratings`. `n_users`/`n_items` bound the id
+    /// spaces (ids must be dense in `[0, n)`).
+    pub fn train(
+        ratings: &[Rating],
+        n_users: usize,
+        n_items: usize,
+        config: AlsConfig,
+        executor: &JobExecutor,
+    ) -> Self {
+        let user_init: Vec<Vector> =
+            (0..n_users as u64).map(|u| init_factor(u, config.seed, config.rank)).collect();
+        let item_init: Vec<Vector> = (0..n_items as u64)
+            .map(|i| init_factor(i, config.seed ^ 0xDEAD_BEEF, config.rank))
+            .collect();
+        Self::train_warm_start(ratings, user_init, item_init, config, executor)
+    }
+
+    /// Trains starting from existing factor tables — the paper's retraining
+    /// path, where "the training procedure ... depends on the current user
+    /// weights" (§4.2). Factor tables must have consistent rank matching
+    /// `config.rank`.
+    pub fn train_warm_start(
+        ratings: &[Rating],
+        user_factors: Vec<Vector>,
+        item_factors: Vec<Vector>,
+        config: AlsConfig,
+        executor: &JobExecutor,
+    ) -> Self {
+        assert!(config.rank > 0 && config.lambda > 0.0);
+        assert!(user_factors.iter().all(|w| w.len() == config.rank));
+        assert!(item_factors.iter().all(|x| x.len() == config.rank));
+        let n_users = user_factors.len();
+        let n_items = item_factors.len();
+        for r in ratings {
+            assert!((r.uid as usize) < n_users, "uid {} out of range", r.uid);
+            assert!((r.item_id as usize) < n_items, "item {} out of range", r.item_id);
+        }
+
+        let global_mean = if ratings.is_empty() {
+            0.0
+        } else {
+            ratings.iter().map(|r| r.value).sum::<f64>() / ratings.len() as f64
+        };
+
+        // Index observations both ways once.
+        let mut by_user: Vec<Vec<(u64, f64)>> = vec![Vec::new(); n_users];
+        let mut by_item: Vec<Vec<(u64, f64)>> = vec![Vec::new(); n_items];
+        for r in ratings {
+            let centered = r.value - global_mean;
+            by_user[r.uid as usize].push((r.item_id, centered));
+            by_item[r.item_id as usize].push((r.uid, centered));
+        }
+
+        let mut model = AlsModel {
+            user_factors,
+            item_factors,
+            global_mean,
+            config: config.clone(),
+            training_curve: Vec::with_capacity(config.iterations),
+        };
+
+        for _ in 0..config.iterations {
+            model.user_factors =
+                half_step(&by_user, &model.item_factors, config.rank, config.lambda, &model.user_factors, executor);
+            model.item_factors =
+                half_step(&by_item, &model.user_factors, config.rank, config.lambda, &model.item_factors, executor);
+            model.training_curve.push(model.rmse(ratings));
+        }
+        model
+    }
+
+    /// Predicted rating `μ + wᵤᵀ xᵢ`.
+    pub fn predict(&self, uid: u64, item_id: u64) -> f64 {
+        let w = &self.user_factors[uid as usize];
+        let x = &self.item_factors[item_id as usize];
+        self.global_mean + w.dot(x).expect("consistent rank")
+    }
+
+    /// RMSE of the model over a rating set (0.0 on an empty set).
+    pub fn rmse(&self, ratings: &[Rating]) -> f64 {
+        if ratings.is_empty() {
+            return 0.0;
+        }
+        let sse: f64 = ratings
+            .iter()
+            .map(|r| {
+                let e = self.predict(r.uid, r.item_id) - r.value;
+                e * e
+            })
+            .sum();
+        (sse / ratings.len() as f64).sqrt()
+    }
+
+    /// The regularized training objective of §2 (useful for asserting that
+    /// ALS monotonically decreases it).
+    pub fn objective(&self, ratings: &[Rating]) -> f64 {
+        let sse: f64 = ratings
+            .iter()
+            .map(|r| {
+                let e = self.predict(r.uid, r.item_id) - r.value;
+                e * e
+            })
+            .sum();
+        let reg: f64 = self.user_factors.iter().map(Vector::norm2_squared).sum::<f64>()
+            + self.item_factors.iter().map(Vector::norm2_squared).sum::<f64>();
+        sse + self.config.lambda * reg
+    }
+}
+
+/// One ALS half-step: for every left-entity with observations, ridge-solve
+/// its factor against the fixed right-entity factors. Entities with no
+/// observations keep `current`.
+fn half_step(
+    by_left: &[Vec<(u64, f64)>],
+    right_factors: &[Vector],
+    rank: usize,
+    lambda: f64,
+    current: &[Vector],
+    executor: &JobExecutor,
+) -> Vec<Vector> {
+    let indices: Vec<usize> = (0..by_left.len()).collect();
+    executor.execute(indices, |_, &e| {
+        let obs = &by_left[e];
+        if obs.is_empty() {
+            return current[e].clone();
+        }
+        let rows: Vec<Vector> =
+            obs.iter().map(|(j, _)| right_factors[*j as usize].clone()).collect();
+        let x = Matrix::from_rows(&rows).expect("non-empty, rank-consistent rows");
+        let y = Vector::from_vec(obs.iter().map(|(_, r)| *r).collect());
+        // λ scaled by the observation count (weighted-λ ALS, Zhou et al.),
+        // which keeps regularization strength per-observation constant.
+        let lam = lambda * obs.len() as f64;
+        ridge_fit(&x, &y, lam).unwrap_or_else(|_| Vector::zeros(rank))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use velox_data::{RatingsDataset, SyntheticConfig};
+
+    fn dataset() -> RatingsDataset {
+        RatingsDataset::generate(SyntheticConfig {
+            n_users: 80,
+            n_items: 120,
+            rank: 5,
+            ratings_per_user: 25,
+            noise_std: 0.2,
+            seed: 77,
+            ..Default::default()
+        })
+    }
+
+    fn config() -> AlsConfig {
+        AlsConfig { rank: 5, lambda: 0.05, iterations: 8, seed: 1 }
+    }
+
+    #[test]
+    fn fits_planted_factors_better_than_mean() {
+        let ds = dataset();
+        let ex = JobExecutor::new(4);
+        let model = AlsModel::train(&ds.ratings, 80, 120, config(), &ex);
+        let rmse = model.rmse(&ds.ratings);
+        // Mean-only predictor RMSE:
+        let mean = ds.ratings.iter().map(|r| r.value).sum::<f64>() / ds.len() as f64;
+        let mean_rmse = (ds
+            .ratings
+            .iter()
+            .map(|r| (r.value - mean) * (r.value - mean))
+            .sum::<f64>()
+            / ds.len() as f64)
+            .sqrt();
+        assert!(
+            rmse < 0.6 * mean_rmse,
+            "ALS rmse {rmse} should beat mean-only {mean_rmse}"
+        );
+    }
+
+    #[test]
+    fn training_curve_is_monotone_decreasing() {
+        let ds = dataset();
+        let ex = JobExecutor::new(4);
+        let model = AlsModel::train(&ds.ratings, 80, 120, config(), &ex);
+        for w in model.training_curve.windows(2) {
+            assert!(w[1] <= w[0] + 1e-6, "training RMSE increased: {:?}", model.training_curve);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_parallelism() {
+        let ds = dataset();
+        let seq = JobExecutor::new(1);
+        let par = JobExecutor::new(8);
+        let m1 = AlsModel::train(&ds.ratings, 80, 120, config(), &seq);
+        let m2 = AlsModel::train(&ds.ratings, 80, 120, config(), &par);
+        for (a, b) in m1.user_factors.iter().zip(&m2.user_factors) {
+            assert!(a.sub(b).unwrap().norm2() < 1e-12, "parallelism changed the model");
+        }
+        assert_eq!(m1.training_curve, m2.training_curve);
+    }
+
+    #[test]
+    fn warm_start_from_trained_model_stays_good() {
+        let ds = dataset();
+        let ex = JobExecutor::new(4);
+        let m1 = AlsModel::train(&ds.ratings, 80, 120, config(), &ex);
+        let rmse1 = m1.rmse(&ds.ratings);
+        let mut cfg2 = config();
+        cfg2.iterations = 2;
+        let m2 = AlsModel::train_warm_start(
+            &ds.ratings,
+            m1.user_factors.clone(),
+            m1.item_factors.clone(),
+            cfg2,
+            &ex,
+        );
+        let rmse2 = m2.rmse(&ds.ratings);
+        assert!(rmse2 <= rmse1 + 1e-6, "warm start regressed: {rmse1} -> {rmse2}");
+    }
+
+    #[test]
+    fn empty_ratings_yield_initialization() {
+        let ex = JobExecutor::new(2);
+        let model = AlsModel::train(&[], 10, 10, config(), &ex);
+        assert_eq!(model.global_mean, 0.0);
+        assert_eq!(model.user_factors.len(), 10);
+        assert!(model.rmse(&[]) == 0.0);
+    }
+
+    #[test]
+    fn users_without_ratings_keep_initialization() {
+        let ds = dataset();
+        let ex = JobExecutor::new(2);
+        // Train with extra user slots beyond those that appear in data.
+        let model = AlsModel::train(&ds.ratings, 100, 120, config(), &ex);
+        let fresh = init_factor(95, config().seed, 5);
+        assert!(model.user_factors[95].sub(&fresh).unwrap().norm2() < 1e-15);
+    }
+
+    #[test]
+    fn predictions_are_finite_and_centered() {
+        let ds = dataset();
+        let ex = JobExecutor::new(4);
+        let model = AlsModel::train(&ds.ratings, 80, 120, config(), &ex);
+        for r in ds.ratings.iter().take(100) {
+            let p = model.predict(r.uid, r.item_id);
+            assert!(p.is_finite());
+            assert!(p > -5.0 && p < 15.0, "wild prediction {p}");
+        }
+    }
+
+    #[test]
+    fn objective_decreases_with_more_iterations() {
+        let ds = dataset();
+        let ex = JobExecutor::new(4);
+        let mut short = config();
+        short.iterations = 1;
+        let mut long = config();
+        long.iterations = 8;
+        let m_short = AlsModel::train(&ds.ratings, 80, 120, short, &ex);
+        let m_long = AlsModel::train(&ds.ratings, 80, 120, long, &ex);
+        assert!(m_long.objective(&ds.ratings) <= m_short.objective(&ds.ratings) + 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_ids() {
+        let ex = JobExecutor::new(1);
+        let bad = vec![Rating { uid: 99, item_id: 0, value: 3.0, timestamp: 0 }];
+        let _ = AlsModel::train(&bad, 10, 10, config(), &ex);
+    }
+}

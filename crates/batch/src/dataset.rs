@@ -1,0 +1,268 @@
+//! An immutable, partitioned, in-memory collection — the RDD shape.
+//!
+//! Offline training code in Velox is written against a Spark-like dataset
+//! API: partition the observation log, run per-partition transformations in
+//! parallel, reduce. [`PartitionedDataset`] provides exactly the operations
+//! the training jobs use, nothing speculative: `map`, `filter`,
+//! `map_partitions`, `reduce`, `group_by_key` (hash shuffle), `collect`.
+//!
+//! All parallel operators take a [`JobExecutor`] explicitly, so callers
+//! decide the parallelism and the same code runs single-threaded in tests.
+
+use crate::executor::JobExecutor;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// An immutable partitioned collection of `T`.
+#[derive(Debug, Clone)]
+pub struct PartitionedDataset<T> {
+    partitions: Vec<Vec<T>>,
+}
+
+impl<T: Send + Sync> PartitionedDataset<T> {
+    /// Partitions `data` round-robin into `n_partitions` (minimum 1).
+    pub fn from_vec(data: Vec<T>, n_partitions: usize) -> Self {
+        let n = n_partitions.max(1);
+        let mut partitions: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+        for (i, item) in data.into_iter().enumerate() {
+            partitions[i % n].push(item);
+        }
+        PartitionedDataset { partitions }
+    }
+
+    /// Builds a dataset from pre-formed partitions.
+    pub fn from_partitions(partitions: Vec<Vec<T>>) -> Self {
+        assert!(!partitions.is_empty(), "dataset needs at least one partition");
+        PartitionedDataset { partitions }
+    }
+
+    /// Number of partitions.
+    pub fn n_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total element count across partitions.
+    pub fn len(&self) -> usize {
+        self.partitions.iter().map(Vec::len).sum()
+    }
+
+    /// True when all partitions are empty.
+    pub fn is_empty(&self) -> bool {
+        self.partitions.iter().all(Vec::is_empty)
+    }
+
+    /// Borrow a partition's contents.
+    pub fn partition(&self, i: usize) -> &[T] {
+        &self.partitions[i]
+    }
+
+    /// Applies `f` to every element in parallel (per-partition tasks).
+    pub fn map<R, F>(&self, executor: &JobExecutor, f: F) -> PartitionedDataset<R>
+    where
+        R: Send + Sync,
+        F: Fn(&T) -> R + Sync,
+    {
+        let parts: Vec<&Vec<T>> = self.partitions.iter().collect();
+        let mapped =
+            executor.execute(parts, |_, part| part.iter().map(&f).collect::<Vec<R>>());
+        PartitionedDataset { partitions: mapped }
+    }
+
+    /// Keeps the elements satisfying `pred`, preserving partitioning.
+    pub fn filter<F>(&self, executor: &JobExecutor, pred: F) -> PartitionedDataset<T>
+    where
+        T: Clone,
+        F: Fn(&T) -> bool + Sync,
+    {
+        let parts: Vec<&Vec<T>> = self.partitions.iter().collect();
+        let filtered = executor.execute(parts, |_, part| {
+            part.iter().filter(|t| pred(t)).cloned().collect::<Vec<T>>()
+        });
+        PartitionedDataset { partitions: filtered }
+    }
+
+    /// Applies `f` to each whole partition in parallel — the escape hatch
+    /// for stateful per-partition computation (e.g. building per-partition
+    /// Gram matrices).
+    pub fn map_partitions<R, F>(&self, executor: &JobExecutor, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        let parts: Vec<&Vec<T>> = self.partitions.iter().collect();
+        executor.execute(parts, |i, part| f(i, part))
+    }
+
+    /// Two-level reduction: fold each partition from `identity()` with
+    /// `fold`, then merge the per-partition accumulators with `merge`
+    /// left-to-right in partition order (deterministic regardless of
+    /// scheduling).
+    pub fn reduce<A, FI, FF, FM>(
+        &self,
+        executor: &JobExecutor,
+        identity: FI,
+        fold: FF,
+        merge: FM,
+    ) -> A
+    where
+        A: Send,
+        FI: Fn() -> A + Sync,
+        FF: Fn(A, &T) -> A + Sync,
+        FM: Fn(A, A) -> A,
+    {
+        let partials = self.map_partitions(executor, |_, part| {
+            part.iter().fold(identity(), &fold)
+        });
+        partials
+            .into_iter()
+            .fold(identity(), merge)
+    }
+
+    /// Copies all elements out, partition by partition, in partition order.
+    pub fn collect(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let mut out = Vec::with_capacity(self.len());
+        for p in &self.partitions {
+            out.extend(p.iter().cloned());
+        }
+        out
+    }
+}
+
+impl<K, V> PartitionedDataset<(K, V)>
+where
+    K: Eq + Hash + Clone + Send + Sync,
+    V: Send + Sync + Clone,
+{
+    /// Hash-shuffles key–value pairs into per-key groups — the shuffle
+    /// behind "gather all ratings of user u" in the training jobs.
+    ///
+    /// The output map's iteration order is unspecified (HashMap), but the
+    /// values within each key preserve (partition-major) input order.
+    pub fn group_by_key(&self, executor: &JobExecutor) -> HashMap<K, Vec<V>> {
+        // Per-partition local grouping in parallel, then a sequential merge.
+        let locals = self.map_partitions(executor, |_, part| {
+            let mut m: HashMap<K, Vec<V>> = HashMap::new();
+            for (k, v) in part {
+                m.entry(k.clone()).or_default().push(v.clone());
+            }
+            m
+        });
+        let mut merged: HashMap<K, Vec<V>> = HashMap::new();
+        for local in locals {
+            for (k, mut vs) in local {
+                merged.entry(k).or_default().append(&mut vs);
+            }
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ex() -> JobExecutor {
+        JobExecutor::new(4)
+    }
+
+    #[test]
+    fn round_robin_partitioning() {
+        let ds = PartitionedDataset::from_vec((0..10).collect::<Vec<i32>>(), 3);
+        assert_eq!(ds.n_partitions(), 3);
+        assert_eq!(ds.len(), 10);
+        assert_eq!(ds.partition(0), &[0, 3, 6, 9]);
+        assert_eq!(ds.partition(1), &[1, 4, 7]);
+    }
+
+    #[test]
+    fn zero_partitions_clamps() {
+        let ds = PartitionedDataset::from_vec(vec![1, 2, 3], 0);
+        assert_eq!(ds.n_partitions(), 1);
+    }
+
+    #[test]
+    fn map_preserves_order_within_layout() {
+        let ds = PartitionedDataset::from_vec((0..100).collect::<Vec<i64>>(), 7);
+        let doubled = ds.map(&ex(), |&x| x * 2);
+        assert_eq!(doubled.len(), 100);
+        let mut all = doubled.collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        // Partition structure preserved.
+        assert_eq!(doubled.n_partitions(), 7);
+        assert_eq!(doubled.partition(0).len(), ds.partition(0).len());
+    }
+
+    #[test]
+    fn filter_keeps_matching() {
+        let ds = PartitionedDataset::from_vec((0..100).collect::<Vec<i64>>(), 4);
+        let evens = ds.filter(&ex(), |&x| x % 2 == 0);
+        assert_eq!(evens.len(), 50);
+        assert!(evens.collect().iter().all(|x| x % 2 == 0));
+    }
+
+    #[test]
+    fn reduce_sums() {
+        let ds = PartitionedDataset::from_vec((1..=100).collect::<Vec<i64>>(), 8);
+        let sum = ds.reduce(&ex(), || 0i64, |acc, &x| acc + x, |a, b| a + b);
+        assert_eq!(sum, 5050);
+    }
+
+    #[test]
+    fn reduce_on_empty_is_identity() {
+        let ds: PartitionedDataset<i64> = PartitionedDataset::from_vec(vec![], 4);
+        let sum = ds.reduce(&ex(), || 42i64, |acc, &x| acc + x, |a, b| a + b - 42);
+        assert_eq!(sum, 42);
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn map_partitions_sees_every_partition() {
+        let ds = PartitionedDataset::from_vec((0..20).collect::<Vec<i64>>(), 5);
+        let sizes = ds.map_partitions(&ex(), |i, part| (i, part.len()));
+        assert_eq!(sizes.len(), 5);
+        let total: usize = sizes.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 20);
+        for (i, (idx, _)) in sizes.iter().enumerate() {
+            assert_eq!(*idx, i, "partition index passed through in order");
+        }
+    }
+
+    #[test]
+    fn group_by_key_gathers_all_values() {
+        let pairs: Vec<(u64, i64)> = (0..60).map(|i| (i % 5, i as i64)).collect();
+        let ds = PartitionedDataset::from_vec(pairs, 6);
+        let grouped = ds.group_by_key(&ex());
+        assert_eq!(grouped.len(), 5);
+        for (k, vs) in &grouped {
+            assert_eq!(vs.len(), 12, "key {k}");
+            assert!(vs.iter().all(|v| (*v as u64) % 5 == *k));
+        }
+    }
+
+    #[test]
+    fn from_partitions_respects_layout() {
+        let ds = PartitionedDataset::from_partitions(vec![vec![1, 2], vec![3]]);
+        assert_eq!(ds.n_partitions(), 2);
+        assert_eq!(ds.collect(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn empty_partition_list_panics() {
+        let _: PartitionedDataset<i32> = PartitionedDataset::from_partitions(vec![]);
+    }
+
+    #[test]
+    fn parallel_matches_single_threaded() {
+        let ds = PartitionedDataset::from_vec((0..500).collect::<Vec<i64>>(), 16);
+        let seq = JobExecutor::new(1);
+        let par = JobExecutor::new(8);
+        let a = ds.reduce(&seq, || 0i64, |acc, &x| acc ^ (x * 7), |a, b| a ^ b);
+        let b = ds.reduce(&par, || 0i64, |acc, &x| acc ^ (x * 7), |a, b| a ^ b);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,306 @@
+//! Stochastic-gradient-descent matrix factorization — the alternative
+//! offline trainer.
+//!
+//! The paper's related work points at SGD-on-Spark (Sparkler, \[12\]) as "a
+//! strategy ... that could be used by Velox to improve offline training
+//! performance". This module provides that alternative: biased MF trained
+//! by SGD with per-epoch learning-rate decay. It fits the same model shape
+//! as [`crate::als`] (`r̂ = μ + b_u + b_i + wᵤᵀxᵢ`, with optional biases),
+//! so the model manager can swap trainers, and the bench harness uses it as
+//! an offline-training ablation.
+
+use velox_data::Rating;
+use velox_linalg::Vector;
+
+use crate::executor::JobExecutor;
+
+/// SGD hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct SgdConfig {
+    /// Latent dimension.
+    pub rank: usize,
+    /// L2 regularization on factors and biases.
+    pub lambda: f64,
+    /// Initial learning rate.
+    pub learning_rate: f64,
+    /// Multiplicative decay applied to the learning rate each epoch.
+    pub decay: f64,
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Whether to learn per-user/per-item bias terms.
+    pub use_biases: bool,
+    /// Initialization seed.
+    pub seed: u64,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        SgdConfig {
+            rank: 10,
+            lambda: 0.05,
+            learning_rate: 0.02,
+            decay: 0.95,
+            epochs: 20,
+            use_biases: true,
+            seed: 0x56D,
+        }
+    }
+}
+
+/// A trained SGD matrix-factorization model.
+#[derive(Debug, Clone)]
+pub struct SgdModel {
+    /// Per-user latent factors.
+    pub user_factors: Vec<Vector>,
+    /// Per-item latent factors.
+    pub item_factors: Vec<Vector>,
+    /// Per-user bias terms (all zero when `use_biases` is false).
+    pub user_bias: Vec<f64>,
+    /// Per-item bias terms.
+    pub item_bias: Vec<f64>,
+    /// Global mean μ.
+    pub global_mean: f64,
+    /// Hyper-parameters used.
+    pub config: SgdConfig,
+    /// Training RMSE after each epoch.
+    pub training_curve: Vec<f64>,
+}
+
+impl SgdModel {
+    /// Trains on `ratings` (ids dense in `[0, n)`). The `executor` is used
+    /// for the parallel evaluation passes between epochs; the gradient pass
+    /// itself is sequential per epoch, which keeps training exactly
+    /// reproducible (Hogwild-style parallel SGD trades determinism for
+    /// speed — the wrong trade for a reference implementation).
+    pub fn train(
+        ratings: &[Rating],
+        n_users: usize,
+        n_items: usize,
+        config: SgdConfig,
+        executor: &JobExecutor,
+    ) -> Self {
+        assert!(config.rank > 0);
+        assert!(config.learning_rate > 0.0 && config.lambda >= 0.0);
+        for r in ratings {
+            assert!((r.uid as usize) < n_users, "uid {} out of range", r.uid);
+            assert!((r.item_id as usize) < n_items, "item {} out of range", r.item_id);
+        }
+        let global_mean = if ratings.is_empty() {
+            0.0
+        } else {
+            ratings.iter().map(|r| r.value).sum::<f64>() / ratings.len() as f64
+        };
+
+        let scale = 0.1 / (config.rank as f64).sqrt();
+        let mut state = config.seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 2.0 * scale
+        };
+        let mut user_factors: Vec<Vector> = (0..n_users)
+            .map(|_| Vector::from_vec((0..config.rank).map(|_| next()).collect()))
+            .collect();
+        let mut item_factors: Vec<Vector> = (0..n_items)
+            .map(|_| Vector::from_vec((0..config.rank).map(|_| next()).collect()))
+            .collect();
+        let mut user_bias = vec![0.0; n_users];
+        let mut item_bias = vec![0.0; n_items];
+
+        let mut lr = config.learning_rate;
+        let mut training_curve = Vec::with_capacity(config.epochs);
+        for _ in 0..config.epochs {
+            for r in ratings {
+                let u = r.uid as usize;
+                let i = r.item_id as usize;
+                let pred = global_mean
+                    + user_bias[u]
+                    + item_bias[i]
+                    + user_factors[u].dot(&item_factors[i]).expect("rank consistent");
+                let err = r.value - pred;
+                if config.use_biases {
+                    user_bias[u] += lr * (err - config.lambda * user_bias[u]);
+                    item_bias[i] += lr * (err - config.lambda * item_bias[i]);
+                }
+                let wu = user_factors[u].as_mut_slice();
+                // Split borrows: take a copy of xi first (rank is small).
+                let xi_copy = item_factors[i].clone();
+                for (w, &x) in wu.iter_mut().zip(xi_copy.as_slice()) {
+                    *w += lr * (err * x - config.lambda * *w);
+                }
+                let wu_copy = user_factors[u].clone();
+                let xi = item_factors[i].as_mut_slice();
+                for (x, &w) in xi.iter_mut().zip(wu_copy.as_slice()) {
+                    *x += lr * (err * w - config.lambda * *x);
+                }
+            }
+            lr *= config.decay;
+            // Parallel evaluation pass.
+            let snapshot = SgdModel {
+                user_factors: user_factors.clone(),
+                item_factors: item_factors.clone(),
+                user_bias: user_bias.clone(),
+                item_bias: item_bias.clone(),
+                global_mean,
+                config: config.clone(),
+                training_curve: Vec::new(),
+            };
+            training_curve.push(snapshot.rmse_parallel(ratings, executor));
+        }
+
+        SgdModel {
+            user_factors,
+            item_factors,
+            user_bias,
+            item_bias,
+            global_mean,
+            config,
+            training_curve,
+        }
+    }
+
+    /// Predicted rating for a pair.
+    pub fn predict(&self, uid: u64, item_id: u64) -> f64 {
+        let u = uid as usize;
+        let i = item_id as usize;
+        self.global_mean
+            + self.user_bias[u]
+            + self.item_bias[i]
+            + self.user_factors[u].dot(&self.item_factors[i]).expect("rank consistent")
+    }
+
+    /// Sequential RMSE over a rating set.
+    pub fn rmse(&self, ratings: &[Rating]) -> f64 {
+        if ratings.is_empty() {
+            return 0.0;
+        }
+        let sse: f64 = ratings
+            .iter()
+            .map(|r| {
+                let e = self.predict(r.uid, r.item_id) - r.value;
+                e * e
+            })
+            .sum();
+        (sse / ratings.len() as f64).sqrt()
+    }
+
+    /// RMSE computed as a parallel map-reduce over the executor (the form
+    /// the offline evaluation jobs use on large logs).
+    pub fn rmse_parallel(&self, ratings: &[Rating], executor: &JobExecutor) -> f64 {
+        if ratings.is_empty() {
+            return 0.0;
+        }
+        let chunks: Vec<&[Rating]> = ratings.chunks(4096.max(ratings.len() / 64)).collect();
+        let partials = executor.execute(chunks, |_, chunk| {
+            chunk
+                .iter()
+                .map(|r| {
+                    let e = self.predict(r.uid, r.item_id) - r.value;
+                    e * e
+                })
+                .sum::<f64>()
+        });
+        (partials.into_iter().sum::<f64>() / ratings.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use velox_data::{RatingsDataset, SyntheticConfig};
+
+    fn dataset() -> RatingsDataset {
+        RatingsDataset::generate(SyntheticConfig {
+            n_users: 60,
+            n_items: 100,
+            rank: 4,
+            ratings_per_user: 25,
+            noise_std: 0.2,
+            seed: 31,
+            ..Default::default()
+        })
+    }
+
+    fn config() -> SgdConfig {
+        SgdConfig { rank: 4, epochs: 60, learning_rate: 0.05, decay: 0.99, ..Default::default() }
+    }
+
+    #[test]
+    fn beats_mean_only_baseline() {
+        let ds = dataset();
+        let ex = JobExecutor::new(4);
+        let model = SgdModel::train(&ds.ratings, 60, 100, config(), &ex);
+        let mean = ds.ratings.iter().map(|r| r.value).sum::<f64>() / ds.len() as f64;
+        let mean_rmse = (ds
+            .ratings
+            .iter()
+            .map(|r| (r.value - mean) * (r.value - mean))
+            .sum::<f64>()
+            / ds.len() as f64)
+            .sqrt();
+        let rmse = model.rmse(&ds.ratings);
+        assert!(rmse < 0.75 * mean_rmse, "SGD rmse {rmse} vs mean {mean_rmse}");
+    }
+
+    #[test]
+    fn training_curve_trends_down() {
+        let ds = dataset();
+        let ex = JobExecutor::new(4);
+        let model = SgdModel::train(&ds.ratings, 60, 100, config(), &ex);
+        let first = model.training_curve.first().copied().unwrap();
+        let last = model.training_curve.last().copied().unwrap();
+        assert!(last < first, "curve did not descend: {first} -> {last}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = dataset();
+        let ex = JobExecutor::new(4);
+        let m1 = SgdModel::train(&ds.ratings, 60, 100, config(), &ex);
+        let m2 = SgdModel::train(&ds.ratings, 60, 100, config(), &ex);
+        assert_eq!(m1.training_curve, m2.training_curve);
+        for (a, b) in m1.user_factors.iter().zip(&m2.user_factors) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn rmse_parallel_matches_sequential() {
+        let ds = dataset();
+        let ex = JobExecutor::new(8);
+        let model = SgdModel::train(&ds.ratings, 60, 100, config(), &ex);
+        let seq = model.rmse(&ds.ratings);
+        let par = model.rmse_parallel(&ds.ratings, &ex);
+        assert!((seq - par).abs() < 1e-10);
+    }
+
+    #[test]
+    fn biases_capture_systematic_offsets() {
+        let ds = dataset();
+        let ex = JobExecutor::new(2);
+        let with = SgdModel::train(&ds.ratings, 60, 100, config(), &ex);
+        let mut cfg = config();
+        cfg.use_biases = false;
+        let without = SgdModel::train(&ds.ratings, 60, 100, cfg, &ex);
+        assert!(without.user_bias.iter().all(|&b| b == 0.0));
+        assert!(with.user_bias.iter().any(|&b| b != 0.0));
+    }
+
+    #[test]
+    fn empty_training_set() {
+        let ex = JobExecutor::new(2);
+        let model = SgdModel::train(&[], 5, 5, config(), &ex);
+        assert_eq!(model.global_mean, 0.0);
+        assert_eq!(model.rmse(&[]), 0.0);
+        assert!(model.predict(0, 0).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_ids() {
+        let ex = JobExecutor::new(1);
+        let bad = vec![Rating { uid: 0, item_id: 50, value: 1.0, timestamp: 0 }];
+        let _ = SgdModel::train(&bad, 5, 5, config(), &ex);
+    }
+}

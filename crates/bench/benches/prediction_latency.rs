@@ -1,0 +1,65 @@
+//! Criterion micro-benchmark behind FIG4: topK serving latency, cached vs
+//! uncached, for representative dimensions and itemset sizes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use velox_batch::AlsConfig;
+use velox_bench::FixtureRng;
+use velox_core::{Item, Velox, VeloxConfig};
+use velox_models::MatrixFactorizationModel;
+
+fn deploy(d: usize, cache_capacity: usize) -> Velox {
+    let mut rng = FixtureRng::new(7 + d as u64);
+    let mut table = HashMap::new();
+    for item in 0..512u64 {
+        table.insert(item, rng.vector(d));
+    }
+    let model = MatrixFactorizationModel::from_table(
+        "bench",
+        table,
+        0.0,
+        AlsConfig { rank: d, ..Default::default() },
+    )
+    .unwrap();
+    let mut weights = HashMap::new();
+    weights.insert(0u64, rng.vector(d));
+    let mut config = VeloxConfig::single_node();
+    config.prediction_cache_capacity = cache_capacity;
+    Velox::deploy(Arc::new(model), weights, config)
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk");
+    for &d in &[2000usize, 5000] {
+        let uncached = deploy(d, 1);
+        let cached = deploy(d, 64 * 1024);
+        for &n in &[100usize, 400] {
+            let items: Vec<Item> = (0..n as u64).map(Item::Id).collect();
+            group.bench_with_input(
+                BenchmarkId::new(format!("uncached_d{d}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| uncached.top_k(0, &items).unwrap());
+                },
+            );
+            cached.top_k(0, &items).unwrap(); // warm
+            group.bench_with_input(
+                BenchmarkId::new(format!("cached_d{d}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| cached.top_k(0, &items).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_topk
+}
+criterion_main!(benches);

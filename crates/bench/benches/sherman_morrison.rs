@@ -1,0 +1,46 @@
+//! Criterion micro-benchmark behind ABL-SM: the raw linear-algebra kernels —
+//! a Sherman–Morrison rank-one update vs. a fresh Cholesky solve, plus the
+//! dot-product kernel every prediction bottoms out in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use velox_bench::FixtureRng;
+use velox_linalg::{IncrementalRidge, RidgeProblem, Vector};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    for &d in &[100usize, 300, 600] {
+        let mut rng = FixtureRng::new(d as u64);
+        let xs: Vec<Vector> = (0..32).map(|_| rng.vector(d)).collect();
+
+        group.bench_with_input(BenchmarkId::new("sm_rank_one_update", d), &d, |b, &d| {
+            let mut inc = IncrementalRidge::new(d, 1.0);
+            let mut i = 0;
+            b.iter(|| {
+                inc.observe(&xs[i % xs.len()], 1.0).unwrap();
+                i += 1;
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("cholesky_solve", d), &d, |b, &d| {
+            let mut prob = RidgeProblem::new(d, 1.0);
+            for x in &xs {
+                prob.observe(x, 1.0).unwrap();
+            }
+            b.iter(|| prob.solve().unwrap());
+        });
+
+        group.bench_with_input(BenchmarkId::new("dot_product", d), &d, |b, _| {
+            let a = &xs[0];
+            let c2 = &xs[1];
+            b.iter(|| a.dot(c2).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_kernels
+}
+criterion_main!(benches);

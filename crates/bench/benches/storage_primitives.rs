@@ -1,0 +1,71 @@
+//! Criterion micro-benchmark for the storage substrate on the serving hot
+//! path: namespace point reads/writes, LRU hits, observation-log appends,
+//! and snapshot codec throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use velox_storage::codec::{decode_vector_table, encode_vector_table};
+use velox_storage::{LruCache, Namespace, ObservationLog};
+
+fn bench_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage");
+
+    let ns: Namespace<Vec<f64>> = Namespace::new("bench");
+    for k in 0..10_000u64 {
+        ns.put(k, vec![k as f64; 16]);
+    }
+    group.bench_function("namespace_get", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            let v = ns.get(k % 10_000);
+            k += 1;
+            v
+        });
+    });
+    group.bench_function("namespace_put", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            ns.put(k % 10_000, vec![1.0; 16]);
+            k += 1;
+        });
+    });
+
+    group.bench_function("lru_hit", |b| {
+        let mut lru: LruCache<u64, f64> = LruCache::new(1024);
+        for k in 0..1024u64 {
+            lru.put(k, k as f64);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            let v = lru.get(&(k % 1024)).copied();
+            k += 1;
+            v
+        });
+    });
+
+    group.bench_function("obslog_append", |b| {
+        let log = ObservationLog::new();
+        let mut k = 0u64;
+        b.iter(|| {
+            log.append(k % 1000, k % 500, 1.0);
+            k += 1;
+        });
+    });
+
+    let entries: Vec<(u64, Vec<f64>)> = (0..500u64).map(|k| (k, vec![0.5; 64])).collect();
+    group.bench_function("codec_encode_500x64", |b| {
+        b.iter(|| encode_vector_table(&entries));
+    });
+    let encoded = encode_vector_table(&entries);
+    group.bench_function("codec_decode_500x64", |b| {
+        b.iter(|| decode_vector_table(encoded.clone()).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_storage
+}
+criterion_main!(benches);

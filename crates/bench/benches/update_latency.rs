@@ -1,0 +1,42 @@
+//! Criterion micro-benchmark behind FIG3: one online user-weight update at
+//! various model dimensions, naive vs. Sherman–Morrison.
+//!
+//! The harness binary `fig3_update_latency` prints the full paper-shaped
+//! sweep; this bench gives statistically rigorous per-point numbers for the
+//! dimensions where both strategies are fast enough for Criterion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use velox_bench::FixtureRng;
+use velox_online::{UpdateStrategy, UserOnlineModel};
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_update");
+    for &d in &[50usize, 100, 200, 400] {
+        let mut rng = FixtureRng::new(42 + d as u64);
+        let xs: Vec<velox_linalg::Vector> = (0..64).map(|_| rng.vector(d)).collect();
+        group.bench_with_input(BenchmarkId::new("naive", d), &d, |b, &d| {
+            let mut model = UserOnlineModel::new(d, 1.0, UpdateStrategy::Naive);
+            let mut i = 0;
+            b.iter(|| {
+                model.observe(&xs[i % xs.len()], 0.5).unwrap();
+                i += 1;
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sherman_morrison", d), &d, |b, &d| {
+            let mut model = UserOnlineModel::new(d, 1.0, UpdateStrategy::ShermanMorrison);
+            let mut i = 0;
+            b.iter(|| {
+                model.observe(&xs[i % xs.len()], 0.5).unwrap();
+                i += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_updates
+}
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! ABL-BANDIT — §5's feedback-loop claim: "a music recommendation service
+//! that only plays the current Top40 songs will never receive feedback from
+//! users indicating that other songs are preferable. To escape these
+//! feedback loops we rely on a form of the contextual bandits algorithm."
+//!
+//! Full serving-loop simulation through the Velox topK API: a population of
+//! users with planted preferences, four serving policies, 40k serve/observe
+//! rounds each. Reports cumulative regret (vs. the oracle serve) and
+//! catalog coverage. Expected shape: greedy locks onto early favourites
+//! (low coverage, linear regret); LinUCB/Thompson explore and converge.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use velox_bench::{print_header, print_row};
+use velox_core::config::BanditChoice;
+use velox_core::{Item, Velox, VeloxConfig};
+use velox_linalg::Vector;
+use velox_models::IdentityModel;
+
+const N_USERS: u64 = 100;
+const N_ITEMS: u64 = 60;
+const DIM: usize = 8;
+const ROUNDS: usize = 40_000;
+const CANDIDATES: usize = 30;
+
+fn item_attrs(item: u64) -> Vec<f64> {
+    (0..DIM).map(|k| ((item as f64 + 1.0) * (k as f64 + 1.3) * 0.61).sin()).collect()
+}
+
+fn user_pref(uid: u64) -> Vector {
+    Vector::from_vec(
+        (0..DIM).map(|k| ((uid as f64 + 2.0) * (k as f64 + 0.7) * 0.39).cos() * 0.5).collect(),
+    )
+}
+
+fn reward(uid: u64, item: u64) -> f64 {
+    user_pref(uid).dot(&Vector::from_vec(item_attrs(item))).unwrap()
+}
+
+struct Outcome {
+    policy: &'static str,
+    regret: f64,
+    coverage: usize,
+    final_quarter_regret: f64,
+}
+
+fn run(policy_name: &'static str, bandit: BanditChoice) -> Outcome {
+    let model = IdentityModel::new("bandit", DIM, 1.0);
+    let mut config = VeloxConfig::single_node();
+    config.bandit = bandit;
+    config.seed = 0xBA0D17;
+    let velox = Arc::new(Velox::deploy(Arc::new(model), HashMap::new(), config));
+    for item in 0..N_ITEMS {
+        velox.register_item(item, item_attrs(item));
+    }
+
+    // Noise stream, deterministic.
+    let mut nstate = 0x5015Eu64;
+    let mut noise = move || {
+        nstate ^= nstate << 13;
+        nstate ^= nstate >> 7;
+        nstate ^= nstate << 17;
+        ((nstate >> 11) as f64 / (1u64 << 52) as f64 - 1.0) * 0.15
+    };
+
+    let mut regret = 0.0;
+    let mut final_quarter_regret = 0.0;
+    let mut shown: HashSet<u64> = HashSet::new();
+    for round in 0..ROUNDS {
+        let uid = (round as u64 * 13) % N_USERS;
+        // Candidate set: a deterministic rotating window of the catalog.
+        let base = (round as u64 * 7) % N_ITEMS;
+        let items: Vec<Item> =
+            (0..CANDIDATES as u64).map(|i| Item::Id((base + i) % N_ITEMS)).collect();
+        let resp = velox.top_k(uid, &items).expect("serves");
+        let served = items[resp.served].id().unwrap();
+        shown.insert(served);
+        let best = items
+            .iter()
+            .map(|it| reward(uid, it.id().unwrap()))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let r = best - reward(uid, served);
+        regret += r;
+        if round >= ROUNDS * 3 / 4 {
+            final_quarter_regret += r;
+        }
+        velox.observe(uid, &items[resp.served], reward(uid, served) + noise()).expect("observes");
+    }
+    Outcome { policy: policy_name, regret, coverage: shown.len(), final_quarter_regret }
+}
+
+fn main() {
+    println!("# ABL-BANDIT: serving policies vs the feedback loop (§5)");
+    println!("\n{N_USERS} users, {N_ITEMS} items, {ROUNDS} serve/observe rounds, {CANDIDATES}-item candidate sets");
+
+    let outcomes = vec![
+        run("greedy", BanditChoice::Greedy),
+        run("epsilon-greedy(0.1)", BanditChoice::EpsilonGreedy(0.1)),
+        run("linucb(1.5)", BanditChoice::LinUcb(1.5)),
+        run("thompson(1.0)", BanditChoice::Thompson(1.0)),
+    ];
+
+    print_header(
+        "Cumulative regret and catalog coverage",
+        &[
+            "policy",
+            "total regret",
+            "mean regret/round",
+            "last-quarter regret/round",
+            "catalog coverage",
+        ],
+    );
+    for o in &outcomes {
+        print_row(&[
+            o.policy.into(),
+            format!("{:.0}", o.regret),
+            format!("{:.4}", o.regret / ROUNDS as f64),
+            format!("{:.4}", o.final_quarter_regret / (ROUNDS / 4) as f64),
+            format!("{}/{}", o.coverage, N_ITEMS),
+        ]);
+    }
+    let greedy = &outcomes[0];
+    let linucb = &outcomes[2];
+    println!(
+        "\nlinucb total regret is {:.1}% of greedy's; its last-quarter per-round regret",
+        linucb.regret / greedy.regret * 100.0
+    );
+    println!("shows whether learning has converged (flat ⇒ sublinear regret).");
+    println!("\nShape check vs. paper: greedy exhibits the Top-40 feedback loop (low");
+    println!("coverage, persistent regret); the bandit policies explore the catalog");
+    println!("and their regret flattens.");
+}

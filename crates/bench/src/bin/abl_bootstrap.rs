@@ -1,0 +1,115 @@
+//! ABL-BOOT — §5's cold-start claim: "new users are assigned a recent
+//! estimate of the average of the existing user weight vectors", which
+//! "corresponds to predicting the average score for all users".
+//!
+//! Protocol: train offline on an established population; then new users
+//! arrive and rate items one at a time. Measures prediction error on each
+//! new user's k-th interaction for k = 1..10, comparing the mean-weight
+//! bootstrap against a zero-initialized prior. Expected shape: the
+//! bootstrap wins at k = 1 (before any feedback) and the curves converge
+//! as personal data accumulates.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use velox_batch::{AlsConfig, AlsModel, JobExecutor};
+use velox_bench::{print_header, print_row};
+use velox_core::{Item, TrainingExample, Velox, VeloxConfig};
+use velox_data::{RatingsDataset, SyntheticConfig};
+use velox_models::MatrixFactorizationModel;
+
+const ESTABLISHED: usize = 1000;
+const NEW_USERS: usize = 300;
+const INTERACTIONS: usize = 10;
+
+fn main() {
+    println!("# ABL-BOOT: mean-weight bootstrap for new users (§5)");
+
+    // One generator for both populations so new users share the planted
+    // factor distribution; the first ESTABLISHED users train offline.
+    let ds = RatingsDataset::generate(SyntheticConfig {
+        n_users: ESTABLISHED + NEW_USERS,
+        n_items: 200,
+        rank: 8,
+        ratings_per_user: 20,
+        noise_std: 0.3,
+        // Real populations share taste (it is why hit items are hits); the
+        // mean-weight bootstrap's value comes precisely from that shared
+        // component. Zero shared taste would make the population mean
+        // carry almost no signal.
+        shared_taste: 0.6,
+        seed: 0xB007,
+        ..Default::default()
+    });
+    let established_ratings: Vec<_> =
+        ds.ratings.iter().filter(|r| (r.uid as usize) < ESTABLISHED).cloned().collect();
+    let executor = JobExecutor::default_parallelism();
+    let als = AlsModel::train(
+        &established_ratings,
+        ESTABLISHED + NEW_USERS,
+        200,
+        AlsConfig { rank: 8, lambda: 0.05, iterations: 8, seed: 9 },
+        &executor,
+    );
+    let mu = als.global_mean;
+
+    // Two deployments: with the established population (bootstrap = mean
+    // of 1000 trained users) and without (bootstrap = zero vector).
+    let build = |with_population: bool| -> Velox {
+        let (model, weights) = MatrixFactorizationModel::from_als("boot", &als);
+        let weights: HashMap<_, _> = if with_population {
+            weights.into_iter().filter(|(uid, _)| (*uid as usize) < ESTABLISHED).collect()
+        } else {
+            HashMap::new()
+        };
+        let v = Velox::deploy(Arc::new(model), weights, VeloxConfig::single_node());
+        if with_population {
+            // Seed per-user histories so the mean reflects real usage.
+            let history: Vec<TrainingExample> = established_ratings
+                .iter()
+                .map(|r| TrainingExample { uid: r.uid, item: Item::Id(r.item_id), y: r.value - mu })
+                .collect();
+            v.ingest_history(&history).unwrap();
+        }
+        v
+    };
+    let velox_boot = build(true);
+    let velox_zero = build(false);
+
+    // Each new user's ratings, replayed one at a time; error measured
+    // *before* each observe (prequential).
+    let mut err_boot = [0.0f64; INTERACTIONS];
+    let mut err_zero = [0.0f64; INTERACTIONS];
+    let mut counts = [0u64; INTERACTIONS];
+    for uid in ESTABLISHED as u64..(ESTABLISHED + NEW_USERS) as u64 {
+        let user_ratings: Vec<_> = ds.ratings.iter().filter(|r| r.uid == uid).collect();
+        for (k, r) in user_ratings.iter().take(INTERACTIONS).enumerate() {
+            let y = r.value - mu;
+            let p_boot = velox_boot.predict(uid, &Item::Id(r.item_id)).unwrap().score;
+            let p_zero = velox_zero.predict(uid, &Item::Id(r.item_id)).unwrap().score;
+            err_boot[k] += (p_boot - y) * (p_boot - y);
+            err_zero[k] += (p_zero - y) * (p_zero - y);
+            counts[k] += 1;
+            velox_boot.observe(uid, &Item::Id(r.item_id), y).unwrap();
+            velox_zero.observe(uid, &Item::Id(r.item_id), y).unwrap();
+        }
+    }
+
+    print_header(
+        "RMSE on a new user's k-th interaction",
+        &["k", "zero-init prior", "mean-weight bootstrap", "bootstrap advantage"],
+    );
+    for k in 0..INTERACTIONS {
+        let rb = (err_boot[k] / counts[k] as f64).sqrt();
+        let rz = (err_zero[k] / counts[k] as f64).sqrt();
+        print_row(&[
+            (k + 1).to_string(),
+            format!("{rz:.4}"),
+            format!("{rb:.4}"),
+            format!("{:+.1}%", (1.0 - rb / rz) * 100.0),
+        ]);
+    }
+    println!("\nShape check vs. paper: the mean-weight bootstrap predicts the average");
+    println!("user's score before any feedback exists, beating a zero prior on the");
+    println!("first interactions; the gap closes as per-user data accumulates.");
+}

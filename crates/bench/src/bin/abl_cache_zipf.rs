@@ -1,0 +1,70 @@
+//! ABL-CACHE — §5's caching claim: "item popularity often follows a
+//! Zipfian distribution ... caching the hot items on each machine using a
+//! simple cache eviction strategy like LRU will tend to have a high hit
+//! rate."
+//!
+//! Sweep: Zipf skew s ∈ {0.6, 0.8, 1.0, 1.2} × LRU capacity ∈ {1%, 5%, 10%}
+//! of a 100k-item catalog. Reports the LRU hit rate on a 500k-request
+//! stream and the mean per-request read cost under the cluster's virtual
+//! cost model (local 1 µs, remote 300 µs), versus the no-cache baseline.
+
+use velox_bench::{print_header, print_row};
+use velox_data::{WorkloadConfig, ZipfGenerator};
+use velox_storage::LruCache;
+
+const CATALOG: usize = 100_000;
+const REQUESTS: usize = 500_000;
+const LOCAL_US: f64 = 1.0;
+const REMOTE_US: f64 = 300.0;
+
+fn main() {
+    println!("# ABL-CACHE: LRU hit rate under Zipfian item popularity (§5)");
+    println!("\ncatalog {CATALOG} items, {REQUESTS} requests, remote read {REMOTE_US} µs vs local {LOCAL_US} µs");
+
+    print_header(
+        "Hit rate and mean read cost",
+        &[
+            "zipf s",
+            "LRU capacity",
+            "hit rate",
+            "mean read cost",
+            "vs no-cache (300 µs)",
+        ],
+    );
+    for &skew in &[0.6f64, 0.8, 1.0, 1.2] {
+        for &cap_pct in &[1usize, 5, 10] {
+            let capacity = CATALOG * cap_pct / 100;
+            let mut gen = ZipfGenerator::new(WorkloadConfig {
+                n_users: 1,
+                n_items: CATALOG,
+                item_skew: skew,
+                topk_set_size: 1,
+                seed: 0xCAFE + (skew * 10.0) as u64,
+            });
+            let mut cache: LruCache<u64, ()> = LruCache::new(capacity);
+            let mut cost = 0.0;
+            for _ in 0..REQUESTS {
+                let item = gen.next_item();
+                if cache.get(&item).is_some() {
+                    cost += LOCAL_US;
+                } else {
+                    cost += REMOTE_US;
+                    cache.put(item, ());
+                }
+            }
+            let (hits, misses, _) = cache.stats();
+            let hit_rate = hits as f64 / (hits + misses) as f64;
+            let mean_cost = cost / REQUESTS as f64;
+            print_row(&[
+                format!("{skew:.1}"),
+                format!("{cap_pct}%"),
+                format!("{hit_rate:.3}"),
+                format!("{mean_cost:.1} µs"),
+                format!("{:.1}x cheaper", REMOTE_US / mean_cost),
+            ]);
+        }
+    }
+    println!("\nShape check vs. paper: hit rate rises steeply with skew; at s ≥ 1.0 a");
+    println!("cache holding a few percent of the catalog already absorbs most reads,");
+    println!("which is the premise of Velox's per-node hot-item feature caches.");
+}

@@ -1,0 +1,131 @@
+//! ABL-ENSEMBLE — the abstract's "online model maintenance and selection
+//! (i.e., dynamic weighting)".
+//!
+//! Two models of the same task with different inductive biases — the
+//! latent-factor (matrix factorization) model and a content-based
+//! identity-feature model — are combined by the Hedge-weighted
+//! [`EnsembleSelector`]. Mid-stream, the MF deployment is corrupted (a bad
+//! deploy). Reports held-out RMSE of each member, the ensemble, and the
+//! weight trajectory: the ensemble should track the best member before the
+//! incident and shift weight away from the corrupted member within a few
+//! observations after it.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use velox_batch::{AlsConfig, AlsModel, JobExecutor};
+use velox_bench::{print_header, print_row};
+use velox_core::{EnsembleSelector, Item, TrainingExample, Velox, VeloxConfig, WeightScope};
+use velox_data::{three_way_split, RatingsDataset, SyntheticConfig};
+use velox_models::{IdentityModel, MatrixFactorizationModel};
+
+fn main() {
+    println!("# ABL-ENSEMBLE: dynamic model weighting (abstract, §2)");
+
+    let ds = RatingsDataset::generate(SyntheticConfig {
+        n_users: 300,
+        n_items: 150,
+        rank: 6,
+        ratings_per_user: 30,
+        noise_std: 0.3,
+        seed: 0xE25,
+        ..Default::default()
+    });
+    let split = three_way_split(&ds, 0.5, 0.7);
+    let executor = JobExecutor::default_parallelism();
+    let als = AlsModel::train(
+        &split.offline,
+        300,
+        150,
+        AlsConfig { rank: 6, lambda: 0.05, iterations: 8, seed: 3 },
+        &executor,
+    );
+    let mu = als.global_mean;
+
+    // Member A: the trained MF model.
+    let (mf_model, _) = MatrixFactorizationModel::from_als("mf", &als);
+    let mf = Arc::new(Velox::deploy(Arc::new(mf_model), HashMap::new(), VeloxConfig::single_node()));
+    let history: Vec<TrainingExample> = split
+        .offline
+        .iter()
+        .map(|r| TrainingExample { uid: r.uid, item: Item::Id(r.item_id), y: r.value - mu })
+        .collect();
+    mf.ingest_history(&history).unwrap();
+
+    // Member B: content-based — items described by a *partial* view of
+    // their planted factors (4 of 6 dimensions), identity feature function,
+    // per-user ridge. Decent but structurally weaker than the MF member,
+    // the way real content features approximate collaborative signal.
+    let content_model = IdentityModel::new("content", 4, 1.0);
+    let content =
+        Arc::new(Velox::deploy(Arc::new(content_model), HashMap::new(), VeloxConfig::single_node()));
+    for (item, factors) in ds.true_item_factors.iter().enumerate() {
+        content.register_item(item as u64, factors.as_slice()[..4].to_vec());
+    }
+    content.ingest_history(&history).unwrap();
+
+    let ensemble = EnsembleSelector::new(
+        vec![("mf".into(), Arc::clone(&mf)), ("content".into(), Arc::clone(&content))],
+        1.0,
+        WeightScope::Global,
+    );
+
+    let heldout_rmse = |f: &dyn Fn(u64, u64) -> f64| -> f64 {
+        let mut sse = 0.0;
+        for r in &split.heldout {
+            let p = f(r.uid, r.item_id);
+            sse += (p - (r.value - mu)) * (p - (r.value - mu));
+        }
+        (sse / split.heldout.len() as f64).sqrt()
+    };
+
+    // Phase 1: honest online stream through the ensemble.
+    let mid = split.online.len() / 2;
+    for r in &split.online[..mid] {
+        ensemble.observe(r.uid, &Item::Id(r.item_id), r.value - mu).unwrap();
+    }
+    let w_phase1 = ensemble.weights(0);
+    let rmse_mf = heldout_rmse(&|u, i| mf.predict(u, &Item::Id(i)).unwrap().score);
+    let rmse_content = heldout_rmse(&|u, i| content.predict(u, &Item::Id(i)).unwrap().score);
+    let rmse_ens = heldout_rmse(&|u, i| ensemble.predict(u, &Item::Id(i)).unwrap().score);
+
+    print_header(
+        "Phase 1: honest traffic (first half of the online stream)",
+        &["predictor", "held-out RMSE", "ensemble weight"],
+    );
+    print_row(&["mf member".into(), format!("{rmse_mf:.4}"), format!("{:.3}", w_phase1[0])]);
+    print_row(&["content member".into(), format!("{rmse_content:.4}"), format!("{:.3}", w_phase1[1])]);
+    print_row(&["ensemble".into(), format!("{rmse_ens:.4}"), "—".into()]);
+
+    // Phase 2: incident — the MF member ingests garbage out-of-band.
+    for r in split.online[..500.min(mid)].iter() {
+        mf.observe(r.uid, &Item::Id(r.item_id), 50.0).unwrap();
+    }
+    // Honest traffic resumes through the ensemble; track weight recovery.
+    let mut switch_after = None;
+    for (i, r) in split.online[mid..].iter().enumerate() {
+        ensemble.observe(r.uid, &Item::Id(r.item_id), r.value - mu).unwrap();
+        if switch_after.is_none() && ensemble.dominant_model(0).0 == "content" {
+            switch_after = Some(i + 1);
+        }
+    }
+    let w_phase2 = ensemble.weights(0);
+    let rmse_mf2 = heldout_rmse(&|u, i| mf.predict(u, &Item::Id(i)).unwrap().score);
+    let rmse_ens2 = heldout_rmse(&|u, i| ensemble.predict(u, &Item::Id(i)).unwrap().score);
+
+    print_header(
+        "Phase 2: after corrupting the mf member",
+        &["predictor", "held-out RMSE", "ensemble weight"],
+    );
+    print_row(&["mf member (corrupted)".into(), format!("{rmse_mf2:.4}"), format!("{:.3}", w_phase2[0])]);
+    print_row(&["content member".into(), format!("{:.4}", heldout_rmse(&|u, i| content.predict(u, &Item::Id(i)).unwrap().score)), format!("{:.3}", w_phase2[1])]);
+    print_row(&["ensemble".into(), format!("{rmse_ens2:.4}"), "—".into()]);
+
+    match switch_after {
+        Some(n) => println!("\nweight majority switched to the healthy member after {n} observations."),
+        None => println!("\nWARNING: dominant member never switched."),
+    }
+    println!("\nShape check: the ensemble tracks its best member under honest traffic");
+    println!("and automatically de-weights a corrupted member — dynamic model");
+    println!("selection without operator intervention.");
+}

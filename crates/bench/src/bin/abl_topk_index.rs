@@ -1,0 +1,86 @@
+//! ABL-TOPK — §8's future work: "more efficient top-K support for our
+//! linear modeling tasks".
+//!
+//! Compares catalog-wide top-K via full scan against the norm-pruned exact
+//! MIPS index, across catalog sizes and norm distributions. Reports mean
+//! query latency, the fraction of the catalog actually scanned, and
+//! verifies exactness on every query.
+
+use velox_bench::{fmt_us, measure, print_header, print_row, FixtureRng};
+use velox_linalg::{MipsIndex, Vector};
+
+const DIM: usize = 64;
+
+/// Factor tables with controllable norm spread: `decay = 0` gives equal
+/// norms (worst case for pruning), larger decay gives the long-tailed
+/// norms of real trained factor tables.
+fn build_items(n: usize, decay: f64, seed: u64) -> Vec<(u64, Vector)> {
+    let mut rng = FixtureRng::new(seed);
+    (0..n as u64)
+        .map(|id| {
+            let scale = 1.0 / (1.0 + id as f64 * decay);
+            let mut v = rng.vector(DIM);
+            v.scale(scale);
+            (id, v)
+        })
+        .collect()
+}
+
+fn main() {
+    println!("# ABL-TOPK: norm-pruned exact MIPS vs full scan (§8 future work)");
+    println!("\ndimension {DIM}, top-10 queries, exactness verified per query");
+
+    print_header(
+        "Query latency and pruning",
+        &[
+            "catalog",
+            "norm profile",
+            "full scan",
+            "pruned index",
+            "speedup",
+            "scanned",
+        ],
+    );
+    for &n in &[10_000usize, 50_000, 200_000] {
+        for (profile, decay) in [("equal norms", 0.0), ("long-tailed", 1e-3)] {
+            let items = build_items(n, decay, 0x70BB + n as u64);
+            let index = MipsIndex::build(items).expect("non-empty");
+            let mut rng = FixtureRng::new(0x9999);
+            let queries: Vec<Vector> = (0..32).map(|_| rng.vector(DIM)).collect();
+
+            // Exactness check on every query before timing.
+            let mut scan_fraction = 0.0;
+            for q in &queries {
+                let (pruned, stats) = index.top_k(q, 10).expect("query");
+                let full = index.top_k_full_scan(q, 10).expect("query");
+                for (p, f) in pruned.iter().zip(&full) {
+                    assert!((p.score - f.score).abs() < 1e-12, "pruning broke exactness");
+                }
+                scan_fraction += stats.scan_fraction();
+            }
+            scan_fraction /= queries.len() as f64;
+
+            let mut qi = 0usize;
+            let full = measure(2, 30, || {
+                index.top_k_full_scan(&queries[qi % queries.len()], 10).expect("query");
+                qi += 1;
+            });
+            let mut qi = 0usize;
+            let pruned = measure(2, 30, || {
+                index.top_k(&queries[qi % queries.len()], 10).expect("query");
+                qi += 1;
+            });
+            print_row(&[
+                n.to_string(),
+                profile.into(),
+                fmt_us(full.mean),
+                fmt_us(pruned.mean),
+                format!("{:.1}x", full.mean / pruned.mean),
+                format!("{:.1}%", scan_fraction * 100.0),
+            ]);
+        }
+    }
+    println!("\nShape check: with long-tailed norms (the shape of real trained factor");
+    println!("tables) the pruned index answers exactly while scanning a small slice");
+    println!("of the catalog; with equal norms it degrades gracefully to ~full scan.");
+}

@@ -1,0 +1,127 @@
+//! TAB-ACC — the §4.2 in-text accuracy experiment.
+//!
+//! Paper protocol, verbatim: "We first used offline training to initialize
+//! the feature parameters θ on half of the data and then evaluated the
+//! prediction error of the proposed strategy on the remaining data. By
+//! using the Velox's incremental online updates to train on 70% of the
+//! remaining data, we were able to achieve a held out prediction error
+//! that is only slightly worse than complete retraining." Headline numbers:
+//! +1.6% accuracy from the online strategy vs. +2.3% from full offline
+//! retraining — online recovers ≈70% of the full-retrain gain.
+//!
+//! Here: the same protocol at MovieLens-10M-like *shape* (item-dense:
+//! hundreds of ratings per item, so θ is well-estimated offline) on the
+//! synthetic planted-factor substitute, comparing three strategies on
+//! held-out RMSE: static, online (Velox hybrid), full retrain.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use velox_batch::{AlsConfig, AlsModel, JobExecutor};
+use velox_bench::{print_header, print_row};
+use velox_core::{Item, TrainingExample, Velox, VeloxConfig};
+use velox_data::{three_way_split, RatingsDataset, SyntheticConfig};
+use velox_models::MatrixFactorizationModel;
+
+fn main() {
+    println!("# TAB-ACC: hybrid online+offline accuracy (§4.2)");
+    println!("\nPaper reference: online +1.6% vs full retrain +2.3% over static");
+    println!("(online recovers ~70% of the full-retrain improvement).");
+
+    let ds = RatingsDataset::generate(SyntheticConfig {
+        n_users: 4000,
+        n_items: 250,
+        rank: 10,
+        ratings_per_user: 34, // 17 post-offline ratings/user, like the paper's 10+7 regime
+        noise_std: 0.3,
+        seed: 0xACC,
+        ..Default::default()
+    });
+    let split = three_way_split(&ds, 0.5, 0.7);
+    println!(
+        "\ndataset: {} users x {} items, {} ratings ({} offline / {} online / {} held out)",
+        ds.config.n_users,
+        ds.config.n_items,
+        ds.len(),
+        split.offline.len(),
+        split.online.len(),
+        split.heldout.len()
+    );
+
+    let executor = JobExecutor::default_parallelism();
+    let als_cfg = AlsConfig { rank: 10, lambda: 0.05, iterations: 10, seed: 21 };
+    let als = AlsModel::train(
+        &split.offline,
+        ds.config.n_users,
+        ds.config.n_items,
+        als_cfg.clone(),
+        &executor,
+    );
+    let mu = als.global_mean;
+
+    let heldout_rmse = |velox: &Velox, mu: f64| -> f64 {
+        let mut sse = 0.0;
+        for r in &split.heldout {
+            let p = velox.predict(r.uid, &Item::Id(r.item_id)).unwrap().score + mu;
+            sse += (p - r.value) * (p - r.value);
+        }
+        (sse / split.heldout.len() as f64).sqrt()
+    };
+    let history: Vec<TrainingExample> = split
+        .offline
+        .iter()
+        .map(|r| TrainingExample { uid: r.uid, item: Item::Id(r.item_id), y: r.value - mu })
+        .collect();
+    let deploy = || {
+        let (model, _) = MatrixFactorizationModel::from_als("acc", &als);
+        let v = Velox::deploy(Arc::new(model), HashMap::new(), VeloxConfig::single_node());
+        v.ingest_history(&history).unwrap();
+        v
+    };
+
+    // Static.
+    let velox_static = deploy();
+    let rmse_static = heldout_rmse(&velox_static, mu);
+
+    // Online (Velox hybrid).
+    let velox_online = deploy();
+    for r in &split.online {
+        velox_online.observe(r.uid, &Item::Id(r.item_id), r.value - mu).unwrap();
+    }
+    let rmse_online = heldout_rmse(&velox_online, mu);
+
+    // Full retrain.
+    let mut full_train = split.offline.clone();
+    full_train.extend(split.online.iter().cloned());
+    let als_full = AlsModel::train(
+        &full_train,
+        ds.config.n_users,
+        ds.config.n_items,
+        als_cfg,
+        &executor,
+    );
+    let (model_full, weights_full) = MatrixFactorizationModel::from_als("acc-full", &als_full);
+    let velox_full = Velox::deploy(Arc::new(model_full), weights_full, VeloxConfig::single_node());
+    let rmse_full = heldout_rmse(&velox_full, als_full.global_mean);
+
+    let imp = |rmse: f64| (1.0 - rmse / rmse_static) * 100.0;
+    print_header(
+        "Held-out prediction error",
+        &["strategy", "held-out RMSE", "improvement vs static", "paper"],
+    );
+    print_row(&["static (no updates)".into(), format!("{rmse_static:.4}"), "—".into(), "baseline".into()]);
+    print_row(&[
+        "online incremental (Velox)".into(),
+        format!("{rmse_online:.4}"),
+        format!("{:+.2}%", imp(rmse_online)),
+        "+1.6%".into(),
+    ]);
+    print_row(&[
+        "full offline retrain".into(),
+        format!("{rmse_full:.4}"),
+        format!("{:+.2}%", imp(rmse_full)),
+        "+2.3%".into(),
+    ]);
+    let recovery = imp(rmse_online) / imp(rmse_full) * 100.0;
+    println!("\nonline strategy recovers {recovery:.0}% of the full-retrain gain (paper: ~70%).");
+}

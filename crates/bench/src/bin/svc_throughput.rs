@@ -1,0 +1,126 @@
+//! SVC-THROUGHPUT — the abstract's headline ("low latency, scalable model
+//! management and serving") as a system number: sustained request
+//! throughput of a deployed Velox under a concurrent mixed workload.
+//!
+//! Not a figure from the paper (its evaluation reports latency, not
+//! throughput), but the number any adopter asks first. Drives T client
+//! threads against one deployment — 80% point predictions with Zipfian item
+//! popularity, 20% observes — and reports requests/second and scaling
+//! across thread counts, for a small and a large model dimension.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use velox_batch::AlsConfig;
+use velox_bench::{print_header, print_row, FixtureRng};
+use velox_core::{Item, Velox, VeloxConfig};
+use velox_data::{WorkloadConfig, ZipfGenerator};
+use velox_models::MatrixFactorizationModel;
+
+const N_USERS: u64 = 10_000;
+const N_ITEMS: u64 = 5_000;
+const RUN: Duration = Duration::from_millis(1500);
+
+fn deploy(d: usize) -> Arc<Velox> {
+    let mut rng = FixtureRng::new(0x7410 + d as u64);
+    let mut table = HashMap::new();
+    for item in 0..N_ITEMS {
+        table.insert(item, rng.vector(d));
+    }
+    let model = MatrixFactorizationModel::from_table(
+        "throughput",
+        table,
+        0.0,
+        AlsConfig { rank: d, ..Default::default() },
+    )
+    .unwrap();
+    let mut weights = HashMap::new();
+    for uid in 0..N_USERS {
+        weights.insert(uid, rng.vector(d));
+    }
+    Arc::new(Velox::deploy(Arc::new(model), weights, VeloxConfig::default()))
+}
+
+fn run(velox: &Arc<Velox>, threads: usize) -> (f64, f64) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let predicts = Arc::new(AtomicU64::new(0));
+    let observes = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let velox = Arc::clone(velox);
+        let stop = Arc::clone(&stop);
+        let predicts = Arc::clone(&predicts);
+        let observes = Arc::clone(&observes);
+        handles.push(std::thread::spawn(move || {
+            let mut gen = ZipfGenerator::new(WorkloadConfig {
+                n_users: N_USERS as usize,
+                n_items: N_ITEMS as usize,
+                item_skew: 1.0,
+                topk_set_size: 1,
+                seed: 0x1234 + t as u64,
+            });
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let (uid, item) = gen.next_point();
+                if i % 5 == 4 {
+                    velox.observe(uid, &Item::Id(item), 0.5).expect("observe");
+                    observes.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    velox.predict(uid, &Item::Id(item)).expect("predict");
+                    predicts.fetch_add(1, Ordering::Relaxed);
+                }
+                i += 1;
+            }
+        }));
+    }
+    let start = Instant::now();
+    std::thread::sleep(RUN);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (
+        predicts.load(Ordering::Relaxed) as f64 / secs,
+        observes.load(Ordering::Relaxed) as f64 / secs,
+    )
+}
+
+fn main() {
+    println!("# SVC-THROUGHPUT: sustained mixed-workload throughput");
+    println!("\n{N_USERS} users, {N_ITEMS} items, Zipf(1.0) item popularity,");
+    println!("80% predict / 20% observe, {}s measured per cell", RUN.as_secs_f64());
+
+    for &d in &[50usize, 200] {
+        let velox = deploy(d);
+        print_header(
+            &format!("model dimension d = {d}"),
+            &["client threads", "predicts/s", "observes/s", "total req/s", "scaling"],
+        );
+        let mut base = 0.0;
+        for &threads in &[1usize, 2, 4, 8] {
+            // Warm caches briefly.
+            let _ = run(&velox, threads.min(2));
+            let (p, o) = run(&velox, threads);
+            let total = p + o;
+            if threads == 1 {
+                base = total;
+            }
+            print_row(&[
+                threads.to_string(),
+                format!("{p:.0}"),
+                format!("{o:.0}"),
+                format!("{total:.0}"),
+                format!("{:.1}x", total / base),
+            ]);
+        }
+    }
+    println!("\nObserves are the expensive op (O(d²) Sherman–Morrison update under");
+    println!("the per-user lock); predicts ride the sharded prediction cache. At");
+    println!("small d the quality-tracking mutexes on the observe path bound");
+    println!("single-node scaling; at larger d the update math dominates and");
+    println!("threads scale. The paper's answer to both is scale-out (more");
+    println!("nodes, ByUser routing), which ABL-PART models.");
+}

@@ -1,0 +1,642 @@
+//! The simulated cluster: nodes, placed tables, caches, and cost accounting.
+//!
+//! A [`Cluster`] owns `n_nodes` simulated nodes. Two tables are placed
+//! across them by salted hash partitioning:
+//!
+//! - `W` (user weights): owned by the user's home node; reads and writes
+//!   performed at that node are local.
+//! - item features (`θ` when materialized): owned by the item's home node;
+//!   a read from another node is a *remote* read unless the reading node's
+//!   LRU item cache holds it.
+//!
+//! Costs are virtual time: each access adds `local_read_us` or
+//! `remote_read_us` to the caller's [`AccessKind`]-tagged accounting and to
+//! per-node counters. Nothing sleeps; experiments convert virtual
+//! microseconds into reported latency. This keeps the ABL-PART / ABL-CACHE /
+//! FIG4 experiments deterministic and fast while preserving the paper's
+//! locality arguments exactly.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use velox_storage::{LruCache, Namespace};
+
+use crate::partition::{HashPartitioner, NodeId, Router, RoutingPolicy};
+
+/// Cluster topology and cost-model configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of simulated nodes.
+    pub n_nodes: usize,
+    /// Virtual cost of a node-local read (microseconds).
+    pub local_read_us: f64,
+    /// Virtual cost of a remote read (microseconds) — dominated by the
+    /// network round-trip in the real system.
+    pub remote_read_us: f64,
+    /// Capacity of each node's LRU item-feature cache (entries).
+    pub item_cache_capacity: usize,
+    /// How requests are routed to serving nodes.
+    pub routing: RoutingPolicy,
+    /// Copies of each item's features across the cluster (≥ 1; clamped to
+    /// the node count). The paper pairs partitioning with *replication* of
+    /// the materialized feature tables (§3, §8): replicas turn remote item
+    /// reads into local ones at the cost of `r×` memory and write fan-out
+    /// during (infrequent) retrain publishes.
+    pub item_replication: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            n_nodes: 4,
+            local_read_us: 1.0,
+            // Intra-datacenter RTT ≈ a few hundred µs; the ratio to local
+            // memory access is what matters for the experiments.
+            remote_read_us: 300.0,
+            item_cache_capacity: 1024,
+            routing: RoutingPolicy::ByUser,
+            item_replication: 1,
+        }
+    }
+}
+
+/// How an access was satisfied (for accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Satisfied from the serving node's own shard.
+    Local,
+    /// Satisfied from the serving node's item cache.
+    CacheHit,
+    /// Required a (virtual) network fetch from the owning node.
+    Remote,
+}
+
+/// One node: its shard of each table, its item cache, and counters.
+struct Node {
+    user_weights: Namespace<Vec<f64>>,
+    item_features: Namespace<Vec<f64>>,
+    item_cache: Mutex<LruCache<u64, Vec<f64>>>,
+    requests_served: AtomicU64,
+    local_reads: AtomicU64,
+    remote_reads: AtomicU64,
+}
+
+/// Per-node counter snapshot.
+#[derive(Debug, Clone)]
+pub struct NodeStats {
+    /// Requests routed to this node.
+    pub requests_served: u64,
+    /// Reads satisfied locally (shard or cache).
+    pub local_reads: u64,
+    /// Reads that went over the simulated network.
+    pub remote_reads: u64,
+    /// Item-cache hit/miss/eviction counters.
+    pub cache: (u64, u64, u64),
+    /// Entries in this node's user-weight shard.
+    pub users_owned: usize,
+    /// Entries in this node's item-feature shard.
+    pub items_owned: usize,
+}
+
+/// Cluster-wide aggregate statistics.
+#[derive(Debug, Clone)]
+pub struct ClusterStats {
+    /// Per-node snapshots, index = node id.
+    pub nodes: Vec<NodeStats>,
+    /// Total virtual microseconds spent on reads since creation/reset.
+    pub virtual_read_us: f64,
+}
+
+impl ClusterStats {
+    /// Fraction of all reads that were local (shard or cache). 1.0 when no
+    /// reads happened.
+    pub fn local_fraction(&self) -> f64 {
+        let local: u64 = self.nodes.iter().map(|n| n.local_reads).sum();
+        let remote: u64 = self.nodes.iter().map(|n| n.remote_reads).sum();
+        if local + remote == 0 {
+            1.0
+        } else {
+            local as f64 / (local + remote) as f64
+        }
+    }
+
+    /// Load imbalance: max over mean of per-node requests served (1.0 =
+    /// perfectly balanced). 1.0 when no requests were served.
+    pub fn load_imbalance(&self) -> f64 {
+        let loads: Vec<f64> = self.nodes.iter().map(|n| n.requests_served as f64).collect();
+        let total: f64 = loads.iter().sum();
+        if total == 0.0 {
+            return 1.0;
+        }
+        let mean = total / loads.len() as f64;
+        loads.iter().fold(0.0f64, |m, &l| m.max(l)) / mean
+    }
+
+    /// Aggregate item-cache hit rate across nodes (0.0 with no accesses).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits: u64 = self.nodes.iter().map(|n| n.cache.0).sum();
+        let misses: u64 = self.nodes.iter().map(|n| n.cache.1).sum();
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+}
+
+/// The simulated cluster.
+pub struct Cluster {
+    config: ClusterConfig,
+    nodes: Vec<Node>,
+    user_part: HashPartitioner,
+    item_part: HashPartitioner,
+    router: Router,
+    /// Virtual microseconds accumulated by all reads (scaled ×1000 to keep
+    /// three decimal places in an atomic integer).
+    virtual_read_nanos: AtomicU64,
+}
+
+impl Cluster {
+    /// Builds a cluster from `config`.
+    pub fn new(config: ClusterConfig) -> Self {
+        assert!(config.n_nodes > 0);
+        assert!(config.remote_read_us >= config.local_read_us);
+        let nodes = (0..config.n_nodes)
+            .map(|i| Node {
+                user_weights: Namespace::new(format!("user_weights@{i}")),
+                item_features: Namespace::new(format!("item_features@{i}")),
+                item_cache: Mutex::new(LruCache::new(config.item_cache_capacity)),
+                requests_served: AtomicU64::new(0),
+                local_reads: AtomicU64::new(0),
+                remote_reads: AtomicU64::new(0),
+            })
+            .collect();
+        let user_part = HashPartitioner::new(config.n_nodes, 0x5EED_0001);
+        let item_part = HashPartitioner::new(config.n_nodes, 0x5EED_0002);
+        let router = Router::new(config.routing, user_part.clone());
+        Cluster {
+            config,
+            nodes,
+            user_part,
+            item_part,
+            router,
+            virtual_read_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.config.n_nodes
+    }
+
+    /// Home node of a user.
+    pub fn home_of_user(&self, uid: u64) -> NodeId {
+        self.user_part.node_for(uid)
+    }
+
+    /// Home (primary) node of an item.
+    pub fn home_of_item(&self, item_id: u64) -> NodeId {
+        self.item_part.node_for(item_id)
+    }
+
+    /// All nodes holding a copy of an item's features: the primary plus
+    /// `item_replication − 1` successors on the node ring.
+    pub fn replica_nodes_of_item(&self, item_id: u64) -> Vec<NodeId> {
+        let primary = self.home_of_item(item_id);
+        let r = self.config.item_replication.clamp(1, self.config.n_nodes);
+        (0..r).map(|k| (primary + k) % self.config.n_nodes).collect()
+    }
+
+    /// Picks the serving node for a request from `uid` under the configured
+    /// routing policy, counting it against that node's load.
+    pub fn route_request(&self, uid: u64) -> NodeId {
+        let node = self.router.route(uid);
+        self.nodes[node].requests_served.fetch_add(1, Ordering::Relaxed);
+        node
+    }
+
+    fn charge(&self, at: NodeId, kind: AccessKind) {
+        let us = match kind {
+            AccessKind::Local | AccessKind::CacheHit => {
+                self.nodes[at].local_reads.fetch_add(1, Ordering::Relaxed);
+                self.config.local_read_us
+            }
+            AccessKind::Remote => {
+                self.nodes[at].remote_reads.fetch_add(1, Ordering::Relaxed);
+                self.config.remote_read_us
+            }
+        };
+        self.virtual_read_nanos.fetch_add((us * 1000.0) as u64, Ordering::Relaxed);
+    }
+
+    /// Stores a user's weight vector at its home node (placement is not a
+    /// serving-path cost; no charge).
+    pub fn put_user_weights(&self, uid: u64, w: Vec<f64>) {
+        let home = self.home_of_user(uid);
+        self.nodes[home].user_weights.put(uid, w);
+    }
+
+    /// Reads a user's weights from serving node `at`. Local when `at` is
+    /// the user's home (always true under `ByUser` routing), remote
+    /// otherwise. Returns the weights, how the access was satisfied, and
+    /// the virtual cost in microseconds.
+    pub fn get_user_weights(&self, at: NodeId, uid: u64) -> (Option<Vec<f64>>, AccessKind, f64) {
+        let home = self.home_of_user(uid);
+        let kind = if home == at { AccessKind::Local } else { AccessKind::Remote };
+        self.charge(at, kind);
+        let cost = match kind {
+            AccessKind::Remote => self.config.remote_read_us,
+            _ => self.config.local_read_us,
+        };
+        (self.nodes[home].user_weights.get(uid), kind, cost)
+    }
+
+    /// Applies an in-place update to a user's weights at their home node
+    /// (upserting via `default` when absent). Under `ByUser` routing this
+    /// is the paper's "all writes are local" property; when `at` differs
+    /// from the home node the write is charged as remote.
+    pub fn update_user_weights<F, D>(&self, at: NodeId, uid: u64, default: D, f: F) -> f64
+    where
+        F: FnOnce(&mut Vec<f64>),
+        D: FnOnce() -> Vec<f64>,
+    {
+        let home = self.home_of_user(uid);
+        let kind = if home == at { AccessKind::Local } else { AccessKind::Remote };
+        self.charge(at, kind);
+        self.nodes[home].user_weights.update_with(uid, default, f);
+        match kind {
+            AccessKind::Remote => self.config.remote_read_us,
+            _ => self.config.local_read_us,
+        }
+    }
+
+    /// Bulk-publishes a new user-weight table (offline retrain output):
+    /// contents are re-partitioned and each node's shard swaps atomically.
+    pub fn publish_user_weights(&self, entries: Vec<(u64, Vec<f64>)>) {
+        let mut per_node: Vec<Vec<(u64, Vec<f64>)>> =
+            (0..self.config.n_nodes).map(|_| Vec::new()).collect();
+        for (uid, w) in entries {
+            per_node[self.home_of_user(uid)].push((uid, w));
+        }
+        for (node, shard) in self.nodes.iter().zip(per_node) {
+            node.user_weights.publish_version(shard);
+        }
+    }
+
+    /// Management-plane read of a user's weights at their home node — no
+    /// routing, no cost accounting. Serving paths use
+    /// [`Cluster::get_user_weights`] instead.
+    pub fn peek_user_weights(&self, uid: u64) -> Option<Vec<f64>> {
+        let home = self.home_of_user(uid);
+        self.nodes[home].user_weights.get(uid)
+    }
+
+    /// Exports the entire user-weight table across all shards — the
+    /// management-plane snapshot offline retraining warm-starts from.
+    pub fn export_user_weights(&self) -> Vec<(u64, Vec<f64>)> {
+        let mut out = Vec::new();
+        for node in &self.nodes {
+            out.extend(node.user_weights.snapshot_entries());
+        }
+        out
+    }
+
+    /// Stores an item's feature vector at every replica node.
+    pub fn put_item_features(&self, item_id: u64, features: Vec<f64>) {
+        for node in self.replica_nodes_of_item(item_id) {
+            self.nodes[node].item_features.put(item_id, features.clone());
+        }
+    }
+
+    /// Bulk-publishes a new item-feature table (offline retrain output):
+    /// contents are re-partitioned, each node's shard swaps atomically, and
+    /// every node's item cache is invalidated (§4.2: retraining
+    /// "invalidates both prediction and feature caches").
+    pub fn publish_item_features(&self, entries: Vec<(u64, Vec<f64>)>) {
+        let mut per_node: Vec<Vec<(u64, Vec<f64>)>> =
+            (0..self.config.n_nodes).map(|_| Vec::new()).collect();
+        for (item, feat) in entries {
+            for node in self.replica_nodes_of_item(item) {
+                per_node[node].push((item, feat.clone()));
+            }
+        }
+        for (node, shard) in self.nodes.iter().zip(per_node) {
+            node.item_features.publish_version(shard);
+            node.item_cache.lock().clear();
+        }
+    }
+
+    /// Reads an item's features from serving node `at`:
+    /// local replica → cache → remote fetch (which populates the cache).
+    /// Returns the features, the access kind, and the virtual cost (µs).
+    pub fn get_item_features(&self, at: NodeId, item_id: u64) -> (Option<Vec<f64>>, AccessKind, f64) {
+        let home = self.home_of_item(item_id);
+        if self.replica_nodes_of_item(item_id).contains(&at) {
+            self.charge(at, AccessKind::Local);
+            return (self.nodes[at].item_features.get(item_id), AccessKind::Local, self.config.local_read_us);
+        }
+        // Try the serving node's cache.
+        {
+            let mut cache = self.nodes[at].item_cache.lock();
+            if let Some(hit) = cache.get(&item_id) {
+                let value = hit.clone();
+                drop(cache);
+                self.charge(at, AccessKind::CacheHit);
+                return (Some(value), AccessKind::CacheHit, self.config.local_read_us);
+            }
+        }
+        // Remote fetch from the home shard; populate the cache on success —
+        // but only if no publish invalidated the table mid-fetch, otherwise
+        // a pre-publish value could be re-inserted into a freshly cleared
+        // cache and served stale until the next publish.
+        self.charge(at, AccessKind::Remote);
+        let version_before = self.nodes[home].item_features.version();
+        let fetched = self.nodes[home].item_features.get(item_id);
+        if let Some(ref features) = fetched {
+            if self.nodes[home].item_features.version() == version_before {
+                self.nodes[at].item_cache.lock().put(item_id, features.clone());
+            }
+        }
+        (fetched, AccessKind::Remote, self.config.remote_read_us)
+    }
+
+    /// Invalidates every node's item cache (manual cache flush).
+    pub fn invalidate_item_caches(&self) {
+        for node in &self.nodes {
+            node.item_cache.lock().clear();
+        }
+    }
+
+    /// Snapshot of all counters.
+    pub fn stats(&self) -> ClusterStats {
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| NodeStats {
+                requests_served: n.requests_served.load(Ordering::Relaxed),
+                local_reads: n.local_reads.load(Ordering::Relaxed),
+                remote_reads: n.remote_reads.load(Ordering::Relaxed),
+                cache: n.item_cache.lock().stats(),
+                users_owned: n.user_weights.len(),
+                items_owned: n.item_features.len(),
+            })
+            .collect();
+        ClusterStats {
+            nodes,
+            virtual_read_us: self.virtual_read_nanos.load(Ordering::Relaxed) as f64 / 1000.0,
+        }
+    }
+
+    /// Resets all access counters (placements and cache contents stay).
+    pub fn reset_stats(&self) {
+        for n in &self.nodes {
+            n.requests_served.store(0, Ordering::Relaxed);
+            n.local_reads.store(0, Ordering::Relaxed);
+            n.remote_reads.store(0, Ordering::Relaxed);
+            n.item_cache.lock().reset_stats();
+        }
+        self.virtual_read_nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize, routing: RoutingPolicy) -> Cluster {
+        Cluster::new(ClusterConfig {
+            n_nodes: n,
+            routing,
+            item_cache_capacity: 8,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn user_weights_round_trip_locally_under_by_user_routing() {
+        let c = cluster(4, RoutingPolicy::ByUser);
+        for uid in 0..100u64 {
+            c.put_user_weights(uid, vec![uid as f64]);
+        }
+        for uid in 0..100u64 {
+            let node = c.route_request(uid);
+            let (w, kind, cost) = c.get_user_weights(node, uid);
+            assert_eq!(w.unwrap(), vec![uid as f64]);
+            assert_eq!(kind, AccessKind::Local, "ByUser routing must make W reads local");
+            assert_eq!(cost, c.config().local_read_us);
+        }
+        assert_eq!(c.stats().local_fraction(), 1.0);
+    }
+
+    #[test]
+    fn round_robin_routing_causes_remote_user_reads() {
+        let c = cluster(4, RoutingPolicy::RoundRobin);
+        for uid in 0..200u64 {
+            c.put_user_weights(uid, vec![1.0]);
+        }
+        for uid in 0..200u64 {
+            let node = c.route_request(uid);
+            let _ = c.get_user_weights(node, uid);
+        }
+        let frac = c.stats().local_fraction();
+        // With 4 nodes, ~25% of random routes land on the home node.
+        assert!(frac < 0.5, "round-robin should be mostly remote, got {frac}");
+        assert!(frac > 0.05);
+    }
+
+    #[test]
+    fn item_reads_local_on_home_node() {
+        let c = cluster(2, RoutingPolicy::ByUser);
+        c.put_item_features(7, vec![7.0]);
+        let home = c.home_of_item(7);
+        let (f, kind, _) = c.get_item_features(home, 7);
+        assert_eq!(f.unwrap(), vec![7.0]);
+        assert_eq!(kind, AccessKind::Local);
+    }
+
+    #[test]
+    fn remote_item_read_populates_cache() {
+        let c = cluster(2, RoutingPolicy::ByUser);
+        c.put_item_features(7, vec![7.0]);
+        let other = 1 - c.home_of_item(7);
+        let (_, kind1, cost1) = c.get_item_features(other, 7);
+        assert_eq!(kind1, AccessKind::Remote);
+        assert_eq!(cost1, c.config().remote_read_us);
+        let (f2, kind2, cost2) = c.get_item_features(other, 7);
+        assert_eq!(kind2, AccessKind::CacheHit);
+        assert_eq!(f2.unwrap(), vec![7.0]);
+        assert!(cost2 < cost1);
+    }
+
+    #[test]
+    fn missing_item_is_remote_miss_without_cache_pollution() {
+        let c = cluster(2, RoutingPolicy::ByUser);
+        let other = 1 - c.home_of_item(99);
+        let (f, kind, _) = c.get_item_features(other, 99);
+        assert!(f.is_none());
+        assert_eq!(kind, AccessKind::Remote);
+        // Still a miss next time (absence is not cached).
+        let (_, kind2, _) = c.get_item_features(other, 99);
+        assert_eq!(kind2, AccessKind::Remote);
+    }
+
+    #[test]
+    fn publish_invalidates_caches_and_swaps_contents() {
+        let c = cluster(2, RoutingPolicy::ByUser);
+        c.put_item_features(1, vec![1.0]);
+        let other = 1 - c.home_of_item(1);
+        let _ = c.get_item_features(other, 1); // cache it remotely
+        c.publish_item_features(vec![(1, vec![2.0])]);
+        let (f, kind, _) = c.get_item_features(other, 1);
+        assert_eq!(f.unwrap(), vec![2.0], "stale cache served after publish");
+        assert_eq!(kind, AccessKind::Remote, "cache must have been invalidated");
+    }
+
+    #[test]
+    fn update_user_weights_is_local_at_home() {
+        let c = cluster(4, RoutingPolicy::ByUser);
+        let uid = 5;
+        let home = c.home_of_user(uid);
+        c.update_user_weights(home, uid, || vec![0.0], |w| w[0] += 1.0);
+        c.update_user_weights(home, uid, || vec![0.0], |w| w[0] += 1.0);
+        let (w, _, _) = c.get_user_weights(home, uid);
+        assert_eq!(w.unwrap(), vec![2.0]);
+        let stats = c.stats();
+        assert_eq!(stats.nodes.iter().map(|n| n.remote_reads).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn load_imbalance_detects_hotspots() {
+        let c = cluster(4, RoutingPolicy::ByUser);
+        // All requests from one user → one node takes everything.
+        for _ in 0..100 {
+            c.route_request(7);
+        }
+        let imb = c.stats().load_imbalance();
+        assert!((imb - 4.0).abs() < 1e-9, "one of four nodes has all load: {imb}");
+
+        c.reset_stats();
+        for uid in 0..10_000u64 {
+            c.route_request(uid);
+        }
+        let imb = c.stats().load_imbalance();
+        assert!(imb < 1.1, "hash routing should balance: {imb}");
+    }
+
+    #[test]
+    fn replication_makes_item_reads_local_everywhere() {
+        let c = Cluster::new(ClusterConfig {
+            n_nodes: 4,
+            item_replication: 4, // full replication
+            ..Default::default()
+        });
+        for item in 0..50u64 {
+            c.put_item_features(item, vec![item as f64]);
+        }
+        for node in 0..4 {
+            for item in 0..50u64 {
+                let (f, kind, _) = c.get_item_features(node, item);
+                assert_eq!(f.unwrap(), vec![item as f64]);
+                assert_eq!(kind, AccessKind::Local, "full replication: always local");
+            }
+        }
+        assert_eq!(c.stats().local_fraction(), 1.0);
+    }
+
+    #[test]
+    fn partial_replication_covers_replica_set_only() {
+        let c = Cluster::new(ClusterConfig {
+            n_nodes: 4,
+            item_replication: 2,
+            ..Default::default()
+        });
+        c.put_item_features(9, vec![9.0]);
+        let replicas = c.replica_nodes_of_item(9);
+        assert_eq!(replicas.len(), 2);
+        for node in 0..4usize {
+            let (f, kind, _) = c.get_item_features(node, 9);
+            assert_eq!(f.unwrap(), vec![9.0]);
+            if replicas.contains(&node) {
+                assert_eq!(kind, AccessKind::Local, "replica node {node}");
+            } else {
+                assert_eq!(kind, AccessKind::Remote, "non-replica node {node}");
+            }
+        }
+    }
+
+    #[test]
+    fn publish_updates_all_replicas() {
+        let c = Cluster::new(ClusterConfig {
+            n_nodes: 3,
+            item_replication: 2,
+            ..Default::default()
+        });
+        c.put_item_features(1, vec![1.0]);
+        c.publish_item_features(vec![(1, vec![2.0])]);
+        for node in c.replica_nodes_of_item(1) {
+            let (f, kind, _) = c.get_item_features(node, 1);
+            assert_eq!(f.unwrap(), vec![2.0], "replica {node} must see the new version");
+            assert_eq!(kind, AccessKind::Local);
+        }
+    }
+
+    #[test]
+    fn replication_clamps_to_node_count() {
+        let c = Cluster::new(ClusterConfig {
+            n_nodes: 2,
+            item_replication: 10,
+            ..Default::default()
+        });
+        let replicas = c.replica_nodes_of_item(5);
+        assert_eq!(replicas.len(), 2);
+        let mut sorted = replicas.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 2, "replicas are distinct nodes");
+    }
+
+    #[test]
+    fn virtual_time_accumulates() {
+        let c = cluster(2, RoutingPolicy::ByUser);
+        c.put_item_features(1, vec![1.0]);
+        let other = 1 - c.home_of_item(1);
+        let _ = c.get_item_features(other, 1); // remote: 300µs
+        let home = c.home_of_item(1);
+        let _ = c.get_item_features(home, 1); // local: 1µs
+        let stats = c.stats();
+        assert!((stats.virtual_read_us - 301.0).abs() < 1e-6, "{}", stats.virtual_read_us);
+    }
+
+    #[test]
+    fn stats_reset() {
+        let c = cluster(2, RoutingPolicy::ByUser);
+        c.put_user_weights(1, vec![1.0]);
+        let node = c.route_request(1);
+        let _ = c.get_user_weights(node, 1);
+        c.reset_stats();
+        let stats = c.stats();
+        assert_eq!(stats.nodes.iter().map(|n| n.requests_served).sum::<u64>(), 0);
+        assert_eq!(stats.virtual_read_us, 0.0);
+        // Ownership survives reset.
+        assert_eq!(stats.nodes.iter().map(|n| n.users_owned).sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn ownership_counts_partition_everything() {
+        let c = cluster(8, RoutingPolicy::ByUser);
+        for uid in 0..1000 {
+            c.put_user_weights(uid, vec![]);
+        }
+        for item in 0..500 {
+            c.put_item_features(item, vec![]);
+        }
+        let stats = c.stats();
+        assert_eq!(stats.nodes.iter().map(|n| n.users_owned).sum::<usize>(), 1000);
+        assert_eq!(stats.nodes.iter().map(|n| n.items_owned).sum::<usize>(), 500);
+    }
+}

@@ -1,0 +1,31 @@
+//! # velox-cluster
+//!
+//! A deterministic cluster simulator for Velox's distributed serving layer.
+//!
+//! The paper (§3, §5) deploys the model manager and predictor co-located
+//! with each storage worker and relies on three distribution mechanisms:
+//!
+//! 1. **uid-hash partitioning of the user-weight table `W`** with "a routing
+//!    protocol for incoming user requests to ensure that they are served by
+//!    the node containing that user's model" — making every `wᵤ` read and
+//!    every online update local, and balancing load.
+//! 2. **Partitioned item-feature tables** where evaluating `f` "may involve
+//!    a data transfer from a remote machine", mitigated by
+//! 3. **per-node LRU caches of hot items**, effective because item
+//!    popularity is Zipfian.
+//!
+//! None of this needs real sockets to study: what the experiments measure
+//! is *where* data lives and *what a remote read costs*. The simulator
+//! models exactly that — N nodes, each owning a shard of `W` and of the
+//! item table plus an LRU item cache, with a virtual-time cost model
+//! (microseconds per local/remote read) and full access accounting. The
+//! ABL-PART and ABL-CACHE experiments, and the serving path of `velox-core`,
+//! run on top of this.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod partition;
+
+pub use cluster::{AccessKind, Cluster, ClusterConfig, ClusterStats, NodeStats};
+pub use partition::{HashPartitioner, NodeId, RoutingPolicy};

@@ -1,0 +1,150 @@
+//! Hash partitioning and request routing.
+//!
+//! Users and items are assigned home nodes by a salted multiplicative hash,
+//! so entity id patterns (sequential uids, hot low ids) do not skew
+//! placement. The [`RoutingPolicy`] decides which node *serves* a request:
+//! `ByUser` is the paper's design (requests routed to the user's home
+//! node); `RoundRobin` is the ablation baseline that destroys locality.
+
+/// Identifies a node in the simulated cluster.
+pub type NodeId = usize;
+
+/// Salted hash partitioner mapping entity ids to nodes.
+#[derive(Debug, Clone)]
+pub struct HashPartitioner {
+    n_nodes: usize,
+    salt: u64,
+}
+
+impl HashPartitioner {
+    /// Creates a partitioner over `n_nodes` (must be positive) with a salt
+    /// decorrelating it from other partitioners (e.g. users vs. items).
+    pub fn new(n_nodes: usize, salt: u64) -> Self {
+        assert!(n_nodes > 0, "cluster needs at least one node");
+        HashPartitioner { n_nodes, salt }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Home node of an entity.
+    #[inline]
+    pub fn node_for(&self, id: u64) -> NodeId {
+        let mut z = id ^ self.salt;
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % self.n_nodes as u64) as NodeId
+    }
+}
+
+/// How incoming requests are assigned to serving nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingPolicy {
+    /// Route each request to the home node of its user — the paper's
+    /// intelligent routing: `wᵤ` reads and online updates are always local.
+    ByUser,
+    /// Spray requests across nodes ignoring data placement — the ablation
+    /// baseline (every user-weight read is a potential remote fetch).
+    RoundRobin,
+}
+
+/// A stateful router applying a [`RoutingPolicy`].
+#[derive(Debug)]
+pub struct Router {
+    policy: RoutingPolicy,
+    partitioner: HashPartitioner,
+    rr_next: std::sync::atomic::AtomicUsize,
+}
+
+impl Router {
+    /// Creates a router over the user partitioner.
+    pub fn new(policy: RoutingPolicy, partitioner: HashPartitioner) -> Self {
+        Router { policy, partitioner, rr_next: std::sync::atomic::AtomicUsize::new(0) }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> RoutingPolicy {
+        self.policy
+    }
+
+    /// Chooses the serving node for a request from `uid`.
+    pub fn route(&self, uid: u64) -> NodeId {
+        match self.policy {
+            RoutingPolicy::ByUser => self.partitioner.node_for(uid),
+            RoutingPolicy::RoundRobin => {
+                self.rr_next.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                    % self.partitioner.n_nodes()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_assignment_is_stable_and_in_range() {
+        let p = HashPartitioner::new(8, 0);
+        for id in 0..10_000u64 {
+            let n = p.node_for(id);
+            assert!(n < 8);
+            assert_eq!(n, p.node_for(id), "assignment must be deterministic");
+        }
+    }
+
+    #[test]
+    fn assignment_is_balanced() {
+        let p = HashPartitioner::new(8, 42);
+        let mut counts = [0usize; 8];
+        for id in 0..80_000u64 {
+            counts[p.node_for(id)] += 1;
+        }
+        let expected = 10_000.0;
+        for (n, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "node {n} holds {c} (>{}% off balance)", 5);
+        }
+    }
+
+    #[test]
+    fn salts_decorrelate() {
+        let users = HashPartitioner::new(4, 1);
+        let items = HashPartitioner::new(4, 2);
+        let same = (0..1000u64).filter(|&id| users.node_for(id) == items.node_for(id)).count();
+        // Under independence ~25% collide; assert we're nowhere near 100%.
+        assert!(same < 400, "salted partitioners too correlated: {same}/1000");
+    }
+
+    #[test]
+    fn single_node_cluster() {
+        let p = HashPartitioner::new(1, 0);
+        assert_eq!(p.node_for(123), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        let _ = HashPartitioner::new(0, 0);
+    }
+
+    #[test]
+    fn by_user_routing_matches_partitioner() {
+        let p = HashPartitioner::new(4, 7);
+        let r = Router::new(RoutingPolicy::ByUser, p.clone());
+        for uid in 0..100 {
+            assert_eq!(r.route(uid), p.node_for(uid));
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let r = Router::new(RoutingPolicy::RoundRobin, HashPartitioner::new(3, 0));
+        let seq: Vec<NodeId> = (0..6).map(|_| r.route(999)).collect();
+        assert_eq!(seq, vec![0, 1, 2, 0, 1, 2]);
+    }
+}

@@ -1,0 +1,110 @@
+//! New-user bootstrapping (§5).
+//!
+//! "New users are assigned a recent estimate of the average of the existing
+//! user weight vectors" — predicting with `w̄` "corresponds to predicting
+//! the average score for all users". [`BootstrapState`] maintains that
+//! average incrementally: cheap to update on every weight change, O(d) to
+//! read.
+
+use parking_lot::RwLock;
+use velox_linalg::Vector;
+
+/// Incrementally-maintained mean of the user weight vectors.
+///
+/// The mean is maintained over *contributions*: each user contributes their
+/// latest weight vector; re-contributions replace the previous one (so the
+/// mean tracks current weights, not a history of updates).
+pub struct BootstrapState {
+    inner: RwLock<Inner>,
+}
+
+struct Inner {
+    /// Sum of each contributing user's latest weights.
+    sum: Vector,
+    /// Per-user latest contribution (to subtract on replacement).
+    latest: std::collections::HashMap<u64, Vector>,
+}
+
+impl BootstrapState {
+    /// Creates an empty state for weight dimension `d`.
+    pub fn new(d: usize) -> Self {
+        BootstrapState {
+            inner: RwLock::new(Inner { sum: Vector::zeros(d), latest: Default::default() }),
+        }
+    }
+
+    /// Records user `uid`'s current weights (replacing any previous
+    /// contribution from the same user).
+    pub fn contribute(&self, uid: u64, weights: &Vector) {
+        let mut inner = self.inner.write();
+        if let Some(old) = inner.latest.get(&uid).cloned() {
+            inner.sum.axpy(-1.0, &old).expect("dimension-consistent contributions");
+        }
+        inner.sum.axpy(1.0, weights).expect("dimension-consistent contributions");
+        inner.latest.insert(uid, weights.clone());
+    }
+
+    /// Number of users contributing to the mean.
+    pub fn contributors(&self) -> usize {
+        self.inner.read().latest.len()
+    }
+
+    /// The current mean weight vector `w̄`; the zero vector when no user
+    /// has contributed yet (a brand-new deployment predicts 0, i.e. the
+    /// global mean once the model's μ offset is added back).
+    pub fn mean_weights(&self) -> Vector {
+        let inner = self.inner.read();
+        let n = inner.latest.len();
+        if n == 0 {
+            return Vector::zeros(inner.sum.len());
+        }
+        let mut mean = inner.sum.clone();
+        mean.scale(1.0 / n as f64);
+        mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_state_is_zero() {
+        let b = BootstrapState::new(3);
+        assert_eq!(b.mean_weights().as_slice(), &[0.0, 0.0, 0.0]);
+        assert_eq!(b.contributors(), 0);
+    }
+
+    #[test]
+    fn mean_of_contributions() {
+        let b = BootstrapState::new(2);
+        b.contribute(1, &Vector::from_vec(vec![2.0, 0.0]));
+        b.contribute(2, &Vector::from_vec(vec![0.0, 4.0]));
+        let m = b.mean_weights();
+        assert_eq!(m.as_slice(), &[1.0, 2.0]);
+        assert_eq!(b.contributors(), 2);
+    }
+
+    #[test]
+    fn recontribution_replaces_not_accumulates() {
+        let b = BootstrapState::new(1);
+        b.contribute(1, &Vector::from_vec(vec![10.0]));
+        b.contribute(1, &Vector::from_vec(vec![2.0]));
+        b.contribute(2, &Vector::from_vec(vec![4.0]));
+        assert_eq!(b.mean_weights().as_slice(), &[3.0]);
+        assert_eq!(b.contributors(), 2);
+    }
+
+    #[test]
+    fn many_updates_stay_consistent() {
+        let b = BootstrapState::new(2);
+        for round in 0..10 {
+            for uid in 0..50u64 {
+                b.contribute(uid, &Vector::from_vec(vec![round as f64, uid as f64]));
+            }
+        }
+        let m = b.mean_weights();
+        assert!((m[0] - 9.0).abs() < 1e-9, "latest round wins: {}", m[0]);
+        assert!((m[1] - 24.5).abs() < 1e-9, "mean of uids 0..50: {}", m[1]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Deployment configuration for a Velox instance.
+
+use velox_cluster::ClusterConfig;
+use velox_online::UpdateStrategy;
+
+/// Bandit policy selection for `topK` serving.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BanditChoice {
+    /// Pure exploitation (the feedback-loop baseline).
+    Greedy,
+    /// ε-greedy with the given exploration rate.
+    EpsilonGreedy(f64),
+    /// LinUCB with the given exploration width α (the paper's choice).
+    LinUcb(f64),
+    /// Thompson sampling with the given posterior scale.
+    Thompson(f64),
+}
+
+/// Configuration of one Velox deployment.
+#[derive(Debug, Clone)]
+pub struct VeloxConfig {
+    /// Ridge regularization λ for online user-weight updates (Eq. 2).
+    pub lambda: f64,
+    /// Online update algorithm (naive re-solve vs. Sherman–Morrison).
+    pub update_strategy: UpdateStrategy,
+    /// Prediction-cache capacity (entries across all users).
+    pub prediction_cache_capacity: usize,
+    /// Feature-cache capacity for computed feature functions (entries).
+    pub feature_cache_capacity: usize,
+    /// Staleness threshold: relative loss increase that triggers offline
+    /// retraining (§6).
+    pub staleness_threshold: f64,
+    /// Observations before the staleness detector may fire.
+    pub staleness_warmup: u64,
+    /// Retrain automatically when staleness fires (can be off for manual
+    /// lifecycle control or experiments).
+    pub auto_retrain: bool,
+    /// Hold out every k-th observation for prequential cross-validation
+    /// (0 disables; held-out observations are still logged, not trained).
+    pub crossval_holdout_every: u64,
+    /// Bandit policy used by `topK`.
+    pub bandit: BanditChoice,
+    /// Fraction of `topK` serves randomized into the validation pool.
+    pub validation_fraction: f64,
+    /// Capacity of the validation pool.
+    pub validation_capacity: usize,
+    /// Simulated-cluster topology and cost model.
+    pub cluster: ClusterConfig,
+    /// Worker threads for offline (re)training jobs.
+    pub training_workers: usize,
+    /// Deterministic seed for serving-side randomness (bandits, validation).
+    pub seed: u64,
+}
+
+impl Default for VeloxConfig {
+    fn default() -> Self {
+        VeloxConfig {
+            lambda: 1.0,
+            update_strategy: UpdateStrategy::ShermanMorrison,
+            prediction_cache_capacity: 64 * 1024,
+            feature_cache_capacity: 16 * 1024,
+            staleness_threshold: 0.5,
+            staleness_warmup: 200,
+            auto_retrain: false,
+            crossval_holdout_every: 0,
+            bandit: BanditChoice::LinUcb(1.0),
+            validation_fraction: 0.0,
+            validation_capacity: 4096,
+            cluster: ClusterConfig::default(),
+            training_workers: 4,
+            seed: 0xC1D1,
+        }
+    }
+}
+
+impl VeloxConfig {
+    /// A small single-node configuration for tests and examples: 1 node,
+    /// small caches, deterministic.
+    pub fn single_node() -> Self {
+        VeloxConfig {
+            cluster: ClusterConfig { n_nodes: 1, ..Default::default() },
+            prediction_cache_capacity: 1024,
+            feature_cache_capacity: 1024,
+            training_workers: 2,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = VeloxConfig::default();
+        assert!(c.lambda > 0.0);
+        assert!(c.prediction_cache_capacity > 0);
+        assert_eq!(c.update_strategy, UpdateStrategy::ShermanMorrison);
+        assert!(matches!(c.bandit, BanditChoice::LinUcb(_)));
+    }
+
+    #[test]
+    fn single_node_profile() {
+        let c = VeloxConfig::single_node();
+        assert_eq!(c.cluster.n_nodes, 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! The multi-model front end.
+//!
+//! Listing 1's API takes a `ModelSchema` — Velox hosts many models at once
+//! ("an advertising service may run a series of ad campaigns, each with
+//! separate models over the same set of users", §2). [`VeloxServer`] maps
+//! model names to independent [`Velox`] deployments and dispatches the
+//! front-end calls. Each deployment owns its cluster placement, caches, and
+//! lifecycle; they share nothing, so one model's retrain never stalls
+//! another's serving.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use velox_models::Item;
+
+use crate::error::VeloxError;
+use crate::velox::{ObserveOutcome, PredictResponse, TopKResponse, Velox};
+
+/// Addresses a deployed model — the `ModelSchema` of Listing 1.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModelSchema {
+    /// The deployment name.
+    pub name: String,
+}
+
+impl ModelSchema {
+    /// Creates a schema reference by name.
+    pub fn named(name: impl Into<String>) -> Self {
+        ModelSchema { name: name.into() }
+    }
+}
+
+/// Hosts independent Velox deployments, dispatching by model name.
+#[derive(Default)]
+pub struct VeloxServer {
+    deployments: RwLock<HashMap<String, Arc<Velox>>>,
+}
+
+impl VeloxServer {
+    /// Creates an empty server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a deployment under `name`, replacing any previous one.
+    pub fn install(&self, name: impl Into<String>, velox: Arc<Velox>) {
+        self.deployments.write().insert(name.into(), velox);
+    }
+
+    /// Fetches a deployment.
+    pub fn deployment(&self, schema: &ModelSchema) -> Result<Arc<Velox>, VeloxError> {
+        self.deployments
+            .read()
+            .get(&schema.name)
+            .cloned()
+            .ok_or_else(|| VeloxError::ModelNotFound(schema.name.clone()))
+    }
+
+    /// Listing 1: `predict(s, uid, x)`.
+    pub fn predict(
+        &self,
+        schema: &ModelSchema,
+        uid: u64,
+        item: &Item,
+    ) -> Result<PredictResponse, VeloxError> {
+        self.deployment(schema)?.predict(uid, item)
+    }
+
+    /// Listing 1: `topK(s, uid, xs)`.
+    pub fn top_k(
+        &self,
+        schema: &ModelSchema,
+        uid: u64,
+        items: &[Item],
+    ) -> Result<TopKResponse, VeloxError> {
+        self.deployment(schema)?.top_k(uid, items)
+    }
+
+    /// Listing 1: `observe(uid, x, y)` — applied to every deployment that
+    /// serves this user, since in the paper observations update "the user's
+    /// model" for the deployment the front end is bound to. Here the caller
+    /// names the deployment explicitly.
+    pub fn observe(
+        &self,
+        schema: &ModelSchema,
+        uid: u64,
+        item: &Item,
+        y: f64,
+    ) -> Result<ObserveOutcome, VeloxError> {
+        self.deployment(schema)?.observe(uid, item, y)
+    }
+
+    /// Names of all installed deployments, unordered.
+    pub fn deployment_names(&self) -> Vec<String> {
+        self.deployments.read().keys().cloned().collect()
+    }
+
+    /// Removes a deployment; returns whether it existed.
+    pub fn uninstall(&self, name: &str) -> bool {
+        self.deployments.write().remove(name).is_some()
+    }
+}

@@ -1,0 +1,935 @@
+//! The deployed Velox system: predictor + manager for one model lineage.
+
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use velox_bandit::{
+    BanditPolicy, Candidate, EpsilonGreedyPolicy, GreedyPolicy, LinUcbPolicy, ThompsonPolicy,
+    ValidationPool,
+};
+use velox_batch::JobExecutor;
+use velox_cluster::{Cluster, ClusterStats};
+use velox_linalg::Vector;
+use velox_models::{Item, ModelError, TrainingExample, VeloxModel};
+use velox_online::{PerUserErrorTracker, PrequentialEvaluator, StalenessDetector, UserOnlineModel};
+use velox_storage::{Namespace, ObservationLog};
+
+use crate::bootstrap::BootstrapState;
+use crate::config::{BanditChoice, VeloxConfig};
+use crate::error::VeloxError;
+use crate::sharded_cache::ShardedCache;
+
+/// Response of a point prediction.
+#[derive(Debug, Clone)]
+pub struct PredictResponse {
+    /// Predicted score `wᵤᵀ f(x, θ)` (plus the model's internal offsets).
+    pub score: f64,
+    /// Whether the score came from the prediction cache.
+    pub cached: bool,
+    /// Whether the user was unknown and served the bootstrap (mean-weight)
+    /// model.
+    pub bootstrapped: bool,
+    /// Virtual serving cost in microseconds (storage/network accesses under
+    /// the cluster's cost model; excludes CPU time, which the caller
+    /// measures in wall-clock).
+    pub virtual_cost_us: f64,
+}
+
+/// Response of a `topK` evaluation.
+#[derive(Debug, Clone)]
+pub struct TopKResponse {
+    /// `(input index, score)` pairs, sorted by score descending.
+    pub ranked: Vec<(usize, f64)>,
+    /// Index (into the input candidate list) of the item the system chose
+    /// to *serve* — the bandit's pick, or a validation-pool randomization.
+    pub served: usize,
+    /// Whether the served item came from validation randomization rather
+    /// than the bandit policy.
+    pub randomized: bool,
+    /// Fraction of candidates scored from the prediction cache.
+    pub cached_fraction: f64,
+    /// Virtual serving cost in microseconds.
+    pub virtual_cost_us: f64,
+}
+
+/// Outcome of an `observe` call.
+#[derive(Debug, Clone)]
+pub struct ObserveOutcome {
+    /// Prediction for this pair *before* the update (prequential error).
+    pub predicted_before: f64,
+    /// Loss of that prediction under the model's loss function.
+    pub loss: f64,
+    /// Whether the observation was trained on (false = held out for
+    /// cross-validation).
+    pub trained: bool,
+    /// Whether the model is flagged stale after this observation.
+    pub stale: bool,
+    /// Whether this observation triggered an automatic offline retrain.
+    pub retrained: bool,
+}
+
+/// A snapshot of system-wide observability counters.
+#[derive(Debug, Clone)]
+pub struct SystemStats {
+    /// Current model version.
+    pub model_version: u64,
+    /// Offline retrains completed since deployment.
+    pub retrains: u64,
+    /// Observations ingested.
+    pub observations: u64,
+    /// Users with online state.
+    pub online_users: usize,
+    /// Prediction-cache `(hits, misses, evictions)`.
+    pub prediction_cache: (u64, u64, u64),
+    /// Feature-cache `(hits, misses, evictions)` (computed models only).
+    pub feature_cache: (u64, u64, u64),
+    /// Cluster counters.
+    pub cluster: ClusterStats,
+    /// Mean loss across all observations since the last retrain.
+    pub mean_loss: f64,
+    /// Prequential generalization loss, when cross-validation is enabled.
+    pub generalization_loss: Option<f64>,
+    /// Validation-pool `(randomized serves, total serves)`.
+    pub validation_decisions: (u64, u64),
+    /// Whether the staleness detector currently flags the model.
+    pub stale: bool,
+}
+
+/// Cache key: `(uid, item_id, user weight version, model version)` — version
+/// components make stale entries unreachable instead of requiring scans.
+type PredKey = (u64, u64, u64, u64);
+
+/// One retained model version for rollback: the model object plus the full
+/// user-weight table at swap time.
+struct HistoryEntry {
+    version: u64,
+    model: Arc<dyn VeloxModel>,
+    user_weights: Vec<(u64, Vec<f64>)>,
+}
+
+/// How many superseded versions are retained for rollback.
+const VERSION_HISTORY: usize = 4;
+
+/// A deployed Velox instance serving one model lineage.
+pub struct Velox {
+    config: VeloxConfig,
+    model: RwLock<Arc<dyn VeloxModel>>,
+    version: AtomicU64,
+    history: Mutex<Vec<HistoryEntry>>,
+    cluster: Cluster,
+    obslog: ObservationLog,
+    /// Raw item attributes for computed feature functions.
+    catalog: Namespace<Vec<f64>>,
+    /// Per-user online learning state (fine-grained per-user locks).
+    user_state: Namespace<Arc<Mutex<UserOnlineModel>>>,
+    /// Per-user weight-update counters (prediction-cache keys).
+    user_versions: Namespace<u64>,
+    /// Full training history (uid, item, y) for offline retraining.
+    training_log: Mutex<Vec<TrainingExample>>,
+    prediction_cache: ShardedCache<PredKey, f64>,
+    /// Computed-feature cache keyed by `(item_id, model_version)`.
+    feature_cache: ShardedCache<(u64, u64), Vector>,
+    bootstrap: BootstrapState,
+    error_tracker: Mutex<PerUserErrorTracker>,
+    staleness: Mutex<StalenessDetector>,
+    prequential: Mutex<PrequentialEvaluator>,
+    bandit: Mutex<Box<dyn BanditPolicy>>,
+    validation: Mutex<ValidationPool>,
+    executor: JobExecutor,
+    retrains: AtomicU64,
+    stale_flag: AtomicBool,
+    /// Guards against concurrent offline retrains (sync or async).
+    retrain_in_flight: AtomicBool,
+    /// Swap gate: observe/ingest write-backs hold it shared; a version
+    /// swap holds it exclusive, so no observation can interleave with the
+    /// table swap (and the post-retrain replay boundary is exact).
+    swap_gate: RwLock<()>,
+    /// Lazily-built MIPS index over the catalog's feature vectors, tagged
+    /// with the model version it was built against (§8's efficient top-K).
+    mips_index: Mutex<Option<(u64, Arc<velox_linalg::MipsIndex>)>>,
+}
+
+fn make_policy(choice: BanditChoice, seed: u64) -> Box<dyn BanditPolicy> {
+    match choice {
+        BanditChoice::Greedy => Box::new(GreedyPolicy),
+        BanditChoice::EpsilonGreedy(eps) => Box::new(EpsilonGreedyPolicy::new(eps, seed)),
+        BanditChoice::LinUcb(alpha) => Box::new(LinUcbPolicy::new(alpha)),
+        BanditChoice::Thompson(scale) => Box::new(ThompsonPolicy::new(scale, seed)),
+    }
+}
+
+impl Velox {
+    /// Deploys a model: places its materialized feature table across the
+    /// cluster, installs the initial user weights (from offline training),
+    /// and initializes all serving state.
+    pub fn deploy(
+        model: Arc<dyn VeloxModel>,
+        initial_weights: HashMap<u64, Vector>,
+        config: VeloxConfig,
+    ) -> Self {
+        let cluster = Cluster::new(config.cluster.clone());
+        cluster.publish_item_features(model.materialized_table());
+
+        let velox = Velox {
+            model: RwLock::new(Arc::clone(&model)),
+            version: AtomicU64::new(1),
+            history: Mutex::new(Vec::new()),
+            obslog: ObservationLog::new(),
+            catalog: Namespace::new("item_catalog"),
+            user_state: Namespace::new("user_online_state"),
+            user_versions: Namespace::new("user_versions"),
+            training_log: Mutex::new(Vec::new()),
+            prediction_cache: ShardedCache::new(config.prediction_cache_capacity),
+            feature_cache: ShardedCache::new(config.feature_cache_capacity),
+            bootstrap: BootstrapState::new(model.dim()),
+            error_tracker: Mutex::new(PerUserErrorTracker::new()),
+            staleness: Mutex::new(StalenessDetector::new(
+                config.staleness_threshold,
+                config.staleness_warmup,
+            )),
+            prequential: Mutex::new(PrequentialEvaluator::new(config.crossval_holdout_every)),
+            bandit: Mutex::new(make_policy(config.bandit, config.seed)),
+            validation: Mutex::new(ValidationPool::new(
+                config.validation_fraction,
+                config.validation_capacity,
+                config.seed ^ 0x5A11_DA7A,
+            )),
+            executor: JobExecutor::new(config.training_workers),
+            retrains: AtomicU64::new(0),
+            stale_flag: AtomicBool::new(false),
+            retrain_in_flight: AtomicBool::new(false),
+            swap_gate: RwLock::new(()),
+            mips_index: Mutex::new(None),
+            cluster,
+            config,
+        };
+        velox.install_user_weights(&initial_weights);
+        velox
+    }
+
+    fn install_user_weights(&self, weights: &HashMap<u64, Vector>) {
+        // Serving weights and the bootstrap mean are installed eagerly;
+        // per-user *online* state (the O(d²) inverse) is created lazily on
+        // a user's first observe, with these weights as the prior — pure
+        // serving never pays the online-learning memory cost.
+        for (&uid, w) in weights {
+            self.cluster.put_user_weights(uid, w.as_slice().to_vec());
+            self.bootstrap.contribute(uid, w);
+        }
+    }
+
+    /// Registers an item's raw attributes in the catalog — required before
+    /// computed-feature models can serve `Item::Id` references to it.
+    pub fn register_item(&self, item_id: u64, attributes: Vec<f64>) {
+        self.catalog.put(item_id, attributes);
+    }
+
+    /// Gets (or lazily creates) the per-user online state. The prior for a
+    /// fresh state is the user's current serving weights when they exist
+    /// (offline-trained users), falling back to the bootstrap mean for
+    /// brand-new users (§5's heuristic).
+    fn user_state_arc(&self, uid: u64) -> Arc<Mutex<UserOnlineModel>> {
+        if let Some(s) = self.user_state.get(uid) {
+            return s;
+        }
+        let prior = match self.cluster.peek_user_weights(uid) {
+            Some(w) => Vector::from_vec(w),
+            None => self.bootstrap.mean_weights(),
+        };
+        let fresh = Arc::new(Mutex::new(UserOnlineModel::from_prior(
+            &prior,
+            self.config.lambda,
+            self.config.update_strategy,
+        )));
+        // update_with keeps creation atomic under racing callers.
+        self.user_state.update_with(uid, || Arc::clone(&fresh), |_| {});
+        self.user_state.get(uid).expect("just inserted")
+    }
+
+    /// Seeds the system with historical training data — the observations
+    /// the initial offline training consumed. Eq. 2 solves each user's
+    /// weights over *all* of that user's examples, so the per-user online
+    /// sufficient statistics must include the offline history, not just a
+    /// weak prior around the batch weights; this method replays the history
+    /// into them. The examples also enter the training/observation logs so
+    /// future offline retrains see the full dataset.
+    ///
+    /// History is training input, not serving feedback: it does not touch
+    /// the quality trackers or staleness detector.
+    pub fn ingest_history(&self, examples: &[TrainingExample]) -> Result<(), VeloxError> {
+        {
+            // Log under the swap gate so no example can fall between a
+            // retrain's snapshot and its replay boundary.
+            let _gate = self.swap_gate.read();
+            for ex in examples {
+                if let Some(id) = ex.item.id() {
+                    self.obslog.append(ex.uid, id, ex.y);
+                }
+            }
+            self.training_log.lock().extend(examples.iter().cloned());
+        }
+        self.apply_examples_to_online_state(examples)
+    }
+
+    /// Current model version.
+    pub fn model_version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// The deployed model's feature dimension.
+    pub fn dim(&self) -> usize {
+        self.model.read().dim()
+    }
+
+    /// Whether the staleness detector currently flags the model.
+    pub fn is_stale(&self) -> bool {
+        self.stale_flag.load(Ordering::Acquire)
+    }
+
+    fn item_cache_id(item: &Item) -> Option<u64> {
+        item.id()
+    }
+
+    /// Resolves `f(x, θ)` for an item at a serving node, through the
+    /// appropriate cache. Returns `(features, virtual cost in µs)`.
+    fn features_for(
+        &self,
+        model: &Arc<dyn VeloxModel>,
+        model_version: u64,
+        at_node: usize,
+        item: &Item,
+    ) -> Result<(Vector, f64), VeloxError> {
+        if model.is_materialized() {
+            // Materialized: the θ table lives in the cluster, sharded, with
+            // per-node hot-item caches.
+            match item {
+                Item::Id(id) => {
+                    let (features, _kind, cost) = self.cluster.get_item_features(at_node, *id);
+                    let features = features.ok_or(ModelError::UnknownItem(*id))?;
+                    Ok((Vector::from_vec(features), cost))
+                }
+                Item::Raw(_) => {
+                    Err(ModelError::WrongItemKind { expected: "catalog item id" }.into())
+                }
+            }
+        } else {
+            // Computed: featurization is CPU work; cacheable when the item
+            // is a catalog reference.
+            match item {
+                Item::Id(id) => {
+                    if let Some(hit) = self.feature_cache.get(&(*id, model_version)) {
+                        return Ok((hit, 0.0));
+                    }
+                    let attrs = self
+                        .catalog
+                        .get(*id)
+                        .ok_or(ModelError::UnknownItem(*id))?;
+                    let features = model.features(&Item::Raw(Vector::from_vec(attrs)))?;
+                    self.feature_cache.put((*id, model_version), features.clone());
+                    Ok((features, 0.0))
+                }
+                Item::Raw(_) => Ok((model.features(item)?, 0.0)),
+            }
+        }
+    }
+
+    /// Reads the user's serving weights at a node; falls back to the
+    /// bootstrap mean for unknown users. Returns
+    /// `(weights, bootstrapped, cost µs)`.
+    fn serving_weights(&self, at_node: usize, uid: u64) -> (Vector, bool, f64) {
+        let (w, _kind, cost) = self.cluster.get_user_weights(at_node, uid);
+        match w {
+            Some(w) => (Vector::from_vec(w), false, cost),
+            None => (self.bootstrap.mean_weights(), true, cost),
+        }
+    }
+
+    /// Point prediction for `(uid, item)` — Listing 1's `predict`.
+    pub fn predict(&self, uid: u64, item: &Item) -> Result<PredictResponse, VeloxError> {
+        let node = self.cluster.route_request(uid);
+        let model_version = self.model_version();
+        let user_version = self.user_versions.get(uid).unwrap_or(0);
+
+        // Prediction cache (only catalog items are cacheable).
+        let key = Self::item_cache_id(item).map(|id| (uid, id, user_version, model_version));
+        if let Some(k) = key {
+            if let Some(score) = self.prediction_cache.get(&k) {
+                return Ok(PredictResponse {
+                    score,
+                    cached: true,
+                    bootstrapped: false,
+                    virtual_cost_us: 0.0,
+                });
+            }
+        }
+
+        let model = Arc::clone(&*self.model.read());
+        let (weights, bootstrapped, w_cost) = self.serving_weights(node, uid);
+        let (features, f_cost) = self.features_for(&model, model_version, node, item)?;
+        let score = weights.dot(&features)?;
+        // Bootstrapped scores are served from the *population mean*, which
+        // moves whenever any user's weights change — state the cache key
+        // cannot see. Never cache them.
+        if let (Some(k), false) = (key, bootstrapped) {
+            self.prediction_cache.put(k, score);
+        }
+        Ok(PredictResponse {
+            score,
+            cached: false,
+            bootstrapped,
+            virtual_cost_us: w_cost + f_cost,
+        })
+    }
+
+    /// Evaluates a candidate set for a user and picks the item to serve —
+    /// Listing 1's `topK`, with bandit-based serving (§5) and
+    /// validation-pool randomization (§4.3).
+    pub fn top_k(&self, uid: u64, items: &[Item]) -> Result<TopKResponse, VeloxError> {
+        if items.is_empty() {
+            return Err(VeloxError::EmptyCandidateSet);
+        }
+        let node = self.cluster.route_request(uid);
+        let model_version = self.model_version();
+        let user_version = self.user_versions.get(uid).unwrap_or(0);
+        let model = Arc::clone(&*self.model.read());
+
+        // Read the user's weights once for the whole candidate set.
+        let (weights, bootstrapped, w_cost) = self.serving_weights(node, uid);
+        let mut virtual_cost = w_cost;
+        let mut cached = 0usize;
+
+        // The user's online state provides per-candidate uncertainty for
+        // the bandit; absent state (pure-serving users) means zero
+        // uncertainty, reducing every policy to greedy. Exploitation-only
+        // policies never read the variance, so skip the O(d²) quadratic
+        // form per candidate for them entirely.
+        let wants_uncertainty = self.bandit.lock().wants_uncertainty();
+        let online = if wants_uncertainty { self.user_state.get(uid) } else { None };
+
+        let mut scores = Vec::with_capacity(items.len());
+        let mut candidates = Vec::with_capacity(items.len());
+        for item in items {
+            let key =
+                Self::item_cache_id(item).map(|id| (uid, id, user_version, model_version));
+            let (score, features) = match key.and_then(|k| self.prediction_cache.get(&k)) {
+                Some(score) => {
+                    cached += 1;
+                    (score, None)
+                }
+                None => {
+                    let (features, f_cost) =
+                        self.features_for(&model, model_version, node, item)?;
+                    virtual_cost += f_cost;
+                    let score = weights.dot(&features)?;
+                    // Same rule as `predict`: bootstrap-mean scores are
+                    // uncacheable (the mean moves with any user's update).
+                    if let (Some(k), false) = (key, bootstrapped) {
+                        self.prediction_cache.put(k, score);
+                    }
+                    (score, Some(features))
+                }
+            };
+            let variance = match (&online, &features) {
+                (Some(state), Some(f)) => state.lock().variance(f).unwrap_or(0.0),
+                // Cached-score path: recover features only if a bandit with
+                // exploration is active and state exists; cheaper to treat
+                // cached items as exploitation-only.
+                _ => 0.0,
+            };
+            scores.push(score);
+            candidates.push(Candidate { score, variance });
+        }
+
+        let mut ranked: Vec<(usize, f64)> = scores.iter().copied().enumerate().collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite"));
+
+        // Validation randomization takes precedence over the policy.
+        let (served, randomized) = match self.validation.lock().maybe_randomize(items.len()) {
+            Some(idx) => (idx, true),
+            None => (self.bandit.lock().select(&candidates), false),
+        };
+
+        Ok(TopKResponse {
+            ranked,
+            served,
+            randomized,
+            cached_fraction: cached as f64 / items.len() as f64,
+            virtual_cost_us: virtual_cost,
+        })
+    }
+
+    /// Ingests one observation — Listing 1's `observe`: logs it, updates
+    /// the user's weights online (Eq. 2), tracks model quality, and
+    /// (optionally) triggers offline retraining on staleness.
+    pub fn observe(&self, uid: u64, item: &Item, y: f64) -> Result<ObserveOutcome, VeloxError> {
+        let node = self.cluster.route_request(uid);
+
+        // The whole read-model → update-state → write-back → log sequence
+        // runs under the swap gate (shared), so a concurrent retrain's
+        // version swap (exclusive) can never interleave mid-observation —
+        // without the gate, an observe computed against the old θ could
+        // overwrite a user's freshly retrained weights in the new table,
+        // and the observation could miss both the batch snapshot and the
+        // post-swap replay.
+        let (predicted_before, trained, loss) = {
+            let _gate = self.swap_gate.read();
+            let model_version = self.model_version();
+            let model = Arc::clone(&*self.model.read());
+            let (features, _f_cost) = self.features_for(&model, model_version, node, item)?;
+
+            // Get or create the user's online state (bootstrap prior for
+            // new users — §5's mean-weight heuristic).
+            let state_arc = self.user_state_arc(uid);
+
+            // Prequential evaluation: predict before updating.
+            let (predicted_before, trained, loss, new_weights) = {
+                let mut state = state_arc.lock();
+                let predicted_before = state.predict(&features)?;
+                let loss = model.loss(y, predicted_before, item, uid);
+                let trained = self.prequential.lock().record(loss);
+                if trained {
+                    state.observe(&features, y)?;
+                }
+                (predicted_before, trained, loss, state.weights().clone())
+            };
+
+            if trained {
+                // Push the updated weights to the user's home shard (a
+                // local write under ByUser routing) and bump the cache
+                // version.
+                self.cluster
+                    .update_user_weights(node, uid, Vec::new, |w| {
+                        *w = new_weights.as_slice().to_vec()
+                    });
+                self.user_versions.update_with(uid, || 0, |v| *v += 1);
+                self.bootstrap.contribute(uid, &new_weights);
+            }
+
+            // Durable observation log (catalog items) + training log (all).
+            if let Some(id) = item.id() {
+                self.obslog.append(uid, id, y);
+            }
+            self.training_log.lock().push(TrainingExample { uid, item: item.clone(), y });
+            (predicted_before, trained, loss)
+        };
+
+        // Quality tracking and staleness (gate released: the auto-retrain
+        // below acquires the gate exclusively via swap_in).
+        self.error_tracker.lock().record(uid, loss);
+        let stale = self.staleness.lock().push(loss);
+        if stale {
+            self.stale_flag.store(true, Ordering::Release);
+        }
+        let mut retrained = false;
+        if stale && self.config.auto_retrain {
+            // A retrain already in flight will pick this observation up via
+            // the post-swap replay — not an error, and the observation has
+            // already been committed either way.
+            match self.retrain_offline() {
+                Ok(_) => retrained = true,
+                Err(VeloxError::RetrainInProgress) => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        Ok(ObserveOutcome {
+            predicted_before,
+            loss,
+            trained,
+            stale: self.is_stale() && !retrained,
+            retrained,
+        })
+    }
+
+    /// Records a label for a `topK` serve that was validation-randomized,
+    /// feeding the unbiased validation pool (§4.3). Also performs the
+    /// normal `observe` path (the observation is still real feedback).
+    pub fn observe_randomized(
+        &self,
+        uid: u64,
+        item: &Item,
+        y: f64,
+    ) -> Result<ObserveOutcome, VeloxError> {
+        let outcome = self.observe(uid, item, y)?;
+        if let Some(id) = item.id() {
+            self.validation.lock().record(velox_bandit::validation::ValidationObservation {
+                uid,
+                item_id: id,
+                predicted: outcome.predicted_before,
+                actual: y,
+            });
+        }
+        Ok(outcome)
+    }
+
+    /// Unbiased model RMSE from the validation pool, when populated.
+    pub fn validation_rmse(&self) -> Option<f64> {
+        self.validation.lock().rmse()
+    }
+
+    /// Launches [`Velox::retrain_offline`] on a background thread — the
+    /// paper's actual deployment shape, where "the maintenance service
+    /// triggers Spark, the offline training component" and serving
+    /// continues against the current version until the new one swaps in.
+    ///
+    /// At most one retrain runs at a time: a second call while one is in
+    /// flight returns [`VeloxError::RetrainInProgress`] instead of queueing
+    /// (the in-flight run will already see the latest observation log).
+    /// Join the returned handle for the outcome.
+    pub fn retrain_offline_async(
+        self: &Arc<Self>,
+    ) -> Result<std::thread::JoinHandle<Result<u64, VeloxError>>, VeloxError> {
+        self.begin_retrain()?;
+        let velox = Arc::clone(self);
+        Ok(std::thread::spawn(move || {
+            let result = velox.retrain_offline_inner();
+            velox.retrain_in_flight.store(false, Ordering::Release);
+            result
+        }))
+    }
+
+    /// Runs a full offline retrain *now* (the manager's "trigger Spark"
+    /// path): retrains on the entire observation history warm-started from
+    /// the current weights, swaps in the new version, repopulates caches,
+    /// and resets quality baselines. Returns the new model version.
+    ///
+    /// Errors with [`VeloxError::RetrainInProgress`] when an async retrain
+    /// is currently running.
+    pub fn retrain_offline(&self) -> Result<u64, VeloxError> {
+        self.begin_retrain()?;
+        let result = self.retrain_offline_inner();
+        self.retrain_in_flight.store(false, Ordering::Release);
+        result
+    }
+
+    /// Claims the single retrain slot or reports one already in flight.
+    fn begin_retrain(&self) -> Result<(), VeloxError> {
+        self.retrain_in_flight
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .map(|_| ())
+            .map_err(|_| VeloxError::RetrainInProgress)
+    }
+
+    fn retrain_offline_inner(&self) -> Result<u64, VeloxError> {
+        let mut data = self.training_log.lock().clone();
+        if data.is_empty() {
+            return Err(VeloxError::RetrainFailed("no observations to train on".into()));
+        }
+        // Observations logged after this snapshot keep serving against the
+        // old version while training runs; they are replayed onto the new
+        // version after the swap so they are lost from neither the batch
+        // model nor the online state.
+        let snapshot_len = data.len();
+        let old_model = Arc::clone(&*self.model.read());
+
+        // Computational models featurize raw payloads; resolve catalog
+        // references for them before handing the data to the trainer.
+        if !old_model.is_materialized() {
+            for ex in &mut data {
+                if let Some(id) = ex.item.id() {
+                    let attrs = self.catalog.get(id).ok_or_else(|| {
+                        VeloxError::RetrainFailed(format!(
+                            "observed item {id} no longer in the catalog"
+                        ))
+                    })?;
+                    ex.item = Item::Raw(Vector::from_vec(attrs));
+                }
+            }
+        }
+
+        // Current user weights as the warm start. The cluster table is
+        // authoritative: every online update writes through to it.
+        let current_weights: HashMap<u64, Vector> = self
+            .cluster
+            .export_user_weights()
+            .into_iter()
+            .map(|(uid, w)| (uid, Vector::from_vec(w)))
+            .collect();
+
+        let result = old_model
+            .retrain(&data, &current_weights, &self.executor)
+            .map_err(|e| VeloxError::RetrainFailed(e.to_string()))?;
+        let new_model: Arc<dyn VeloxModel> = Arc::from(result.model);
+
+        // Snapshot hot keys for cache repopulation before invalidating
+        // (§4.2: the batch system "computes all predictions ... that were
+        // cached at the time the batch computation was triggered" to
+        // repopulate the caches on swap).
+        let hot_keys: Vec<PredKey> = self.prediction_cache.keys();
+
+        // Retire the old version.
+        let old_version = self.version.load(Ordering::Acquire);
+        {
+            let mut history = self.history.lock();
+            history.push(HistoryEntry {
+                version: old_version,
+                model: old_model,
+                user_weights: current_weights
+                    .iter()
+                    .map(|(u, w)| (*u, w.as_slice().to_vec()))
+                    .collect(),
+            });
+            if history.len() > VERSION_HISTORY {
+                history.remove(0);
+            }
+        }
+
+        let missed_boundary = self.swap_in(new_model, result.user_weights, old_version + 1);
+        // Replay the observations that arrived mid-retrain (they were
+        // applied to the discarded old online state and are not in the
+        // batch snapshot). The boundary was captured under the exclusive
+        // swap gate, so entries past it were observed against the *new*
+        // version and must not be double-applied.
+        let missed: Vec<TrainingExample> = {
+            let log = self.training_log.lock();
+            log[snapshot_len..missed_boundary].to_vec()
+        };
+        if !missed.is_empty() {
+            self.apply_examples_to_online_state(&missed)?;
+        }
+        self.repopulate_prediction_cache(&hot_keys);
+        self.retrains.fetch_add(1, Ordering::Relaxed);
+        Ok(self.model_version())
+    }
+
+    /// Installs `model` + `weights` as version `new_version` and resets
+    /// serving/quality state accordingly. Returns the training-log length
+    /// at swap time (captured under the exclusive swap gate), i.e. the
+    /// boundary up to which observations were applied against the *old*
+    /// version.
+    fn swap_in(
+        &self,
+        model: Arc<dyn VeloxModel>,
+        weights: HashMap<u64, Vector>,
+        new_version: u64,
+    ) -> usize {
+        // Exclusive: no observe/ingest may interleave with the swap (their
+        // write-backs run under the shared side of this gate).
+        let _gate = self.swap_gate.write();
+        // New θ table to the cluster (atomically per shard; invalidates
+        // per-node item caches).
+        self.cluster.publish_item_features(model.materialized_table());
+        *self.model.write() = model;
+        self.version.store(new_version, Ordering::Release);
+
+        // New user weights: the serving table swaps wholesale (stale users
+        // must not survive the version change) and the bootstrap mean is
+        // refreshed. Online state is discarded — each user's history is
+        // inside the batch model now, and fresh state is recreated lazily
+        // on their next observe, with the retrained weights as its prior.
+        self.cluster.publish_user_weights(
+            weights.iter().map(|(&uid, w)| (uid, w.as_slice().to_vec())).collect(),
+        );
+        for (&uid, w) in &weights {
+            self.bootstrap.contribute(uid, w);
+        }
+        self.user_state.publish_version(Vec::new());
+        // Bump every user's cache version in one publish.
+        let bumped: Vec<(u64, u64)> =
+            weights.keys().map(|&uid| (uid, new_version << 32)).collect();
+        self.user_versions.publish_version(bumped);
+
+        // Old caches describe the old model.
+        self.prediction_cache.clear();
+        self.feature_cache.clear();
+        self.staleness.lock().reset();
+        self.error_tracker.lock().reset();
+        self.validation.lock().clear();
+        self.stale_flag.store(false, Ordering::Release);
+        self.training_log.lock().len()
+    }
+
+    /// Applies historical/missed examples to the per-user online state and
+    /// serving tables (no logging, no quality tracking) — shared by
+    /// [`Velox::ingest_history`] and the post-retrain replay.
+    fn apply_examples_to_online_state(
+        &self,
+        examples: &[TrainingExample],
+    ) -> Result<(), VeloxError> {
+        let _gate = self.swap_gate.read();
+        let model = Arc::clone(&*self.model.read());
+        let model_version = self.model_version();
+        let mut touched: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for ex in examples {
+            let home = self.cluster.home_of_user(ex.uid);
+            let (features, _) = self.features_for(&model, model_version, home, &ex.item)?;
+            let state_arc = self.user_state_arc(ex.uid);
+            state_arc.lock().observe(&features, ex.y)?;
+            touched.insert(ex.uid);
+        }
+        // Publish the updated weights to the serving table once per user.
+        for uid in touched {
+            let state_arc = self.user_state_arc(uid);
+            let w = state_arc.lock().weights().clone();
+            self.cluster.put_user_weights(uid, w.as_slice().to_vec());
+            self.user_versions.update_with(uid, || 0, |v| *v += 1);
+            self.bootstrap.contribute(uid, &w);
+        }
+        Ok(())
+    }
+
+    /// Recomputes predictions for previously-hot `(uid, item)` pairs under
+    /// the *new* model so the cache is warm when traffic resumes.
+    fn repopulate_prediction_cache(&self, old_keys: &[PredKey]) {
+        let model_version = self.model_version();
+        let model = Arc::clone(&*self.model.read());
+        for &(uid, item_id, _, _) in old_keys {
+            let node = self.cluster.home_of_user(uid);
+            let user_version = self.user_versions.get(uid).unwrap_or(0);
+            let (weights, bootstrapped, _) = self.serving_weights(node, uid);
+            if bootstrapped {
+                continue;
+            }
+            let item = Item::Id(item_id);
+            if let Ok((features, _)) = self.features_for(&model, model_version, node, &item) {
+                if let Ok(score) = weights.dot(&features) {
+                    self.prediction_cache
+                        .put((uid, item_id, user_version, model_version), score);
+                }
+            }
+        }
+    }
+
+    /// Rolls back to a retained prior `version` (restored under a fresh
+    /// version number). Returns the new serving version.
+    pub fn rollback(&self, version: u64) -> Result<u64, VeloxError> {
+        let entry = {
+            let mut history = self.history.lock();
+            let pos = history
+                .iter()
+                .position(|e| e.version == version)
+                .ok_or(VeloxError::VersionNotFound(version))?;
+            history.remove(pos)
+        };
+        let old_version = self.version.load(Ordering::Acquire);
+        // Current state goes to history so the rollback is itself
+        // reversible.
+        {
+            let current_model = Arc::clone(&*self.model.read());
+            let current_weights = self.cluster.export_user_weights();
+            let mut history = self.history.lock();
+            history.push(HistoryEntry {
+                version: old_version,
+                model: current_model,
+                user_weights: current_weights,
+            });
+            if history.len() > VERSION_HISTORY {
+                history.remove(0);
+            }
+        }
+        let weights: HashMap<u64, Vector> = entry
+            .user_weights
+            .into_iter()
+            .map(|(u, w)| (u, Vector::from_vec(w)))
+            .collect();
+        self.swap_in(entry.model, weights, old_version + 1);
+        Ok(self.model_version())
+    }
+
+    /// Versions currently available for rollback, oldest first.
+    pub fn rollback_versions(&self) -> Vec<u64> {
+        self.history.lock().iter().map(|e| e.version).collect()
+    }
+
+    /// Users whose mean loss exceeds `multiple` × the global mean with at
+    /// least `min_obs` observations (admin diagnostics, §4.3).
+    pub fn underperforming_users(&self, multiple: f64, min_obs: u64) -> Vec<u64> {
+        self.error_tracker.lock().underperforming_users(multiple, min_obs)
+    }
+
+    /// Observability snapshot.
+    pub fn stats(&self) -> SystemStats {
+        SystemStats {
+            model_version: self.model_version(),
+            retrains: self.retrains.load(Ordering::Relaxed),
+            observations: self.obslog.len(),
+            online_users: self.user_state.len(),
+            prediction_cache: self.prediction_cache.stats(),
+            feature_cache: self.feature_cache.stats(),
+            cluster: self.cluster.stats(),
+            mean_loss: self.error_tracker.lock().global_mean(),
+            generalization_loss: self.prequential.lock().generalization_loss(),
+            validation_decisions: self.validation.lock().decision_counts(),
+            stale: self.is_stale(),
+        }
+    }
+
+    /// Direct cluster access for experiments (cache ablations, partitioning
+    /// studies).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Sets the serving version directly — used by snapshot restore so a
+    /// restored deployment reports the version it was captured at.
+    pub(crate) fn force_version(&self, version: u64) {
+        self.version.store(version.max(1), Ordering::Release);
+    }
+
+    /// The currently-served model object.
+    pub fn current_model(&self) -> Arc<dyn VeloxModel> {
+        Arc::clone(&*self.model.read())
+    }
+
+    /// Exact top-`k` over the **entire catalog** — the paper's §8 future
+    /// work ("more efficient top-K support for our linear modeling tasks").
+    /// Backed by a norm-pruned exact MIPS index over the catalog's feature
+    /// vectors, built lazily per model version: queries terminate early via
+    /// the Cauchy–Schwarz bound instead of scoring every item, yet return
+    /// exactly what a full scan would.
+    ///
+    /// Unlike [`Velox::top_k`] this bypasses the per-candidate caches and
+    /// bandit layer — it is the "browse the whole catalog" bulk query, not
+    /// the serving decision for one impression.
+    pub fn top_k_catalog(&self, uid: u64, k: usize) -> Result<Vec<(u64, f64)>, VeloxError> {
+        let version = self.model_version();
+        let index = self.catalog_index(version)?;
+        let node = self.cluster.route_request(uid);
+        let (weights, _bootstrapped, _) = self.serving_weights(node, uid);
+        let (results, _stats) = index.top_k(&weights, k)?;
+        Ok(results.into_iter().map(|s| (s.id, s.score)).collect())
+    }
+
+    /// Builds (or returns the cached) MIPS index for `version`.
+    fn catalog_index(
+        &self,
+        version: u64,
+    ) -> Result<Arc<velox_linalg::MipsIndex>, VeloxError> {
+        if let Some((v, idx)) = self.mips_index.lock().as_ref() {
+            if *v == version {
+                return Ok(Arc::clone(idx));
+            }
+        }
+        let model = self.current_model();
+        let items: Vec<(u64, Vector)> = if model.is_materialized() {
+            model
+                .materialized_table()
+                .into_iter()
+                .map(|(id, v)| (id, Vector::from_vec(v)))
+                .collect()
+        } else {
+            // Computational models: featurize every catalog item once.
+            let mut out = Vec::new();
+            for (id, attrs) in self.catalog.snapshot_entries() {
+                let f = model.features(&Item::Raw(Vector::from_vec(attrs)))?;
+                out.push((id, f));
+            }
+            out
+        };
+        let index = Arc::new(velox_linalg::MipsIndex::build(items)?);
+        *self.mips_index.lock() = Some((version, Arc::clone(&index)));
+        Ok(index)
+    }
+
+    /// The raw-attribute catalog contents (for snapshots and diagnostics).
+    pub fn catalog_entries(&self) -> Vec<(u64, Vec<f64>)> {
+        self.catalog.snapshot_entries()
+    }
+
+    /// The durable observation log (offline jobs read from here).
+    pub fn observation_log(&self) -> &ObservationLog {
+        &self.obslog
+    }
+}

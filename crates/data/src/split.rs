@@ -1,0 +1,176 @@
+//! The §4.2 evaluation protocol: per-user chronological splits.
+//!
+//! The paper: "We first used offline training to initialize the feature
+//! parameters θ on half of the data and then evaluated the prediction error
+//! of the proposed strategy on the remaining data. By using Velox's
+//! incremental online updates to train on 70% of the remaining data, we were
+//! able to achieve a held out prediction error that is only slightly worse
+//! than complete retraining."
+//!
+//! [`three_way_split`] reproduces that: per user, the chronologically first
+//! `offline_frac` of ratings go to the offline-initialization set, then
+//! `online_frac` of the remainder go to the online-update stream, and the
+//! rest are held out.
+
+use crate::ratings::{Rating, RatingsDataset};
+
+/// The three-way split of §4.2: offline init / online stream / held-out.
+#[derive(Debug, Clone)]
+pub struct LifecycleSplit {
+    /// Ratings used to train θ (and initial user weights) offline.
+    pub offline: Vec<Rating>,
+    /// Ratings streamed through `observe()` for online updates, in global
+    /// arrival order.
+    pub online: Vec<Rating>,
+    /// Held-out ratings for error measurement.
+    pub heldout: Vec<Rating>,
+}
+
+impl LifecycleSplit {
+    /// Total ratings across the three parts.
+    pub fn total(&self) -> usize {
+        self.offline.len() + self.online.len() + self.heldout.len()
+    }
+}
+
+/// Splits a dataset per user: first `offline_frac` of each user's ratings
+/// (chronological) → offline; next `online_frac` of the remainder → online;
+/// rest → held-out. Each output is globally re-sorted by timestamp so the
+/// online part can be replayed as an arrival stream.
+///
+/// Fractions must lie in `[0, 1]`. Users with too few ratings contribute
+/// what they have (rounding per user, minimum one offline rating per user
+/// when the user has any, so every user has a warm-start model).
+pub fn three_way_split(
+    dataset: &RatingsDataset,
+    offline_frac: f64,
+    online_frac: f64,
+) -> LifecycleSplit {
+    assert!((0.0..=1.0).contains(&offline_frac), "offline_frac out of range");
+    assert!((0.0..=1.0).contains(&online_frac), "online_frac out of range");
+    let mut offline = Vec::new();
+    let mut online = Vec::new();
+    let mut heldout = Vec::new();
+    for group in dataset.by_user() {
+        let n = group.len();
+        if n == 0 {
+            continue;
+        }
+        let n_offline = ((n as f64 * offline_frac).round() as usize).clamp(1.min(n), n);
+        let rest = n - n_offline;
+        let n_online = (rest as f64 * online_frac).round() as usize;
+        for (i, r) in group.into_iter().enumerate() {
+            if i < n_offline {
+                offline.push(r.clone());
+            } else if i < n_offline + n_online {
+                online.push(r.clone());
+            } else {
+                heldout.push(r.clone());
+            }
+        }
+    }
+    offline.sort_by_key(|r| r.timestamp);
+    online.sort_by_key(|r| r.timestamp);
+    heldout.sort_by_key(|r| r.timestamp);
+    LifecycleSplit { offline, online, heldout }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratings::SyntheticConfig;
+
+    fn dataset() -> RatingsDataset {
+        RatingsDataset::generate(SyntheticConfig {
+            n_users: 40,
+            n_items: 100,
+            rank: 4,
+            ratings_per_user: 20,
+            seed: 5,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn partitions_everything_exactly_once() {
+        let ds = dataset();
+        let split = three_way_split(&ds, 0.5, 0.7);
+        assert_eq!(split.total(), ds.len());
+        let mut all: Vec<u64> = split
+            .offline
+            .iter()
+            .chain(&split.online)
+            .chain(&split.heldout)
+            .map(|r| r.timestamp)
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), ds.len(), "no rating lost or duplicated");
+    }
+
+    #[test]
+    fn paper_fractions() {
+        let ds = dataset();
+        let split = three_way_split(&ds, 0.5, 0.7);
+        // 20 per user → 10 offline, 7 online, 3 held out.
+        assert_eq!(split.offline.len(), 40 * 10);
+        assert_eq!(split.online.len(), 40 * 7);
+        assert_eq!(split.heldout.len(), 40 * 3);
+    }
+
+    #[test]
+    fn per_user_chronology_respected() {
+        let ds = dataset();
+        let split = three_way_split(&ds, 0.5, 0.7);
+        // For each user, every offline timestamp < every online timestamp
+        // < every heldout timestamp.
+        for uid in 0..40u64 {
+            let max_off = split.offline.iter().filter(|r| r.uid == uid).map(|r| r.timestamp).max();
+            let min_on = split.online.iter().filter(|r| r.uid == uid).map(|r| r.timestamp).min();
+            let max_on = split.online.iter().filter(|r| r.uid == uid).map(|r| r.timestamp).max();
+            let min_held =
+                split.heldout.iter().filter(|r| r.uid == uid).map(|r| r.timestamp).min();
+            if let (Some(a), Some(b)) = (max_off, min_on) {
+                assert!(a < b, "user {uid}: offline after online");
+            }
+            if let (Some(a), Some(b)) = (max_on, min_held) {
+                assert!(a < b, "user {uid}: online after heldout");
+            }
+        }
+    }
+
+    #[test]
+    fn outputs_are_globally_time_sorted() {
+        let ds = dataset();
+        let split = three_way_split(&ds, 0.5, 0.7);
+        for part in [&split.offline, &split.online, &split.heldout] {
+            for w in part.windows(2) {
+                assert!(w[0].timestamp < w[1].timestamp);
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let ds = dataset();
+        let all_offline = three_way_split(&ds, 1.0, 0.5);
+        assert_eq!(all_offline.offline.len(), ds.len());
+        assert!(all_offline.online.is_empty());
+        assert!(all_offline.heldout.is_empty());
+
+        let no_online = three_way_split(&ds, 0.5, 0.0);
+        assert!(no_online.online.is_empty());
+        assert_eq!(no_online.offline.len() + no_online.heldout.len(), ds.len());
+
+        // offline_frac 0 still keeps ≥1 offline rating per user (warm start).
+        let min_offline = three_way_split(&ds, 0.0, 1.0);
+        assert_eq!(min_offline.offline.len(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_fraction() {
+        let ds = dataset();
+        let _ = three_way_split(&ds, 1.5, 0.5);
+    }
+}

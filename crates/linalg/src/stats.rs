@@ -1,0 +1,294 @@
+//! Scalar statistics shared by model evaluation and the bench harnesses.
+//!
+//! The paper reports averages with 95% confidence intervals (Figure 3) and
+//! measures model quality as prediction error on held-out ratings (§4.2).
+//! This module provides those primitives: running mean/variance (Welford),
+//! confidence intervals, RMSE/MAE, and simple percentile summaries for
+//! latency distributions.
+
+/// A running mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for long streams; used for per-user error aggregates
+/// in the model manager and for latency series in the bench harness.
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Folds in one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample seen (NaN-free streams only); +inf when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample seen; -inf when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Half-width of the 95% confidence interval for the mean, using the
+    /// normal approximation (`1.96 · s/√n`). This matches how the paper's
+    /// Figure 3 error bars are described (95% CIs over 5000 updates).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        1.96 * self.std_dev() / (self.n as f64).sqrt()
+    }
+
+    /// Merges another accumulator into this one (parallel reduction), using
+    /// Chan's pairwise-merge formulas.
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Root-mean-square error between predictions and targets.
+///
+/// Returns `None` when the slices are empty or of different lengths.
+pub fn rmse(predictions: &[f64], targets: &[f64]) -> Option<f64> {
+    if predictions.is_empty() || predictions.len() != targets.len() {
+        return None;
+    }
+    let sse: f64 = predictions.iter().zip(targets).map(|(p, t)| (p - t) * (p - t)).sum();
+    Some((sse / predictions.len() as f64).sqrt())
+}
+
+/// Mean absolute error between predictions and targets.
+///
+/// Returns `None` when the slices are empty or of different lengths.
+pub fn mae(predictions: &[f64], targets: &[f64]) -> Option<f64> {
+    if predictions.is_empty() || predictions.len() != targets.len() {
+        return None;
+    }
+    let sae: f64 = predictions.iter().zip(targets).map(|(p, t)| (p - t).abs()).sum();
+    Some(sae / predictions.len() as f64)
+}
+
+/// The `q`-th percentile (0.0–1.0) of a sample, by linear interpolation on
+/// the sorted data. Returns `None` on an empty slice or out-of-range `q`.
+pub fn percentile(samples: &[f64], q: f64) -> Option<f64> {
+    if samples.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// A latency summary (mean, CI, p50/p99, min/max) for one bench
+/// configuration, pre-formatted the way the harness binaries print rows.
+#[derive(Debug, Clone)]
+pub struct LatencySummary {
+    /// Mean in the caller's unit (the harnesses use microseconds).
+    pub mean: f64,
+    /// 95% CI half-width around the mean.
+    pub ci95: f64,
+    /// Median.
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl LatencySummary {
+    /// Summarizes a sample set. Returns `None` when empty.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut rs = RunningStats::new();
+        for &s in samples {
+            rs.push(s);
+        }
+        Some(LatencySummary {
+            mean: rs.mean(),
+            ci95: rs.ci95_half_width(),
+            p50: percentile(samples, 0.5)?,
+            p99: percentile(samples, 0.99)?,
+            min: rs.min(),
+            max: rs.max(),
+            n: samples.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_basics() {
+        let mut rs = RunningStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            rs.push(x);
+        }
+        assert_eq!(rs.count(), 8);
+        assert!((rs.mean() - 5.0).abs() < 1e-12);
+        // Known population: sample variance = 32/7.
+        assert!((rs.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(rs.min(), 2.0);
+        assert_eq!(rs.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let rs = RunningStats::new();
+        assert_eq!(rs.mean(), 0.0);
+        assert_eq!(rs.variance(), 0.0);
+        assert_eq!(rs.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_sqrt_n() {
+        let mut small = RunningStats::new();
+        let mut big = RunningStats::new();
+        // Same alternating data, 4x the samples → CI halves.
+        for i in 0..100 {
+            small.push((i % 2) as f64);
+        }
+        for i in 0..400 {
+            big.push((i % 2) as f64);
+        }
+        let ratio = small.ci95_half_width() / big.ci95_half_width();
+        assert!((ratio - 2.0).abs() < 0.01, "ratio={ratio}");
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let data: Vec<f64> = (0..57).map(|i| (i as f64) * 0.37 - 3.0).collect();
+        let mut all = RunningStats::new();
+        for &x in &data {
+            all.push(x);
+        }
+        let (left, right) = data.split_at(20);
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in left {
+            a.push(x);
+        }
+        for &x in right {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-10);
+        // Merging an empty accumulator is a no-op.
+        let before = a.mean();
+        a.merge(&RunningStats::new());
+        assert_eq!(a.mean(), before);
+    }
+
+    #[test]
+    fn rmse_and_mae() {
+        let p = [1.0, 2.0, 3.0];
+        let t = [1.0, 2.0, 5.0];
+        assert!((rmse(&p, &t).unwrap() - (4.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((mae(&p, &t).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(rmse(&p, &t[..2]).is_none());
+        assert!(rmse(&[], &[]).is_none());
+        // Perfect prediction.
+        assert_eq!(rmse(&p, &p).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let data = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&data, 0.0).unwrap(), 1.0);
+        assert_eq!(percentile(&data, 0.5).unwrap(), 3.0);
+        assert_eq!(percentile(&data, 1.0).unwrap(), 5.0);
+        // Interpolation: 25th percentile of 1..5 = 2.0
+        assert_eq!(percentile(&data, 0.25).unwrap(), 2.0);
+        assert!(percentile(&[], 0.5).is_none());
+        assert!(percentile(&data, 1.5).is_none());
+    }
+
+    #[test]
+    fn latency_summary() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencySummary::from_samples(&samples).unwrap();
+        assert_eq!(s.n, 100);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.p50 - 50.5).abs() < 1e-9);
+        assert!(s.p99 > 98.0);
+        assert!(LatencySummary::from_samples(&[]).is_none());
+    }
+}

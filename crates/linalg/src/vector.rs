@@ -1,0 +1,347 @@
+//! Dense `f64` vectors and BLAS-1 style kernels.
+//!
+//! [`Vector`] is a thin, transparent wrapper over `Vec<f64>`; it exists so
+//! that linear-algebra intent is visible in signatures across the workspace
+//! (user weights, feature vectors, latent factors are all `Vector`s) and so
+//! the hot kernels (`dot`, `axpy`) live in one place for optimization.
+
+use crate::{LinalgError, Result};
+
+/// A dense, heap-allocated `f64` vector.
+///
+/// Cloning is O(n); the serving path avoids clones by borrowing. All
+/// arithmetic helpers check dimensions and return [`LinalgError`] rather
+/// than panicking, because in Velox these vectors are driven by external
+/// request data.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Vector {
+    data: Vec<f64>,
+}
+
+impl Vector {
+    /// Creates a vector from raw data.
+    pub fn from_vec(data: Vec<f64>) -> Self {
+        Vector { data }
+    }
+
+    /// Creates a zero vector of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        Vector { data: vec![0.0; n] }
+    }
+
+    /// Creates a vector of length `n` with every element set to `value`.
+    pub fn filled(n: usize, value: f64) -> Self {
+        Vector { data: vec![value; n] }
+    }
+
+    /// Creates a standard-basis vector `e_i` of length `n`.
+    ///
+    /// Returns an error if `i >= n`.
+    pub fn basis(n: usize, i: usize) -> Result<Self> {
+        if i >= n {
+            return Err(LinalgError::DimensionMismatch { op: "basis", expected: n, actual: i });
+        }
+        let mut v = Self::zeros(n);
+        v.data[i] = 1.0;
+        Ok(v)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the vector has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector, returning the underlying storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Element access (panics on out-of-bounds, like slice indexing).
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        self.data[i]
+    }
+
+    /// Element assignment (panics on out-of-bounds).
+    #[inline]
+    pub fn set(&mut self, i: usize, v: f64) {
+        self.data[i] = v;
+    }
+
+    /// Dot product `self · other`.
+    #[inline]
+    pub fn dot(&self, other: &Vector) -> Result<f64> {
+        if self.len() != other.len() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "dot",
+                expected: self.len(),
+                actual: other.len(),
+            });
+        }
+        Ok(dot_slices(&self.data, &other.data))
+    }
+
+    /// `self += alpha * x` (the BLAS `axpy` kernel).
+    pub fn axpy(&mut self, alpha: f64, x: &Vector) -> Result<()> {
+        if self.len() != x.len() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "axpy",
+                expected: self.len(),
+                actual: x.len(),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(x.data.iter()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Scales every element in place.
+    pub fn scale(&mut self, alpha: f64) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Returns `self + other` as a new vector.
+    pub fn add(&self, other: &Vector) -> Result<Vector> {
+        let mut out = self.clone();
+        out.axpy(1.0, other)?;
+        Ok(out)
+    }
+
+    /// Returns `self - other` as a new vector.
+    pub fn sub(&self, other: &Vector) -> Result<Vector> {
+        let mut out = self.clone();
+        out.axpy(-1.0, other)?;
+        Ok(out)
+    }
+
+    /// Euclidean (L2) norm.
+    pub fn norm2(&self) -> f64 {
+        dot_slices(&self.data, &self.data).sqrt()
+    }
+
+    /// Squared Euclidean norm — cheaper than `norm2` when the root is not
+    /// needed (e.g. regularization terms `||w||²`).
+    pub fn norm2_squared(&self) -> f64 {
+        dot_slices(&self.data, &self.data)
+    }
+
+    /// L1 norm (sum of absolute values).
+    pub fn norm1(&self) -> f64 {
+        self.data.iter().map(|x| x.abs()).sum()
+    }
+
+    /// Arithmetic mean of the elements. Errors on an empty vector.
+    pub fn mean(&self) -> Result<f64> {
+        if self.is_empty() {
+            return Err(LinalgError::Empty { op: "mean" });
+        }
+        Ok(self.data.iter().sum::<f64>() / self.data.len() as f64)
+    }
+
+    /// True when all elements are finite (no NaN / ±inf).
+    ///
+    /// Online updates divide by data-dependent quantities; the model manager
+    /// uses this as a guard before publishing an updated user weight vector.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Index and value of the maximum element. Errors on an empty vector.
+    pub fn argmax(&self) -> Result<(usize, f64)> {
+        if self.is_empty() {
+            return Err(LinalgError::Empty { op: "argmax" });
+        }
+        let mut best = (0usize, self.data[0]);
+        for (i, &v) in self.data.iter().enumerate().skip(1) {
+            if v > best.1 {
+                best = (i, v);
+            }
+        }
+        Ok(best)
+    }
+
+    /// Iterator over elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.data.iter()
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(v: Vec<f64>) -> Self {
+        Vector::from_vec(v)
+    }
+}
+
+impl From<&[f64]> for Vector {
+    fn from(v: &[f64]) -> Self {
+        Vector::from_vec(v.to_vec())
+    }
+}
+
+impl std::ops::Index<usize> for Vector {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl std::ops::IndexMut<usize> for Vector {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+/// Unchecked slice dot product — the hot kernel behind both `Vector::dot`
+/// and all matrix products. Manually unrolled four-wide: with `f64` adds
+/// being non-associative the compiler will not vectorize a naive reduction
+/// loop on its own, and this kernel dominates serving latency (every
+/// prediction in Velox is at least one `d`-dimensional dot product).
+#[inline]
+pub fn dot_slices(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let chunks = n / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for i in 0..chunks {
+        let k = i * 4;
+        s0 += a[k] * b[k];
+        s1 += a[k + 1] * b[k + 1];
+        s2 += a[k + 2] * b[k + 2];
+        s3 += a[k + 3] * b[k + 3];
+    }
+    let mut tail = 0.0;
+    for k in (chunks * 4)..n {
+        tail += a[k] * b[k];
+    }
+    (s0 + s1) + (s2 + s3) + tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_len() {
+        let v = Vector::zeros(5);
+        assert_eq!(v.len(), 5);
+        assert!(v.iter().all(|&x| x == 0.0));
+        assert!(!v.is_empty());
+        assert!(Vector::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn basis_vector() {
+        let e2 = Vector::basis(4, 2).unwrap();
+        assert_eq!(e2.as_slice(), &[0.0, 0.0, 1.0, 0.0]);
+        assert!(Vector::basis(4, 4).is_err());
+    }
+
+    #[test]
+    fn dot_product_matches_manual() {
+        let a = Vector::from_vec(vec![1.0, 2.0, 3.0]);
+        let b = Vector::from_vec(vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.dot(&b).unwrap(), 32.0);
+    }
+
+    #[test]
+    fn dot_dimension_mismatch() {
+        let a = Vector::zeros(3);
+        let b = Vector::zeros(4);
+        assert!(matches!(a.dot(&b), Err(LinalgError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn dot_unrolled_matches_naive_on_odd_lengths() {
+        for n in 0..13 {
+            let a: Vec<f64> = (0..n).map(|i| i as f64 + 0.5).collect();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64) * 0.25 - 1.0).collect();
+            let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!((dot_slices(&a, &b) - naive).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut a = Vector::from_vec(vec![1.0, 1.0]);
+        let x = Vector::from_vec(vec![2.0, 3.0]);
+        a.axpy(0.5, &x).unwrap();
+        assert_eq!(a.as_slice(), &[2.0, 2.5]);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Vector::from_vec(vec![1.0, -2.0, 3.0]);
+        let b = Vector::from_vec(vec![0.5, 0.5, 0.5]);
+        let sum = a.add(&b).unwrap();
+        let back = sum.sub(&b).unwrap();
+        for i in 0..3 {
+            assert!((back[i] - a[i]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn norms() {
+        let v = Vector::from_vec(vec![3.0, 4.0]);
+        assert_eq!(v.norm2(), 5.0);
+        assert_eq!(v.norm2_squared(), 25.0);
+        assert_eq!(v.norm1(), 7.0);
+    }
+
+    #[test]
+    fn mean_and_empty() {
+        let v = Vector::from_vec(vec![1.0, 2.0, 3.0]);
+        assert_eq!(v.mean().unwrap(), 2.0);
+        assert!(Vector::zeros(0).mean().is_err());
+    }
+
+    #[test]
+    fn argmax_finds_peak() {
+        let v = Vector::from_vec(vec![1.0, 9.0, 3.0, 9.0]);
+        // First maximal element wins.
+        assert_eq!(v.argmax().unwrap(), (1, 9.0));
+        assert!(Vector::zeros(0).argmax().is_err());
+    }
+
+    #[test]
+    fn is_finite_detects_nan_and_inf() {
+        assert!(Vector::from_vec(vec![1.0, 2.0]).is_finite());
+        assert!(!Vector::from_vec(vec![1.0, f64::NAN]).is_finite());
+        assert!(!Vector::from_vec(vec![f64::INFINITY]).is_finite());
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut v = Vector::from_vec(vec![1.0, -2.0]);
+        v.scale(-3.0);
+        assert_eq!(v.as_slice(), &[-3.0, 6.0]);
+    }
+
+    #[test]
+    fn indexing() {
+        let mut v = Vector::zeros(3);
+        v[1] = 7.0;
+        assert_eq!(v[1], 7.0);
+        v.set(2, 8.0);
+        assert_eq!(v.get(2), 8.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the linear-algebra substrate.
+//!
+//! These check the algebraic identities the rest of Velox relies on:
+//! Cholesky solves actually solve, Sherman–Morrison tracks the naive normal
+//! equations, Gram matrices are consistent with explicit products, and the
+//! statistics accumulators match closed-form computation.
+
+use proptest::prelude::*;
+use velox_linalg::stats::RunningStats;
+use velox_linalg::{ridge_fit, Cholesky, IncrementalRidge, Matrix, Vector};
+use velox_linalg::ridge::RidgeProblem;
+
+/// Strategy: a small vector of bounded finite floats.
+fn vec_of(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0f64..10.0, len..=len)
+}
+
+/// Strategy: (dimension, rows of a design matrix, targets).
+fn design() -> impl Strategy<Value = (usize, Vec<Vec<f64>>, Vec<f64>)> {
+    (2usize..6).prop_flat_map(|d| {
+        (1usize..12).prop_flat_map(move |n| {
+            (
+                Just(d),
+                prop::collection::vec(vec_of(d), n..=n),
+                prop::collection::vec(-5.0f64..5.0, n..=n),
+            )
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// dot is commutative and bilinear in scaling.
+    #[test]
+    fn dot_commutative((a, b) in (2usize..12).prop_flat_map(|n| (vec_of(n), vec_of(n)))) {
+        let va = Vector::from_vec(a);
+        let vb = Vector::from_vec(b);
+        let ab = va.dot(&vb).unwrap();
+        let ba = vb.dot(&va).unwrap();
+        prop_assert!((ab - ba).abs() <= 1e-9 * (1.0 + ab.abs()));
+    }
+
+    /// ||a+b|| <= ||a|| + ||b|| (triangle inequality).
+    #[test]
+    fn triangle_inequality((a, b) in (2usize..12).prop_flat_map(|n| (vec_of(n), vec_of(n)))) {
+        let va = Vector::from_vec(a);
+        let vb = Vector::from_vec(b);
+        let sum = va.add(&vb).unwrap();
+        prop_assert!(sum.norm2() <= va.norm2() + vb.norm2() + 1e-9);
+    }
+
+    /// (Aᵀ)ᵀ = A and gram(A) = AᵀA for random matrices.
+    #[test]
+    fn transpose_and_gram((rows, cols, data) in (1usize..6, 1usize..6)
+        .prop_flat_map(|(r, c)| (Just(r), Just(c), vec_of(r * c)))) {
+        let a = Matrix::from_row_major(rows, cols, data).unwrap();
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        let g = a.gram();
+        let explicit = a.transpose().matmul(&a).unwrap();
+        prop_assert!(g.max_abs_diff(&explicit).unwrap() < 1e-9);
+        prop_assert!(g.is_symmetric(1e-12));
+    }
+
+    /// Cholesky of G + λI solves the system it factored.
+    #[test]
+    fn cholesky_solves((d, rows, _y) in design(), lambda in 0.1f64..5.0) {
+        let vrows: Vec<Vector> = rows.into_iter().map(Vector::from_vec).collect();
+        let x = Matrix::from_rows(&vrows).unwrap();
+        let mut a = x.gram();
+        a.add_scaled_identity(lambda).unwrap();
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = Vector::from_vec((0..d).map(|i| (i as f64) - 1.0).collect());
+        let sol = ch.solve(&b).unwrap();
+        let residual = a.matvec(&sol).unwrap().sub(&b).unwrap().norm2();
+        prop_assert!(residual < 1e-6, "residual {residual}");
+    }
+
+    /// The incremental (Sherman–Morrison) solution matches the naive batch
+    /// normal-equations solution after any observation stream.
+    #[test]
+    fn sherman_morrison_matches_batch((d, rows, ys) in design(), lambda in 0.1f64..5.0) {
+        let mut inc = IncrementalRidge::new(d, lambda);
+        let mut naive = RidgeProblem::new(d, lambda);
+        for (r, &y) in rows.iter().zip(&ys) {
+            let x = Vector::from_vec(r.clone());
+            inc.observe(&x, y).unwrap();
+            naive.observe(&x, y).unwrap();
+        }
+        let w_batch = naive.solve().unwrap();
+        let diff = inc.weights().sub(&w_batch).unwrap().norm2();
+        prop_assert!(diff < 1e-6, "diff {diff}");
+    }
+
+    /// ridge_fit residual is optimal: perturbing the solution never reduces
+    /// the regularized loss.
+    #[test]
+    fn ridge_is_a_minimum((d, rows, ys) in design(), lambda in 0.1f64..5.0) {
+        let vrows: Vec<Vector> = rows.into_iter().map(Vector::from_vec).collect();
+        let x = Matrix::from_rows(&vrows).unwrap();
+        let y = Vector::from_vec(ys);
+        let w = ridge_fit(&x, &y, lambda).unwrap();
+        let loss = |w: &Vector| -> f64 {
+            let r = x.matvec(w).unwrap().sub(&y).unwrap();
+            r.norm2_squared() + lambda * w.norm2_squared()
+        };
+        let base = loss(&w);
+        for i in 0..d {
+            for delta in [-1e-3, 1e-3] {
+                let mut wp = w.clone();
+                wp[i] += delta;
+                prop_assert!(loss(&wp) >= base - 1e-9);
+            }
+        }
+    }
+
+    /// Variance of any direction shrinks (weakly) as observations arrive.
+    #[test]
+    fn posterior_variance_monotone((d, rows, ys) in design(), probe in vec_of(8)) {
+        let mut inc = IncrementalRidge::new(d, 1.0);
+        let probe = Vector::from_vec(probe[..d].to_vec());
+        let mut last = inc.variance(&probe).unwrap();
+        for (r, &y) in rows.iter().zip(&ys) {
+            inc.observe(&Vector::from_vec(r.clone()), y).unwrap();
+            let v = inc.variance(&probe).unwrap();
+            prop_assert!(v <= last + 1e-9, "variance grew: {last} -> {v}");
+            prop_assert!(v >= -1e-12);
+            last = v;
+        }
+    }
+
+    /// RunningStats merge is order-independent (associativity of merge).
+    #[test]
+    fn stats_merge_associative(data in prop::collection::vec(-100.0f64..100.0, 3..40),
+                               split in 1usize..38) {
+        let split = split.min(data.len() - 1);
+        let mut all = RunningStats::new();
+        for &x in &data { all.push(x); }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &data[..split] { a.push(x); }
+        for &x in &data[split..] { b.push(x); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), all.count());
+        prop_assert!((a.mean() - all.mean()).abs() < 1e-9);
+        prop_assert!((a.variance() - all.variance()).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,194 @@
+//! The model registry: uploaded `VeloxModel`s by name, with versions.
+//!
+//! Velox is multi-model ("an advertising service may run a series of ad
+//! campaigns, each with separate models", §2). The registry stores each
+//! named model behind an `Arc`, assigns a monotonically increasing version
+//! on every upload or retrain-swap, and retains superseded versions for
+//! rollback — the manager's "version histories, enabling ... simple
+//! rollbacks" requirement.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::VeloxModel;
+
+/// A registered model with its version.
+#[derive(Clone)]
+pub struct RegisteredModel {
+    /// The model object.
+    pub model: Arc<dyn VeloxModel>,
+    /// System-assigned version, starting at 1 and bumped on every swap.
+    pub version: u64,
+}
+
+/// How many superseded versions of each model are retained.
+const HISTORY_PER_MODEL: usize = 4;
+
+struct ModelSlot {
+    current: RegisteredModel,
+    history: Vec<RegisteredModel>,
+    next_version: u64,
+}
+
+/// Thread-safe registry of named models.
+#[derive(Default)]
+pub struct ModelRegistry {
+    slots: RwLock<HashMap<String, ModelSlot>>,
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Uploads a model under its own name. If the name exists, the model is
+    /// swapped in as a new version (the previous version goes to history).
+    /// Returns the assigned version.
+    pub fn upload(&self, model: Arc<dyn VeloxModel>) -> u64 {
+        let name = model.name().to_string();
+        let mut slots = self.slots.write();
+        match slots.get_mut(&name) {
+            Some(slot) => {
+                let version = slot.next_version;
+                slot.next_version += 1;
+                let old = std::mem::replace(
+                    &mut slot.current,
+                    RegisteredModel { model, version },
+                );
+                slot.history.push(old);
+                if slot.history.len() > HISTORY_PER_MODEL {
+                    slot.history.remove(0);
+                }
+                version
+            }
+            None => {
+                slots.insert(
+                    name,
+                    ModelSlot {
+                        current: RegisteredModel { model, version: 1 },
+                        history: Vec::new(),
+                        next_version: 2,
+                    },
+                );
+                1
+            }
+        }
+    }
+
+    /// The current version of a named model.
+    pub fn get(&self, name: &str) -> Option<RegisteredModel> {
+        self.slots.read().get(name).map(|s| s.current.clone())
+    }
+
+    /// Rolls a model back to a retained prior `version`; the restored model
+    /// is re-published under a fresh version number. Returns the new
+    /// `RegisteredModel`, or `None` when the name or version is unknown.
+    pub fn rollback(&self, name: &str, version: u64) -> Option<RegisteredModel> {
+        let mut slots = self.slots.write();
+        let slot = slots.get_mut(name)?;
+        let pos = slot.history.iter().position(|m| m.version == version)?;
+        let restored = slot.history.remove(pos);
+        let new_version = slot.next_version;
+        slot.next_version += 1;
+        let old = std::mem::replace(
+            &mut slot.current,
+            RegisteredModel { model: restored.model, version: new_version },
+        );
+        slot.history.push(old);
+        if slot.history.len() > HISTORY_PER_MODEL {
+            slot.history.remove(0);
+        }
+        Some(slot.current.clone())
+    }
+
+    /// Versions available for rollback of a model, oldest first.
+    pub fn history_versions(&self, name: &str) -> Vec<u64> {
+        self.slots
+            .read()
+            .get(name)
+            .map(|s| s.history.iter().map(|m| m.version).collect())
+            .unwrap_or_default()
+    }
+
+    /// Names of all registered models, unordered.
+    pub fn model_names(&self) -> Vec<String> {
+        self.slots.read().keys().cloned().collect()
+    }
+
+    /// Removes a model and its history. Returns whether it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.slots.write().remove(name).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::IdentityModel;
+
+    fn model(name: &str, dim: usize) -> Arc<dyn VeloxModel> {
+        Arc::new(IdentityModel::new(name, dim, 0.1))
+    }
+
+    #[test]
+    fn upload_and_get() {
+        let reg = ModelRegistry::new();
+        assert!(reg.get("m").is_none());
+        let v = reg.upload(model("m", 3));
+        assert_eq!(v, 1);
+        let got = reg.get("m").unwrap();
+        assert_eq!(got.version, 1);
+        assert_eq!(got.model.dim(), 3);
+    }
+
+    #[test]
+    fn reupload_bumps_version_and_keeps_history() {
+        let reg = ModelRegistry::new();
+        reg.upload(model("m", 3));
+        let v2 = reg.upload(model("m", 4));
+        assert_eq!(v2, 2);
+        assert_eq!(reg.get("m").unwrap().model.dim(), 4);
+        assert_eq!(reg.history_versions("m"), vec![1]);
+    }
+
+    #[test]
+    fn rollback_restores_old_model_under_new_version() {
+        let reg = ModelRegistry::new();
+        reg.upload(model("m", 3)); // v1
+        reg.upload(model("m", 4)); // v2
+        let restored = reg.rollback("m", 1).unwrap();
+        assert_eq!(restored.version, 3, "rollback publishes a fresh version");
+        assert_eq!(restored.model.dim(), 3, "old parameters restored");
+        // v2 is now in history and can itself be rolled back to.
+        assert!(reg.history_versions("m").contains(&2));
+        assert!(reg.rollback("m", 99).is_none());
+        assert!(reg.rollback("nope", 1).is_none());
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let reg = ModelRegistry::new();
+        for i in 0..10 {
+            reg.upload(model("m", i + 1));
+        }
+        assert!(reg.history_versions("m").len() <= HISTORY_PER_MODEL);
+        assert_eq!(reg.get("m").unwrap().version, 10);
+    }
+
+    #[test]
+    fn multiple_models_coexist() {
+        let reg = ModelRegistry::new();
+        reg.upload(model("ads", 5));
+        reg.upload(model("songs", 7));
+        let mut names = reg.model_names();
+        names.sort();
+        assert_eq!(names, vec!["ads", "songs"]);
+        assert_eq!(reg.get("ads").unwrap().model.dim(), 5);
+        assert_eq!(reg.get("songs").unwrap().model.dim(), 7);
+        assert!(reg.remove("ads"));
+        assert!(reg.get("ads").is_none());
+        assert!(!reg.remove("ads"));
+    }
+}

@@ -1,0 +1,344 @@
+//! Model evaluation: error aggregates, prequential cross-validation, and
+//! staleness detection (§4.3 and §6 of the paper).
+//!
+//! "To assess model performance, Velox applies several strategies. First,
+//! Velox maintains running per-user aggregates of errors associated with
+//! each model. Second, Velox runs an additional cross-validation step
+//! during incremental user weight updates to assess generalization
+//! performance. ... When the error rate on any of these metrics exceeds a
+//! pre-configured threshold, the model is retrained offline."
+
+use std::collections::HashMap;
+
+use velox_linalg::stats::RunningStats;
+
+/// Running per-user error aggregates, plus a global aggregate.
+#[derive(Debug, Default)]
+pub struct PerUserErrorTracker {
+    per_user: HashMap<u64, RunningStats>,
+    global: RunningStats,
+}
+
+impl PerUserErrorTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a loss value for a user.
+    pub fn record(&mut self, uid: u64, loss: f64) {
+        self.per_user.entry(uid).or_default().push(loss);
+        self.global.push(loss);
+    }
+
+    /// The user's mean loss, if any observations were recorded.
+    pub fn user_mean(&self, uid: u64) -> Option<f64> {
+        self.per_user.get(&uid).map(RunningStats::mean)
+    }
+
+    /// Number of losses recorded for the user.
+    pub fn user_count(&self, uid: u64) -> u64 {
+        self.per_user.get(&uid).map(RunningStats::count).unwrap_or(0)
+    }
+
+    /// Global mean loss across all users (0.0 when empty).
+    pub fn global_mean(&self) -> f64 {
+        self.global.mean()
+    }
+
+    /// Total recorded losses.
+    pub fn total_count(&self) -> u64 {
+        self.global.count()
+    }
+
+    /// Users whose mean loss exceeds `multiple` × the global mean, with at
+    /// least `min_obs` recorded losses — the administrator's "which users
+    /// is the model failing?" diagnostic.
+    pub fn underperforming_users(&self, multiple: f64, min_obs: u64) -> Vec<u64> {
+        let global = self.global_mean();
+        let mut out: Vec<u64> = self
+            .per_user
+            .iter()
+            .filter(|(_, s)| s.count() >= min_obs && s.mean() > multiple * global)
+            .map(|(uid, _)| *uid)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Clears everything (after a retrain establishes a new baseline).
+    pub fn reset(&mut self) {
+        self.per_user.clear();
+        self.global = RunningStats::new();
+    }
+}
+
+/// Prequential ("predict, then maybe train") cross-validation.
+///
+/// Every `holdout_every`-th observation per stream is *held out*: its
+/// prediction error is recorded as an unbiased generalization estimate, and
+/// the caller is told not to train on it. All other observations are
+/// recorded as (optimistically biased) training-stream error.
+#[derive(Debug)]
+pub struct PrequentialEvaluator {
+    holdout_every: u64,
+    counter: u64,
+    heldout: RunningStats,
+    trained: RunningStats,
+}
+
+impl PrequentialEvaluator {
+    /// Creates an evaluator holding out every `holdout_every`-th
+    /// observation (0 disables holdout entirely).
+    pub fn new(holdout_every: u64) -> Self {
+        PrequentialEvaluator {
+            holdout_every,
+            counter: 0,
+            heldout: RunningStats::new(),
+            trained: RunningStats::new(),
+        }
+    }
+
+    /// Records a prediction error for the next observation. Returns `true`
+    /// when the observation should be *trained on*, `false` when it is held
+    /// out for validation.
+    pub fn record(&mut self, loss: f64) -> bool {
+        self.counter += 1;
+        if self.holdout_every > 0 && self.counter.is_multiple_of(self.holdout_every) {
+            self.heldout.push(loss);
+            false
+        } else {
+            self.trained.push(loss);
+            true
+        }
+    }
+
+    /// Mean held-out (generalization) loss; `None` before any holdout.
+    pub fn generalization_loss(&self) -> Option<f64> {
+        if self.heldout.count() == 0 {
+            None
+        } else {
+            Some(self.heldout.mean())
+        }
+    }
+
+    /// Mean loss over trained-on observations.
+    pub fn training_loss(&self) -> f64 {
+        self.trained.mean()
+    }
+
+    /// `(heldout, trained)` observation counts.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.heldout.count(), self.trained.count())
+    }
+}
+
+/// Detects model staleness from the loss stream.
+///
+/// Two exponentially-weighted moving averages track the loss at different
+/// horizons; the model is stale when the fast average exceeds the slow one
+/// by more than `threshold` (relative), after a warmup. This is the §6
+/// trigger — "if the loss starts to increase faster than a threshold value,
+/// the model is detected as stale" — made robust to noise: a single bad
+/// prediction moves the fast EWMA a little, only a sustained shift crosses
+/// the threshold.
+#[derive(Debug, Clone)]
+pub struct StalenessDetector {
+    slow: f64,
+    fast: f64,
+    slow_alpha: f64,
+    fast_alpha: f64,
+    n: u64,
+    warmup: u64,
+    threshold: f64,
+}
+
+impl StalenessDetector {
+    /// Creates a detector. `threshold` is the relative excess of recent
+    /// loss over baseline loss that triggers (e.g. `0.5` = recent loss 50%
+    /// above baseline); `warmup` is the number of observations before the
+    /// detector may fire.
+    pub fn new(threshold: f64, warmup: u64) -> Self {
+        assert!(threshold > 0.0);
+        StalenessDetector {
+            slow: 0.0,
+            fast: 0.0,
+            slow_alpha: 0.005,
+            fast_alpha: 0.08,
+            n: 0,
+            warmup,
+            threshold,
+        }
+    }
+
+    /// Feeds one loss; returns `true` when the model is now stale.
+    pub fn push(&mut self, loss: f64) -> bool {
+        self.n += 1;
+        if self.n == 1 {
+            self.slow = loss;
+            self.fast = loss;
+            return false;
+        }
+        self.slow += self.slow_alpha * (loss - self.slow);
+        self.fast += self.fast_alpha * (loss - self.fast);
+        self.is_stale()
+    }
+
+    /// Whether the current state is past the threshold (without feeding a
+    /// new sample).
+    pub fn is_stale(&self) -> bool {
+        if self.n < self.warmup {
+            return false;
+        }
+        // Guard tiny baselines: a model with near-zero loss shouldn't
+        // trigger on absolute noise.
+        let baseline = self.slow.max(1e-12);
+        (self.fast - self.slow) / baseline > self.threshold
+    }
+
+    /// Current `(fast, slow)` EWMA values — exposed for dashboards/tests.
+    pub fn ewmas(&self) -> (f64, f64) {
+        (self.fast, self.slow)
+    }
+
+    /// Resets the detector (called after the offline retrain completes and
+    /// a new baseline should form).
+    pub fn reset(&mut self) {
+        self.slow = 0.0;
+        self.fast = 0.0;
+        self.n = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_user_tracking() {
+        let mut t = PerUserErrorTracker::new();
+        t.record(1, 1.0);
+        t.record(1, 3.0);
+        t.record(2, 10.0);
+        assert_eq!(t.user_mean(1), Some(2.0));
+        assert_eq!(t.user_mean(2), Some(10.0));
+        assert_eq!(t.user_mean(3), None);
+        assert_eq!(t.user_count(1), 2);
+        assert!((t.global_mean() - 14.0 / 3.0).abs() < 1e-12);
+        assert_eq!(t.total_count(), 3);
+    }
+
+    #[test]
+    fn underperformers_flagged() {
+        let mut t = PerUserErrorTracker::new();
+        for _ in 0..10 {
+            t.record(1, 1.0);
+            t.record(2, 1.0);
+            t.record(3, 8.0); // 3 is clearly failing
+        }
+        let bad = t.underperforming_users(1.5, 5);
+        assert_eq!(bad, vec![3]);
+        // Minimum-observation filter applies: user 4 has one huge loss but
+        // too few observations to be flagged.
+        t.record(4, 100.0);
+        assert!(!t.underperforming_users(1.5, 5).contains(&4));
+    }
+
+    #[test]
+    fn tracker_reset() {
+        let mut t = PerUserErrorTracker::new();
+        t.record(1, 5.0);
+        t.reset();
+        assert_eq!(t.total_count(), 0);
+        assert_eq!(t.user_mean(1), None);
+    }
+
+    #[test]
+    fn prequential_holds_out_every_kth() {
+        let mut ev = PrequentialEvaluator::new(3);
+        let decisions: Vec<bool> = (0..9).map(|i| ev.record(i as f64)).collect();
+        assert_eq!(
+            decisions,
+            vec![true, true, false, true, true, false, true, true, false]
+        );
+        let (held, trained) = ev.counts();
+        assert_eq!((held, trained), (3, 6));
+        // Held-out losses were 2, 5, 8 → mean 5.
+        assert_eq!(ev.generalization_loss(), Some(5.0));
+        // Trained losses 0,1,3,4,6,7 → mean 3.5.
+        assert!((ev.training_loss() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prequential_disabled() {
+        let mut ev = PrequentialEvaluator::new(0);
+        for i in 0..10 {
+            assert!(ev.record(i as f64), "holdout disabled: always train");
+        }
+        assert_eq!(ev.generalization_loss(), None);
+    }
+
+    #[test]
+    fn staleness_fires_on_sustained_loss_increase() {
+        let mut det = StalenessDetector::new(0.5, 50);
+        // Stable regime: loss ~1.0.
+        for _ in 0..500 {
+            assert!(!det.push(1.0), "must not fire on a flat loss stream");
+        }
+        // Drift: loss jumps to 3.0 and stays.
+        let mut fired_at = None;
+        for i in 0..500 {
+            if det.push(3.0) {
+                fired_at = Some(i);
+                break;
+            }
+        }
+        let fired_at = fired_at.expect("detector must fire on sustained 3x loss");
+        assert!(fired_at < 100, "should fire promptly, fired after {fired_at}");
+    }
+
+    #[test]
+    fn staleness_ignores_isolated_spikes() {
+        let mut det = StalenessDetector::new(0.5, 50);
+        for i in 0..1000 {
+            let loss = if i % 100 == 0 { 10.0 } else { 1.0 };
+            assert!(!det.push(loss), "isolated spikes (1%) must not trigger, i={i}");
+        }
+    }
+
+    #[test]
+    fn staleness_respects_warmup() {
+        let mut det = StalenessDetector::new(0.1, 200);
+        // Immediately bad data, but within warmup.
+        for i in 0..199 {
+            let loss = if i < 10 { 1.0 } else { 100.0 };
+            assert!(!det.push(loss) || i >= 199, "no firing during warmup");
+        }
+    }
+
+    #[test]
+    fn staleness_reset_reestablishes_baseline() {
+        let mut det = StalenessDetector::new(0.5, 10);
+        for _ in 0..100 {
+            det.push(1.0);
+        }
+        for _ in 0..100 {
+            det.push(5.0);
+        }
+        assert!(det.is_stale());
+        det.reset();
+        // New baseline at the higher loss: not stale anymore.
+        for _ in 0..100 {
+            assert!(!det.push(5.0));
+        }
+    }
+
+    #[test]
+    fn ewma_accessors() {
+        let mut det = StalenessDetector::new(1.0, 1);
+        det.push(2.0);
+        let (fast, slow) = det.ewmas();
+        assert_eq!(fast, 2.0);
+        assert_eq!(slow, 2.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! A typed Rust client for the Velox REST API.
+//!
+//! The application tier in the paper consumes Velox over its RESTful
+//! interface; this client gives Rust applications a typed façade over that
+//! wire protocol — same `std::net` + in-crate JSON stack as the server, no
+//! HTTP dependency. One TCP connection per request (the server speaks
+//! `Connection: close`).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// Client-side errors.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The response was not valid HTTP + JSON.
+    Protocol(String),
+    /// The server answered with an error status; the JSON `error` message
+    /// is included.
+    Server {
+        /// HTTP status code.
+        status: u16,
+        /// The server's error message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server { status, message } => {
+                write!(f, "server error {status}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A point-prediction result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientPrediction {
+    /// Predicted score.
+    pub score: f64,
+    /// Served from the prediction cache.
+    pub cached: bool,
+    /// Served from the new-user bootstrap.
+    pub bootstrapped: bool,
+}
+
+/// A topK result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientTopK {
+    /// `(item id, score)` ranked descending.
+    pub ranked: Vec<(u64, f64)>,
+    /// The item the system chose to serve.
+    pub served_item: u64,
+    /// Whether the serve was validation-randomized.
+    pub randomized: bool,
+}
+
+/// An observe acknowledgement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientObserve {
+    /// Prediction before the update.
+    pub predicted_before: f64,
+    /// Loss of that prediction.
+    pub loss: f64,
+    /// Whether the observation was trained on.
+    pub trained: bool,
+}
+
+/// A typed client bound to one Velox REST endpoint and one model name.
+pub struct VeloxClient {
+    addr: SocketAddr,
+    model: String,
+    timeout: Duration,
+}
+
+impl VeloxClient {
+    /// Creates a client for `model` at `addr`.
+    ///
+    /// # Panics
+    /// Panics if `model` contains characters that cannot appear in a URL
+    /// path segment (the client does not implement percent-encoding).
+    pub fn new(addr: SocketAddr, model: impl Into<String>) -> Self {
+        let model = model.into();
+        assert!(
+            !model.is_empty()
+                && model
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.'),
+            "model name must be URL-path-safe ([A-Za-z0-9._-])"
+        );
+        VeloxClient { addr, model, timeout: Duration::from_secs(10) }
+    }
+
+    /// Overrides the per-request socket timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    fn call(&self, method: &str, path: &str, body: &str) -> Result<Json, ClientError> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let mut stream = stream;
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(request.as_bytes())?;
+        let mut response = String::new();
+        stream.read_to_string(&mut response)?;
+        let status: u16 = response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ClientError::Protocol("missing status line".into()))?;
+        let json_text = response
+            .split("\r\n\r\n")
+            .nth(1)
+            .ok_or_else(|| ClientError::Protocol("missing body".into()))?;
+        let json = Json::parse(json_text)
+            .map_err(|e| ClientError::Protocol(format!("bad JSON body: {e}")))?;
+        if status != 200 {
+            let message = json
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown error")
+                .to_string();
+            return Err(ClientError::Server { status, message });
+        }
+        Ok(json)
+    }
+
+    /// `predict(uid, item)` over the wire.
+    pub fn predict(&self, uid: u64, item_id: u64) -> Result<ClientPrediction, ClientError> {
+        let body = Json::object(vec![
+            ("uid", Json::Number(uid as f64)),
+            ("item_id", Json::Number(item_id as f64)),
+        ]);
+        let resp =
+            self.call("POST", &format!("/models/{}/predict", self.model), &body.to_string())?;
+        Ok(ClientPrediction {
+            score: resp.get("score").and_then(Json::as_f64).unwrap_or(f64::NAN),
+            cached: resp.get("cached").and_then(Json::as_bool).unwrap_or(false),
+            bootstrapped: resp.get("bootstrapped").and_then(Json::as_bool).unwrap_or(false),
+        })
+    }
+
+    /// `topK(uid, items)` over the wire.
+    pub fn top_k(&self, uid: u64, item_ids: &[u64]) -> Result<ClientTopK, ClientError> {
+        let body = Json::object(vec![
+            ("uid", Json::Number(uid as f64)),
+            (
+                "item_ids",
+                Json::Array(item_ids.iter().map(|&i| Json::Number(i as f64)).collect()),
+            ),
+        ]);
+        let resp =
+            self.call("POST", &format!("/models/{}/topk", self.model), &body.to_string())?;
+        let ranked = resp
+            .get("ranked")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ClientError::Protocol("missing ranked".into()))?
+            .iter()
+            .filter_map(|pair| {
+                let pair = pair.as_array()?;
+                Some((pair.first()?.as_u64()?, pair.get(1)?.as_f64()?))
+            })
+            .collect();
+        Ok(ClientTopK {
+            ranked,
+            served_item: resp
+                .get("served_item")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ClientError::Protocol("missing served_item".into()))?,
+            randomized: resp.get("randomized").and_then(Json::as_bool).unwrap_or(false),
+        })
+    }
+
+    /// `observe(uid, item, y)` over the wire.
+    pub fn observe(&self, uid: u64, item_id: u64, y: f64) -> Result<ClientObserve, ClientError> {
+        let body = Json::object(vec![
+            ("uid", Json::Number(uid as f64)),
+            ("item_id", Json::Number(item_id as f64)),
+            ("y", Json::Number(y)),
+        ]);
+        let resp =
+            self.call("POST", &format!("/models/{}/observe", self.model), &body.to_string())?;
+        Ok(ClientObserve {
+            predicted_before: resp
+                .get("predicted_before")
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::NAN),
+            loss: resp.get("loss").and_then(Json::as_f64).unwrap_or(f64::NAN),
+            trained: resp.get("trained").and_then(Json::as_bool).unwrap_or(false),
+        })
+    }
+
+    /// Triggers an offline retrain; returns the new model version.
+    pub fn retrain(&self) -> Result<u64, ClientError> {
+        let resp = self.call("POST", &format!("/models/{}/retrain", self.model), "")?;
+        resp.get("version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("missing version".into()))
+    }
+
+    /// Fetches the model's stats as raw JSON.
+    pub fn stats(&self) -> Result<Json, ClientError> {
+        self.call("GET", &format!("/models/{}/stats", self.model), "")
+    }
+
+    /// Lists all deployed model names on the server.
+    pub fn list_models(&self) -> Result<Vec<String>, ClientError> {
+        let resp = self.call("GET", "/models", "")?;
+        Ok(resp
+            .get("models")
+            .and_then(Json::as_array)
+            .map(|models| {
+                models.iter().filter_map(|m| m.as_str().map(String::from)).collect()
+            })
+            .unwrap_or_default())
+    }
+}

@@ -1,0 +1,252 @@
+//! Minimal HTTP/1.1 framing over `std::net`.
+//!
+//! Just enough protocol for a JSON API: request-line + headers +
+//! `Content-Length`-framed bodies in, status + headers + body out, one
+//! request per connection (`Connection: close`). Limits on line length,
+//! header count, and body size keep a misbehaving client from exhausting
+//! memory.
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Maximum accepted request-body size (1 MiB).
+const MAX_BODY: usize = 1 << 20;
+/// Maximum accepted header line length.
+const MAX_LINE: usize = 8 * 1024;
+/// Maximum number of headers.
+const MAX_HEADERS: usize = 64;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path (no query-string splitting; Velox routes don't use them).
+    pub path: String,
+    /// Lowercased header name → value.
+    pub headers: Vec<(String, String)>,
+    /// Request body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(k, _)| *k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Body decoded as UTF-8.
+    pub fn body_str(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body).map_err(|_| HttpError::Malformed("non-UTF-8 body".into()))
+    }
+}
+
+/// Protocol-level errors.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The request violated the protocol or a limit.
+    Malformed(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+fn read_line(reader: &mut BufReader<&TcpStream>) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        let n = reader.read(&mut byte)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-line".into()));
+        }
+        if byte[0] == b'\n' {
+            // Strip only the CRLF terminator's \r; a \r elsewhere in the
+            // line is part of the value (or malformed input the route layer
+            // rejects), not framing.
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            break;
+        }
+        line.push(byte[0]);
+        if line.len() > MAX_LINE {
+            return Err(HttpError::Malformed("header line too long".into()));
+        }
+    }
+    String::from_utf8(line).map_err(|_| HttpError::Malformed("non-UTF-8 header".into()))
+}
+
+/// Reads one request from the stream.
+pub fn read_request(stream: &TcpStream) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let request_line = read_line(&mut reader)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing path".into()))?
+        .to_string();
+    let version = parts.next().unwrap_or("HTTP/1.0");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("unsupported version {version}")));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(&mut reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::Malformed("too many headers".into()));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header line: {line}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::Malformed("bad content-length".into()))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(HttpError::Malformed("body too large".into()));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request { method, path, headers, body })
+}
+
+/// Writes a response with the given status and JSON body, then closes.
+pub fn write_json_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+) -> Result<(), HttpError> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    };
+    let response = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Runs `client` against a one-shot server that parses a request and
+    /// returns it through the channel.
+    fn round_trip(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            s.flush().unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let result = read_request(&stream);
+        client.join().unwrap();
+        result
+    }
+
+    #[test]
+    fn parses_get() {
+        let req = round_trip(b"GET /models HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/models");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"), "case-insensitive lookup");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = round_trip(
+            b"POST /models/m/predict HTTP/1.1\r\nContent-Length: 9\r\n\r\n{\"uid\":1}",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body_str().unwrap(), "{\"uid\":1}");
+    }
+
+    #[test]
+    fn lowercases_method_and_headers() {
+        let req =
+            round_trip(b"post /x HTTP/1.1\r\nX-Custom-Header: Value \r\n\r\n").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.header("x-custom-header"), Some("Value"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(round_trip(b"\r\n\r\n").is_err());
+        assert!(round_trip(b"GET\r\n\r\n").is_err());
+        assert!(round_trip(b"GET / SPDY/3\r\n\r\n").is_err());
+        assert!(round_trip(b"GET / HTTP/1.1\r\nbadheader\r\n\r\n").is_err());
+        assert!(round_trip(b"GET / HTTP/1.1\r\nContent-Length: abc\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_body_claim() {
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(round_trip(raw.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn response_is_well_formed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let _ = read_request(&stream).unwrap();
+            write_json_response(&mut stream, 200, "{\"ok\":true}").unwrap();
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        let mut response = String::new();
+        client.read_to_string(&mut response).unwrap();
+        server.join().unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(response.contains("content-type: application/json"));
+        assert!(response.ends_with("{\"ok\":true}"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # velox-rest
+//!
+//! The RESTful client interface of the Velox prototype (§8: "We have
+//! completed an initial Velox prototype that exposes a RESTful client
+//! interface").
+//!
+//! A dependency-free HTTP/1.1 + JSON front end over [`VeloxServer`]: one
+//! listener thread accepts connections, a thread per connection parses the
+//! request, dispatches to the deployment, and writes a JSON response.
+//! JSON ([`json`]) and HTTP framing ([`http`]) are implemented in-crate on
+//! `std` only, per the workspace dependency policy.
+//!
+//! ## Routes
+//!
+//! | method & path | body | response |
+//! |---|---|---|
+//! | `GET /models` | — | `{"models": [..]}` |
+//! | `POST /models/{name}/predict` | `{"uid": u, "item_id": i}` | `{"score", "cached", "bootstrapped"}` |
+//! | `POST /models/{name}/topk` | `{"uid": u, "item_ids": [..]}` | `{"ranked": [[id, score]..], "served_item", "randomized"}` |
+//! | `POST /models/{name}/observe` | `{"uid": u, "item_id": i, "y": y}` | `{"loss", "trained", "stale"}` |
+//! | `POST /models/{name}/retrain` | — | `{"version"}` |
+//! | `GET /models/{name}/stats` | — | system stats |
+//!
+//! Raw (non-catalog) items can be passed to predict/observe as
+//! `{"uid": u, "features": [..]}` instead of `item_id`.
+//!
+//! [`VeloxServer`]: velox_core::VeloxServer
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod server;
+
+pub use client::{ClientError, VeloxClient};
+pub use server::{RestHandle, RestServer};

@@ -1,0 +1,277 @@
+//! The REST server: route dispatch over a [`VeloxServer`].
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use velox_core::server::ModelSchema;
+use velox_core::{VeloxError, VeloxServer};
+use velox_linalg::Vector;
+use velox_models::Item;
+
+use crate::http::{read_request, write_json_response, Request};
+use crate::json::Json;
+
+/// The REST front end over a set of Velox deployments.
+pub struct RestServer {
+    deployments: Arc<VeloxServer>,
+}
+
+/// Handle to a running listener: address for clients, shutdown for tests
+/// and orderly exit.
+pub struct RestHandle {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl RestHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept loop.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Wake the accept loop with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RestHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl RestServer {
+    /// Wraps a deployment set.
+    pub fn new(deployments: Arc<VeloxServer>) -> Self {
+        RestServer { deployments }
+    }
+
+    /// Binds `addr` (use `127.0.0.1:0` for an ephemeral port) and serves
+    /// until the returned handle is shut down. One thread per connection.
+    pub fn serve(self, addr: &str) -> std::io::Result<RestHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let deployments = self.deployments;
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop2.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(mut stream) = stream else { continue };
+                // A slow or idle client must not pin its thread forever
+                // (slowloris); the protocol is one short request-response.
+                let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
+                let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(30)));
+                let deployments = Arc::clone(&deployments);
+                std::thread::spawn(move || {
+                    let (status, body) = match read_request(&stream) {
+                        Ok(request) => dispatch(&deployments, &request),
+                        Err(e) => (400, error_json(&format!("{e}"))),
+                    };
+                    let _ = write_json_response(&mut stream, status, &body);
+                });
+            }
+        });
+        Ok(RestHandle { addr: local, stop, accept_thread: Some(accept_thread) })
+    }
+}
+
+fn error_json(message: &str) -> String {
+    Json::object(vec![("error", Json::String(message.to_string()))]).to_string()
+}
+
+fn velox_error(e: &VeloxError) -> (u16, String) {
+    let status = match e {
+        VeloxError::ModelNotFound(_) => 404,
+        VeloxError::Model(_) | VeloxError::EmptyCandidateSet | VeloxError::VersionNotFound(_) => {
+            400
+        }
+        _ => 500,
+    };
+    (status, error_json(&e.to_string()))
+}
+
+/// Extracts the item reference from a request body: either `item_id` or a
+/// raw `features` array.
+fn parse_item(body: &Json) -> Result<Item, String> {
+    if let Some(id) = body.get("item_id").and_then(Json::as_u64) {
+        return Ok(Item::Id(id));
+    }
+    if let Some(features) = body.get("features").and_then(Json::as_array) {
+        let values: Option<Vec<f64>> = features.iter().map(Json::as_f64).collect();
+        let values = values.ok_or("features must be an array of numbers")?;
+        return Ok(Item::Raw(Vector::from_vec(values)));
+    }
+    Err("body must contain item_id or features".into())
+}
+
+fn parse_body(request: &Request) -> Result<Json, String> {
+    let text = request.body_str().map_err(|e| e.to_string())?;
+    if text.trim().is_empty() {
+        return Ok(Json::Object(vec![]));
+    }
+    Json::parse(text).map_err(|e| e.to_string())
+}
+
+fn dispatch(server: &VeloxServer, request: &Request) -> (u16, String) {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["models"]) => {
+            let mut names = server.deployment_names();
+            names.sort();
+            let body = Json::object(vec![(
+                "models",
+                Json::Array(names.into_iter().map(Json::String).collect()),
+            )]);
+            (200, body.to_string())
+        }
+        ("GET", ["models", name, "stats"]) => {
+            match server.deployment(&ModelSchema::named(*name)) {
+                Err(e) => velox_error(&e),
+                Ok(velox) => {
+                    let s = velox.stats();
+                    let body = Json::object(vec![
+                        ("model_version", Json::Number(s.model_version as f64)),
+                        ("retrains", Json::Number(s.retrains as f64)),
+                        ("observations", Json::Number(s.observations as f64)),
+                        ("online_users", Json::Number(s.online_users as f64)),
+                        ("mean_loss", Json::Number(s.mean_loss)),
+                        (
+                            "prediction_cache_hits",
+                            Json::Number(s.prediction_cache.0 as f64),
+                        ),
+                        (
+                            "prediction_cache_misses",
+                            Json::Number(s.prediction_cache.1 as f64),
+                        ),
+                        ("stale", Json::Bool(s.stale)),
+                    ]);
+                    (200, body.to_string())
+                }
+            }
+        }
+        ("POST", ["models", name, "predict"]) => {
+            let body = match parse_body(request) {
+                Ok(b) => b,
+                Err(e) => return (400, error_json(&e)),
+            };
+            let Some(uid) = body.get("uid").and_then(Json::as_u64) else {
+                return (400, error_json("missing uid"));
+            };
+            let item = match parse_item(&body) {
+                Ok(i) => i,
+                Err(e) => return (400, error_json(&e)),
+            };
+            match server.predict(&ModelSchema::named(*name), uid, &item) {
+                Err(e) => velox_error(&e),
+                Ok(resp) => {
+                    let body = Json::object(vec![
+                        ("score", Json::Number(resp.score)),
+                        ("cached", Json::Bool(resp.cached)),
+                        ("bootstrapped", Json::Bool(resp.bootstrapped)),
+                    ]);
+                    (200, body.to_string())
+                }
+            }
+        }
+        ("POST", ["models", name, "topk"]) => {
+            let body = match parse_body(request) {
+                Ok(b) => b,
+                Err(e) => return (400, error_json(&e)),
+            };
+            let Some(uid) = body.get("uid").and_then(Json::as_u64) else {
+                return (400, error_json("missing uid"));
+            };
+            let Some(ids) = body.get("item_ids").and_then(Json::as_array) else {
+                return (400, error_json("missing item_ids"));
+            };
+            let items: Option<Vec<Item>> =
+                ids.iter().map(|j| j.as_u64().map(Item::Id)).collect();
+            let Some(items) = items else {
+                return (400, error_json("item_ids must be non-negative integers"));
+            };
+            match server.top_k(&ModelSchema::named(*name), uid, &items) {
+                Err(e) => velox_error(&e),
+                Ok(resp) => {
+                    let ranked: Vec<Json> = resp
+                        .ranked
+                        .iter()
+                        .map(|&(idx, score)| {
+                            Json::Array(vec![
+                                Json::Number(items[idx].id().expect("id items") as f64),
+                                Json::Number(score),
+                            ])
+                        })
+                        .collect();
+                    let served_item = items[resp.served].id().expect("id items");
+                    let body = Json::object(vec![
+                        ("ranked", Json::Array(ranked)),
+                        ("served_item", Json::Number(served_item as f64)),
+                        ("randomized", Json::Bool(resp.randomized)),
+                    ]);
+                    (200, body.to_string())
+                }
+            }
+        }
+        ("POST", ["models", name, "observe"]) => {
+            let body = match parse_body(request) {
+                Ok(b) => b,
+                Err(e) => return (400, error_json(&e)),
+            };
+            let Some(uid) = body.get("uid").and_then(Json::as_u64) else {
+                return (400, error_json("missing uid"));
+            };
+            let Some(y) = body.get("y").and_then(Json::as_f64) else {
+                return (400, error_json("missing y"));
+            };
+            let item = match parse_item(&body) {
+                Ok(i) => i,
+                Err(e) => return (400, error_json(&e)),
+            };
+            match server.observe(&ModelSchema::named(*name), uid, &item, y) {
+                Err(e) => velox_error(&e),
+                Ok(outcome) => {
+                    let body = Json::object(vec![
+                        ("predicted_before", Json::Number(outcome.predicted_before)),
+                        ("loss", Json::Number(outcome.loss)),
+                        ("trained", Json::Bool(outcome.trained)),
+                        ("stale", Json::Bool(outcome.stale)),
+                        ("retrained", Json::Bool(outcome.retrained)),
+                    ]);
+                    (200, body.to_string())
+                }
+            }
+        }
+        ("POST", ["models", name, "retrain"]) => {
+            match server.deployment(&ModelSchema::named(*name)) {
+                Err(e) => velox_error(&e),
+                Ok(velox) => match velox.retrain_offline() {
+                    Err(e) => velox_error(&e),
+                    Ok(version) => (
+                        200,
+                        Json::object(vec![("version", Json::Number(version as f64))]).to_string(),
+                    ),
+                },
+            }
+        }
+        (method, ["models", ..]) if method != "GET" && method != "POST" => {
+            (405, error_json("method not allowed"))
+        }
+        _ => (404, error_json(&format!("no route for {} {}", request.method, request.path))),
+    }
+}

@@ -1,0 +1,229 @@
+//! Compact binary snapshot codec.
+//!
+//! Tachyon persists Velox's model state; our in-memory substitute persists
+//! through this codec instead: a small, self-describing, versioned binary
+//! format built on `bytes`. It encodes exactly the shapes Velox stores —
+//! `f64` vectors keyed by `u64` ids (user weights, item factors) and the
+//! observation log — and refuses anything malformed with a
+//! [`StorageError::Corrupt`] instead of panicking, since snapshots cross a
+//! trust boundary (they may come from disk or another process).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::obslog::Observation;
+use crate::{Result, StorageError};
+
+/// Magic prefix identifying a Velox snapshot.
+const MAGIC: u32 = 0x56_4C_58_31; // "VLX1"
+
+/// Payload type tags.
+const TAG_VECTOR_TABLE: u8 = 1;
+const TAG_OBSERVATIONS: u8 = 2;
+
+fn check_remaining(buf: &impl Buf, need: usize, what: &str) -> Result<()> {
+    if buf.remaining() < need {
+        return Err(StorageError::Corrupt(format!(
+            "truncated while reading {what}: need {need} bytes, have {}",
+            buf.remaining()
+        )));
+    }
+    Ok(())
+}
+
+/// Encodes a table of `(id, f64-vector)` entries — the on-wire form of a
+/// user-weight or item-factor namespace.
+///
+/// Layout: `MAGIC u32 | TAG u8 | count u64 | { id u64 | len u64 | f64... }*`
+pub fn encode_vector_table(entries: &[(u64, Vec<f64>)]) -> Bytes {
+    let payload: usize =
+        entries.iter().map(|(_, v)| 16 + v.len() * 8).sum::<usize>() + 4 + 1 + 8;
+    let mut buf = BytesMut::with_capacity(payload);
+    buf.put_u32(MAGIC);
+    buf.put_u8(TAG_VECTOR_TABLE);
+    buf.put_u64(entries.len() as u64);
+    for (id, v) in entries {
+        buf.put_u64(*id);
+        buf.put_u64(v.len() as u64);
+        for &x in v {
+            buf.put_f64(x);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a vector table produced by [`encode_vector_table`].
+pub fn decode_vector_table(mut data: Bytes) -> Result<Vec<(u64, Vec<f64>)>> {
+    check_remaining(&data, 13, "header")?;
+    let magic = data.get_u32();
+    if magic != MAGIC {
+        return Err(StorageError::Corrupt(format!("bad magic {magic:#x}")));
+    }
+    let tag = data.get_u8();
+    if tag != TAG_VECTOR_TABLE {
+        return Err(StorageError::Corrupt(format!("expected vector table, got tag {tag}")));
+    }
+    let count = data.get_u64() as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 20));
+    for i in 0..count {
+        check_remaining(&data, 16, "entry header")?;
+        let id = data.get_u64();
+        let len = data.get_u64() as usize;
+        check_remaining(&data, len.saturating_mul(8), "vector body")?;
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(data.get_f64());
+        }
+        out.push((id, v));
+        let _ = i;
+    }
+    if data.has_remaining() {
+        return Err(StorageError::Corrupt(format!(
+            "{} trailing bytes after vector table",
+            data.remaining()
+        )));
+    }
+    Ok(out)
+}
+
+/// Encodes a slice of observations (a log segment or a full export).
+///
+/// Layout: `MAGIC u32 | TAG u8 | count u64 | { uid u64 | item u64 | y f64 | ts u64 }*`
+pub fn encode_observations(obs: &[Observation]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(13 + obs.len() * 32);
+    buf.put_u32(MAGIC);
+    buf.put_u8(TAG_OBSERVATIONS);
+    buf.put_u64(obs.len() as u64);
+    for o in obs {
+        buf.put_u64(o.uid);
+        buf.put_u64(o.item_id);
+        buf.put_f64(o.y);
+        buf.put_u64(o.timestamp);
+    }
+    buf.freeze()
+}
+
+/// Decodes observations produced by [`encode_observations`].
+pub fn decode_observations(mut data: Bytes) -> Result<Vec<Observation>> {
+    check_remaining(&data, 13, "header")?;
+    let magic = data.get_u32();
+    if magic != MAGIC {
+        return Err(StorageError::Corrupt(format!("bad magic {magic:#x}")));
+    }
+    let tag = data.get_u8();
+    if tag != TAG_OBSERVATIONS {
+        return Err(StorageError::Corrupt(format!("expected observations, got tag {tag}")));
+    }
+    let count = data.get_u64() as usize;
+    check_remaining(&data, count.saturating_mul(32), "observation body")?;
+    let mut out = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        out.push(Observation {
+            uid: data.get_u64(),
+            item_id: data.get_u64(),
+            y: data.get_f64(),
+            timestamp: data.get_u64(),
+        });
+    }
+    if data.has_remaining() {
+        return Err(StorageError::Corrupt(format!(
+            "{} trailing bytes after observations",
+            data.remaining()
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_table_round_trip() {
+        let entries = vec![
+            (1u64, vec![1.0, -2.5, 3.25]),
+            (42u64, vec![]),
+            (u64::MAX, vec![f64::MIN_POSITIVE, f64::MAX]),
+        ];
+        let encoded = encode_vector_table(&entries);
+        let decoded = decode_vector_table(encoded).unwrap();
+        assert_eq!(decoded, entries);
+    }
+
+    #[test]
+    fn empty_table_round_trip() {
+        let encoded = encode_vector_table(&[]);
+        assert!(decode_vector_table(encoded).unwrap().is_empty());
+    }
+
+    #[test]
+    fn observations_round_trip() {
+        let obs = vec![
+            Observation { uid: 1, item_id: 2, y: 4.5, timestamp: 0 },
+            Observation { uid: 3, item_id: 4, y: -1.0, timestamp: 1 },
+        ];
+        let decoded = decode_observations(encode_observations(&obs)).unwrap();
+        assert_eq!(decoded, obs);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut data = BytesMut::new();
+        data.put_u32(0xDEADBEEF);
+        data.put_u8(TAG_VECTOR_TABLE);
+        data.put_u64(0);
+        assert!(matches!(
+            decode_vector_table(data.freeze()),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_tag() {
+        let encoded = encode_observations(&[]);
+        assert!(matches!(decode_vector_table(encoded), Err(StorageError::Corrupt(_))));
+        let encoded = encode_vector_table(&[]);
+        assert!(matches!(decode_observations(encoded), Err(StorageError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let entries = vec![(1u64, vec![1.0, 2.0, 3.0]), (2u64, vec![4.0])];
+        let full = encode_vector_table(&entries);
+        for cut in 0..full.len() {
+            let truncated = full.slice(0..cut);
+            assert!(
+                decode_vector_table(truncated).is_err(),
+                "decode accepted a {cut}-byte prefix of a {}-byte snapshot",
+                full.len()
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut raw = BytesMut::from(&encode_vector_table(&[(1, vec![1.0])])[..]);
+        raw.put_u8(0);
+        assert!(matches!(decode_vector_table(raw.freeze()), Err(StorageError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_length_overflow_claim() {
+        // Claims a vector of 2^61 elements; must fail cleanly, not allocate.
+        let mut buf = BytesMut::new();
+        buf.put_u32(MAGIC);
+        buf.put_u8(TAG_VECTOR_TABLE);
+        buf.put_u64(1);
+        buf.put_u64(7); // id
+        buf.put_u64(1 << 61); // absurd length
+        assert!(decode_vector_table(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn special_float_values_survive() {
+        let entries = vec![(9u64, vec![f64::INFINITY, f64::NEG_INFINITY, -0.0])];
+        let decoded = decode_vector_table(encode_vector_table(&entries)).unwrap();
+        assert_eq!(decoded[0].1[0], f64::INFINITY);
+        assert_eq!(decoded[0].1[1], f64::NEG_INFINITY);
+        assert!(decoded[0].1[2] == 0.0 && decoded[0].1[2].is_sign_negative());
+    }
+}

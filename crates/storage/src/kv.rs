@@ -1,0 +1,471 @@
+//! Sharded, versioned, in-memory key–value tables.
+//!
+//! A [`Namespace`] is one logical table (e.g. `user_weights`, `item_factors`)
+//! sharded over `S` independently-locked segments so concurrent readers and
+//! writers on different keys never contend. Namespaces are *versioned*: an
+//! offline retrain builds a complete replacement map and publishes it with
+//! [`Namespace::publish_version`], which bumps the version counter atomically
+//! and retains a bounded history for rollback — the paper's model-lifecycle
+//! requirement ("version histories, enabling ... simple rollbacks to earlier
+//! model versions", §2).
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::{Result, StorageError};
+
+/// Number of lock-sharded segments per namespace. A power of two so the
+/// shard index is a mask of the key hash.
+const DEFAULT_SHARDS: usize = 16;
+
+/// How many superseded versions a namespace retains for rollback.
+const VERSION_HISTORY: usize = 4;
+
+/// A value plus the namespace version it was written under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VersionedValue<V> {
+    /// The stored value.
+    pub value: V,
+    /// Namespace version at write time.
+    pub version: u64,
+}
+
+/// Cheap deterministic u64 hash (splitmix64 finalizer). Keys in Velox are
+/// entity ids, often sequential; this decorrelates them across shards.
+#[inline]
+fn hash_key(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+struct Shard<V> {
+    map: RwLock<HashMap<u64, VersionedValue<V>>>,
+}
+
+impl<V> Shard<V> {
+    fn new() -> Self {
+        Shard { map: RwLock::new(HashMap::new()) }
+    }
+}
+
+/// One retained prior version: `(version number, full contents)`.
+type RetainedVersion<V> = (u64, HashMap<u64, VersionedValue<V>>);
+
+/// One logical, sharded, versioned table keyed by `u64` entity ids.
+///
+/// All operations are O(1) expected and take a single shard lock; bulk
+/// operations (`publish_version`, `snapshot_entries`) take shard locks one
+/// at a time, so they never deadlock against point operations.
+pub struct Namespace<V> {
+    name: String,
+    shards: Vec<Shard<V>>,
+    version: AtomicU64,
+    /// Superseded full copies retained for rollback, newest last.
+    history: RwLock<Vec<RetainedVersion<V>>>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl<V: Clone> Namespace<V> {
+    /// Creates an empty namespace with the default shard count.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self::with_shards(name, DEFAULT_SHARDS)
+    }
+
+    /// Creates an empty namespace with `shards` lock shards (rounded up to a
+    /// power of two, minimum 1).
+    pub fn with_shards(name: impl Into<String>, shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        Namespace {
+            name: name.into(),
+            shards: (0..n).map(|_| Shard::new()).collect(),
+            version: AtomicU64::new(1),
+            history: RwLock::new(Vec::new()),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        }
+    }
+
+    /// The namespace's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current published version.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn shard_for(&self, key: u64) -> &Shard<V> {
+        let idx = (hash_key(key) as usize) & (self.shards.len() - 1);
+        &self.shards[idx]
+    }
+
+    /// Point read. Clones the value out so the shard lock is held only for
+    /// the copy.
+    pub fn get(&self, key: u64) -> Option<V> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.shard_for(key).map.read().get(&key).map(|vv| vv.value.clone())
+    }
+
+    /// Point read including the version the value was written under.
+    pub fn get_versioned(&self, key: u64) -> Option<VersionedValue<V>> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.shard_for(key).map.read().get(&key).cloned()
+    }
+
+    /// Point write under the current version. Returns the previous value.
+    pub fn put(&self, key: u64, value: V) -> Option<V> {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        let version = self.version();
+        self.shard_for(key)
+            .map
+            .write()
+            .insert(key, VersionedValue { value, version })
+            .map(|vv| vv.value)
+    }
+
+    /// Atomically applies `f` to the value at `key` (inserting
+    /// `default_with()` first when absent), under the shard's write lock.
+    ///
+    /// This is the primitive behind online user-weight updates: read-modify-
+    /// write of one user's model without a global lock.
+    pub fn update_with<F, D>(&self, key: u64, default_with: D, f: F)
+    where
+        F: FnOnce(&mut V),
+        D: FnOnce() -> V,
+    {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        let version = self.version();
+        let mut map = self.shard_for(key).map.write();
+        let entry = map
+            .entry(key)
+            .or_insert_with(|| VersionedValue { value: default_with(), version });
+        f(&mut entry.value);
+        entry.version = version;
+    }
+
+    /// Removes a key, returning its value.
+    pub fn remove(&self, key: u64) -> Option<V> {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.shard_for(key).map.write().remove(&key).map(|vv| vv.value)
+    }
+
+    /// True when the key exists.
+    pub fn contains(&self, key: u64) -> bool {
+        self.shard_for(key).map.read().contains_key(&key)
+    }
+
+    /// Number of stored entries (sums shard sizes; O(shards)).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.map.read().len()).sum()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies out all `(key, value)` pairs — the input to snapshotting and
+    /// offline retraining. Shard-by-shard, so point ops interleave freely.
+    pub fn snapshot_entries(&self) -> Vec<(u64, V)> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let map = shard.map.read();
+            out.extend(map.iter().map(|(k, vv)| (*k, vv.value.clone())));
+        }
+        out
+    }
+
+    /// All keys currently stored.
+    pub fn keys(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            out.extend(shard.map.read().keys().copied());
+        }
+        out
+    }
+
+    /// Atomically replaces the entire contents with `entries` and bumps the
+    /// version. The superseded contents are pushed onto a bounded rollback
+    /// history. Returns the new version.
+    ///
+    /// This is the "switch to the newly trained model" step of §4.2: the
+    /// offline retrain produces a complete new table which is published in
+    /// one step so no reader ever sees a half-updated model.
+    pub fn publish_version(&self, entries: Vec<(u64, V)>) -> u64 {
+        // fetch_add allocates a unique version even under concurrent
+        // publishers (load+1 could hand two publishers the same number).
+        let old_version = self.version.fetch_add(1, Ordering::AcqRel);
+        let new_version = old_version + 1;
+        // Build the replacement shard maps outside any lock.
+        let mut new_maps: Vec<HashMap<u64, VersionedValue<V>>> =
+            (0..self.shards.len()).map(|_| HashMap::new()).collect();
+        for (k, v) in entries {
+            let idx = (hash_key(k) as usize) & (self.shards.len() - 1);
+            new_maps[idx].insert(k, VersionedValue { value: v, version: new_version });
+        }
+        // Swap in shard-by-shard, collecting the old contents.
+        let mut old_all: HashMap<u64, VersionedValue<V>> = HashMap::new();
+        for (shard, new_map) in self.shards.iter().zip(new_maps) {
+            let mut guard = shard.map.write();
+            let old = std::mem::replace(&mut *guard, new_map);
+            drop(guard);
+            old_all.extend(old);
+        }
+        let mut history = self.history.write();
+        history.push((old_version, old_all));
+        if history.len() > VERSION_HISTORY {
+            history.remove(0);
+        }
+        new_version
+    }
+
+    /// Rolls the namespace back to a retained prior `version`. The current
+    /// contents are discarded (they are re-derivable by retraining). Returns
+    /// the version now being served (a fresh version number, with the old
+    /// contents) or an error when `version` is not in the retained history.
+    pub fn rollback_to(&self, version: u64) -> Result<u64> {
+        let mut history = self.history.write();
+        let pos = history
+            .iter()
+            .position(|(v, _)| *v == version)
+            .ok_or(StorageError::VersionNotFound(version))?;
+        let (_, contents) = history.remove(pos);
+        drop(history);
+        let entries: Vec<(u64, V)> =
+            contents.into_iter().map(|(k, vv)| (k, vv.value)).collect();
+        Ok(self.publish_version(entries))
+    }
+
+    /// Versions currently available for rollback, oldest first.
+    pub fn rollback_versions(&self) -> Vec<u64> {
+        self.history.read().iter().map(|(v, _)| *v).collect()
+    }
+
+    /// `(reads, writes)` counters since creation.
+    pub fn access_counts(&self) -> (u64, u64) {
+        (self.reads.load(Ordering::Relaxed), self.writes.load(Ordering::Relaxed))
+    }
+}
+
+/// A collection of named namespaces — one per logical table — forming the
+/// node-local storage manager.
+pub struct KvStore<V> {
+    namespaces: RwLock<HashMap<String, Arc<Namespace<V>>>>,
+}
+
+impl<V: Clone> KvStore<V> {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        KvStore { namespaces: RwLock::new(HashMap::new()) }
+    }
+
+    /// Returns the namespace, creating it when absent.
+    pub fn namespace(&self, name: &str) -> Arc<Namespace<V>> {
+        if let Some(ns) = self.namespaces.read().get(name) {
+            return Arc::clone(ns);
+        }
+        let mut map = self.namespaces.write();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Namespace::new(name))),
+        )
+    }
+
+    /// Returns an existing namespace or an error.
+    pub fn existing_namespace(&self, name: &str) -> Result<Arc<Namespace<V>>> {
+        self.namespaces
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::NamespaceNotFound(name.to_string()))
+    }
+
+    /// Drops a namespace entirely. Returns whether it existed.
+    pub fn drop_namespace(&self, name: &str) -> bool {
+        self.namespaces.write().remove(name).is_some()
+    }
+
+    /// Names of all namespaces, unordered.
+    pub fn namespace_names(&self) -> Vec<String> {
+        self.namespaces.read().keys().cloned().collect()
+    }
+}
+
+impl<V: Clone> Default for KvStore<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn point_ops() {
+        let ns: Namespace<Vec<f64>> = Namespace::new("w");
+        assert!(ns.get(1).is_none());
+        assert!(ns.put(1, vec![1.0, 2.0]).is_none());
+        assert_eq!(ns.get(1).unwrap(), vec![1.0, 2.0]);
+        assert!(ns.contains(1));
+        assert_eq!(ns.put(1, vec![3.0]), Some(vec![1.0, 2.0]));
+        assert_eq!(ns.remove(1), Some(vec![3.0]));
+        assert!(!ns.contains(1));
+        assert!(ns.is_empty());
+    }
+
+    #[test]
+    fn versioned_reads_carry_version() {
+        let ns: Namespace<i32> = Namespace::new("v");
+        ns.put(7, 70);
+        let vv = ns.get_versioned(7).unwrap();
+        assert_eq!(vv.value, 70);
+        assert_eq!(vv.version, 1);
+        ns.publish_version(vec![(7, 71)]);
+        let vv = ns.get_versioned(7).unwrap();
+        assert_eq!(vv.value, 71);
+        assert_eq!(vv.version, 2);
+    }
+
+    #[test]
+    fn update_with_inserts_default() {
+        let ns: Namespace<i64> = Namespace::new("c");
+        ns.update_with(5, || 0, |v| *v += 10);
+        ns.update_with(5, || 0, |v| *v += 10);
+        assert_eq!(ns.get(5), Some(20));
+    }
+
+    #[test]
+    fn publish_version_replaces_everything() {
+        let ns: Namespace<i32> = Namespace::new("t");
+        ns.put(1, 10);
+        ns.put(2, 20);
+        let v = ns.publish_version(vec![(2, 200), (3, 300)]);
+        assert_eq!(v, 2);
+        assert_eq!(ns.version(), 2);
+        assert!(ns.get(1).is_none(), "old-only keys are gone");
+        assert_eq!(ns.get(2), Some(200));
+        assert_eq!(ns.get(3), Some(300));
+        assert_eq!(ns.len(), 2);
+    }
+
+    #[test]
+    fn rollback_restores_contents() {
+        let ns: Namespace<i32> = Namespace::new("r");
+        ns.put(1, 10);
+        ns.publish_version(vec![(1, 11)]); // v2, history holds v1
+        ns.publish_version(vec![(1, 12)]); // v3, history holds v1, v2
+        assert_eq!(ns.rollback_versions(), vec![1, 2]);
+        let new_v = ns.rollback_to(1).unwrap();
+        assert_eq!(new_v, 4, "rollback publishes under a fresh version");
+        assert_eq!(ns.get(1), Some(10));
+        assert!(matches!(ns.rollback_to(99), Err(StorageError::VersionNotFound(99))));
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let ns: Namespace<i32> = Namespace::new("h");
+        for i in 0..10 {
+            ns.publish_version(vec![(1, i)]);
+        }
+        assert!(ns.rollback_versions().len() <= VERSION_HISTORY);
+    }
+
+    #[test]
+    fn snapshot_and_keys() {
+        let ns: Namespace<i32> = Namespace::new("s");
+        for k in 0..100u64 {
+            ns.put(k, k as i32 * 2);
+        }
+        let mut snap = ns.snapshot_entries();
+        snap.sort_by_key(|(k, _)| *k);
+        assert_eq!(snap.len(), 100);
+        assert_eq!(snap[50], (50, 100));
+        let mut keys = ns.keys();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn access_counters() {
+        let ns: Namespace<i32> = Namespace::new("a");
+        ns.put(1, 1);
+        ns.get(1);
+        ns.get(2);
+        let (r, w) = ns.access_counts();
+        assert_eq!((r, w), (2, 1));
+    }
+
+    #[test]
+    fn concurrent_disjoint_writers() {
+        let ns: Arc<Namespace<u64>> = Arc::new(Namespace::new("mt"));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let ns = Arc::clone(&ns);
+            handles.push(thread::spawn(move || {
+                for i in 0..1000u64 {
+                    let key = t * 1000 + i;
+                    ns.put(key, key * 3);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ns.len(), 8000);
+        assert_eq!(ns.get(4321), Some(4321 * 3));
+    }
+
+    #[test]
+    fn concurrent_update_with_is_atomic() {
+        let ns: Arc<Namespace<u64>> = Arc::new(Namespace::new("cnt"));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let ns = Arc::clone(&ns);
+            handles.push(thread::spawn(move || {
+                for _ in 0..1000 {
+                    ns.update_with(42, || 0, |v| *v += 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ns.get(42), Some(8000));
+    }
+
+    #[test]
+    fn store_namespace_lifecycle() {
+        let store: KvStore<i32> = KvStore::new();
+        assert!(store.existing_namespace("w").is_err());
+        let ns = store.namespace("w");
+        ns.put(1, 1);
+        // Same Arc comes back.
+        let ns2 = store.namespace("w");
+        assert_eq!(ns2.get(1), Some(1));
+        assert!(store.existing_namespace("w").is_ok());
+        let mut names = store.namespace_names();
+        names.sort();
+        assert_eq!(names, vec!["w"]);
+        assert!(store.drop_namespace("w"));
+        assert!(!store.drop_namespace("w"));
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let ns: Namespace<i32> = Namespace::with_shards("p", 5);
+        // 5 → 8 shards; behaviour identical from the outside.
+        for k in 0..64 {
+            ns.put(k, k as i32);
+        }
+        assert_eq!(ns.len(), 64);
+    }
+}

@@ -1,0 +1,65 @@
+//! # velox-storage
+//!
+//! In-memory distributed-storage substrate — the Tachyon substitute.
+//!
+//! The paper deploys Velox's model manager and predictor co-located with
+//! Tachyon workers and uses Tachyon as the system of record for user weight
+//! vectors `W`, feature parameters `θ`, and the stream of observations used
+//! for offline retraining (§3, Figure 2). This crate rebuilds that storage
+//! layer with the same operational surface:
+//!
+//! - [`kv::KvStore`] / [`kv::Namespace`]: sharded, concurrently-accessible,
+//!   **versioned** key–value tables. A namespace's contents can be swapped
+//!   atomically for a retrained copy (the paper's "incrementing the version
+//!   and transparently upgrading incoming requests").
+//! - [`obslog::ObservationLog`]: an append-only log of `observe()` calls,
+//!   readable from any offset, which is what the batch retraining jobs
+//!   consume ("the observation is written to Tachyon for use by Spark when
+//!   retraining the model offline", §4.1).
+//! - [`lru::LruCache`]: a constant-time LRU with hit/miss instrumentation —
+//!   the building block for the predictor's feature and prediction caches
+//!   (§5) and for per-node hot-item caches in the cluster simulator.
+//! - [`codec`]: a compact self-describing binary codec (on `bytes`) used to
+//!   snapshot and restore tables, standing in for Tachyon's persistence.
+//!
+//! Everything is in-process and thread-safe; the *distribution* of storage
+//! across nodes (partitioning, routing, remote-read costs) is modelled one
+//! level up in `velox-cluster`, which composes these primitives per node.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod kv;
+pub mod lru;
+pub mod obslog;
+
+pub use kv::{KvStore, Namespace, VersionedValue};
+pub use lru::LruCache;
+pub use obslog::{Observation, ObservationLog};
+
+/// Errors surfaced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A namespace was addressed that has not been created.
+    NamespaceNotFound(String),
+    /// A snapshot/restore payload failed to decode.
+    Corrupt(String),
+    /// An operation referenced a version that does not exist (e.g. rollback
+    /// past the retained history).
+    VersionNotFound(u64),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::NamespaceNotFound(ns) => write!(f, "namespace not found: {ns}"),
+            StorageError::Corrupt(what) => write!(f, "corrupt payload: {what}"),
+            StorageError::VersionNotFound(v) => write!(f, "version not found: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

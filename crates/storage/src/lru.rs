@@ -1,0 +1,368 @@
+//! A constant-time LRU cache with hit/miss instrumentation.
+//!
+//! Figure 4 of the paper turns on the predictor's prediction/feature caches;
+//! §5 argues that Zipfian item popularity makes "a simple cache eviction
+//! strategy like LRU" effective for hot item features. This implementation
+//! backs both: an intrusive doubly-linked list threaded through a slab of
+//! entries (indices, not pointers, so it is plain safe Rust with O(1)
+//! get/put), plus counters so the experiments can report hit rates directly.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// Fixed-capacity LRU cache.
+///
+/// Not internally synchronized: the predictor wraps one per shard (or per
+/// node in the cluster simulator) behind its own lock, which keeps lock
+/// scope explicit at the call site. Slab slots are `Option` so entries can
+/// be moved out on invalidation without `unsafe`.
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Option<Entry<K, V>>>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` — a zero-capacity cache is a configuration
+    /// error, not a runtime condition.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU capacity must be positive");
+        LruCache {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    #[inline]
+    fn entry(&self, idx: usize) -> &Entry<K, V> {
+        self.slab[idx].as_ref().expect("live slot")
+    }
+
+    #[inline]
+    fn entry_mut(&mut self, idx: usize) -> &mut Entry<K, V> {
+        self.slab[idx].as_mut().expect("live slot")
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = {
+            let e = self.entry(idx);
+            (e.prev, e.next)
+        };
+        if prev != NIL {
+            self.entry_mut(prev).next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.entry_mut(next).prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn attach_front(&mut self, idx: usize) {
+        let old_head = self.head;
+        {
+            let e = self.entry_mut(idx);
+            e.prev = NIL;
+            e.next = old_head;
+        }
+        if old_head != NIL {
+            self.entry_mut(old_head).prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Looks up `key`, marking it most-recently-used on a hit. Counts the
+    /// access in the hit/miss statistics.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                self.detach(idx);
+                self.attach_front(idx);
+                Some(&self.entry(idx).value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Non-promoting, non-counting lookup — used by tests and metrics
+    /// endpoints that must not perturb recency or statistics.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|&idx| &self.entry(idx).value)
+    }
+
+    /// Inserts or replaces `key`, marking it most-recently-used. Evicts the
+    /// least-recently-used entry when at capacity; returns the evicted
+    /// `(key, value)` if any.
+    pub fn put(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&idx) = self.map.get(&key) {
+            self.entry_mut(idx).value = value;
+            self.detach(idx);
+            self.attach_front(idx);
+            return None;
+        }
+        let mut evicted = None;
+        if self.map.len() == self.capacity {
+            let tail = self.tail;
+            self.detach(tail);
+            let old = self.slab[tail].take().expect("live tail");
+            self.map.remove(&old.key);
+            self.free.push(tail);
+            self.evictions += 1;
+            evicted = Some((old.key, old.value));
+        }
+        let entry = Entry { key: key.clone(), value, prev: NIL, next: NIL };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = Some(entry);
+                i
+            }
+            None => {
+                self.slab.push(Some(entry));
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.attach_front(idx);
+        evicted
+    }
+
+    /// Removes `key`, returning its value. Does not count as a miss.
+    pub fn invalidate(&mut self, key: &K) -> Option<V> {
+        let idx = self.map.remove(key)?;
+        self.detach(idx);
+        let entry = self.slab[idx].take().expect("live slot");
+        self.free.push(idx);
+        Some(entry.value)
+    }
+
+    /// Clears all entries and resets recency (statistics are preserved).
+    ///
+    /// Cache invalidation after an offline retrain (§4.2: the offline phase
+    /// "invalidates both prediction and feature caches") uses this.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// `(hits, misses, evictions)` counters since creation.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+
+    /// Hit rate over all counted accesses; 0.0 before any access.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Resets the hit/miss/eviction counters (contents untouched).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+        self.evictions = 0;
+    }
+
+    /// Keys from most- to least-recently used (diagnostics and tests).
+    pub fn keys_mru_order(&self) -> Vec<K> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut cur = self.head;
+        while cur != NIL {
+            let e = self.entry(cur);
+            out.push(e.key.clone());
+            cur = e.next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_get_put() {
+        let mut c: LruCache<u64, String> = LruCache::new(2);
+        assert!(c.get(&1).is_none());
+        c.put(1, "a".into());
+        assert_eq!(c.get(&1).unwrap(), "a");
+        assert_eq!(c.stats(), (1, 1, 0));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: LruCache<u64, u64> = LruCache::new(2);
+        c.put(1, 10);
+        c.put(2, 20);
+        c.get(&1); // 1 is now MRU
+        let evicted = c.put(3, 30);
+        assert_eq!(evicted, Some((2, 20)));
+        assert!(c.peek(&2).is_none());
+        assert!(c.peek(&1).is_some());
+        assert!(c.peek(&3).is_some());
+        assert_eq!(c.stats().2, 1);
+    }
+
+    #[test]
+    fn put_existing_updates_and_promotes() {
+        let mut c: LruCache<u64, u64> = LruCache::new(2);
+        c.put(1, 10);
+        c.put(2, 20);
+        c.put(1, 11); // update, promote
+        assert_eq!(c.keys_mru_order(), vec![1, 2]);
+        let evicted = c.put(3, 30);
+        assert_eq!(evicted, Some((2, 20)));
+        assert_eq!(*c.peek(&1).unwrap(), 11);
+    }
+
+    #[test]
+    fn peek_does_not_promote_or_count() {
+        let mut c: LruCache<u64, u64> = LruCache::new(2);
+        c.put(1, 10);
+        c.put(2, 20);
+        c.peek(&1);
+        assert_eq!(c.stats(), (0, 0, 0));
+        assert_eq!(c.keys_mru_order(), vec![2, 1]);
+    }
+
+    #[test]
+    fn invalidate_removes_and_frees_slot() {
+        let mut c: LruCache<u64, u64> = LruCache::new(2);
+        c.put(1, 10);
+        c.put(2, 20);
+        assert_eq!(c.invalidate(&1), Some(10));
+        assert_eq!(c.invalidate(&1), None);
+        assert_eq!(c.len(), 1);
+        // The freed slot is reusable without eviction.
+        assert!(c.put(3, 30).is_none());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.keys_mru_order(), vec![3, 2]);
+        assert_eq!(c.stats(), (0, 0, 0), "invalidate is not a miss");
+    }
+
+    #[test]
+    fn capacity_one() {
+        let mut c: LruCache<u64, u64> = LruCache::new(1);
+        c.put(1, 10);
+        assert_eq!(c.put(2, 20), Some((1, 10)));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&2), Some(&20));
+    }
+
+    #[test]
+    fn clear_resets_contents_not_stats() {
+        let mut c: LruCache<u64, u64> = LruCache::new(4);
+        c.put(1, 10);
+        c.get(&1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().0, 1, "stats survive clear");
+        // Reusable after clear.
+        c.put(2, 20);
+        assert_eq!(c.get(&2), Some(&20));
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut c: LruCache<u64, u64> = LruCache::new(4);
+        assert_eq!(c.hit_rate(), 0.0);
+        c.put(1, 1);
+        c.get(&1);
+        c.get(&2);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+        c.reset_stats();
+        assert_eq!(c.stats(), (0, 0, 0));
+    }
+
+    #[test]
+    fn mru_order_tracks_accesses() {
+        let mut c: LruCache<u64, u64> = LruCache::new(3);
+        c.put(1, 1);
+        c.put(2, 2);
+        c.put(3, 3);
+        assert_eq!(c.keys_mru_order(), vec![3, 2, 1]);
+        c.get(&1);
+        assert_eq!(c.keys_mru_order(), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn heavy_churn_consistency() {
+        let mut c: LruCache<u64, u64> = LruCache::new(8);
+        for i in 0..1000u64 {
+            c.put(i % 16, i);
+            if i % 7 == 0 {
+                c.invalidate(&(i % 16));
+            }
+            let _ = c.get(&(i % 5));
+        }
+        assert!(c.len() <= 8);
+        // Every cached key round-trips and the recency list is consistent
+        // with the map.
+        let keys = c.keys_mru_order();
+        assert_eq!(keys.len(), c.len());
+        for k in keys {
+            assert!(c.peek(&k).is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _: LruCache<u64, u64> = LruCache::new(0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Append-only observation log.
+//!
+//! Every `observe(uid, item, label)` call (paper §4.1) does two things:
+//! trigger an online update, and durably record the observation "for use by
+//! Spark when retraining the model offline". This module is that record: a
+//! segmented, append-only, concurrently-readable log. Offline retraining
+//! reads from offset 0; the evaluator tails new entries; nothing is ever
+//! rewritten in place.
+
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One recorded interaction: user `uid` gave item `item_id` the label `y`
+/// (a rating, a click indicator, etc.) at logical time `timestamp`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// User identifier.
+    pub uid: u64,
+    /// Item identifier.
+    pub item_id: u64,
+    /// Supervised label (rating / click).
+    pub y: f64,
+    /// Logical timestamp assigned by the log at append time (monotonically
+    /// increasing; equals the observation's log offset).
+    pub timestamp: u64,
+}
+
+/// Entries per segment. Segments let long logs be scanned without holding a
+/// lock across the whole history: readers lock one segment at a time.
+const SEGMENT_SIZE: usize = 4096;
+
+/// An append-only, segmented, in-memory observation log.
+///
+/// Appends are lock-free in the common case apart from one segment write
+/// lock; reads never block appends to other segments.
+pub struct ObservationLog {
+    segments: RwLock<Vec<RwLock<Vec<Observation>>>>,
+    next_offset: AtomicU64,
+}
+
+impl ObservationLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        ObservationLog {
+            segments: RwLock::new(vec![RwLock::new(Vec::with_capacity(SEGMENT_SIZE))]),
+            next_offset: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends an observation, assigning and returning its offset (which
+    /// doubles as its logical timestamp).
+    pub fn append(&self, uid: u64, item_id: u64, y: f64) -> u64 {
+        let offset = self.next_offset.fetch_add(1, Ordering::SeqCst);
+        let seg_idx = (offset as usize) / SEGMENT_SIZE;
+        let obs = Observation { uid, item_id, y, timestamp: offset };
+        loop {
+            {
+                let segments = self.segments.read();
+                if let Some(seg) = segments.get(seg_idx) {
+                    let mut seg = seg.write();
+                    // Offsets are dense, so within a segment the index is
+                    // offset % SEGMENT_SIZE; appends may arrive slightly out
+                    // of order across threads, so grow with placeholders.
+                    let local = (offset as usize) % SEGMENT_SIZE;
+                    if seg.len() <= local {
+                        seg.resize(
+                            local + 1,
+                            Observation { uid: u64::MAX, item_id: u64::MAX, y: 0.0, timestamp: u64::MAX },
+                        );
+                    }
+                    seg[local] = obs;
+                    return offset;
+                }
+            }
+            // Need a new segment; take the outer write lock and extend.
+            let mut segments = self.segments.write();
+            while segments.len() <= seg_idx {
+                segments.push(RwLock::new(Vec::with_capacity(SEGMENT_SIZE)));
+            }
+        }
+    }
+
+    /// Number of observations appended.
+    pub fn len(&self) -> u64 {
+        self.next_offset.load(Ordering::SeqCst)
+    }
+
+    /// True when nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads up to `max` observations starting at `from_offset`, in offset
+    /// order. Returns fewer than `max` at the log head. Placeholder slots
+    /// from in-flight concurrent appends (timestamp == u64::MAX) terminate
+    /// the scan early, so a reader never observes a torn entry.
+    pub fn read_from(&self, from_offset: u64, max: usize) -> Vec<Observation> {
+        let end = self.len().min(from_offset.saturating_add(max as u64));
+        let mut out = Vec::with_capacity((end.saturating_sub(from_offset)) as usize);
+        let segments = self.segments.read();
+        let mut offset = from_offset;
+        while offset < end {
+            let seg_idx = (offset as usize) / SEGMENT_SIZE;
+            let Some(seg) = segments.get(seg_idx) else { break };
+            let seg = seg.read();
+            let local_start = (offset as usize) % SEGMENT_SIZE;
+            let local_end = (SEGMENT_SIZE).min(local_start + (end - offset) as usize);
+            // Only what the segment has actually materialized is readable;
+            // a shorter-than-claimed segment means an in-flight append, and
+            // the scan must STOP there rather than skip ahead and return a
+            // log with holes.
+            let avail_end = local_end.min(seg.len());
+            for obs in seg.get(local_start..avail_end).unwrap_or(&[]) {
+                if obs.timestamp == u64::MAX {
+                    return out; // in-flight append; stop cleanly
+                }
+                out.push(obs.clone());
+            }
+            if avail_end < local_end {
+                break;
+            }
+            let consumed = avail_end - local_start;
+            if consumed == 0 {
+                break;
+            }
+            offset += consumed as u64;
+        }
+        out
+    }
+
+    /// Reads the entire log (used by offline retraining).
+    pub fn read_all(&self) -> Vec<Observation> {
+        self.read_from(0, self.len() as usize)
+    }
+
+    /// All observations for one user, in arrival order. O(len) scan — used
+    /// by model reconstruction (rebuilding a user's sufficient statistics
+    /// after a feature-parameter change), which is an offline-path
+    /// operation.
+    pub fn read_user(&self, uid: u64) -> Vec<Observation> {
+        self.read_all().into_iter().filter(|o| o.uid == uid).collect()
+    }
+}
+
+impl Default for ObservationLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn append_assigns_dense_offsets() {
+        let log = ObservationLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.append(1, 100, 4.5), 0);
+        assert_eq!(log.append(2, 200, 3.0), 1);
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn read_from_respects_offset_and_max() {
+        let log = ObservationLog::new();
+        for i in 0..10 {
+            log.append(i, i * 10, i as f64);
+        }
+        let chunk = log.read_from(3, 4);
+        assert_eq!(chunk.len(), 4);
+        assert_eq!(chunk[0].uid, 3);
+        assert_eq!(chunk[3].uid, 6);
+        assert_eq!(chunk[0].timestamp, 3);
+        // Reading past the end returns what exists.
+        assert_eq!(log.read_from(8, 100).len(), 2);
+        assert!(log.read_from(100, 10).is_empty());
+    }
+
+    #[test]
+    fn read_all_round_trips() {
+        let log = ObservationLog::new();
+        log.append(7, 77, 1.5);
+        log.append(8, 88, -0.5);
+        let all = log.read_all();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[1], Observation { uid: 8, item_id: 88, y: -0.5, timestamp: 1 });
+    }
+
+    #[test]
+    fn read_user_filters() {
+        let log = ObservationLog::new();
+        log.append(1, 10, 1.0);
+        log.append(2, 20, 2.0);
+        log.append(1, 30, 3.0);
+        let user1 = log.read_user(1);
+        assert_eq!(user1.len(), 2);
+        assert_eq!(user1[0].item_id, 10);
+        assert_eq!(user1[1].item_id, 30);
+        assert!(log.read_user(99).is_empty());
+    }
+
+    #[test]
+    fn spans_multiple_segments() {
+        let log = ObservationLog::new();
+        let n = (SEGMENT_SIZE * 2 + 100) as u64;
+        for i in 0..n {
+            log.append(i, i, i as f64);
+        }
+        assert_eq!(log.len(), n);
+        let all = log.read_all();
+        assert_eq!(all.len(), n as usize);
+        // Spot-check a cross-segment boundary read.
+        let boundary = log.read_from(SEGMENT_SIZE as u64 - 2, 4);
+        assert_eq!(boundary.len(), 4);
+        for (i, obs) in boundary.iter().enumerate() {
+            assert_eq!(obs.timestamp, SEGMENT_SIZE as u64 - 2 + i as u64);
+        }
+    }
+
+    #[test]
+    fn concurrent_appends_preserve_density() {
+        let log = Arc::new(ObservationLog::new());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let log = Arc::clone(&log);
+            handles.push(thread::spawn(move || {
+                for i in 0..2000u64 {
+                    log.append(t, i, (t * i) as f64);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(log.len(), 16000);
+        let all = log.read_all();
+        assert_eq!(all.len(), 16000);
+        // Offsets are dense and in order; no placeholder slots remain.
+        for (i, obs) in all.iter().enumerate() {
+            assert_eq!(obs.timestamp, i as u64);
+            assert!(obs.uid < 8);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the storage substrate: the LRU behaves like a
+//! reference model, the codec round-trips arbitrary tables, and versioned
+//! namespaces behave like a map with swap semantics.
+
+use proptest::prelude::*;
+use velox_storage::codec::{
+    decode_observations, decode_vector_table, encode_observations, encode_vector_table,
+};
+use velox_storage::{LruCache, Namespace, Observation};
+
+/// A reference (slow) LRU model: Vec ordered MRU-first.
+struct ModelLru {
+    cap: usize,
+    entries: Vec<(u64, u64)>,
+}
+
+impl ModelLru {
+    fn new(cap: usize) -> Self {
+        ModelLru { cap, entries: Vec::new() }
+    }
+    fn get(&mut self, k: u64) -> Option<u64> {
+        let pos = self.entries.iter().position(|(key, _)| *key == k)?;
+        let e = self.entries.remove(pos);
+        let v = e.1;
+        self.entries.insert(0, e);
+        Some(v)
+    }
+    fn put(&mut self, k: u64, v: u64) {
+        if let Some(pos) = self.entries.iter().position(|(key, _)| *key == k) {
+            self.entries.remove(pos);
+        } else if self.entries.len() == self.cap {
+            self.entries.pop();
+        }
+        self.entries.insert(0, (k, v));
+    }
+    fn invalidate(&mut self, k: u64) -> Option<u64> {
+        let pos = self.entries.iter().position(|(key, _)| *key == k)?;
+        Some(self.entries.remove(pos).1)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Get(u64),
+    Put(u64, u64),
+    Invalidate(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..20).prop_map(Op::Get),
+        (0u64..20, 0u64..1000).prop_map(|(k, v)| Op::Put(k, v)),
+        (0u64..20).prop_map(Op::Invalidate),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The slab LRU agrees with the reference model under arbitrary op
+    /// sequences, for several capacities.
+    #[test]
+    fn lru_matches_reference_model(cap in 1usize..9, ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut real: LruCache<u64, u64> = LruCache::new(cap);
+        let mut model = ModelLru::new(cap);
+        for op in ops {
+            match op {
+                Op::Get(k) => {
+                    prop_assert_eq!(real.get(&k).copied(), model.get(k));
+                }
+                Op::Put(k, v) => {
+                    real.put(k, v);
+                    model.put(k, v);
+                }
+                Op::Invalidate(k) => {
+                    prop_assert_eq!(real.invalidate(&k), model.invalidate(k));
+                }
+            }
+            prop_assert_eq!(real.len(), model.entries.len());
+            let order: Vec<u64> = model.entries.iter().map(|(k, _)| *k).collect();
+            prop_assert_eq!(real.keys_mru_order(), order);
+        }
+    }
+
+    /// Vector-table codec round-trips arbitrary contents bit-exactly.
+    #[test]
+    fn codec_vector_table_round_trip(
+        entries in prop::collection::vec(
+            (any::<u64>(), prop::collection::vec(any::<f64>().prop_filter("no NaN", |x| !x.is_nan()), 0..20)),
+            0..30,
+        )
+    ) {
+        let decoded = decode_vector_table(encode_vector_table(&entries)).unwrap();
+        prop_assert_eq!(decoded, entries);
+    }
+
+    /// Observation codec round-trips arbitrary logs.
+    #[test]
+    fn codec_observations_round_trip(
+        raw in prop::collection::vec((any::<u64>(), any::<u64>(), -1e6f64..1e6, any::<u64>()), 0..50)
+    ) {
+        let obs: Vec<Observation> = raw
+            .into_iter()
+            .map(|(uid, item_id, y, timestamp)| Observation { uid, item_id, y, timestamp })
+            .collect();
+        let decoded = decode_observations(encode_observations(&obs)).unwrap();
+        prop_assert_eq!(decoded, obs);
+    }
+
+    /// Namespace put/get behaves like HashMap, and publish_version replaces
+    /// contents wholesale.
+    #[test]
+    fn namespace_matches_hashmap(
+        puts in prop::collection::vec((0u64..50, any::<i64>()), 1..100),
+        publish in prop::collection::vec((0u64..50, any::<i64>()), 0..20),
+    ) {
+        let ns: Namespace<i64> = Namespace::new("prop");
+        let mut model = std::collections::HashMap::new();
+        for (k, v) in &puts {
+            ns.put(*k, *v);
+            model.insert(*k, *v);
+        }
+        for (k, v) in &model {
+            prop_assert_eq!(ns.get(*k), Some(*v));
+        }
+        prop_assert_eq!(ns.len(), model.len());
+
+        let v_before = ns.version();
+        ns.publish_version(publish.clone());
+        prop_assert_eq!(ns.version(), v_before + 1);
+        let mut pub_model = std::collections::HashMap::new();
+        for (k, v) in publish {
+            pub_model.insert(k, v);
+        }
+        prop_assert_eq!(ns.len(), pub_model.len());
+        for (k, v) in &pub_model {
+            prop_assert_eq!(ns.get(*k), Some(*v));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Dynamic model selection: two model families, one serving surface.
+//!
+//! ```text
+//! cargo run --release --example hybrid_models
+//! ```
+//!
+//! The abstract promises "online model maintenance and selection (i.e.,
+//! dynamic weighting)". This example runs a collaborative-filtering model
+//! (matrix factorization — strong once a user has history) next to a
+//! content-based model (identity features over item attributes — works from
+//! the first impression) and lets the Hedge-weighted [`EnsembleSelector`]
+//! decide, per user, how much to trust each.
+//!
+//! [`EnsembleSelector`]: velox_core::EnsembleSelector
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use velox::prelude::*;
+use velox_core::{EnsembleSelector, WeightScope};
+use velox_data::three_way_split;
+
+fn main() -> Result<(), VeloxError> {
+    let ds = RatingsDataset::generate(SyntheticConfig {
+        n_users: 400,
+        n_items: 200,
+        rank: 6,
+        ratings_per_user: 30,
+        noise_std: 0.3,
+        seed: 0x48B,
+        ..Default::default()
+    });
+    let split = three_way_split(&ds, 0.5, 0.7);
+    let executor = JobExecutor::default_parallelism();
+    let als = AlsModel::train(
+        &split.offline,
+        400,
+        200,
+        AlsConfig { rank: 6, lambda: 0.05, iterations: 8, seed: 2 },
+        &executor,
+    );
+    let mu = als.global_mean;
+    let history: Vec<TrainingExample> = split
+        .offline
+        .iter()
+        .map(|r| TrainingExample { uid: r.uid, item: Item::Id(r.item_id), y: r.value - mu })
+        .collect();
+
+    // Member 1: collaborative filtering (latent factors).
+    let (mf_model, _) = MatrixFactorizationModel::from_als("cf", &als);
+    let cf = Arc::new(Velox::deploy(Arc::new(mf_model), HashMap::new(), VeloxConfig::single_node()));
+    cf.ingest_history(&history)?;
+
+    // Member 2: content-based — a partial view of each item's attributes.
+    let content_model = IdentityModel::new("content", 4, 1.0);
+    let content =
+        Arc::new(Velox::deploy(Arc::new(content_model), HashMap::new(), VeloxConfig::single_node()));
+    for (item, factors) in ds.true_item_factors.iter().enumerate() {
+        content.register_item(item as u64, factors.as_slice()[..4].to_vec());
+    }
+    content.ingest_history(&history)?;
+
+    // Per-user Hedge weights: different users end up trusting different
+    // member models.
+    let ensemble = EnsembleSelector::new(
+        vec![("cf".into(), Arc::clone(&cf)), ("content".into(), Arc::clone(&content))],
+        1.5,
+        WeightScope::PerUser,
+    );
+
+    println!("streaming {} online observations through the ensemble...\n", split.online.len());
+    for r in &split.online {
+        ensemble.observe(r.uid, &Item::Id(r.item_id), r.value - mu)?;
+    }
+
+    // Held-out accuracy: ensemble vs members.
+    let rmse = |f: &dyn Fn(u64, u64) -> f64| -> f64 {
+        let mut sse = 0.0;
+        for r in &split.heldout {
+            let p = f(r.uid, r.item_id);
+            sse += (p - (r.value - mu)) * (p - (r.value - mu));
+        }
+        (sse / split.heldout.len() as f64).sqrt()
+    };
+    println!("held-out RMSE:");
+    println!("  cf member       {:.4}", rmse(&|u, i| cf.predict(u, &Item::Id(i)).unwrap().score));
+    println!("  content member  {:.4}", rmse(&|u, i| content.predict(u, &Item::Id(i)).unwrap().score));
+    println!("  ensemble        {:.4}", rmse(&|u, i| ensemble.predict(u, &Item::Id(i)).unwrap().score));
+
+    // Weight diversity across users.
+    let mut cf_dominant = 0;
+    let mut content_dominant = 0;
+    for uid in 0..400u64 {
+        match ensemble.dominant_model(uid).0.as_str() {
+            "cf" => cf_dominant += 1,
+            _ => content_dominant += 1,
+        }
+    }
+    println!("\nper-user model selection: {cf_dominant} users lean cf, {content_dominant} lean content");
+    let (name, w) = ensemble.dominant_model(7);
+    println!("example: user 7 trusts '{name}' with weight {w:.2}");
+    let pred = ensemble.predict(7, &Item::Id(3))?;
+    println!(
+        "user 7 / item 3 breakdown: {:?} -> ensemble {:.3}",
+        pred.breakdown
+            .iter()
+            .map(|(n, w, s)| format!("{n}: w={w:.2} s={s:+.2}"))
+            .collect::<Vec<_>>(),
+        pred.score
+    );
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! Operator's view: model versions, quality monitoring, and rollback.
+//!
+//! ```text
+//! cargo run --release --example lifecycle_ops
+//! ```
+//!
+//! The §2 "model lifecycle management" challenge from the administrator's
+//! chair: watch per-user error aggregates, spot underperforming users, roll
+//! a bad model version back, and inspect every observability surface Velox
+//! exposes.
+
+use std::sync::Arc;
+
+use velox::prelude::*;
+use velox_data::three_way_split;
+
+fn main() -> Result<(), VeloxError> {
+    let ds = RatingsDataset::generate(SyntheticConfig {
+        n_users: 300,
+        n_items: 150,
+        rank: 6,
+        ratings_per_user: 24,
+        noise_std: 0.3,
+        seed: 8080,
+        ..Default::default()
+    });
+    let split = three_way_split(&ds, 0.5, 0.7);
+    let executor = JobExecutor::default_parallelism();
+    let als = AlsModel::train(
+        &split.offline,
+        ds.config.n_users,
+        ds.config.n_items,
+        AlsConfig { rank: 6, lambda: 0.05, iterations: 8, seed: 4 },
+        &executor,
+    );
+    let mu = als.global_mean;
+    let (model, weights) = MatrixFactorizationModel::from_als("ops-demo", &als);
+    let mut config = VeloxConfig::single_node();
+    config.crossval_holdout_every = 10; // 10% prequential holdout
+    let velox = Velox::deploy(Arc::new(model), weights, config);
+
+    println!("=== normal operation: v{} ===", velox.model_version());
+    for r in &split.online {
+        velox.observe(r.uid, &Item::Id(r.item_id), r.value - mu)?;
+    }
+    let s = velox.stats();
+    println!(
+        "mean loss {:.4}, generalization loss {:.4} ({} observations)",
+        s.mean_loss,
+        s.generalization_loss.unwrap_or(f64::NAN),
+        s.observations
+    );
+
+    // Per-user diagnostics: nobody should stand out under honest traffic.
+    let outliers = velox.underperforming_users(3.0, 5);
+    println!("users >3x global mean loss: {outliers:?}");
+
+    println!("\n=== v2: a retrain lands ===");
+    velox.retrain_offline()?;
+    println!("now serving v{}; rollback targets: {:?}", velox.model_version(), velox.rollback_versions());
+
+    println!("\n=== incident: v3 is a bad deploy ===");
+    // Simulate a broken retrain by feeding garbage labels then retraining —
+    // the new version learns the garbage.
+    for r in split.online.iter().take(2000) {
+        velox.observe(r.uid, &Item::Id(r.item_id), -(r.value - mu) * 3.0)?;
+    }
+    velox.retrain_offline()?;
+    let bad_version = velox.model_version();
+    let probe = velox.predict(7, &Item::Id(3))?.score;
+    println!("v{bad_version} deployed; user 7 / item 3 now scores {probe:+.3}");
+
+    println!("\n=== rollback ===");
+    let targets = velox.rollback_versions();
+    let restore_to = targets[targets.len() - 1]; // the pre-incident version
+    let new_v = velox.rollback(restore_to)?;
+    let probe_after = velox.predict(7, &Item::Id(3))?.score;
+    println!(
+        "rolled back to v{restore_to} (serving as v{new_v}); user 7 / item 3 scores {probe_after:+.3}"
+    );
+    println!("rollback targets now: {:?}", velox.rollback_versions());
+
+    println!("\n=== final observability dump ===");
+    let s = velox.stats();
+    println!("model version:        {}", s.model_version);
+    println!("retrains:             {}", s.retrains);
+    println!("observations:         {}", s.observations);
+    println!("online users:         {}", s.online_users);
+    println!("prediction cache:     {:?} (hits, misses, evictions)", s.prediction_cache);
+    println!("cluster local reads:  {:.1}%", s.cluster.local_fraction() * 100.0);
+    println!("stale:                {}", s.stale);
+    Ok(())
+}

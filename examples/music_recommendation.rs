@@ -1,0 +1,132 @@
+//! The paper's running example end-to-end: a song recommendation service.
+//!
+//! ```text
+//! cargo run --release --example music_recommendation
+//! ```
+//!
+//! Walks the full Velox lifecycle of Figure 1:
+//!   1. **Train**: ALS matrix factorization on historical ratings (the
+//!      "Spark" batch job).
+//!   2. **Serve**: deploy to a 4-node simulated cluster; point predictions
+//!      and topK with caching.
+//!   3. **Observe**: stream new ratings through online updates and watch
+//!      held-out error drop.
+//!   4. **Retrain**: full offline retrain folds everything back in.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use velox::prelude::*;
+use velox_data::three_way_split;
+
+fn heldout_rmse(velox: &Velox, heldout: &[Rating], mu: f64) -> f64 {
+    let mut sse = 0.0;
+    for r in heldout {
+        let p = velox.predict(r.uid, &Item::Id(r.item_id)).unwrap().score + mu;
+        sse += (p - r.value) * (p - r.value);
+    }
+    (sse / heldout.len() as f64).sqrt()
+}
+
+fn main() -> Result<(), VeloxError> {
+    // Historical ratings: 2000 listeners, 500 songs, Zipfian popularity.
+    println!("=== 1. offline training (the batch phase) ===");
+    let ds = RatingsDataset::generate(SyntheticConfig {
+        n_users: 2000,
+        n_items: 500,
+        rank: 10,
+        ratings_per_user: 30,
+        noise_std: 0.4,
+        seed: 2015,
+        ..Default::default()
+    });
+    let split = three_way_split(&ds, 0.5, 0.7);
+    println!(
+        "dataset: {} ratings ({} offline / {} online / {} held out)",
+        ds.len(),
+        split.offline.len(),
+        split.online.len(),
+        split.heldout.len()
+    );
+
+    let executor = JobExecutor::default_parallelism();
+    let als = AlsModel::train(
+        &split.offline,
+        ds.config.n_users,
+        ds.config.n_items,
+        AlsConfig { rank: 10, lambda: 0.05, iterations: 10, seed: 1 },
+        &executor,
+    );
+    let mu = als.global_mean;
+    println!(
+        "ALS: {} iterations, training RMSE {:.4} -> {:.4}",
+        als.training_curve.len(),
+        als.training_curve.first().unwrap(),
+        als.training_curve.last().unwrap()
+    );
+
+    println!("\n=== 2. deployment & serving ===");
+    let (model, _) = MatrixFactorizationModel::from_als("songs", &als);
+    let config = VeloxConfig {
+        cluster: ClusterConfig { n_nodes: 4, ..Default::default() },
+        bandit: BanditChoice::LinUcb(1.0),
+        ..Default::default()
+    };
+    let velox = Velox::deploy(Arc::new(model), HashMap::new(), config);
+    // Seed per-user state with the offline history (Eq. 2 uses each user's
+    // full example set).
+    let history: Vec<TrainingExample> = split
+        .offline
+        .iter()
+        .map(|r| TrainingExample { uid: r.uid, item: Item::Id(r.item_id), y: r.value - mu })
+        .collect();
+    velox.ingest_history(&history)?;
+
+    let rmse_static = heldout_rmse(&velox, &split.heldout, mu);
+    println!("held-out RMSE after deployment: {rmse_static:.4}");
+
+    // Serving: topK for one user, twice — the second call is cache-warm.
+    let candidates: Vec<Item> = (0..100).map(Item::Id).collect();
+    let first = velox.top_k(42, &candidates)?;
+    let second = velox.top_k(42, &candidates)?;
+    println!(
+        "topK(100 candidates): first call {:.0}% cached, second {:.0}% cached",
+        first.cached_fraction * 100.0,
+        second.cached_fraction * 100.0
+    );
+    let best = first.ranked[0];
+    println!("user 42's best song: {} (score {:+.3}); served: {}", best.0, best.1, first.served);
+
+    println!("\n=== 3. online learning ===");
+    for r in &split.online {
+        velox.observe(r.uid, &Item::Id(r.item_id), r.value - mu)?;
+    }
+    let rmse_online = heldout_rmse(&velox, &split.heldout, mu);
+    println!(
+        "held-out RMSE after {} online updates: {rmse_online:.4} ({:+.1}% vs static)",
+        split.online.len(),
+        (rmse_online / rmse_static - 1.0) * 100.0
+    );
+
+    println!("\n=== 4. offline retraining ===");
+    let new_version = velox.retrain_offline()?;
+    let rmse_retrained = heldout_rmse(&velox, &split.heldout, mu);
+    println!(
+        "retrained to version {new_version}: held-out RMSE {rmse_retrained:.4} ({:+.1}% vs static)",
+        (rmse_retrained / rmse_static - 1.0) * 100.0
+    );
+
+    let stats = velox.stats();
+    println!("\n=== system stats ===");
+    println!("observations logged: {}", stats.observations);
+    println!(
+        "prediction cache: {} hits / {} misses",
+        stats.prediction_cache.0, stats.prediction_cache.1
+    );
+    println!(
+        "cluster locality: {:.1}% of reads local, load imbalance {:.2}",
+        stats.cluster.local_fraction() * 100.0,
+        stats.cluster.load_imbalance()
+    );
+    Ok(())
+}

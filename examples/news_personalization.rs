@@ -1,0 +1,134 @@
+//! News personalization with computed features, cold-start bootstrapping,
+//! and drift-triggered retraining.
+//!
+//! ```text
+//! cargo run --release --example news_personalization
+//! ```
+//!
+//! Articles arrive continuously and have *content* features (no ratings
+//! history), so the feature function is computational: random Fourier
+//! features over the article's topic vector (§6's "computational feature
+//! function" case — the basis is the global state θ, user weights
+//! personalize on top). Demonstrates:
+//!
+//! - serving brand-new articles (`Item::Raw`) that were never trained on,
+//! - the §5 mean-weight bootstrap for brand-new readers,
+//! - the §4.3 staleness detector firing on a topic-preference drift and
+//!   auto-triggering an offline retrain.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use velox::prelude::*;
+use velox_linalg::Vector;
+
+const TOPIC_DIM: usize = 6; // politics, sports, tech, arts, science, local
+const FEATURE_DIM: usize = 64;
+
+fn article_topics(article: u64) -> Vec<f64> {
+    // Each article is a mixture over topics, deterministic in its id.
+    let mut v: Vec<f64> = (0..TOPIC_DIM)
+        .map(|k| (((article as f64 + 1.0) * (k as f64 + 0.5) * 0.77).sin() + 1.0) / 2.0)
+        .collect();
+    let norm: f64 = v.iter().sum();
+    for x in &mut v {
+        *x /= norm;
+    }
+    v
+}
+
+/// A reader's true engagement with an article under preference `pref`.
+fn engagement(pref: &[f64], article: u64) -> f64 {
+    article_topics(article).iter().zip(pref).map(|(t, p)| t * p).sum()
+}
+
+fn main() -> Result<(), VeloxError> {
+    let model = RandomFourierModel::new("news", TOPIC_DIM, FEATURE_DIM, 1.5, 1.0, 99);
+    let mut config = VeloxConfig::single_node();
+    config.auto_retrain = true;
+    config.staleness_threshold = 2.0;
+    config.staleness_warmup = 400;
+    config.bandit = BanditChoice::Thompson(1.0);
+    let velox = Velox::deploy(Arc::new(model), HashMap::new(), config);
+
+    // The morning's catalog.
+    for article in 0..120u64 {
+        velox.register_item(article, article_topics(article));
+    }
+
+    println!("=== phase 1: readers build profiles ===");
+    // 30 readers; reader r initially loves topic r % 6.
+    let initial_pref = |uid: u64| -> Vec<f64> {
+        let mut p = vec![0.1; TOPIC_DIM];
+        p[(uid as usize) % TOPIC_DIM] = 1.0;
+        p
+    };
+    for round in 0..40u64 {
+        for uid in 0..30u64 {
+            let article = (round * 31 + uid * 7) % 120;
+            let y = engagement(&initial_pref(uid), article);
+            velox.observe(uid, &Item::Id(article), y)?;
+        }
+    }
+    let s = velox.stats();
+    println!("{} observations, mean loss {:.4}", s.observations, s.mean_loss);
+
+    // Reader 3 loves topic 3 (arts): their top article should be arts-heavy.
+    let candidates: Vec<Item> = (0..120).map(Item::Id).collect();
+    let top = velox.top_k(3, &candidates)?;
+    let best_article = top.ranked[0].0 as u64;
+    let topics = article_topics(best_article);
+    println!(
+        "reader 3's top article: {best_article} (topic-3 weight {:.2}, max topic {:.2})",
+        topics[3],
+        topics.iter().cloned().fold(0.0, f64::max)
+    );
+
+    println!("\n=== phase 2: a brand-new reader (cold start) ===");
+    let newbie = 999u64;
+    let resp = velox.predict(newbie, &Item::Id(5))?;
+    println!(
+        "new reader served from the mean-weight bootstrap: score {:.3} (bootstrapped: {})",
+        resp.score, resp.bootstrapped
+    );
+
+    println!("\n=== phase 3: breaking news — a never-seen article ===");
+    // Raw items serve immediately; no catalog registration needed.
+    let breaking = Item::Raw(Vector::from_vec(vec![0.7, 0.0, 0.2, 0.0, 0.1, 0.0]));
+    let resp = velox.predict(3, &breaking)?;
+    println!("fresh article scored on content alone: {:.3}", resp.score);
+
+    println!("\n=== phase 4: preference drift triggers retraining ===");
+    // Everyone's interests rotate by three topics. Loss rises, the
+    // staleness detector fires, and Velox retrains itself.
+    let drifted_pref = |uid: u64| -> Vec<f64> {
+        let mut p = vec![0.1; TOPIC_DIM];
+        p[((uid as usize) + 3) % TOPIC_DIM] = 1.0;
+        p
+    };
+    let version_before = velox.model_version();
+    let mut retrained_at = None;
+    'outer: for round in 0..200u64 {
+        for uid in 0..30u64 {
+            let article = (round * 13 + uid * 11) % 120;
+            let y = engagement(&drifted_pref(uid), article);
+            let outcome = velox.observe(uid, &Item::Id(article), y)?;
+            if outcome.retrained {
+                retrained_at = Some(round);
+                break 'outer;
+            }
+        }
+    }
+    match retrained_at {
+        Some(round) => println!(
+            "staleness detector fired after ~{} drifted observations; retrained v{} -> v{}",
+            round * 30,
+            version_before,
+            velox.model_version()
+        ),
+        None => println!("no retrain triggered (unexpected)"),
+    }
+    let s = velox.stats();
+    println!("final: version {}, {} retrains, mean loss {:.4}", s.model_version, s.retrains, s.mean_loss);
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Quickstart: deploy a model, serve predictions, learn from feedback.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The five-minute tour of the Velox API from Listing 1 of the paper:
+//! `predict`, `topK`, and `observe`, on the simplest possible model (per-user
+//! ridge regression over raw item features).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use velox::prelude::*;
+
+fn main() -> Result<(), VeloxError> {
+    // 1. A model: identity features of dimension 3 — each item is described
+    //    by [tempo, energy, acousticness] and each user learns a personal
+    //    weight per attribute.
+    let model = IdentityModel::new("quickstart", 3, 0.5);
+    let velox = Velox::deploy(Arc::new(model), HashMap::new(), VeloxConfig::single_node());
+
+    // 2. A catalog: four songs with hand-written attributes.
+    velox.register_item(0, vec![0.9, 0.8, 0.1]); // fast, loud, electric
+    velox.register_item(1, vec![0.8, 0.9, 0.2]); // fast, loud
+    velox.register_item(2, vec![0.2, 0.3, 0.9]); // slow, quiet, acoustic
+    velox.register_item(3, vec![0.1, 0.2, 0.8]); // slow, quiet, acoustic
+
+    let alice = 1u64;
+
+    // 3. Before any feedback, Alice is served the bootstrap (mean-user)
+    //    model — there are no users yet, so scores are zero.
+    let cold = velox.predict(alice, &Item::Id(0))?;
+    println!("cold-start prediction for song 0: {:.3} (bootstrapped: {})", cold.score, cold.bootstrapped);
+
+    // 4. Feedback: Alice loves the acoustic tracks, dislikes the loud ones.
+    velox.observe(alice, &Item::Id(0), -1.0)?;
+    velox.observe(alice, &Item::Id(2), 1.0)?;
+    velox.observe(alice, &Item::Id(3), 0.8)?;
+
+    // 5. Point predictions now reflect her taste ...
+    for song in 0..4u64 {
+        let p = velox.predict(alice, &Item::Id(song))?;
+        println!("song {song}: predicted score {:+.3} (cached: {})", p.score, p.cached);
+    }
+
+    // 6. ... and topK ranks the catalog for her. The `served` index is the
+    //    bandit's pick, which may explore an uncertain song rather than the
+    //    argmax.
+    let items: Vec<Item> = (0..4).map(Item::Id).collect();
+    let top = velox.top_k(alice, &items)?;
+    println!(
+        "topK ranking: {:?}",
+        top.ranked.iter().map(|(i, s)| format!("song {i}: {s:+.2}")).collect::<Vec<_>>()
+    );
+    println!("served: song {} (randomized: {})", top.served, top.randomized);
+
+    // 7. System observability.
+    let stats = velox.stats();
+    println!(
+        "stats: version {}, {} observations, {} online users, mean loss {:.3}",
+        stats.model_version, stats.observations, stats.online_users, stats.mean_loss
+    );
+    Ok(())
+}

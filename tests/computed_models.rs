@@ -1,0 +1,150 @@
+//! Full-lifecycle integration tests for *computational* feature functions
+//! (random Fourier, SVM ensemble, MLP): deploy → serve → observe → retrain
+//! → rollback, through the same Velox machinery the materialized
+//! matrix-factorization model uses.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use velox::prelude::*;
+use velox_linalg::Vector;
+
+const INPUT_DIM: usize = 5;
+const N_ITEMS: u64 = 60;
+
+fn item_attrs(item: u64) -> Vec<f64> {
+    (0..INPUT_DIM).map(|k| ((item as f64 + 1.0) * (k as f64 + 0.9) * 0.47).sin()).collect()
+}
+
+/// A nonlinear ground-truth preference for one user (so linear-in-input
+/// models underfit but basis expansions can fit).
+fn truth(item: u64) -> f64 {
+    let a = item_attrs(item);
+    (a[0] * a[1]).tanh() + 0.5 * a[2] - 0.3 * (a[3] * std::f64::consts::PI).sin()
+}
+
+fn deploy(model: Arc<dyn VeloxModel>) -> Arc<Velox> {
+    let mut config = VeloxConfig::single_node();
+    config.lambda = 0.3;
+    let velox = Arc::new(Velox::deploy(model, HashMap::new(), config));
+    for item in 0..N_ITEMS {
+        velox.register_item(item, item_attrs(item));
+    }
+    velox
+}
+
+fn train_and_eval(velox: &Velox) -> (f64, f64) {
+    // Train on items 0..40, evaluate on held-out items 40..60.
+    let mut before = 0.0;
+    for item in 40..N_ITEMS {
+        let p = velox.predict(1, &Item::Id(item)).unwrap().score;
+        before += (p - truth(item)).powi(2);
+    }
+    for pass in 0..3 {
+        for item in 0..40u64 {
+            velox.observe(1, &Item::Id(item), truth(item)).unwrap();
+        }
+        let _ = pass;
+    }
+    let mut after = 0.0;
+    for item in 40..N_ITEMS {
+        let p = velox.predict(1, &Item::Id(item)).unwrap().score;
+        after += (p - truth(item)).powi(2);
+    }
+    (
+        (before / 20.0f64).sqrt(),
+        (after / 20.0f64).sqrt(),
+    )
+}
+
+#[test]
+fn rff_model_learns_nonlinear_preferences() {
+    let model = RandomFourierModel::new("rff", INPUT_DIM, 128, 1.0, 0.3, 11);
+    let velox = deploy(Arc::new(model));
+    let (before, after) = train_and_eval(&velox);
+    assert!(
+        after < before * 0.5,
+        "RFF should generalize to held-out items: {before:.4} -> {after:.4}"
+    );
+}
+
+#[test]
+fn mlp_model_learns_nonlinear_preferences() {
+    let model = MlpFeatureModel::new("mlp", INPUT_DIM, &[64, 32], 0.3, 13);
+    let velox = deploy(Arc::new(model));
+    let (before, after) = train_and_eval(&velox);
+    assert!(
+        after < before * 0.75,
+        "MLP features should generalize: {before:.4} -> {after:.4}"
+    );
+}
+
+#[test]
+fn svm_ensemble_serves_and_learns() {
+    let model = SvmEnsembleModel::random("svm", INPUT_DIM, 64, 0.3, 17);
+    let velox = deploy(Arc::new(model));
+    let (before, after) = train_and_eval(&velox);
+    assert!(after < before, "SVM-basis model must at least improve: {before:.4} -> {after:.4}");
+}
+
+#[test]
+fn computed_model_full_lifecycle_retrain_and_rollback() {
+    let model = RandomFourierModel::new("rff-life", INPUT_DIM, 64, 1.0, 0.3, 19);
+    let velox = deploy(Arc::new(model));
+
+    // Several users observe.
+    for uid in 0..8u64 {
+        for item in 0..30u64 {
+            velox.observe(uid, &Item::Id(item), truth(item) + (uid as f64) * 0.01).unwrap();
+        }
+    }
+    let probe_v1 = velox.predict(3, &Item::Id(50)).unwrap().score;
+
+    // Retrain: per-user ridge refit over the full history.
+    let v2 = velox.retrain_offline().unwrap();
+    assert_eq!(v2, 2);
+    let probe_v2 = velox.predict(3, &Item::Id(50)).unwrap().score;
+    assert!(probe_v2.is_finite());
+
+    // Rollback to v1's end-of-reign state.
+    let v3 = velox.rollback(1).unwrap();
+    assert_eq!(v3, 3);
+    let probe_rolled = velox.predict(3, &Item::Id(50)).unwrap().score;
+    assert!(
+        (probe_rolled - probe_v1).abs() < 1e-9,
+        "rollback must restore: {probe_v1} vs {probe_rolled}"
+    );
+}
+
+#[test]
+fn computed_model_catalog_topk_is_exact() {
+    let model = MlpFeatureModel::new("mlp-topk", INPUT_DIM, &[32, 16], 0.3, 23);
+    let velox = deploy(Arc::new(model));
+    for item in 0..20u64 {
+        velox.observe(2, &Item::Id(item), truth(item)).unwrap();
+    }
+    let top = velox.top_k_catalog(2, 5).unwrap();
+    assert_eq!(top.len(), 5);
+    // Matches brute force over point predictions.
+    let mut all: Vec<(u64, f64)> = (0..N_ITEMS)
+        .map(|item| (item, velox.predict(2, &Item::Id(item)).unwrap().score))
+        .collect();
+    all.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (got, want) in top.iter().zip(all.iter().take(5)) {
+        assert!((got.1 - want.1).abs() < 1e-9, "{got:?} vs {want:?}");
+    }
+}
+
+#[test]
+fn raw_and_catalog_items_are_interchangeable() {
+    let model = RandomFourierModel::new("rff-raw", INPUT_DIM, 32, 1.0, 0.3, 29);
+    let velox = deploy(Arc::new(model));
+    velox.observe(1, &Item::Id(7), 1.5).unwrap();
+    // Serving the same item by id and by raw payload gives the same score.
+    let by_id = velox.predict(1, &Item::Id(7)).unwrap().score;
+    let by_raw = velox
+        .predict(1, &Item::Raw(Vector::from_vec(item_attrs(7))))
+        .unwrap()
+        .score;
+    assert!((by_id - by_raw).abs() < 1e-12);
+}

@@ -1,0 +1,182 @@
+//! Concurrency tests: the serving and management paths are exercised from
+//! many threads at once. The paper's design premise — per-user updates are
+//! "lightweight [and] conflict free" because user weights are independent —
+//! must hold as actual thread-safety here.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread;
+
+use velox::prelude::*;
+
+fn deploy() -> Arc<Velox> {
+    let ds = RatingsDataset::generate(SyntheticConfig {
+        n_users: 32,
+        n_items: 64,
+        rank: 4,
+        ratings_per_user: 10,
+        seed: 77,
+        ..Default::default()
+    });
+    let executor = JobExecutor::new(4);
+    let als = AlsModel::train(
+        &ds.ratings,
+        32,
+        64,
+        AlsConfig { rank: 4, lambda: 0.05, iterations: 4, seed: 5 },
+        &executor,
+    );
+    let (model, weights) = MatrixFactorizationModel::from_als("mt", &als);
+    let config = VeloxConfig {
+        cluster: ClusterConfig { n_nodes: 4, ..Default::default() },
+        ..Default::default()
+    };
+    Arc::new(Velox::deploy(Arc::new(model), weights, config))
+}
+
+#[test]
+fn concurrent_predicts_are_consistent() {
+    let velox = deploy();
+    // Pre-compute expected scores single-threaded.
+    let mut expected = HashMap::new();
+    for uid in 0..32u64 {
+        for item in 0..16u64 {
+            expected.insert((uid, item), velox.predict(uid, &Item::Id(item)).unwrap().score);
+        }
+    }
+    let mut handles = Vec::new();
+    for t in 0..8u64 {
+        let velox = Arc::clone(&velox);
+        let expected = expected.clone();
+        handles.push(thread::spawn(move || {
+            for i in 0..2000u64 {
+                let uid = (t * 7 + i) % 32;
+                let item = (t * 13 + i) % 16;
+                let score = velox.predict(uid, &Item::Id(item)).unwrap().score;
+                assert_eq!(score, expected[&(uid, item)], "read-only serving must be stable");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn concurrent_observes_on_disjoint_users_all_land() {
+    let velox = deploy();
+    let mut handles = Vec::new();
+    for t in 0..8u64 {
+        let velox = Arc::clone(&velox);
+        handles.push(thread::spawn(move || {
+            // Threads own disjoint user ranges: t*4..(t+1)*4.
+            for i in 0..250u64 {
+                let uid = t * 4 + (i % 4);
+                let item = i % 64;
+                velox.observe(uid, &Item::Id(item), 1.0).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = velox.stats();
+    assert_eq!(stats.observations, 2000, "no observation lost");
+}
+
+#[test]
+fn concurrent_observes_on_same_user_serialize_correctly() {
+    let velox = deploy();
+    // All threads hammer user 0 with the same strong signal; the final
+    // prediction must reflect all updates (per-user lock serializes them).
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let velox = Arc::clone(&velox);
+        handles.push(thread::spawn(move || {
+            for _ in 0..100 {
+                velox.observe(0, &Item::Id(1), 10.0).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(velox.stats().observations, 400);
+    let pred = velox.predict(0, &Item::Id(1)).unwrap().score;
+    assert!(pred > 5.0, "400 observations of 10.0 must dominate: {pred}");
+}
+
+#[test]
+fn serving_continues_during_retrain() {
+    let velox = deploy();
+    // Build up history so a retrain has data.
+    for uid in 0..32u64 {
+        for item in 0..8u64 {
+            velox.observe(uid, &Item::Id(item), 2.0).unwrap();
+        }
+    }
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let velox = Arc::clone(&velox);
+        let stop = Arc::clone(&stop);
+        handles.push(thread::spawn(move || {
+            let mut served = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let uid = (t + served) % 32;
+                let item = served % 64;
+                // Either version may serve during the swap; both are valid.
+                velox.predict(uid, &Item::Id(item)).unwrap();
+                served += 1;
+            }
+            served
+        }));
+    }
+    // A couple of retrains while serving hammers on.
+    for _ in 0..2 {
+        velox.retrain_offline().unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(total > 0, "serving threads made progress during retrains");
+    assert_eq!(velox.stats().retrains, 2);
+    assert_eq!(velox.stats().model_version, 3);
+}
+
+#[test]
+fn mixed_workload_stress() {
+    let velox = deploy();
+    let mut handles = Vec::new();
+    // Writers.
+    for t in 0..4u64 {
+        let velox = Arc::clone(&velox);
+        handles.push(thread::spawn(move || {
+            for i in 0..300u64 {
+                let uid = (t * 8 + i) % 32;
+                velox.observe(uid, &Item::Id(i % 64), (i % 5) as f64).unwrap();
+            }
+        }));
+    }
+    // Readers (point + topK).
+    for t in 0..4u64 {
+        let velox = Arc::clone(&velox);
+        handles.push(thread::spawn(move || {
+            let items: Vec<Item> = (0..20).map(Item::Id).collect();
+            for i in 0..300u64 {
+                let uid = (t * 5 + i) % 32;
+                if i % 3 == 0 {
+                    let resp = velox.top_k(uid, &items).unwrap();
+                    assert_eq!(resp.ranked.len(), 20);
+                } else {
+                    assert!(velox.predict(uid, &Item::Id(i % 64)).unwrap().score.is_finite());
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = velox.stats();
+    assert_eq!(stats.observations, 1200);
+    assert!(stats.mean_loss.is_finite());
+}

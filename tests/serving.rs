@@ -1,0 +1,222 @@
+//! End-to-end serving tests: deploy a trained matrix-factorization model
+//! and exercise the predict/topK API of Listing 1 — caching, routing,
+//! bootstrapping, ranking.
+
+use std::sync::Arc;
+
+use velox::prelude::*;
+
+fn deploy(n_nodes: usize) -> (Arc<Velox>, RatingsDataset) {
+    let ds = RatingsDataset::generate(SyntheticConfig {
+        n_users: 60,
+        n_items: 120,
+        rank: 8,
+        ratings_per_user: 20,
+        noise_std: 0.3,
+        seed: 2025,
+        ..Default::default()
+    });
+    let executor = JobExecutor::new(4);
+    let als = AlsModel::train(
+        &ds.ratings,
+        60,
+        120,
+        AlsConfig { rank: 8, lambda: 0.05, iterations: 6, seed: 7 },
+        &executor,
+    );
+    let (model, weights) = MatrixFactorizationModel::from_als("songs", &als);
+    let config = VeloxConfig {
+        cluster: ClusterConfig { n_nodes, ..Default::default() },
+        ..Default::default()
+    };
+    (Arc::new(Velox::deploy(Arc::new(model), weights, config)), ds)
+}
+
+#[test]
+fn predictions_match_manual_dot_products() {
+    let (velox, ds) = deploy(1);
+    let executor = JobExecutor::new(4);
+    let als = AlsModel::train(
+        &ds.ratings,
+        60,
+        120,
+        AlsConfig { rank: 8, lambda: 0.05, iterations: 6, seed: 7 },
+        &executor,
+    );
+    for r in ds.ratings.iter().take(40) {
+        let resp = velox.predict(r.uid, &Item::Id(r.item_id)).unwrap();
+        // Velox serves wᵤᵀxᵢ (the μ offset lives in the model object; the
+        // latent-factor table holds centered scores).
+        let manual = als.predict(r.uid, r.item_id) - als.global_mean;
+        assert!(
+            (resp.score - manual).abs() < 1e-9,
+            "serving score {} vs manual {}",
+            resp.score,
+            manual
+        );
+        assert!(!resp.bootstrapped);
+    }
+}
+
+#[test]
+fn repeat_prediction_hits_cache() {
+    let (velox, _) = deploy(1);
+    let cold = velox.predict(3, &Item::Id(10)).unwrap();
+    assert!(!cold.cached);
+    let warm = velox.predict(3, &Item::Id(10)).unwrap();
+    assert!(warm.cached, "identical request must be served from cache");
+    assert_eq!(warm.score, cold.score);
+    assert_eq!(warm.virtual_cost_us, 0.0, "cache hits cost no storage reads");
+    let stats = velox.stats();
+    assert!(stats.prediction_cache.0 >= 1);
+}
+
+#[test]
+fn observe_invalidates_users_cached_predictions() {
+    let (velox, _) = deploy(1);
+    let before = velox.predict(5, &Item::Id(20)).unwrap();
+    assert!(velox.predict(5, &Item::Id(20)).unwrap().cached);
+    // Feedback changes user 5's weights → next prediction must recompute.
+    velox.observe(5, &Item::Id(20), 5.0).unwrap();
+    let after = velox.predict(5, &Item::Id(20)).unwrap();
+    assert!(!after.cached, "user update must version the cache key");
+    assert_ne!(before.score, after.score, "feedback must change the score");
+    // Another user's cached entries survive.
+    velox.predict(6, &Item::Id(20)).unwrap();
+    assert!(velox.predict(6, &Item::Id(20)).unwrap().cached);
+}
+
+#[test]
+fn unknown_user_gets_bootstrap_prediction() {
+    let (velox, _) = deploy(1);
+    let resp = velox.predict(9999, &Item::Id(10)).unwrap();
+    assert!(resp.bootstrapped);
+    assert!(resp.score.is_finite());
+    // The bootstrap score is the mean-user score, so it should be within
+    // the range of individual user scores for the same item.
+    let all: Vec<f64> =
+        (0..60).map(|u| velox.predict(u, &Item::Id(10)).unwrap().score).collect();
+    let (lo, hi) = all
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &s| (l.min(s), h.max(s)));
+    assert!(resp.score >= lo - 1e-9 && resp.score <= hi + 1e-9);
+}
+
+#[test]
+fn unknown_item_is_an_error() {
+    let (velox, _) = deploy(1);
+    let err = velox.predict(1, &Item::Id(999_999)).unwrap_err();
+    assert!(matches!(err, VeloxError::Model(velox_models::ModelError::UnknownItem(_))));
+}
+
+#[test]
+fn topk_ranks_by_score_descending() {
+    let (velox, _) = deploy(1);
+    let items: Vec<Item> = (0..30).map(Item::Id).collect();
+    let resp = velox.top_k(7, &items).unwrap();
+    assert_eq!(resp.ranked.len(), 30);
+    for w in resp.ranked.windows(2) {
+        assert!(w[0].1 >= w[1].1, "ranking must be descending");
+    }
+    // Scores agree with point predictions.
+    for &(idx, score) in resp.ranked.iter().take(5) {
+        let point = velox.predict(7, &items[idx]).unwrap();
+        assert!((point.score - score).abs() < 1e-9);
+    }
+    assert!(resp.served < items.len());
+}
+
+#[test]
+fn topk_rejects_empty_candidates() {
+    let (velox, _) = deploy(1);
+    assert!(matches!(velox.top_k(1, &[]), Err(VeloxError::EmptyCandidateSet)));
+}
+
+#[test]
+fn topk_second_call_is_mostly_cached() {
+    let (velox, _) = deploy(1);
+    let items: Vec<Item> = (0..50).map(Item::Id).collect();
+    let first = velox.top_k(2, &items).unwrap();
+    assert_eq!(first.cached_fraction, 0.0);
+    let second = velox.top_k(2, &items).unwrap();
+    assert!(
+        second.cached_fraction > 0.95,
+        "overlapping itemset should be cache-served: {}",
+        second.cached_fraction
+    );
+    assert!(second.virtual_cost_us < first.virtual_cost_us);
+}
+
+#[test]
+fn multinode_serving_keeps_user_reads_local() {
+    let (velox, ds) = deploy(8);
+    for r in ds.ratings.iter().take(400) {
+        velox.predict(r.uid, &Item::Id(r.item_id)).unwrap();
+    }
+    let stats = velox.stats();
+    // User-weight reads are all local under ByUser routing; item reads may
+    // be remote but get cached. Overall locality should be high.
+    assert!(
+        stats.cluster.local_fraction() > 0.5,
+        "local fraction {}",
+        stats.cluster.local_fraction()
+    );
+    // Requests spread across nodes.
+    let served: Vec<u64> = stats.cluster.nodes.iter().map(|n| n.requests_served).collect();
+    assert!(served.iter().filter(|&&s| s > 0).count() >= 6, "{served:?}");
+}
+
+#[test]
+fn system_stats_reflect_activity() {
+    let (velox, _) = deploy(2);
+    velox.predict(1, &Item::Id(1)).unwrap();
+    velox.observe(1, &Item::Id(1), 4.0).unwrap();
+    velox.observe(2, &Item::Id(5), 2.0).unwrap();
+    let stats = velox.stats();
+    assert_eq!(stats.model_version, 1);
+    assert_eq!(stats.retrains, 0);
+    assert_eq!(stats.observations, 2);
+    assert_eq!(stats.online_users, 2, "online state is created lazily per observing user");
+    assert!(stats.mean_loss >= 0.0);
+}
+
+#[test]
+fn catalog_topk_matches_brute_force() {
+    let (velox, _) = deploy(1);
+    let k = 10;
+    let top = velox.top_k_catalog(7, k).unwrap();
+    assert_eq!(top.len(), k);
+    // Brute force via point predictions over the whole catalog.
+    let mut all: Vec<(u64, f64)> = (0..120u64)
+        .map(|item| (item, velox.predict(7, &Item::Id(item)).unwrap().score))
+        .collect();
+    all.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (got, want) in top.iter().zip(all.iter().take(k)) {
+        assert!((got.1 - want.1).abs() < 1e-12, "{got:?} vs {want:?}");
+    }
+    // Scores strictly descending.
+    for w in top.windows(2) {
+        assert!(w[0].1 >= w[1].1);
+    }
+}
+
+#[test]
+fn catalog_topk_index_rebuilds_after_retrain() {
+    let (velox, ds) = deploy(1);
+    let before = velox.top_k_catalog(3, 5).unwrap();
+    for r in ds.ratings.iter().take(500) {
+        velox.observe(r.uid, &Item::Id(r.item_id), r.value - 3.0).unwrap();
+    }
+    velox.retrain_offline().unwrap();
+    let after = velox.top_k_catalog(3, 5).unwrap();
+    // New θ → (almost surely) different scores; and the result must match
+    // a fresh brute force under the new model.
+    let mut all: Vec<(u64, f64)> = (0..120u64)
+        .map(|item| (item, velox.predict(3, &Item::Id(item)).unwrap().score))
+        .collect();
+    all.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (got, want) in after.iter().zip(all.iter().take(5)) {
+        assert!((got.1 - want.1).abs() < 1e-12);
+    }
+    assert_ne!(before, after, "index must not serve the old model version");
+}
