@@ -6,8 +6,7 @@
 //! exploration strategies per §8's future work without touching the serving
 //! path.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use velox_data::VeloxRng;
 
 /// One scored candidate, as produced by the predictor.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,14 +72,14 @@ impl BanditPolicy for GreedyPolicy {
 #[derive(Debug)]
 pub struct EpsilonGreedyPolicy {
     epsilon: f64,
-    rng: StdRng,
+    rng: VeloxRng,
 }
 
 impl EpsilonGreedyPolicy {
     /// Creates a policy with exploration rate `epsilon ∈ [0, 1]`.
     pub fn new(epsilon: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&epsilon));
-        EpsilonGreedyPolicy { epsilon, rng: StdRng::seed_from_u64(seed) }
+        EpsilonGreedyPolicy { epsilon, rng: VeloxRng::seed_from(seed) }
     }
 }
 
@@ -89,8 +88,8 @@ impl BanditPolicy for EpsilonGreedyPolicy {
         "epsilon-greedy"
     }
     fn select(&mut self, candidates: &[Candidate]) -> usize {
-        if self.rng.gen::<f64>() < self.epsilon {
-            self.rng.gen_range(0..candidates.len())
+        if self.rng.uniform() < self.epsilon {
+            self.rng.below(candidates.len() as u64) as usize
         } else {
             argmax_by(candidates, |c| c.score)
         }
@@ -137,7 +136,7 @@ impl BanditPolicy for LinUcbPolicy {
 /// exploration proportional to posterior uncertainty.
 #[derive(Debug)]
 pub struct ThompsonPolicy {
-    rng: StdRng,
+    rng: VeloxRng,
     /// Scale on the sampled noise (1.0 = the posterior itself).
     scale: f64,
 }
@@ -147,19 +146,7 @@ impl ThompsonPolicy {
     /// distribution relative to the posterior.
     pub fn new(scale: f64, seed: u64) -> Self {
         assert!(scale > 0.0);
-        ThompsonPolicy { rng: StdRng::seed_from_u64(seed), scale }
-    }
-
-    fn gaussian(&mut self) -> f64 {
-        // Box–Muller (polar).
-        loop {
-            let u = 2.0 * self.rng.gen::<f64>() - 1.0;
-            let v = 2.0 * self.rng.gen::<f64>() - 1.0;
-            let s = u * u + v * v;
-            if s > 0.0 && s < 1.0 {
-                return u * (-2.0 * s.ln() / s).sqrt();
-            }
-        }
+        ThompsonPolicy { rng: VeloxRng::seed_from(seed), scale }
     }
 }
 
@@ -171,7 +158,7 @@ impl BanditPolicy for ThompsonPolicy {
         let mut best = 0usize;
         let mut best_v = f64::NEG_INFINITY;
         for (i, c) in candidates.iter().enumerate() {
-            let draw = c.score + self.scale * c.variance.max(0.0).sqrt() * self.gaussian();
+            let draw = c.score + self.scale * c.variance.max(0.0).sqrt() * self.rng.gaussian();
             if draw > best_v {
                 best_v = draw;
                 best = i;
@@ -301,8 +288,7 @@ mod tests {
         // Arm k has feature e_k; true reward of arm k is k/10 + 0.1, so arm
         // 9 is best (1.0) but arm 0 already yields positive reward (0.1) —
         // the greedy trap.
-        let arms: Vec<Vector> =
-            (0..n_arms).map(|k| Vector::basis(n_arms, k).unwrap()).collect();
+        let arms: Vec<Vector> = (0..n_arms).map(|k| Vector::basis(n_arms, k).unwrap()).collect();
         let rewards: Vec<f64> = (0..n_arms).map(|k| 0.1 + k as f64 / 10.0).collect();
         let best = rewards[n_arms - 1];
 

@@ -8,8 +8,7 @@
 //! usable to estimate true model quality (a model cannot grade its own
 //! homework on data it selected).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use velox_data::VeloxRng;
 
 /// One validation observation gathered from an exploration-served request.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,7 +27,7 @@ pub struct ValidationObservation {
 #[derive(Debug)]
 pub struct ValidationPool {
     fraction: f64,
-    rng: StdRng,
+    rng: VeloxRng,
     pool: Vec<ValidationObservation>,
     capacity: usize,
     /// Serves randomized so far (including ones whose label never arrived).
@@ -46,7 +45,7 @@ impl ValidationPool {
         assert!(capacity > 0);
         ValidationPool {
             fraction,
-            rng: StdRng::seed_from_u64(seed),
+            rng: VeloxRng::seed_from(seed),
             pool: Vec::new(),
             capacity,
             explorations: 0,
@@ -62,9 +61,9 @@ impl ValidationPool {
         if n_candidates == 0 {
             return None;
         }
-        if self.rng.gen::<f64>() < self.fraction {
+        if self.rng.uniform() < self.fraction {
             self.explorations += 1;
-            Some(self.rng.gen_range(0..n_candidates))
+            Some(self.rng.below(n_candidates as u64) as usize)
         } else {
             None
         }
@@ -89,11 +88,8 @@ impl ValidationPool {
         if self.pool.is_empty() {
             return None;
         }
-        let sse: f64 = self
-            .pool
-            .iter()
-            .map(|o| (o.predicted - o.actual) * (o.predicted - o.actual))
-            .sum();
+        let sse: f64 =
+            self.pool.iter().map(|o| (o.predicted - o.actual) * (o.predicted - o.actual)).sum();
         Some((sse / self.pool.len() as f64).sqrt())
     }
 

@@ -138,10 +138,22 @@ impl AlsModel {
         };
 
         for _ in 0..config.iterations {
-            model.user_factors =
-                half_step(&by_user, &model.item_factors, config.rank, config.lambda, &model.user_factors, executor);
-            model.item_factors =
-                half_step(&by_item, &model.user_factors, config.rank, config.lambda, &model.item_factors, executor);
+            model.user_factors = half_step(
+                &by_user,
+                &model.item_factors,
+                config.rank,
+                config.lambda,
+                &model.user_factors,
+                executor,
+            );
+            model.item_factors = half_step(
+                &by_item,
+                &model.user_factors,
+                config.rank,
+                config.lambda,
+                &model.item_factors,
+                executor,
+            );
             model.training_curve.push(model.rmse(ratings));
         }
         model
@@ -242,17 +254,11 @@ mod tests {
         let rmse = model.rmse(&ds.ratings);
         // Mean-only predictor RMSE:
         let mean = ds.ratings.iter().map(|r| r.value).sum::<f64>() / ds.len() as f64;
-        let mean_rmse = (ds
-            .ratings
-            .iter()
-            .map(|r| (r.value - mean) * (r.value - mean))
-            .sum::<f64>()
-            / ds.len() as f64)
-            .sqrt();
-        assert!(
-            rmse < 0.6 * mean_rmse,
-            "ALS rmse {rmse} should beat mean-only {mean_rmse}"
-        );
+        let mean_rmse =
+            (ds.ratings.iter().map(|r| (r.value - mean) * (r.value - mean)).sum::<f64>()
+                / ds.len() as f64)
+                .sqrt();
+        assert!(rmse < 0.6 * mean_rmse, "ALS rmse {rmse} should beat mean-only {mean_rmse}");
     }
 
     #[test]

@@ -63,8 +63,7 @@ impl<T: Send + Sync> PartitionedDataset<T> {
         F: Fn(&T) -> R + Sync,
     {
         let parts: Vec<&Vec<T>> = self.partitions.iter().collect();
-        let mapped =
-            executor.execute(parts, |_, part| part.iter().map(&f).collect::<Vec<R>>());
+        let mapped = executor.execute(parts, |_, part| part.iter().map(&f).collect::<Vec<R>>());
         PartitionedDataset { partitions: mapped }
     }
 
@@ -75,9 +74,8 @@ impl<T: Send + Sync> PartitionedDataset<T> {
         F: Fn(&T) -> bool + Sync,
     {
         let parts: Vec<&Vec<T>> = self.partitions.iter().collect();
-        let filtered = executor.execute(parts, |_, part| {
-            part.iter().filter(|t| pred(t)).cloned().collect::<Vec<T>>()
-        });
+        let filtered = executor
+            .execute(parts, |_, part| part.iter().filter(|t| pred(t)).cloned().collect::<Vec<T>>());
         PartitionedDataset { partitions: filtered }
     }
 
@@ -110,12 +108,8 @@ impl<T: Send + Sync> PartitionedDataset<T> {
         FF: Fn(A, &T) -> A + Sync,
         FM: Fn(A, A) -> A,
     {
-        let partials = self.map_partitions(executor, |_, part| {
-            part.iter().fold(identity(), &fold)
-        });
-        partials
-            .into_iter()
-            .fold(identity(), merge)
+        let partials = self.map_partitions(executor, |_, part| part.iter().fold(identity(), &fold));
+        partials.into_iter().fold(identity(), merge)
     }
 
     /// Copies all elements out, partition by partition, in partition order.

@@ -8,9 +8,9 @@
 //! output does not depend on thread interleaving: tasks are claimed from an
 //! atomic counter but results land in their task's slot.
 
-use crossbeam::thread;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
 use std::time::{Duration, Instant};
 
 /// Metrics for one executed stage.
@@ -75,11 +75,13 @@ impl JobExecutor {
             // through a Mutex-free slice split via interior indexing.
             let results_ptr = SlotWriter::new(&mut results);
             let workers = self.workers.min(n);
+            // std's scoped threads join on scope exit and re-raise any
+            // worker panic, so a bug in training code still fails loudly.
             thread::scope(|scope| {
                 for _ in 0..workers {
                     let next = &next;
                     let results_ptr = &results_ptr;
-                    scope.spawn(move |_| loop {
+                    scope.spawn(move || loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
@@ -90,17 +92,16 @@ impl JobExecutor {
                         unsafe { results_ptr.write(i, r) };
                     });
                 }
-            })
-            .expect("worker panicked during stage execution");
+            });
         }
         let metrics = JobMetrics { tasks: n, workers: self.workers, wall_time: start.elapsed() };
-        self.history.lock().push(metrics);
+        self.history.lock().unwrap().push(metrics);
         results.into_iter().map(|r| r.expect("every task slot filled")).collect()
     }
 
     /// Metrics of all stages executed so far, in order.
     pub fn stage_history(&self) -> Vec<JobMetrics> {
-        self.history.lock().clone()
+        self.history.lock().unwrap().clone()
     }
 }
 

@@ -232,13 +232,10 @@ mod tests {
         let ex = JobExecutor::new(4);
         let model = SgdModel::train(&ds.ratings, 60, 100, config(), &ex);
         let mean = ds.ratings.iter().map(|r| r.value).sum::<f64>() / ds.len() as f64;
-        let mean_rmse = (ds
-            .ratings
-            .iter()
-            .map(|r| (r.value - mean) * (r.value - mean))
-            .sum::<f64>()
-            / ds.len() as f64)
-            .sqrt();
+        let mean_rmse =
+            (ds.ratings.iter().map(|r| (r.value - mean) * (r.value - mean)).sum::<f64>()
+                / ds.len() as f64)
+                .sqrt();
         let rmse = model.rmse(&ds.ratings);
         assert!(rmse < 0.75 * mean_rmse, "SGD rmse {rmse} vs mean {mean_rmse}");
     }

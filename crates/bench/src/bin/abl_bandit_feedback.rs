@@ -76,10 +76,8 @@ fn run(policy_name: &'static str, bandit: BanditChoice) -> Outcome {
         let resp = velox.top_k(uid, &items).expect("serves");
         let served = items[resp.served].id().unwrap();
         shown.insert(served);
-        let best = items
-            .iter()
-            .map(|it| reward(uid, it.id().unwrap()))
-            .fold(f64::NEG_INFINITY, f64::max);
+        let best =
+            items.iter().map(|it| reward(uid, it.id().unwrap())).fold(f64::NEG_INFINITY, f64::max);
         let r = best - reward(uid, served);
         regret += r;
         if round >= ROUNDS * 3 / 4 {

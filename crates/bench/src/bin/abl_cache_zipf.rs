@@ -23,13 +23,7 @@ fn main() {
 
     print_header(
         "Hit rate and mean read cost",
-        &[
-            "zipf s",
-            "LRU capacity",
-            "hit rate",
-            "mean read cost",
-            "vs no-cache (300 µs)",
-        ],
+        &["zipf s", "LRU capacity", "hit rate", "mean read cost", "vs no-cache (300 µs)"],
     );
     for &skew in &[0.6f64, 0.8, 1.0, 1.2] {
         for &cap_pct in &[1usize, 5, 10] {

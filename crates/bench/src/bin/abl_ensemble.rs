@@ -44,7 +44,8 @@ fn main() {
 
     // Member A: the trained MF model.
     let (mf_model, _) = MatrixFactorizationModel::from_als("mf", &als);
-    let mf = Arc::new(Velox::deploy(Arc::new(mf_model), HashMap::new(), VeloxConfig::single_node()));
+    let mf =
+        Arc::new(Velox::deploy(Arc::new(mf_model), HashMap::new(), VeloxConfig::single_node()));
     let history: Vec<TrainingExample> = split
         .offline
         .iter()
@@ -57,8 +58,11 @@ fn main() {
     // per-user ridge. Decent but structurally weaker than the MF member,
     // the way real content features approximate collaborative signal.
     let content_model = IdentityModel::new("content", 4, 1.0);
-    let content =
-        Arc::new(Velox::deploy(Arc::new(content_model), HashMap::new(), VeloxConfig::single_node()));
+    let content = Arc::new(Velox::deploy(
+        Arc::new(content_model),
+        HashMap::new(),
+        VeloxConfig::single_node(),
+    ));
     for (item, factors) in ds.true_item_factors.iter().enumerate() {
         content.register_item(item as u64, factors.as_slice()[..4].to_vec());
     }
@@ -94,7 +98,11 @@ fn main() {
         &["predictor", "held-out RMSE", "ensemble weight"],
     );
     print_row(&["mf member".into(), format!("{rmse_mf:.4}"), format!("{:.3}", w_phase1[0])]);
-    print_row(&["content member".into(), format!("{rmse_content:.4}"), format!("{:.3}", w_phase1[1])]);
+    print_row(&[
+        "content member".into(),
+        format!("{rmse_content:.4}"),
+        format!("{:.3}", w_phase1[1]),
+    ]);
     print_row(&["ensemble".into(), format!("{rmse_ens:.4}"), "—".into()]);
 
     // Phase 2: incident — the MF member ingests garbage out-of-band.
@@ -117,12 +125,22 @@ fn main() {
         "Phase 2: after corrupting the mf member",
         &["predictor", "held-out RMSE", "ensemble weight"],
     );
-    print_row(&["mf member (corrupted)".into(), format!("{rmse_mf2:.4}"), format!("{:.3}", w_phase2[0])]);
-    print_row(&["content member".into(), format!("{:.4}", heldout_rmse(&|u, i| content.predict(u, &Item::Id(i)).unwrap().score)), format!("{:.3}", w_phase2[1])]);
+    print_row(&[
+        "mf member (corrupted)".into(),
+        format!("{rmse_mf2:.4}"),
+        format!("{:.3}", w_phase2[0]),
+    ]);
+    print_row(&[
+        "content member".into(),
+        format!("{:.4}", heldout_rmse(&|u, i| content.predict(u, &Item::Id(i)).unwrap().score)),
+        format!("{:.3}", w_phase2[1]),
+    ]);
     print_row(&["ensemble".into(), format!("{rmse_ens2:.4}"), "—".into()]);
 
     match switch_after {
-        Some(n) => println!("\nweight majority switched to the healthy member after {n} observations."),
+        Some(n) => {
+            println!("\nweight majority switched to the healthy member after {n} observations.")
+        }
         None => println!("\nWARNING: dominant member never switched."),
     }
     println!("\nShape check: the ensemble tracks its best member under honest traffic");

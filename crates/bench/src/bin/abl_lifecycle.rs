@@ -94,10 +94,7 @@ fn main() {
     }
     let post_loss = post_loss / post_n as f64;
 
-    print_header(
-        "Lifecycle timeline",
-        &["phase", "mean loss", "model version", "notes"],
-    );
+    print_header("Lifecycle timeline", &["phase", "mean loss", "model version", "notes"]);
     print_row(&[
         "stable traffic".into(),
         format!("{stable_loss:.4}"),

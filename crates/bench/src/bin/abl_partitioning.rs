@@ -86,8 +86,7 @@ fn main() {
                 }
             }
             let stats = velox.cluster().stats();
-            let reads: u64 =
-                stats.nodes.iter().map(|n| n.local_reads + n.remote_reads).sum();
+            let reads: u64 = stats.nodes.iter().map(|n| n.local_reads + n.remote_reads).sum();
             print_row(&[
                 n_nodes.to_string(),
                 format!("{routing:?}"),

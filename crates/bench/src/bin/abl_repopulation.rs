@@ -114,7 +114,11 @@ fn main() {
     ]);
 
     println!("\nShape check vs. paper: repopulation preserves most of the steady-state");
-    println!("hit rate across a version swap ({:.0}% of steady vs {:.0}% for a cold", repop / steady * 100.0, cold / steady * 100.0);
+    println!(
+        "hit rate across a version swap ({:.0}% of steady vs {:.0}% for a cold",
+        repop / steady * 100.0,
+        cold / steady * 100.0
+    );
     println!("swap), which is exactly why §4.2 has the batch job recompute the cached");
     println!("entries it is about to invalidate.");
 }

@@ -49,10 +49,7 @@ fn main() {
     let mut naive_pts = Vec::new();
     let mut sm_pts = Vec::new();
 
-    print_header(
-        "Per-update latency",
-        &["d", "naive", "sherman-morrison", "speedup"],
-    );
+    print_header("Per-update latency", &["d", "naive", "sherman-morrison", "speedup"]);
     for &d in &dims {
         let naive_updates = adaptive_trials((d as f64).powi(3), 4e9, 30, 2000);
         let sm_updates = adaptive_trials((d as f64).powi(2), 4e8, 100, 4000);
@@ -60,12 +57,7 @@ fn main() {
         let sm = mean_update_us(d, UpdateStrategy::ShermanMorrison, sm_updates);
         naive_pts.push((d as f64, naive));
         sm_pts.push((d as f64, sm));
-        print_row(&[
-            d.to_string(),
-            fmt_us(naive),
-            fmt_us(sm),
-            format!("{:.1}x", naive / sm),
-        ]);
+        print_row(&[d.to_string(), fmt_us(naive), fmt_us(sm), format!("{:.1}x", naive / sm)]);
     }
 
     // Fit exponents over the upper half of the sweep where fixed overheads

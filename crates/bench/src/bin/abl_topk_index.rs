@@ -32,14 +32,7 @@ fn main() {
 
     print_header(
         "Query latency and pruning",
-        &[
-            "catalog",
-            "norm profile",
-            "full scan",
-            "pruned index",
-            "speedup",
-            "scanned",
-        ],
+        &["catalog", "norm profile", "full scan", "pruned index", "speedup", "scanned"],
     );
     for &n in &[10_000usize, 50_000, 200_000] {
         for (profile, decay) in [("equal norms", 0.0), ("long-tailed", 1e-3)] {

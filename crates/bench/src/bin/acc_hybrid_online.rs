@@ -93,13 +93,8 @@ fn main() {
     // Full retrain.
     let mut full_train = split.offline.clone();
     full_train.extend(split.online.iter().cloned());
-    let als_full = AlsModel::train(
-        &full_train,
-        ds.config.n_users,
-        ds.config.n_items,
-        als_cfg,
-        &executor,
-    );
+    let als_full =
+        AlsModel::train(&full_train, ds.config.n_users, ds.config.n_items, als_cfg, &executor);
     let (model_full, weights_full) = MatrixFactorizationModel::from_als("acc-full", &als_full);
     let velox_full = Velox::deploy(Arc::new(model_full), weights_full, VeloxConfig::single_node());
     let rmse_full = heldout_rmse(&velox_full, als_full.global_mean);
@@ -109,7 +104,12 @@ fn main() {
         "Held-out prediction error",
         &["strategy", "held-out RMSE", "improvement vs static", "paper"],
     );
-    print_row(&["static (no updates)".into(), format!("{rmse_static:.4}"), "—".into(), "baseline".into()]);
+    print_row(&[
+        "static (no updates)".into(),
+        format!("{rmse_static:.4}"),
+        "—".into(),
+        "baseline".into(),
+    ]);
     print_row(&[
         "online incremental (Velox)".into(),
         format!("{rmse_online:.4}"),

@@ -82,10 +82,7 @@ fn run(velox: &Arc<Velox>, threads: usize) -> (f64, f64) {
         h.join().unwrap();
     }
     let secs = start.elapsed().as_secs_f64();
-    (
-        predicts.load(Ordering::Relaxed) as f64 / secs,
-        observes.load(Ordering::Relaxed) as f64 / secs,
-    )
+    (predicts.load(Ordering::Relaxed) as f64 / secs, observes.load(Ordering::Relaxed) as f64 / secs)
 }
 
 fn main() {

@@ -1,8 +1,8 @@
 //! # velox-bench
 //!
 //! The experiment harness: shared fixtures and reporting utilities used by
-//! the figure/table regeneration binaries (`src/bin/*`) and the Criterion
-//! micro-benchmarks (`benches/*`).
+//! the figure/table regeneration binaries (`src/bin/*`), including the
+//! `microbench` binary that replaced the former Criterion suites.
 //!
 //! Every binary regenerates one artifact from the paper's evaluation (see
 //! DESIGN.md's experiment index) and prints a self-describing table:

@@ -16,9 +16,10 @@
 //! FIG4 experiments deterministic and fast while preserving the paper's
 //! locality arguments exactly.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
+use velox_obs::{Counter, Registry};
 use velox_storage::{LruCache, Namespace};
 
 use crate::partition::{HashPartitioner, NodeId, Router, RoutingPolicy};
@@ -76,9 +77,11 @@ struct Node {
     user_weights: Namespace<Vec<f64>>,
     item_features: Namespace<Vec<f64>>,
     item_cache: Mutex<LruCache<u64, Vec<f64>>>,
-    requests_served: AtomicU64,
-    local_reads: AtomicU64,
-    remote_reads: AtomicU64,
+    requests_served: Arc<Counter>,
+    local_reads: Arc<Counter>,
+    remote_reads: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
 }
 
 /// Per-node counter snapshot.
@@ -166,9 +169,11 @@ impl Cluster {
                 user_weights: Namespace::new(format!("user_weights@{i}")),
                 item_features: Namespace::new(format!("item_features@{i}")),
                 item_cache: Mutex::new(LruCache::new(config.item_cache_capacity)),
-                requests_served: AtomicU64::new(0),
-                local_reads: AtomicU64::new(0),
-                remote_reads: AtomicU64::new(0),
+                requests_served: Arc::new(Counter::new()),
+                local_reads: Arc::new(Counter::new()),
+                remote_reads: Arc::new(Counter::new()),
+                cache_hits: Arc::new(Counter::new()),
+                cache_misses: Arc::new(Counter::new()),
             })
             .collect();
         let user_part = HashPartitioner::new(config.n_nodes, 0x5EED_0001);
@@ -216,18 +221,18 @@ impl Cluster {
     /// routing policy, counting it against that node's load.
     pub fn route_request(&self, uid: u64) -> NodeId {
         let node = self.router.route(uid);
-        self.nodes[node].requests_served.fetch_add(1, Ordering::Relaxed);
+        self.nodes[node].requests_served.inc();
         node
     }
 
     fn charge(&self, at: NodeId, kind: AccessKind) {
         let us = match kind {
             AccessKind::Local | AccessKind::CacheHit => {
-                self.nodes[at].local_reads.fetch_add(1, Ordering::Relaxed);
+                self.nodes[at].local_reads.inc();
                 self.config.local_read_us
             }
             AccessKind::Remote => {
-                self.nodes[at].remote_reads.fetch_add(1, Ordering::Relaxed);
+                self.nodes[at].remote_reads.inc();
                 self.config.remote_read_us
             }
         };
@@ -327,29 +332,39 @@ impl Cluster {
         }
         for (node, shard) in self.nodes.iter().zip(per_node) {
             node.item_features.publish_version(shard);
-            node.item_cache.lock().clear();
+            node.item_cache.lock().unwrap().clear();
         }
     }
 
     /// Reads an item's features from serving node `at`:
     /// local replica → cache → remote fetch (which populates the cache).
     /// Returns the features, the access kind, and the virtual cost (µs).
-    pub fn get_item_features(&self, at: NodeId, item_id: u64) -> (Option<Vec<f64>>, AccessKind, f64) {
+    pub fn get_item_features(
+        &self,
+        at: NodeId,
+        item_id: u64,
+    ) -> (Option<Vec<f64>>, AccessKind, f64) {
         let home = self.home_of_item(item_id);
         if self.replica_nodes_of_item(item_id).contains(&at) {
             self.charge(at, AccessKind::Local);
-            return (self.nodes[at].item_features.get(item_id), AccessKind::Local, self.config.local_read_us);
+            return (
+                self.nodes[at].item_features.get(item_id),
+                AccessKind::Local,
+                self.config.local_read_us,
+            );
         }
         // Try the serving node's cache.
         {
-            let mut cache = self.nodes[at].item_cache.lock();
+            let mut cache = self.nodes[at].item_cache.lock().unwrap();
             if let Some(hit) = cache.get(&item_id) {
                 let value = hit.clone();
                 drop(cache);
+                self.nodes[at].cache_hits.inc();
                 self.charge(at, AccessKind::CacheHit);
                 return (Some(value), AccessKind::CacheHit, self.config.local_read_us);
             }
         }
+        self.nodes[at].cache_misses.inc();
         // Remote fetch from the home shard; populate the cache on success —
         // but only if no publish invalidated the table mid-fetch, otherwise
         // a pre-publish value could be re-inserted into a freshly cleared
@@ -359,7 +374,7 @@ impl Cluster {
         let fetched = self.nodes[home].item_features.get(item_id);
         if let Some(ref features) = fetched {
             if self.nodes[home].item_features.version() == version_before {
-                self.nodes[at].item_cache.lock().put(item_id, features.clone());
+                self.nodes[at].item_cache.lock().unwrap().put(item_id, features.clone());
             }
         }
         (fetched, AccessKind::Remote, self.config.remote_read_us)
@@ -368,7 +383,7 @@ impl Cluster {
     /// Invalidates every node's item cache (manual cache flush).
     pub fn invalidate_item_caches(&self) {
         for node in &self.nodes {
-            node.item_cache.lock().clear();
+            node.item_cache.lock().unwrap().clear();
         }
     }
 
@@ -378,10 +393,10 @@ impl Cluster {
             .nodes
             .iter()
             .map(|n| NodeStats {
-                requests_served: n.requests_served.load(Ordering::Relaxed),
-                local_reads: n.local_reads.load(Ordering::Relaxed),
-                remote_reads: n.remote_reads.load(Ordering::Relaxed),
-                cache: n.item_cache.lock().stats(),
+                requests_served: n.requests_served.get(),
+                local_reads: n.local_reads.get(),
+                remote_reads: n.remote_reads.get(),
+                cache: n.item_cache.lock().unwrap().stats(),
                 users_owned: n.user_weights.len(),
                 items_owned: n.item_features.len(),
             })
@@ -395,12 +410,63 @@ impl Cluster {
     /// Resets all access counters (placements and cache contents stay).
     pub fn reset_stats(&self) {
         for n in &self.nodes {
-            n.requests_served.store(0, Ordering::Relaxed);
-            n.local_reads.store(0, Ordering::Relaxed);
-            n.remote_reads.store(0, Ordering::Relaxed);
-            n.item_cache.lock().reset_stats();
+            n.requests_served.reset();
+            n.local_reads.reset();
+            n.remote_reads.reset();
+            n.cache_hits.reset();
+            n.cache_misses.reset();
+            n.item_cache.lock().unwrap().reset_stats();
         }
         self.virtual_read_nanos.store(0, Ordering::Relaxed);
+    }
+
+    /// Registers every node's counters with a metrics registry, labelled by
+    /// node id: routed requests, local/remote read accounting, item-cache
+    /// hits and misses, and the shard tables' raw KV read/write counters.
+    /// The registry exposes the same atomics the serving path increments.
+    pub fn register_metrics(&self, registry: &Registry) {
+        for (i, node) in self.nodes.iter().enumerate() {
+            let id = i.to_string();
+            let labels: [(&str, &str); 1] = [("node", id.as_str())];
+            registry.register_counter(
+                "velox_cluster_requests_total",
+                &labels,
+                Arc::clone(&node.requests_served),
+            );
+            registry.register_counter(
+                "velox_cluster_local_reads_total",
+                &labels,
+                Arc::clone(&node.local_reads),
+            );
+            registry.register_counter(
+                "velox_cluster_remote_reads_total",
+                &labels,
+                Arc::clone(&node.remote_reads),
+            );
+            registry.register_counter(
+                "velox_cluster_item_cache_hits_total",
+                &labels,
+                Arc::clone(&node.cache_hits),
+            );
+            registry.register_counter(
+                "velox_cluster_item_cache_misses_total",
+                &labels,
+                Arc::clone(&node.cache_misses),
+            );
+            for ns in [&node.user_weights, &node.item_features] {
+                let table_labels: [(&str, &str); 2] = [("node", id.as_str()), ("table", ns.name())];
+                registry.register_counter(
+                    "velox_kv_reads_total",
+                    &table_labels,
+                    ns.reads_counter(),
+                );
+                registry.register_counter(
+                    "velox_kv_writes_total",
+                    &table_labels,
+                    ns.writes_counter(),
+                );
+            }
+        }
     }
 }
 
@@ -550,11 +616,8 @@ mod tests {
 
     #[test]
     fn partial_replication_covers_replica_set_only() {
-        let c = Cluster::new(ClusterConfig {
-            n_nodes: 4,
-            item_replication: 2,
-            ..Default::default()
-        });
+        let c =
+            Cluster::new(ClusterConfig { n_nodes: 4, item_replication: 2, ..Default::default() });
         c.put_item_features(9, vec![9.0]);
         let replicas = c.replica_nodes_of_item(9);
         assert_eq!(replicas.len(), 2);
@@ -571,11 +634,8 @@ mod tests {
 
     #[test]
     fn publish_updates_all_replicas() {
-        let c = Cluster::new(ClusterConfig {
-            n_nodes: 3,
-            item_replication: 2,
-            ..Default::default()
-        });
+        let c =
+            Cluster::new(ClusterConfig { n_nodes: 3, item_replication: 2, ..Default::default() });
         c.put_item_features(1, vec![1.0]);
         c.publish_item_features(vec![(1, vec![2.0])]);
         for node in c.replica_nodes_of_item(1) {
@@ -587,11 +647,8 @@ mod tests {
 
     #[test]
     fn replication_clamps_to_node_count() {
-        let c = Cluster::new(ClusterConfig {
-            n_nodes: 2,
-            item_replication: 10,
-            ..Default::default()
-        });
+        let c =
+            Cluster::new(ClusterConfig { n_nodes: 2, item_replication: 10, ..Default::default() });
         let replicas = c.replica_nodes_of_item(5);
         assert_eq!(replicas.len(), 2);
         let mut sorted = replicas.clone();

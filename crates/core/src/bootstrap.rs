@@ -6,7 +6,7 @@
 //! average incrementally: cheap to update on every weight change, O(d) to
 //! read.
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 use velox_linalg::Vector;
 
 /// Incrementally-maintained mean of the user weight vectors.
@@ -36,7 +36,7 @@ impl BootstrapState {
     /// Records user `uid`'s current weights (replacing any previous
     /// contribution from the same user).
     pub fn contribute(&self, uid: u64, weights: &Vector) {
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().unwrap();
         if let Some(old) = inner.latest.get(&uid).cloned() {
             inner.sum.axpy(-1.0, &old).expect("dimension-consistent contributions");
         }
@@ -46,14 +46,14 @@ impl BootstrapState {
 
     /// Number of users contributing to the mean.
     pub fn contributors(&self) -> usize {
-        self.inner.read().latest.len()
+        self.inner.read().unwrap().latest.len()
     }
 
     /// The current mean weight vector `w̄`; the zero vector when no user
     /// has contributed yet (a brand-new deployment predicts 0, i.e. the
     /// global mean once the model's μ offset is added back).
     pub fn mean_weights(&self) -> Vector {
-        let inner = self.inner.read();
+        let inner = self.inner.read().unwrap();
         let n = inner.latest.len();
         if n == 0 {
             return Vector::zeros(inner.sum.len());

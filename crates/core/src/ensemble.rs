@@ -15,9 +15,9 @@
 //! captures that different model families fit different users (heavy raters
 //! suit the latent-factor model; cold users suit the content model).
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::sync::RwLock;
 
 use velox_models::Item;
 
@@ -75,10 +75,7 @@ impl EnsembleSelector {
         assert!(eta > 0.0, "Hedge learning rate must be positive");
         let n = members.len();
         EnsembleSelector {
-            members: members
-                .into_iter()
-                .map(|(name, velox)| Member { name, velox })
-                .collect(),
+            members: members.into_iter().map(|(name, velox)| Member { name, velox }).collect(),
             eta,
             share: 1e-3,
             scope,
@@ -112,11 +109,11 @@ impl EnsembleSelector {
     /// [`WeightScope::Global`] or for users without feedback).
     pub fn weights(&self, uid: u64) -> Vec<f64> {
         if self.scope == WeightScope::PerUser {
-            if let Some(w) = self.per_user.read().get(&uid) {
+            if let Some(w) = self.per_user.read().unwrap().get(&uid) {
                 return w.clone();
             }
         }
-        self.global.read().clone()
+        self.global.read().unwrap().clone()
     }
 
     /// Member names in weight order.
@@ -150,8 +147,7 @@ impl EnsembleSelector {
         // Normalize losses to [0, 1] for a scale-free multiplicative update
         // (Hedge's regret bound assumes bounded losses).
         let max_loss = losses.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
-        let factors: Vec<f64> =
-            losses.iter().map(|l| (-self.eta * l / max_loss).exp()).collect();
+        let factors: Vec<f64> = losses.iter().map(|l| (-self.eta * l / max_loss).exp()).collect();
 
         let share = self.share;
         let update = |w: &mut Vec<f64>| {
@@ -175,12 +171,10 @@ impl EnsembleSelector {
         };
 
         match self.scope {
-            WeightScope::Global => update(&mut self.global.write()),
+            WeightScope::Global => update(&mut self.global.write().unwrap()),
             WeightScope::PerUser => {
-                let mut map = self.per_user.write();
-                let w = map
-                    .entry(uid)
-                    .or_insert_with(|| self.global.read().clone());
+                let mut map = self.per_user.write().unwrap();
+                let w = map.entry(uid).or_insert_with(|| self.global.read().unwrap().clone());
                 update(w);
             }
         }
@@ -308,10 +302,7 @@ mod tests {
         let w1 = e.weights(1);
         let w2 = e.weights(2);
         assert!(w1[0] > 0.8, "user 1 favours the full model: {w1:?}");
-        assert!(
-            w2[0] < w1[0],
-            "user 2's weights must differ from user 1's: {w1:?} vs {w2:?}"
-        );
+        assert!(w2[0] < w1[0], "user 2's weights must differ from user 1's: {w1:?} vs {w2:?}");
         // A user with no feedback gets the global (uniform) weights.
         assert_eq!(e.weights(999), vec![0.5, 0.5]);
     }

@@ -36,10 +36,10 @@ pub mod sharded_cache;
 pub mod velox;
 
 pub use bootstrap::BootstrapState;
-pub use ensemble::{EnsemblePrediction, EnsembleSelector, WeightScope};
-pub use persistence::DeploymentSnapshot;
 pub use config::VeloxConfig;
+pub use ensemble::{EnsemblePrediction, EnsembleSelector, WeightScope};
 pub use error::VeloxError;
+pub use persistence::DeploymentSnapshot;
 pub use server::VeloxServer;
 pub use velox::{ObserveOutcome, PredictResponse, SystemStats, TopKResponse, Velox};
 

@@ -13,9 +13,9 @@
 //! same path a retrain swap uses) and the observation log (whose system of
 //! record in the paper is the storage/batch layer, not the serving tier).
 
-use bytes::Bytes;
 use std::collections::HashMap;
 use std::sync::Arc;
+use velox_storage::bytes::Bytes;
 
 use velox_linalg::Vector;
 use velox_models::VeloxModel;
@@ -86,8 +86,8 @@ impl Velox {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use velox_batch::AlsConfig;
     use velox_bandit as _;
+    use velox_batch::AlsConfig;
     use velox_models::{IdentityModel, Item, MatrixFactorizationModel};
 
     fn mf_deployment() -> Velox {
@@ -136,8 +136,7 @@ mod tests {
             AlsConfig { rank: 2, ..Default::default() },
         )
         .unwrap();
-        let restored =
-            Velox::restore(Arc::new(model), &snap, VeloxConfig::single_node()).unwrap();
+        let restored = Velox::restore(Arc::new(model), &snap, VeloxConfig::single_node()).unwrap();
         assert_eq!(restored.model_version(), snap.model_version);
 
         for uid in 0..10u64 {
@@ -159,8 +158,7 @@ mod tests {
         }
         original.observe(1, &Item::Id(4), 2.5).unwrap();
         let snap = original.snapshot();
-        let restored =
-            Velox::restore(Arc::new(model), &snap, VeloxConfig::single_node()).unwrap();
+        let restored = Velox::restore(Arc::new(model), &snap, VeloxConfig::single_node()).unwrap();
         for item in 0..15u64 {
             let a = original.predict(1, &Item::Id(item)).unwrap().score;
             let b = restored.predict(1, &Item::Id(item)).unwrap().score;

@@ -8,9 +8,9 @@
 //! lifecycle; they share nothing, so one model's retrain never stalls
 //! another's serving.
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::sync::RwLock;
 
 use velox_models::Item;
 
@@ -45,13 +45,14 @@ impl VeloxServer {
 
     /// Installs a deployment under `name`, replacing any previous one.
     pub fn install(&self, name: impl Into<String>, velox: Arc<Velox>) {
-        self.deployments.write().insert(name.into(), velox);
+        self.deployments.write().unwrap().insert(name.into(), velox);
     }
 
     /// Fetches a deployment.
     pub fn deployment(&self, schema: &ModelSchema) -> Result<Arc<Velox>, VeloxError> {
         self.deployments
             .read()
+            .unwrap()
             .get(&schema.name)
             .cloned()
             .ok_or_else(|| VeloxError::ModelNotFound(schema.name.clone()))
@@ -93,11 +94,11 @@ impl VeloxServer {
 
     /// Names of all installed deployments, unordered.
     pub fn deployment_names(&self) -> Vec<String> {
-        self.deployments.read().keys().cloned().collect()
+        self.deployments.read().unwrap().keys().cloned().collect()
     }
 
     /// Removes a deployment; returns whether it existed.
     pub fn uninstall(&self, name: &str) -> bool {
-        self.deployments.write().remove(name).is_some()
+        self.deployments.write().unwrap().remove(name).is_some()
     }
 }

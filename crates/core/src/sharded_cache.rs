@@ -7,8 +7,8 @@
 //! behaviour per shard (global LRU order is approximated by per-shard
 //! order, the standard trade in concurrent caches).
 
-use parking_lot::Mutex;
 use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
 
 use velox_storage::LruCache;
 
@@ -25,9 +25,7 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
     /// shards (each shard gets `capacity / SHARDS`, minimum 1).
     pub fn new(capacity: usize) -> Self {
         let per_shard = (capacity / SHARDS).max(1);
-        ShardedCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(LruCache::new(per_shard))).collect(),
-        }
+        ShardedCache { shards: (0..SHARDS).map(|_| Mutex::new(LruCache::new(per_shard))).collect() }
     }
 
     #[inline]
@@ -39,19 +37,19 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
 
     /// Looks up and clones the value, promoting it in its shard's LRU.
     pub fn get(&self, key: &K) -> Option<V> {
-        self.shard(key).lock().get(key).cloned()
+        self.shard(key).lock().unwrap().get(key).cloned()
     }
 
     /// Inserts or replaces a key.
     pub fn put(&self, key: K, value: V) {
-        self.shard(&key).lock().put(key, value);
+        self.shard(&key).lock().unwrap().put(key, value);
     }
 
     /// Clears every shard (statistics are preserved, like
     /// [`LruCache::clear`]).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().clear();
+            shard.lock().unwrap().clear();
         }
     }
 
@@ -59,7 +57,7 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
     pub fn stats(&self) -> (u64, u64, u64) {
         let mut total = (0, 0, 0);
         for shard in &self.shards {
-            let (h, m, e) = shard.lock().stats();
+            let (h, m, e) = shard.lock().unwrap().stats();
             total.0 += h;
             total.1 += m;
             total.2 += e;
@@ -72,14 +70,14 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
     pub fn keys(&self) -> Vec<K> {
         let mut out = Vec::new();
         for shard in &self.shards {
-            out.extend(shard.lock().keys_mru_order());
+            out.extend(shard.lock().unwrap().keys_mru_order());
         }
         out
     }
 
     /// Total cached entries.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
     }
 
     /// True when no entries are cached.

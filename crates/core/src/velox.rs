@@ -1,9 +1,9 @@
 //! The deployed Velox system: predictor + manager for one model lineage.
 
-use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::{Mutex, RwLock};
 
 use velox_bandit::{
     BanditPolicy, Candidate, EpsilonGreedyPolicy, GreedyPolicy, LinUcbPolicy, ThompsonPolicy,
@@ -13,7 +13,10 @@ use velox_batch::JobExecutor;
 use velox_cluster::{Cluster, ClusterStats};
 use velox_linalg::Vector;
 use velox_models::{Item, ModelError, TrainingExample, VeloxModel};
-use velox_online::{PerUserErrorTracker, PrequentialEvaluator, StalenessDetector, UserOnlineModel};
+use velox_obs::{Counter, EventKind, Histogram, Registry, SpanTimer, Timer};
+use velox_online::{
+    PerUserErrorTracker, PrequentialEvaluator, StalenessDetector, UpdateStrategy, UserOnlineModel,
+};
 use velox_storage::{Namespace, ObservationLog};
 
 use crate::bootstrap::BootstrapState;
@@ -138,8 +141,21 @@ pub struct Velox {
     bandit: Mutex<Box<dyn BanditPolicy>>,
     validation: Mutex<ValidationPool>,
     executor: JobExecutor,
-    retrains: AtomicU64,
     stale_flag: AtomicBool,
+    /// Metric registry + lifecycle event log for this deployment. The
+    /// handles below are adopted into it, so a snapshot sees the same
+    /// atomics the serving paths update.
+    registry: Registry,
+    predict_latency: Arc<Histogram>,
+    top_k_latency: Arc<Histogram>,
+    observe_latency: Arc<Histogram>,
+    online_update_latency: Arc<Histogram>,
+    pred_cache_hits: Arc<Counter>,
+    pred_cache_misses: Arc<Counter>,
+    feat_cache_hits: Arc<Counter>,
+    feat_cache_misses: Arc<Counter>,
+    observations_total: Arc<Counter>,
+    retrains: Arc<Counter>,
     /// Guards against concurrent offline retrains (sync or async).
     retrain_in_flight: AtomicBool,
     /// Swap gate: observe/ingest write-backs hold it shared; a version
@@ -172,6 +188,26 @@ impl Velox {
         let cluster = Cluster::new(config.cluster.clone());
         cluster.publish_item_features(model.materialized_table());
 
+        // One registry per deployment; serving-path handles are created
+        // here once and then updated lock-free.
+        let registry = Registry::new();
+        let strategy = match config.update_strategy {
+            UpdateStrategy::Naive => "naive",
+            UpdateStrategy::ShermanMorrison => "sherman_morrison",
+        };
+        let predict_latency = registry.histogram("velox_predict_latency_ns");
+        let top_k_latency = registry.histogram("velox_top_k_latency_ns");
+        let observe_latency = registry.histogram("velox_observe_latency_ns");
+        let online_update_latency =
+            registry.histogram_with("velox_online_update_latency_ns", &[("strategy", strategy)]);
+        let pred_cache_hits = registry.counter("velox_prediction_cache_hits_total");
+        let pred_cache_misses = registry.counter("velox_prediction_cache_misses_total");
+        let feat_cache_hits = registry.counter("velox_feature_cache_hits_total");
+        let feat_cache_misses = registry.counter("velox_feature_cache_misses_total");
+        let observations_total = registry.counter("velox_observations_total");
+        let retrains = registry.counter("velox_retrains_total");
+        cluster.register_metrics(&registry);
+
         let velox = Velox {
             model: RwLock::new(Arc::clone(&model)),
             version: AtomicU64::new(1),
@@ -197,16 +233,54 @@ impl Velox {
                 config.seed ^ 0x5A11_DA7A,
             )),
             executor: JobExecutor::new(config.training_workers),
-            retrains: AtomicU64::new(0),
             stale_flag: AtomicBool::new(false),
             retrain_in_flight: AtomicBool::new(false),
             swap_gate: RwLock::new(()),
             mips_index: Mutex::new(None),
+            registry,
+            predict_latency,
+            top_k_latency,
+            observe_latency,
+            online_update_latency,
+            pred_cache_hits,
+            pred_cache_misses,
+            feat_cache_hits,
+            feat_cache_misses,
+            observations_total,
+            retrains,
             cluster,
             config,
         };
+        // Adopt the storage-layer counters so the registry exposes the
+        // exact atomics those components bump.
+        velox.registry.register_histogram(
+            "velox_obslog_append_latency_ns",
+            &[],
+            velox.obslog.append_latency_histogram(),
+        );
+        for ns in [
+            ("item_catalog", velox.catalog.reads_counter(), velox.catalog.writes_counter()),
+            (
+                "user_online_state",
+                velox.user_state.reads_counter(),
+                velox.user_state.writes_counter(),
+            ),
+            (
+                "user_versions",
+                velox.user_versions.reads_counter(),
+                velox.user_versions.writes_counter(),
+            ),
+        ] {
+            velox.registry.register_counter("velox_kv_reads_total", &[("table", ns.0)], ns.1);
+            velox.registry.register_counter("velox_kv_writes_total", &[("table", ns.0)], ns.2);
+        }
         velox.install_user_weights(&initial_weights);
         velox
+    }
+
+    /// This deployment's metric registry and lifecycle event log.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     fn install_user_weights(&self, weights: &HashMap<u64, Vector>) {
@@ -262,13 +336,14 @@ impl Velox {
         {
             // Log under the swap gate so no example can fall between a
             // retrain's snapshot and its replay boundary.
-            let _gate = self.swap_gate.read();
+            let _gate = self.swap_gate.read().unwrap();
             for ex in examples {
                 if let Some(id) = ex.item.id() {
                     self.obslog.append(ex.uid, id, ex.y);
+                    self.observations_total.inc();
                 }
             }
-            self.training_log.lock().extend(examples.iter().cloned());
+            self.training_log.lock().unwrap().extend(examples.iter().cloned());
         }
         self.apply_examples_to_online_state(examples)
     }
@@ -280,7 +355,7 @@ impl Velox {
 
     /// The deployed model's feature dimension.
     pub fn dim(&self) -> usize {
-        self.model.read().dim()
+        self.model.read().unwrap().dim()
     }
 
     /// Whether the staleness detector currently flags the model.
@@ -320,12 +395,11 @@ impl Velox {
             match item {
                 Item::Id(id) => {
                     if let Some(hit) = self.feature_cache.get(&(*id, model_version)) {
+                        self.feat_cache_hits.inc();
                         return Ok((hit, 0.0));
                     }
-                    let attrs = self
-                        .catalog
-                        .get(*id)
-                        .ok_or(ModelError::UnknownItem(*id))?;
+                    self.feat_cache_misses.inc();
+                    let attrs = self.catalog.get(*id).ok_or(ModelError::UnknownItem(*id))?;
                     let features = model.features(&Item::Raw(Vector::from_vec(attrs)))?;
                     self.feature_cache.put((*id, model_version), features.clone());
                     Ok((features, 0.0))
@@ -348,14 +422,18 @@ impl Velox {
 
     /// Point prediction for `(uid, item)` — Listing 1's `predict`.
     pub fn predict(&self, uid: u64, item: &Item) -> Result<PredictResponse, VeloxError> {
+        let _span = SpanTimer::new(&self.predict_latency);
         let node = self.cluster.route_request(uid);
         let model_version = self.model_version();
         let user_version = self.user_versions.get(uid).unwrap_or(0);
 
-        // Prediction cache (only catalog items are cacheable).
+        // Prediction cache (only catalog items are cacheable; an
+        // uncacheable raw-item lookup counts as a miss, so
+        // hits + misses == predict calls exactly).
         let key = Self::item_cache_id(item).map(|id| (uid, id, user_version, model_version));
         if let Some(k) = key {
             if let Some(score) = self.prediction_cache.get(&k) {
+                self.pred_cache_hits.inc();
                 return Ok(PredictResponse {
                     score,
                     cached: true,
@@ -365,7 +443,8 @@ impl Velox {
             }
         }
 
-        let model = Arc::clone(&*self.model.read());
+        self.pred_cache_misses.inc();
+        let model = Arc::clone(&*self.model.read().unwrap());
         let (weights, bootstrapped, w_cost) = self.serving_weights(node, uid);
         let (features, f_cost) = self.features_for(&model, model_version, node, item)?;
         let score = weights.dot(&features)?;
@@ -375,12 +454,7 @@ impl Velox {
         if let (Some(k), false) = (key, bootstrapped) {
             self.prediction_cache.put(k, score);
         }
-        Ok(PredictResponse {
-            score,
-            cached: false,
-            bootstrapped,
-            virtual_cost_us: w_cost + f_cost,
-        })
+        Ok(PredictResponse { score, cached: false, bootstrapped, virtual_cost_us: w_cost + f_cost })
     }
 
     /// Evaluates a candidate set for a user and picks the item to serve —
@@ -390,10 +464,11 @@ impl Velox {
         if items.is_empty() {
             return Err(VeloxError::EmptyCandidateSet);
         }
+        let _span = SpanTimer::new(&self.top_k_latency);
         let node = self.cluster.route_request(uid);
         let model_version = self.model_version();
         let user_version = self.user_versions.get(uid).unwrap_or(0);
-        let model = Arc::clone(&*self.model.read());
+        let model = Arc::clone(&*self.model.read().unwrap());
 
         // Read the user's weights once for the whole candidate set.
         let (weights, bootstrapped, w_cost) = self.serving_weights(node, uid);
@@ -405,14 +480,13 @@ impl Velox {
         // uncertainty, reducing every policy to greedy. Exploitation-only
         // policies never read the variance, so skip the O(d²) quadratic
         // form per candidate for them entirely.
-        let wants_uncertainty = self.bandit.lock().wants_uncertainty();
+        let wants_uncertainty = self.bandit.lock().unwrap().wants_uncertainty();
         let online = if wants_uncertainty { self.user_state.get(uid) } else { None };
 
         let mut scores = Vec::with_capacity(items.len());
         let mut candidates = Vec::with_capacity(items.len());
         for item in items {
-            let key =
-                Self::item_cache_id(item).map(|id| (uid, id, user_version, model_version));
+            let key = Self::item_cache_id(item).map(|id| (uid, id, user_version, model_version));
             let (score, features) = match key.and_then(|k| self.prediction_cache.get(&k)) {
                 Some(score) => {
                     cached += 1;
@@ -432,7 +506,7 @@ impl Velox {
                 }
             };
             let variance = match (&online, &features) {
-                (Some(state), Some(f)) => state.lock().variance(f).unwrap_or(0.0),
+                (Some(state), Some(f)) => state.lock().unwrap().variance(f).unwrap_or(0.0),
                 // Cached-score path: recover features only if a bandit with
                 // exploration is active and state exists; cheaper to treat
                 // cached items as exploitation-only.
@@ -441,15 +515,20 @@ impl Velox {
             scores.push(score);
             candidates.push(Candidate { score, variance });
         }
+        // Batched (two atomic adds per call, not two per candidate) to keep
+        // the fully-cached hot loop free of per-item metric traffic.
+        self.pred_cache_hits.add(cached as u64);
+        self.pred_cache_misses.add((items.len() - cached) as u64);
 
         let mut ranked: Vec<(usize, f64)> = scores.iter().copied().enumerate().collect();
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite"));
 
         // Validation randomization takes precedence over the policy.
-        let (served, randomized) = match self.validation.lock().maybe_randomize(items.len()) {
-            Some(idx) => (idx, true),
-            None => (self.bandit.lock().select(&candidates), false),
-        };
+        let (served, randomized) =
+            match self.validation.lock().unwrap().maybe_randomize(items.len()) {
+                Some(idx) => (idx, true),
+                None => (self.bandit.lock().unwrap().select(&candidates), false),
+            };
 
         Ok(TopKResponse {
             ranked,
@@ -464,6 +543,7 @@ impl Velox {
     /// the user's weights online (Eq. 2), tracks model quality, and
     /// (optionally) triggers offline retraining on staleness.
     pub fn observe(&self, uid: u64, item: &Item, y: f64) -> Result<ObserveOutcome, VeloxError> {
+        let _span = SpanTimer::new(&self.observe_latency);
         let node = self.cluster.route_request(uid);
 
         // The whole read-model → update-state → write-back → log sequence
@@ -474,9 +554,9 @@ impl Velox {
         // and the observation could miss both the batch snapshot and the
         // post-swap replay.
         let (predicted_before, trained, loss) = {
-            let _gate = self.swap_gate.read();
+            let _gate = self.swap_gate.read().unwrap();
             let model_version = self.model_version();
-            let model = Arc::clone(&*self.model.read());
+            let model = Arc::clone(&*self.model.read().unwrap());
             let (features, _f_cost) = self.features_for(&model, model_version, node, item)?;
 
             // Get or create the user's online state (bootstrap prior for
@@ -485,12 +565,14 @@ impl Velox {
 
             // Prequential evaluation: predict before updating.
             let (predicted_before, trained, loss, new_weights) = {
-                let mut state = state_arc.lock();
+                let mut state = state_arc.lock().unwrap();
                 let predicted_before = state.predict(&features)?;
                 let loss = model.loss(y, predicted_before, item, uid);
-                let trained = self.prequential.lock().record(loss);
+                let trained = self.prequential.lock().unwrap().record(loss);
                 if trained {
+                    let update_timer = Timer::start();
                     state.observe(&features, y)?;
+                    update_timer.observe(&self.online_update_latency);
                 }
                 (predicted_before, trained, loss, state.weights().clone())
             };
@@ -499,10 +581,9 @@ impl Velox {
                 // Push the updated weights to the user's home shard (a
                 // local write under ByUser routing) and bump the cache
                 // version.
-                self.cluster
-                    .update_user_weights(node, uid, Vec::new, |w| {
-                        *w = new_weights.as_slice().to_vec()
-                    });
+                self.cluster.update_user_weights(node, uid, Vec::new, |w| {
+                    *w = new_weights.as_slice().to_vec()
+                });
                 self.user_versions.update_with(uid, || 0, |v| *v += 1);
                 self.bootstrap.contribute(uid, &new_weights);
             }
@@ -510,17 +591,19 @@ impl Velox {
             // Durable observation log (catalog items) + training log (all).
             if let Some(id) = item.id() {
                 self.obslog.append(uid, id, y);
+                self.observations_total.inc();
             }
-            self.training_log.lock().push(TrainingExample { uid, item: item.clone(), y });
+            self.training_log.lock().unwrap().push(TrainingExample { uid, item: item.clone(), y });
             (predicted_before, trained, loss)
         };
 
         // Quality tracking and staleness (gate released: the auto-retrain
         // below acquires the gate exclusively via swap_in).
-        self.error_tracker.lock().record(uid, loss);
-        let stale = self.staleness.lock().push(loss);
-        if stale {
-            self.stale_flag.store(true, Ordering::Release);
+        self.error_tracker.lock().unwrap().record(uid, loss);
+        let stale = self.staleness.lock().unwrap().push(loss);
+        if stale && !self.stale_flag.swap(true, Ordering::AcqRel) {
+            self.registry
+                .event(EventKind::StalenessTrip { observations: self.observations_total.get() });
         }
         let mut retrained = false;
         if stale && self.config.auto_retrain {
@@ -554,19 +637,21 @@ impl Velox {
     ) -> Result<ObserveOutcome, VeloxError> {
         let outcome = self.observe(uid, item, y)?;
         if let Some(id) = item.id() {
-            self.validation.lock().record(velox_bandit::validation::ValidationObservation {
-                uid,
-                item_id: id,
-                predicted: outcome.predicted_before,
-                actual: y,
-            });
+            self.validation.lock().unwrap().record(
+                velox_bandit::validation::ValidationObservation {
+                    uid,
+                    item_id: id,
+                    predicted: outcome.predicted_before,
+                    actual: y,
+                },
+            );
         }
         Ok(outcome)
     }
 
     /// Unbiased model RMSE from the validation pool, when populated.
     pub fn validation_rmse(&self) -> Option<f64> {
-        self.validation.lock().rmse()
+        self.validation.lock().unwrap().rmse()
     }
 
     /// Launches [`Velox::retrain_offline`] on a background thread — the
@@ -613,7 +698,7 @@ impl Velox {
     }
 
     fn retrain_offline_inner(&self) -> Result<u64, VeloxError> {
-        let mut data = self.training_log.lock().clone();
+        let mut data = self.training_log.lock().unwrap().clone();
         if data.is_empty() {
             return Err(VeloxError::RetrainFailed("no observations to train on".into()));
         }
@@ -622,7 +707,9 @@ impl Velox {
         // version after the swap so they are lost from neither the batch
         // model nor the online state.
         let snapshot_len = data.len();
-        let old_model = Arc::clone(&*self.model.read());
+        self.registry.event(EventKind::RetrainStart { observations: snapshot_len as u64 });
+        let retrain_timer = Timer::start();
+        let old_model = Arc::clone(&*self.model.read().unwrap());
 
         // Computational models featurize raw payloads; resolve catalog
         // references for them before handing the data to the trainer.
@@ -662,7 +749,7 @@ impl Velox {
         // Retire the old version.
         let old_version = self.version.load(Ordering::Acquire);
         {
-            let mut history = self.history.lock();
+            let mut history = self.history.lock().unwrap();
             history.push(HistoryEntry {
                 version: old_version,
                 model: old_model,
@@ -683,15 +770,20 @@ impl Velox {
         // swap gate, so entries past it were observed against the *new*
         // version and must not be double-applied.
         let missed: Vec<TrainingExample> = {
-            let log = self.training_log.lock();
+            let log = self.training_log.lock().unwrap();
             log[snapshot_len..missed_boundary].to_vec()
         };
         if !missed.is_empty() {
             self.apply_examples_to_online_state(&missed)?;
         }
         self.repopulate_prediction_cache(&hot_keys);
-        self.retrains.fetch_add(1, Ordering::Relaxed);
-        Ok(self.model_version())
+        self.retrains.inc();
+        let new_version = self.model_version();
+        self.registry.event(EventKind::RetrainFinish {
+            version: new_version,
+            duration_us: retrain_timer.elapsed_ns() / 1_000,
+        });
+        Ok(new_version)
     }
 
     /// Installs `model` + `weights` as version `new_version` and resets
@@ -707,12 +799,14 @@ impl Velox {
     ) -> usize {
         // Exclusive: no observe/ingest may interleave with the swap (their
         // write-backs run under the shared side of this gate).
-        let _gate = self.swap_gate.write();
+        let _gate = self.swap_gate.write().unwrap();
+        let from = self.version.load(Ordering::Acquire);
         // New θ table to the cluster (atomically per shard; invalidates
         // per-node item caches).
         self.cluster.publish_item_features(model.materialized_table());
-        *self.model.write() = model;
+        *self.model.write().unwrap() = model;
         self.version.store(new_version, Ordering::Release);
+        self.registry.event(EventKind::VersionSwap { from, to: new_version });
 
         // New user weights: the serving table swaps wholesale (stale users
         // must not survive the version change) and the bootstrap mean is
@@ -727,18 +821,17 @@ impl Velox {
         }
         self.user_state.publish_version(Vec::new());
         // Bump every user's cache version in one publish.
-        let bumped: Vec<(u64, u64)> =
-            weights.keys().map(|&uid| (uid, new_version << 32)).collect();
+        let bumped: Vec<(u64, u64)> = weights.keys().map(|&uid| (uid, new_version << 32)).collect();
         self.user_versions.publish_version(bumped);
 
         // Old caches describe the old model.
         self.prediction_cache.clear();
         self.feature_cache.clear();
-        self.staleness.lock().reset();
-        self.error_tracker.lock().reset();
-        self.validation.lock().clear();
+        self.staleness.lock().unwrap().reset();
+        self.error_tracker.lock().unwrap().reset();
+        self.validation.lock().unwrap().clear();
         self.stale_flag.store(false, Ordering::Release);
-        self.training_log.lock().len()
+        self.training_log.lock().unwrap().len()
     }
 
     /// Applies historical/missed examples to the per-user online state and
@@ -748,21 +841,21 @@ impl Velox {
         &self,
         examples: &[TrainingExample],
     ) -> Result<(), VeloxError> {
-        let _gate = self.swap_gate.read();
-        let model = Arc::clone(&*self.model.read());
+        let _gate = self.swap_gate.read().unwrap();
+        let model = Arc::clone(&*self.model.read().unwrap());
         let model_version = self.model_version();
         let mut touched: std::collections::HashSet<u64> = std::collections::HashSet::new();
         for ex in examples {
             let home = self.cluster.home_of_user(ex.uid);
             let (features, _) = self.features_for(&model, model_version, home, &ex.item)?;
             let state_arc = self.user_state_arc(ex.uid);
-            state_arc.lock().observe(&features, ex.y)?;
+            state_arc.lock().unwrap().observe(&features, ex.y)?;
             touched.insert(ex.uid);
         }
         // Publish the updated weights to the serving table once per user.
         for uid in touched {
             let state_arc = self.user_state_arc(uid);
-            let w = state_arc.lock().weights().clone();
+            let w = state_arc.lock().unwrap().weights().clone();
             self.cluster.put_user_weights(uid, w.as_slice().to_vec());
             self.user_versions.update_with(uid, || 0, |v| *v += 1);
             self.bootstrap.contribute(uid, &w);
@@ -774,7 +867,8 @@ impl Velox {
     /// the *new* model so the cache is warm when traffic resumes.
     fn repopulate_prediction_cache(&self, old_keys: &[PredKey]) {
         let model_version = self.model_version();
-        let model = Arc::clone(&*self.model.read());
+        let model = Arc::clone(&*self.model.read().unwrap());
+        let mut entries = 0u64;
         for &(uid, item_id, _, _) in old_keys {
             let node = self.cluster.home_of_user(uid);
             let user_version = self.user_versions.get(uid).unwrap_or(0);
@@ -785,18 +879,19 @@ impl Velox {
             let item = Item::Id(item_id);
             if let Ok((features, _)) = self.features_for(&model, model_version, node, &item) {
                 if let Ok(score) = weights.dot(&features) {
-                    self.prediction_cache
-                        .put((uid, item_id, user_version, model_version), score);
+                    self.prediction_cache.put((uid, item_id, user_version, model_version), score);
+                    entries += 1;
                 }
             }
         }
+        self.registry.event(EventKind::CacheRepopulation { entries });
     }
 
     /// Rolls back to a retained prior `version` (restored under a fresh
     /// version number). Returns the new serving version.
     pub fn rollback(&self, version: u64) -> Result<u64, VeloxError> {
         let entry = {
-            let mut history = self.history.lock();
+            let mut history = self.history.lock().unwrap();
             let pos = history
                 .iter()
                 .position(|e| e.version == version)
@@ -807,9 +902,9 @@ impl Velox {
         // Current state goes to history so the rollback is itself
         // reversible.
         {
-            let current_model = Arc::clone(&*self.model.read());
+            let current_model = Arc::clone(&*self.model.read().unwrap());
             let current_weights = self.cluster.export_user_weights();
-            let mut history = self.history.lock();
+            let mut history = self.history.lock().unwrap();
             history.push(HistoryEntry {
                 version: old_version,
                 model: current_model,
@@ -819,39 +914,49 @@ impl Velox {
                 history.remove(0);
             }
         }
-        let weights: HashMap<u64, Vector> = entry
-            .user_weights
-            .into_iter()
-            .map(|(u, w)| (u, Vector::from_vec(w)))
-            .collect();
+        let weights: HashMap<u64, Vector> =
+            entry.user_weights.into_iter().map(|(u, w)| (u, Vector::from_vec(w))).collect();
         self.swap_in(entry.model, weights, old_version + 1);
+        self.registry.event(EventKind::Rollback { from: old_version, to: version });
         Ok(self.model_version())
     }
 
     /// Versions currently available for rollback, oldest first.
     pub fn rollback_versions(&self) -> Vec<u64> {
-        self.history.lock().iter().map(|e| e.version).collect()
+        self.history.lock().unwrap().iter().map(|e| e.version).collect()
     }
 
     /// Users whose mean loss exceeds `multiple` × the global mean with at
     /// least `min_obs` observations (admin diagnostics, §4.3).
     pub fn underperforming_users(&self, multiple: f64, min_obs: u64) -> Vec<u64> {
-        self.error_tracker.lock().underperforming_users(multiple, min_obs)
+        self.error_tracker.lock().unwrap().underperforming_users(multiple, min_obs)
     }
 
-    /// Observability snapshot.
+    /// Observability snapshot. Counter-valued fields are read from the
+    /// metric registry — the same atomics `GET /metrics` exposes — so every
+    /// reporting surface agrees; eviction counts (not registry metrics)
+    /// come from the caches, and quality figures from their trackers.
     pub fn stats(&self) -> SystemStats {
+        let snap = self.registry.snapshot();
         SystemStats {
             model_version: self.model_version(),
-            retrains: self.retrains.load(Ordering::Relaxed),
-            observations: self.obslog.len(),
+            retrains: snap.counter("velox_retrains_total"),
+            observations: snap.counter("velox_observations_total"),
             online_users: self.user_state.len(),
-            prediction_cache: self.prediction_cache.stats(),
-            feature_cache: self.feature_cache.stats(),
+            prediction_cache: (
+                snap.counter("velox_prediction_cache_hits_total"),
+                snap.counter("velox_prediction_cache_misses_total"),
+                self.prediction_cache.stats().2,
+            ),
+            feature_cache: (
+                snap.counter("velox_feature_cache_hits_total"),
+                snap.counter("velox_feature_cache_misses_total"),
+                self.feature_cache.stats().2,
+            ),
             cluster: self.cluster.stats(),
-            mean_loss: self.error_tracker.lock().global_mean(),
-            generalization_loss: self.prequential.lock().generalization_loss(),
-            validation_decisions: self.validation.lock().decision_counts(),
+            mean_loss: self.error_tracker.lock().unwrap().global_mean(),
+            generalization_loss: self.prequential.lock().unwrap().generalization_loss(),
+            validation_decisions: self.validation.lock().unwrap().decision_counts(),
             stale: self.is_stale(),
         }
     }
@@ -870,7 +975,7 @@ impl Velox {
 
     /// The currently-served model object.
     pub fn current_model(&self) -> Arc<dyn VeloxModel> {
-        Arc::clone(&*self.model.read())
+        Arc::clone(&*self.model.read().unwrap())
     }
 
     /// Exact top-`k` over the **entire catalog** — the paper's §8 future
@@ -893,11 +998,8 @@ impl Velox {
     }
 
     /// Builds (or returns the cached) MIPS index for `version`.
-    fn catalog_index(
-        &self,
-        version: u64,
-    ) -> Result<Arc<velox_linalg::MipsIndex>, VeloxError> {
-        if let Some((v, idx)) = self.mips_index.lock().as_ref() {
+    fn catalog_index(&self, version: u64) -> Result<Arc<velox_linalg::MipsIndex>, VeloxError> {
+        if let Some((v, idx)) = self.mips_index.lock().unwrap().as_ref() {
             if *v == version {
                 return Ok(Arc::clone(idx));
             }
@@ -919,7 +1021,7 @@ impl Velox {
             out
         };
         let index = Arc::new(velox_linalg::MipsIndex::build(items)?);
-        *self.mips_index.lock() = Some((version, Arc::clone(&index)));
+        *self.mips_index.lock().unwrap() = Some((version, Arc::clone(&index)));
         Ok(index)
     }
 

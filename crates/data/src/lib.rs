@@ -18,9 +18,9 @@
 //!   into offline-initialization, online-update, and held-out sets.
 //! - [`workload`]: request-stream generation — Zipfian item popularity,
 //!   uniform/weighted user selection, top-K candidate-set sampling.
-//! - [`rng`]: deterministic random primitives (seeded PCG via `rand`,
-//!   Box–Muller Gaussians, inverted-CDF Zipf) so every experiment is
-//!   reproducible from a seed.
+//! - [`rng`]: deterministic random primitives (an in-tree xoshiro256++
+//!   generator, Box–Muller Gaussians, inverted-CDF Zipf) so every
+//!   experiment is reproducible from a seed with zero external deps.
 
 #![warn(missing_docs)]
 
@@ -30,5 +30,6 @@ pub mod split;
 pub mod workload;
 
 pub use ratings::{Rating, RatingsDataset, SyntheticConfig};
+pub use rng::{VeloxRng, Zipf};
 pub use split::{three_way_split, LifecycleSplit};
 pub use workload::{TopKRequest, WorkloadConfig, ZipfGenerator};

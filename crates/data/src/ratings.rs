@@ -111,9 +111,8 @@ impl RatingsDataset {
 
         // Population-level shared taste direction (zero vector when
         // `shared_taste` is 0).
-        let mut shared = Vector::from_vec(
-            (0..config.rank).map(|_| rng.gaussian()).collect::<Vec<f64>>(),
-        );
+        let mut shared =
+            Vector::from_vec((0..config.rank).map(|_| rng.gaussian()).collect::<Vec<f64>>());
         let norm = shared.norm2();
         if norm > 0.0 && config.shared_taste > 0.0 {
             shared.scale(config.shared_taste / norm);
@@ -124,9 +123,7 @@ impl RatingsDataset {
         let true_user_factors: Vec<Vector> = (0..config.n_users)
             .map(|_| {
                 let mut w = Vector::from_vec(
-                    (0..config.rank)
-                        .map(|_| rng.gaussian() * factor_scale)
-                        .collect::<Vec<f64>>(),
+                    (0..config.rank).map(|_| rng.gaussian() * factor_scale).collect::<Vec<f64>>(),
                 );
                 w.axpy(1.0, &shared).expect("rank-consistent shared taste");
                 w
@@ -134,9 +131,7 @@ impl RatingsDataset {
             .collect();
         let true_item_factors: Vec<Vector> = (0..config.n_items)
             .map(|_| {
-                Vector::from_vec(
-                    (0..config.rank).map(|_| rng.gaussian() * factor_scale).collect(),
-                )
+                Vector::from_vec((0..config.rank).map(|_| rng.gaussian() * factor_scale).collect())
             })
             .collect();
 
@@ -170,10 +165,7 @@ impl RatingsDataset {
                 drawn += 1;
             }
             if drawn < config.ratings_per_user {
-                for &item in rng
-                    .sample_distinct(config.n_items, config.ratings_per_user)
-                    .iter()
-                {
+                for &item in rng.sample_distinct(config.n_items, config.ratings_per_user).iter() {
                     if drawn == config.ratings_per_user {
                         break;
                     }
@@ -184,8 +176,7 @@ impl RatingsDataset {
                     let score = true_user_factors[u]
                         .dot(&true_item_factors[item])
                         .expect("rank-consistent factors");
-                    let noisy =
-                        config.global_mean + score + rng.gaussian() * config.noise_std;
+                    let noisy = config.global_mean + score + rng.gaussian() * config.noise_std;
                     per_user.push((u as u64, item as u64, noisy.clamp(lo, hi)));
                     drawn += 1;
                 }
@@ -197,12 +188,7 @@ impl RatingsDataset {
         let ratings = per_user
             .into_iter()
             .enumerate()
-            .map(|(ts, (uid, item_id, value))| Rating {
-                uid,
-                item_id,
-                value,
-                timestamp: ts as u64,
-            })
+            .map(|(ts, (uid, item_id, value))| Rating { uid, item_id, value, timestamp: ts as u64 })
             .collect();
 
         RatingsDataset { ratings, true_user_factors, true_item_factors, config }
@@ -316,10 +302,7 @@ mod tests {
         }
         let head: u64 = counts[..20].iter().sum();
         let tail: u64 = counts[180..].iter().sum();
-        assert!(
-            head > tail * 3,
-            "Zipf skew should concentrate ratings: head={head} tail={tail}"
-        );
+        assert!(head > tail * 3, "Zipf skew should concentrate ratings: head={head} tail={tail}");
     }
 
     #[test]
@@ -329,11 +312,7 @@ mod tests {
         let ds = RatingsDataset::generate(cfg);
         for r in &ds.ratings {
             let oracle = ds.oracle_score(r.uid, r.item_id);
-            assert!(
-                (r.value - oracle).abs() < 1e-3,
-                "rating {} vs oracle {oracle}",
-                r.value
-            );
+            assert!((r.value - oracle).abs() < 1e-3, "rating {} vs oracle {oracle}", r.value);
         }
     }
 

@@ -1,17 +1,31 @@
 //! Deterministic random primitives.
 //!
 //! Every experiment in the workspace is seeded, so runs are exactly
-//! reproducible. `rand` provides the core generator; the distributions the
-//! paper's workloads need beyond uniforms — Gaussians for planted factors
-//! and noise, Zipf for item popularity — are implemented here rather than
-//! pulling in `rand_distr` (dependency policy in DESIGN.md).
+//! reproducible. The core generator is an in-tree xoshiro256++ (seeded
+//! through SplitMix64, the initialization recommended by its authors) —
+//! fast, tiny state, and no external dependency, which keeps the build
+//! hermetic. The distributions the paper's workloads need beyond uniforms
+//! — Gaussians for planted factors and noise, Zipf for item popularity —
+//! are implemented on top.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// SplitMix64: expands a 64-bit seed into well-mixed stream of words used
+/// to initialize the xoshiro state (and usable as a one-shot mixer).
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A seeded random source with the distributions Velox's generators need.
+///
+/// Internally a xoshiro256++ generator: 256 bits of state, one rotate /
+/// shift / xor round per output word, period 2²⁵⁶ − 1.
+#[derive(Debug, Clone)]
 pub struct VeloxRng {
-    rng: StdRng,
+    s: [u64; 4],
     /// Spare Gaussian from the last Box–Muller pair.
     spare: Option<f64>,
 }
@@ -19,23 +33,52 @@ pub struct VeloxRng {
 impl VeloxRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        VeloxRng { rng: StdRng::seed_from_u64(seed), spare: None }
+        let mut sm = seed;
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        VeloxRng { s, spare: None }
     }
 
-    /// Uniform in `[0, 1)`.
+    /// Next raw 64-bit word (xoshiro256++).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)`: the top 53 bits of a word over 2⁵³.
     pub fn uniform(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
-    /// Uniform integer in `[0, n)`. `n` must be positive.
+    /// Uniform integer in `[0, n)`. `n` must be positive. Uses rejection
+    /// sampling (Lemire-style threshold) so the draw is exactly uniform.
     pub fn below(&mut self, n: u64) -> u64 {
         debug_assert!(n > 0);
-        self.rng.gen_range(0..n)
+        if n.is_power_of_two() {
+            return self.next_u64() & (n - 1);
+        }
+        // Rejection zone: discard draws above the largest multiple of n.
+        let zone = u64::MAX - (u64::MAX % n) - 1;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % n;
+            }
+        }
     }
 
     /// Uniform in `[lo, hi)`.
     pub fn range(&mut self, lo: f64, hi: f64) -> f64 {
-        self.rng.gen_range(lo..hi)
+        debug_assert!(lo < hi);
+        lo + (hi - lo) * self.uniform()
     }
 
     /// Standard normal via Box–Muller (polar form), caching the spare.

@@ -128,8 +128,7 @@ mod tests {
             let max_off = split.offline.iter().filter(|r| r.uid == uid).map(|r| r.timestamp).max();
             let min_on = split.online.iter().filter(|r| r.uid == uid).map(|r| r.timestamp).min();
             let max_on = split.online.iter().filter(|r| r.uid == uid).map(|r| r.timestamp).max();
-            let min_held =
-                split.heldout.iter().filter(|r| r.uid == uid).map(|r| r.timestamp).min();
+            let min_held = split.heldout.iter().filter(|r| r.uid == uid).map(|r| r.timestamp).min();
             if let (Some(a), Some(b)) = (max_off, min_on) {
                 assert!(a < b, "user {uid}: offline after online");
             }

@@ -25,7 +25,13 @@ pub struct WorkloadConfig {
 
 impl Default for WorkloadConfig {
     fn default() -> Self {
-        WorkloadConfig { n_users: 1000, n_items: 10_000, item_skew: 1.0, topk_set_size: 100, seed: 7 }
+        WorkloadConfig {
+            n_users: 1000,
+            n_items: 10_000,
+            item_skew: 1.0,
+            topk_set_size: 100,
+            seed: 7,
+        }
     }
 }
 
@@ -242,10 +248,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "candidate set exceeds catalog")]
     fn rejects_oversized_candidate_set() {
-        let _ = ZipfGenerator::new(WorkloadConfig {
-            n_items: 10,
-            topk_set_size: 20,
-            ..config()
-        });
+        let _ = ZipfGenerator::new(WorkloadConfig { n_items: 10, topk_set_size: 20, ..config() });
     }
 }

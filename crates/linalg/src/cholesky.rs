@@ -32,11 +32,7 @@ impl Cholesky {
     pub fn factor(a: &Matrix) -> Result<Self> {
         let (n, m) = a.shape();
         if n != m {
-            return Err(LinalgError::DimensionMismatch {
-                op: "cholesky",
-                expected: n,
-                actual: m,
-            });
+            return Err(LinalgError::DimensionMismatch { op: "cholesky", expected: n, actual: m });
         }
         let mut l = Matrix::zeros(n, n);
         for j in 0..n {
@@ -184,19 +180,13 @@ mod tests {
     fn rejects_non_spd() {
         // Indefinite matrix: eigenvalues 1 and -1.
         let m = Matrix::from_row_major(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
-        assert!(matches!(
-            Cholesky::factor(&m),
-            Err(LinalgError::NotPositiveDefinite { .. })
-        ));
+        assert!(matches!(Cholesky::factor(&m), Err(LinalgError::NotPositiveDefinite { .. })));
     }
 
     #[test]
     fn rejects_non_square() {
         let m = Matrix::zeros(2, 3);
-        assert!(matches!(
-            Cholesky::factor(&m),
-            Err(LinalgError::DimensionMismatch { .. })
-        ));
+        assert!(matches!(Cholesky::factor(&m), Err(LinalgError::DimensionMismatch { .. })));
     }
 
     #[test]

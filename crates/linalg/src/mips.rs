@@ -173,10 +173,7 @@ impl MipsIndex {
             .ids
             .iter()
             .zip(&self.vectors)
-            .map(|(&id, v)| ScoredItem {
-                id,
-                score: dot_slices(query.as_slice(), v.as_slice()),
-            })
+            .map(|(&id, v)| ScoredItem { id, score: dot_slices(query.as_slice(), v.as_slice()) })
             .collect();
         all.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
         all.truncate(k.max(1).min(self.len()));
@@ -198,10 +195,7 @@ impl PartialOrd for HeapEntry {
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .partial_cmp(&other.0)
-            .expect("finite scores")
-            .then_with(|| self.1.cmp(&other.1))
+        self.0.partial_cmp(&other.0).expect("finite scores").then_with(|| self.1.cmp(&other.1))
     }
 }
 
@@ -309,10 +303,7 @@ mod tests {
     #[test]
     fn non_finite_inputs_are_rejected_not_panics() {
         let bad = vec![(0u64, Vector::from_vec(vec![f64::NAN, 1.0]))];
-        assert!(matches!(
-            MipsIndex::build(bad),
-            Err(LinalgError::NonFinite { .. })
-        ));
+        assert!(matches!(MipsIndex::build(bad), Err(LinalgError::NonFinite { .. })));
         let idx = MipsIndex::build(vec![(0u64, Vector::from_vec(vec![1.0, 0.0]))]).unwrap();
         assert!(matches!(
             idx.top_k(&Vector::from_vec(vec![f64::NAN, 0.0]), 1),

@@ -69,12 +69,7 @@ impl RidgeProblem {
     /// `lambda` (must be positive so the system is always solvable).
     pub fn new(d: usize, lambda: f64) -> Self {
         assert!(lambda > 0.0, "ridge lambda must be positive");
-        RidgeProblem {
-            gram: Matrix::zeros(d, d),
-            xty: Vector::zeros(d),
-            lambda,
-            n_obs: 0,
-        }
+        RidgeProblem { gram: Matrix::zeros(d, d), xty: Vector::zeros(d), lambda, n_obs: 0 }
     }
 
     /// Creates a problem whose empty-data solution equals a prior weight
@@ -167,8 +162,10 @@ mod tests {
 
     #[test]
     fn larger_lambda_shrinks_weights() {
-        let rows: Vec<Vector> =
-            vec![vec![1.0, 2.0], vec![2.0, 1.0], vec![1.0, -1.0]].into_iter().map(Vector::from_vec).collect();
+        let rows: Vec<Vector> = vec![vec![1.0, 2.0], vec![2.0, 1.0], vec![1.0, -1.0]]
+            .into_iter()
+            .map(Vector::from_vec)
+            .collect();
         let x = Matrix::from_rows(&rows).unwrap();
         let y = Vector::from_vec(vec![3.0, 3.0, 0.0]);
         let w_small = ridge_fit(&x, &y, 1e-6).unwrap();

@@ -53,13 +53,7 @@ impl IncrementalRidge {
         assert!(lambda > 0.0, "ridge lambda must be positive");
         let mut a_inv = Matrix::identity(d);
         a_inv.scale(1.0 / lambda);
-        IncrementalRidge {
-            a_inv,
-            b: Vector::zeros(d),
-            w: Vector::zeros(d),
-            lambda,
-            n_obs: 0,
-        }
+        IncrementalRidge { a_inv, b: Vector::zeros(d), w: Vector::zeros(d), lambda, n_obs: 0 }
     }
 
     /// Reconstructs an incremental model from batch sufficient statistics

@@ -1,70 +1,83 @@
-//! Property-based tests for the linear-algebra substrate.
+//! Randomized-property tests for the linear-algebra substrate, driven by
+//! the in-tree seeded generator (`VeloxRng`) so every case is reproducible
+//! from the constants below — no external property-testing framework.
 //!
 //! These check the algebraic identities the rest of Velox relies on:
 //! Cholesky solves actually solve, Sherman–Morrison tracks the naive normal
 //! equations, Gram matrices are consistent with explicit products, and the
 //! statistics accumulators match closed-form computation.
 
-use proptest::prelude::*;
+use velox_data::VeloxRng;
+use velox_linalg::ridge::RidgeProblem;
 use velox_linalg::stats::RunningStats;
 use velox_linalg::{ridge_fit, Cholesky, IncrementalRidge, Matrix, Vector};
-use velox_linalg::ridge::RidgeProblem;
 
-/// Strategy: a small vector of bounded finite floats.
-fn vec_of(len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-10.0f64..10.0, len..=len)
+const CASES: usize = 128;
+
+fn vec_of(rng: &mut VeloxRng, len: usize) -> Vec<f64> {
+    (0..len).map(|_| rng.range(-10.0, 10.0)).collect()
 }
 
-/// Strategy: (dimension, rows of a design matrix, targets).
-fn design() -> impl Strategy<Value = (usize, Vec<Vec<f64>>, Vec<f64>)> {
-    (2usize..6).prop_flat_map(|d| {
-        (1usize..12).prop_flat_map(move |n| {
-            (
-                Just(d),
-                prop::collection::vec(vec_of(d), n..=n),
-                prop::collection::vec(-5.0f64..5.0, n..=n),
-            )
-        })
-    })
+/// A random (dimension, design-matrix rows, targets) triple.
+fn design(rng: &mut VeloxRng) -> (usize, Vec<Vec<f64>>, Vec<f64>) {
+    let d = 2 + rng.below(4) as usize; // 2..6
+    let n = 1 + rng.below(11) as usize; // 1..12
+    let rows = (0..n).map(|_| vec_of(rng, d)).collect();
+    let ys = (0..n).map(|_| rng.range(-5.0, 5.0)).collect();
+    (d, rows, ys)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// dot is commutative and bilinear in scaling.
-    #[test]
-    fn dot_commutative((a, b) in (2usize..12).prop_flat_map(|n| (vec_of(n), vec_of(n)))) {
-        let va = Vector::from_vec(a);
-        let vb = Vector::from_vec(b);
+/// dot is commutative.
+#[test]
+fn dot_commutative() {
+    let mut rng = VeloxRng::seed_from(0x11_a1);
+    for _ in 0..CASES {
+        let n = 2 + rng.below(10) as usize;
+        let va = Vector::from_vec(vec_of(&mut rng, n));
+        let vb = Vector::from_vec(vec_of(&mut rng, n));
         let ab = va.dot(&vb).unwrap();
         let ba = vb.dot(&va).unwrap();
-        prop_assert!((ab - ba).abs() <= 1e-9 * (1.0 + ab.abs()));
+        assert!((ab - ba).abs() <= 1e-9 * (1.0 + ab.abs()));
     }
+}
 
-    /// ||a+b|| <= ||a|| + ||b|| (triangle inequality).
-    #[test]
-    fn triangle_inequality((a, b) in (2usize..12).prop_flat_map(|n| (vec_of(n), vec_of(n)))) {
-        let va = Vector::from_vec(a);
-        let vb = Vector::from_vec(b);
+/// ||a+b|| <= ||a|| + ||b|| (triangle inequality).
+#[test]
+fn triangle_inequality() {
+    let mut rng = VeloxRng::seed_from(0x11_a2);
+    for _ in 0..CASES {
+        let n = 2 + rng.below(10) as usize;
+        let va = Vector::from_vec(vec_of(&mut rng, n));
+        let vb = Vector::from_vec(vec_of(&mut rng, n));
         let sum = va.add(&vb).unwrap();
-        prop_assert!(sum.norm2() <= va.norm2() + vb.norm2() + 1e-9);
+        assert!(sum.norm2() <= va.norm2() + vb.norm2() + 1e-9);
     }
+}
 
-    /// (Aᵀ)ᵀ = A and gram(A) = AᵀA for random matrices.
-    #[test]
-    fn transpose_and_gram((rows, cols, data) in (1usize..6, 1usize..6)
-        .prop_flat_map(|(r, c)| (Just(r), Just(c), vec_of(r * c)))) {
+/// (Aᵀ)ᵀ = A and gram(A) = AᵀA for random matrices.
+#[test]
+fn transpose_and_gram() {
+    let mut rng = VeloxRng::seed_from(0x11_a3);
+    for _ in 0..CASES {
+        let rows = 1 + rng.below(5) as usize;
+        let cols = 1 + rng.below(5) as usize;
+        let data = vec_of(&mut rng, rows * cols);
         let a = Matrix::from_row_major(rows, cols, data).unwrap();
-        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        assert_eq!(a.transpose().transpose(), a.clone());
         let g = a.gram();
         let explicit = a.transpose().matmul(&a).unwrap();
-        prop_assert!(g.max_abs_diff(&explicit).unwrap() < 1e-9);
-        prop_assert!(g.is_symmetric(1e-12));
+        assert!(g.max_abs_diff(&explicit).unwrap() < 1e-9);
+        assert!(g.is_symmetric(1e-12));
     }
+}
 
-    /// Cholesky of G + λI solves the system it factored.
-    #[test]
-    fn cholesky_solves((d, rows, _y) in design(), lambda in 0.1f64..5.0) {
+/// Cholesky of G + λI solves the system it factored.
+#[test]
+fn cholesky_solves() {
+    let mut rng = VeloxRng::seed_from(0x11_a4);
+    for _ in 0..CASES {
+        let (d, rows, _ys) = design(&mut rng);
+        let lambda = rng.range(0.1, 5.0);
         let vrows: Vec<Vector> = rows.into_iter().map(Vector::from_vec).collect();
         let x = Matrix::from_rows(&vrows).unwrap();
         let mut a = x.gram();
@@ -73,13 +86,18 @@ proptest! {
         let b = Vector::from_vec((0..d).map(|i| (i as f64) - 1.0).collect());
         let sol = ch.solve(&b).unwrap();
         let residual = a.matvec(&sol).unwrap().sub(&b).unwrap().norm2();
-        prop_assert!(residual < 1e-6, "residual {residual}");
+        assert!(residual < 1e-6, "residual {residual}");
     }
+}
 
-    /// The incremental (Sherman–Morrison) solution matches the naive batch
-    /// normal-equations solution after any observation stream.
-    #[test]
-    fn sherman_morrison_matches_batch((d, rows, ys) in design(), lambda in 0.1f64..5.0) {
+/// The incremental (Sherman–Morrison) solution matches the naive batch
+/// normal-equations solution after any observation stream.
+#[test]
+fn sherman_morrison_matches_batch() {
+    let mut rng = VeloxRng::seed_from(0x11_a5);
+    for _ in 0..CASES {
+        let (d, rows, ys) = design(&mut rng);
+        let lambda = rng.range(0.1, 5.0);
         let mut inc = IncrementalRidge::new(d, lambda);
         let mut naive = RidgeProblem::new(d, lambda);
         for (r, &y) in rows.iter().zip(&ys) {
@@ -89,13 +107,18 @@ proptest! {
         }
         let w_batch = naive.solve().unwrap();
         let diff = inc.weights().sub(&w_batch).unwrap().norm2();
-        prop_assert!(diff < 1e-6, "diff {diff}");
+        assert!(diff < 1e-6, "diff {diff}");
     }
+}
 
-    /// ridge_fit residual is optimal: perturbing the solution never reduces
-    /// the regularized loss.
-    #[test]
-    fn ridge_is_a_minimum((d, rows, ys) in design(), lambda in 0.1f64..5.0) {
+/// ridge_fit residual is optimal: perturbing the solution never reduces
+/// the regularized loss.
+#[test]
+fn ridge_is_a_minimum() {
+    let mut rng = VeloxRng::seed_from(0x11_a6);
+    for _ in 0..CASES {
+        let (d, rows, ys) = design(&mut rng);
+        let lambda = rng.range(0.1, 5.0);
         let vrows: Vec<Vector> = rows.into_iter().map(Vector::from_vec).collect();
         let x = Matrix::from_rows(&vrows).unwrap();
         let y = Vector::from_vec(ys);
@@ -109,40 +132,54 @@ proptest! {
             for delta in [-1e-3, 1e-3] {
                 let mut wp = w.clone();
                 wp[i] += delta;
-                prop_assert!(loss(&wp) >= base - 1e-9);
+                assert!(loss(&wp) >= base - 1e-9);
             }
         }
     }
+}
 
-    /// Variance of any direction shrinks (weakly) as observations arrive.
-    #[test]
-    fn posterior_variance_monotone((d, rows, ys) in design(), probe in vec_of(8)) {
+/// Variance of any direction shrinks (weakly) as observations arrive.
+#[test]
+fn posterior_variance_monotone() {
+    let mut rng = VeloxRng::seed_from(0x11_a7);
+    for _ in 0..CASES {
+        let (d, rows, ys) = design(&mut rng);
+        let probe = Vector::from_vec(vec_of(&mut rng, d));
         let mut inc = IncrementalRidge::new(d, 1.0);
-        let probe = Vector::from_vec(probe[..d].to_vec());
         let mut last = inc.variance(&probe).unwrap();
         for (r, &y) in rows.iter().zip(&ys) {
             inc.observe(&Vector::from_vec(r.clone()), y).unwrap();
             let v = inc.variance(&probe).unwrap();
-            prop_assert!(v <= last + 1e-9, "variance grew: {last} -> {v}");
-            prop_assert!(v >= -1e-12);
+            assert!(v <= last + 1e-9, "variance grew: {last} -> {v}");
+            assert!(v >= -1e-12);
             last = v;
         }
     }
+}
 
-    /// RunningStats merge is order-independent (associativity of merge).
-    #[test]
-    fn stats_merge_associative(data in prop::collection::vec(-100.0f64..100.0, 3..40),
-                               split in 1usize..38) {
-        let split = split.min(data.len() - 1);
+/// RunningStats merge is order-independent (associativity of merge).
+#[test]
+fn stats_merge_associative() {
+    let mut rng = VeloxRng::seed_from(0x11_a8);
+    for _ in 0..CASES {
+        let n = 3 + rng.below(37) as usize;
+        let data: Vec<f64> = (0..n).map(|_| rng.range(-100.0, 100.0)).collect();
+        let split = 1 + rng.below((n - 1) as u64) as usize;
         let mut all = RunningStats::new();
-        for &x in &data { all.push(x); }
+        for &x in &data {
+            all.push(x);
+        }
         let mut a = RunningStats::new();
         let mut b = RunningStats::new();
-        for &x in &data[..split] { a.push(x); }
-        for &x in &data[split..] { b.push(x); }
+        for &x in &data[..split] {
+            a.push(x);
+        }
+        for &x in &data[split..] {
+            b.push(x);
+        }
         a.merge(&b);
-        prop_assert_eq!(a.count(), all.count());
-        prop_assert!((a.mean() - all.mean()).abs() < 1e-9);
-        prop_assert!((a.variance() - all.variance()).abs() < 1e-7);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-7);
     }
 }

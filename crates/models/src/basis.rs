@@ -136,10 +136,8 @@ impl RandomFourierModel {
     ) -> Self {
         assert!(input_dim > 0 && dim > 0 && gamma > 0.0 && lambda > 0.0);
         let mut rng = BasisRng::new(seed);
-        let omega: Vec<f64> =
-            (0..dim * input_dim).map(|_| rng.gaussian() * gamma).collect();
-        let phase: Vec<f64> =
-            (0..dim).map(|_| rng.uniform() * std::f64::consts::TAU).collect();
+        let omega: Vec<f64> = (0..dim * input_dim).map(|_| rng.gaussian() * gamma).collect();
+        let phase: Vec<f64> = (0..dim).map(|_| rng.uniform() * std::f64::consts::TAU).collect();
         RandomFourierModel { name: name.into(), input_dim, omega, phase, lambda }
     }
 
@@ -318,8 +316,7 @@ impl MlpFeatureModel {
         let mut fan_in = input_dim;
         for &width in hidden {
             let scale = (2.0 / fan_in as f64).sqrt();
-            let weights: Vec<f64> =
-                (0..width * fan_in).map(|_| rng.gaussian() * scale).collect();
+            let weights: Vec<f64> = (0..width * fan_in).map(|_| rng.gaussian() * scale).collect();
             let biases: Vec<f64> = (0..width).map(|_| rng.gaussian() * 0.01).collect();
             layers.push((weights, biases));
             fan_in = width;
@@ -399,10 +396,7 @@ mod tests {
             m.features(&raw(vec![1.0])),
             Err(ModelError::DimensionMismatch { expected: 3, actual: 1 })
         ));
-        assert!(matches!(
-            m.features(&Item::Id(5)),
-            Err(ModelError::WrongItemKind { .. })
-        ));
+        assert!(matches!(m.features(&Item::Id(5)), Err(ModelError::WrongItemKind { .. })));
     }
 
     #[test]
@@ -486,11 +480,7 @@ mod tests {
         for uid in 0..50u64 {
             for i in 0..5 {
                 let x = 1.0 + i as f64;
-                data.push(TrainingExample {
-                    uid,
-                    item: raw(vec![x]),
-                    y: (uid as f64) * x,
-                });
+                data.push(TrainingExample { uid, item: raw(vec![x]), y: (uid as f64) * x });
             }
         }
         let ex = JobExecutor::new(8);
@@ -533,10 +523,7 @@ mod tests {
     #[test]
     fn mlp_rejects_wrong_inputs() {
         let m = MlpFeatureModel::new("mlp", 3, &[4], 0.1, 1);
-        assert!(matches!(
-            m.features(&raw(vec![1.0])),
-            Err(ModelError::DimensionMismatch { .. })
-        ));
+        assert!(matches!(m.features(&raw(vec![1.0])), Err(ModelError::DimensionMismatch { .. })));
         assert!(matches!(m.features(&Item::Id(1)), Err(ModelError::WrongItemKind { .. })));
     }
 

@@ -185,12 +185,9 @@ pub(crate) fn refit_user_weights(
             let mut prob = RidgeProblem::new(model.dim(), lambda);
             for ex in examples {
                 let f = model.features(&ex.item)?;
-                prob.observe(&f, ex.y)
-                    .map_err(|e| ModelError::TrainingFailed(e.to_string()))?;
+                prob.observe(&f, ex.y).map_err(|e| ModelError::TrainingFailed(e.to_string()))?;
             }
-            let w = prob
-                .solve()
-                .map_err(|e| ModelError::TrainingFailed(e.to_string()))?;
+            let w = prob.solve().map_err(|e| ModelError::TrainingFailed(e.to_string()))?;
             Ok((*uid, w))
         });
     solved.into_iter().collect()

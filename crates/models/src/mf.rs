@@ -32,22 +32,11 @@ impl MatrixFactorizationModel {
     /// Wraps an already-trained ALS model (the initial offline training of
     /// §4.2). Returns the Velox model plus the user-weight table extracted
     /// from the ALS solution.
-    pub fn from_als(
-        name: impl Into<String>,
-        als_model: &AlsModel,
-    ) -> (Self, HashMap<u64, Vector>) {
-        let item_factors: HashMap<u64, Vector> = als_model
-            .item_factors
-            .iter()
-            .enumerate()
-            .map(|(i, x)| (i as u64, x.clone()))
-            .collect();
-        let user_weights: HashMap<u64, Vector> = als_model
-            .user_factors
-            .iter()
-            .enumerate()
-            .map(|(u, w)| (u as u64, w.clone()))
-            .collect();
+    pub fn from_als(name: impl Into<String>, als_model: &AlsModel) -> (Self, HashMap<u64, Vector>) {
+        let item_factors: HashMap<u64, Vector> =
+            als_model.item_factors.iter().enumerate().map(|(i, x)| (i as u64, x.clone())).collect();
+        let user_weights: HashMap<u64, Vector> =
+            als_model.user_factors.iter().enumerate().map(|(u, w)| (u as u64, w.clone())).collect();
         let model = MatrixFactorizationModel {
             name: name.into(),
             item_factors,
@@ -75,13 +64,7 @@ impl MatrixFactorizationModel {
                 });
             }
         }
-        Ok(MatrixFactorizationModel {
-            name: name.into(),
-            item_factors,
-            global_mean,
-            rank,
-            als,
-        })
+        Ok(MatrixFactorizationModel { name: name.into(), item_factors, global_mean, rank, als })
     }
 
     /// Global mean μ added to every prediction.
@@ -110,11 +93,7 @@ impl VeloxModel for MatrixFactorizationModel {
 
     fn features(&self, item: &Item) -> Result<Vector, ModelError> {
         match item {
-            Item::Id(id) => self
-                .item_factors
-                .get(id)
-                .cloned()
-                .ok_or(ModelError::UnknownItem(*id)),
+            Item::Id(id) => self.item_factors.get(id).cloned().ok_or(ModelError::UnknownItem(*id)),
             Item::Raw(_) => Err(ModelError::WrongItemKind { expected: "catalog item id" }),
         }
     }
@@ -134,9 +113,8 @@ impl VeloxModel for MatrixFactorizationModel {
         let mut max_item = self.item_factors.keys().copied().max().unwrap_or(0);
         let mut ratings = Vec::with_capacity(data.len());
         for (ts, ex) in data.iter().enumerate() {
-            let item_id = ex.item.id().ok_or(ModelError::WrongItemKind {
-                expected: "catalog item id",
-            })?;
+            let item_id =
+                ex.item.id().ok_or(ModelError::WrongItemKind { expected: "catalog item id" })?;
             max_user = max_user.max(ex.uid);
             max_item = max_item.max(item_id);
             ratings.push(Rating { uid: ex.uid, item_id, value: ex.y, timestamp: ts as u64 });
@@ -149,33 +127,21 @@ impl VeloxModel for MatrixFactorizationModel {
 
         // Warm-start from the current model where factors exist.
         let user_init: Vec<Vector> = (0..n_users as u64)
-            .map(|u| {
-                user_weights
-                    .get(&u)
-                    .cloned()
-                    .unwrap_or_else(|| Vector::zeros(self.rank))
-            })
+            .map(|u| user_weights.get(&u).cloned().unwrap_or_else(|| Vector::zeros(self.rank)))
             .collect();
         let item_init: Vec<Vector> = (0..n_items as u64)
-            .map(|i| {
-                self.item_factors
-                    .get(&i)
-                    .cloned()
-                    .unwrap_or_else(|| Vector::zeros(self.rank))
-            })
+            .map(|i| self.item_factors.get(&i).cloned().unwrap_or_else(|| Vector::zeros(self.rank)))
             .collect();
 
         let als_model =
             AlsModel::train_warm_start(&ratings, user_init, item_init, self.als.clone(), executor);
-        let (model, new_weights) = MatrixFactorizationModel::from_als(self.name.clone(), &als_model);
+        let (model, new_weights) =
+            MatrixFactorizationModel::from_als(self.name.clone(), &als_model);
         Ok(RetrainResult { model: Box::new(model), user_weights: new_weights })
     }
 
     fn materialized_table(&self) -> Vec<(u64, Vec<f64>)> {
-        self.item_factors
-            .iter()
-            .map(|(id, f)| (*id, f.as_slice().to_vec()))
-            .collect()
+        self.item_factors.iter().map(|(id, f)| (*id, f.as_slice().to_vec())).collect()
     }
 }
 
@@ -243,13 +209,15 @@ mod tests {
         let (model, _, _) = trained();
         let table = model.materialized_table();
         assert_eq!(table.len(), 60);
-        let map: HashMap<u64, Vector> = table
-            .into_iter()
-            .map(|(id, v)| (id, Vector::from_vec(v)))
-            .collect();
-        let rebuilt =
-            MatrixFactorizationModel::from_table("mf2", map, model.global_mean(), model.als.clone())
-                .unwrap();
+        let map: HashMap<u64, Vector> =
+            table.into_iter().map(|(id, v)| (id, Vector::from_vec(v))).collect();
+        let rebuilt = MatrixFactorizationModel::from_table(
+            "mf2",
+            map,
+            model.global_mean(),
+            model.als.clone(),
+        )
+        .unwrap();
         let f1 = model.features(&Item::Id(3)).unwrap();
         let f2 = rebuilt.features(&Item::Id(3)).unwrap();
         assert_eq!(f1, f2);
@@ -320,15 +288,11 @@ mod tests {
     fn retrain_rejects_raw_items_and_empty_data() {
         let (model, weights, _) = trained();
         let ex = JobExecutor::new(1);
-        let raw_data =
-            vec![TrainingExample { uid: 0, item: Item::Raw(Vector::zeros(4)), y: 1.0 }];
+        let raw_data = vec![TrainingExample { uid: 0, item: Item::Raw(Vector::zeros(4)), y: 1.0 }];
         assert!(matches!(
             model.retrain(&raw_data, &weights, &ex),
             Err(ModelError::WrongItemKind { .. })
         ));
-        assert!(matches!(
-            model.retrain(&[], &weights, &ex),
-            Err(ModelError::TrainingFailed(_))
-        ));
+        assert!(matches!(model.retrain(&[], &weights, &ex), Err(ModelError::TrainingFailed(_))));
     }
 }

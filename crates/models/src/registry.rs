@@ -7,9 +7,9 @@
 //! rollback — the manager's "version histories, enabling ... simple
 //! rollbacks" requirement.
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::sync::RwLock;
 
 use crate::VeloxModel;
 
@@ -48,15 +48,12 @@ impl ModelRegistry {
     /// Returns the assigned version.
     pub fn upload(&self, model: Arc<dyn VeloxModel>) -> u64 {
         let name = model.name().to_string();
-        let mut slots = self.slots.write();
+        let mut slots = self.slots.write().unwrap();
         match slots.get_mut(&name) {
             Some(slot) => {
                 let version = slot.next_version;
                 slot.next_version += 1;
-                let old = std::mem::replace(
-                    &mut slot.current,
-                    RegisteredModel { model, version },
-                );
+                let old = std::mem::replace(&mut slot.current, RegisteredModel { model, version });
                 slot.history.push(old);
                 if slot.history.len() > HISTORY_PER_MODEL {
                     slot.history.remove(0);
@@ -79,14 +76,14 @@ impl ModelRegistry {
 
     /// The current version of a named model.
     pub fn get(&self, name: &str) -> Option<RegisteredModel> {
-        self.slots.read().get(name).map(|s| s.current.clone())
+        self.slots.read().unwrap().get(name).map(|s| s.current.clone())
     }
 
     /// Rolls a model back to a retained prior `version`; the restored model
     /// is re-published under a fresh version number. Returns the new
     /// `RegisteredModel`, or `None` when the name or version is unknown.
     pub fn rollback(&self, name: &str, version: u64) -> Option<RegisteredModel> {
-        let mut slots = self.slots.write();
+        let mut slots = self.slots.write().unwrap();
         let slot = slots.get_mut(name)?;
         let pos = slot.history.iter().position(|m| m.version == version)?;
         let restored = slot.history.remove(pos);
@@ -107,6 +104,7 @@ impl ModelRegistry {
     pub fn history_versions(&self, name: &str) -> Vec<u64> {
         self.slots
             .read()
+            .unwrap()
             .get(name)
             .map(|s| s.history.iter().map(|m| m.version).collect())
             .unwrap_or_default()
@@ -114,12 +112,12 @@ impl ModelRegistry {
 
     /// Names of all registered models, unordered.
     pub fn model_names(&self) -> Vec<String> {
-        self.slots.read().keys().cloned().collect()
+        self.slots.read().unwrap().keys().cloned().collect()
     }
 
     /// Removes a model and its history. Returns whether it existed.
     pub fn remove(&self, name: &str) -> bool {
-        self.slots.write().remove(name).is_some()
+        self.slots.write().unwrap().remove(name).is_some()
     }
 }
 

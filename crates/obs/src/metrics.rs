@@ -1,0 +1,361 @@
+//! Atomic counters, gauges, and lock-free log₂-bucketed histograms.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+///
+/// One relaxed `fetch_add` per increment; reads are relaxed loads. Shared
+/// via `Arc` between the component that increments it and the [`Registry`]
+/// that exposes it, so there is exactly one source of truth.
+///
+/// [`Registry`]: crate::Registry
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (used by the cluster simulator between experiment
+    /// phases; production counters are never reset).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A gauge: a value that can go up and down (e.g. current model version,
+/// online-user count).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets. Bucket `i` holds samples in `[2^i, 2^(i+1))`
+/// (bucket 0 additionally holds zero), which spans 1 ns .. ~584 years —
+/// every latency this system can produce.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A lock-free latency histogram with power-of-two buckets.
+///
+/// Samples are nanoseconds. Recording is three relaxed `fetch_add`s and a
+/// `fetch_max` — no locks, no allocation — so it is safe inside `predict`'s
+/// cached path. Quantiles are derived from the bucket counts at snapshot
+/// time: a reported quantile is the *upper bound* of the bucket containing
+/// that rank (clamped to the observed max), i.e. it over-estimates by at
+/// most 2× within a bucket, which is the usual trade for a fixed-size
+/// lock-free layout.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index for a sample: `floor(log2(v))`, with 0 mapping to
+    /// bucket 0.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            63 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i`.
+    #[inline]
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i >= 63 {
+            u64::MAX
+        } else {
+            (2u64 << i) - 1
+        }
+    }
+
+    /// Records one sample (nanoseconds).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] as nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Starts a [`SpanTimer`] that records into this histogram when
+    /// dropped.
+    ///
+    /// [`SpanTimer`]: crate::SpanTimer
+    pub fn span(&self) -> crate::SpanTimer<'_> {
+        crate::SpanTimer::new(self)
+    }
+
+    /// Copies the current state out as plain data. Individual fields are
+    /// read with relaxed loads, so a snapshot taken during concurrent
+    /// recording may be off by in-flight samples — fine for monitoring.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`] at one point in time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples (ns).
+    pub sum: u64,
+    /// Largest sample seen (ns).
+    pub max: u64,
+    /// Per-bucket sample counts; bucket `i` covers `[2^i, 2^(i+1))`.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        HistogramSnapshot { count: 0, sum: 0, max: 0, buckets: [0; HISTOGRAM_BUCKETS] }
+    }
+
+    /// Mean sample value in nanoseconds (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) in nanoseconds: the upper bound of
+    /// the bucket containing that rank, clamped to the observed max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Histogram::bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (ns).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (ns).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (ns).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges another snapshot into this one (for aggregating shards).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_basics() {
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn bucket_mapping() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(4), 2);
+        assert_eq!(Histogram::bucket_of(1023), 9);
+        assert_eq!(Histogram::bucket_of(1024), 10);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 63);
+        assert_eq!(Histogram::bucket_upper_bound(0), 1);
+        assert_eq!(Histogram::bucket_upper_bound(9), 1023);
+        assert_eq!(Histogram::bucket_upper_bound(63), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = Histogram::new();
+        // 90 fast samples (~100ns), 10 slow (~1ms).
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, 1_000_000);
+        // p50 lands in the 100ns bucket [64,128); p99 in the 1ms bucket.
+        assert!(s.p50() >= 100 && s.p50() < 128, "p50 = {}", s.p50());
+        assert!(s.p99() >= 1_000_000, "p99 = {}", s.p99());
+        assert!(s.p99() <= s.max);
+        assert!((s.mean() - 100_090.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn quantile_upper_bounds_within_2x() {
+        let h = Histogram::new();
+        for v in [3u64, 9, 17, 120, 5000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Every reported quantile is >= some real sample and <= max.
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            let est = s.quantile(q);
+            assert!(est <= s.max);
+            assert!(est >= 3);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!((s.count, s.max, s.p50(), s.p99()), (0, 0, 0, 0));
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(10);
+        b.record(1000);
+        let mut sa = a.snapshot();
+        sa.merge(&b.snapshot());
+        assert_eq!(sa.count, 2);
+        assert_eq!(sa.max, 1000);
+        assert_eq!(sa.sum, 1010);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Arc::new(Histogram::new());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let h = Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    h.record(t * 1000 + i % 997);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 80_000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 80_000);
+    }
+}

@@ -1,0 +1,436 @@
+//! The metric registry: named handles, snapshots, and text exposition.
+
+use std::sync::{Arc, Mutex};
+
+use crate::events::{Event, EventKind, EventLog};
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// A registered metric of any type.
+#[derive(Debug, Clone)]
+enum MetricHandle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    metric: MetricHandle,
+}
+
+/// A named collection of counters, gauges, histograms, and one lifecycle
+/// event log.
+///
+/// Components hold the `Arc<Counter>` / `Arc<Histogram>` handles directly
+/// and update them lock-free; the registry only enumerates them for
+/// snapshots and exposition, so registration cost is paid once at
+/// construction, never on a serving path.
+///
+/// Metrics are identified by `(name, labels)`. `counter`/`gauge`/
+/// `histogram` are get-or-create; `register_*` adopt a handle created
+/// elsewhere (e.g. a `Namespace`'s internal read counter) so the registry
+/// exposes the *same* atomic the component updates — one source of truth.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+    events: EventLog,
+}
+
+impl Registry {
+    /// Creates an empty registry with a default-capacity event log.
+    pub fn new() -> Self {
+        Registry { entries: Mutex::new(Vec::new()), events: EventLog::default() }
+    }
+
+    fn owned_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+        labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> MetricHandle,
+    ) -> MetricHandle {
+        let labels = Self::owned_labels(labels);
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        if let Some(e) = entries.iter().find(|e| e.name == name && e.labels == labels) {
+            return e.metric.clone();
+        }
+        let metric = make();
+        entries.push(Entry { name: name.to_string(), labels, metric: metric.clone() });
+        metric
+    }
+
+    /// Gets or creates an unlabelled counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// Gets or creates a counter with labels.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.get_or_insert(name, labels, || MetricHandle::Counter(Arc::new(Counter::new()))) {
+            MetricHandle::Counter(c) => c,
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Gets or creates an unlabelled gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// Gets or creates a gauge with labels.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.get_or_insert(name, labels, || MetricHandle::Gauge(Arc::new(Gauge::new()))) {
+            MetricHandle::Gauge(g) => g,
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Gets or creates an unlabelled histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &[])
+    }
+
+    /// Gets or creates a histogram with labels.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        match self
+            .get_or_insert(name, labels, || MetricHandle::Histogram(Arc::new(Histogram::new())))
+        {
+            MetricHandle::Histogram(h) => h,
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Adopts an existing counter under `(name, labels)`.
+    pub fn register_counter(&self, name: &str, labels: &[(&str, &str)], counter: Arc<Counter>) {
+        self.get_or_insert(name, labels, || MetricHandle::Counter(counter));
+    }
+
+    /// Adopts an existing gauge under `(name, labels)`.
+    pub fn register_gauge(&self, name: &str, labels: &[(&str, &str)], gauge: Arc<Gauge>) {
+        self.get_or_insert(name, labels, || MetricHandle::Gauge(gauge));
+    }
+
+    /// Adopts an existing histogram under `(name, labels)`.
+    pub fn register_histogram(&self, name: &str, labels: &[(&str, &str)], hist: Arc<Histogram>) {
+        self.get_or_insert(name, labels, || MetricHandle::Histogram(hist));
+    }
+
+    /// The registry's lifecycle event log.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// Records a lifecycle event. Returns its sequence number.
+    pub fn event(&self, kind: EventKind) -> u64 {
+        self.events.record(kind)
+    }
+
+    /// The retained lifecycle events, oldest first.
+    pub fn recent_events(&self) -> Vec<Event> {
+        self.events.recent()
+    }
+
+    /// Copies every registered metric out as plain data, sorted by
+    /// `(name, labels)` for deterministic iteration.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let entries = self.entries.lock().expect("registry poisoned");
+        let mut metrics: Vec<MetricSample> = entries
+            .iter()
+            .map(|e| MetricSample {
+                name: e.name.clone(),
+                labels: e.labels.clone(),
+                value: match &e.metric {
+                    MetricHandle::Counter(c) => MetricValue::Counter(c.get()),
+                    MetricHandle::Gauge(g) => MetricValue::Gauge(g.get()),
+                    MetricHandle::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        metrics.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        RegistrySnapshot { metrics }
+    }
+
+    /// Renders Prometheus text exposition (version 0.0.4). `extra_labels`
+    /// are appended to every sample — the REST layer uses this to tag each
+    /// deployment's registry with `model="..."`.
+    pub fn render_prometheus(&self, extra_labels: &[(&str, &str)]) -> String {
+        self.snapshot().render_prometheus(extra_labels)
+    }
+}
+
+/// One metric's value at snapshot time.
+///
+/// Snapshots hold at most a few dozen samples and live only as long as a
+/// render/query, so the histogram variant's size is not worth boxing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Full histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// One `(name, labels, value)` sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Metric name, e.g. `velox_predict_latency_ns`.
+    pub name: String,
+    /// Label pairs, e.g. `[("endpoint", "predict")]`.
+    pub labels: Vec<(String, String)>,
+    /// The value.
+    pub value: MetricValue,
+}
+
+/// Plain-data copy of a whole [`Registry`].
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    /// All samples, sorted by `(name, labels)`.
+    pub metrics: Vec<MetricSample>,
+}
+
+impl RegistrySnapshot {
+    /// Sum of all counter samples with this name (across labels); 0 when
+    /// absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|m| m.name == name)
+            .map(|m| match &m.value {
+                MetricValue::Counter(v) => *v,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The gauge sample with this name, if any.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.metrics.iter().find(|m| m.name == name).and_then(|m| match &m.value {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// All histogram samples with this name merged into one (labelled
+    /// variants of the same family sum), or `None` when absent.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        let mut merged: Option<HistogramSnapshot> = None;
+        for m in self.metrics.iter().filter(|m| m.name == name) {
+            if let MetricValue::Histogram(h) = &m.value {
+                match &mut merged {
+                    Some(acc) => acc.merge(h),
+                    None => merged = Some(h.clone()),
+                }
+            }
+        }
+        merged
+    }
+
+    fn fmt_labels(pairs: &[(String, String)], extra: &[(&str, &str)]) -> String {
+        let mut parts: Vec<String> = Vec::with_capacity(pairs.len() + extra.len());
+        for (k, v) in extra {
+            parts.push(format!("{k}=\"{}\"", escape_label(v)));
+        }
+        for (k, v) in pairs {
+            parts.push(format!("{k}=\"{}\"", escape_label(v)));
+        }
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", parts.join(","))
+        }
+    }
+
+    fn fmt_labels_with_le(pairs: &[(String, String)], extra: &[(&str, &str)], le: &str) -> String {
+        let mut parts: Vec<String> = Vec::with_capacity(pairs.len() + extra.len() + 1);
+        for (k, v) in extra {
+            parts.push(format!("{k}=\"{}\"", escape_label(v)));
+        }
+        for (k, v) in pairs {
+            parts.push(format!("{k}=\"{}\"", escape_label(v)));
+        }
+        parts.push(format!("le=\"{le}\""));
+        format!("{{{}}}", parts.join(","))
+    }
+
+    /// Renders Prometheus text exposition (version 0.0.4).
+    ///
+    /// Counters and gauges become single samples; histograms become
+    /// cumulative `_bucket{le=...}` samples (log₂ boundaries up to the
+    /// highest non-empty bucket) plus `_sum` and `_count`.
+    pub fn render_prometheus(&self, extra_labels: &[(&str, &str)]) -> String {
+        let mut out = String::new();
+        let mut last_family = "";
+        for m in &self.metrics {
+            if m.name != last_family {
+                let kind = match &m.value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Histogram(_) => "histogram",
+                };
+                out.push_str(&format!("# TYPE {} {kind}\n", m.name));
+            }
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!(
+                        "{}{} {v}\n",
+                        m.name,
+                        Self::fmt_labels(&m.labels, extra_labels)
+                    ));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!(
+                        "{}{} {v}\n",
+                        m.name,
+                        Self::fmt_labels(&m.labels, extra_labels)
+                    ));
+                }
+                MetricValue::Histogram(h) => {
+                    let highest =
+                        h.buckets.iter().rposition(|&c| c > 0).map(|i| i + 1).unwrap_or(0);
+                    let mut cumulative = 0u64;
+                    for i in 0..highest {
+                        cumulative += h.buckets[i];
+                        let le = crate::Histogram::bucket_upper_bound(i);
+                        out.push_str(&format!(
+                            "{}_bucket{} {cumulative}\n",
+                            m.name,
+                            Self::fmt_labels_with_le(&m.labels, extra_labels, &le.to_string())
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        m.name,
+                        Self::fmt_labels_with_le(&m.labels, extra_labels, "+Inf"),
+                        h.count
+                    ));
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        m.name,
+                        Self::fmt_labels(&m.labels, extra_labels),
+                        h.sum
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        m.name,
+                        Self::fmt_labels(&m.labels, extra_labels),
+                        h.count
+                    ));
+                }
+            }
+            last_family = &m.name;
+        }
+        out
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_same_handle() {
+        let r = Registry::new();
+        let a = r.counter("velox_x_total");
+        let b = r.counter("velox_x_total");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn labels_distinguish_handles() {
+        let r = Registry::new();
+        let a = r.counter_with("velox_reads_total", &[("node", "0")]);
+        let b = r.counter_with("velox_reads_total", &[("node", "1")]);
+        a.add(3);
+        b.add(4);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("velox_reads_total"), 7, "counter() sums labels");
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("velox_thing");
+        r.gauge("velox_thing");
+    }
+
+    #[test]
+    fn adopting_exposes_external_atomics() {
+        let r = Registry::new();
+        let external = Arc::new(Counter::new());
+        r.register_counter("velox_kv_reads_total", &[("table", "users")], Arc::clone(&external));
+        external.add(9);
+        assert_eq!(r.snapshot().counter("velox_kv_reads_total"), 9);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_typed() {
+        let r = Registry::new();
+        r.gauge("velox_b_gauge").set(-2);
+        r.counter("velox_a_total").add(5);
+        let h = r.histogram("velox_c_latency_ns");
+        h.record(100);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.metrics.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["velox_a_total", "velox_b_gauge", "velox_c_latency_ns"]);
+        assert_eq!(snap.gauge("velox_b_gauge"), Some(-2));
+        assert_eq!(snap.histogram("velox_c_latency_ns").unwrap().count, 1);
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let r = Registry::new();
+        r.counter_with("velox_hits_total", &[("cache", "prediction")]).add(2);
+        let h = r.histogram("velox_predict_latency_ns");
+        h.record(100);
+        h.record(200_000);
+        let text = r.render_prometheus(&[("model", "demo")]);
+        assert!(text.contains("# TYPE velox_hits_total counter"));
+        assert!(text.contains("velox_hits_total{model=\"demo\",cache=\"prediction\"} 2"));
+        assert!(text.contains("# TYPE velox_predict_latency_ns histogram"));
+        assert!(text.contains("velox_predict_latency_ns_count{model=\"demo\"} 2"));
+        assert!(text.contains("velox_predict_latency_ns_sum{model=\"demo\"} 200100"));
+        assert!(text.contains("le=\"+Inf\"} 2"));
+        // Cumulative buckets are non-decreasing.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn histogram_family_merges_labelled_variants() {
+        let r = Registry::new();
+        r.histogram_with("velox_u_ns", &[("strategy", "naive")]).record(10);
+        r.histogram_with("velox_u_ns", &[("strategy", "sherman_morrison")]).record(20);
+        let merged = r.snapshot().histogram("velox_u_ns").unwrap();
+        assert_eq!(merged.count, 2);
+        assert_eq!(merged.sum, 30);
+    }
+
+    #[test]
+    fn events_flow_through_registry() {
+        let r = Registry::new();
+        r.event(EventKind::RetrainStart { observations: 1 });
+        r.event(EventKind::VersionSwap { from: 1, to: 2 });
+        let events = r.recent_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].kind.name(), "version_swap");
+    }
+}

@@ -257,10 +257,7 @@ mod tests {
     fn prequential_holds_out_every_kth() {
         let mut ev = PrequentialEvaluator::new(3);
         let decisions: Vec<bool> = (0..9).map(|i| ev.record(i as f64)).collect();
-        assert_eq!(
-            decisions,
-            vec![true, true, false, true, true, false, true, true, false]
-        );
+        assert_eq!(decisions, vec![true, true, false, true, true, false, true, true, false]);
         let (held, trained) = ev.counts();
         assert_eq!((held, trained), (3, 6));
         // Held-out losses were 2, 5, 8 → mean 5.

@@ -52,13 +52,10 @@ impl UserOnlineModel {
     /// Creates a cold-start model of dimension `d` (weights start at zero).
     pub fn new(d: usize, lambda: f64, strategy: UpdateStrategy) -> Self {
         let inner = match strategy {
-            UpdateStrategy::Naive => Inner::Naive {
-                problem: RidgeProblem::new(d, lambda),
-                weights: Vector::zeros(d),
-            },
-            UpdateStrategy::ShermanMorrison => {
-                Inner::Incremental(IncrementalRidge::new(d, lambda))
+            UpdateStrategy::Naive => {
+                Inner::Naive { problem: RidgeProblem::new(d, lambda), weights: Vector::zeros(d) }
             }
+            UpdateStrategy::ShermanMorrison => Inner::Incremental(IncrementalRidge::new(d, lambda)),
         };
         UserOnlineModel { inner }
     }

@@ -137,11 +137,8 @@ impl VeloxClient {
         let json = Json::parse(json_text)
             .map_err(|e| ClientError::Protocol(format!("bad JSON body: {e}")))?;
         if status != 200 {
-            let message = json
-                .get("error")
-                .and_then(Json::as_str)
-                .unwrap_or("unknown error")
-                .to_string();
+            let message =
+                json.get("error").and_then(Json::as_str).unwrap_or("unknown error").to_string();
             return Err(ClientError::Server { status, message });
         }
         Ok(json)
@@ -166,13 +163,9 @@ impl VeloxClient {
     pub fn top_k(&self, uid: u64, item_ids: &[u64]) -> Result<ClientTopK, ClientError> {
         let body = Json::object(vec![
             ("uid", Json::Number(uid as f64)),
-            (
-                "item_ids",
-                Json::Array(item_ids.iter().map(|&i| Json::Number(i as f64)).collect()),
-            ),
+            ("item_ids", Json::Array(item_ids.iter().map(|&i| Json::Number(i as f64)).collect())),
         ]);
-        let resp =
-            self.call("POST", &format!("/models/{}/topk", self.model), &body.to_string())?;
+        let resp = self.call("POST", &format!("/models/{}/topk", self.model), &body.to_string())?;
         let ranked = resp
             .get("ranked")
             .and_then(Json::as_array)
@@ -231,9 +224,7 @@ impl VeloxClient {
         Ok(resp
             .get("models")
             .and_then(Json::as_array)
-            .map(|models| {
-                models.iter().filter_map(|m| m.as_str().map(String::from)).collect()
-            })
+            .map(|models| models.iter().filter_map(|m| m.as_str().map(String::from)).collect())
             .unwrap_or_default())
     }
 }

@@ -102,10 +102,7 @@ pub fn read_request(stream: &TcpStream) -> Result<Request, HttpError> {
         .next()
         .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
         .to_ascii_uppercase();
-    let path = parts
-        .next()
-        .ok_or_else(|| HttpError::Malformed("missing path".into()))?
-        .to_string();
+    let path = parts.next().ok_or_else(|| HttpError::Malformed("missing path".into()))?.to_string();
     let version = parts.next().unwrap_or("HTTP/1.0");
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::Malformed(format!("unsupported version {version}")));
@@ -130,8 +127,7 @@ pub fn read_request(stream: &TcpStream) -> Result<Request, HttpError> {
         .iter()
         .find(|(k, _)| k == "content-length")
         .map(|(_, v)| {
-            v.parse::<usize>()
-                .map_err(|_| HttpError::Malformed("bad content-length".into()))
+            v.parse::<usize>().map_err(|_| HttpError::Malformed("bad content-length".into()))
         })
         .transpose()?
         .unwrap_or(0);
@@ -143,10 +139,12 @@ pub fn read_request(stream: &TcpStream) -> Result<Request, HttpError> {
     Ok(Request { method, path, headers, body })
 }
 
-/// Writes a response with the given status and JSON body, then closes.
-pub fn write_json_response(
+/// Writes a response with the given status, content type, and body, then
+/// closes.
+pub fn write_response(
     stream: &mut TcpStream,
     status: u16,
+    content_type: &str,
     body: &str,
 ) -> Result<(), HttpError> {
     let reason = match status {
@@ -158,12 +156,21 @@ pub fn write_json_response(
         _ => "Unknown",
     };
     let response = format!(
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(response.as_bytes())?;
     stream.flush()?;
     Ok(())
+}
+
+/// Writes a response with the given status and JSON body, then closes.
+pub fn write_json_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+) -> Result<(), HttpError> {
+    write_response(stream, status, "application/json", body)
 }
 
 #[cfg(test)]
@@ -200,18 +207,16 @@ mod tests {
 
     #[test]
     fn parses_post_with_body() {
-        let req = round_trip(
-            b"POST /models/m/predict HTTP/1.1\r\nContent-Length: 9\r\n\r\n{\"uid\":1}",
-        )
-        .unwrap();
+        let req =
+            round_trip(b"POST /models/m/predict HTTP/1.1\r\nContent-Length: 9\r\n\r\n{\"uid\":1}")
+                .unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.body_str().unwrap(), "{\"uid\":1}");
     }
 
     #[test]
     fn lowercases_method_and_headers() {
-        let req =
-            round_trip(b"post /x HTTP/1.1\r\nX-Custom-Header: Value \r\n\r\n").unwrap();
+        let req = round_trip(b"post /x HTTP/1.1\r\nX-Custom-Header: Value \r\n\r\n").unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.header("x-custom-header"), Some("Value"));
     }

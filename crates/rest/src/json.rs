@@ -340,9 +340,7 @@ impl<'a> Parser<'a> {
                                     if !(0xDC00..0xE000).contains(&low) {
                                         return Err(self.err("invalid low surrogate"));
                                     }
-                                    let combined = 0x10000
-                                        + ((cp - 0xD800) << 10)
-                                        + (low - 0xDC00);
+                                    let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
                                     char::from_u32(combined)
                                         .ok_or_else(|| self.err("invalid surrogate pair"))?
                                 } else {
@@ -469,7 +467,8 @@ mod tests {
 
     #[test]
     fn escapes_round_trip() {
-        let original = Json::String("line1\nline2\t\"quoted\" \\ slash / unicode: ünïcødé 🦀".into());
+        let original =
+            Json::String("line1\nline2\t\"quoted\" \\ slash / unicode: ünïcødé 🦀".into());
         let text = original.to_string();
         assert_eq!(Json::parse(&text).unwrap(), original);
     }
@@ -487,9 +486,27 @@ mod tests {
     #[test]
     fn rejects_malformed_documents() {
         for bad in [
-            "", "{", "}", "[1,", "[1 2]", "{\"a\"}", "{\"a\":}", "{a:1}", "nul", "tru",
-            "01", "-", "1.", ".5", "1e", "+1", "\"unterminated", "{\"a\":1}x", "[1],",
-            "\u{0}", "[\"\t\"]",
+            "",
+            "{",
+            "}",
+            "[1,",
+            "[1 2]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{a:1}",
+            "nul",
+            "tru",
+            "01",
+            "-",
+            "1.",
+            ".5",
+            "1e",
+            "+1",
+            "\"unterminated",
+            "{\"a\":1}x",
+            "[1],",
+            "\u{0}",
+            "[\"\t\"]",
         ] {
             assert!(Json::parse(bad).is_err(), "accepted malformed input: {bad:?}");
         }
@@ -505,8 +522,9 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let v = Json::parse(r#"{"uid": 7, "score": -1.5, "name": "x", "flag": true, "ids": [1,2]}"#)
-            .unwrap();
+        let v =
+            Json::parse(r#"{"uid": 7, "score": -1.5, "name": "x", "flag": true, "ids": [1,2]}"#)
+                .unwrap();
         assert_eq!(v.get("uid").unwrap().as_u64(), Some(7));
         assert_eq!(v.get("score").unwrap().as_f64(), Some(-1.5));
         assert_eq!(v.get("score").unwrap().as_u64(), None, "negative is not u64");

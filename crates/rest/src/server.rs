@@ -9,13 +9,20 @@ use velox_core::server::ModelSchema;
 use velox_core::{VeloxError, VeloxServer};
 use velox_linalg::Vector;
 use velox_models::Item;
+use velox_obs::{Registry, RegistrySnapshot, Timer};
 
-use crate::http::{read_request, write_json_response, Request};
+use crate::http::{read_request, write_response, Request};
 use crate::json::Json;
+
+const JSON_TYPE: &str = "application/json";
+/// Prometheus text exposition content type.
+const METRICS_TYPE: &str = "text/plain; version=0.0.4";
 
 /// The REST front end over a set of Velox deployments.
 pub struct RestServer {
     deployments: Arc<VeloxServer>,
+    /// REST-layer registry: per-endpoint request-latency histograms.
+    registry: Arc<Registry>,
 }
 
 /// Handle to a running listener: address for clients, shutdown for tests
@@ -56,7 +63,14 @@ impl Drop for RestHandle {
 impl RestServer {
     /// Wraps a deployment set.
     pub fn new(deployments: Arc<VeloxServer>) -> Self {
-        RestServer { deployments }
+        RestServer { deployments, registry: Arc::new(Registry::new()) }
+    }
+
+    /// The REST layer's own metric registry (per-endpoint latency). The
+    /// per-deployment registries are reached through the deployments
+    /// themselves; `GET /metrics` merges all of them.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
     }
 
     /// Binds `addr` (use `127.0.0.1:0` for an ephemeral port) and serves
@@ -67,6 +81,7 @@ impl RestServer {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let deployments = self.deployments;
+        let registry = self.registry;
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if stop2.load(Ordering::Acquire) {
@@ -78,12 +93,13 @@ impl RestServer {
                 let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
                 let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(30)));
                 let deployments = Arc::clone(&deployments);
+                let registry = Arc::clone(&registry);
                 std::thread::spawn(move || {
-                    let (status, body) = match read_request(&stream) {
-                        Ok(request) => dispatch(&deployments, &request),
-                        Err(e) => (400, error_json(&format!("{e}"))),
+                    let (status, content_type, body) = match read_request(&stream) {
+                        Ok(request) => handle(&deployments, &registry, &request),
+                        Err(e) => (400, JSON_TYPE, error_json(&format!("{e}"))),
                     };
-                    let _ = write_json_response(&mut stream, status, &body);
+                    let _ = write_response(&mut stream, status, content_type, &body);
                 });
             }
         });
@@ -128,6 +144,92 @@ fn parse_body(request: &Request) -> Result<Json, String> {
     Json::parse(text).map_err(|e| e.to_string())
 }
 
+/// Stable endpoint label for the per-request latency histogram (bounded
+/// cardinality: one bucket per route shape, not per model).
+fn endpoint_of(method: &str, segments: &[&str]) -> &'static str {
+    match (method, segments) {
+        ("GET", ["metrics"]) => "metrics",
+        ("GET", ["events"]) => "events",
+        ("GET", ["models"]) => "models",
+        ("GET", ["models", _, "stats"]) => "stats",
+        ("POST", ["models", _, "predict"]) => "predict",
+        ("POST", ["models", _, "topk"]) => "topk",
+        ("POST", ["models", _, "observe"]) => "observe",
+        ("POST", ["models", _, "retrain"]) => "retrain",
+        _ => "other",
+    }
+}
+
+/// Times the request, routes the observability endpoints, and falls
+/// through to the JSON API dispatch.
+fn handle(
+    server: &VeloxServer,
+    registry: &Registry,
+    request: &Request,
+) -> (u16, &'static str, String) {
+    let timer = Timer::start();
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    let endpoint = endpoint_of(request.method.as_str(), &segments);
+    let result = match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["metrics"]) => (200, METRICS_TYPE, metrics_text(server, registry)),
+        ("GET", ["events"]) => (200, JSON_TYPE, events_json(server)),
+        _ => {
+            let (status, body) = dispatch(server, request);
+            (status, JSON_TYPE, body)
+        }
+    };
+    timer.observe(
+        &registry.histogram_with("velox_rest_request_latency_ns", &[("endpoint", endpoint)]),
+    );
+    result
+}
+
+/// Merged Prometheus exposition: the REST layer's own metrics plus every
+/// deployment's registry tagged `model="<name>"`. Samples are re-sorted so
+/// each family appears once with a single `# TYPE` line.
+fn metrics_text(server: &VeloxServer, registry: &Registry) -> String {
+    let mut metrics = registry.snapshot().metrics;
+    let mut names = server.deployment_names();
+    names.sort();
+    for name in &names {
+        if let Ok(velox) = server.deployment(&ModelSchema::named(name.as_str())) {
+            for mut m in velox.registry().snapshot().metrics {
+                m.labels.insert(0, ("model".to_string(), name.clone()));
+                metrics.push(m);
+            }
+        }
+    }
+    metrics.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+    RegistrySnapshot { metrics }.render_prometheus(&[])
+}
+
+/// All deployments' lifecycle events as JSON, oldest first per model.
+fn events_json(server: &VeloxServer) -> String {
+    let mut names = server.deployment_names();
+    names.sort();
+    let mut events = Vec::new();
+    for name in &names {
+        if let Ok(velox) = server.deployment(&ModelSchema::named(name.as_str())) {
+            for ev in velox.registry().recent_events() {
+                let fields: Vec<(String, Json)> = ev
+                    .kind
+                    .fields()
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), Json::Number(v as f64)))
+                    .collect();
+                events.push(Json::object(vec![
+                    ("model", Json::String(name.clone())),
+                    ("seq", Json::Number(ev.seq as f64)),
+                    ("at_unix_ms", Json::Number(ev.at_unix_ms as f64)),
+                    ("kind", Json::String(ev.kind.name().to_string())),
+                    ("fields", Json::Object(fields)),
+                ]));
+            }
+        }
+    }
+    Json::object(vec![("events", Json::Array(events))]).to_string()
+}
+
 fn dispatch(server: &VeloxServer, request: &Request) -> (u16, String) {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
@@ -140,31 +242,23 @@ fn dispatch(server: &VeloxServer, request: &Request) -> (u16, String) {
             )]);
             (200, body.to_string())
         }
-        ("GET", ["models", name, "stats"]) => {
-            match server.deployment(&ModelSchema::named(*name)) {
-                Err(e) => velox_error(&e),
-                Ok(velox) => {
-                    let s = velox.stats();
-                    let body = Json::object(vec![
-                        ("model_version", Json::Number(s.model_version as f64)),
-                        ("retrains", Json::Number(s.retrains as f64)),
-                        ("observations", Json::Number(s.observations as f64)),
-                        ("online_users", Json::Number(s.online_users as f64)),
-                        ("mean_loss", Json::Number(s.mean_loss)),
-                        (
-                            "prediction_cache_hits",
-                            Json::Number(s.prediction_cache.0 as f64),
-                        ),
-                        (
-                            "prediction_cache_misses",
-                            Json::Number(s.prediction_cache.1 as f64),
-                        ),
-                        ("stale", Json::Bool(s.stale)),
-                    ]);
-                    (200, body.to_string())
-                }
+        ("GET", ["models", name, "stats"]) => match server.deployment(&ModelSchema::named(*name)) {
+            Err(e) => velox_error(&e),
+            Ok(velox) => {
+                let s = velox.stats();
+                let body = Json::object(vec![
+                    ("model_version", Json::Number(s.model_version as f64)),
+                    ("retrains", Json::Number(s.retrains as f64)),
+                    ("observations", Json::Number(s.observations as f64)),
+                    ("online_users", Json::Number(s.online_users as f64)),
+                    ("mean_loss", Json::Number(s.mean_loss)),
+                    ("prediction_cache_hits", Json::Number(s.prediction_cache.0 as f64)),
+                    ("prediction_cache_misses", Json::Number(s.prediction_cache.1 as f64)),
+                    ("stale", Json::Bool(s.stale)),
+                ]);
+                (200, body.to_string())
             }
-        }
+        },
         ("POST", ["models", name, "predict"]) => {
             let body = match parse_body(request) {
                 Ok(b) => b,
@@ -200,8 +294,7 @@ fn dispatch(server: &VeloxServer, request: &Request) -> (u16, String) {
             let Some(ids) = body.get("item_ids").and_then(Json::as_array) else {
                 return (400, error_json("missing item_ids"));
             };
-            let items: Option<Vec<Item>> =
-                ids.iter().map(|j| j.as_u64().map(Item::Id)).collect();
+            let items: Option<Vec<Item>> = ids.iter().map(|j| j.as_u64().map(Item::Id)).collect();
             let Some(items) = items else {
                 return (400, error_json("item_ids must be non-negative integers"));
             };

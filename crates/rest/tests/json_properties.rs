@@ -1,55 +1,98 @@
-//! Property-based tests for the JSON codec: serialize → parse is the
-//! identity on arbitrary finite JSON values.
+//! Randomized-property tests for the JSON codec, driven by the in-tree
+//! seeded generator (`VeloxRng`): serialize → parse is the identity on
+//! arbitrary finite JSON values, and the parser never panics on garbage.
 
-use proptest::prelude::*;
+use velox_data::VeloxRng;
 use velox_rest::json::Json;
 
-fn json_strategy() -> impl Strategy<Value = Json> {
-    let leaf = prop_oneof![
-        Just(Json::Null),
-        any::<bool>().prop_map(Json::Bool),
-        (-1e12f64..1e12).prop_map(Json::Number),
-        "[a-zA-Z0-9 _\\-\"\\\\/\n\t\u{00e9}\u{4e16}]{0,20}".prop_map(Json::String),
-    ];
-    leaf.prop_recursive(4, 64, 8, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
-            prop::collection::vec(("[a-z]{1,8}", inner), 0..6).prop_map(|pairs| {
-                // JSON objects with duplicate keys round-trip structurally
-                // but `get` only sees the first; dedup for a clean identity.
-                let mut seen = std::collections::HashSet::new();
-                Json::Object(
-                    pairs
-                        .into_iter()
-                        .filter(|(k, _)| seen.insert(k.clone()))
-                        .collect(),
-                )
-            }),
-        ]
-    })
+const CASES: usize = 256;
+
+/// Characters exercised in generated strings: ASCII plus the escapes and a
+/// couple of multibyte code points.
+const STRING_ALPHABET: &[char] =
+    &['a', 'Z', '0', '9', ' ', '_', '-', '"', '\\', '/', '\n', '\t', 'é', '世'];
+
+fn random_string(rng: &mut VeloxRng, max_len: usize) -> String {
+    let len = rng.below(max_len as u64 + 1) as usize;
+    (0..len).map(|_| STRING_ALPHABET[rng.below(STRING_ALPHABET.len() as u64) as usize]).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// A random JSON value with bounded depth.
+fn random_json(rng: &mut VeloxRng, depth: usize) -> Json {
+    let leaf = depth == 0 || rng.below(3) == 0;
+    if leaf {
+        match rng.below(4) {
+            0 => Json::Null,
+            1 => Json::Bool(rng.below(2) == 1),
+            2 => Json::Number(rng.range(-1e12, 1e12)),
+            _ => Json::String(random_string(rng, 20)),
+        }
+    } else if rng.below(2) == 0 {
+        let n = rng.below(6) as usize;
+        Json::Array((0..n).map(|_| random_json(rng, depth - 1)).collect())
+    } else {
+        let n = rng.below(6) as usize;
+        // Unique keys: objects with duplicate keys round-trip structurally
+        // but `get` only sees the first; dedup for a clean identity.
+        let mut seen = std::collections::HashSet::new();
+        Json::Object(
+            (0..n)
+                .map(|i| (format!("{}{}", random_string(rng, 6), i), random_json(rng, depth - 1)))
+                .filter(|(k, _)| seen.insert(k.clone()))
+                .collect(),
+        )
+    }
+}
 
-    #[test]
-    fn serialize_parse_round_trip(value in json_strategy()) {
+#[test]
+fn serialize_parse_round_trip() {
+    let mut rng = VeloxRng::seed_from(0x15_01);
+    for _ in 0..CASES {
+        let value = random_json(&mut rng, 4);
         let text = value.to_string();
         let parsed = Json::parse(&text).unwrap_or_else(|e| panic!("failed to parse {text:?}: {e}"));
         // Numbers may differ in representation but must be equal as f64;
         // Json's PartialEq compares f64 directly, which is what we want.
-        prop_assert_eq!(parsed, value);
+        assert_eq!(parsed, value);
     }
+}
 
-    #[test]
-    fn parser_never_panics_on_arbitrary_input(input in "\\PC{0,200}") {
-        let _ = Json::parse(&input); // must return, never panic
+#[test]
+fn parser_never_panics_on_arbitrary_input() {
+    let mut rng = VeloxRng::seed_from(0x15_02);
+    for _ in 0..CASES {
+        let len = rng.below(200) as usize;
+        // Arbitrary (often invalid) UTF-8; parse only the valid ones.
+        let bytes: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+        if let Ok(s) = std::str::from_utf8(&bytes) {
+            let _ = Json::parse(s); // must return, never panic
+        }
+        // And arbitrary *valid* unicode drawn from whole code-point range.
+        let chars: String = (0..rng.below(100))
+            .filter_map(|_| char::from_u32(rng.below(0x11_0000) as u32))
+            .collect();
+        let _ = Json::parse(&chars);
     }
+}
 
-    #[test]
-    fn parser_never_panics_on_arbitrary_bytes_as_str(input in prop::collection::vec(any::<u8>(), 0..200)) {
-        if let Ok(s) = std::str::from_utf8(&input) {
-            let _ = Json::parse(s);
+/// Structured near-misses: truncations and single-byte corruptions of
+/// valid documents — the inputs most likely to trip a hand-rolled parser.
+#[test]
+fn parser_never_panics_on_corrupted_documents() {
+    let mut rng = VeloxRng::seed_from(0x15_03);
+    for _ in 0..CASES {
+        let text = random_json(&mut rng, 3).to_string();
+        let cut = rng.below(text.len() as u64 + 1) as usize;
+        if text.is_char_boundary(cut) {
+            let _ = Json::parse(&text[..cut]);
+        }
+        let mut corrupted: Vec<u8> = text.clone().into_bytes();
+        if !corrupted.is_empty() {
+            let pos = rng.below(corrupted.len() as u64) as usize;
+            corrupted[pos] = rng.below(128) as u8;
+            if let Ok(s) = std::str::from_utf8(&corrupted) {
+                let _ = Json::parse(s);
+            }
         }
     }
 }

@@ -14,11 +14,8 @@ use velox_rest::RestServer;
 fn start() -> (velox_rest::RestHandle, std::net::SocketAddr) {
     let deployments = Arc::new(VeloxServer::new());
     let model = IdentityModel::new("songs", 2, 0.5);
-    let velox = Arc::new(Velox::deploy(
-        Arc::new(model),
-        HashMap::new(),
-        VeloxConfig::single_node(),
-    ));
+    let velox =
+        Arc::new(Velox::deploy(Arc::new(model), HashMap::new(), VeloxConfig::single_node()));
     for item in 0..10u64 {
         velox.register_item(item, vec![(item as f64 * 0.4).sin(), (item as f64 * 0.4).cos()]);
     }
@@ -31,19 +28,13 @@ fn start() -> (velox_rest::RestHandle, std::net::SocketAddr) {
 /// Sends one HTTP request and returns `(status, parsed JSON body)`.
 fn call(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, Json) {
     let mut stream = TcpStream::connect(addr).expect("connect");
-    let request = format!(
-        "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
-        body.len()
-    );
+    let request =
+        format!("{method} {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}", body.len());
     stream.write_all(request.as_bytes()).expect("send");
     let mut response = String::new();
     stream.read_to_string(&mut response).expect("receive");
-    let status: u16 = response
-        .split_whitespace()
-        .nth(1)
-        .expect("status line")
-        .parse()
-        .expect("numeric status");
+    let status: u16 =
+        response.split_whitespace().nth(1).expect("status line").parse().expect("numeric status");
     let json_body = response.split("\r\n\r\n").nth(1).expect("body");
     (status, Json::parse(json_body).expect("JSON body"))
 }
@@ -70,16 +61,14 @@ fn observe_then_predict() {
     assert!(outcome.get("loss").unwrap().as_f64().unwrap() >= 0.0);
 
     // Prediction reflects the update.
-    let (status, pred) =
-        call(addr, "POST", "/models/songs/predict", r#"{"uid": 7, "item_id": 3}"#);
+    let (status, pred) = call(addr, "POST", "/models/songs/predict", r#"{"uid": 7, "item_id": 3}"#);
     assert_eq!(status, 200);
     let score = pred.get("score").unwrap().as_f64().unwrap();
     assert!(score > 0.3, "learned positive preference: {score}");
     assert_eq!(pred.get("cached").unwrap().as_bool(), Some(false));
 
     // Second identical request is cache-served.
-    let (_, pred2) =
-        call(addr, "POST", "/models/songs/predict", r#"{"uid": 7, "item_id": 3}"#);
+    let (_, pred2) = call(addr, "POST", "/models/songs/predict", r#"{"uid": 7, "item_id": 3}"#);
     assert_eq!(pred2.get("cached").unwrap().as_bool(), Some(true));
     assert_eq!(pred2.get("score").unwrap().as_f64(), Some(score));
     handle.shutdown();
@@ -89,20 +78,14 @@ fn observe_then_predict() {
 fn topk_over_http() {
     let (handle, addr) = start();
     call(addr, "POST", "/models/songs/observe", r#"{"uid": 1, "item_id": 0, "y": 3.0}"#);
-    let (status, body) = call(
-        addr,
-        "POST",
-        "/models/songs/topk",
-        r#"{"uid": 1, "item_ids": [0, 1, 2, 3, 4]}"#,
-    );
+    let (status, body) =
+        call(addr, "POST", "/models/songs/topk", r#"{"uid": 1, "item_ids": [0, 1, 2, 3, 4]}"#);
     assert_eq!(status, 200);
     let ranked = body.get("ranked").unwrap().as_array().unwrap();
     assert_eq!(ranked.len(), 5);
     // Descending scores.
-    let scores: Vec<f64> = ranked
-        .iter()
-        .map(|pair| pair.as_array().unwrap()[1].as_f64().unwrap())
-        .collect();
+    let scores: Vec<f64> =
+        ranked.iter().map(|pair| pair.as_array().unwrap()[1].as_f64().unwrap()).collect();
     for w in scores.windows(2) {
         assert!(w[0] >= w[1]);
     }
@@ -120,12 +103,8 @@ fn raw_features_flow() {
         r#"{"uid": 2, "features": [1.0, 0.0], "y": 5.0}"#,
     );
     assert_eq!(status, 200);
-    let (status, pred) = call(
-        addr,
-        "POST",
-        "/models/songs/predict",
-        r#"{"uid": 2, "features": [1.0, 0.0]}"#,
-    );
+    let (status, pred) =
+        call(addr, "POST", "/models/songs/predict", r#"{"uid": 2, "features": [1.0, 0.0]}"#);
     assert_eq!(status, 200);
     assert!(pred.get("score").unwrap().as_f64().unwrap() > 1.0);
     handle.shutdown();
@@ -177,8 +156,7 @@ fn error_paths() {
     let (status, _) = call(addr, "POST", "/models/songs/predict", "{not json");
     assert_eq!(status, 400);
     // Unknown item → 400 (model error).
-    let (status, _) =
-        call(addr, "POST", "/models/songs/predict", r#"{"uid": 1, "item_id": 999}"#);
+    let (status, _) = call(addr, "POST", "/models/songs/predict", r#"{"uid": 1, "item_id": 999}"#);
     assert_eq!(status, 400);
     // Wrong method → 405.
     let (status, _) = call(addr, "DELETE", "/models/songs/predict", "");

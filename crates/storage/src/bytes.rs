@@ -1,0 +1,311 @@
+//! A minimal in-repo byte-buffer shim (the subset of the `bytes` crate the
+//! codec needs), keeping the workspace std-only.
+//!
+//! [`Bytes`] is an immutable, cheaply-cloneable view into shared storage
+//! (`Arc<[u8]>` plus a window); reading integers/floats off the front
+//! *consumes* the view, exactly like `bytes::Buf`. [`BytesMut`] is a
+//! growable builder that [`freeze`](BytesMut::freeze)s into a [`Bytes`].
+//! All multi-byte reads and writes are big-endian, matching the snapshot
+//! format.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte window. Cloning and slicing are
+/// O(1) (they share the backing allocation).
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Wraps a static byte slice (copies it into shared storage; the
+    /// signature exists so callers can hand in literals).
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Self::from(bytes.to_vec())
+    }
+
+    /// Bytes remaining in the window.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True while any bytes remain.
+    #[inline]
+    pub fn has_remaining(&self) -> bool {
+        self.start < self.end
+    }
+
+    /// Length of the window (same as [`remaining`](Self::remaining); kept
+    /// for slice-like call sites).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.remaining()
+    }
+
+    /// True when the window is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The window as a plain slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// A sub-window of this window, sharing the backing storage.
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds or inverted.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(range.start <= range.end, "inverted slice range");
+        assert!(range.end <= self.len(), "slice past end of Bytes");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    #[inline]
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        assert!(self.remaining() >= N, "read past end of Bytes");
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.data[self.start..self.start + N]);
+        self.start += N;
+        out
+    }
+
+    /// Consumes one byte off the front.
+    #[inline]
+    pub fn get_u8(&mut self) -> u8 {
+        self.take_array::<1>()[0]
+    }
+
+    /// Consumes a big-endian `u32` off the front.
+    #[inline]
+    pub fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take_array())
+    }
+
+    /// Consumes a big-endian `u64` off the front.
+    #[inline]
+    pub fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take_array())
+    }
+
+    /// Consumes a big-endian `f64` off the front.
+    #[inline]
+    pub fn get_f64(&mut self) -> f64 {
+        f64::from_be_bytes(self.take_array())
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes { data: Arc::from(v), start: 0, end }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Self::from(v.to_vec())
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+/// Debug renders length plus a short hex prefix, never the full payload.
+fn fmt_byte_window(s: &[u8], f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+    write!(f, "b[{}; ", s.len())?;
+    for b in s.iter().take(8) {
+        write!(f, "{b:02x}")?;
+    }
+    if s.len() > 8 {
+        write!(f, "…")?;
+    }
+    write!(f, "]")
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fmt_byte_window(self.as_slice(), f)
+    }
+}
+
+/// A growable byte builder with big-endian put operations.
+#[derive(Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// An empty builder with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The contents as a plain slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Appends one byte.
+    #[inline]
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a big-endian `u32`.
+    #[inline]
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    #[inline]
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `f64`.
+    #[inline]
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends raw bytes.
+    pub fn put_slice(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(v: &[u8]) -> Self {
+        BytesMut { buf: v.to_vec() }
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fmt_byte_window(self.as_slice(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_put_get() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u32(0xDEADBEEF);
+        b.put_u8(7);
+        b.put_u64(u64::MAX - 1);
+        b.put_f64(-2.5);
+        let mut bytes = b.freeze();
+        assert_eq!(bytes.remaining(), 4 + 1 + 8 + 8);
+        assert_eq!(bytes.get_u32(), 0xDEADBEEF);
+        assert_eq!(bytes.get_u8(), 7);
+        assert_eq!(bytes.get_u64(), u64::MAX - 1);
+        assert_eq!(bytes.get_f64(), -2.5);
+        assert!(!bytes.has_remaining());
+    }
+
+    #[test]
+    fn big_endian_layout() {
+        let mut b = BytesMut::new();
+        b.put_u32(0x0102_0304);
+        assert_eq!(b.as_slice(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn slice_shares_and_windows() {
+        let mut b = BytesMut::new();
+        for i in 0..10u8 {
+            b.put_u8(i);
+        }
+        let full = b.freeze();
+        let mid = full.slice(2..5);
+        assert_eq!(&mid[..], &[2, 3, 4]);
+        assert_eq!(full.len(), 10, "slicing does not consume the parent");
+        let sub = mid.slice(1..2);
+        assert_eq!(&sub[..], &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "read past end")]
+    fn overread_panics() {
+        let mut bytes = Bytes::from(vec![1u8, 2]);
+        let _ = bytes.get_u32();
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn out_of_range_slice_panics() {
+        let bytes = Bytes::from(vec![1u8, 2]);
+        let _ = bytes.slice(0..3);
+    }
+
+    #[test]
+    fn equality_compares_contents() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = Bytes::from(vec![0u8, 1, 2, 3]).slice(1..4);
+        assert_eq!(a, b);
+        assert_eq!(Bytes::from_static(b"xyz"), Bytes::from(b"xyz".to_vec()));
+    }
+
+    #[test]
+    fn consuming_reads_advance_window() {
+        let mut bytes = Bytes::from(vec![0u8, 0, 0, 5, 9]);
+        assert_eq!(bytes.get_u32(), 5);
+        assert_eq!(bytes.remaining(), 1);
+        assert_eq!(bytes.get_u8(), 9);
+        assert!(bytes.is_empty());
+    }
+}

@@ -8,8 +8,7 @@
 //! [`StorageError::Corrupt`] instead of panicking, since snapshots cross a
 //! trust boundary (they may come from disk or another process).
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
+use crate::bytes::{Bytes, BytesMut};
 use crate::obslog::Observation;
 use crate::{Result, StorageError};
 
@@ -20,7 +19,7 @@ const MAGIC: u32 = 0x56_4C_58_31; // "VLX1"
 const TAG_VECTOR_TABLE: u8 = 1;
 const TAG_OBSERVATIONS: u8 = 2;
 
-fn check_remaining(buf: &impl Buf, need: usize, what: &str) -> Result<()> {
+fn check_remaining(buf: &Bytes, need: usize, what: &str) -> Result<()> {
     if buf.remaining() < need {
         return Err(StorageError::Corrupt(format!(
             "truncated while reading {what}: need {need} bytes, have {}",
@@ -35,8 +34,7 @@ fn check_remaining(buf: &impl Buf, need: usize, what: &str) -> Result<()> {
 ///
 /// Layout: `MAGIC u32 | TAG u8 | count u64 | { id u64 | len u64 | f64... }*`
 pub fn encode_vector_table(entries: &[(u64, Vec<f64>)]) -> Bytes {
-    let payload: usize =
-        entries.iter().map(|(_, v)| 16 + v.len() * 8).sum::<usize>() + 4 + 1 + 8;
+    let payload: usize = entries.iter().map(|(_, v)| 16 + v.len() * 8).sum::<usize>() + 4 + 1 + 8;
     let mut buf = BytesMut::with_capacity(payload);
     buf.put_u32(MAGIC);
     buf.put_u8(TAG_VECTOR_TABLE);
@@ -171,10 +169,7 @@ mod tests {
         data.put_u32(0xDEADBEEF);
         data.put_u8(TAG_VECTOR_TABLE);
         data.put_u64(0);
-        assert!(matches!(
-            decode_vector_table(data.freeze()),
-            Err(StorageError::Corrupt(_))
-        ));
+        assert!(matches!(decode_vector_table(data.freeze()), Err(StorageError::Corrupt(_))));
     }
 
     #[test]

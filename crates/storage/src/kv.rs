@@ -9,10 +9,11 @@
 //! requirement ("version histories, enabling ... simple rollbacks to earlier
 //! model versions", §2).
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
+
+use velox_obs::Counter;
 
 use crate::{Result, StorageError};
 
@@ -66,8 +67,8 @@ pub struct Namespace<V> {
     version: AtomicU64,
     /// Superseded full copies retained for rollback, newest last.
     history: RwLock<Vec<RetainedVersion<V>>>,
-    reads: AtomicU64,
-    writes: AtomicU64,
+    reads: Arc<Counter>,
+    writes: Arc<Counter>,
 }
 
 impl<V: Clone> Namespace<V> {
@@ -85,8 +86,8 @@ impl<V: Clone> Namespace<V> {
             shards: (0..n).map(|_| Shard::new()).collect(),
             version: AtomicU64::new(1),
             history: RwLock::new(Vec::new()),
-            reads: AtomicU64::new(0),
-            writes: AtomicU64::new(0),
+            reads: Arc::new(Counter::new()),
+            writes: Arc::new(Counter::new()),
         }
     }
 
@@ -109,23 +110,24 @@ impl<V: Clone> Namespace<V> {
     /// Point read. Clones the value out so the shard lock is held only for
     /// the copy.
     pub fn get(&self, key: u64) -> Option<V> {
-        self.reads.fetch_add(1, Ordering::Relaxed);
-        self.shard_for(key).map.read().get(&key).map(|vv| vv.value.clone())
+        self.reads.inc();
+        self.shard_for(key).map.read().unwrap().get(&key).map(|vv| vv.value.clone())
     }
 
     /// Point read including the version the value was written under.
     pub fn get_versioned(&self, key: u64) -> Option<VersionedValue<V>> {
-        self.reads.fetch_add(1, Ordering::Relaxed);
-        self.shard_for(key).map.read().get(&key).cloned()
+        self.reads.inc();
+        self.shard_for(key).map.read().unwrap().get(&key).cloned()
     }
 
     /// Point write under the current version. Returns the previous value.
     pub fn put(&self, key: u64, value: V) -> Option<V> {
-        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.writes.inc();
         let version = self.version();
         self.shard_for(key)
             .map
             .write()
+            .unwrap()
             .insert(key, VersionedValue { value, version })
             .map(|vv| vv.value)
     }
@@ -140,30 +142,29 @@ impl<V: Clone> Namespace<V> {
         F: FnOnce(&mut V),
         D: FnOnce() -> V,
     {
-        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.writes.inc();
         let version = self.version();
-        let mut map = self.shard_for(key).map.write();
-        let entry = map
-            .entry(key)
-            .or_insert_with(|| VersionedValue { value: default_with(), version });
+        let mut map = self.shard_for(key).map.write().unwrap();
+        let entry =
+            map.entry(key).or_insert_with(|| VersionedValue { value: default_with(), version });
         f(&mut entry.value);
         entry.version = version;
     }
 
     /// Removes a key, returning its value.
     pub fn remove(&self, key: u64) -> Option<V> {
-        self.writes.fetch_add(1, Ordering::Relaxed);
-        self.shard_for(key).map.write().remove(&key).map(|vv| vv.value)
+        self.writes.inc();
+        self.shard_for(key).map.write().unwrap().remove(&key).map(|vv| vv.value)
     }
 
     /// True when the key exists.
     pub fn contains(&self, key: u64) -> bool {
-        self.shard_for(key).map.read().contains_key(&key)
+        self.shard_for(key).map.read().unwrap().contains_key(&key)
     }
 
     /// Number of stored entries (sums shard sizes; O(shards)).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.map.read().len()).sum()
+        self.shards.iter().map(|s| s.map.read().unwrap().len()).sum()
     }
 
     /// True when no entries are stored.
@@ -176,7 +177,7 @@ impl<V: Clone> Namespace<V> {
     pub fn snapshot_entries(&self) -> Vec<(u64, V)> {
         let mut out = Vec::with_capacity(self.len());
         for shard in &self.shards {
-            let map = shard.map.read();
+            let map = shard.map.read().unwrap();
             out.extend(map.iter().map(|(k, vv)| (*k, vv.value.clone())));
         }
         out
@@ -186,7 +187,7 @@ impl<V: Clone> Namespace<V> {
     pub fn keys(&self) -> Vec<u64> {
         let mut out = Vec::with_capacity(self.len());
         for shard in &self.shards {
-            out.extend(shard.map.read().keys().copied());
+            out.extend(shard.map.read().unwrap().keys().copied());
         }
         out
     }
@@ -213,12 +214,12 @@ impl<V: Clone> Namespace<V> {
         // Swap in shard-by-shard, collecting the old contents.
         let mut old_all: HashMap<u64, VersionedValue<V>> = HashMap::new();
         for (shard, new_map) in self.shards.iter().zip(new_maps) {
-            let mut guard = shard.map.write();
+            let mut guard = shard.map.write().unwrap();
             let old = std::mem::replace(&mut *guard, new_map);
             drop(guard);
             old_all.extend(old);
         }
-        let mut history = self.history.write();
+        let mut history = self.history.write().unwrap();
         history.push((old_version, old_all));
         if history.len() > VERSION_HISTORY {
             history.remove(0);
@@ -231,26 +232,36 @@ impl<V: Clone> Namespace<V> {
     /// the version now being served (a fresh version number, with the old
     /// contents) or an error when `version` is not in the retained history.
     pub fn rollback_to(&self, version: u64) -> Result<u64> {
-        let mut history = self.history.write();
+        let mut history = self.history.write().unwrap();
         let pos = history
             .iter()
             .position(|(v, _)| *v == version)
             .ok_or(StorageError::VersionNotFound(version))?;
         let (_, contents) = history.remove(pos);
         drop(history);
-        let entries: Vec<(u64, V)> =
-            contents.into_iter().map(|(k, vv)| (k, vv.value)).collect();
+        let entries: Vec<(u64, V)> = contents.into_iter().map(|(k, vv)| (k, vv.value)).collect();
         Ok(self.publish_version(entries))
     }
 
     /// Versions currently available for rollback, oldest first.
     pub fn rollback_versions(&self) -> Vec<u64> {
-        self.history.read().iter().map(|(v, _)| *v).collect()
+        self.history.read().unwrap().iter().map(|(v, _)| *v).collect()
     }
 
     /// `(reads, writes)` counters since creation.
     pub fn access_counts(&self) -> (u64, u64) {
-        (self.reads.load(Ordering::Relaxed), self.writes.load(Ordering::Relaxed))
+        (self.reads.get(), self.writes.get())
+    }
+
+    /// Shared handle to the read counter, so a metrics registry can expose
+    /// the same atomic this namespace increments.
+    pub fn reads_counter(&self) -> Arc<Counter> {
+        Arc::clone(&self.reads)
+    }
+
+    /// Shared handle to the write counter.
+    pub fn writes_counter(&self) -> Arc<Counter> {
+        Arc::clone(&self.writes)
     }
 }
 
@@ -268,20 +279,18 @@ impl<V: Clone> KvStore<V> {
 
     /// Returns the namespace, creating it when absent.
     pub fn namespace(&self, name: &str) -> Arc<Namespace<V>> {
-        if let Some(ns) = self.namespaces.read().get(name) {
+        if let Some(ns) = self.namespaces.read().unwrap().get(name) {
             return Arc::clone(ns);
         }
-        let mut map = self.namespaces.write();
-        Arc::clone(
-            map.entry(name.to_string())
-                .or_insert_with(|| Arc::new(Namespace::new(name))),
-        )
+        let mut map = self.namespaces.write().unwrap();
+        Arc::clone(map.entry(name.to_string()).or_insert_with(|| Arc::new(Namespace::new(name))))
     }
 
     /// Returns an existing namespace or an error.
     pub fn existing_namespace(&self, name: &str) -> Result<Arc<Namespace<V>>> {
         self.namespaces
             .read()
+            .unwrap()
             .get(name)
             .cloned()
             .ok_or_else(|| StorageError::NamespaceNotFound(name.to_string()))
@@ -289,12 +298,12 @@ impl<V: Clone> KvStore<V> {
 
     /// Drops a namespace entirely. Returns whether it existed.
     pub fn drop_namespace(&self, name: &str) -> bool {
-        self.namespaces.write().remove(name).is_some()
+        self.namespaces.write().unwrap().remove(name).is_some()
     }
 
     /// Names of all namespaces, unordered.
     pub fn namespace_names(&self) -> Vec<String> {
-        self.namespaces.read().keys().cloned().collect()
+        self.namespaces.read().unwrap().keys().cloned().collect()
     }
 }
 

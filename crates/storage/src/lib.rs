@@ -19,8 +19,9 @@
 //! - [`lru::LruCache`]: a constant-time LRU with hit/miss instrumentation —
 //!   the building block for the predictor's feature and prediction caches
 //!   (§5) and for per-node hot-item caches in the cluster simulator.
-//! - [`codec`]: a compact self-describing binary codec (on `bytes`) used to
-//!   snapshot and restore tables, standing in for Tachyon's persistence.
+//! - [`codec`]: a compact self-describing binary codec (on the in-repo
+//!   [`bytes`] shim — the workspace is std-only) used to snapshot and
+//!   restore tables, standing in for Tachyon's persistence.
 //!
 //! Everything is in-process and thread-safe; the *distribution* of storage
 //! across nodes (partitioning, routing, remote-read costs) is modelled one
@@ -28,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bytes;
 pub mod codec;
 pub mod kv;
 pub mod lru;

@@ -7,8 +7,10 @@
 //! reads from offset 0; the evaluator tails new entries; nothing is ever
 //! rewritten in place.
 
-use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use velox_obs::{Histogram, Timer};
 
 /// One recorded interaction: user `uid` gave item `item_id` the label `y`
 /// (a rating, a click indicator, etc.) at logical time `timestamp`.
@@ -36,6 +38,8 @@ const SEGMENT_SIZE: usize = 4096;
 pub struct ObservationLog {
     segments: RwLock<Vec<RwLock<Vec<Observation>>>>,
     next_offset: AtomicU64,
+    /// Per-append wall-clock latency (ns), exposable through a registry.
+    append_latency: Arc<Histogram>,
 }
 
 impl ObservationLog {
@@ -44,20 +48,28 @@ impl ObservationLog {
         ObservationLog {
             segments: RwLock::new(vec![RwLock::new(Vec::with_capacity(SEGMENT_SIZE))]),
             next_offset: AtomicU64::new(0),
+            append_latency: Arc::new(Histogram::new()),
         }
+    }
+
+    /// Shared handle to the append-latency histogram, so a metrics
+    /// registry can expose the same atomics this log records into.
+    pub fn append_latency_histogram(&self) -> Arc<Histogram> {
+        Arc::clone(&self.append_latency)
     }
 
     /// Appends an observation, assigning and returning its offset (which
     /// doubles as its logical timestamp).
     pub fn append(&self, uid: u64, item_id: u64, y: f64) -> u64 {
+        let timer = Timer::start();
         let offset = self.next_offset.fetch_add(1, Ordering::SeqCst);
         let seg_idx = (offset as usize) / SEGMENT_SIZE;
         let obs = Observation { uid, item_id, y, timestamp: offset };
         loop {
             {
-                let segments = self.segments.read();
+                let segments = self.segments.read().unwrap();
                 if let Some(seg) = segments.get(seg_idx) {
-                    let mut seg = seg.write();
+                    let mut seg = seg.write().unwrap();
                     // Offsets are dense, so within a segment the index is
                     // offset % SEGMENT_SIZE; appends may arrive slightly out
                     // of order across threads, so grow with placeholders.
@@ -65,15 +77,21 @@ impl ObservationLog {
                     if seg.len() <= local {
                         seg.resize(
                             local + 1,
-                            Observation { uid: u64::MAX, item_id: u64::MAX, y: 0.0, timestamp: u64::MAX },
+                            Observation {
+                                uid: u64::MAX,
+                                item_id: u64::MAX,
+                                y: 0.0,
+                                timestamp: u64::MAX,
+                            },
                         );
                     }
                     seg[local] = obs;
+                    timer.observe(&self.append_latency);
                     return offset;
                 }
             }
             // Need a new segment; take the outer write lock and extend.
-            let mut segments = self.segments.write();
+            let mut segments = self.segments.write().unwrap();
             while segments.len() <= seg_idx {
                 segments.push(RwLock::new(Vec::with_capacity(SEGMENT_SIZE)));
             }
@@ -97,12 +115,12 @@ impl ObservationLog {
     pub fn read_from(&self, from_offset: u64, max: usize) -> Vec<Observation> {
         let end = self.len().min(from_offset.saturating_add(max as u64));
         let mut out = Vec::with_capacity((end.saturating_sub(from_offset)) as usize);
-        let segments = self.segments.read();
+        let segments = self.segments.read().unwrap();
         let mut offset = from_offset;
         while offset < end {
             let seg_idx = (offset as usize) / SEGMENT_SIZE;
             let Some(seg) = segments.get(seg_idx) else { break };
-            let seg = seg.read();
+            let seg = seg.read().unwrap();
             let local_start = (offset as usize) % SEGMENT_SIZE;
             let local_end = (SEGMENT_SIZE).min(local_start + (end - offset) as usize);
             // Only what the segment has actually materialized is readable;

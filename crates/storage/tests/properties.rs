@@ -1,12 +1,16 @@
-//! Property-based tests for the storage substrate: the LRU behaves like a
-//! reference model, the codec round-trips arbitrary tables, and versioned
-//! namespaces behave like a map with swap semantics.
+//! Randomized-property tests for the storage substrate, driven by the
+//! in-tree seeded generator (`VeloxRng`) so every case replays from the
+//! seeds below: the LRU behaves like a reference model, the codec
+//! round-trips arbitrary tables, and versioned namespaces behave like a
+//! map with swap semantics.
 
-use proptest::prelude::*;
+use velox_data::VeloxRng;
 use velox_storage::codec::{
     decode_observations, decode_vector_table, encode_observations, encode_vector_table,
 };
 use velox_storage::{LruCache, Namespace, Observation};
+
+const CASES: usize = 256;
 
 /// A reference (slow) LRU model: Vec ordered MRU-first.
 struct ModelLru {
@@ -39,102 +43,129 @@ impl ModelLru {
     }
 }
 
-#[derive(Debug, Clone)]
-enum Op {
-    Get(u64),
-    Put(u64, u64),
-    Invalidate(u64),
+/// A finite f64 that is never NaN, spanning magnitudes from subnormal-ish
+/// to huge (bit-exact codec round-trips must not depend on "nice" values).
+fn finite_f64(rng: &mut VeloxRng) -> f64 {
+    match rng.below(8) {
+        0 => 0.0,
+        1 => -0.0,
+        2 => f64::MAX * rng.uniform(),
+        3 => f64::MIN_POSITIVE * rng.uniform(),
+        4 => f64::INFINITY,
+        5 => f64::NEG_INFINITY,
+        _ => rng.range(-1e9, 1e9),
+    }
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u64..20).prop_map(Op::Get),
-        (0u64..20, 0u64..1000).prop_map(|(k, v)| Op::Put(k, v)),
-        (0u64..20).prop_map(Op::Invalidate),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The slab LRU agrees with the reference model under arbitrary op
-    /// sequences, for several capacities.
-    #[test]
-    fn lru_matches_reference_model(cap in 1usize..9, ops in prop::collection::vec(op_strategy(), 1..200)) {
+/// The slab LRU agrees with the reference model under arbitrary op
+/// sequences, for several capacities.
+#[test]
+fn lru_matches_reference_model() {
+    let mut rng = VeloxRng::seed_from(0x57_01);
+    for _ in 0..CASES {
+        let cap = 1 + rng.below(8) as usize;
+        let n_ops = 1 + rng.below(199) as usize;
         let mut real: LruCache<u64, u64> = LruCache::new(cap);
         let mut model = ModelLru::new(cap);
-        for op in ops {
-            match op {
-                Op::Get(k) => {
-                    prop_assert_eq!(real.get(&k).copied(), model.get(k));
+        for _ in 0..n_ops {
+            match rng.below(3) {
+                0 => {
+                    let k = rng.below(20);
+                    assert_eq!(real.get(&k).copied(), model.get(k));
                 }
-                Op::Put(k, v) => {
+                1 => {
+                    let (k, v) = (rng.below(20), rng.below(1000));
                     real.put(k, v);
                     model.put(k, v);
                 }
-                Op::Invalidate(k) => {
-                    prop_assert_eq!(real.invalidate(&k), model.invalidate(k));
+                _ => {
+                    let k = rng.below(20);
+                    assert_eq!(real.invalidate(&k), model.invalidate(k));
                 }
             }
-            prop_assert_eq!(real.len(), model.entries.len());
+            assert_eq!(real.len(), model.entries.len());
             let order: Vec<u64> = model.entries.iter().map(|(k, _)| *k).collect();
-            prop_assert_eq!(real.keys_mru_order(), order);
+            assert_eq!(real.keys_mru_order(), order);
         }
     }
+}
 
-    /// Vector-table codec round-trips arbitrary contents bit-exactly.
-    #[test]
-    fn codec_vector_table_round_trip(
-        entries in prop::collection::vec(
-            (any::<u64>(), prop::collection::vec(any::<f64>().prop_filter("no NaN", |x| !x.is_nan()), 0..20)),
-            0..30,
-        )
-    ) {
+/// Vector-table codec round-trips arbitrary contents bit-exactly.
+#[test]
+fn codec_vector_table_round_trip() {
+    let mut rng = VeloxRng::seed_from(0x57_02);
+    for _ in 0..CASES {
+        let n = rng.below(30) as usize;
+        let entries: Vec<(u64, Vec<f64>)> = (0..n)
+            .map(|_| {
+                let id = rng.next_u64();
+                let len = rng.below(20) as usize;
+                (id, (0..len).map(|_| finite_f64(&mut rng)).collect())
+            })
+            .collect();
         let decoded = decode_vector_table(encode_vector_table(&entries)).unwrap();
-        prop_assert_eq!(decoded, entries);
+        assert_eq!(decoded.len(), entries.len());
+        for ((id_a, v_a), (id_b, v_b)) in decoded.iter().zip(&entries) {
+            assert_eq!(id_a, id_b);
+            assert_eq!(v_a.len(), v_b.len());
+            for (a, b) in v_a.iter().zip(v_b) {
+                assert_eq!(a.to_bits(), b.to_bits(), "bit-exact round trip");
+            }
+        }
     }
+}
 
-    /// Observation codec round-trips arbitrary logs.
-    #[test]
-    fn codec_observations_round_trip(
-        raw in prop::collection::vec((any::<u64>(), any::<u64>(), -1e6f64..1e6, any::<u64>()), 0..50)
-    ) {
-        let obs: Vec<Observation> = raw
-            .into_iter()
-            .map(|(uid, item_id, y, timestamp)| Observation { uid, item_id, y, timestamp })
+/// Observation codec round-trips arbitrary logs.
+#[test]
+fn codec_observations_round_trip() {
+    let mut rng = VeloxRng::seed_from(0x57_03);
+    for _ in 0..CASES {
+        let n = rng.below(50) as usize;
+        let obs: Vec<Observation> = (0..n)
+            .map(|_| Observation {
+                uid: rng.next_u64(),
+                item_id: rng.next_u64(),
+                y: rng.range(-1e6, 1e6),
+                timestamp: rng.next_u64(),
+            })
             .collect();
         let decoded = decode_observations(encode_observations(&obs)).unwrap();
-        prop_assert_eq!(decoded, obs);
+        assert_eq!(decoded, obs);
     }
+}
 
-    /// Namespace put/get behaves like HashMap, and publish_version replaces
-    /// contents wholesale.
-    #[test]
-    fn namespace_matches_hashmap(
-        puts in prop::collection::vec((0u64..50, any::<i64>()), 1..100),
-        publish in prop::collection::vec((0u64..50, any::<i64>()), 0..20),
-    ) {
+/// Namespace put/get behaves like HashMap, and publish_version replaces
+/// contents wholesale.
+#[test]
+fn namespace_matches_hashmap() {
+    let mut rng = VeloxRng::seed_from(0x57_04);
+    for _ in 0..CASES {
         let ns: Namespace<i64> = Namespace::new("prop");
         let mut model = std::collections::HashMap::new();
-        for (k, v) in &puts {
-            ns.put(*k, *v);
-            model.insert(*k, *v);
+        let n_puts = 1 + rng.below(99) as usize;
+        for _ in 0..n_puts {
+            let (k, v) = (rng.below(50), rng.next_u64() as i64);
+            ns.put(k, v);
+            model.insert(k, v);
         }
         for (k, v) in &model {
-            prop_assert_eq!(ns.get(*k), Some(*v));
+            assert_eq!(ns.get(*k), Some(*v));
         }
-        prop_assert_eq!(ns.len(), model.len());
+        assert_eq!(ns.len(), model.len());
 
+        let n_publish = rng.below(20) as usize;
+        let publish: Vec<(u64, i64)> =
+            (0..n_publish).map(|_| (rng.below(50), rng.next_u64() as i64)).collect();
         let v_before = ns.version();
         ns.publish_version(publish.clone());
-        prop_assert_eq!(ns.version(), v_before + 1);
+        assert_eq!(ns.version(), v_before + 1);
         let mut pub_model = std::collections::HashMap::new();
         for (k, v) in publish {
             pub_model.insert(k, v);
         }
-        prop_assert_eq!(ns.len(), pub_model.len());
+        assert_eq!(ns.len(), pub_model.len());
         for (k, v) in &pub_model {
-            prop_assert_eq!(ns.get(*k), Some(*v));
+            assert_eq!(ns.get(*k), Some(*v));
         }
     }
 }

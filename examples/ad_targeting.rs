@@ -86,7 +86,8 @@ fn run_campaign(server: &VeloxServer, schema: &ModelSchema) -> (f64, usize) {
 fn main() -> Result<(), VeloxError> {
     let server = VeloxServer::new();
     server.install("campaign-greedy", deploy_campaign("campaign-greedy", BanditChoice::Greedy));
-    server.install("campaign-linucb", deploy_campaign("campaign-linucb", BanditChoice::LinUcb(1.5)));
+    server
+        .install("campaign-linucb", deploy_campaign("campaign-linucb", BanditChoice::LinUcb(1.5)));
 
     println!("simulating {ROUNDS} ad serves per campaign over {N_USERS} users, {N_ADS} ads\n");
 

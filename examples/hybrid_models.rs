@@ -48,13 +48,17 @@ fn main() -> Result<(), VeloxError> {
 
     // Member 1: collaborative filtering (latent factors).
     let (mf_model, _) = MatrixFactorizationModel::from_als("cf", &als);
-    let cf = Arc::new(Velox::deploy(Arc::new(mf_model), HashMap::new(), VeloxConfig::single_node()));
+    let cf =
+        Arc::new(Velox::deploy(Arc::new(mf_model), HashMap::new(), VeloxConfig::single_node()));
     cf.ingest_history(&history)?;
 
     // Member 2: content-based — a partial view of each item's attributes.
     let content_model = IdentityModel::new("content", 4, 1.0);
-    let content =
-        Arc::new(Velox::deploy(Arc::new(content_model), HashMap::new(), VeloxConfig::single_node()));
+    let content = Arc::new(Velox::deploy(
+        Arc::new(content_model),
+        HashMap::new(),
+        VeloxConfig::single_node(),
+    ));
     for (item, factors) in ds.true_item_factors.iter().enumerate() {
         content.register_item(item as u64, factors.as_slice()[..4].to_vec());
     }
@@ -84,8 +88,14 @@ fn main() -> Result<(), VeloxError> {
     };
     println!("held-out RMSE:");
     println!("  cf member       {:.4}", rmse(&|u, i| cf.predict(u, &Item::Id(i)).unwrap().score));
-    println!("  content member  {:.4}", rmse(&|u, i| content.predict(u, &Item::Id(i)).unwrap().score));
-    println!("  ensemble        {:.4}", rmse(&|u, i| ensemble.predict(u, &Item::Id(i)).unwrap().score));
+    println!(
+        "  content member  {:.4}",
+        rmse(&|u, i| content.predict(u, &Item::Id(i)).unwrap().score)
+    );
+    println!(
+        "  ensemble        {:.4}",
+        rmse(&|u, i| ensemble.predict(u, &Item::Id(i)).unwrap().score)
+    );
 
     // Weight diversity across users.
     let mut cf_dominant = 0;
@@ -96,7 +106,9 @@ fn main() -> Result<(), VeloxError> {
             _ => content_dominant += 1,
         }
     }
-    println!("\nper-user model selection: {cf_dominant} users lean cf, {content_dominant} lean content");
+    println!(
+        "\nper-user model selection: {cf_dominant} users lean cf, {content_dominant} lean content"
+    );
     let (name, w) = ensemble.dominant_model(7);
     println!("example: user 7 trusts '{name}' with weight {w:.2}");
     let pred = ensemble.predict(7, &Item::Id(3))?;

@@ -57,7 +57,11 @@ fn main() -> Result<(), VeloxError> {
 
     println!("\n=== v2: a retrain lands ===");
     velox.retrain_offline()?;
-    println!("now serving v{}; rollback targets: {:?}", velox.model_version(), velox.rollback_versions());
+    println!(
+        "now serving v{}; rollback targets: {:?}",
+        velox.model_version(),
+        velox.rollback_versions()
+    );
 
     println!("\n=== incident: v3 is a bad deploy ===");
     // Simulate a broken retrain by feeding garbage labels then retraining —
@@ -89,5 +93,15 @@ fn main() -> Result<(), VeloxError> {
     println!("prediction cache:     {:?} (hits, misses, evictions)", s.prediction_cache);
     println!("cluster local reads:  {:.1}%", s.cluster.local_fraction() * 100.0);
     println!("stale:                {}", s.stale);
+
+    println!("\n=== lifecycle event log ===");
+    for event in velox.registry().recent_events() {
+        let fields: Vec<String> =
+            event.kind.fields().iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!("#{:<3} {:<18} {}", event.seq, event.kind.name(), fields.join(" "));
+    }
+
+    println!("\n=== metrics snapshot (Prometheus exposition) ===");
+    print!("{}", velox.registry().render_prometheus(&[]));
     Ok(())
 }

@@ -129,6 +129,9 @@ fn main() -> Result<(), VeloxError> {
         None => println!("no retrain triggered (unexpected)"),
     }
     let s = velox.stats();
-    println!("final: version {}, {} retrains, mean loss {:.4}", s.model_version, s.retrains, s.mean_loss);
+    println!(
+        "final: version {}, {} retrains, mean loss {:.4}",
+        s.model_version, s.retrains, s.mean_loss
+    );
     Ok(())
 }

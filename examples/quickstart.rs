@@ -31,7 +31,10 @@ fn main() -> Result<(), VeloxError> {
     // 3. Before any feedback, Alice is served the bootstrap (mean-user)
     //    model — there are no users yet, so scores are zero.
     let cold = velox.predict(alice, &Item::Id(0))?;
-    println!("cold-start prediction for song 0: {:.3} (bootstrapped: {})", cold.score, cold.bootstrapped);
+    println!(
+        "cold-start prediction for song 0: {:.3} (bootstrapped: {})",
+        cold.score, cold.bootstrapped
+    );
 
     // 4. Feedback: Alice loves the acoustic tracks, dislikes the loud ones.
     velox.observe(alice, &Item::Id(0), -1.0)?;

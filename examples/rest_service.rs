@@ -19,10 +19,8 @@ use velox_rest::RestServer;
 
 fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> String {
     let mut stream = TcpStream::connect(addr).expect("connect");
-    let request = format!(
-        "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
-        body.len()
-    );
+    let request =
+        format!("{method} {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}", body.len());
     stream.write_all(request.as_bytes()).expect("send");
     let mut response = String::new();
     stream.read_to_string(&mut response).expect("receive");
@@ -67,7 +65,10 @@ fn main() {
     println!("\nPOST /models/songs/observe (three feedback events for user 42)");
     for (song, rating) in [(0u64, 2.0f64), (1, -1.0), (2, 1.5)] {
         let body = format!(r#"{{"uid": 42, "item_id": {song}, "y": {rating}}}"#);
-        println!("  song {song}, y={rating:+} -> {}", http(addr, "POST", "/models/songs/observe", &body));
+        println!(
+            "  song {song}, y={rating:+} -> {}",
+            http(addr, "POST", "/models/songs/observe", &body)
+        );
     }
 
     println!("\nPOST /models/songs/predict");
@@ -85,6 +86,15 @@ fn main() {
 
     println!("\nGET /models/songs/stats");
     println!("  -> {}", http(addr, "GET", "/models/songs/stats", ""));
+
+    println!("\nGET /events (lifecycle log)");
+    println!("  -> {}", http(addr, "GET", "/events", ""));
+
+    println!("\nGET /metrics (Prometheus exposition at exit)");
+    let metrics = http(addr, "GET", "/metrics", "");
+    for line in metrics.lines() {
+        println!("  {line}");
+    }
 
     handle.shutdown();
     println!("\nserver shut down cleanly.");

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The full offline verification gate: build, tests, lints, formatting.
+# The workspace has zero external dependencies, so everything here must
+# succeed with the crates.io registry unreachable (--offline enforces it).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (offline)"
+cargo build --workspace --release --offline
+
+echo "==> cargo test (offline)"
+cargo test --workspace --release --offline -q
+
+echo "==> cargo clippy -D warnings (offline)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "verify: all gates passed"

@@ -12,6 +12,7 @@ pub use velox_core as core;
 pub use velox_data as data;
 pub use velox_linalg as linalg;
 pub use velox_models as models;
+pub use velox_obs as obs;
 pub use velox_online as online;
 pub use velox_storage as storage;
 
@@ -20,17 +21,20 @@ pub mod prelude {
     pub use velox_bandit::{BanditPolicy, Candidate};
     pub use velox_batch::{AlsConfig, AlsModel, JobExecutor};
     pub use velox_cluster::{ClusterConfig, RoutingPolicy};
+    pub use velox_core::config::BanditChoice;
+    pub use velox_core::server::ModelSchema;
     pub use velox_core::{
         BootstrapState, Item, ObserveOutcome, PredictResponse, SystemStats, TopKResponse,
         TrainingExample, Velox, VeloxConfig, VeloxError, VeloxModel, VeloxServer,
     };
-    pub use velox_core::config::BanditChoice;
-    pub use velox_core::server::ModelSchema;
-    pub use velox_data::{Rating, RatingsDataset, SyntheticConfig, WorkloadConfig, ZipfGenerator};
+    pub use velox_data::{
+        Rating, RatingsDataset, SyntheticConfig, VeloxRng, WorkloadConfig, ZipfGenerator,
+    };
     pub use velox_linalg::{Matrix, Vector};
     pub use velox_models::{
         IdentityModel, MatrixFactorizationModel, MlpFeatureModel, RandomFourierModel,
         SvmEnsembleModel,
     };
+    pub use velox_obs::{Counter, EventKind, Gauge, Histogram, Registry, SpanTimer, Timer};
     pub use velox_online::UpdateStrategy;
 }

@@ -51,10 +51,7 @@ fn train_and_eval(velox: &Velox) -> (f64, f64) {
         let p = velox.predict(1, &Item::Id(item)).unwrap().score;
         after += (p - truth(item)).powi(2);
     }
-    (
-        (before / 20.0f64).sqrt(),
-        (after / 20.0f64).sqrt(),
-    )
+    ((before / 20.0f64).sqrt(), (after / 20.0f64).sqrt())
 }
 
 #[test]
@@ -73,10 +70,7 @@ fn mlp_model_learns_nonlinear_preferences() {
     let model = MlpFeatureModel::new("mlp", INPUT_DIM, &[64, 32], 0.3, 13);
     let velox = deploy(Arc::new(model));
     let (before, after) = train_and_eval(&velox);
-    assert!(
-        after < before * 0.75,
-        "MLP features should generalize: {before:.4} -> {after:.4}"
-    );
+    assert!(after < before * 0.75, "MLP features should generalize: {before:.4} -> {after:.4}");
 }
 
 #[test]
@@ -126,9 +120,8 @@ fn computed_model_catalog_topk_is_exact() {
     let top = velox.top_k_catalog(2, 5).unwrap();
     assert_eq!(top.len(), 5);
     // Matches brute force over point predictions.
-    let mut all: Vec<(u64, f64)> = (0..N_ITEMS)
-        .map(|item| (item, velox.predict(2, &Item::Id(item)).unwrap().score))
-        .collect();
+    let mut all: Vec<(u64, f64)> =
+        (0..N_ITEMS).map(|item| (item, velox.predict(2, &Item::Id(item)).unwrap().score)).collect();
     all.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     for (got, want) in top.iter().zip(all.iter().take(5)) {
         assert!((got.1 - want.1).abs() < 1e-9, "{got:?} vs {want:?}");
@@ -142,9 +135,6 @@ fn raw_and_catalog_items_are_interchangeable() {
     velox.observe(1, &Item::Id(7), 1.5).unwrap();
     // Serving the same item by id and by raw payload gives the same score.
     let by_id = velox.predict(1, &Item::Id(7)).unwrap().score;
-    let by_raw = velox
-        .predict(1, &Item::Raw(Vector::from_vec(item_attrs(7))))
-        .unwrap()
-        .score;
+    let by_raw = velox.predict(1, &Item::Raw(Vector::from_vec(item_attrs(7)))).unwrap().score;
     assert!((by_id - by_raw).abs() < 1e-12);
 }

@@ -1,18 +1,18 @@
-//! Property-based tests of the serving core: under arbitrary interleavings
-//! of predict / observe / topK / retrain, the system never serves a stale
-//! cached score, version numbers only move forward, and observation counts
-//! are conserved.
+//! Randomized tests of the serving core, driven by the in-tree seeded
+//! generator (`VeloxRng`): under arbitrary interleavings of predict /
+//! observe / topK / retrain, the system never serves a stale cached score,
+//! version numbers only move forward, and observation counts are conserved.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use proptest::prelude::*;
 use velox::prelude::*;
 use velox_linalg::Vector;
 
 const N_USERS: u64 = 6;
 const N_ITEMS: u64 = 12;
 const DIM: usize = 3;
+const CASES: usize = 48;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -22,15 +22,22 @@ enum Op {
     Retrain,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (0..N_USERS, 0..N_ITEMS).prop_map(|(uid, item)| Op::Predict { uid, item }),
-        4 => (0..N_USERS, 0..N_ITEMS, -2.0f64..2.0)
-            .prop_map(|(uid, item, y)| Op::Observe { uid, item, y }),
-        2 => (0..N_USERS, 0..N_ITEMS - 3, 1usize..4)
-            .prop_map(|(uid, start, len)| Op::TopK { uid, start, len }),
-        1 => Just(Op::Retrain),
-    ]
+/// Weighted op mix: predict 4, observe 4, topK 2, retrain 1 (out of 11).
+fn random_op(rng: &mut VeloxRng) -> Op {
+    match rng.below(11) {
+        0..=3 => Op::Predict { uid: rng.below(N_USERS), item: rng.below(N_ITEMS) },
+        4..=7 => Op::Observe {
+            uid: rng.below(N_USERS),
+            item: rng.below(N_ITEMS),
+            y: rng.range(-2.0, 2.0),
+        },
+        8 | 9 => Op::TopK {
+            uid: rng.below(N_USERS),
+            start: rng.below(N_ITEMS - 3),
+            len: 1 + rng.below(3) as usize,
+        },
+        _ => Op::Retrain,
+    }
 }
 
 fn item_attrs(item: u64) -> Vec<f64> {
@@ -99,14 +106,16 @@ impl Reference {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Cached or not, every served score equals the reference computation;
+/// retrains reset user weights to a retrained model but the *cache
+/// never serves across a version boundary*.
+#[test]
+fn serving_is_always_fresh() {
+    let mut rng = VeloxRng::seed_from(0xc0_7e);
+    for case in 0..CASES {
+        let n_ops = 1 + rng.below(59) as usize;
+        let ops: Vec<Op> = (0..n_ops).map(|_| random_op(&mut rng)).collect();
 
-    /// Cached or not, every served score equals the reference computation;
-    /// retrains reset user weights to a retrained model but the *cache
-    /// never serves across a version boundary*.
-    #[test]
-    fn serving_is_always_fresh(ops in prop::collection::vec(op_strategy(), 1..60)) {
         let velox = fresh_velox();
         let mut reference = Reference::new();
         let mut observations: u64 = 0;
@@ -121,20 +130,22 @@ proptest! {
                 Op::Predict { uid, item } => {
                     let a = velox.predict(uid, &Item::Id(item)).unwrap();
                     let b = velox.predict(uid, &Item::Id(item)).unwrap();
-                    prop_assert_eq!(a.score, b.score, "double predict must agree");
+                    assert_eq!(a.score, b.score, "case {case}: double predict must agree");
                     // Bootstrap-mean serves are deliberately uncacheable
                     // (the mean moves with any user's update); everything
                     // else must hit on the identical repeat.
                     if !a.bootstrapped {
-                        prop_assert!(b.cached, "second identical predict must be cached");
+                        assert!(b.cached, "case {case}: second identical predict must be cached");
                     } else {
-                        prop_assert!(!b.cached, "bootstrapped scores must never be cached");
+                        assert!(!b.cached, "case {case}: bootstrapped scores must never be cached");
                     }
                     if reference_valid {
                         let want = reference.predict(uid, item);
-                        prop_assert!(
+                        assert!(
                             (a.score - want).abs() < 1e-9,
-                            "stale serve: got {}, want {}", a.score, want
+                            "case {case}: stale serve: got {}, want {}",
+                            a.score,
+                            want
                         );
                     }
                 }
@@ -146,33 +157,30 @@ proptest! {
                     observations += 1;
                 }
                 Op::TopK { uid, start, len } => {
-                    let items: Vec<Item> =
-                        (start..start + len as u64).map(Item::Id).collect();
+                    let items: Vec<Item> = (start..start + len as u64).map(Item::Id).collect();
                     let resp = velox.top_k(uid, &items).unwrap();
-                    prop_assert_eq!(resp.ranked.len(), items.len());
+                    assert_eq!(resp.ranked.len(), items.len());
                     // Ranked scores agree with point predictions.
                     for &(idx, score) in &resp.ranked {
                         let point = velox.predict(uid, &items[idx]).unwrap().score;
-                        prop_assert!((point - score).abs() < 1e-9);
+                        assert!((point - score).abs() < 1e-9);
                     }
-                    prop_assert!(resp.served < items.len());
+                    assert!(resp.served < items.len());
                 }
-                Op::Retrain => {
-                    match velox.retrain_offline() {
-                        Ok(v) => {
-                            prop_assert!(v > last_version, "versions move forward");
-                            last_version = v;
-                            reference_valid = false;
-                        }
-                        Err(VeloxError::RetrainFailed(_)) => {
-                            // No data yet — acceptable.
-                        }
-                        Err(e) => return Err(TestCaseError::fail(format!("retrain: {e}"))),
+                Op::Retrain => match velox.retrain_offline() {
+                    Ok(v) => {
+                        assert!(v > last_version, "case {case}: versions move forward");
+                        last_version = v;
+                        reference_valid = false;
                     }
-                }
+                    Err(VeloxError::RetrainFailed(_)) => {
+                        // No data yet — acceptable.
+                    }
+                    Err(e) => panic!("case {case}: retrain: {e}"),
+                },
             }
-            prop_assert_eq!(velox.model_version(), last_version);
+            assert_eq!(velox.model_version(), last_version);
         }
-        prop_assert_eq!(velox.stats().observations, observations, "no observation lost");
+        assert_eq!(velox.stats().observations, observations, "case {case}: no observation lost");
     }
 }

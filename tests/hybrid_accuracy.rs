@@ -81,13 +81,8 @@ fn online_recovers_most_of_full_retrain_gain() {
     // new user weights).
     let mut full_train = split.offline.clone();
     full_train.extend(split.online.iter().cloned());
-    let als_full = AlsModel::train(
-        &full_train,
-        ds.config.n_users,
-        ds.config.n_items,
-        als_cfg,
-        &executor,
-    );
+    let als_full =
+        AlsModel::train(&full_train, ds.config.n_users, ds.config.n_items, als_cfg, &executor);
     let (model_c, weights_c) = MatrixFactorizationModel::from_als("full", &als_full);
     let velox_full = Velox::deploy(Arc::new(model_c), weights_c, VeloxConfig::single_node());
     let rmse_full = heldout_rmse(&velox_full, als_full.global_mean);

@@ -57,10 +57,7 @@ fn online_updates_reduce_heldout_error() {
         velox.observe(r.uid, &Item::Id(r.item_id), r.value - mu).unwrap();
     }
     let after = heldout_rmse(&velox, &split.heldout, mu);
-    assert!(
-        after < before,
-        "online updates must improve held-out RMSE: {before} -> {after}"
-    );
+    assert!(after < before, "online updates must improve held-out RMSE: {before} -> {after}");
 }
 
 #[test]
@@ -110,8 +107,10 @@ fn manual_retrain_bumps_version_and_uses_new_data() {
     let velox = deploy_from(&ds, &split.offline, VeloxConfig::single_node());
     let mu = mean_rating(&split.offline);
 
-    assert!(matches!(velox.retrain_offline(), Err(VeloxError::RetrainFailed(_))),
-        "retrain without any observations must fail loudly");
+    assert!(
+        matches!(velox.retrain_offline(), Err(VeloxError::RetrainFailed(_))),
+        "retrain without any observations must fail loudly"
+    );
 
     for r in &split.online {
         velox.observe(r.uid, &Item::Id(r.item_id), r.value - mu).unwrap();

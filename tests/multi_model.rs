@@ -39,10 +39,7 @@ fn server_dispatches_by_schema() {
 
     assert!(server.predict(&ads, 1, &Item::Id(3)).is_ok());
     assert!(server.predict(&songs, 1, &Item::Id(3)).is_ok());
-    assert!(matches!(
-        server.predict(&missing, 1, &Item::Id(3)),
-        Err(VeloxError::ModelNotFound(_))
-    ));
+    assert!(matches!(server.predict(&missing, 1, &Item::Id(3)), Err(VeloxError::ModelNotFound(_))));
 
     let mut names = server.deployment_names();
     names.sort();
@@ -109,8 +106,7 @@ fn computed_features_are_cached_by_item() {
 fn raw_items_serve_without_catalog() {
     let velox = deploy_identity("ident", 4, BanditChoice::Greedy);
     velox.observe(1, &Item::Raw(Vector::from_vec(vec![1.0, 0.0, 0.0, 0.0])), 5.0).unwrap();
-    let resp =
-        velox.predict(1, &Item::Raw(Vector::from_vec(vec![1.0, 0.0, 0.0, 0.0]))).unwrap();
+    let resp = velox.predict(1, &Item::Raw(Vector::from_vec(vec![1.0, 0.0, 0.0, 0.0]))).unwrap();
     assert!(resp.score > 1.0, "learned from raw-item feedback: {}", resp.score);
     assert!(!resp.cached, "raw items are uncacheable");
 }

@@ -94,11 +94,9 @@ fn unknown_user_gets_bootstrap_prediction() {
     assert!(resp.score.is_finite());
     // The bootstrap score is the mean-user score, so it should be within
     // the range of individual user scores for the same item.
-    let all: Vec<f64> =
-        (0..60).map(|u| velox.predict(u, &Item::Id(10)).unwrap().score).collect();
-    let (lo, hi) = all
-        .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &s| (l.min(s), h.max(s)));
+    let all: Vec<f64> = (0..60).map(|u| velox.predict(u, &Item::Id(10)).unwrap().score).collect();
+    let (lo, hi) =
+        all.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &s| (l.min(s), h.max(s)));
     assert!(resp.score >= lo - 1e-9 && resp.score <= hi + 1e-9);
 }
 
@@ -187,9 +185,8 @@ fn catalog_topk_matches_brute_force() {
     let top = velox.top_k_catalog(7, k).unwrap();
     assert_eq!(top.len(), k);
     // Brute force via point predictions over the whole catalog.
-    let mut all: Vec<(u64, f64)> = (0..120u64)
-        .map(|item| (item, velox.predict(7, &Item::Id(item)).unwrap().score))
-        .collect();
+    let mut all: Vec<(u64, f64)> =
+        (0..120u64).map(|item| (item, velox.predict(7, &Item::Id(item)).unwrap().score)).collect();
     all.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     for (got, want) in top.iter().zip(all.iter().take(k)) {
         assert!((got.1 - want.1).abs() < 1e-12, "{got:?} vs {want:?}");
@@ -211,9 +208,8 @@ fn catalog_topk_index_rebuilds_after_retrain() {
     let after = velox.top_k_catalog(3, 5).unwrap();
     // New θ → (almost surely) different scores; and the result must match
     // a fresh brute force under the new model.
-    let mut all: Vec<(u64, f64)> = (0..120u64)
-        .map(|item| (item, velox.predict(3, &Item::Id(item)).unwrap().score))
-        .collect();
+    let mut all: Vec<(u64, f64)> =
+        (0..120u64).map(|item| (item, velox.predict(3, &Item::Id(item)).unwrap().score)).collect();
     all.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     for (got, want) in after.iter().zip(all.iter().take(5)) {
         assert!((got.1 - want.1).abs() < 1e-12);
