@@ -16,12 +16,14 @@
 //! FIG4 experiments deterministic and fast while preserving the paper's
 //! locality arguments exactly.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 
+use velox_data::VeloxRng;
 use velox_obs::{Counter, Registry};
 use velox_storage::{LruCache, Namespace};
 
+use crate::fault::{FaultAction, FaultPlan, HealthTransition, NodeHealth};
 use crate::partition::{HashPartitioner, NodeId, Router, RoutingPolicy};
 
 /// Cluster topology and cost-model configuration.
@@ -44,6 +46,12 @@ pub struct ClusterConfig {
     /// reads into local ones at the cost of `r×` memory and write fan-out
     /// during (infrequent) retrain publishes.
     pub item_replication: usize,
+    /// Copies of each user's weight vector across the cluster (≥ 1;
+    /// clamped to the node count). The paper replicates the materialized
+    /// tables for fault tolerance (§3); extending that to `W` means a dead
+    /// home partition degrades a user's reads to a replica instead of
+    /// losing them. Online updates fan out to every live replica.
+    pub user_replication: usize,
 }
 
 impl Default for ClusterConfig {
@@ -57,6 +65,7 @@ impl Default for ClusterConfig {
             item_cache_capacity: 1024,
             routing: RoutingPolicy::ByUser,
             item_replication: 1,
+            user_replication: 1,
         }
     }
 }
@@ -70,6 +79,24 @@ pub enum AccessKind {
     CacheHit,
     /// Required a (virtual) network fetch from the owning node.
     Remote,
+    /// The primary was unreachable; a surviving replica served the read
+    /// (charged as a remote fetch).
+    Failover,
+}
+
+/// Outcome of a health-aware table read.
+#[derive(Debug, Clone)]
+pub struct ClusterRead {
+    /// The value, when any live replica held it.
+    pub value: Option<Vec<f64>>,
+    /// How the access was satisfied (meaningless when `unavailable`).
+    pub kind: AccessKind,
+    /// Virtual cost in microseconds (including any injected spike).
+    pub cost_us: f64,
+    /// True when the primary was unreachable and a replica answered.
+    pub failover: bool,
+    /// True when no live replica could serve the key; `value` is `None`.
+    pub unavailable: bool,
 }
 
 /// One node: its shard of each table, its item cache, and counters.
@@ -77,11 +104,42 @@ struct Node {
     user_weights: Namespace<Vec<f64>>,
     item_features: Namespace<Vec<f64>>,
     item_cache: Mutex<LruCache<u64, Vec<f64>>>,
+    /// Health state, encoded for lock-free reads (see `health_of_u8`).
+    health: AtomicU8,
     requests_served: Arc<Counter>,
     local_reads: Arc<Counter>,
     remote_reads: Arc<Counter>,
     cache_hits: Arc<Counter>,
     cache_misses: Arc<Counter>,
+    /// Reads this node served for keys whose primary was unreachable.
+    failover_reads: Arc<Counter>,
+}
+
+const HEALTH_UP: u8 = 0;
+const HEALTH_RECOVERING: u8 = 1;
+const HEALTH_DOWN: u8 = 2;
+
+fn health_to_u8(h: NodeHealth) -> u8 {
+    match h {
+        NodeHealth::Up => HEALTH_UP,
+        NodeHealth::Recovering => HEALTH_RECOVERING,
+        NodeHealth::Down => HEALTH_DOWN,
+    }
+}
+
+fn health_of_u8(v: u8) -> NodeHealth {
+    match v {
+        HEALTH_RECOVERING => NodeHealth::Recovering,
+        HEALTH_DOWN => NodeHealth::Down,
+        _ => NodeHealth::Up,
+    }
+}
+
+/// State of an installed fault plan (events sorted by fire time).
+struct FaultState {
+    plan: FaultPlan,
+    rng: VeloxRng,
+    next_event: usize,
 }
 
 /// Per-node counter snapshot.
@@ -93,12 +151,17 @@ pub struct NodeStats {
     pub local_reads: u64,
     /// Reads that went over the simulated network.
     pub remote_reads: u64,
+    /// Reads this node served for keys whose primary was unreachable
+    /// (a subset of `remote_reads`).
+    pub failover_reads: u64,
     /// Item-cache hit/miss/eviction counters.
     pub cache: (u64, u64, u64),
     /// Entries in this node's user-weight shard.
     pub users_owned: usize,
     /// Entries in this node's item-feature shard.
     pub items_owned: usize,
+    /// Current health state.
+    pub health: NodeHealth,
 }
 
 /// Cluster-wide aggregate statistics.
@@ -108,6 +171,14 @@ pub struct ClusterStats {
     pub nodes: Vec<NodeStats>,
     /// Total virtual microseconds spent on reads since creation/reset.
     pub virtual_read_us: f64,
+    /// Reads that found no live replica (served degraded upstream).
+    pub unavailable_reads: u64,
+    /// Entries re-populated from surviving replicas across all recoveries.
+    pub catch_up_entries: u64,
+    /// Transient shard-read failures injected by the fault plan.
+    pub injected_read_failures: u64,
+    /// Latency spikes injected by the fault plan.
+    pub injected_latency_spikes: u64,
 }
 
 impl ClusterStats {
@@ -145,6 +216,16 @@ impl ClusterStats {
             hits as f64 / (hits + misses) as f64
         }
     }
+
+    /// Total failover reads across all nodes.
+    pub fn failover_reads(&self) -> u64 {
+        self.nodes.iter().map(|n| n.failover_reads).sum()
+    }
+
+    /// Number of nodes currently `Up`.
+    pub fn live_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| n.health == NodeHealth::Up).count()
+    }
 }
 
 /// The simulated cluster.
@@ -157,6 +238,19 @@ pub struct Cluster {
     /// Virtual microseconds accumulated by all reads (scaled ×1000 to keep
     /// three decimal places in an atomic integer).
     virtual_read_nanos: AtomicU64,
+    /// Count of routed requests — the clock scheduled faults fire against.
+    request_clock: AtomicU64,
+    /// Fast-path gate: true only while a fault plan is installed, so the
+    /// healthy serving path pays one relaxed load, never a lock.
+    fault_active: AtomicBool,
+    faults: Mutex<Option<FaultState>>,
+    /// Health transitions not yet collected by the serving layer.
+    transitions: Mutex<Vec<HealthTransition>>,
+    transitions_pending: AtomicBool,
+    unavailable_reads: Arc<Counter>,
+    catch_up_entries: Arc<Counter>,
+    injected_read_failures: Arc<Counter>,
+    injected_latency_spikes: Arc<Counter>,
 }
 
 impl Cluster {
@@ -169,11 +263,13 @@ impl Cluster {
                 user_weights: Namespace::new(format!("user_weights@{i}")),
                 item_features: Namespace::new(format!("item_features@{i}")),
                 item_cache: Mutex::new(LruCache::new(config.item_cache_capacity)),
+                health: AtomicU8::new(HEALTH_UP),
                 requests_served: Arc::new(Counter::new()),
                 local_reads: Arc::new(Counter::new()),
                 remote_reads: Arc::new(Counter::new()),
                 cache_hits: Arc::new(Counter::new()),
                 cache_misses: Arc::new(Counter::new()),
+                failover_reads: Arc::new(Counter::new()),
             })
             .collect();
         let user_part = HashPartitioner::new(config.n_nodes, 0x5EED_0001);
@@ -186,6 +282,15 @@ impl Cluster {
             item_part,
             router,
             virtual_read_nanos: AtomicU64::new(0),
+            request_clock: AtomicU64::new(0),
+            fault_active: AtomicBool::new(false),
+            faults: Mutex::new(None),
+            transitions: Mutex::new(Vec::new()),
+            transitions_pending: AtomicBool::new(false),
+            unavailable_reads: Arc::new(Counter::new()),
+            catch_up_entries: Arc::new(Counter::new()),
+            injected_read_failures: Arc::new(Counter::new()),
+            injected_latency_spikes: Arc::new(Counter::new()),
         }
     }
 
@@ -217,15 +322,214 @@ impl Cluster {
         (0..r).map(|k| (primary + k) % self.config.n_nodes).collect()
     }
 
+    /// All nodes holding a copy of a user's weights: the home node plus
+    /// `user_replication − 1` successors on the node ring.
+    pub fn replica_nodes_of_user(&self, uid: u64) -> Vec<NodeId> {
+        let primary = self.home_of_user(uid);
+        let r = self.config.user_replication.clamp(1, self.config.n_nodes);
+        (0..r).map(|k| (primary + k) % self.config.n_nodes).collect()
+    }
+
+    /// Current health of a node.
+    pub fn node_health(&self, node: NodeId) -> NodeHealth {
+        health_of_u8(self.nodes[node].health.load(Ordering::Acquire))
+    }
+
+    /// Number of nodes currently `Up`.
+    pub fn live_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| n.health.load(Ordering::Acquire) == HEALTH_UP).count()
+    }
+
+    /// Live (`Up`) replicas of a user's weights, failover order: home first.
+    pub fn live_user_replicas(&self, uid: u64) -> Vec<NodeId> {
+        self.replica_nodes_of_user(uid)
+            .into_iter()
+            .filter(|&n| self.node_health(n) == NodeHealth::Up)
+            .collect()
+    }
+
+    fn set_health(&self, node: NodeId, health: NodeHealth, caught_up: u64) {
+        self.nodes[node].health.store(health_to_u8(health), Ordering::Release);
+        self.transitions.lock().unwrap().push(HealthTransition { node, health, caught_up });
+        self.transitions_pending.store(true, Ordering::Release);
+    }
+
+    /// Kills a node: shards wiped (the crash loses in-memory state), item
+    /// cache cleared, health `Down`. Idempotent on an already-down node.
+    pub fn kill_node(&self, node: NodeId) {
+        if self.node_health(node) == NodeHealth::Down {
+            return;
+        }
+        self.nodes[node].user_weights.publish_version(Vec::new());
+        self.nodes[node].item_features.publish_version(Vec::new());
+        self.nodes[node].item_cache.lock().unwrap().clear();
+        self.set_health(node, NodeHealth::Down, 0);
+    }
+
+    /// Recovers a dead node: marks it `Recovering`, re-populates every key
+    /// whose replica set includes it from surviving `Up` replicas, then
+    /// marks it `Up`. Returns the number of entries caught up. Keys with no
+    /// surviving replica stay lost until the next write or publish (the
+    /// serving layer degrades them). No-op on a node that is already `Up`.
+    pub fn recover_node(&self, node: NodeId) -> u64 {
+        if self.node_health(node) == NodeHealth::Up {
+            return 0;
+        }
+        self.set_health(node, NodeHealth::Recovering, 0);
+        let mut caught_up = 0u64;
+        for (other_id, other) in self.nodes.iter().enumerate() {
+            if other_id == node || other.health.load(Ordering::Acquire) != HEALTH_UP {
+                continue;
+            }
+            for (uid, w) in other.user_weights.snapshot_entries() {
+                if self.replica_nodes_of_user(uid).contains(&node)
+                    && !self.nodes[node].user_weights.contains(uid)
+                {
+                    self.nodes[node].user_weights.put(uid, w);
+                    caught_up += 1;
+                }
+            }
+            for (item, feat) in other.item_features.snapshot_entries() {
+                if self.replica_nodes_of_item(item).contains(&node)
+                    && !self.nodes[node].item_features.contains(item)
+                {
+                    self.nodes[node].item_features.put(item, feat);
+                    caught_up += 1;
+                }
+            }
+        }
+        self.catch_up_entries.add(caught_up);
+        self.set_health(node, NodeHealth::Up, caught_up);
+        caught_up
+    }
+
+    /// Installs (or replaces) a fault plan. Scheduled events fire against
+    /// the request clock as requests are routed; probabilistic failures and
+    /// spikes apply to every shard read from now on.
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        let mut plan = plan;
+        plan.events.sort_by_key(|e| e.at_request);
+        let rng = VeloxRng::seed_from(plan.seed);
+        *self.faults.lock().unwrap() = Some(FaultState { plan, rng, next_event: 0 });
+        self.fault_active.store(true, Ordering::Release);
+    }
+
+    /// Removes the installed fault plan (health states are left as-is).
+    pub fn clear_fault_plan(&self) {
+        *self.faults.lock().unwrap() = None;
+        self.fault_active.store(false, Ordering::Release);
+    }
+
+    /// True when health transitions await collection via
+    /// [`Cluster::take_transitions`].
+    pub fn transitions_pending(&self) -> bool {
+        self.transitions_pending.load(Ordering::Acquire)
+    }
+
+    /// Drains the journal of health transitions (oldest first). The serving
+    /// layer turns these into lifecycle events and recovery actions.
+    pub fn take_transitions(&self) -> Vec<HealthTransition> {
+        let mut journal = self.transitions.lock().unwrap();
+        self.transitions_pending.store(false, Ordering::Release);
+        std::mem::take(&mut *journal)
+    }
+
+    /// The number of requests routed so far (the fault-plan clock).
+    pub fn request_clock(&self) -> u64 {
+        self.request_clock.load(Ordering::Relaxed)
+    }
+
+    /// Fires every scheduled fault event due at or before `tick`.
+    fn apply_due_faults(&self, tick: u64) {
+        // Collect targets under the lock, act after releasing it:
+        // kill/recover take other locks and must not nest inside this one.
+        let due: Vec<(NodeId, FaultAction)> = {
+            let mut guard = self.faults.lock().unwrap();
+            let Some(state) = guard.as_mut() else { return };
+            let mut due = Vec::new();
+            while state.next_event < state.plan.events.len()
+                && state.plan.events[state.next_event].at_request <= tick
+            {
+                let ev = state.plan.events[state.next_event];
+                due.push((ev.node, ev.action));
+                state.next_event += 1;
+            }
+            due
+        };
+        for (node, action) in due {
+            match action {
+                FaultAction::Kill => self.kill_node(node),
+                FaultAction::Recover => {
+                    self.recover_node(node);
+                }
+            }
+        }
+    }
+
+    /// Rolls the plan's dice for one shard read: `true` = the read
+    /// transiently fails (the caller should fail over).
+    fn inject_read_failure(&self) -> bool {
+        if !self.fault_active.load(Ordering::Acquire) {
+            return false;
+        }
+        let mut guard = self.faults.lock().unwrap();
+        let Some(state) = guard.as_mut() else { return false };
+        if state.plan.read_failure_prob <= 0.0 {
+            return false;
+        }
+        let fail = state.rng.uniform() < state.plan.read_failure_prob;
+        if fail {
+            self.injected_read_failures.inc();
+        }
+        fail
+    }
+
+    /// Extra virtual microseconds from an injected latency spike (usually
+    /// 0.0). Added to the caller's cost and the virtual read clock.
+    fn latency_spike_us(&self) -> f64 {
+        if !self.fault_active.load(Ordering::Acquire) {
+            return 0.0;
+        }
+        let mut guard = self.faults.lock().unwrap();
+        let Some(state) = guard.as_mut() else { return 0.0 };
+        if state.plan.latency_spike_prob <= 0.0
+            || state.rng.uniform() >= state.plan.latency_spike_prob
+        {
+            return 0.0;
+        }
+        self.injected_latency_spikes.inc();
+        self.virtual_read_nanos
+            .fetch_add((state.plan.latency_spike_us * 1000.0) as u64, Ordering::Relaxed);
+        state.plan.latency_spike_us
+    }
+
     /// Picks the serving node for a request from `uid` under the configured
-    /// routing policy, counting it against that node's load.
+    /// routing policy, counting it against that node's load. Advances the
+    /// fault clock; when the routed node is down, the request is redirected
+    /// to the first live replica of the user (then any live node).
     pub fn route_request(&self, uid: u64) -> NodeId {
-        let node = self.router.route(uid);
+        let tick = self.request_clock.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.fault_active.load(Ordering::Acquire) {
+            self.apply_due_faults(tick);
+        }
+        let mut node = self.router.route(uid);
+        if self.node_health(node) != NodeHealth::Up {
+            node = self
+                .replica_nodes_of_user(uid)
+                .into_iter()
+                .find(|&n| self.node_health(n) == NodeHealth::Up)
+                .or_else(|| {
+                    (0..self.config.n_nodes).find(|&n| self.node_health(n) == NodeHealth::Up)
+                })
+                .unwrap_or(node);
+        }
         self.nodes[node].requests_served.inc();
         node
     }
 
-    fn charge(&self, at: NodeId, kind: AccessKind) {
+    /// Counts one access of `kind` at `at` and returns its base virtual
+    /// cost in microseconds (also added to the virtual read clock).
+    fn charge(&self, at: NodeId, kind: AccessKind) -> f64 {
         let us = match kind {
             AccessKind::Local | AccessKind::CacheHit => {
                 self.nodes[at].local_reads.inc();
@@ -235,15 +539,67 @@ impl Cluster {
                 self.nodes[at].remote_reads.inc();
                 self.config.remote_read_us
             }
+            AccessKind::Failover => {
+                // Failover reads go over the network to the surviving
+                // replica; counted under remote for locality accounting,
+                // plus their own counter.
+                self.nodes[at].remote_reads.inc();
+                self.nodes[at].failover_reads.inc();
+                self.config.remote_read_us
+            }
         };
         self.virtual_read_nanos.fetch_add((us * 1000.0) as u64, Ordering::Relaxed);
+        us
     }
 
-    /// Stores a user's weight vector at its home node (placement is not a
-    /// serving-path cost; no charge).
+    /// Stores a user's weight vector at every replica node that is not
+    /// `Down` (placement is not a serving-path cost; no charge).
     pub fn put_user_weights(&self, uid: u64, w: Vec<f64>) {
-        let home = self.home_of_user(uid);
-        self.nodes[home].user_weights.put(uid, w);
+        for node in self.replica_nodes_of_user(uid) {
+            if self.node_health(node) != NodeHealth::Down {
+                self.nodes[node].user_weights.put(uid, w.clone());
+            }
+        }
+    }
+
+    /// Health-aware read of a user's weights from serving node `at`.
+    ///
+    /// Replicas are tried home-first; `Down`/`Recovering` nodes and reads
+    /// the fault plan transiently fails are skipped. A read served by a
+    /// non-primary replica is a failover (charged remote). When no live
+    /// replica can answer, the result is `unavailable` and the serving
+    /// layer degrades (stale cache, then bootstrap prior).
+    pub fn read_user_weights(&self, at: NodeId, uid: u64) -> ClusterRead {
+        let spike = self.latency_spike_us();
+        let replicas = self.replica_nodes_of_user(uid);
+        for (i, &node) in replicas.iter().enumerate() {
+            if self.node_health(node) != NodeHealth::Up || self.inject_read_failure() {
+                continue;
+            }
+            let kind = if i > 0 {
+                AccessKind::Failover
+            } else if node == at {
+                AccessKind::Local
+            } else {
+                AccessKind::Remote
+            };
+            let cost_us = self.charge(at, kind) + spike;
+            return ClusterRead {
+                value: self.nodes[node].user_weights.get(uid),
+                kind,
+                cost_us,
+                failover: kind == AccessKind::Failover,
+                unavailable: false,
+            };
+        }
+        self.unavailable_reads.inc();
+        ClusterRead {
+            value: None,
+            kind: AccessKind::Remote,
+            cost_us: spike,
+            failover: false,
+            unavailable: true,
+        }
     }
 
     /// Reads a user's weights from serving node `at`. Local when `at` is
@@ -251,62 +607,95 @@ impl Cluster {
     /// otherwise. Returns the weights, how the access was satisfied, and
     /// the virtual cost in microseconds.
     pub fn get_user_weights(&self, at: NodeId, uid: u64) -> (Option<Vec<f64>>, AccessKind, f64) {
-        let home = self.home_of_user(uid);
-        let kind = if home == at { AccessKind::Local } else { AccessKind::Remote };
-        self.charge(at, kind);
-        let cost = match kind {
-            AccessKind::Remote => self.config.remote_read_us,
-            _ => self.config.local_read_us,
-        };
-        (self.nodes[home].user_weights.get(uid), kind, cost)
+        let read = self.read_user_weights(at, uid);
+        (read.value, read.kind, read.cost_us)
     }
 
-    /// Applies an in-place update to a user's weights at their home node
-    /// (upserting via `default` when absent). Under `ByUser` routing this
-    /// is the paper's "all writes are local" property; when `at` differs
-    /// from the home node the write is charged as remote.
+    /// Applies an in-place update to a user's weights (upserting via
+    /// `default` when absent), fanning the result out to every live
+    /// replica. Under `ByUser` routing and full health this is the paper's
+    /// "all writes are local" property; when `at` differs from the serving
+    /// replica the write is charged as remote. Returns `None` when no live
+    /// replica exists — the caller should buffer the update for redo.
+    pub fn try_update_user_weights<F, D>(
+        &self,
+        at: NodeId,
+        uid: u64,
+        default: D,
+        f: F,
+    ) -> Option<f64>
+    where
+        F: FnOnce(&mut Vec<f64>),
+        D: FnOnce() -> Vec<f64>,
+    {
+        let live = self.live_user_replicas(uid);
+        let (&first, rest) = live.split_first()?;
+        let kind = if first == at { AccessKind::Local } else { AccessKind::Remote };
+        let cost = self.charge(at, kind);
+        self.nodes[first].user_weights.update_with(uid, default, f);
+        if !rest.is_empty() {
+            if let Some(w) = self.nodes[first].user_weights.get(uid) {
+                for &node in rest {
+                    self.nodes[node].user_weights.put(uid, w.clone());
+                }
+            }
+        }
+        Some(cost)
+    }
+
+    /// [`Cluster::try_update_user_weights`], charging a remote read when
+    /// every replica is down (legacy callers that cannot buffer).
     pub fn update_user_weights<F, D>(&self, at: NodeId, uid: u64, default: D, f: F) -> f64
     where
         F: FnOnce(&mut Vec<f64>),
         D: FnOnce() -> Vec<f64>,
     {
-        let home = self.home_of_user(uid);
-        let kind = if home == at { AccessKind::Local } else { AccessKind::Remote };
-        self.charge(at, kind);
-        self.nodes[home].user_weights.update_with(uid, default, f);
-        match kind {
-            AccessKind::Remote => self.config.remote_read_us,
-            _ => self.config.local_read_us,
-        }
+        self.try_update_user_weights(at, uid, default, f).unwrap_or(self.config.remote_read_us)
     }
 
     /// Bulk-publishes a new user-weight table (offline retrain output):
-    /// contents are re-partitioned and each node's shard swaps atomically.
+    /// contents are re-partitioned across each user's replica set and each
+    /// node's shard swaps atomically. `Down` nodes get an empty shard —
+    /// their state is whatever recovery later copies back.
     pub fn publish_user_weights(&self, entries: Vec<(u64, Vec<f64>)>) {
         let mut per_node: Vec<Vec<(u64, Vec<f64>)>> =
             (0..self.config.n_nodes).map(|_| Vec::new()).collect();
         for (uid, w) in entries {
-            per_node[self.home_of_user(uid)].push((uid, w));
+            for node in self.replica_nodes_of_user(uid) {
+                per_node[node].push((uid, w.clone()));
+            }
         }
-        for (node, shard) in self.nodes.iter().zip(per_node) {
+        for ((id, node), mut shard) in self.nodes.iter().enumerate().zip(per_node) {
+            if self.node_health(id) == NodeHealth::Down {
+                shard = Vec::new();
+            }
             node.user_weights.publish_version(shard);
         }
     }
 
-    /// Management-plane read of a user's weights at their home node — no
-    /// routing, no cost accounting. Serving paths use
-    /// [`Cluster::get_user_weights`] instead.
+    /// Management-plane read of a user's weights — no routing, no cost
+    /// accounting; falls back across replicas so a dead home node does not
+    /// hide a surviving copy. Serving paths use
+    /// [`Cluster::read_user_weights`] instead.
     pub fn peek_user_weights(&self, uid: u64) -> Option<Vec<f64>> {
-        let home = self.home_of_user(uid);
-        self.nodes[home].user_weights.get(uid)
+        self.replica_nodes_of_user(uid)
+            .into_iter()
+            .find_map(|node| self.nodes[node].user_weights.get(uid))
     }
 
     /// Exports the entire user-weight table across all shards — the
     /// management-plane snapshot offline retraining warm-starts from.
+    /// Replicated entries are deduplicated (first copy wins; replicas are
+    /// kept in sync by the write fan-out).
     pub fn export_user_weights(&self) -> Vec<(u64, Vec<f64>)> {
+        let mut seen = std::collections::HashSet::new();
         let mut out = Vec::new();
         for node in &self.nodes {
-            out.extend(node.user_weights.snapshot_entries());
+            for (uid, w) in node.user_weights.snapshot_entries() {
+                if seen.insert(uid) {
+                    out.push((uid, w));
+                }
+            }
         }
         out
     }
@@ -336,22 +725,25 @@ impl Cluster {
         }
     }
 
-    /// Reads an item's features from serving node `at`:
-    /// local replica → cache → remote fetch (which populates the cache).
-    /// Returns the features, the access kind, and the virtual cost (µs).
-    pub fn get_item_features(
-        &self,
-        at: NodeId,
-        item_id: u64,
-    ) -> (Option<Vec<f64>>, AccessKind, f64) {
-        let home = self.home_of_item(item_id);
-        if self.replica_nodes_of_item(item_id).contains(&at) {
-            self.charge(at, AccessKind::Local);
-            return (
-                self.nodes[at].item_features.get(item_id),
-                AccessKind::Local,
-                self.config.local_read_us,
-            );
+    /// Health-aware read of an item's features from serving node `at`:
+    /// local replica → cache → fetch from the first live replica (which
+    /// populates the cache). A fetch answered by a non-primary replica —
+    /// or forced off the local replica by a fault — is a failover. When no
+    /// live replica can answer (and the cache is cold), the result is
+    /// `unavailable`.
+    pub fn read_item_features(&self, at: NodeId, item_id: u64) -> ClusterRead {
+        let spike = self.latency_spike_us();
+        let replicas = self.replica_nodes_of_item(item_id);
+        let at_is_replica = replicas.contains(&at);
+        if at_is_replica && self.node_health(at) == NodeHealth::Up && !self.inject_read_failure() {
+            let cost_us = self.charge(at, AccessKind::Local) + spike;
+            return ClusterRead {
+                value: self.nodes[at].item_features.get(item_id),
+                kind: AccessKind::Local,
+                cost_us,
+                failover: false,
+                unavailable: false,
+            };
         }
         // Try the serving node's cache.
         {
@@ -360,24 +752,66 @@ impl Cluster {
                 let value = hit.clone();
                 drop(cache);
                 self.nodes[at].cache_hits.inc();
-                self.charge(at, AccessKind::CacheHit);
-                return (Some(value), AccessKind::CacheHit, self.config.local_read_us);
+                let cost_us = self.charge(at, AccessKind::CacheHit) + spike;
+                return ClusterRead {
+                    value: Some(value),
+                    kind: AccessKind::CacheHit,
+                    cost_us,
+                    failover: false,
+                    unavailable: false,
+                };
             }
         }
         self.nodes[at].cache_misses.inc();
-        // Remote fetch from the home shard; populate the cache on success —
+        // Fetch from the first live replica; populate the cache on success —
         // but only if no publish invalidated the table mid-fetch, otherwise
         // a pre-publish value could be re-inserted into a freshly cleared
         // cache and served stale until the next publish.
-        self.charge(at, AccessKind::Remote);
-        let version_before = self.nodes[home].item_features.version();
-        let fetched = self.nodes[home].item_features.get(item_id);
-        if let Some(ref features) = fetched {
-            if self.nodes[home].item_features.version() == version_before {
-                self.nodes[at].item_cache.lock().unwrap().put(item_id, features.clone());
+        for (i, &node) in replicas.iter().enumerate() {
+            if self.node_health(node) != NodeHealth::Up || self.inject_read_failure() {
+                continue;
             }
+            // Reaching the fetch loop at all means a local replica failed
+            // (if `at` held one); a non-primary source is likewise a
+            // failover rather than ordinary remote locality traffic.
+            let kind =
+                if i > 0 || at_is_replica { AccessKind::Failover } else { AccessKind::Remote };
+            let cost_us = self.charge(at, kind) + spike;
+            let version_before = self.nodes[node].item_features.version();
+            let fetched = self.nodes[node].item_features.get(item_id);
+            if let Some(ref features) = fetched {
+                if self.nodes[node].item_features.version() == version_before {
+                    self.nodes[at].item_cache.lock().unwrap().put(item_id, features.clone());
+                }
+            }
+            return ClusterRead {
+                value: fetched,
+                kind,
+                cost_us,
+                failover: kind == AccessKind::Failover,
+                unavailable: false,
+            };
         }
-        (fetched, AccessKind::Remote, self.config.remote_read_us)
+        self.unavailable_reads.inc();
+        ClusterRead {
+            value: None,
+            kind: AccessKind::Remote,
+            cost_us: spike,
+            failover: false,
+            unavailable: true,
+        }
+    }
+
+    /// Reads an item's features from serving node `at`:
+    /// local replica → cache → remote fetch (which populates the cache).
+    /// Returns the features, the access kind, and the virtual cost (µs).
+    pub fn get_item_features(
+        &self,
+        at: NodeId,
+        item_id: u64,
+    ) -> (Option<Vec<f64>>, AccessKind, f64) {
+        let read = self.read_item_features(at, item_id);
+        (read.value, read.kind, read.cost_us)
     }
 
     /// Invalidates every node's item cache (manual cache flush).
@@ -396,18 +830,25 @@ impl Cluster {
                 requests_served: n.requests_served.get(),
                 local_reads: n.local_reads.get(),
                 remote_reads: n.remote_reads.get(),
+                failover_reads: n.failover_reads.get(),
                 cache: n.item_cache.lock().unwrap().stats(),
                 users_owned: n.user_weights.len(),
                 items_owned: n.item_features.len(),
+                health: health_of_u8(n.health.load(Ordering::Acquire)),
             })
             .collect();
         ClusterStats {
             nodes,
             virtual_read_us: self.virtual_read_nanos.load(Ordering::Relaxed) as f64 / 1000.0,
+            unavailable_reads: self.unavailable_reads.get(),
+            catch_up_entries: self.catch_up_entries.get(),
+            injected_read_failures: self.injected_read_failures.get(),
+            injected_latency_spikes: self.injected_latency_spikes.get(),
         }
     }
 
-    /// Resets all access counters (placements and cache contents stay).
+    /// Resets all access counters (placements, health states, and cache
+    /// contents stay).
     pub fn reset_stats(&self) {
         for n in &self.nodes {
             n.requests_served.reset();
@@ -415,9 +856,14 @@ impl Cluster {
             n.remote_reads.reset();
             n.cache_hits.reset();
             n.cache_misses.reset();
+            n.failover_reads.reset();
             n.item_cache.lock().unwrap().reset_stats();
         }
         self.virtual_read_nanos.store(0, Ordering::Relaxed);
+        self.unavailable_reads.reset();
+        self.catch_up_entries.reset();
+        self.injected_read_failures.reset();
+        self.injected_latency_spikes.reset();
     }
 
     /// Registers every node's counters with a metrics registry, labelled by
@@ -453,6 +899,11 @@ impl Cluster {
                 &labels,
                 Arc::clone(&node.cache_misses),
             );
+            registry.register_counter(
+                "velox_cluster_failover_reads_total",
+                &labels,
+                Arc::clone(&node.failover_reads),
+            );
             for ns in [&node.user_weights, &node.item_features] {
                 let table_labels: [(&str, &str); 2] = [("node", id.as_str()), ("table", ns.name())];
                 registry.register_counter(
@@ -467,6 +918,26 @@ impl Cluster {
                 );
             }
         }
+        registry.register_counter(
+            "velox_cluster_unavailable_reads_total",
+            &[],
+            Arc::clone(&self.unavailable_reads),
+        );
+        registry.register_counter(
+            "velox_cluster_catch_up_entries_total",
+            &[],
+            Arc::clone(&self.catch_up_entries),
+        );
+        registry.register_counter(
+            "velox_cluster_injected_read_failures_total",
+            &[],
+            Arc::clone(&self.injected_read_failures),
+        );
+        registry.register_counter(
+            "velox_cluster_injected_latency_spikes_total",
+            &[],
+            Arc::clone(&self.injected_latency_spikes),
+        );
     }
 }
 
@@ -695,5 +1166,160 @@ mod tests {
         let stats = c.stats();
         assert_eq!(stats.nodes.iter().map(|n| n.users_owned).sum::<usize>(), 1000);
         assert_eq!(stats.nodes.iter().map(|n| n.items_owned).sum::<usize>(), 500);
+    }
+
+    fn replicated_cluster(n: usize, r: usize) -> Cluster {
+        Cluster::new(ClusterConfig {
+            n_nodes: n,
+            user_replication: r,
+            item_replication: r,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn user_replication_fans_out_writes() {
+        let c = replicated_cluster(4, 2);
+        c.put_user_weights(3, vec![3.0]);
+        let replicas = c.replica_nodes_of_user(3);
+        assert_eq!(replicas.len(), 2);
+        for &node in &replicas {
+            assert_eq!(c.nodes[node].user_weights.get(3).unwrap(), vec![3.0]);
+        }
+        c.update_user_weights(replicas[0], 3, Vec::new, |w| w[0] = 9.0);
+        for &node in &replicas {
+            assert_eq!(c.nodes[node].user_weights.get(3).unwrap(), vec![9.0], "replica {node}");
+        }
+    }
+
+    #[test]
+    fn kill_node_wipes_state_and_marks_down() {
+        let c = replicated_cluster(4, 2);
+        for uid in 0..100u64 {
+            c.put_user_weights(uid, vec![uid as f64]);
+        }
+        c.kill_node(1);
+        assert_eq!(c.node_health(1), NodeHealth::Down);
+        assert_eq!(c.live_nodes(), 3);
+        assert_eq!(c.nodes[1].user_weights.len(), 0, "crash loses in-memory state");
+        let transitions = c.take_transitions();
+        assert_eq!(transitions.len(), 1);
+        assert_eq!(transitions[0].health, NodeHealth::Down);
+        assert!(!c.transitions_pending());
+    }
+
+    #[test]
+    fn failover_read_survives_single_node_loss() {
+        let c = replicated_cluster(4, 2);
+        for uid in 0..200u64 {
+            c.put_user_weights(uid, vec![uid as f64]);
+        }
+        c.kill_node(2);
+        for uid in 0..200u64 {
+            let at = c.route_request(uid);
+            assert_ne!(at, 2, "requests must not route to a dead node");
+            let read = c.read_user_weights(at, uid);
+            assert!(!read.unavailable, "replication 2 must survive one loss");
+            assert_eq!(read.value.unwrap(), vec![uid as f64]);
+            if c.home_of_user(uid) == 2 {
+                assert!(read.failover, "home dead → replica must have answered");
+            }
+        }
+        assert!(c.stats().failover_reads() > 0);
+    }
+
+    #[test]
+    fn unreplicated_read_is_unavailable_when_home_dies() {
+        let c = replicated_cluster(2, 1);
+        c.put_user_weights(7, vec![7.0]);
+        let home = c.home_of_user(7);
+        c.kill_node(home);
+        let read = c.read_user_weights(1 - home, 7);
+        assert!(read.unavailable);
+        assert!(read.value.is_none());
+        assert_eq!(c.stats().unavailable_reads, 1);
+    }
+
+    #[test]
+    fn recovery_catches_up_from_survivors() {
+        let c = replicated_cluster(4, 2);
+        for uid in 0..300u64 {
+            c.put_user_weights(uid, vec![uid as f64]);
+        }
+        for item in 0..100u64 {
+            c.put_item_features(item, vec![item as f64]);
+        }
+        c.kill_node(0);
+        let caught_up = c.recover_node(0);
+        assert!(caught_up > 0, "node 0 must re-populate from surviving replicas");
+        assert_eq!(c.node_health(0), NodeHealth::Up);
+        assert_eq!(c.stats().catch_up_entries, caught_up);
+        // Every user whose replica set includes node 0 is back.
+        for uid in 0..300u64 {
+            if c.replica_nodes_of_user(uid).contains(&0) {
+                assert_eq!(c.nodes[0].user_weights.get(uid).unwrap(), vec![uid as f64]);
+            }
+        }
+        // Recovery journals Recovering → Up with the catch-up count.
+        let transitions = c.take_transitions();
+        let last = transitions.last().unwrap();
+        assert_eq!(last.health, NodeHealth::Up);
+        assert_eq!(last.caught_up, caught_up);
+        // Idempotent: recovering an Up node is a no-op.
+        assert_eq!(c.recover_node(0), 0);
+    }
+
+    #[test]
+    fn scheduled_faults_fire_on_the_request_clock() {
+        let c = replicated_cluster(4, 2);
+        for uid in 0..50u64 {
+            c.put_user_weights(uid, vec![1.0]);
+        }
+        c.install_fault_plan(FaultPlan::scripted(vec![
+            crate::fault::FaultEvent { at_request: 10, node: 1, action: FaultAction::Kill },
+            crate::fault::FaultEvent { at_request: 30, node: 1, action: FaultAction::Recover },
+        ]));
+        for i in 0..9u64 {
+            c.route_request(i);
+        }
+        assert_eq!(c.live_nodes(), 4, "kill not due yet");
+        c.route_request(9);
+        assert_eq!(c.live_nodes(), 3, "kill fires at request 10");
+        for i in 10..29u64 {
+            c.route_request(i);
+        }
+        assert_eq!(c.live_nodes(), 3);
+        c.route_request(29);
+        assert_eq!(c.live_nodes(), 4, "recover fires at request 30");
+        assert_eq!(c.request_clock(), 30);
+    }
+
+    #[test]
+    fn injected_read_failures_force_failover_deterministically() {
+        let run = |seed: u64| {
+            let c = replicated_cluster(4, 2);
+            for uid in 0..100u64 {
+                c.put_user_weights(uid, vec![1.0]);
+            }
+            c.install_fault_plan(FaultPlan {
+                read_failure_prob: 0.3,
+                latency_spike_prob: 0.2,
+                seed,
+                ..Default::default()
+            });
+            for uid in 0..100u64 {
+                let at = c.route_request(uid);
+                let _ = c.read_user_weights(at, uid);
+            }
+            let s = c.stats();
+            (s.injected_read_failures, s.injected_latency_spikes, s.failover_reads())
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b, "same seed → identical fault noise");
+        assert!(a.0 > 0, "some reads must have been failed");
+        assert!(a.1 > 0, "some spikes must have fired");
+        let c = run(43);
+        assert_ne!(a, c, "different seed → different noise");
     }
 }

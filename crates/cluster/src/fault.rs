@@ -1,0 +1,136 @@
+//! Fault injection: health states, kill/recover schedules, and noise.
+//!
+//! Real clusters lose nodes; the paper's answer (§3, §8) is uid-hash
+//! partitioning *plus replication* so a lost node degrades locality, not
+//! availability. This module supplies the deterministic adversary for
+//! exercising that claim: a [`FaultPlan`] scripts per-node kill/recover
+//! points against the cluster's request clock and layers probabilistic
+//! transient read failures and latency spikes on top, all driven by a
+//! seeded RNG so every chaos run is reproducible.
+
+use crate::partition::NodeId;
+
+/// Health of a simulated node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeHealth {
+    /// Serving normally.
+    Up,
+    /// Back from the dead, re-populating its shards from surviving
+    /// replicas; not yet serving reads.
+    Recovering,
+    /// Dead: shards wiped, unreachable for reads and writes.
+    Down,
+}
+
+impl NodeHealth {
+    /// Stable snake_case label (for metrics and logs).
+    pub fn label(&self) -> &'static str {
+        match self {
+            NodeHealth::Up => "up",
+            NodeHealth::Recovering => "recovering",
+            NodeHealth::Down => "down",
+        }
+    }
+}
+
+/// What a scheduled fault event does to its node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Crash the node: wipe its shards and caches, mark it `Down`.
+    Kill,
+    /// Bring the node back: re-populate from surviving replicas.
+    Recover,
+}
+
+/// One scheduled fault: when the cluster's request clock reaches
+/// `at_request`, apply `action` to `node`.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultEvent {
+    /// Request-clock tick (1-based count of routed requests) at which the
+    /// event fires.
+    pub at_request: u64,
+    /// Target node.
+    pub node: NodeId,
+    /// Kill or recover.
+    pub action: FaultAction,
+}
+
+/// A deterministic fault-injection plan.
+///
+/// Scheduled kill/recover events fire against the cluster's request clock
+/// (advanced by every routed request), so a plan replays identically for
+/// identical workloads. The probabilistic knobs model grey failures:
+/// `read_failure_prob` makes a live node transiently unreachable for one
+/// shard read (forcing a failover), and `latency_spike_prob` /
+/// `latency_spike_us` add tail latency to reads without failing them.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Scheduled kill/recover events (any order; the cluster sorts them).
+    pub events: Vec<FaultEvent>,
+    /// Probability that any single shard read at a live node transiently
+    /// fails (0 disables).
+    pub read_failure_prob: f64,
+    /// Probability that a read picks up a latency spike (0 disables).
+    pub latency_spike_prob: f64,
+    /// Extra virtual microseconds added by one latency spike.
+    pub latency_spike_us: f64,
+    /// Seed for the plan's RNG (transient failures and spikes).
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            events: Vec::new(),
+            read_failure_prob: 0.0,
+            latency_spike_prob: 0.0,
+            latency_spike_us: 5_000.0,
+            seed: 0xFA_17,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan with only scripted kill/recover events (no random noise).
+    pub fn scripted(events: Vec<FaultEvent>) -> Self {
+        FaultPlan { events, ..Default::default() }
+    }
+}
+
+/// One health transition the cluster went through, journaled for the
+/// serving layer to turn into lifecycle events (the cluster crate does not
+/// depend on any particular registry).
+#[derive(Debug, Clone, Copy)]
+pub struct HealthTransition {
+    /// The node that changed state.
+    pub node: NodeId,
+    /// The state it entered.
+    pub health: NodeHealth,
+    /// Entries re-populated from surviving replicas (set on transitions to
+    /// `Up` that completed a recovery; 0 otherwise).
+    pub caught_up: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(NodeHealth::Up.label(), "up");
+        assert_eq!(NodeHealth::Recovering.label(), "recovering");
+        assert_eq!(NodeHealth::Down.label(), "down");
+    }
+
+    #[test]
+    fn scripted_plan_has_no_noise() {
+        let plan = FaultPlan::scripted(vec![FaultEvent {
+            at_request: 10,
+            node: 1,
+            action: FaultAction::Kill,
+        }]);
+        assert_eq!(plan.events.len(), 1);
+        assert_eq!(plan.read_failure_prob, 0.0);
+        assert_eq!(plan.latency_spike_prob, 0.0);
+    }
+}

@@ -21,11 +21,19 @@
 //! (microseconds per local/remote read) and full access accounting. The
 //! ABL-PART and ABL-CACHE experiments, and the serving path of `velox-core`,
 //! run on top of this.
+//!
+//! The [`fault`] module adds the adversary: deterministic node
+//! kill/recover schedules, transient read failures, and latency spikes,
+//! with replica failover and recovery catch-up in the cluster itself — the
+//! substrate for the CHAOS-AVAIL experiment and `velox-core`'s graceful
+//! degradation ladder.
 
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod fault;
 pub mod partition;
 
-pub use cluster::{AccessKind, Cluster, ClusterConfig, ClusterStats, NodeStats};
+pub use cluster::{AccessKind, Cluster, ClusterConfig, ClusterRead, ClusterStats, NodeStats};
+pub use fault::{FaultAction, FaultEvent, FaultPlan, HealthTransition, NodeHealth};
 pub use partition::{HashPartitioner, NodeId, RoutingPolicy};

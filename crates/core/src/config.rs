@@ -46,6 +46,15 @@ pub struct VeloxConfig {
     pub validation_capacity: usize,
     /// Simulated-cluster topology and cost model.
     pub cluster: ClusterConfig,
+    /// Capacity of the stale-weight cache backing graceful degradation:
+    /// last-known-good `wᵤ` copies served (flagged stale) when every live
+    /// replica of a user is gone.
+    pub stale_weight_cache_capacity: usize,
+    /// Bounded redo queue for observations that arrive while a user's
+    /// partition is unreachable; drained into the online state on recovery.
+    /// When full, further observations during the outage are shed (and
+    /// counted) rather than growing memory without bound.
+    pub redo_queue_capacity: usize,
     /// Worker threads for offline (re)training jobs.
     pub training_workers: usize,
     /// Deterministic seed for serving-side randomness (bandits, validation).
@@ -67,6 +76,8 @@ impl Default for VeloxConfig {
             validation_fraction: 0.0,
             validation_capacity: 4096,
             cluster: ClusterConfig::default(),
+            stale_weight_cache_capacity: 16 * 1024,
+            redo_queue_capacity: 1024,
             training_workers: 4,
             seed: 0xC1D1,
         }

@@ -24,6 +24,10 @@ pub enum VeloxError {
     /// An offline retrain is already running; the request was rejected
     /// rather than queued.
     RetrainInProgress,
+    /// The request could not be served — or an observation could not even
+    /// be buffered — because every replica of the needed partition is
+    /// unreachable and no degraded fallback applied.
+    Unavailable(String),
 }
 
 impl std::fmt::Display for VeloxError {
@@ -37,6 +41,7 @@ impl std::fmt::Display for VeloxError {
             VeloxError::VersionNotFound(v) => write!(f, "model version {v} not retained"),
             VeloxError::RetrainFailed(why) => write!(f, "offline retraining failed: {why}"),
             VeloxError::RetrainInProgress => write!(f, "an offline retrain is already in flight"),
+            VeloxError::Unavailable(why) => write!(f, "temporarily unavailable: {why}"),
         }
     }
 }

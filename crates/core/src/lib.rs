@@ -41,7 +41,10 @@ pub use ensemble::{EnsemblePrediction, EnsembleSelector, WeightScope};
 pub use error::VeloxError;
 pub use persistence::DeploymentSnapshot;
 pub use server::VeloxServer;
-pub use velox::{ObserveOutcome, PredictResponse, SystemStats, TopKResponse, Velox};
+pub use velox::{
+    DegradationCounts, DegradationLevel, ObserveOutcome, PredictResponse, RedoQueueStats,
+    SystemStats, TopKResponse, Velox,
+};
 
 // Re-export the trait and common types users need to deploy models, so
 // downstream code can depend on velox-core alone.

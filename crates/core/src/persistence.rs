@@ -74,6 +74,11 @@ impl Velox {
             .into_iter()
             .map(|(uid, w)| (uid, Vector::from_vec(w)))
             .collect();
+        // The item table is the caller's input to the model constructor,
+        // but a snapshot is restored as a unit: validate the blob here so
+        // a torn or corrupted snapshot is rejected atomically instead of
+        // producing a deployment that fails later.
+        let _ = decode_vector_table(snapshot.item_table.clone())?;
         let velox = Velox::deploy(model, weights, config);
         velox.force_version(snapshot.model_version);
         for (item, attrs) in decode_vector_table(snapshot.catalog.clone())? {
@@ -180,6 +185,65 @@ mod tests {
             Velox::restore(Arc::new(model), &snap, VeloxConfig::single_node()),
             Err(VeloxError::Storage(_))
         ));
+    }
+
+    /// Restoring with `model` against `snap` must produce a clean error —
+    /// never a panic, never a silently-partial deployment.
+    fn assert_restore_rejects(snap: &DeploymentSnapshot, what: &str) {
+        let model = IdentityModel::new("x", 2, 0.5);
+        match Velox::restore(Arc::new(model), snap, VeloxConfig::single_node()) {
+            Err(_) => {}
+            Ok(_) => panic!("restore accepted a damaged snapshot: {what}"),
+        }
+    }
+
+    /// Crash consistency: a snapshot torn at *any* byte boundary, or with
+    /// targeted corruption (bad magic, bad tag, inflated count), is
+    /// rejected with a `VeloxError` for every one of the three blobs.
+    #[test]
+    fn restore_survives_torn_and_corrupt_snapshots() {
+        let original = mf_deployment();
+        original.observe(3, &Item::Id(5), 2.0).unwrap();
+        let snap = original.snapshot();
+
+        let blobs: [(&str, &Bytes); 3] = [
+            ("user_weights", &snap.user_weights),
+            ("item_table", &snap.item_table),
+            ("catalog", &snap.catalog),
+        ];
+        for (name, blob) in blobs {
+            // Truncation at every cut point simulates a crash mid-write.
+            for cut in 0..blob.len() {
+                let mut torn = snap.clone();
+                let truncated = blob.slice(0..cut);
+                match name {
+                    "user_weights" => torn.user_weights = truncated,
+                    "item_table" => torn.item_table = truncated,
+                    _ => torn.catalog = truncated,
+                }
+                assert_restore_rejects(&torn, &format!("{name} truncated at {cut}"));
+            }
+
+            // Targeted corruption: flip the magic, the tag byte, and
+            // inflate the element count past the data that follows.
+            let corruptions: [(&str, usize, u8); 3] =
+                [("magic", 0, 0xFF), ("tag", 4, 0xEE), ("count", 5, 0xFF)];
+            for (kind, offset, value) in corruptions {
+                let mut bytes = blob.as_slice().to_vec();
+                if offset >= bytes.len() {
+                    continue;
+                }
+                bytes[offset] = value;
+                let mut corrupt = snap.clone();
+                let damaged = Bytes::from(bytes);
+                match name {
+                    "user_weights" => corrupt.user_weights = damaged,
+                    "item_table" => corrupt.item_table = damaged,
+                    _ => corrupt.catalog = damaged,
+                }
+                assert_restore_rejects(&corrupt, &format!("{name} with corrupt {kind}"));
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The deployed Velox system: predictor + manager for one model lineage.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::{Mutex, RwLock};
@@ -10,7 +10,7 @@ use velox_bandit::{
     ValidationPool,
 };
 use velox_batch::JobExecutor;
-use velox_cluster::{Cluster, ClusterStats};
+use velox_cluster::{Cluster, ClusterStats, FaultPlan, NodeHealth};
 use velox_linalg::Vector;
 use velox_models::{Item, ModelError, TrainingExample, VeloxModel};
 use velox_obs::{Counter, EventKind, Histogram, Registry, SpanTimer, Timer};
@@ -23,6 +23,83 @@ use crate::bootstrap::BootstrapState;
 use crate::config::{BanditChoice, VeloxConfig};
 use crate::error::VeloxError;
 use crate::sharded_cache::ShardedCache;
+
+/// How gracefully degraded a serving answer was (§3's fault-tolerance
+/// story: replication keeps answers flowing when nodes die, at decreasing
+/// fidelity).
+///
+/// The levels form a ladder: the serving path walks down it until
+/// something can answer, so a request only errors when even the bootstrap
+/// prior is unusable (it never is — `Bootstrap` always answers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradationLevel {
+    /// The user's primary partition answered — normal operation.
+    Full,
+    /// The primary was unreachable; a surviving replica answered with
+    /// up-to-date weights.
+    Replica,
+    /// No live replica held the user; a last-known-good cached copy of
+    /// their weights answered (may miss recent online updates).
+    StaleCache,
+    /// Nothing user-specific survived; the bootstrap (population-mean)
+    /// model answered.
+    Bootstrap,
+}
+
+impl DegradationLevel {
+    /// Stable snake_case label (metric `level` label values).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DegradationLevel::Full => "full",
+            DegradationLevel::Replica => "replica",
+            DegradationLevel::StaleCache => "stale_cache",
+            DegradationLevel::Bootstrap => "bootstrap",
+        }
+    }
+
+    fn index(&self) -> usize {
+        match self {
+            DegradationLevel::Full => 0,
+            DegradationLevel::Replica => 1,
+            DegradationLevel::StaleCache => 2,
+            DegradationLevel::Bootstrap => 3,
+        }
+    }
+}
+
+/// Per-level counts of served requests (each predict/topK counts exactly
+/// once, under the level it was served at).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradationCounts {
+    /// Requests served at full fidelity.
+    pub full: u64,
+    /// Requests served by a surviving replica.
+    pub replica: u64,
+    /// Requests served from the stale-weight cache.
+    pub stale_cache: u64,
+    /// Requests served by the bootstrap prior during an outage.
+    pub bootstrap: u64,
+}
+
+impl DegradationCounts {
+    /// Total requests counted across all levels.
+    pub fn total(&self) -> u64 {
+        self.full + self.replica + self.stale_cache + self.bootstrap
+    }
+}
+
+/// State of the observe redo queue (outage buffering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RedoQueueStats {
+    /// Observations buffered because no live replica could take the write.
+    pub buffered: u64,
+    /// Buffered observations successfully re-applied after recovery.
+    pub drained: u64,
+    /// Observations shed because the queue was full during the outage.
+    pub shed: u64,
+    /// Observations currently waiting in the queue.
+    pub pending: usize,
+}
 
 /// Response of a point prediction.
 #[derive(Debug, Clone)]
@@ -38,6 +115,8 @@ pub struct PredictResponse {
     /// the cluster's cost model; excludes CPU time, which the caller
     /// measures in wall-clock).
     pub virtual_cost_us: f64,
+    /// How degraded this answer was (`Full` in normal operation).
+    pub degradation: DegradationLevel,
 }
 
 /// Response of a `topK` evaluation.
@@ -55,6 +134,8 @@ pub struct TopKResponse {
     pub cached_fraction: f64,
     /// Virtual serving cost in microseconds.
     pub virtual_cost_us: f64,
+    /// How degraded this answer was (`Full` in normal operation).
+    pub degradation: DegradationLevel,
 }
 
 /// Outcome of an `observe` call.
@@ -71,6 +152,10 @@ pub struct ObserveOutcome {
     pub stale: bool,
     /// Whether this observation triggered an automatic offline retrain.
     pub retrained: bool,
+    /// Whether the online update was deferred into the redo queue because
+    /// the user's partition is unreachable (`predicted_before`/`loss` are
+    /// NaN in that case — there was no model to predict with).
+    pub deferred: bool,
 }
 
 /// A snapshot of system-wide observability counters.
@@ -98,6 +183,11 @@ pub struct SystemStats {
     pub validation_decisions: (u64, u64),
     /// Whether the staleness detector currently flags the model.
     pub stale: bool,
+    /// Per-degradation-level serve counts (reconciles with request counts:
+    /// every non-cache-bypassing predict/topK lands in exactly one level).
+    pub degraded: DegradationCounts,
+    /// Redo-queue counters (outage observation buffering).
+    pub redo: RedoQueueStats,
 }
 
 /// Cache key: `(uid, item_id, user weight version, model version)` — version
@@ -134,6 +224,13 @@ pub struct Velox {
     prediction_cache: ShardedCache<PredKey, f64>,
     /// Computed-feature cache keyed by `(item_id, model_version)`.
     feature_cache: ShardedCache<(u64, u64), Vector>,
+    /// Last-known-good user weights, written through on every weight write
+    /// and served (flagged `StaleCache`) when every live replica is gone.
+    stale_weights: ShardedCache<u64, Vector>,
+    /// Observations buffered while their user's partition is unreachable,
+    /// drained into the online state when a node recovers. Bounded by
+    /// `redo_queue_capacity`; overflow is shed and counted.
+    redo_queue: Mutex<VecDeque<TrainingExample>>,
     bootstrap: BootstrapState,
     error_tracker: Mutex<PerUserErrorTracker>,
     staleness: Mutex<StalenessDetector>,
@@ -156,6 +253,12 @@ pub struct Velox {
     feat_cache_misses: Arc<Counter>,
     observations_total: Arc<Counter>,
     retrains: Arc<Counter>,
+    /// Per-degradation-level serve counters, indexed by
+    /// `DegradationLevel::index()`.
+    degraded: [Arc<Counter>; 4],
+    redo_buffered: Arc<Counter>,
+    redo_drained: Arc<Counter>,
+    redo_shed: Arc<Counter>,
     /// Guards against concurrent offline retrains (sync or async).
     retrain_in_flight: AtomicBool,
     /// Swap gate: observe/ingest write-backs hold it shared; a version
@@ -206,6 +309,16 @@ impl Velox {
         let feat_cache_misses = registry.counter("velox_feature_cache_misses_total");
         let observations_total = registry.counter("velox_observations_total");
         let retrains = registry.counter("velox_retrains_total");
+        let degraded = [
+            DegradationLevel::Full,
+            DegradationLevel::Replica,
+            DegradationLevel::StaleCache,
+            DegradationLevel::Bootstrap,
+        ]
+        .map(|l| registry.counter_with("velox_degraded_requests_total", &[("level", l.label())]));
+        let redo_buffered = registry.counter("velox_redo_buffered_total");
+        let redo_drained = registry.counter("velox_redo_drained_total");
+        let redo_shed = registry.counter("velox_redo_shed_total");
         cluster.register_metrics(&registry);
 
         let velox = Velox {
@@ -219,6 +332,8 @@ impl Velox {
             training_log: Mutex::new(Vec::new()),
             prediction_cache: ShardedCache::new(config.prediction_cache_capacity),
             feature_cache: ShardedCache::new(config.feature_cache_capacity),
+            stale_weights: ShardedCache::new(config.stale_weight_cache_capacity),
+            redo_queue: Mutex::new(VecDeque::new()),
             bootstrap: BootstrapState::new(model.dim()),
             error_tracker: Mutex::new(PerUserErrorTracker::new()),
             staleness: Mutex::new(StalenessDetector::new(
@@ -248,6 +363,10 @@ impl Velox {
             feat_cache_misses,
             observations_total,
             retrains,
+            degraded,
+            redo_buffered,
+            redo_drained,
+            redo_shed,
             cluster,
             config,
         };
@@ -290,6 +409,7 @@ impl Velox {
         // serving never pays the online-learning memory cost.
         for (&uid, w) in weights {
             self.cluster.put_user_weights(uid, w.as_slice().to_vec());
+            self.stale_weights.put(uid, w.clone());
             self.bootstrap.contribute(uid, w);
         }
     }
@@ -310,7 +430,9 @@ impl Velox {
         }
         let prior = match self.cluster.peek_user_weights(uid) {
             Some(w) => Vector::from_vec(w),
-            None => self.bootstrap.mean_weights(),
+            // A dead partition may have taken the serving copy with it; the
+            // stale cache is a better prior than the population mean.
+            None => self.stale_weights.get(&uid).unwrap_or_else(|| self.bootstrap.mean_weights()),
         };
         let fresh = Arc::new(Mutex::new(UserOnlineModel::from_prior(
             &prior,
@@ -381,9 +503,14 @@ impl Velox {
             // per-node hot-item caches.
             match item {
                 Item::Id(id) => {
-                    let (features, _kind, cost) = self.cluster.get_item_features(at_node, *id);
-                    let features = features.ok_or(ModelError::UnknownItem(*id))?;
-                    Ok((Vector::from_vec(features), cost))
+                    let read = self.cluster.read_item_features(at_node, *id);
+                    if read.unavailable {
+                        return Err(VeloxError::Unavailable(format!(
+                            "item {id}: no live replica of its feature partition"
+                        )));
+                    }
+                    let features = read.value.ok_or(ModelError::UnknownItem(*id))?;
+                    Ok((Vector::from_vec(features), read.cost_us))
                 }
                 Item::Raw(_) => {
                     Err(ModelError::WrongItemKind { expected: "catalog item id" }.into())
@@ -409,21 +536,46 @@ impl Velox {
         }
     }
 
-    /// Reads the user's serving weights at a node; falls back to the
-    /// bootstrap mean for unknown users. Returns
-    /// `(weights, bootstrapped, cost µs)`.
-    fn serving_weights(&self, at_node: usize, uid: u64) -> (Vector, bool, f64) {
-        let (w, _kind, cost) = self.cluster.get_user_weights(at_node, uid);
-        match w {
-            Some(w) => (Vector::from_vec(w), false, cost),
-            None => (self.bootstrap.mean_weights(), true, cost),
+    /// Reads the user's serving weights at a node, walking the degradation
+    /// ladder: live replica → stale cached copy → bootstrap mean. Falls
+    /// back to the bootstrap mean for unknown users even at full health.
+    /// Returns `(weights, bootstrapped, cost µs, degradation level)`.
+    fn serving_weights(&self, at_node: usize, uid: u64) -> (Vector, bool, f64, DegradationLevel) {
+        let read = self.cluster.read_user_weights(at_node, uid);
+        if !read.unavailable {
+            let level =
+                if read.failover { DegradationLevel::Replica } else { DegradationLevel::Full };
+            return match read.value {
+                Some(w) => (Vector::from_vec(w), false, read.cost_us, level),
+                None => (self.bootstrap.mean_weights(), true, read.cost_us, level),
+            };
         }
+        match self.stale_weights.get(&uid) {
+            Some(w) => (w, false, read.cost_us, DegradationLevel::StaleCache),
+            None => {
+                (self.bootstrap.mean_weights(), true, read.cost_us, DegradationLevel::Bootstrap)
+            }
+        }
+    }
+
+    /// Counts one served request at its degradation level.
+    fn note_degradation(&self, level: DegradationLevel) {
+        self.degraded[level.index()].inc();
+    }
+
+    /// Whether a score computed at `level` may enter the prediction cache.
+    /// Degraded scores must not outlive the outage: a stale- or
+    /// bootstrap-served score would otherwise keep being served at full
+    /// apparent fidelity after the partition comes back.
+    fn cacheable(level: DegradationLevel) -> bool {
+        matches!(level, DegradationLevel::Full | DegradationLevel::Replica)
     }
 
     /// Point prediction for `(uid, item)` — Listing 1's `predict`.
     pub fn predict(&self, uid: u64, item: &Item) -> Result<PredictResponse, VeloxError> {
         let _span = SpanTimer::new(&self.predict_latency);
         let node = self.cluster.route_request(uid);
+        self.publish_fault_transitions();
         let model_version = self.model_version();
         let user_version = self.user_versions.get(uid).unwrap_or(0);
 
@@ -434,27 +586,38 @@ impl Velox {
         if let Some(k) = key {
             if let Some(score) = self.prediction_cache.get(&k) {
                 self.pred_cache_hits.inc();
+                // Only full/replica-fidelity scores enter the cache, so a
+                // hit is by construction a full-fidelity answer.
+                self.note_degradation(DegradationLevel::Full);
                 return Ok(PredictResponse {
                     score,
                     cached: true,
                     bootstrapped: false,
                     virtual_cost_us: 0.0,
+                    degradation: DegradationLevel::Full,
                 });
             }
         }
 
         self.pred_cache_misses.inc();
         let model = Arc::clone(&*self.model.read().unwrap());
-        let (weights, bootstrapped, w_cost) = self.serving_weights(node, uid);
+        let (weights, bootstrapped, w_cost, level) = self.serving_weights(node, uid);
         let (features, f_cost) = self.features_for(&model, model_version, node, item)?;
         let score = weights.dot(&features)?;
         // Bootstrapped scores are served from the *population mean*, which
         // moves whenever any user's weights change — state the cache key
-        // cannot see. Never cache them.
-        if let (Some(k), false) = (key, bootstrapped) {
+        // cannot see. Never cache them; likewise degraded scores.
+        if let (Some(k), false, true) = (key, bootstrapped, Self::cacheable(level)) {
             self.prediction_cache.put(k, score);
         }
-        Ok(PredictResponse { score, cached: false, bootstrapped, virtual_cost_us: w_cost + f_cost })
+        self.note_degradation(level);
+        Ok(PredictResponse {
+            score,
+            cached: false,
+            bootstrapped,
+            virtual_cost_us: w_cost + f_cost,
+            degradation: level,
+        })
     }
 
     /// Evaluates a candidate set for a user and picks the item to serve —
@@ -466,12 +629,13 @@ impl Velox {
         }
         let _span = SpanTimer::new(&self.top_k_latency);
         let node = self.cluster.route_request(uid);
+        self.publish_fault_transitions();
         let model_version = self.model_version();
         let user_version = self.user_versions.get(uid).unwrap_or(0);
         let model = Arc::clone(&*self.model.read().unwrap());
 
         // Read the user's weights once for the whole candidate set.
-        let (weights, bootstrapped, w_cost) = self.serving_weights(node, uid);
+        let (weights, bootstrapped, w_cost, level) = self.serving_weights(node, uid);
         let mut virtual_cost = w_cost;
         let mut cached = 0usize;
 
@@ -497,9 +661,9 @@ impl Velox {
                         self.features_for(&model, model_version, node, item)?;
                     virtual_cost += f_cost;
                     let score = weights.dot(&features)?;
-                    // Same rule as `predict`: bootstrap-mean scores are
-                    // uncacheable (the mean moves with any user's update).
-                    if let (Some(k), false) = (key, bootstrapped) {
+                    // Same rule as `predict`: bootstrap-mean and degraded
+                    // scores are uncacheable.
+                    if let (Some(k), false, true) = (key, bootstrapped, Self::cacheable(level)) {
                         self.prediction_cache.put(k, score);
                     }
                     (score, Some(features))
@@ -530,12 +694,14 @@ impl Velox {
                 None => (self.bandit.lock().unwrap().select(&candidates), false),
             };
 
+        self.note_degradation(level);
         Ok(TopKResponse {
             ranked,
             served,
             randomized,
             cached_fraction: cached as f64 / items.len() as f64,
             virtual_cost_us: virtual_cost,
+            degradation: level,
         })
     }
 
@@ -545,6 +711,14 @@ impl Velox {
     pub fn observe(&self, uid: u64, item: &Item, y: f64) -> Result<ObserveOutcome, VeloxError> {
         let _span = SpanTimer::new(&self.observe_latency);
         let node = self.cluster.route_request(uid);
+        self.publish_fault_transitions();
+
+        // Every replica of the user's weights is dead: there is no online
+        // state to update against and nowhere to write the result. Buffer
+        // the observation for redo on recovery instead of erroring.
+        if self.cluster.live_user_replicas(uid).is_empty() {
+            return self.defer_observation(uid, item, y);
+        }
 
         // The whole read-model → update-state → write-back → log sequence
         // runs under the swap gate (shared), so a concurrent retrain's
@@ -553,48 +727,67 @@ impl Velox {
         // overwrite a user's freshly retrained weights in the new table,
         // and the observation could miss both the batch snapshot and the
         // post-swap replay.
-        let (predicted_before, trained, loss) = {
+        let gated: Option<(f64, bool, f64)> = {
             let _gate = self.swap_gate.read().unwrap();
             let model_version = self.model_version();
             let model = Arc::clone(&*self.model.read().unwrap());
-            let (features, _f_cost) = self.features_for(&model, model_version, node, item)?;
+            // An unreachable item partition also defers: the update needs
+            // f(x, θ). (The gate is released before deferring — the redo
+            // path takes it itself.)
+            match self.features_for(&model, model_version, node, item) {
+                Err(VeloxError::Unavailable(_)) => None,
+                Err(e) => return Err(e),
+                Ok((features, _f_cost)) => {
+                    // Get or create the user's online state (bootstrap prior
+                    // for new users — §5's mean-weight heuristic).
+                    let state_arc = self.user_state_arc(uid);
 
-            // Get or create the user's online state (bootstrap prior for
-            // new users — §5's mean-weight heuristic).
-            let state_arc = self.user_state_arc(uid);
+                    // Prequential evaluation: predict before updating.
+                    let (predicted_before, trained, loss, new_weights) = {
+                        let mut state = state_arc.lock().unwrap();
+                        let predicted_before = state.predict(&features)?;
+                        let loss = model.loss(y, predicted_before, item, uid);
+                        let trained = self.prequential.lock().unwrap().record(loss);
+                        if trained {
+                            let update_timer = Timer::start();
+                            state.observe(&features, y)?;
+                            update_timer.observe(&self.online_update_latency);
+                        }
+                        (predicted_before, trained, loss, state.weights().clone())
+                    };
 
-            // Prequential evaluation: predict before updating.
-            let (predicted_before, trained, loss, new_weights) = {
-                let mut state = state_arc.lock().unwrap();
-                let predicted_before = state.predict(&features)?;
-                let loss = model.loss(y, predicted_before, item, uid);
-                let trained = self.prequential.lock().unwrap().record(loss);
-                if trained {
-                    let update_timer = Timer::start();
-                    state.observe(&features, y)?;
-                    update_timer.observe(&self.online_update_latency);
+                    if trained {
+                        // Push the updated weights to every live replica (a
+                        // local write at the home shard under ByUser routing)
+                        // and bump the cache version. A `None` here means the
+                        // last replica died mid-observation; the online state
+                        // already holds the update and writes through on the
+                        // next trained observe, so only the serving copy lags.
+                        let _ = self.cluster.try_update_user_weights(node, uid, Vec::new, |w| {
+                            *w = new_weights.as_slice().to_vec()
+                        });
+                        self.user_versions.update_with(uid, || 0, |v| *v += 1);
+                        self.bootstrap.contribute(uid, &new_weights);
+                        self.stale_weights.put(uid, new_weights.clone());
+                    }
+
+                    // Durable observation log (catalog items) + training log
+                    // (all).
+                    if let Some(id) = item.id() {
+                        self.obslog.append(uid, id, y);
+                        self.observations_total.inc();
+                    }
+                    self.training_log.lock().unwrap().push(TrainingExample {
+                        uid,
+                        item: item.clone(),
+                        y,
+                    });
+                    Some((predicted_before, trained, loss))
                 }
-                (predicted_before, trained, loss, state.weights().clone())
-            };
-
-            if trained {
-                // Push the updated weights to the user's home shard (a
-                // local write under ByUser routing) and bump the cache
-                // version.
-                self.cluster.update_user_weights(node, uid, Vec::new, |w| {
-                    *w = new_weights.as_slice().to_vec()
-                });
-                self.user_versions.update_with(uid, || 0, |v| *v += 1);
-                self.bootstrap.contribute(uid, &new_weights);
             }
-
-            // Durable observation log (catalog items) + training log (all).
-            if let Some(id) = item.id() {
-                self.obslog.append(uid, id, y);
-                self.observations_total.inc();
-            }
-            self.training_log.lock().unwrap().push(TrainingExample { uid, item: item.clone(), y });
-            (predicted_before, trained, loss)
+        };
+        let Some((predicted_before, trained, loss)) = gated else {
+            return self.defer_observation(uid, item, y);
         };
 
         // Quality tracking and staleness (gate released: the auto-retrain
@@ -623,7 +816,132 @@ impl Velox {
             trained,
             stale: self.is_stale() && !retrained,
             retrained,
+            deferred: false,
         })
+    }
+
+    /// Buffers an observation that cannot be applied right now (its user's
+    /// partition — or the item's — is unreachable) into the bounded redo
+    /// queue, logging it durably so offline retrains still see it. Sheds
+    /// (with an error and a counter) when the queue is full.
+    fn defer_observation(
+        &self,
+        uid: u64,
+        item: &Item,
+        y: f64,
+    ) -> Result<ObserveOutcome, VeloxError> {
+        {
+            let mut queue = self.redo_queue.lock().unwrap();
+            if queue.len() >= self.config.redo_queue_capacity {
+                self.redo_shed.inc();
+                return Err(VeloxError::Unavailable("redo queue full; observation shed".into()));
+            }
+            queue.push_back(TrainingExample { uid, item: item.clone(), y });
+        }
+        self.redo_buffered.inc();
+        // The observation is still real feedback: it enters the durable
+        // logs now (under the swap gate, like any other observation) even
+        // though its online update waits for recovery. The redo drain
+        // applies state only — it never re-logs — so each observation is
+        // logged exactly once and applied exactly once.
+        {
+            let _gate = self.swap_gate.read().unwrap();
+            if let Some(id) = item.id() {
+                self.obslog.append(uid, id, y);
+                self.observations_total.inc();
+            }
+            self.training_log.lock().unwrap().push(TrainingExample { uid, item: item.clone(), y });
+        }
+        Ok(ObserveOutcome {
+            predicted_before: f64::NAN,
+            loss: f64::NAN,
+            trained: false,
+            stale: self.is_stale(),
+            retrained: false,
+            deferred: true,
+        })
+    }
+
+    /// Re-applies every buffered observation to the online state and the
+    /// serving tables. Called automatically when a node recovery is
+    /// published; callable directly for manual recovery drills. Returns
+    /// how many observations were applied. On failure (e.g. the item
+    /// partition is still unreachable) the batch is pushed back intact and
+    /// retried on the next recovery.
+    pub fn drain_redo_queue(&self) -> Result<u64, VeloxError> {
+        let pending: Vec<TrainingExample> = {
+            let mut queue = self.redo_queue.lock().unwrap();
+            queue.drain(..).collect()
+        };
+        if pending.is_empty() {
+            return Ok(0);
+        }
+        match self.apply_examples_to_online_state(&pending) {
+            Ok(()) => {
+                let n = pending.len() as u64;
+                self.redo_drained.add(n);
+                self.registry.event(EventKind::RedoDrain { applied: n });
+                Ok(n)
+            }
+            Err(e) => {
+                let mut queue = self.redo_queue.lock().unwrap();
+                for ex in pending.into_iter().rev() {
+                    queue.push_front(ex);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Turns health transitions journaled by the cluster into lifecycle
+    /// events, and drains the redo queue when a node comes back. Called on
+    /// every serving request (cheap when nothing is pending) and by the
+    /// explicit kill/recover entry points.
+    fn publish_fault_transitions(&self) {
+        if !self.cluster.transitions_pending() {
+            return;
+        }
+        for t in self.cluster.take_transitions() {
+            match t.health {
+                NodeHealth::Down => {
+                    self.registry.event(EventKind::NodeDown { node: t.node as u64 });
+                }
+                NodeHealth::Up => {
+                    self.registry.event(EventKind::NodeRecovered {
+                        node: t.node as u64,
+                        caught_up: t.caught_up,
+                    });
+                    // Redo failures here are not fatal to serving: the
+                    // batch stays queued and retries on the next recovery
+                    // or manual drain.
+                    let _ = self.drain_redo_queue();
+                }
+                NodeHealth::Recovering => {}
+            }
+        }
+    }
+
+    /// Installs a deterministic fault plan on the underlying cluster (see
+    /// [`FaultPlan`]); scheduled events fire as requests are served.
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        self.cluster.install_fault_plan(plan);
+    }
+
+    /// Kills a cluster node immediately (chaos drills outside a scripted
+    /// plan). The outage is observable right away: the lifecycle event is
+    /// published before returning.
+    pub fn kill_node(&self, node: usize) {
+        self.cluster.kill_node(node);
+        self.publish_fault_transitions();
+    }
+
+    /// Recovers a cluster node immediately: re-populates its shards from
+    /// surviving replicas, publishes the lifecycle event, and drains the
+    /// redo queue. Returns the number of entries caught up.
+    pub fn recover_node(&self, node: usize) -> u64 {
+        let caught_up = self.cluster.recover_node(node);
+        self.publish_fault_transitions();
+        caught_up
     }
 
     /// Records a label for a `topK` serve that was validation-randomized,
@@ -817,6 +1135,7 @@ impl Velox {
             weights.iter().map(|(&uid, w)| (uid, w.as_slice().to_vec())).collect(),
         );
         for (&uid, w) in &weights {
+            self.stale_weights.put(uid, w.clone());
             self.bootstrap.contribute(uid, w);
         }
         self.user_state.publish_version(Vec::new());
@@ -857,6 +1176,7 @@ impl Velox {
             let state_arc = self.user_state_arc(uid);
             let w = state_arc.lock().unwrap().weights().clone();
             self.cluster.put_user_weights(uid, w.as_slice().to_vec());
+            self.stale_weights.put(uid, w.clone());
             self.user_versions.update_with(uid, || 0, |v| *v += 1);
             self.bootstrap.contribute(uid, &w);
         }
@@ -872,8 +1192,8 @@ impl Velox {
         for &(uid, item_id, _, _) in old_keys {
             let node = self.cluster.home_of_user(uid);
             let user_version = self.user_versions.get(uid).unwrap_or(0);
-            let (weights, bootstrapped, _) = self.serving_weights(node, uid);
-            if bootstrapped {
+            let (weights, bootstrapped, _, level) = self.serving_weights(node, uid);
+            if bootstrapped || !Self::cacheable(level) {
                 continue;
             }
             let item = Item::Id(item_id);
@@ -958,6 +1278,18 @@ impl Velox {
             generalization_loss: self.prequential.lock().unwrap().generalization_loss(),
             validation_decisions: self.validation.lock().unwrap().decision_counts(),
             stale: self.is_stale(),
+            degraded: DegradationCounts {
+                full: self.degraded[0].get(),
+                replica: self.degraded[1].get(),
+                stale_cache: self.degraded[2].get(),
+                bootstrap: self.degraded[3].get(),
+            },
+            redo: RedoQueueStats {
+                buffered: self.redo_buffered.get(),
+                drained: self.redo_drained.get(),
+                shed: self.redo_shed.get(),
+                pending: self.redo_queue.lock().unwrap().len(),
+            },
         }
     }
 
@@ -992,7 +1324,7 @@ impl Velox {
         let version = self.model_version();
         let index = self.catalog_index(version)?;
         let node = self.cluster.route_request(uid);
-        let (weights, _bootstrapped, _) = self.serving_weights(node, uid);
+        let (weights, _bootstrapped, _, _level) = self.serving_weights(node, uid);
         let (results, _stats) = index.top_k(&weights, k)?;
         Ok(results.into_iter().map(|s| (s.id, s.score)).collect())
     }

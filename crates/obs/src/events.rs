@@ -50,6 +50,23 @@ pub enum EventKind {
         /// Number of cache entries re-primed.
         entries: u64,
     },
+    /// A cluster node went down (fault injection or detected failure).
+    NodeDown {
+        /// The failed node's id.
+        node: u64,
+    },
+    /// A cluster node finished recovery and is serving again.
+    NodeRecovered {
+        /// The recovered node's id.
+        node: u64,
+        /// Entries re-populated from surviving replicas during catch-up.
+        caught_up: u64,
+    },
+    /// The observe redo queue was drained after an outage ended.
+    RedoDrain {
+        /// Buffered observations re-applied to the online state.
+        applied: u64,
+    },
 }
 
 impl EventKind {
@@ -62,6 +79,9 @@ impl EventKind {
             EventKind::Rollback { .. } => "rollback",
             EventKind::StalenessTrip { .. } => "staleness_trip",
             EventKind::CacheRepopulation { .. } => "cache_repopulation",
+            EventKind::NodeDown { .. } => "node_down",
+            EventKind::NodeRecovered { .. } => "node_recovered",
+            EventKind::RedoDrain { .. } => "redo_drain",
         }
     }
 
@@ -81,6 +101,11 @@ impl EventKind {
                 vec![("observations", observations)]
             }
             EventKind::CacheRepopulation { entries } => vec![("entries", entries)],
+            EventKind::NodeDown { node } => vec![("node", node)],
+            EventKind::NodeRecovered { node, caught_up } => {
+                vec![("node", node), ("caught_up", caught_up)]
+            }
+            EventKind::RedoDrain { applied } => vec![("applied", applied)],
         }
     }
 }
@@ -109,6 +134,9 @@ pub struct EventLog {
     ring: Mutex<VecDeque<Event>>,
     capacity: usize,
     next_seq: AtomicU64,
+    /// Events evicted from the ring before ever being read — the overflow
+    /// counter operators watch to size the ring.
+    dropped: AtomicU64,
 }
 
 /// Default ring capacity: enough for hundreds of retrain cycles.
@@ -127,6 +155,7 @@ impl EventLog {
             ring: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
             capacity: capacity.max(1),
             next_seq: AtomicU64::new(1),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -141,6 +170,7 @@ impl EventLog {
         let mut ring = self.ring.lock().expect("event ring poisoned");
         if ring.len() == self.capacity {
             ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         ring.push_back(event);
         seq
@@ -164,6 +194,11 @@ impl EventLog {
     /// Total events ever recorded, including evicted ones.
     pub fn total_recorded(&self) -> u64 {
         self.next_seq.load(Ordering::Relaxed) - 1
+    }
+
+    /// Events lost to ring overflow (recorded, then evicted to make room).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Ring capacity.
@@ -199,6 +234,15 @@ mod tests {
         assert_eq!(events.len(), 3);
         assert_eq!(events[0].seq, 8, "oldest retained is #8 of 10");
         assert_eq!(log.total_recorded(), 10);
+        assert_eq!(log.dropped(), 7, "10 recorded − 3 retained = 7 dropped");
+    }
+
+    #[test]
+    fn dropped_counter_stays_zero_without_overflow() {
+        let log = EventLog::new(4);
+        log.record(EventKind::RetrainStart { observations: 1 });
+        log.record(EventKind::NodeDown { node: 2 });
+        assert_eq!(log.dropped(), 0);
     }
 
     #[test]
@@ -210,6 +254,9 @@ mod tests {
             EventKind::Rollback { from: 2, to: 1 },
             EventKind::StalenessTrip { observations: 9 },
             EventKind::CacheRepopulation { entries: 4 },
+            EventKind::NodeDown { node: 1 },
+            EventKind::NodeRecovered { node: 1, caught_up: 12 },
+            EventKind::RedoDrain { applied: 3 },
         ];
         for k in kinds {
             assert!(!k.name().is_empty());

@@ -151,6 +151,15 @@ impl Registry {
                 },
             })
             .collect();
+        // The event ring's overflow counter rides along as a synthetic
+        // sample: the `EventLog` is owned by value (not an `Arc` the
+        // register_* path could adopt), so it is sampled here instead —
+        // every exposition surface still sees it.
+        metrics.push(MetricSample {
+            name: "velox_lifecycle_events_dropped_total".to_string(),
+            labels: Vec::new(),
+            value: MetricValue::Counter(self.events.dropped()),
+        });
         metrics.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
         RegistrySnapshot { metrics }
     }
@@ -386,9 +395,32 @@ mod tests {
         h.record(100);
         let snap = r.snapshot();
         let names: Vec<&str> = snap.metrics.iter().map(|m| m.name.as_str()).collect();
-        assert_eq!(names, vec!["velox_a_total", "velox_b_gauge", "velox_c_latency_ns"]);
+        assert_eq!(
+            names,
+            vec![
+                "velox_a_total",
+                "velox_b_gauge",
+                "velox_c_latency_ns",
+                "velox_lifecycle_events_dropped_total",
+            ]
+        );
         assert_eq!(snap.gauge("velox_b_gauge"), Some(-2));
         assert_eq!(snap.histogram("velox_c_latency_ns").unwrap().count, 1);
+    }
+
+    #[test]
+    fn event_overflow_counter_is_exported() {
+        let r = Registry::new();
+        assert_eq!(r.snapshot().counter("velox_lifecycle_events_dropped_total"), 0);
+        // Overflow a tiny ring through a dedicated registry-like log: the
+        // registry's own ring has default capacity, so drive it past that.
+        for i in 0..(crate::events::DEFAULT_EVENT_CAPACITY as u64 + 5) {
+            r.event(EventKind::CacheRepopulation { entries: i });
+        }
+        assert_eq!(r.snapshot().counter("velox_lifecycle_events_dropped_total"), 5);
+        let text = r.render_prometheus(&[]);
+        assert!(text.contains("# TYPE velox_lifecycle_events_dropped_total counter"));
+        assert!(text.contains("velox_lifecycle_events_dropped_total 5"));
     }
 
     #[test]

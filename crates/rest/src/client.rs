@@ -5,10 +5,17 @@
 //! wire protocol — same `std::net` + in-crate JSON stack as the server, no
 //! HTTP dependency. One TCP connection per request (the server speaks
 //! `Connection: close`).
+//!
+//! The client is resilient by default: transient failures (socket errors,
+//! 5xx, 429 shed responses) are retried with exponential backoff and
+//! jitter, and a per-endpoint circuit breaker stops hammering an endpoint
+//! that keeps failing, re-probing it after a cooldown.
 
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use crate::json::Json;
 
@@ -27,6 +34,12 @@ pub enum ClientError {
         /// The server's error message.
         message: String,
     },
+    /// The circuit breaker for this endpoint is open; the request was not
+    /// sent. Retry after the breaker cooldown.
+    CircuitOpen {
+        /// The endpoint path whose breaker is open.
+        endpoint: String,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -36,6 +49,9 @@ impl std::fmt::Display for ClientError {
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
             ClientError::Server { status, message } => {
                 write!(f, "server error {status}: {message}")
+            }
+            ClientError::CircuitOpen { endpoint } => {
+                write!(f, "circuit breaker open for {endpoint}; request not sent")
             }
         }
     }
@@ -49,6 +65,90 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// Retry tuning for transient failures.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per call (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Jitter fraction in `[0, 1]`: each backoff is scaled by a uniform
+    /// factor in `[1 - jitter, 1 + jitter]` so synchronized clients don't
+    /// retry in lockstep.
+    pub jitter: f64,
+    /// Seed for the jitter RNG (deterministic backoff schedules in tests).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+            jitter: 0.2,
+            seed: 0xC1_1E_47,
+        }
+    }
+}
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive transient failures on one endpoint that trip the
+    /// breaker open.
+    pub failure_threshold: u32,
+    /// How long an open breaker rejects calls before allowing a half-open
+    /// probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { failure_threshold: 5, cooldown: Duration::from_secs(5) }
+    }
+}
+
+/// Circuit-breaker state for one endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped: requests are rejected without touching the network.
+    Open,
+    /// Cooldown elapsed: the next request is a probe; its outcome closes
+    /// or re-opens the breaker.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct BreakerEntry {
+    consecutive_failures: u32,
+    open: bool,
+    opened_at: Instant,
+}
+
+/// Mutable resilience state behind one lock: the jitter RNG plus the
+/// per-endpoint breakers.
+#[derive(Debug)]
+struct Resilience {
+    rng_state: u64,
+    breakers: HashMap<String, BreakerEntry>,
+}
+
+/// splitmix64: small, seedable, and good enough for jitter. Kept local so
+/// the REST crate stays free of intra-workspace dependencies beyond
+/// velox-core.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A point-prediction result.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClientPrediction {
@@ -58,6 +158,9 @@ pub struct ClientPrediction {
     pub cached: bool,
     /// Served from the new-user bootstrap.
     pub bootstrapped: bool,
+    /// The server's degradation level for this request (`"full"`,
+    /// `"replica"`, `"stale_cache"`, or `"bootstrap"`).
+    pub degradation: String,
 }
 
 /// A topK result.
@@ -80,6 +183,10 @@ pub struct ClientObserve {
     pub loss: f64,
     /// Whether the observation was trained on.
     pub trained: bool,
+    /// Whether the observation was buffered for redo because its user
+    /// partition had no live replica (trained is `false` until a recovered
+    /// node drains the queue).
+    pub deferred: bool,
 }
 
 /// A typed client bound to one Velox REST endpoint and one model name.
@@ -87,6 +194,9 @@ pub struct VeloxClient {
     addr: SocketAddr,
     model: String,
     timeout: Duration,
+    retry: RetryPolicy,
+    breaker: BreakerConfig,
+    resilience: Mutex<Resilience>,
 }
 
 impl VeloxClient {
@@ -104,7 +214,16 @@ impl VeloxClient {
                     .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.'),
             "model name must be URL-path-safe ([A-Za-z0-9._-])"
         );
-        VeloxClient { addr, model, timeout: Duration::from_secs(10) }
+        let retry = RetryPolicy::default();
+        let rng_state = retry.seed;
+        VeloxClient {
+            addr,
+            model,
+            timeout: Duration::from_secs(10),
+            retry,
+            breaker: BreakerConfig::default(),
+            resilience: Mutex::new(Resilience { rng_state, breakers: HashMap::new() }),
+        }
     }
 
     /// Overrides the per-request socket timeout.
@@ -113,7 +232,128 @@ impl VeloxClient {
         self
     }
 
+    /// Overrides the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.resilience.get_mut().unwrap().rng_state = retry.seed;
+        self.retry = retry;
+        self
+    }
+
+    /// Overrides the circuit-breaker tuning.
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
+    /// The effective breaker state for an endpoint path (for example
+    /// `/models/songs/predict`). Endpoints never seen are `Closed`; an
+    /// open breaker whose cooldown has elapsed reports `HalfOpen`.
+    pub fn breaker_state(&self, path: &str) -> BreakerState {
+        let resilience = self.resilience.lock().unwrap();
+        match resilience.breakers.get(path) {
+            None => BreakerState::Closed,
+            Some(entry) if !entry.open => BreakerState::Closed,
+            Some(entry) if entry.opened_at.elapsed() >= self.breaker.cooldown => {
+                BreakerState::HalfOpen
+            }
+            Some(_) => BreakerState::Open,
+        }
+    }
+
+    /// Breaker admission gate: rejects while open, lets a probe through
+    /// once the cooldown has elapsed.
+    fn admit(&self, path: &str) -> Result<(), ClientError> {
+        let resilience = self.resilience.lock().unwrap();
+        if let Some(entry) = resilience.breakers.get(path) {
+            if entry.open && entry.opened_at.elapsed() < self.breaker.cooldown {
+                return Err(ClientError::CircuitOpen { endpoint: path.to_string() });
+            }
+        }
+        Ok(())
+    }
+
+    fn record_success(&self, path: &str) {
+        let mut resilience = self.resilience.lock().unwrap();
+        if let Some(entry) = resilience.breakers.get_mut(path) {
+            entry.consecutive_failures = 0;
+            entry.open = false;
+        }
+    }
+
+    fn record_failure(&self, path: &str) {
+        let mut resilience = self.resilience.lock().unwrap();
+        let entry = resilience.breakers.entry(path.to_string()).or_insert(BreakerEntry {
+            consecutive_failures: 0,
+            open: false,
+            opened_at: Instant::now(),
+        });
+        if entry.open {
+            // A failed half-open probe: re-open and restart the cooldown.
+            entry.opened_at = Instant::now();
+            return;
+        }
+        entry.consecutive_failures += 1;
+        if entry.consecutive_failures >= self.breaker.failure_threshold {
+            entry.open = true;
+            entry.opened_at = Instant::now();
+        }
+    }
+
+    /// Whether an error is worth retrying: socket failures, garbled
+    /// responses, server-side 5xx, and 429/503-style shedding. Other 4xx
+    /// are the caller's bug and retrying cannot help.
+    fn retryable(e: &ClientError) -> bool {
+        match e {
+            ClientError::Io(_) | ClientError::Protocol(_) => true,
+            ClientError::Server { status, .. } => *status >= 500 || *status == 429,
+            ClientError::CircuitOpen { .. } => false,
+        }
+    }
+
+    /// Exponential backoff with jitter for retry `attempt` (1-based).
+    fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self.retry.base_backoff.as_secs_f64() * 2f64.powi(attempt as i32 - 1);
+        let capped = exp.min(self.retry.max_backoff.as_secs_f64());
+        let unit = {
+            let mut resilience = self.resilience.lock().unwrap();
+            (splitmix64(&mut resilience.rng_state) >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let factor = 1.0 + self.retry.jitter * (2.0 * unit - 1.0);
+        Duration::from_secs_f64((capped * factor).max(0.0))
+    }
+
+    /// One call with retries and breaker accounting. The breaker is
+    /// checked once on entry — a call already admitted keeps its full
+    /// retry budget even if its own failures trip the breaker; later
+    /// calls are the ones short-circuited.
     fn call(&self, method: &str, path: &str, body: &str) -> Result<Json, ClientError> {
+        self.admit(path)?;
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            match self.call_once(method, path, body) {
+                Ok(json) => {
+                    self.record_success(path);
+                    return Ok(json);
+                }
+                Err(e) if Self::retryable(&e) => {
+                    self.record_failure(path);
+                    if attempt >= self.retry.max_attempts.max(1) {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.backoff(attempt));
+                }
+                Err(e) => {
+                    // The server processed the request and rejected it at
+                    // the application level: the endpoint is healthy.
+                    self.record_success(path);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    fn call_once(&self, method: &str, path: &str, body: &str) -> Result<Json, ClientError> {
         let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
         stream.set_read_timeout(Some(self.timeout))?;
         stream.set_write_timeout(Some(self.timeout))?;
@@ -156,6 +396,11 @@ impl VeloxClient {
             score: resp.get("score").and_then(Json::as_f64).unwrap_or(f64::NAN),
             cached: resp.get("cached").and_then(Json::as_bool).unwrap_or(false),
             bootstrapped: resp.get("bootstrapped").and_then(Json::as_bool).unwrap_or(false),
+            degradation: resp
+                .get("degradation")
+                .and_then(Json::as_str)
+                .unwrap_or("full")
+                .to_string(),
         })
     }
 
@@ -202,6 +447,7 @@ impl VeloxClient {
                 .unwrap_or(f64::NAN),
             loss: resp.get("loss").and_then(Json::as_f64).unwrap_or(f64::NAN),
             trained: resp.get("trained").and_then(Json::as_bool).unwrap_or(false),
+            deferred: resp.get("deferred").and_then(Json::as_bool).unwrap_or(false),
         })
     }
 

@@ -33,5 +33,5 @@ pub mod http;
 pub mod json;
 pub mod server;
 
-pub use client::{ClientError, VeloxClient};
-pub use server::{RestHandle, RestServer};
+pub use client::{BreakerConfig, BreakerState, ClientError, RetryPolicy, VeloxClient};
+pub use server::{RestHandle, RestServer, ServerConfig};

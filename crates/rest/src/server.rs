@@ -9,7 +9,7 @@ use velox_core::server::ModelSchema;
 use velox_core::{VeloxError, VeloxServer};
 use velox_linalg::Vector;
 use velox_models::Item;
-use velox_obs::{Registry, RegistrySnapshot, Timer};
+use velox_obs::{Gauge, Registry, RegistrySnapshot, Timer};
 
 use crate::http::{read_request, write_response, Request};
 use crate::json::Json;
@@ -18,11 +18,47 @@ const JSON_TYPE: &str = "application/json";
 /// Prometheus text exposition content type.
 const METRICS_TYPE: &str = "text/plain; version=0.0.4";
 
+/// Tuning knobs for the REST listener.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum requests being processed at once. Connections accepted past
+    /// this limit are immediately answered `503` and closed (load
+    /// shedding): under overload the server stays responsive and tells
+    /// clients to back off, instead of queueing unboundedly until
+    /// everything times out.
+    pub max_in_flight: usize,
+    /// Per-connection read timeout (slowloris guard).
+    pub read_timeout: std::time::Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: std::time::Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_in_flight: 256,
+            read_timeout: std::time::Duration::from_secs(30),
+            write_timeout: std::time::Duration::from_secs(30),
+        }
+    }
+}
+
 /// The REST front end over a set of Velox deployments.
 pub struct RestServer {
     deployments: Arc<VeloxServer>,
     /// REST-layer registry: per-endpoint request-latency histograms.
     registry: Arc<Registry>,
+    config: ServerConfig,
+}
+
+/// Decrements the in-flight gauge when a request thread exits, however it
+/// exits.
+struct InFlightGuard(Arc<Gauge>);
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        self.0.add(-1);
+    }
 }
 
 /// Handle to a running listener: address for clients, shutdown for tests
@@ -61,9 +97,14 @@ impl Drop for RestHandle {
 }
 
 impl RestServer {
-    /// Wraps a deployment set.
+    /// Wraps a deployment set with default listener tuning.
     pub fn new(deployments: Arc<VeloxServer>) -> Self {
-        RestServer { deployments, registry: Arc::new(Registry::new()) }
+        Self::with_config(deployments, ServerConfig::default())
+    }
+
+    /// Wraps a deployment set with explicit listener tuning.
+    pub fn with_config(deployments: Arc<VeloxServer>, config: ServerConfig) -> Self {
+        RestServer { deployments, registry: Arc::new(Registry::new()), config }
     }
 
     /// The REST layer's own metric registry (per-endpoint latency). The
@@ -82,6 +123,9 @@ impl RestServer {
         let stop2 = Arc::clone(&stop);
         let deployments = self.deployments;
         let registry = self.registry;
+        let config = self.config;
+        let in_flight = registry.gauge("velox_rest_in_flight_requests");
+        let shed = registry.counter("velox_rest_shed_total");
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if stop2.load(Ordering::Acquire) {
@@ -90,11 +134,31 @@ impl RestServer {
                 let Ok(mut stream) = stream else { continue };
                 // A slow or idle client must not pin its thread forever
                 // (slowloris); the protocol is one short request-response.
-                let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
-                let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(30)));
+                let _ = stream.set_read_timeout(Some(config.read_timeout));
+                let _ = stream.set_write_timeout(Some(config.write_timeout));
+                if in_flight.get() >= config.max_in_flight as i64 {
+                    // Saturated: shed instead of queueing. The 503 is written
+                    // off-thread so a slow client can't stall the accept loop.
+                    // The request is drained first so closing doesn't RST the
+                    // connection before the client reads the answer.
+                    shed.inc();
+                    std::thread::spawn(move || {
+                        let _ = read_request(&stream);
+                        let _ = write_response(
+                            &mut stream,
+                            503,
+                            JSON_TYPE,
+                            &error_json("server saturated; request shed"),
+                        );
+                    });
+                    continue;
+                }
+                in_flight.add(1);
+                let guard = InFlightGuard(Arc::clone(&in_flight));
                 let deployments = Arc::clone(&deployments);
                 let registry = Arc::clone(&registry);
                 std::thread::spawn(move || {
+                    let _guard = guard;
                     let (status, content_type, body) = match read_request(&stream) {
                         Ok(request) => handle(&deployments, &registry, &request),
                         Err(e) => (400, JSON_TYPE, error_json(&format!("{e}"))),
@@ -117,6 +181,7 @@ fn velox_error(e: &VeloxError) -> (u16, String) {
         VeloxError::Model(_) | VeloxError::EmptyCandidateSet | VeloxError::VersionNotFound(_) => {
             400
         }
+        VeloxError::Unavailable(_) => 503,
         _ => 500,
     };
     (status, error_json(&e.to_string()))
@@ -278,6 +343,7 @@ fn dispatch(server: &VeloxServer, request: &Request) -> (u16, String) {
                         ("score", Json::Number(resp.score)),
                         ("cached", Json::Bool(resp.cached)),
                         ("bootstrapped", Json::Bool(resp.bootstrapped)),
+                        ("degradation", Json::String(resp.degradation.label().to_string())),
                     ]);
                     (200, body.to_string())
                 }
@@ -316,6 +382,7 @@ fn dispatch(server: &VeloxServer, request: &Request) -> (u16, String) {
                         ("ranked", Json::Array(ranked)),
                         ("served_item", Json::Number(served_item as f64)),
                         ("randomized", Json::Bool(resp.randomized)),
+                        ("degradation", Json::String(resp.degradation.label().to_string())),
                     ]);
                     (200, body.to_string())
                 }
@@ -345,6 +412,7 @@ fn dispatch(server: &VeloxServer, request: &Request) -> (u16, String) {
                         ("trained", Json::Bool(outcome.trained)),
                         ("stale", Json::Bool(outcome.stale)),
                         ("retrained", Json::Bool(outcome.retrained)),
+                        ("deferred", Json::Bool(outcome.deferred)),
                     ]);
                     (200, body.to_string())
                 }

@@ -11,6 +11,12 @@ cargo build --workspace --release --offline
 echo "==> cargo test (offline)"
 cargo test --workspace --release --offline -q
 
+echo "==> failover regression tests (offline)"
+cargo test --release --offline -q --test fault_tolerance
+
+echo "==> chaos availability smoke (offline)"
+cargo run --release --offline -q -p velox-bench --bin abl_chaos -- --smoke > /dev/null
+
 echo "==> cargo clippy -D warnings (offline)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

@@ -20,12 +20,14 @@ pub use velox_storage as storage;
 pub mod prelude {
     pub use velox_bandit::{BanditPolicy, Candidate};
     pub use velox_batch::{AlsConfig, AlsModel, JobExecutor};
-    pub use velox_cluster::{ClusterConfig, RoutingPolicy};
+    pub use velox_cluster::{
+        ClusterConfig, FaultAction, FaultEvent, FaultPlan, NodeHealth, RoutingPolicy,
+    };
     pub use velox_core::config::BanditChoice;
     pub use velox_core::server::ModelSchema;
     pub use velox_core::{
-        BootstrapState, Item, ObserveOutcome, PredictResponse, SystemStats, TopKResponse,
-        TrainingExample, Velox, VeloxConfig, VeloxError, VeloxModel, VeloxServer,
+        BootstrapState, DegradationLevel, Item, ObserveOutcome, PredictResponse, SystemStats,
+        TopKResponse, TrainingExample, Velox, VeloxConfig, VeloxError, VeloxModel, VeloxServer,
     };
     pub use velox_data::{
         Rating, RatingsDataset, SyntheticConfig, VeloxRng, WorkloadConfig, ZipfGenerator,
