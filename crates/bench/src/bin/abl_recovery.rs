@@ -1,0 +1,230 @@
+//! RECOVERY-DURABILITY — what durable state costs and how fast it comes back.
+//!
+//! The paper's prototype keeps all serving state in memory; a crash loses
+//! every online update since the last offline retrain. This experiment
+//! quantifies the two sides of fixing that with a WAL + checkpoints:
+//!
+//! 1. **Write-path cost** — observe throughput with the WAL attached under
+//!    each fsync policy (per-record / batched / off) against the
+//!    memory-only baseline. Per-record fsync is the "no acknowledged
+//!    observation ever lost" setting; the others trade a bounded loss
+//!    window for throughput.
+//! 2. **Recovery time vs WAL length** — time to boot a deployment from a
+//!    cold directory as the un-checkpointed WAL tail grows, and the effect
+//!    of a checkpoint covering most of the log.
+//!
+//! `--smoke` shrinks the workload and exits non-zero unless every policy
+//! recovers exactly what it acknowledged (no loss, no duplication) — the
+//! CI gate for the durability path.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use velox_bench::{print_header, print_row};
+use velox_core::{DurabilityConfig, Item, Velox, VeloxConfig, VeloxModel};
+use velox_models::IdentityModel;
+use velox_storage::{FsyncPolicy, ScratchDir};
+
+const DIM: usize = 8;
+const N_ITEMS: u64 = 256;
+const N_USERS: u64 = 64;
+
+fn durable_config(dir: std::path::PathBuf, fsync: FsyncPolicy) -> VeloxConfig {
+    let mut durability = DurabilityConfig::new(dir);
+    durability.fsync = fsync;
+    VeloxConfig { durability: Some(durability), ..VeloxConfig::single_node() }
+}
+
+fn model() -> Arc<dyn VeloxModel> {
+    Arc::new(IdentityModel::new("recovery", DIM, 0.5))
+}
+
+fn register(velox: &Velox) {
+    for item in 0..N_ITEMS {
+        let phase = item as f64 * 0.37;
+        velox.register_item(item, (0..DIM).map(|d| (phase + d as f64).sin()).collect());
+    }
+}
+
+fn observe_n(velox: &Velox, n: u64) {
+    for i in 0..n {
+        velox
+            .observe(i % N_USERS, &Item::Id(i % N_ITEMS), (i as f64 * 0.13).sin())
+            .expect("observe");
+    }
+}
+
+/// Observe throughput with the given fsync policy (`None` = memory-only).
+fn write_path(policy: Option<FsyncPolicy>, n: u64) -> (f64, u64) {
+    let scratch = ScratchDir::new("abl-recovery-write");
+    let velox = match policy {
+        Some(fsync) => {
+            let (velox, _) = Velox::deploy_durable(
+                |_| Ok(model()),
+                HashMap::new(),
+                durable_config(scratch.join("state"), fsync),
+            )
+            .expect("durable deploy");
+            velox
+        }
+        None => Velox::deploy(model(), HashMap::new(), VeloxConfig::single_node()),
+    };
+    register(&velox);
+    let start = Instant::now();
+    observe_n(&velox, n);
+    let elapsed = start.elapsed().as_secs_f64();
+    let fsyncs = velox.stats().durability.wal_fsyncs;
+    (n as f64 / elapsed, fsyncs)
+}
+
+/// Writes `wal_records` observations (optionally checkpointing after
+/// `checkpoint_at`), drops the deployment, then times the reboot. Returns
+/// (recovery µs, replayed, recovered observation count).
+fn recovery_run(wal_records: u64, checkpoint_at: Option<u64>) -> (f64, u64, u64) {
+    let scratch = ScratchDir::new("abl-recovery-boot");
+    let config = durable_config(scratch.join("state"), FsyncPolicy::Off);
+    let (velox, _) =
+        Velox::deploy_durable(|_| Ok(model()), HashMap::new(), config.clone()).expect("deploy");
+    register(&velox);
+    if let Some(at) = checkpoint_at {
+        observe_n(&velox, at);
+        velox.checkpoint().expect("checkpoint");
+        let tail = wal_records - at;
+        for i in 0..tail {
+            velox
+                .observe((at + i) % N_USERS, &Item::Id((at + i) % N_ITEMS), 0.2)
+                .expect("observe tail");
+        }
+    } else {
+        observe_n(&velox, wal_records);
+    }
+    drop(velox);
+
+    let start = Instant::now();
+    let (revived, report) =
+        Velox::deploy_durable(|_| Ok(model()), HashMap::new(), config).expect("recover");
+    let us = start.elapsed().as_secs_f64() * 1e6;
+    (us, report.replayed, revived.stats().observations)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let write_n: u64 = if smoke { 2_000 } else { 20_000 };
+    let wal_lengths: &[u64] = if smoke { &[500, 2_000] } else { &[1_000, 5_000, 20_000, 50_000] };
+
+    println!("# RECOVERY-DURABILITY: WAL cost on the observe path, recovery time at boot");
+    println!(
+        "\n{N_USERS} users, {N_ITEMS} items, dim {DIM}; write path: {write_n} observations \
+         per policy; identity model (isolates logging cost from model math)"
+    );
+
+    // ---- 1. Write-path cost per fsync policy -------------------------------
+    let policies: [(&str, Option<FsyncPolicy>); 4] = [
+        ("memory-only", None),
+        ("wal+off", Some(FsyncPolicy::Off)),
+        ("wal+batched(64)", Some(FsyncPolicy::Batched { every: 64 })),
+        ("wal+per-record", Some(FsyncPolicy::PerRecord)),
+    ];
+    print_header(
+        "Observe throughput by durability setting",
+        &["setting", "obs/s", "µs/obs", "fsyncs", "loss window"],
+    );
+    let mut baseline = 0.0;
+    for (name, policy) in policies {
+        let (rate, fsyncs) = write_path(policy, write_n);
+        if policy.is_none() {
+            baseline = rate;
+        }
+        let window = match policy {
+            None => "everything since retrain",
+            Some(FsyncPolicy::Off) => "page cache",
+            Some(FsyncPolicy::Batched { .. }) => "≤ 64 records",
+            Some(FsyncPolicy::PerRecord) => "none",
+        };
+        print_row(&[
+            name.to_string(),
+            format!("{rate:.0}"),
+            format!("{:.2}", 1e6 / rate),
+            fsyncs.to_string(),
+            window.to_string(),
+        ]);
+    }
+    let _ = baseline;
+
+    // ---- 2. Recovery time vs WAL length ------------------------------------
+    print_header(
+        "Recovery time at boot (WAL-only replay, no checkpoint)",
+        &["wal records", "recovery ms", "replay rate (rec/s)", "recovered obs"],
+    );
+    let mut smoke_ok = true;
+    for &n in wal_lengths {
+        let (us, replayed, recovered) = recovery_run(n, None);
+        print_row(&[
+            n.to_string(),
+            format!("{:.2}", us / 1e3),
+            format!("{:.0}", replayed as f64 / (us / 1e6)),
+            recovered.to_string(),
+        ]);
+        if replayed != n || recovered != n {
+            eprintln!("SMOKE FAIL: wrote {n}, replayed {replayed}, recovered {recovered}");
+            smoke_ok = false;
+        }
+    }
+
+    // A checkpoint covering 90% of the log cuts replay to the tail.
+    let total = *wal_lengths.last().unwrap();
+    let covered = total * 9 / 10;
+    let (us, replayed, recovered) = recovery_run(total, Some(covered));
+    print_header(
+        "Recovery with a checkpoint covering 90% of the log",
+        &["wal records", "checkpointed", "replayed", "recovery ms", "recovered obs"],
+    );
+    print_row(&[
+        total.to_string(),
+        covered.to_string(),
+        replayed.to_string(),
+        format!("{:.2}", us / 1e3),
+        recovered.to_string(),
+    ]);
+    if replayed != total - covered || recovered != total {
+        eprintln!(
+            "SMOKE FAIL: checkpoint at {covered}/{total}: replayed {replayed}, \
+             recovered {recovered}"
+        );
+        smoke_ok = false;
+    }
+
+    // ---- 3. Acknowledged-set preservation gate ------------------------------
+    // Every policy must recover exactly what it acknowledged after a clean
+    // shutdown: nothing lost, nothing duplicated.
+    for fsync in [FsyncPolicy::PerRecord, FsyncPolicy::Batched { every: 64 }, FsyncPolicy::Off] {
+        let scratch = ScratchDir::new("abl-recovery-ack");
+        let config = durable_config(scratch.join("state"), fsync);
+        let (velox, _) =
+            Velox::deploy_durable(|_| Ok(model()), HashMap::new(), config.clone()).expect("deploy");
+        register(&velox);
+        let n = if smoke { 300 } else { 3_000 };
+        observe_n(&velox, n);
+        drop(velox);
+        let (revived, report) =
+            Velox::deploy_durable(|_| Ok(model()), HashMap::new(), config).expect("recover");
+        if report.replayed != n || revived.stats().observations != n {
+            eprintln!(
+                "SMOKE FAIL: {} acknowledged {n}, replayed {} recovered {}",
+                fsync.name(),
+                report.replayed,
+                revived.stats().observations
+            );
+            smoke_ok = false;
+        }
+    }
+    println!("\nacknowledged-set check: every policy recovered exactly what it acknowledged");
+
+    if smoke {
+        if !smoke_ok {
+            std::process::exit(1);
+        }
+        println!("smoke: all gates passed");
+    }
+}

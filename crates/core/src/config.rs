@@ -1,7 +1,10 @@
 //! Deployment configuration for a Velox instance.
 
 use velox_cluster::ClusterConfig;
+use velox_obs::ObsConfig;
 use velox_online::UpdateStrategy;
+
+use crate::durability::DurabilityConfig;
 
 /// Bandit policy selection for `topK` serving.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,6 +62,13 @@ pub struct VeloxConfig {
     pub training_workers: usize,
     /// Deterministic seed for serving-side randomness (bandits, validation).
     pub seed: u64,
+    /// On-disk durability (WAL + checkpoints). `None` (the default) keeps
+    /// the deployment memory-only; set it and deploy through
+    /// [`Velox::deploy_durable`](crate::Velox::deploy_durable) to make
+    /// acknowledged observations crash-safe.
+    pub durability: Option<DurabilityConfig>,
+    /// Observability knobs (span-timer clock discipline).
+    pub obs: ObsConfig,
 }
 
 impl Default for VeloxConfig {
@@ -80,6 +90,8 @@ impl Default for VeloxConfig {
             redo_queue_capacity: 1024,
             training_workers: 4,
             seed: 0xC1D1,
+            durability: None,
+            obs: ObsConfig::default(),
         }
     }
 }

@@ -28,6 +28,9 @@ pub enum VeloxError {
     /// be buffered — because every replica of the needed partition is
     /// unreachable and no degraded fallback applied.
     Unavailable(String),
+    /// A durability operation (checkpoint, recovery) was requested on a
+    /// deployment with no durability configured/attached.
+    DurabilityDisabled,
 }
 
 impl std::fmt::Display for VeloxError {
@@ -42,6 +45,9 @@ impl std::fmt::Display for VeloxError {
             VeloxError::RetrainFailed(why) => write!(f, "offline retraining failed: {why}"),
             VeloxError::RetrainInProgress => write!(f, "an offline retrain is already in flight"),
             VeloxError::Unavailable(why) => write!(f, "temporarily unavailable: {why}"),
+            VeloxError::DurabilityDisabled => {
+                write!(f, "durability is not configured for this deployment")
+            }
         }
     }
 }

@@ -20,6 +20,12 @@
 //! swaps the new model version in atomically, repopulates caches, and
 //! retains history for [`Velox::rollback`].
 //!
+//! Durable state ([`durability`]) adds crash safety: with
+//! [`DurabilityConfig`] set, every observation is written ahead to an
+//! on-disk log before acknowledgment, [`Velox::checkpoint`] persists the
+//! full deployment atomically, and [`Velox::deploy_durable`] recovers —
+//! checkpoint restore plus WAL replay — after a crash.
+//!
 //! [`server::VeloxServer`] hosts many independent `Velox` deployments and
 //! dispatches by model name — the multi-model front-end of Listing 1's
 //! `ModelSchema` parameter.
@@ -28,6 +34,7 @@
 
 pub mod bootstrap;
 pub mod config;
+pub mod durability;
 pub mod ensemble;
 pub mod error;
 pub mod persistence;
@@ -37,6 +44,7 @@ pub mod velox;
 
 pub use bootstrap::BootstrapState;
 pub use config::VeloxConfig;
+pub use durability::{CheckpointReport, DurabilityConfig, DurabilityStats, RecoveryReport};
 pub use ensemble::{EnsemblePrediction, EnsembleSelector, WeightScope};
 pub use error::VeloxError;
 pub use persistence::DeploymentSnapshot;

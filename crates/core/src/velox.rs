@@ -13,15 +13,19 @@ use velox_batch::JobExecutor;
 use velox_cluster::{Cluster, ClusterStats, FaultPlan, NodeHealth};
 use velox_linalg::Vector;
 use velox_models::{Item, ModelError, TrainingExample, VeloxModel};
-use velox_obs::{Counter, EventKind, Histogram, Registry, SpanTimer, Timer};
+use velox_obs::{Counter, EventKind, Histogram, Registry, SpanTimer, Timer, TimerMode};
 use velox_online::{
     PerUserErrorTracker, PrequentialEvaluator, StalenessDetector, UpdateStrategy, UserOnlineModel,
 };
-use velox_storage::{Namespace, ObservationLog};
+use velox_storage::codec::{decode_observations, encode_observations};
+use velox_storage::wal::{Wal, WalConfig};
+use velox_storage::{CheckpointStore, Namespace, ObservationLog, StorageError};
 
 use crate::bootstrap::BootstrapState;
 use crate::config::{BanditChoice, VeloxConfig};
+use crate::durability::{CheckpointReport, DurabilityConfig, DurabilityStats, RecoveryReport};
 use crate::error::VeloxError;
+use crate::persistence::DeploymentSnapshot;
 use crate::sharded_cache::ShardedCache;
 
 /// How gracefully degraded a serving answer was (§3's fault-tolerance
@@ -188,6 +192,8 @@ pub struct SystemStats {
     pub degraded: DegradationCounts,
     /// Redo-queue counters (outage observation buffering).
     pub redo: RedoQueueStats,
+    /// Durable-state counters (all zero when durability is disabled).
+    pub durability: DurabilityStats,
 }
 
 /// Cache key: `(uid, item_id, user weight version, model version)` — version
@@ -204,6 +210,18 @@ struct HistoryEntry {
 
 /// How many superseded versions are retained for rollback.
 const VERSION_HISTORY: usize = 4;
+
+/// Live durable-state machinery: the checkpoint store plus bookkeeping
+/// about the last checkpoint taken. The WAL itself lives inside the
+/// observation log (write path) — this holds everything else.
+struct DurabilityRuntime {
+    store: CheckpointStore,
+    config: DurabilityConfig,
+    /// Sequence number of the newest checkpoint (0 = none yet).
+    last_seq: u64,
+    /// Observation-log length the newest checkpoint covers.
+    last_offset: u64,
+}
 
 /// A deployed Velox instance serving one model lineage.
 pub struct Velox {
@@ -268,6 +286,18 @@ pub struct Velox {
     /// Lazily-built MIPS index over the catalog's feature vectors, tagged
     /// with the model version it was built against (§8's efficient top-K).
     mips_index: Mutex<Option<(u64, Arc<velox_linalg::MipsIndex>)>>,
+    /// Durable-state runtime (checkpoint store + config); `None` when the
+    /// deployment is memory-only. The WAL rides inside `obslog`.
+    durability: Mutex<Option<DurabilityRuntime>>,
+    /// Lets a slow automatic checkpoint shed later triggers instead of
+    /// queueing observe threads behind the durability mutex.
+    checkpoint_in_flight: AtomicBool,
+    /// Span-timer clock discipline on the hot serving paths.
+    timer_mode: TimerMode,
+    recovery_replayed: Arc<Counter>,
+    recovery_replay_duration: Arc<Histogram>,
+    checkpoints_total: Arc<Counter>,
+    checkpoint_failures: Arc<Counter>,
 }
 
 fn make_policy(choice: BanditChoice, seed: u64) -> Box<dyn BanditPolicy> {
@@ -319,7 +349,12 @@ impl Velox {
         let redo_buffered = registry.counter("velox_redo_buffered_total");
         let redo_drained = registry.counter("velox_redo_drained_total");
         let redo_shed = registry.counter("velox_redo_shed_total");
+        let recovery_replayed = registry.counter("velox_recovery_replayed_total");
+        let recovery_replay_duration = registry.histogram("velox_recovery_replay_duration_ns");
+        let checkpoints_total = registry.counter("velox_checkpoints_total");
+        let checkpoint_failures = registry.counter("velox_checkpoint_failures_total");
         cluster.register_metrics(&registry);
+        let timer_mode = config.obs.timer_mode;
 
         let velox = Velox {
             model: RwLock::new(Arc::clone(&model)),
@@ -367,6 +402,13 @@ impl Velox {
             redo_buffered,
             redo_drained,
             redo_shed,
+            durability: Mutex::new(None),
+            checkpoint_in_flight: AtomicBool::new(false),
+            timer_mode,
+            recovery_replayed,
+            recovery_replay_duration,
+            checkpoints_total,
+            checkpoint_failures,
             cluster,
             config,
         };
@@ -461,13 +503,14 @@ impl Velox {
             let _gate = self.swap_gate.read().unwrap();
             for ex in examples {
                 if let Some(id) = ex.item.id() {
-                    self.obslog.append(ex.uid, id, ex.y);
-                    self.observations_total.inc();
+                    self.log_observation(ex.uid, id, ex.y)?;
                 }
             }
             self.training_log.lock().unwrap().extend(examples.iter().cloned());
         }
-        self.apply_examples_to_online_state(examples)
+        self.apply_examples_to_online_state(examples)?;
+        self.maybe_checkpoint();
+        Ok(())
     }
 
     /// Current model version.
@@ -573,7 +616,7 @@ impl Velox {
 
     /// Point prediction for `(uid, item)` — Listing 1's `predict`.
     pub fn predict(&self, uid: u64, item: &Item) -> Result<PredictResponse, VeloxError> {
-        let _span = SpanTimer::new(&self.predict_latency);
+        let _span = SpanTimer::with_mode(&self.predict_latency, self.timer_mode);
         let node = self.cluster.route_request(uid);
         self.publish_fault_transitions();
         let model_version = self.model_version();
@@ -627,7 +670,7 @@ impl Velox {
         if items.is_empty() {
             return Err(VeloxError::EmptyCandidateSet);
         }
-        let _span = SpanTimer::new(&self.top_k_latency);
+        let _span = SpanTimer::with_mode(&self.top_k_latency, self.timer_mode);
         let node = self.cluster.route_request(uid);
         self.publish_fault_transitions();
         let model_version = self.model_version();
@@ -709,7 +752,7 @@ impl Velox {
     /// the user's weights online (Eq. 2), tracks model quality, and
     /// (optionally) triggers offline retraining on staleness.
     pub fn observe(&self, uid: u64, item: &Item, y: f64) -> Result<ObserveOutcome, VeloxError> {
-        let _span = SpanTimer::new(&self.observe_latency);
+        let _span = SpanTimer::with_mode(&self.observe_latency, self.timer_mode);
         let node = self.cluster.route_request(uid);
         self.publish_fault_transitions();
 
@@ -772,10 +815,11 @@ impl Velox {
                     }
 
                     // Durable observation log (catalog items) + training log
-                    // (all).
+                    // (all). With a WAL attached, the record hits disk (per
+                    // the fsync policy) before this call can return Ok — the
+                    // acknowledgment is the durability boundary.
                     if let Some(id) = item.id() {
-                        self.obslog.append(uid, id, y);
-                        self.observations_total.inc();
+                        self.log_observation(uid, id, y)?;
                     }
                     self.training_log.lock().unwrap().push(TrainingExample {
                         uid,
@@ -809,6 +853,11 @@ impl Velox {
                 Err(e) => return Err(e),
             }
         }
+
+        // Automatic checkpointing runs here, after every gate/lock from the
+        // observation itself is released (taking one inside the gated block
+        // would deadlock: the capture needs the gate exclusively).
+        self.maybe_checkpoint();
 
         Ok(ObserveOutcome {
             predicted_before,
@@ -847,11 +896,11 @@ impl Velox {
         {
             let _gate = self.swap_gate.read().unwrap();
             if let Some(id) = item.id() {
-                self.obslog.append(uid, id, y);
-                self.observations_total.inc();
+                self.log_observation(uid, id, y)?;
             }
             self.training_log.lock().unwrap().push(TrainingExample { uid, item: item.clone(), y });
         }
+        self.maybe_checkpoint();
         Ok(ObserveOutcome {
             predicted_before: f64::NAN,
             loss: f64::NAN,
@@ -1290,6 +1339,24 @@ impl Velox {
                 shed: self.redo_shed.get(),
                 pending: self.redo_queue.lock().unwrap().len(),
             },
+            durability: self.durability_stats(),
+        }
+    }
+
+    fn durability_stats(&self) -> DurabilityStats {
+        let durability = self.durability.lock().unwrap();
+        match durability.as_ref() {
+            Some(runtime) => DurabilityStats {
+                enabled: true,
+                checkpoints: self.checkpoints_total.get(),
+                last_checkpoint_seq: runtime.last_seq,
+                last_checkpoint_wal_offset: runtime.last_offset,
+                wal_appends: self.obslog.wal_stats().map(|s| s.appends.get()).unwrap_or(0),
+                wal_fsyncs: self.obslog.wal_stats().map(|s| s.fsyncs.get()).unwrap_or(0),
+                wal_segments: self.obslog.with_wal(|w| w.segment_count() as u64).unwrap_or(0),
+                recovery_replayed: self.recovery_replayed.get(),
+            },
+            None => DurabilityStats::default(),
         }
     }
 
@@ -1308,6 +1375,231 @@ impl Velox {
     /// The currently-served model object.
     pub fn current_model(&self) -> Arc<dyn VeloxModel> {
         Arc::clone(&*self.model.read().unwrap())
+    }
+
+    /// Read access to this deployment's configuration.
+    pub fn config(&self) -> &VeloxConfig {
+        &self.config
+    }
+
+    /// Logs an observation durably (WAL-first when one is attached) and
+    /// counts it. The counter moves only after the record is on disk, so
+    /// anything an external observer can see acknowledged really is
+    /// persistent (under per-record fsync).
+    fn log_observation(&self, uid: u64, item_id: u64, y: f64) -> Result<(), VeloxError> {
+        self.obslog.try_append(uid, item_id, y)?;
+        self.observations_total.inc();
+        Ok(())
+    }
+
+    /// Deploys with durability: opens (or creates) the WAL and checkpoint
+    /// store under `config.durability`, recovers whatever state they hold,
+    /// and attaches them so subsequent observations are crash-safe.
+    ///
+    /// `factory` builds the model object — from the checkpoint's snapshot
+    /// when one exists (`Some`), from scratch on a fresh boot (`None`).
+    /// `initial_weights` seed a fresh boot only; a recovered deployment's
+    /// weights come from the checkpoint plus the WAL replay.
+    ///
+    /// Recovery never panics on torn or corrupt files: a corrupt newest
+    /// checkpoint falls back to an older retained one, the WAL scan stops
+    /// at the last valid record (truncating the torn tail), and the
+    /// instance serves from whatever it recovered. Each replayed record
+    /// goes through the same online-update path a live `observe` takes,
+    /// keyed by its log offset — replaying twice is a no-op.
+    pub fn deploy_durable<F>(
+        factory: F,
+        initial_weights: HashMap<u64, Vector>,
+        config: VeloxConfig,
+    ) -> Result<(Velox, RecoveryReport), VeloxError>
+    where
+        F: FnOnce(Option<&DeploymentSnapshot>) -> Result<Arc<dyn VeloxModel>, VeloxError>,
+    {
+        let durability_config = config.durability.clone().ok_or(VeloxError::DurabilityDisabled)?;
+        let timer = Timer::start();
+        let store = CheckpointStore::open(
+            durability_config.dir.join("checkpoints"),
+            durability_config.retain_checkpoints,
+        )?;
+        let checkpoint = store.load_latest()?;
+
+        let (velox, checkpoint_seq, checkpoint_wal_offset) =
+            match &checkpoint {
+                Some(c) => {
+                    if c.blobs.len() != 4 {
+                        return Err(VeloxError::Storage(StorageError::Corrupt(format!(
+                            "checkpoint {} carries {} blobs, expected 4",
+                            c.seq,
+                            c.blobs.len()
+                        ))));
+                    }
+                    let snapshot = DeploymentSnapshot {
+                        model_version: c.model_version,
+                        user_weights: c.blobs[0].clone(),
+                        item_table: c.blobs[1].clone(),
+                        catalog: c.blobs[2].clone(),
+                    };
+                    let model = factory(Some(&snapshot))?;
+                    let velox = Velox::restore(model, &snapshot, config)?;
+                    // The checkpoint carries the observation log too (4th
+                    // blob), so retraining history survives WAL truncation.
+                    let base = decode_observations(c.blobs[3].clone())?;
+                    let seeded = velox.obslog.seed(&base) as usize;
+                    velox.observations_total.add(seeded as u64);
+                    velox.training_log.lock().unwrap().extend(base[..seeded].iter().map(|o| {
+                        TrainingExample { uid: o.uid, item: Item::Id(o.item_id), y: o.y }
+                    }));
+                    (velox, Some(c.seq), c.wal_offset)
+                }
+                None => {
+                    let model = factory(None)?;
+                    (Velox::deploy(model, initial_weights, config), None, 0)
+                }
+            };
+
+        let mut wal_config = WalConfig::new(durability_config.dir.join("wal"));
+        wal_config.fsync = durability_config.fsync;
+        wal_config.segment_max_bytes = durability_config.wal_segment_bytes;
+        let (wal, scan) = Wal::open(wal_config)?;
+
+        // Replay the WAL tail through the online-update path. Offsets
+        // decide idempotence: records the checkpoint already covers skip,
+        // an out-of-sequence record (unreachable history past a
+        // quarantined segment) stops the replay cleanly.
+        let mut replayed = 0u64;
+        let mut apply_failures = 0u64;
+        for record in &scan.records {
+            if record.timestamp < velox.obslog.len() {
+                continue;
+            }
+            if velox.obslog.seed(std::slice::from_ref(record)) == 0 {
+                break;
+            }
+            velox.observations_total.inc();
+            let example =
+                TrainingExample { uid: record.uid, item: Item::Id(record.item_id), y: record.y };
+            velox.training_log.lock().unwrap().push(example.clone());
+            // An individually unappliable record (its item vanished from
+            // the catalog, say) must not halt recovery: the observation is
+            // preserved in the log; only its online update is lost.
+            if velox.apply_examples_to_online_state(std::slice::from_ref(&example)).is_err() {
+                apply_failures += 1;
+            }
+            replayed += 1;
+            velox.recovery_replayed.inc();
+        }
+
+        velox.obslog.attach_wal(wal);
+        if let Some(stats) = velox.obslog.wal_stats() {
+            velox.registry.register_counter("velox_wal_appends_total", &[], stats.appends);
+            velox.registry.register_counter("velox_wal_fsyncs_total", &[], stats.fsyncs);
+            velox.registry.register_counter(
+                "velox_wal_bytes_written_total",
+                &[],
+                stats.bytes_written,
+            );
+        }
+
+        let duration_ns = timer.elapsed_ns();
+        velox.recovery_replay_duration.record(duration_ns);
+        let torn = scan.torn.is_some();
+        if checkpoint_seq.is_some() || !scan.records.is_empty() || torn || scan.quarantined > 0 {
+            velox.registry.event(EventKind::Recovery { replayed, torn: torn as u64 });
+        }
+        *velox.durability.lock().unwrap() = Some(DurabilityRuntime {
+            store,
+            config: durability_config,
+            last_seq: checkpoint_seq.unwrap_or(0),
+            last_offset: checkpoint_wal_offset,
+        });
+
+        let report = RecoveryReport {
+            checkpoint_seq,
+            checkpoint_wal_offset,
+            replayed,
+            apply_failures,
+            torn,
+            wal_quarantined: scan.quarantined as u64,
+            duration_ns,
+        };
+        Ok((velox, report))
+    }
+
+    /// Writes a durable checkpoint: the full deployment snapshot plus the
+    /// observation log, fsynced and atomically installed, then reclaims
+    /// the WAL segments every retained checkpoint covers.
+    ///
+    /// The capture runs under the exclusive swap gate, so the snapshot and
+    /// the log length form one consistent cut — no observation can land
+    /// half in the snapshot and half in the replayable WAL suffix.
+    pub fn checkpoint(&self) -> Result<CheckpointReport, VeloxError> {
+        let mut durability = self.durability.lock().unwrap();
+        let Some(runtime) = durability.as_mut() else {
+            return Err(VeloxError::DurabilityDisabled);
+        };
+        let (snapshot, observations) = {
+            let _gate = self.swap_gate.write().unwrap();
+            (self.snapshot(), self.obslog.read_all())
+        };
+        let wal_offset = observations.len() as u64;
+        let model_version = snapshot.model_version;
+        let blobs = [
+            snapshot.user_weights,
+            snapshot.item_table,
+            snapshot.catalog,
+            encode_observations(&observations),
+        ];
+        let bytes = blobs.iter().map(|b| b.len()).sum();
+        let seq = runtime.store.save(model_version, wal_offset, &blobs)?;
+        // Truncate only to what the *oldest* retained checkpoint covers:
+        // if the file just written is later found corrupt, the fallback
+        // checkpoint still has its entire WAL suffix to replay.
+        let covered = runtime.store.covered_offset();
+        let removed =
+            self.obslog.with_wal(|w| w.truncate_covered(covered)).transpose()?.unwrap_or(0) as u64;
+        runtime.last_seq = seq;
+        runtime.last_offset = wal_offset;
+        self.checkpoints_total.inc();
+        self.registry.event(EventKind::Checkpoint {
+            seq,
+            wal_offset,
+            wal_segments_removed: removed,
+        });
+        Ok(CheckpointReport { seq, wal_offset, wal_segments_removed: removed, bytes })
+    }
+
+    /// Takes an automatic checkpoint once `checkpoint_every` observations
+    /// have accumulated past the last one. Called after an observation is
+    /// fully committed (no gate or lock from it is still held — the
+    /// capture needs the swap gate exclusively). Failures are counted, not
+    /// surfaced: the triggering observation is already durable in the WAL.
+    fn maybe_checkpoint(&self) {
+        {
+            let durability = self.durability.lock().unwrap();
+            let Some(runtime) = durability.as_ref() else { return };
+            if runtime.config.checkpoint_every == 0 {
+                return;
+            }
+            if self.obslog.len() < runtime.last_offset + runtime.config.checkpoint_every {
+                return;
+            }
+        }
+        if self.checkpoint_in_flight.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        if self.checkpoint().is_err() {
+            self.checkpoint_failures.inc();
+        }
+        self.checkpoint_in_flight.store(false, Ordering::Release);
+    }
+
+    /// Detaches the WAL (after a final sync) and drops the checkpoint
+    /// store, releasing the on-disk directory so another instance — a
+    /// recovery drill, a replacement process — can take it over. Returns
+    /// whether durability had been attached.
+    pub fn close_durability(&self) -> bool {
+        let had = self.durability.lock().unwrap().take().is_some();
+        self.obslog.detach_wal().is_some() || had
     }
 
     /// Exact top-`k` over the **entire catalog** — the paper's §8 future

@@ -67,6 +67,26 @@ pub enum EventKind {
         /// Buffered observations re-applied to the online state.
         applied: u64,
     },
+    /// A durable checkpoint of the deployment was written to disk.
+    Checkpoint {
+        /// Checkpoint sequence number (monotonic per deployment).
+        seq: u64,
+        /// Observation-log length the checkpoint covers; WAL records at or
+        /// past this offset remain replayable.
+        wal_offset: u64,
+        /// WAL segment files deleted because every retained checkpoint now
+        /// covers them.
+        wal_segments_removed: u64,
+    },
+    /// Startup recovery finished: checkpoint loaded (when one existed) and
+    /// the WAL tail replayed through the online-update path.
+    Recovery {
+        /// WAL records replayed on top of the checkpoint.
+        replayed: u64,
+        /// 1 when the scan stopped at a torn/corrupt record (truncated
+        /// cleanly), 0 when every byte on disk was valid.
+        torn: u64,
+    },
 }
 
 impl EventKind {
@@ -82,6 +102,8 @@ impl EventKind {
             EventKind::NodeDown { .. } => "node_down",
             EventKind::NodeRecovered { .. } => "node_recovered",
             EventKind::RedoDrain { .. } => "redo_drain",
+            EventKind::Checkpoint { .. } => "checkpoint",
+            EventKind::Recovery { .. } => "recovery",
         }
     }
 
@@ -106,6 +128,14 @@ impl EventKind {
                 vec![("node", node), ("caught_up", caught_up)]
             }
             EventKind::RedoDrain { applied } => vec![("applied", applied)],
+            EventKind::Checkpoint { seq, wal_offset, wal_segments_removed } => vec![
+                ("seq", seq),
+                ("wal_offset", wal_offset),
+                ("wal_segments_removed", wal_segments_removed),
+            ],
+            EventKind::Recovery { replayed, torn } => {
+                vec![("replayed", replayed), ("torn", torn)]
+            }
         }
     }
 }
@@ -257,6 +287,8 @@ mod tests {
             EventKind::NodeDown { node: 1 },
             EventKind::NodeRecovered { node: 1, caught_up: 12 },
             EventKind::RedoDrain { applied: 3 },
+            EventKind::Checkpoint { seq: 1, wal_offset: 100, wal_segments_removed: 2 },
+            EventKind::Recovery { replayed: 40, torn: 1 },
         ];
         for k in kinds {
             assert!(!k.name().is_empty());

@@ -464,6 +464,20 @@ impl VeloxClient {
         self.call("GET", &format!("/models/{}/stats", self.model), "")
     }
 
+    /// Takes a durable checkpoint; returns its sequence number.
+    pub fn checkpoint(&self) -> Result<u64, ClientError> {
+        let resp = self.call("POST", &format!("/models/{}/checkpoint", self.model), "")?;
+        resp.get("seq")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("missing seq".into()))
+    }
+
+    /// Runs a recovery drill (rebuild from durable state); returns the
+    /// recovery report as raw JSON.
+    pub fn recover(&self) -> Result<Json, ClientError> {
+        self.call("POST", &format!("/models/{}/recover", self.model), "")
+    }
+
     /// Lists all deployed model names on the server.
     pub fn list_models(&self) -> Result<Vec<String>, ClientError> {
         let resp = self.call("GET", "/models", "")?;

@@ -1,12 +1,14 @@
 //! The REST server: route dispatch over a [`VeloxServer`].
 
+use std::collections::HashMap;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use velox_core::server::ModelSchema;
-use velox_core::{VeloxError, VeloxServer};
+use velox_core::{Velox, VeloxError, VeloxServer};
 use velox_linalg::Vector;
 use velox_models::Item;
 use velox_obs::{Gauge, Registry, RegistrySnapshot, Timer};
@@ -31,6 +33,13 @@ pub struct ServerConfig {
     pub read_timeout: std::time::Duration,
     /// Per-connection write timeout.
     pub write_timeout: std::time::Duration,
+    /// How long a rendered `GET /metrics` exposition may be served from
+    /// cache. Rendering merges and re-sorts every deployment's registry —
+    /// linear in metric count — so an aggressive scraper (or many) could
+    /// make observability itself a serving-path cost. Zero disables
+    /// caching. The cache also invalidates immediately when the deployment
+    /// set changes, so a scrape never misses a new model for a full TTL.
+    pub metrics_cache_ttl: std::time::Duration,
 }
 
 impl Default for ServerConfig {
@@ -39,7 +48,45 @@ impl Default for ServerConfig {
             max_in_flight: 256,
             read_timeout: std::time::Duration::from_secs(30),
             write_timeout: std::time::Duration::from_secs(30),
+            metrics_cache_ttl: std::time::Duration::from_millis(250),
         }
+    }
+}
+
+/// TTL + deployment-set cache for the rendered Prometheus exposition.
+struct MetricsCache {
+    ttl: std::time::Duration,
+    entry: Mutex<Option<MetricsEntry>>,
+}
+
+struct MetricsEntry {
+    rendered_at: Instant,
+    /// Sorted deployment names at render time; a mismatch (model installed
+    /// or removed) invalidates regardless of age.
+    names: Vec<String>,
+    body: String,
+}
+
+impl MetricsCache {
+    fn new(ttl: std::time::Duration) -> Self {
+        MetricsCache { ttl, entry: Mutex::new(None) }
+    }
+
+    fn get(&self, server: &VeloxServer, registry: &Registry) -> String {
+        if self.ttl.is_zero() {
+            return metrics_text(server, registry);
+        }
+        let mut names = server.deployment_names();
+        names.sort();
+        let mut entry = self.entry.lock().unwrap();
+        if let Some(cached) = entry.as_ref() {
+            if cached.rendered_at.elapsed() < self.ttl && cached.names == names {
+                return cached.body.clone();
+            }
+        }
+        let body = metrics_text(server, registry);
+        *entry = Some(MetricsEntry { rendered_at: Instant::now(), names, body: body.clone() });
+        body
     }
 }
 
@@ -126,6 +173,7 @@ impl RestServer {
         let config = self.config;
         let in_flight = registry.gauge("velox_rest_in_flight_requests");
         let shed = registry.counter("velox_rest_shed_total");
+        let metrics_cache = Arc::new(MetricsCache::new(config.metrics_cache_ttl));
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if stop2.load(Ordering::Acquire) {
@@ -157,10 +205,11 @@ impl RestServer {
                 let guard = InFlightGuard(Arc::clone(&in_flight));
                 let deployments = Arc::clone(&deployments);
                 let registry = Arc::clone(&registry);
+                let metrics_cache = Arc::clone(&metrics_cache);
                 std::thread::spawn(move || {
                     let _guard = guard;
                     let (status, content_type, body) = match read_request(&stream) {
-                        Ok(request) => handle(&deployments, &registry, &request),
+                        Ok(request) => handle(&deployments, &registry, &metrics_cache, &request),
                         Err(e) => (400, JSON_TYPE, error_json(&format!("{e}"))),
                     };
                     let _ = write_response(&mut stream, status, content_type, &body);
@@ -178,9 +227,10 @@ fn error_json(message: &str) -> String {
 fn velox_error(e: &VeloxError) -> (u16, String) {
     let status = match e {
         VeloxError::ModelNotFound(_) => 404,
-        VeloxError::Model(_) | VeloxError::EmptyCandidateSet | VeloxError::VersionNotFound(_) => {
-            400
-        }
+        VeloxError::Model(_)
+        | VeloxError::EmptyCandidateSet
+        | VeloxError::VersionNotFound(_)
+        | VeloxError::DurabilityDisabled => 400,
         VeloxError::Unavailable(_) => 503,
         _ => 500,
     };
@@ -221,6 +271,8 @@ fn endpoint_of(method: &str, segments: &[&str]) -> &'static str {
         ("POST", ["models", _, "topk"]) => "topk",
         ("POST", ["models", _, "observe"]) => "observe",
         ("POST", ["models", _, "retrain"]) => "retrain",
+        ("POST", ["models", _, "checkpoint"]) => "checkpoint",
+        ("POST", ["models", _, "recover"]) => "recover",
         _ => "other",
     }
 }
@@ -230,13 +282,14 @@ fn endpoint_of(method: &str, segments: &[&str]) -> &'static str {
 fn handle(
     server: &VeloxServer,
     registry: &Registry,
+    metrics_cache: &MetricsCache,
     request: &Request,
 ) -> (u16, &'static str, String) {
     let timer = Timer::start();
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     let endpoint = endpoint_of(request.method.as_str(), &segments);
     let result = match (request.method.as_str(), segments.as_slice()) {
-        ("GET", ["metrics"]) => (200, METRICS_TYPE, metrics_text(server, registry)),
+        ("GET", ["metrics"]) => (200, METRICS_TYPE, metrics_cache.get(server, registry)),
         ("GET", ["events"]) => (200, JSON_TYPE, events_json(server)),
         _ => {
             let (status, body) = dispatch(server, request);
@@ -320,6 +373,23 @@ fn dispatch(server: &VeloxServer, request: &Request) -> (u16, String) {
                     ("prediction_cache_hits", Json::Number(s.prediction_cache.0 as f64)),
                     ("prediction_cache_misses", Json::Number(s.prediction_cache.1 as f64)),
                     ("stale", Json::Bool(s.stale)),
+                    (
+                        "durability",
+                        Json::object(vec![
+                            ("enabled", Json::Bool(s.durability.enabled)),
+                            ("checkpoints", Json::Number(s.durability.checkpoints as f64)),
+                            (
+                                "last_checkpoint_seq",
+                                Json::Number(s.durability.last_checkpoint_seq as f64),
+                            ),
+                            ("wal_appends", Json::Number(s.durability.wal_appends as f64)),
+                            ("wal_segments", Json::Number(s.durability.wal_segments as f64)),
+                            (
+                                "recovery_replayed",
+                                Json::Number(s.durability.recovery_replayed as f64),
+                            ),
+                        ]),
+                    ),
                 ]);
                 (200, body.to_string())
             }
@@ -430,9 +500,70 @@ fn dispatch(server: &VeloxServer, request: &Request) -> (u16, String) {
                 },
             }
         }
+        ("POST", ["models", name, "checkpoint"]) => {
+            match server.deployment(&ModelSchema::named(*name)) {
+                Err(e) => velox_error(&e),
+                Ok(velox) => match velox.checkpoint() {
+                    Err(e) => velox_error(&e),
+                    Ok(report) => (
+                        200,
+                        Json::object(vec![
+                            ("seq", Json::Number(report.seq as f64)),
+                            ("wal_offset", Json::Number(report.wal_offset as f64)),
+                            (
+                                "wal_segments_removed",
+                                Json::Number(report.wal_segments_removed as f64),
+                            ),
+                            ("bytes", Json::Number(report.bytes as f64)),
+                        ])
+                        .to_string(),
+                    ),
+                },
+            }
+        }
+        ("POST", ["models", name, "recover"]) => {
+            match server.deployment(&ModelSchema::named(*name)) {
+                Err(e) => velox_error(&e),
+                Ok(velox) => recover_deployment(server, name, &velox),
+            }
+        }
         (method, ["models", ..]) if method != "GET" && method != "POST" => {
             (405, error_json("method not allowed"))
         }
         _ => (404, error_json(&format!("no route for {} {}", request.method, request.path))),
+    }
+}
+
+/// Recovery drill: rebuilds `name`'s deployment strictly from its durable
+/// state. The live instance releases the WAL and checkpoint directory, a
+/// fresh instance recovers from them (checkpoint restore + WAL replay, the
+/// exact path a crashed process takes on restart), and the recovered
+/// instance replaces the old one atomically in the deployment table.
+fn recover_deployment(server: &VeloxServer, name: &str, velox: &Arc<Velox>) -> (u16, String) {
+    if velox.config().durability.is_none() {
+        return velox_error(&VeloxError::DurabilityDisabled);
+    }
+    let model = velox.current_model();
+    let config = velox.config().clone();
+    // Release the file handles so the recovering instance can take over.
+    velox.close_durability();
+    match Velox::deploy_durable(move |_snapshot| Ok(model), HashMap::new(), config) {
+        Err(e) => velox_error(&e),
+        Ok((recovered, report)) => {
+            server.install(name, Arc::new(recovered));
+            let body = Json::object(vec![
+                (
+                    "checkpoint_seq",
+                    report.checkpoint_seq.map(|s| Json::Number(s as f64)).unwrap_or(Json::Null),
+                ),
+                ("checkpoint_wal_offset", Json::Number(report.checkpoint_wal_offset as f64)),
+                ("replayed", Json::Number(report.replayed as f64)),
+                ("apply_failures", Json::Number(report.apply_failures as f64)),
+                ("torn", Json::Bool(report.torn)),
+                ("wal_quarantined", Json::Number(report.wal_quarantined as f64)),
+                ("duration_ns", Json::Number(report.duration_ns as f64)),
+            ]);
+            (200, body.to_string())
+        }
     }
 }

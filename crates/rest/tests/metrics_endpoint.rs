@@ -165,6 +165,50 @@ fn events_endpoint_serves_lifecycle_log_as_json() {
     handle.shutdown();
 }
 
+/// The exposition cache: within the TTL a scrape is served verbatim from
+/// cache (traffic between scrapes is invisible), but installing a new
+/// deployment invalidates immediately — the name-set check, not the clock.
+#[test]
+fn metrics_exposition_is_cached_until_the_deployment_set_changes() {
+    let deployments = Arc::new(VeloxServer::new());
+    let model = IdentityModel::new("songs", 2, 0.5);
+    let velox =
+        Arc::new(Velox::deploy(Arc::new(model), HashMap::new(), VeloxConfig::single_node()));
+    for item in 0..10u64 {
+        velox.register_item(item, vec![(item as f64 * 0.4).sin(), (item as f64 * 0.4).cos()]);
+    }
+    deployments.install("songs", velox);
+    let config = velox_rest::ServerConfig {
+        // Far beyond the test's runtime, so the only invalidation that can
+        // fire is the deployment-set change.
+        metrics_cache_ttl: std::time::Duration::from_secs(600),
+        ..Default::default()
+    };
+    let handle = RestServer::with_config(Arc::clone(&deployments), config)
+        .serve("127.0.0.1:0")
+        .expect("bind");
+    let addr = handle.addr();
+
+    call_raw(addr, "POST", "/models/songs/observe", r#"{"uid": 1, "item_id": 2, "y": 1.5}"#);
+    let (_, _, first) = call_raw(addr, "GET", "/metrics", "");
+
+    // New traffic bumps the live counters, but the cached body is served.
+    call_raw(addr, "POST", "/models/songs/observe", r#"{"uid": 1, "item_id": 3, "y": 0.5}"#);
+    let (_, _, second) = call_raw(addr, "GET", "/metrics", "");
+    assert_eq!(first, second, "within the TTL the cached exposition is served verbatim");
+
+    // Installing a model changes the deployment set: immediate refresh.
+    let other = IdentityModel::new("films", 2, 0.5);
+    deployments.install(
+        "films",
+        Arc::new(Velox::deploy(Arc::new(other), HashMap::new(), VeloxConfig::single_node())),
+    );
+    let (_, _, third) = call_raw(addr, "GET", "/metrics", "");
+    assert!(third.contains(r#"model="films""#), "new deployment visible without waiting out TTL");
+    assert_ne!(second, third);
+    handle.shutdown();
+}
+
 #[test]
 fn request_latency_is_tracked_per_endpoint() {
     let (handle, addr) = start();

@@ -1,0 +1,391 @@
+//! On-disk checkpoint store for deployment snapshots.
+//!
+//! A checkpoint is the durable complement of the WAL: it captures the
+//! [`DeploymentSnapshot`](../../velox_core) blobs (user weights, item
+//! table, catalog) *plus* the observation-log prefix at a single logical
+//! instant, so that recovery = load newest valid checkpoint + replay the
+//! WAL records with `timestamp >= wal_offset`. Once a checkpoint is
+//! durable, the WAL prefix it covers can be deleted.
+//!
+//! ## Crash consistency
+//!
+//! Each checkpoint is one self-validating file `ckpt-<seq>.ckpt`:
+//!
+//! ```text
+//! magic "VLXC" u32 | format u32 | seq u64 | model_version u64 |
+//! wal_offset u64 | blob_count u32 | { len u64 | bytes }* | crc32 u32
+//! ```
+//!
+//! written as `*.tmp`, fsynced, then atomically renamed — a crash at any
+//! point leaves either the complete old state or the complete new state,
+//! never a half-written visible checkpoint. A tiny `MANIFEST` (also
+//! tmp+rename) records the latest sequence number; if the manifest is
+//! missing, stale, or corrupt, [`CheckpointStore::load_latest`] falls back
+//! to scanning for the newest file that passes its CRC. Loading never
+//! panics on corrupt input.
+//!
+//! The store retains the last `retain` checkpoints so that a corrupted
+//! newest checkpoint still leaves an older recovery point; callers must
+//! only truncate the WAL up to [`CheckpointStore::covered_offset`] (the
+//! *oldest retained* checkpoint), which keeps every retained fallback
+//! replayable.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::bytes::Bytes;
+use crate::crc::crc32;
+use crate::{Result, StorageError};
+
+/// Magic prefix of a checkpoint file ("VLXC").
+const MAGIC_CKPT: u32 = 0x564C_5843;
+/// Magic prefix of the manifest ("VLXM").
+const MAGIC_MANIFEST: u32 = 0x564C_584D;
+/// Format version.
+const FORMAT: u32 = 1;
+
+/// A decoded checkpoint.
+#[derive(Debug, Clone)]
+pub struct CheckpointData {
+    /// Monotonic checkpoint sequence number.
+    pub seq: u64,
+    /// Model version at capture time.
+    pub model_version: u64,
+    /// Number of observations covered: WAL records with
+    /// `timestamp >= wal_offset` must be replayed on top.
+    pub wal_offset: u64,
+    /// Opaque snapshot blobs, in the order the producer wrote them.
+    pub blobs: Vec<Bytes>,
+}
+
+struct Entry {
+    seq: u64,
+    wal_offset: u64,
+    path: PathBuf,
+}
+
+/// A directory of retained checkpoints plus a manifest pointer.
+pub struct CheckpointStore {
+    dir: PathBuf,
+    retain: usize,
+    next_seq: u64,
+    /// Valid checkpoints, ascending by seq.
+    entries: Vec<Entry>,
+}
+
+fn io_err(ctx: &str, e: std::io::Error) -> StorageError {
+    StorageError::Io(format!("{ctx}: {e}"))
+}
+
+fn sync_dir(dir: &Path) {
+    if let Ok(f) = File::open(dir) {
+        let _ = f.sync_all();
+    }
+}
+
+fn ckpt_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("ckpt-{seq:010}.ckpt"))
+}
+
+/// Writes `bytes` to `final_path` via tmp + fsync + atomic rename.
+fn write_atomically(dir: &Path, final_path: &Path, bytes: &[u8]) -> Result<()> {
+    let tmp = final_path.with_extension("tmp");
+    let mut f = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(&tmp)
+        .map_err(|e| io_err("create tmp file", e))?;
+    f.write_all(bytes).map_err(|e| io_err("write tmp file", e))?;
+    f.sync_all().map_err(|e| io_err("sync tmp file", e))?;
+    drop(f);
+    fs::rename(&tmp, final_path).map_err(|e| io_err("rename into place", e))?;
+    sync_dir(dir);
+    Ok(())
+}
+
+fn parse_checkpoint(buf: &[u8], what: &str) -> Result<CheckpointData> {
+    if buf.len() < 4 {
+        return Err(StorageError::Corrupt(format!("{what}: shorter than its checksum")));
+    }
+    let (body, tail) = buf.split_at(buf.len() - 4);
+    let stored = u32::from_be_bytes(tail.try_into().unwrap());
+    if crc32(body) != stored {
+        return Err(StorageError::Corrupt(format!("{what}: checksum mismatch")));
+    }
+    let mut data = Bytes::from(body);
+    let need = |data: &Bytes, n: usize, field: &str| -> Result<()> {
+        if data.remaining() < n {
+            return Err(StorageError::Corrupt(format!("{what}: truncated {field}")));
+        }
+        Ok(())
+    };
+    need(&data, 4 + 4 + 8 + 8 + 8 + 4, "header")?;
+    if data.get_u32() != MAGIC_CKPT {
+        return Err(StorageError::Corrupt(format!("{what}: bad magic")));
+    }
+    let format = data.get_u32();
+    if format != FORMAT {
+        return Err(StorageError::Corrupt(format!("{what}: unknown format {format}")));
+    }
+    let seq = data.get_u64();
+    let model_version = data.get_u64();
+    let wal_offset = data.get_u64();
+    let blob_count = data.get_u32() as usize;
+    let mut blobs = Vec::with_capacity(blob_count.min(64));
+    for i in 0..blob_count {
+        need(&data, 8, "blob length")?;
+        let len = data.get_u64() as usize;
+        if data.remaining() < len {
+            return Err(StorageError::Corrupt(format!("{what}: truncated blob {i}")));
+        }
+        blobs.push(data.slice(0..len));
+        data = data.slice(len..data.len());
+    }
+    if data.has_remaining() {
+        return Err(StorageError::Corrupt(format!("{what}: trailing bytes")));
+    }
+    Ok(CheckpointData { seq, model_version, wal_offset, blobs })
+}
+
+impl CheckpointStore {
+    /// Opens the store at `dir`, validating whatever checkpoints survive
+    /// there. `retain` (min 1) is how many recent checkpoints to keep.
+    pub fn open(dir: impl Into<PathBuf>, retain: usize) -> Result<CheckpointStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| io_err("create checkpoint dir", e))?;
+        let mut entries = Vec::new();
+        let mut max_named_seq = 0u64;
+        for entry in fs::read_dir(&dir).map_err(|e| io_err("read checkpoint dir", e))? {
+            let entry = entry.map_err(|e| io_err("read checkpoint dir entry", e))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".tmp") {
+                // Crash debris from an interrupted save; never renamed, so
+                // never authoritative.
+                let _ = fs::remove_file(entry.path());
+                continue;
+            }
+            let Some(seq) = name
+                .strip_prefix("ckpt-")
+                .and_then(|s| s.strip_suffix(".ckpt"))
+                .and_then(|s| s.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            max_named_seq = max_named_seq.max(seq);
+            let Ok(buf) = fs::read(entry.path()) else { continue };
+            if let Ok(data) = parse_checkpoint(&buf, &name) {
+                entries.push(Entry {
+                    seq: data.seq,
+                    wal_offset: data.wal_offset,
+                    path: entry.path(),
+                });
+            }
+        }
+        entries.sort_by_key(|e| e.seq);
+        Ok(CheckpointStore { dir, retain: retain.max(1), next_seq: max_named_seq + 1, entries })
+    }
+
+    /// Number of retained (valid) checkpoints.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no valid checkpoint exists.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The WAL offset below which *every* retained checkpoint is covered —
+    /// the only safe WAL truncation point. Zero when no checkpoint exists.
+    pub fn covered_offset(&self) -> u64 {
+        self.entries.first().map(|e| e.wal_offset).unwrap_or(0)
+    }
+
+    /// Persists a new checkpoint and advances the manifest. Returns its
+    /// sequence number. Prunes checkpoints beyond the retention window.
+    pub fn save(&mut self, model_version: u64, wal_offset: u64, blobs: &[Bytes]) -> Result<u64> {
+        let seq = self.next_seq;
+        let mut body =
+            Vec::with_capacity(36 + blobs.iter().map(|b| 8 + b.len()).sum::<usize>() + 4);
+        body.extend_from_slice(&MAGIC_CKPT.to_be_bytes());
+        body.extend_from_slice(&FORMAT.to_be_bytes());
+        body.extend_from_slice(&seq.to_be_bytes());
+        body.extend_from_slice(&model_version.to_be_bytes());
+        body.extend_from_slice(&wal_offset.to_be_bytes());
+        body.extend_from_slice(&(blobs.len() as u32).to_be_bytes());
+        for b in blobs {
+            body.extend_from_slice(&(b.len() as u64).to_be_bytes());
+            body.extend_from_slice(b.as_slice());
+        }
+        let crc = crc32(&body);
+        body.extend_from_slice(&crc.to_be_bytes());
+
+        let path = ckpt_path(&self.dir, seq);
+        write_atomically(&self.dir, &path, &body)?;
+        self.next_seq = seq + 1;
+        self.entries.push(Entry { seq, wal_offset, path });
+
+        // Manifest: magic | format | latest seq | crc.
+        let mut manifest = Vec::with_capacity(20);
+        manifest.extend_from_slice(&MAGIC_MANIFEST.to_be_bytes());
+        manifest.extend_from_slice(&FORMAT.to_be_bytes());
+        manifest.extend_from_slice(&seq.to_be_bytes());
+        let mcrc = crc32(&manifest);
+        manifest.extend_from_slice(&mcrc.to_be_bytes());
+        write_atomically(&self.dir, &self.dir.join("MANIFEST"), &manifest)?;
+
+        let mut pruned = false;
+        while self.entries.len() > self.retain {
+            let old = self.entries.remove(0);
+            let _ = fs::remove_file(&old.path);
+            pruned = true;
+        }
+        if pruned {
+            sync_dir(&self.dir);
+        }
+        Ok(seq)
+    }
+
+    fn manifest_seq(&self) -> Option<u64> {
+        let buf = fs::read(self.dir.join("MANIFEST")).ok()?;
+        if buf.len() != 20 {
+            return None;
+        }
+        let (body, tail) = buf.split_at(16);
+        if crc32(body) != u32::from_be_bytes(tail.try_into().ok()?) {
+            return None;
+        }
+        if u32::from_be_bytes(body[0..4].try_into().ok()?) != MAGIC_MANIFEST {
+            return None;
+        }
+        if u32::from_be_bytes(body[4..8].try_into().ok()?) != FORMAT {
+            return None;
+        }
+        Some(u64::from_be_bytes(body[8..16].try_into().ok()?))
+    }
+
+    /// Loads the newest valid checkpoint: the manifest's pointer when it
+    /// checks out, otherwise the newest file that passes its CRC. `None`
+    /// when nothing valid is on disk. Never panics on corrupt input.
+    pub fn load_latest(&self) -> Result<Option<CheckpointData>> {
+        let manifest = self.manifest_seq();
+        // Try the manifest's choice first, then every valid entry newest-first.
+        let mut order: Vec<&Entry> = self.entries.iter().collect();
+        order.sort_by_key(|e| std::cmp::Reverse((Some(e.seq) == manifest, e.seq)));
+        for entry in order {
+            let Ok(buf) = fs::read(&entry.path) else { continue };
+            if let Ok(data) = parse_checkpoint(&buf, &entry.path.display().to_string()) {
+                return Ok(Some(data));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tmp::ScratchDir;
+
+    fn blobs(tag: u8, n: usize) -> Vec<Bytes> {
+        (0..n).map(|i| Bytes::from(vec![tag, i as u8, 0xAB, tag])).collect()
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = ScratchDir::new("velox-ckpt");
+        let mut store = CheckpointStore::open(dir.path(), 2).unwrap();
+        assert!(store.load_latest().unwrap().is_none());
+        let seq = store.save(7, 123, &blobs(1, 4)).unwrap();
+        assert_eq!(seq, 1);
+        let loaded = store.load_latest().unwrap().unwrap();
+        assert_eq!(loaded.seq, 1);
+        assert_eq!(loaded.model_version, 7);
+        assert_eq!(loaded.wal_offset, 123);
+        assert_eq!(loaded.blobs, blobs(1, 4));
+        // A fresh handle sees the same state.
+        let reopened = CheckpointStore::open(dir.path(), 2).unwrap();
+        assert_eq!(reopened.load_latest().unwrap().unwrap().wal_offset, 123);
+        assert_eq!(reopened.len(), 1);
+    }
+
+    #[test]
+    fn retention_prunes_oldest_and_tracks_covered_offset() {
+        let dir = ScratchDir::new("velox-ckpt");
+        let mut store = CheckpointStore::open(dir.path(), 2).unwrap();
+        store.save(1, 10, &blobs(1, 1)).unwrap();
+        store.save(1, 20, &blobs(2, 1)).unwrap();
+        assert_eq!(store.covered_offset(), 10, "oldest retained bounds truncation");
+        store.save(1, 30, &blobs(3, 1)).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.covered_offset(), 20);
+        let files: Vec<_> = fs::read_dir(dir.path())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".ckpt"))
+            .collect();
+        assert_eq!(files.len(), 2, "pruned to retention window: {files:?}");
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_older() {
+        let dir = ScratchDir::new("velox-ckpt");
+        let mut store = CheckpointStore::open(dir.path(), 3).unwrap();
+        store.save(1, 10, &blobs(1, 2)).unwrap();
+        store.save(2, 20, &blobs(2, 2)).unwrap();
+        // Corrupt the newest file in place.
+        let newest = ckpt_path(dir.path(), 2);
+        let mut buf = fs::read(&newest).unwrap();
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0xFF;
+        fs::write(&newest, &buf).unwrap();
+
+        // An existing handle and a fresh open both fall back.
+        let loaded = store.load_latest().unwrap().unwrap();
+        assert_eq!(loaded.seq, 1);
+        assert_eq!(loaded.wal_offset, 10);
+        let reopened = CheckpointStore::open(dir.path(), 3).unwrap();
+        assert_eq!(reopened.load_latest().unwrap().unwrap().seq, 1);
+        // The next save does not collide with the corrupt file's name.
+        let mut reopened = reopened;
+        assert_eq!(reopened.save(3, 30, &blobs(3, 1)).unwrap(), 3);
+    }
+
+    #[test]
+    fn torn_manifest_is_ignored() {
+        let dir = ScratchDir::new("velox-ckpt");
+        let mut store = CheckpointStore::open(dir.path(), 2).unwrap();
+        store.save(1, 10, &blobs(1, 1)).unwrap();
+        fs::write(dir.path().join("MANIFEST"), b"torn").unwrap();
+        assert_eq!(store.load_latest().unwrap().unwrap().seq, 1);
+        let reopened = CheckpointStore::open(dir.path(), 2).unwrap();
+        assert_eq!(reopened.load_latest().unwrap().unwrap().seq, 1);
+    }
+
+    #[test]
+    fn leftover_tmp_files_are_swept() {
+        let dir = ScratchDir::new("velox-ckpt");
+        fs::write(dir.join("ckpt-0000000005.tmp"), b"half-written").unwrap();
+        let mut store = CheckpointStore::open(dir.path(), 2).unwrap();
+        assert!(store.load_latest().unwrap().is_none());
+        assert!(!dir.join("ckpt-0000000005.tmp").exists());
+        store.save(1, 1, &blobs(1, 1)).unwrap();
+        assert_eq!(store.load_latest().unwrap().unwrap().seq, 1);
+    }
+
+    #[test]
+    fn truncation_of_checkpoint_file_never_panics() {
+        let dir = ScratchDir::new("velox-ckpt");
+        let mut store = CheckpointStore::open(dir.path(), 2).unwrap();
+        store.save(9, 99, &blobs(7, 3)).unwrap();
+        let path = ckpt_path(dir.path(), 1);
+        let full = fs::read(&path).unwrap();
+        for cut in 0..full.len() {
+            fs::write(&path, &full[..cut]).unwrap();
+            let reopened = CheckpointStore::open(dir.path(), 2).unwrap();
+            assert!(reopened.load_latest().unwrap().is_none(), "cut={cut} accepted");
+        }
+    }
+}

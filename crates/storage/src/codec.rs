@@ -7,8 +7,16 @@
 //! observation log — and refuses anything malformed with a
 //! [`StorageError::Corrupt`] instead of panicking, since snapshots cross a
 //! trust boundary (they may come from disk or another process).
+//!
+//! Every encoding ends with a CRC-32 footer over all preceding bytes.
+//! Structural checks (magic, tag, lengths) catch truncation, but without a
+//! checksum a bit flip inside an `f64` payload would decode "successfully"
+//! into silently-wrong model state — unacceptable now that these blobs
+//! live on disk inside checkpoints. Decoding verifies the CRC before
+//! parsing a single field.
 
 use crate::bytes::{Bytes, BytesMut};
+use crate::crc::crc32;
 use crate::obslog::Observation;
 use crate::{Result, StorageError};
 
@@ -18,6 +26,30 @@ const MAGIC: u32 = 0x56_4C_58_31; // "VLX1"
 /// Payload type tags.
 const TAG_VECTOR_TABLE: u8 = 1;
 const TAG_OBSERVATIONS: u8 = 2;
+
+/// Appends the CRC-32 footer and freezes the encoding.
+fn seal(mut buf: BytesMut) -> Bytes {
+    let crc = crc32(buf.as_slice());
+    buf.put_u32(crc);
+    buf.freeze()
+}
+
+/// Verifies and strips the CRC-32 footer, returning the protected body.
+fn unseal(data: Bytes) -> Result<Bytes> {
+    if data.len() < 4 {
+        return Err(StorageError::Corrupt(format!(
+            "payload shorter than its checksum: {} bytes",
+            data.len()
+        )));
+    }
+    let body = data.slice(0..data.len() - 4);
+    let mut tail = data.slice(data.len() - 4..data.len());
+    let stored = tail.get_u32();
+    if crc32(body.as_slice()) != stored {
+        return Err(StorageError::Corrupt("checksum mismatch".to_string()));
+    }
+    Ok(body)
+}
 
 fn check_remaining(buf: &Bytes, need: usize, what: &str) -> Result<()> {
     if buf.remaining() < need {
@@ -32,9 +64,10 @@ fn check_remaining(buf: &Bytes, need: usize, what: &str) -> Result<()> {
 /// Encodes a table of `(id, f64-vector)` entries — the on-wire form of a
 /// user-weight or item-factor namespace.
 ///
-/// Layout: `MAGIC u32 | TAG u8 | count u64 | { id u64 | len u64 | f64... }*`
+/// Layout: `MAGIC u32 | TAG u8 | count u64 | { id u64 | len u64 | f64... }* | crc32 u32`
 pub fn encode_vector_table(entries: &[(u64, Vec<f64>)]) -> Bytes {
-    let payload: usize = entries.iter().map(|(_, v)| 16 + v.len() * 8).sum::<usize>() + 4 + 1 + 8;
+    let payload: usize =
+        entries.iter().map(|(_, v)| 16 + v.len() * 8).sum::<usize>() + 4 + 1 + 8 + 4;
     let mut buf = BytesMut::with_capacity(payload);
     buf.put_u32(MAGIC);
     buf.put_u8(TAG_VECTOR_TABLE);
@@ -46,11 +79,12 @@ pub fn encode_vector_table(entries: &[(u64, Vec<f64>)]) -> Bytes {
             buf.put_f64(x);
         }
     }
-    buf.freeze()
+    seal(buf)
 }
 
 /// Decodes a vector table produced by [`encode_vector_table`].
-pub fn decode_vector_table(mut data: Bytes) -> Result<Vec<(u64, Vec<f64>)>> {
+pub fn decode_vector_table(data: Bytes) -> Result<Vec<(u64, Vec<f64>)>> {
+    let mut data = unseal(data)?;
     check_remaining(&data, 13, "header")?;
     let magic = data.get_u32();
     if magic != MAGIC {
@@ -85,9 +119,9 @@ pub fn decode_vector_table(mut data: Bytes) -> Result<Vec<(u64, Vec<f64>)>> {
 
 /// Encodes a slice of observations (a log segment or a full export).
 ///
-/// Layout: `MAGIC u32 | TAG u8 | count u64 | { uid u64 | item u64 | y f64 | ts u64 }*`
+/// Layout: `MAGIC u32 | TAG u8 | count u64 | { uid u64 | item u64 | y f64 | ts u64 }* | crc32 u32`
 pub fn encode_observations(obs: &[Observation]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(13 + obs.len() * 32);
+    let mut buf = BytesMut::with_capacity(13 + obs.len() * 32 + 4);
     buf.put_u32(MAGIC);
     buf.put_u8(TAG_OBSERVATIONS);
     buf.put_u64(obs.len() as u64);
@@ -97,11 +131,12 @@ pub fn encode_observations(obs: &[Observation]) -> Bytes {
         buf.put_f64(o.y);
         buf.put_u64(o.timestamp);
     }
-    buf.freeze()
+    seal(buf)
 }
 
 /// Decodes observations produced by [`encode_observations`].
-pub fn decode_observations(mut data: Bytes) -> Result<Vec<Observation>> {
+pub fn decode_observations(data: Bytes) -> Result<Vec<Observation>> {
+    let mut data = unseal(data)?;
     check_remaining(&data, 13, "header")?;
     let magic = data.get_u32();
     if magic != MAGIC {
@@ -134,6 +169,12 @@ pub fn decode_observations(mut data: Bytes) -> Result<Vec<Observation>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Seals a hand-built raw buffer with a *valid* CRC so tests can reach
+    /// the structural checks behind the checksum gate.
+    fn sealed(raw: BytesMut) -> Bytes {
+        seal(raw)
+    }
 
     #[test]
     fn vector_table_round_trip() {
@@ -169,7 +210,7 @@ mod tests {
         data.put_u32(0xDEADBEEF);
         data.put_u8(TAG_VECTOR_TABLE);
         data.put_u64(0);
-        assert!(matches!(decode_vector_table(data.freeze()), Err(StorageError::Corrupt(_))));
+        assert!(matches!(decode_vector_table(sealed(data)), Err(StorageError::Corrupt(_))));
     }
 
     #[test]
@@ -210,7 +251,23 @@ mod tests {
         buf.put_u64(1);
         buf.put_u64(7); // id
         buf.put_u64(1 << 61); // absurd length
-        assert!(decode_vector_table(buf.freeze()).is_err());
+        assert!(decode_vector_table(sealed(buf)).is_err());
+    }
+
+    #[test]
+    fn rejects_every_single_bit_flip() {
+        let entries = vec![(3u64, vec![0.25, -8.5]), (4u64, vec![1.0])];
+        let full = encode_vector_table(&entries);
+        for byte in 0..full.len() {
+            for bit in 0..8 {
+                let mut raw = full.as_slice().to_vec();
+                raw[byte] ^= 1 << bit;
+                assert!(
+                    decode_vector_table(Bytes::from(raw)).is_err(),
+                    "flip at byte {byte} bit {bit} decoded successfully"
+                );
+            }
+        }
     }
 
     #[test]

@@ -21,7 +21,14 @@
 //!   (§5) and for per-node hot-item caches in the cluster simulator.
 //! - [`codec`]: a compact self-describing binary codec (on the in-repo
 //!   [`bytes`] shim — the workspace is std-only) used to snapshot and
-//!   restore tables, standing in for Tachyon's persistence.
+//!   restore tables, standing in for Tachyon's persistence. Every blob
+//!   carries a CRC-32 footer ([`crc`]) so corruption is detected, never
+//!   decoded.
+//! - [`wal::Wal`] and [`checkpoint::CheckpointStore`]: the durable half of
+//!   the Tachyon substitute — a segmented, CRC-checksummed write-ahead log
+//!   of observations plus atomic-rename checkpoints of deployment
+//!   snapshots, so a process crash loses nothing that was acknowledged
+//!   (see DESIGN.md "Durability").
 //!
 //! Everything is in-process and thread-safe; the *distribution* of storage
 //! across nodes (partitioning, routing, remote-read costs) is modelled one
@@ -30,14 +37,21 @@
 #![warn(missing_docs)]
 
 pub mod bytes;
+pub mod checkpoint;
 pub mod codec;
+pub mod crc;
 pub mod kv;
 pub mod lru;
 pub mod obslog;
+pub mod tmp;
+pub mod wal;
 
+pub use checkpoint::{CheckpointData, CheckpointStore};
 pub use kv::{KvStore, Namespace, VersionedValue};
 pub use lru::LruCache;
 pub use obslog::{Observation, ObservationLog};
+pub use tmp::ScratchDir;
+pub use wal::{FsyncPolicy, Wal, WalConfig, WalRecovery};
 
 /// Errors surfaced by the storage layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,6 +63,10 @@ pub enum StorageError {
     /// An operation referenced a version that does not exist (e.g. rollback
     /// past the retained history).
     VersionNotFound(u64),
+    /// A filesystem operation on the durable state (WAL, checkpoint)
+    /// failed. Carries the formatted OS error — `std::io::Error` is not
+    /// `Clone`/`Eq`, which this enum needs to stay.
+    Io(String),
 }
 
 impl std::fmt::Display for StorageError {
@@ -57,6 +75,7 @@ impl std::fmt::Display for StorageError {
             StorageError::NamespaceNotFound(ns) => write!(f, "namespace not found: {ns}"),
             StorageError::Corrupt(what) => write!(f, "corrupt payload: {what}"),
             StorageError::VersionNotFound(v) => write!(f, "version not found: {v}"),
+            StorageError::Io(what) => write!(f, "durable-state io error: {what}"),
         }
     }
 }

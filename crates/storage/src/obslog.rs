@@ -6,11 +6,35 @@
 //! segmented, append-only, concurrently-readable log. Offline retraining
 //! reads from offset 0; the evaluator tails new entries; nothing is ever
 //! rewritten in place.
+//!
+//! ## Committed prefix
+//!
+//! Offsets are handed out by a fetch-add, so two threads can land their
+//! slots out of order: offset 7's write may finish before offset 6's. A
+//! slot only becomes *committed* — visible to readers — once every earlier
+//! slot in the log is filled too. Readers ([`read_from`]) therefore see a
+//! dense, gap-free prefix and can never observe an in-flight placeholder
+//! (the historical bug here was `resize`-with-default placeholders that a
+//! concurrent reader could return as real zero-valued records).
+//!
+//! ## Durability
+//!
+//! Optionally, a [`Wal`] can be attached: [`try_append`] then writes the
+//! record to disk (honoring the WAL's fsync policy) *before* making it
+//! visible in memory, so an acknowledged observation survives a process
+//! crash. Appends on a durable log are serialized by the WAL mutex, which
+//! keeps the on-disk order identical to the offset order.
+//!
+//! [`read_from`]: ObservationLog::read_from
+//! [`try_append`]: ObservationLog::try_append
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use velox_obs::{Histogram, Timer};
+
+use crate::wal::{Wal, WalStats};
+use crate::Result;
 
 /// One recorded interaction: user `uid` gave item `item_id` the label `y`
 /// (a rating, a click indicator, etc.) at logical time `timestamp`.
@@ -31,24 +55,41 @@ pub struct Observation {
 /// lock across the whole history: readers lock one segment at a time.
 const SEGMENT_SIZE: usize = 4096;
 
-/// An append-only, segmented, in-memory observation log.
-///
-/// Appends are lock-free in the common case apart from one segment write
-/// lock; reads never block appends to other segments.
+/// One segment: optional slots (None = reserved but not yet written) plus
+/// the length of its committed (gap-free) prefix.
+struct Segment {
+    slots: Vec<Option<Observation>>,
+    committed: usize,
+}
+
+impl Segment {
+    fn new() -> Self {
+        Segment { slots: Vec::with_capacity(SEGMENT_SIZE), committed: 0 }
+    }
+}
+
+/// An append-only, segmented, concurrently-readable observation log, with
+/// optional write-ahead durability.
 pub struct ObservationLog {
-    segments: RwLock<Vec<RwLock<Vec<Observation>>>>,
+    segments: RwLock<Vec<RwLock<Segment>>>,
     next_offset: AtomicU64,
     /// Per-append wall-clock latency (ns), exposable through a registry.
     append_latency: Arc<Histogram>,
+    /// Attached write-ahead log; when present, [`try_append`] persists
+    /// records before exposing them (and serializes appends).
+    ///
+    /// [`try_append`]: ObservationLog::try_append
+    wal: Mutex<Option<Wal>>,
 }
 
 impl ObservationLog {
-    /// Creates an empty log.
+    /// Creates an empty, memory-only log.
     pub fn new() -> Self {
         ObservationLog {
-            segments: RwLock::new(vec![RwLock::new(Vec::with_capacity(SEGMENT_SIZE))]),
+            segments: RwLock::new(vec![RwLock::new(Segment::new())]),
             next_offset: AtomicU64::new(0),
             append_latency: Arc::new(Histogram::new()),
+            wal: Mutex::new(None),
         }
     }
 
@@ -58,49 +99,141 @@ impl ObservationLog {
         Arc::clone(&self.append_latency)
     }
 
-    /// Appends an observation, assigning and returning its offset (which
-    /// doubles as its logical timestamp).
-    pub fn append(&self, uid: u64, item_id: u64, y: f64) -> u64 {
-        let timer = Timer::start();
-        let offset = self.next_offset.fetch_add(1, Ordering::SeqCst);
+    /// Places `obs` into its slot and advances the segment's committed
+    /// frontier over any now-contiguous run.
+    fn insert(&self, offset: u64, obs: Observation) {
         let seg_idx = (offset as usize) / SEGMENT_SIZE;
-        let obs = Observation { uid, item_id, y, timestamp: offset };
         loop {
             {
                 let segments = self.segments.read().unwrap();
                 if let Some(seg) = segments.get(seg_idx) {
                     let mut seg = seg.write().unwrap();
-                    // Offsets are dense, so within a segment the index is
-                    // offset % SEGMENT_SIZE; appends may arrive slightly out
-                    // of order across threads, so grow with placeholders.
                     let local = (offset as usize) % SEGMENT_SIZE;
-                    if seg.len() <= local {
-                        seg.resize(
-                            local + 1,
-                            Observation {
-                                uid: u64::MAX,
-                                item_id: u64::MAX,
-                                y: 0.0,
-                                timestamp: u64::MAX,
-                            },
-                        );
+                    if seg.slots.len() <= local {
+                        seg.slots.resize(local + 1, None);
                     }
-                    seg[local] = obs;
-                    timer.observe(&self.append_latency);
-                    return offset;
+                    seg.slots[local] = Some(obs);
+                    while seg.committed < seg.slots.len() && seg.slots[seg.committed].is_some() {
+                        seg.committed += 1;
+                    }
+                    return;
                 }
             }
             // Need a new segment; take the outer write lock and extend.
             let mut segments = self.segments.write().unwrap();
             while segments.len() <= seg_idx {
-                segments.push(RwLock::new(Vec::with_capacity(SEGMENT_SIZE)));
+                segments.push(RwLock::new(Segment::new()));
             }
         }
     }
 
-    /// Number of observations appended.
+    /// Appends an observation in memory only, assigning and returning its
+    /// offset (which doubles as its logical timestamp). Durable logs (a
+    /// WAL attached) must go through [`try_append`](Self::try_append)
+    /// instead — this path never touches disk.
+    pub fn append(&self, uid: u64, item_id: u64, y: f64) -> u64 {
+        let timer = Timer::start();
+        let offset = self.next_offset.fetch_add(1, Ordering::SeqCst);
+        self.insert(offset, Observation { uid, item_id, y, timestamp: offset });
+        timer.observe(&self.append_latency);
+        offset
+    }
+
+    /// Appends an observation, writing it to the attached WAL (and
+    /// syncing, per the WAL's fsync policy) *before* making it readable.
+    /// Without an attached WAL this is exactly [`append`](Self::append).
+    /// On an I/O error nothing becomes visible and the offset reservation
+    /// is rolled back.
+    pub fn try_append(&self, uid: u64, item_id: u64, y: f64) -> Result<u64> {
+        let mut wal = self.wal.lock().unwrap();
+        let Some(w) = wal.as_mut() else {
+            drop(wal);
+            return Ok(self.append(uid, item_id, y));
+        };
+        let timer = Timer::start();
+        let offset = self.next_offset.fetch_add(1, Ordering::SeqCst);
+        let obs = Observation { uid, item_id, y, timestamp: offset };
+        if let Err(e) = w.append(&obs) {
+            // Appends on a durable log are serialized by the wal mutex, so
+            // nothing can have raced past the reservation; roll it back.
+            let _ = self.next_offset.compare_exchange(
+                offset + 1,
+                offset,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+            return Err(e);
+        }
+        self.insert(offset, obs);
+        timer.observe(&self.append_latency);
+        Ok(offset)
+    }
+
+    /// Attaches a write-ahead log. Subsequent
+    /// [`try_append`](Self::try_append) calls persist through it.
+    pub fn attach_wal(&self, wal: Wal) {
+        *self.wal.lock().unwrap() = Some(wal);
+    }
+
+    /// Detaches and returns the WAL (syncing it first), leaving the log
+    /// memory-only. Used when an instance is being replaced so the new
+    /// process can take over the files.
+    pub fn detach_wal(&self) -> Option<Wal> {
+        let mut guard = self.wal.lock().unwrap();
+        if let Some(w) = guard.as_mut() {
+            let _ = w.sync();
+        }
+        guard.take()
+    }
+
+    /// Runs `f` against the attached WAL, if any. The WAL mutex is held
+    /// for the duration, so `f` must not append to this log.
+    pub fn with_wal<R>(&self, f: impl FnOnce(&mut Wal) -> R) -> Option<R> {
+        self.wal.lock().unwrap().as_mut().map(f)
+    }
+
+    /// Shared WAL counters for registry adoption (None when memory-only).
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.wal.lock().unwrap().as_ref().map(|w| w.stats())
+    }
+
+    /// Pre-populates an empty (or partially seeded) log during recovery.
+    /// Records are accepted while their timestamps continue the log's
+    /// offset sequence exactly; the first out-of-sequence record stops the
+    /// seed. Returns how many records were taken. Single-threaded use only
+    /// (recovery runs before the instance serves traffic).
+    pub fn seed(&self, records: &[Observation]) -> u64 {
+        let mut taken = 0u64;
+        for r in records {
+            let expected = self.next_offset.load(Ordering::SeqCst);
+            if r.timestamp != expected {
+                break;
+            }
+            self.insert(expected, r.clone());
+            self.next_offset.store(expected + 1, Ordering::SeqCst);
+            taken += 1;
+        }
+        taken
+    }
+
+    /// Number of offsets handed out (includes in-flight appends).
     pub fn len(&self) -> u64 {
         self.next_offset.load(Ordering::SeqCst)
+    }
+
+    /// Length of the committed (reader-visible, gap-free) prefix. Equal to
+    /// [`len`](Self::len) whenever no append is mid-flight.
+    pub fn committed_len(&self) -> u64 {
+        let segments = self.segments.read().unwrap();
+        let mut total = 0u64;
+        for seg in segments.iter() {
+            let seg = seg.read().unwrap();
+            total += seg.committed as u64;
+            if seg.committed < SEGMENT_SIZE {
+                break;
+            }
+        }
+        total
     }
 
     /// True when nothing has been appended.
@@ -109,9 +242,9 @@ impl ObservationLog {
     }
 
     /// Reads up to `max` observations starting at `from_offset`, in offset
-    /// order. Returns fewer than `max` at the log head. Placeholder slots
-    /// from in-flight concurrent appends (timestamp == u64::MAX) terminate
-    /// the scan early, so a reader never observes a torn entry.
+    /// order. Returns fewer than `max` at the log head. Only the committed
+    /// prefix is readable: the scan stops at the first in-flight slot, so
+    /// a reader never observes a torn or placeholder entry.
     pub fn read_from(&self, from_offset: u64, max: usize) -> Vec<Observation> {
         let end = self.len().min(from_offset.saturating_add(max as u64));
         let mut out = Vec::with_capacity((end.saturating_sub(from_offset)) as usize);
@@ -123,30 +256,22 @@ impl ObservationLog {
             let seg = seg.read().unwrap();
             let local_start = (offset as usize) % SEGMENT_SIZE;
             let local_end = (SEGMENT_SIZE).min(local_start + (end - offset) as usize);
-            // Only what the segment has actually materialized is readable;
-            // a shorter-than-claimed segment means an in-flight append, and
-            // the scan must STOP there rather than skip ahead and return a
-            // log with holes.
-            let avail_end = local_end.min(seg.len());
-            for obs in seg.get(local_start..avail_end).unwrap_or(&[]) {
-                if obs.timestamp == u64::MAX {
-                    return out; // in-flight append; stop cleanly
-                }
-                out.push(obs.clone());
+            let avail_end = local_end.min(seg.committed);
+            if avail_end <= local_start {
+                break;
+            }
+            for slot in &seg.slots[local_start..avail_end] {
+                out.push(slot.clone().expect("committed prefix has no holes"));
             }
             if avail_end < local_end {
-                break;
+                break; // hit the committed frontier mid-segment
             }
-            let consumed = avail_end - local_start;
-            if consumed == 0 {
-                break;
-            }
-            offset += consumed as u64;
+            offset += (avail_end - local_start) as u64;
         }
         out
     }
 
-    /// Reads the entire log (used by offline retraining).
+    /// Reads the entire committed log (used by offline retraining).
     pub fn read_all(&self) -> Vec<Observation> {
         self.read_from(0, self.len() as usize)
     }
@@ -169,6 +294,7 @@ impl Default for ObservationLog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicBool;
     use std::sync::Arc;
     use std::thread;
 
@@ -179,6 +305,7 @@ mod tests {
         assert_eq!(log.append(1, 100, 4.5), 0);
         assert_eq!(log.append(2, 200, 3.0), 1);
         assert_eq!(log.len(), 2);
+        assert_eq!(log.committed_len(), 2);
     }
 
     #[test]
@@ -228,6 +355,7 @@ mod tests {
             log.append(i, i, i as f64);
         }
         assert_eq!(log.len(), n);
+        assert_eq!(log.committed_len(), n);
         let all = log.read_all();
         assert_eq!(all.len(), n as usize);
         // Spot-check a cross-segment boundary read.
@@ -254,6 +382,7 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(log.len(), 16000);
+        assert_eq!(log.committed_len(), 16000);
         let all = log.read_all();
         assert_eq!(all.len(), 16000);
         // Offsets are dense and in order; no placeholder slots remain.
@@ -261,5 +390,104 @@ mod tests {
             assert_eq!(obs.timestamp, i as u64);
             assert!(obs.uid < 8);
         }
+    }
+
+    /// Regression test for the placeholder hazard: when a later offset
+    /// lands before an earlier one, readers must see *neither* until the
+    /// gap fills (the old implementation resized with default-valued
+    /// placeholder records that a concurrent reader could return).
+    #[test]
+    fn in_flight_gaps_are_invisible_to_readers() {
+        let log = ObservationLog::new();
+        // Simulate thread B (offset 1) landing before thread A (offset 0).
+        log.next_offset.store(2, Ordering::SeqCst);
+        log.insert(1, Observation { uid: 9, item_id: 90, y: 9.0, timestamp: 1 });
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.committed_len(), 0);
+        assert!(log.read_from(0, 10).is_empty(), "gap at offset 0 must hide offset 1");
+        assert!(log.read_from(1, 10).is_empty(), "offset 1 is not committed yet");
+        assert!(log.read_all().is_empty());
+        // The straggler lands; both records become visible atomically.
+        log.insert(0, Observation { uid: 5, item_id: 50, y: 5.0, timestamp: 0 });
+        assert_eq!(log.committed_len(), 2);
+        let all = log.read_all();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].uid, 5);
+        assert_eq!(all[1].uid, 9);
+    }
+
+    /// A concurrent tail reader must never see placeholder values or
+    /// out-of-order timestamps while appenders are racing.
+    #[test]
+    fn concurrent_reader_never_sees_placeholders() {
+        let log = Arc::new(ObservationLog::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let log = Arc::clone(&log);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let tail = log.read_from(0, usize::MAX);
+                    for (i, obs) in tail.iter().enumerate() {
+                        assert_eq!(obs.timestamp, i as u64, "hole surfaced to a reader");
+                        assert_ne!(obs.uid, u64::MAX, "placeholder surfaced to a reader");
+                    }
+                }
+            })
+        };
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let log = Arc::clone(&log);
+            handles.push(thread::spawn(move || {
+                for i in 0..3000u64 {
+                    log.append(t, i, 1.0);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        reader.join().unwrap();
+        assert_eq!(log.committed_len(), 12000);
+    }
+
+    #[test]
+    fn seed_takes_contiguous_prefix_only() {
+        let log = ObservationLog::new();
+        let mk = |ts: u64| Observation { uid: ts, item_id: ts, y: 0.0, timestamp: ts };
+        let taken = log.seed(&[mk(0), mk(1), mk(3)]);
+        assert_eq!(taken, 2, "ts=3 breaks the sequence");
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.committed_len(), 2);
+        // Appends continue after the seeded prefix.
+        assert_eq!(log.append(7, 7, 7.0), 2);
+    }
+
+    #[test]
+    fn try_append_without_wal_behaves_like_append() {
+        let log = ObservationLog::new();
+        assert_eq!(log.try_append(1, 2, 3.0).unwrap(), 0);
+        assert_eq!(log.try_append(4, 5, 6.0).unwrap(), 1);
+        assert_eq!(log.read_all().len(), 2);
+        assert!(log.wal_stats().is_none());
+    }
+
+    #[test]
+    fn try_append_with_wal_persists_records() {
+        use crate::tmp::ScratchDir;
+        use crate::wal::{Wal, WalConfig};
+        let dir = ScratchDir::new("velox-obslog-wal");
+        let log = ObservationLog::new();
+        let (wal, _) = Wal::open(WalConfig::new(dir.path())).unwrap();
+        log.attach_wal(wal);
+        for i in 0..20u64 {
+            assert_eq!(log.try_append(i, i * 2, i as f64).unwrap(), i);
+        }
+        assert_eq!(log.wal_stats().unwrap().appends.get(), 20);
+        drop(log);
+        let (_, rec) = Wal::open(WalConfig::new(dir.path())).unwrap();
+        assert_eq!(rec.records.len(), 20);
+        assert_eq!(rec.records[7], Observation { uid: 7, item_id: 14, y: 7.0, timestamp: 7 });
     }
 }

@@ -1,0 +1,76 @@
+//! Self-cleaning scratch directories for durability tests and benches.
+//!
+//! Every crash-injection test and the `abl_recovery` bench needs an
+//! on-disk working directory that (a) never collides with a concurrent
+//! test and (b) disappears afterwards, so the verification suite stays
+//! hermetic. [`ScratchDir`] provides exactly that: a uniquely-named
+//! directory under the system temp dir, removed recursively on drop.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely-named temporary directory, deleted (recursively) on drop.
+pub struct ScratchDir {
+    path: PathBuf,
+}
+
+impl ScratchDir {
+    /// Creates a fresh scratch directory whose name starts with `prefix`.
+    ///
+    /// # Panics
+    /// Panics if the directory cannot be created — scratch space is a test
+    /// precondition, not a recoverable error.
+    pub fn new(prefix: &str) -> Self {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("{prefix}-{}-{nanos:09}-{id}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create scratch dir");
+        ScratchDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A path inside the scratch directory.
+    pub fn join(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes() {
+        let kept;
+        {
+            let dir = ScratchDir::new("velox-scratch-test");
+            kept = dir.path().to_path_buf();
+            assert!(kept.is_dir());
+            std::fs::write(dir.join("f.txt"), b"x").unwrap();
+        }
+        assert!(!kept.exists(), "scratch dir must be removed on drop");
+    }
+
+    #[test]
+    fn two_dirs_never_collide() {
+        let a = ScratchDir::new("velox-scratch-test");
+        let b = ScratchDir::new("velox-scratch-test");
+        assert_ne!(a.path(), b.path());
+    }
+}

@@ -1,0 +1,627 @@
+//! File-backed, segmented write-ahead log for observations.
+//!
+//! The paper's Velox delegates durability to Tachyon — every `observe` is
+//! "durably recorded for use by Spark when retraining" (§4.1). Our
+//! in-memory substitute loses the online state on process crash, so this
+//! module adds the missing half of the fault model: each acknowledged
+//! observation is appended to an on-disk log *before* the ack, and startup
+//! recovery replays the log tail over the latest checkpoint.
+//!
+//! ## On-disk format
+//!
+//! A log is a directory of segment files `wal-<start_ts>.log`, where
+//! `start_ts` is the logical timestamp (== log offset) of the segment's
+//! first record. Each segment starts with a 16-byte header:
+//!
+//! ```text
+//! magic "VLW1" u32 | format u32 | start_ts u64          (big-endian)
+//! ```
+//!
+//! followed by length-prefixed, CRC-checksummed records:
+//!
+//! ```text
+//! len u32 | crc32(payload) u32 | payload
+//! payload = ts u64 | uid u64 | item u64 | y f64          (32 bytes)
+//! ```
+//!
+//! ## Crash consistency
+//!
+//! [`Wal::open`] scans every segment in order and stops at the first
+//! invalid record (short header, short record, or CRC mismatch). A torn
+//! *tail* — the expected result of a crash mid-append — is truncated away
+//! so the log is immediately appendable again. Corruption in the *middle*
+//! of the log (bit rot) also stops the scan; later segments are renamed to
+//! `*.quarantined` rather than deleted, preserving the bytes for forensics
+//! while keeping the live log free of gaps. Recovery never panics on any
+//! byte sequence.
+//!
+//! ## Fsync policy
+//!
+//! [`FsyncPolicy`] trades durability for observe-path throughput:
+//! `PerRecord` fsyncs before every ack (no acknowledged record can be
+//! lost), `Batched { every }` bounds the loss window to `every` records,
+//! and `Off` leaves flushing to the OS page cache. The cost of each is
+//! quantified in EXPERIMENTS.md `RECOVERY-DURABILITY`.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use velox_obs::Counter;
+
+use crate::crc::crc32;
+use crate::obslog::Observation;
+use crate::{Result, StorageError};
+
+/// Magic prefix of every WAL segment file ("VLW1").
+const MAGIC_WAL: u32 = 0x564C_5731;
+/// Format version written into segment headers.
+const FORMAT: u32 = 1;
+/// Segment header: magic + format + start_ts.
+const HEADER_LEN: usize = 16;
+/// Fixed payload size of an observation record.
+const PAYLOAD_LEN: usize = 32;
+/// Full record size: len prefix + crc + payload.
+pub(crate) const RECORD_LEN: usize = 8 + PAYLOAD_LEN;
+/// Upper bound accepted for a record's claimed payload length; anything
+/// larger is corruption (keeps a flipped length bit from causing a huge
+/// read-ahead).
+const MAX_PAYLOAD_LEN: u32 = 1 << 20;
+
+/// When (relative to the append that was just acknowledged) the log file
+/// is flushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every record: an acknowledged observation is
+    /// never lost, at the price of one disk round-trip per observe.
+    PerRecord,
+    /// `fdatasync` after every `every` records: bounds the loss window.
+    Batched {
+        /// Records between syncs (0 behaves like `Off`).
+        every: u32,
+    },
+    /// Never explicitly synced; the OS flushes when it pleases. Fastest,
+    /// loses up to the page-cache contents on power failure.
+    Off,
+}
+
+impl FsyncPolicy {
+    /// Short human-readable name (bench tables, logs).
+    pub fn name(&self) -> String {
+        match self {
+            FsyncPolicy::PerRecord => "per-record".to_string(),
+            FsyncPolicy::Batched { every } => format!("batched({every})"),
+            FsyncPolicy::Off => "off".to_string(),
+        }
+    }
+}
+
+/// WAL tuning knobs.
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Directory holding the segment files (created if absent).
+    pub dir: PathBuf,
+    /// Rotate to a new segment once the current one reaches this size.
+    pub segment_max_bytes: u64,
+    /// Flush policy (see [`FsyncPolicy`]).
+    pub fsync: FsyncPolicy,
+}
+
+impl WalConfig {
+    /// Defaults: 1 MiB segments, fsync per record.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        WalConfig { dir: dir.into(), segment_max_bytes: 1 << 20, fsync: FsyncPolicy::PerRecord }
+    }
+}
+
+/// What [`Wal::open`] found on disk.
+#[derive(Debug, Clone)]
+pub struct WalRecovery {
+    /// Every valid record, in log order (dense, ascending timestamps).
+    pub records: Vec<Observation>,
+    /// Why the scan stopped early, when it did (torn tail, CRC mismatch,
+    /// bad header). `None` means every byte on disk was valid.
+    pub torn: Option<String>,
+    /// Segment files scanned.
+    pub segments_scanned: usize,
+    /// Segment files renamed to `*.quarantined` because they followed a
+    /// corrupt segment (their contents can no longer be ordered safely).
+    pub quarantined: usize,
+}
+
+/// Append/flush counters, shareable with a metrics registry.
+#[derive(Clone)]
+pub struct WalStats {
+    /// Records appended.
+    pub appends: Arc<Counter>,
+    /// Explicit `fdatasync` calls issued.
+    pub fsyncs: Arc<Counter>,
+    /// Payload + framing bytes written.
+    pub bytes_written: Arc<Counter>,
+}
+
+impl WalStats {
+    fn new() -> Self {
+        WalStats {
+            appends: Arc::new(Counter::new()),
+            fsyncs: Arc::new(Counter::new()),
+            bytes_written: Arc::new(Counter::new()),
+        }
+    }
+}
+
+struct SegmentInfo {
+    start_ts: u64,
+    path: PathBuf,
+}
+
+struct OpenSegment {
+    file: File,
+    bytes: u64,
+}
+
+/// The write-ahead log handle. Not internally synchronized — callers
+/// (`ObservationLog`) serialize appends behind their own lock so the
+/// on-disk order matches the in-memory offset order.
+pub struct Wal {
+    config: WalConfig,
+    /// All live segments in log order; the last one is the append target.
+    segments: Vec<SegmentInfo>,
+    current: Option<OpenSegment>,
+    unsynced: u32,
+    stats: WalStats,
+}
+
+fn io_err(ctx: &str, e: std::io::Error) -> StorageError {
+    StorageError::Io(format!("{ctx}: {e}"))
+}
+
+/// Best-effort directory fsync (makes renames/creates durable on Linux).
+fn sync_dir(dir: &Path) {
+    if let Ok(f) = File::open(dir) {
+        let _ = f.sync_all();
+    }
+}
+
+fn segment_path(dir: &Path, start_ts: u64) -> PathBuf {
+    dir.join(format!("wal-{start_ts:020}.log"))
+}
+
+fn read_u32(buf: &[u8], pos: usize) -> u32 {
+    u32::from_be_bytes(buf[pos..pos + 4].try_into().unwrap())
+}
+
+fn read_u64(buf: &[u8], pos: usize) -> u64 {
+    u64::from_be_bytes(buf[pos..pos + 8].try_into().unwrap())
+}
+
+/// Result of scanning one segment's bytes.
+struct SegmentScan {
+    records: Vec<Observation>,
+    /// Byte length of the valid prefix (everything before the first
+    /// invalid record).
+    valid_len: usize,
+    /// Why the scan stopped early, if it did.
+    stop: Option<String>,
+}
+
+fn scan_segment(buf: &[u8], path: &Path) -> SegmentScan {
+    let name = path.display();
+    if buf.len() < HEADER_LEN {
+        return SegmentScan {
+            records: Vec::new(),
+            valid_len: 0,
+            stop: Some(format!("{name}: truncated header ({} bytes)", buf.len())),
+        };
+    }
+    if read_u32(buf, 0) != MAGIC_WAL {
+        return SegmentScan {
+            records: Vec::new(),
+            valid_len: 0,
+            stop: Some(format!("{name}: bad segment magic")),
+        };
+    }
+    if read_u32(buf, 4) != FORMAT {
+        return SegmentScan {
+            records: Vec::new(),
+            valid_len: 0,
+            stop: Some(format!("{name}: unknown format {}", read_u32(buf, 4))),
+        };
+    }
+    let mut records = Vec::new();
+    let mut pos = HEADER_LEN;
+    loop {
+        if pos == buf.len() {
+            return SegmentScan { records, valid_len: pos, stop: None };
+        }
+        if buf.len() - pos < 8 {
+            return SegmentScan {
+                records,
+                valid_len: pos,
+                stop: Some(format!("{name}: torn record framing at byte {pos}")),
+            };
+        }
+        let len = read_u32(buf, pos);
+        if len != PAYLOAD_LEN as u32 && len > MAX_PAYLOAD_LEN {
+            return SegmentScan {
+                records,
+                valid_len: pos,
+                stop: Some(format!("{name}: implausible record length {len} at byte {pos}")),
+            };
+        }
+        let len = len as usize;
+        if buf.len() - pos - 8 < len {
+            return SegmentScan {
+                records,
+                valid_len: pos,
+                stop: Some(format!("{name}: torn record payload at byte {pos}")),
+            };
+        }
+        let crc = read_u32(buf, pos + 4);
+        let payload = &buf[pos + 8..pos + 8 + len];
+        if crc32(payload) != crc {
+            return SegmentScan {
+                records,
+                valid_len: pos,
+                stop: Some(format!("{name}: crc mismatch at byte {pos}")),
+            };
+        }
+        if len != PAYLOAD_LEN {
+            // Checksummed but not a shape this version understands.
+            return SegmentScan {
+                records,
+                valid_len: pos,
+                stop: Some(format!("{name}: unknown record shape ({len} bytes) at byte {pos}")),
+            };
+        }
+        records.push(Observation {
+            timestamp: read_u64(payload, 0),
+            uid: read_u64(payload, 8),
+            item_id: read_u64(payload, 16),
+            y: f64::from_be_bytes(payload[24..32].try_into().unwrap()),
+        });
+        pos += 8 + len;
+    }
+}
+
+impl Wal {
+    /// Opens (or initializes) the log at `config.dir`, scanning and
+    /// repairing whatever a previous process left behind. Returns the
+    /// handle positioned for appending plus everything recovered.
+    pub fn open(config: WalConfig) -> Result<(Wal, WalRecovery)> {
+        fs::create_dir_all(&config.dir).map_err(|e| io_err("create wal dir", e))?;
+        let mut files: Vec<(u64, PathBuf)> = Vec::new();
+        let entries = fs::read_dir(&config.dir).map_err(|e| io_err("read wal dir", e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("read wal dir entry", e))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if let Some(ts) = name
+                .strip_prefix("wal-")
+                .and_then(|s| s.strip_suffix(".log"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                files.push((ts, entry.path()));
+            }
+        }
+        files.sort_by_key(|(ts, _)| *ts);
+
+        let mut records = Vec::new();
+        let mut torn: Option<String> = None;
+        let mut segments = Vec::new();
+        let mut quarantined = 0usize;
+        let mut scanned = 0usize;
+        for (start_ts, path) in &files {
+            if torn.is_some() {
+                // Everything after the first corruption can no longer be
+                // ordered against the live log; set it aside, don't delete.
+                let mut q = path.clone();
+                q.set_extension("log.quarantined");
+                fs::rename(path, &q).map_err(|e| io_err("quarantine segment", e))?;
+                quarantined += 1;
+                continue;
+            }
+            scanned += 1;
+            let buf = fs::read(path).map_err(|e| io_err("read wal segment", e))?;
+            let scan = scan_segment(&buf, path);
+            records.extend(scan.records);
+            if let Some(reason) = scan.stop {
+                torn = Some(reason);
+                if scan.valid_len < HEADER_LEN {
+                    // Not even a full header survived; the file holds
+                    // nothing recoverable.
+                    fs::remove_file(path).map_err(|e| io_err("remove torn segment", e))?;
+                } else {
+                    if scan.valid_len < buf.len() {
+                        let f = OpenOptions::new()
+                            .write(true)
+                            .open(path)
+                            .map_err(|e| io_err("open segment for repair", e))?;
+                        f.set_len(scan.valid_len as u64)
+                            .map_err(|e| io_err("truncate torn segment", e))?;
+                        f.sync_all().map_err(|e| io_err("sync repaired segment", e))?;
+                    }
+                    segments.push(SegmentInfo { start_ts: *start_ts, path: path.clone() });
+                }
+            } else {
+                segments.push(SegmentInfo { start_ts: *start_ts, path: path.clone() });
+            }
+        }
+        sync_dir(&config.dir);
+
+        // Reopen the last surviving segment for appending.
+        let current = match segments.last() {
+            Some(last) => {
+                let mut file = OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .open(&last.path)
+                    .map_err(|e| io_err("open wal segment for append", e))?;
+                let bytes =
+                    file.seek(SeekFrom::End(0)).map_err(|e| io_err("seek wal segment", e))?;
+                Some(OpenSegment { file, bytes })
+            }
+            None => None,
+        };
+
+        let recovery = WalRecovery { records, torn, segments_scanned: scanned, quarantined };
+        let wal = Wal { config, segments, current, unsynced: 0, stats: WalStats::new() };
+        Ok((wal, recovery))
+    }
+
+    /// Shared counter handles (for registry adoption).
+    pub fn stats(&self) -> WalStats {
+        self.stats.clone()
+    }
+
+    /// Number of live segment files.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The configured fsync policy.
+    pub fn fsync_policy(&self) -> FsyncPolicy {
+        self.config.fsync
+    }
+
+    fn rotate(&mut self, start_ts: u64) -> Result<()> {
+        self.sync()?; // never abandon unsynced bytes in a closed segment
+        let path = segment_path(&self.config.dir, start_ts);
+        let mut file = OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .read(true)
+            .open(&path)
+            .map_err(|e| io_err("create wal segment", e))?;
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(&MAGIC_WAL.to_be_bytes());
+        header.extend_from_slice(&FORMAT.to_be_bytes());
+        header.extend_from_slice(&start_ts.to_be_bytes());
+        file.write_all(&header).map_err(|e| io_err("write segment header", e))?;
+        sync_dir(&self.config.dir);
+        self.segments.push(SegmentInfo { start_ts, path });
+        self.current = Some(OpenSegment { file, bytes: HEADER_LEN as u64 });
+        Ok(())
+    }
+
+    /// Appends one record, honoring the fsync policy. On return `Ok`, the
+    /// record is on disk (modulo the policy's loss window).
+    pub fn append(&mut self, obs: &Observation) -> Result<()> {
+        let needs_rotation = match &self.current {
+            None => true,
+            Some(seg) => seg.bytes + RECORD_LEN as u64 > self.config.segment_max_bytes,
+        };
+        if needs_rotation {
+            self.rotate(obs.timestamp)?;
+        }
+
+        let mut payload = [0u8; PAYLOAD_LEN];
+        payload[0..8].copy_from_slice(&obs.timestamp.to_be_bytes());
+        payload[8..16].copy_from_slice(&obs.uid.to_be_bytes());
+        payload[16..24].copy_from_slice(&obs.item_id.to_be_bytes());
+        payload[24..32].copy_from_slice(&obs.y.to_be_bytes());
+        let mut rec = [0u8; RECORD_LEN];
+        rec[0..4].copy_from_slice(&(PAYLOAD_LEN as u32).to_be_bytes());
+        rec[4..8].copy_from_slice(&crc32(&payload).to_be_bytes());
+        rec[8..].copy_from_slice(&payload);
+
+        let seg = self.current.as_mut().expect("rotation ensured a segment");
+        seg.file.write_all(&rec).map_err(|e| io_err("append wal record", e))?;
+        seg.bytes += RECORD_LEN as u64;
+        self.stats.appends.inc();
+        self.stats.bytes_written.add(RECORD_LEN as u64);
+
+        match self.config.fsync {
+            FsyncPolicy::PerRecord => self.sync()?,
+            FsyncPolicy::Batched { every } => {
+                self.unsynced += 1;
+                if every > 0 && self.unsynced >= every {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Off => {}
+        }
+        Ok(())
+    }
+
+    /// Flushes the current segment to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        if let Some(seg) = &mut self.current {
+            if self.unsynced > 0 || matches!(self.config.fsync, FsyncPolicy::PerRecord) {
+                seg.file.sync_data().map_err(|e| io_err("fsync wal segment", e))?;
+                self.stats.fsyncs.inc();
+            }
+        }
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Deletes segments wholly covered by a checkpoint: every segment
+    /// whose successor starts at or before `covered_ts` (i.e. all of its
+    /// records have timestamp `< covered_ts`). The newest segment is never
+    /// deleted. Returns how many files were removed.
+    pub fn truncate_covered(&mut self, covered_ts: u64) -> Result<usize> {
+        let mut removed = 0usize;
+        while self.segments.len() >= 2 && self.segments[1].start_ts <= covered_ts {
+            let seg = self.segments.remove(0);
+            fs::remove_file(&seg.path).map_err(|e| io_err("remove covered segment", e))?;
+            removed += 1;
+        }
+        if removed > 0 {
+            sync_dir(&self.config.dir);
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tmp::ScratchDir;
+
+    fn obs(ts: u64) -> Observation {
+        Observation { uid: ts * 7, item_id: ts * 13, y: ts as f64 * 0.5, timestamp: ts }
+    }
+
+    fn open(dir: &Path, fsync: FsyncPolicy, seg_bytes: u64) -> (Wal, WalRecovery) {
+        let mut cfg = WalConfig::new(dir);
+        cfg.fsync = fsync;
+        cfg.segment_max_bytes = seg_bytes;
+        Wal::open(cfg).unwrap()
+    }
+
+    #[test]
+    fn append_and_recover_round_trip() {
+        let dir = ScratchDir::new("velox-wal");
+        {
+            let (mut wal, rec) = open(dir.path(), FsyncPolicy::PerRecord, 1 << 20);
+            assert!(rec.records.is_empty());
+            for ts in 0..25 {
+                wal.append(&obs(ts)).unwrap();
+            }
+        }
+        let (_, rec) = open(dir.path(), FsyncPolicy::PerRecord, 1 << 20);
+        assert_eq!(rec.records.len(), 25);
+        assert!(rec.torn.is_none());
+        for (i, r) in rec.records.iter().enumerate() {
+            assert_eq!(*r, obs(i as u64));
+        }
+    }
+
+    #[test]
+    fn rotation_spreads_records_across_segments() {
+        let dir = ScratchDir::new("velox-wal");
+        // Room for ~4 records per segment.
+        let seg_bytes = (HEADER_LEN + 4 * RECORD_LEN) as u64;
+        {
+            let (mut wal, _) = open(dir.path(), FsyncPolicy::Off, seg_bytes);
+            for ts in 0..10 {
+                wal.append(&obs(ts)).unwrap();
+            }
+            assert_eq!(wal.segment_count(), 3);
+        }
+        let (wal, rec) = open(dir.path(), FsyncPolicy::Off, seg_bytes);
+        assert_eq!(rec.segments_scanned, 3);
+        assert_eq!(rec.records.len(), 10);
+        assert_eq!(wal.segment_count(), 3);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_log_stays_appendable() {
+        let dir = ScratchDir::new("velox-wal");
+        {
+            let (mut wal, _) = open(dir.path(), FsyncPolicy::PerRecord, 1 << 20);
+            for ts in 0..5 {
+                wal.append(&obs(ts)).unwrap();
+            }
+        }
+        // Tear the last record in half.
+        let path = segment_path(dir.path(), 0);
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() - RECORD_LEN / 2]).unwrap();
+
+        let (mut wal, rec) = open(dir.path(), FsyncPolicy::PerRecord, 1 << 20);
+        assert_eq!(rec.records.len(), 4);
+        assert!(rec.torn.is_some());
+        // The tail is clean again: append continues where the log ended.
+        wal.append(&obs(4)).unwrap();
+        drop(wal);
+        let (_, rec) = open(dir.path(), FsyncPolicy::PerRecord, 1 << 20);
+        assert_eq!(rec.records.len(), 5);
+        assert!(rec.torn.is_none());
+    }
+
+    #[test]
+    fn mid_log_corruption_quarantines_later_segments() {
+        let dir = ScratchDir::new("velox-wal");
+        let seg_bytes = (HEADER_LEN + 2 * RECORD_LEN) as u64;
+        {
+            let (mut wal, _) = open(dir.path(), FsyncPolicy::PerRecord, seg_bytes);
+            for ts in 0..6 {
+                wal.append(&obs(ts)).unwrap();
+            }
+            assert_eq!(wal.segment_count(), 3);
+        }
+        // Flip a payload byte in the FIRST segment's second record.
+        let path = segment_path(dir.path(), 0);
+        let mut buf = fs::read(&path).unwrap();
+        let idx = HEADER_LEN + RECORD_LEN + 8 + 3;
+        buf[idx] ^= 0x40;
+        fs::write(&path, &buf).unwrap();
+
+        let (wal, rec) = open(dir.path(), FsyncPolicy::PerRecord, seg_bytes);
+        assert_eq!(rec.records.len(), 1, "scan stops at the corrupt record");
+        assert!(rec.torn.unwrap().contains("crc mismatch"));
+        assert_eq!(rec.quarantined, 2);
+        assert_eq!(wal.segment_count(), 1);
+        let quarantined: Vec<_> = fs::read_dir(dir.path())
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().path().to_string_lossy().ends_with(".quarantined"))
+            .collect();
+        assert_eq!(quarantined.len(), 2);
+    }
+
+    #[test]
+    fn truncate_covered_removes_only_fully_covered_segments() {
+        let dir = ScratchDir::new("velox-wal");
+        let seg_bytes = (HEADER_LEN + 2 * RECORD_LEN) as u64;
+        let (mut wal, _) = open(dir.path(), FsyncPolicy::Off, seg_bytes);
+        for ts in 0..6 {
+            wal.append(&obs(ts)).unwrap();
+        }
+        // Segments start at ts 0, 2, 4. A checkpoint covering ts < 3
+        // releases only the first.
+        assert_eq!(wal.truncate_covered(3).unwrap(), 1);
+        assert_eq!(wal.segment_count(), 2);
+        // Covering everything still keeps the newest (append target).
+        assert_eq!(wal.truncate_covered(6).unwrap(), 1);
+        assert_eq!(wal.segment_count(), 1);
+        drop(wal);
+        let (_, rec) = open(dir.path(), FsyncPolicy::Off, seg_bytes);
+        assert_eq!(rec.records.len(), 2);
+        assert_eq!(rec.records[0].timestamp, 4);
+    }
+
+    #[test]
+    fn batched_policy_syncs_every_n() {
+        let dir = ScratchDir::new("velox-wal");
+        let (mut wal, _) = open(dir.path(), FsyncPolicy::Batched { every: 4 }, 1 << 20);
+        for ts in 0..9 {
+            wal.append(&obs(ts)).unwrap();
+        }
+        let stats = wal.stats();
+        assert_eq!(stats.appends.get(), 9);
+        assert_eq!(stats.fsyncs.get(), 2, "9 appends at every=4 → 2 syncs");
+        wal.sync().unwrap();
+        assert_eq!(wal.stats().fsyncs.get(), 3);
+    }
+
+    #[test]
+    fn open_never_panics_on_garbage_files() {
+        let dir = ScratchDir::new("velox-wal");
+        fs::write(segment_path(dir.path(), 0), b"definitely not a wal segment").unwrap();
+        let (_, rec) = open(dir.path(), FsyncPolicy::Off, 1 << 20);
+        assert!(rec.records.is_empty());
+        assert!(rec.torn.is_some());
+    }
+}

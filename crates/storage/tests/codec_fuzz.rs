@@ -1,0 +1,147 @@
+//! Seeded corruption fuzz for `velox_storage::codec`.
+//!
+//! Snapshot blobs now live on disk inside checkpoints, so the codec is a
+//! trust boundary against real hardware: torn writes (truncation) and bit
+//! rot (flips). For every table type the codec encodes, this suite drives
+//! the decoder through seeded random truncations, single-bit flips, and
+//! plain garbage, asserting it always returns an error — never panics,
+//! never decodes corrupted bytes into plausible-but-wrong data. The CRC-32
+//! footer makes the single-bit-flip guarantee unconditional.
+
+use velox_data::VeloxRng;
+use velox_storage::bytes::Bytes;
+use velox_storage::codec::{
+    decode_observations, decode_vector_table, encode_observations, encode_vector_table,
+};
+use velox_storage::Observation;
+
+const SEED: u64 = 0x5EED_C0DE;
+const TRUNCATIONS: usize = 300;
+const BIT_FLIPS: usize = 600;
+const GARBAGE_BLOBS: usize = 200;
+
+fn random_vector_table(rng: &mut VeloxRng) -> Bytes {
+    let n = rng.below(20) as usize;
+    let entries: Vec<(u64, Vec<f64>)> = (0..n)
+        .map(|_| {
+            let id = rng.next_u64();
+            let d = rng.below(12) as usize;
+            let v: Vec<f64> = (0..d).map(|_| rng.gaussian() * 3.0).collect();
+            (id, v)
+        })
+        .collect();
+    encode_vector_table(&entries)
+}
+
+fn random_observations(rng: &mut VeloxRng) -> Bytes {
+    let n = rng.below(50) as usize;
+    let obs: Vec<Observation> = (0..n)
+        .map(|i| Observation {
+            uid: rng.below(1000),
+            item_id: rng.below(5000),
+            y: rng.gaussian(),
+            timestamp: i as u64,
+        })
+        .collect();
+    encode_observations(&obs)
+}
+
+/// Runs the full corruption battery against one encoding, where `decode`
+/// reports whether decoding *succeeded*.
+fn fuzz_one(rng: &mut VeloxRng, encoded: Bytes, decode: &dyn Fn(Bytes) -> bool, what: &str) {
+    assert!(decode(encoded.clone()), "{what}: pristine blob must decode");
+    let raw = encoded.as_slice().to_vec();
+
+    // Random truncations (plus the empty prefix) must all be rejected.
+    for t in 0..TRUNCATIONS {
+        let cut = if t == 0 { 0 } else { (rng.below(raw.len() as u64 - 1) + 1) as usize };
+        if cut == raw.len() {
+            continue;
+        }
+        assert!(
+            !decode(Bytes::from(raw[..cut].to_vec())),
+            "{what}: accepted a {cut}-byte truncation of {} bytes",
+            raw.len()
+        );
+    }
+
+    // Random single-bit flips must all be rejected (CRC-32 guarantees it).
+    for _ in 0..BIT_FLIPS {
+        let byte = rng.below(raw.len() as u64) as usize;
+        let bit = rng.below(8) as u8;
+        let mut flipped = raw.clone();
+        flipped[byte] ^= 1 << bit;
+        assert!(
+            !decode(Bytes::from(flipped)),
+            "{what}: accepted a bit flip at byte {byte} bit {bit}"
+        );
+    }
+}
+
+#[test]
+fn vector_table_survives_corruption_battery() {
+    let mut rng = VeloxRng::seed_from(SEED);
+    for round in 0..4 {
+        let encoded = random_vector_table(&mut rng);
+        fuzz_one(
+            &mut rng,
+            encoded,
+            &|b| decode_vector_table(b).is_ok(),
+            &format!("vector_table round {round}"),
+        );
+    }
+}
+
+#[test]
+fn observations_survive_corruption_battery() {
+    let mut rng = VeloxRng::seed_from(SEED ^ 1);
+    for round in 0..4 {
+        let encoded = random_observations(&mut rng);
+        fuzz_one(
+            &mut rng,
+            encoded,
+            &|b| decode_observations(b).is_ok(),
+            &format!("observations round {round}"),
+        );
+    }
+}
+
+#[test]
+fn random_garbage_never_panics_or_decodes() {
+    let mut rng = VeloxRng::seed_from(SEED ^ 2);
+    for _ in 0..GARBAGE_BLOBS {
+        let len = rng.below(256) as usize;
+        let garbage: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+        // Both decoders must reject arbitrary bytes without panicking.
+        assert!(decode_vector_table(Bytes::from(garbage.clone())).is_err());
+        assert!(decode_observations(Bytes::from(garbage)).is_err());
+    }
+}
+
+/// A flipped bit can never round-trip into *different but valid* data:
+/// whenever the decoder accepts bytes, they must equal the original
+/// encoding's content. (With the CRC footer, acceptance after a flip is
+/// impossible; this pins the stronger "never wrong data" contract.)
+#[test]
+fn accepted_decodes_always_match_the_original() {
+    let mut rng = VeloxRng::seed_from(SEED ^ 3);
+    let obs: Vec<Observation> = (0..32)
+        .map(|i| Observation {
+            uid: rng.below(100),
+            item_id: rng.below(100),
+            y: rng.gaussian(),
+            timestamp: i as u64,
+        })
+        .collect();
+    let encoded = encode_observations(&obs);
+    let raw = encoded.as_slice().to_vec();
+    for byte in 0..raw.len() {
+        for bit in 0..8 {
+            let mut mutated = raw.clone();
+            mutated[byte] ^= 1 << bit;
+            if let Ok(decoded) = decode_observations(Bytes::from(mutated)) {
+                assert_eq!(decoded, obs, "decoder accepted altered bytes as different data");
+            }
+        }
+    }
+}

@@ -14,8 +14,15 @@ cargo test --workspace --release --offline -q
 echo "==> failover regression tests (offline)"
 cargo test --release --offline -q --test fault_tolerance
 
+echo "==> durability regression tests (offline)"
+cargo test --release --offline -q --test durability
+cargo test --release --offline -q -p velox-storage --test wal_crash
+
 echo "==> chaos availability smoke (offline)"
 cargo run --release --offline -q -p velox-bench --bin abl_chaos -- --smoke > /dev/null
+
+echo "==> recovery durability smoke (offline)"
+cargo run --release --offline -q -p velox-bench --bin abl_recovery -- --smoke > /dev/null
 
 echo "==> cargo clippy -D warnings (offline)"
 cargo clippy --workspace --all-targets --offline -- -D warnings

@@ -26,8 +26,9 @@ pub mod prelude {
     pub use velox_core::config::BanditChoice;
     pub use velox_core::server::ModelSchema;
     pub use velox_core::{
-        BootstrapState, DegradationLevel, Item, ObserveOutcome, PredictResponse, SystemStats,
-        TopKResponse, TrainingExample, Velox, VeloxConfig, VeloxError, VeloxModel, VeloxServer,
+        BootstrapState, CheckpointReport, DegradationLevel, DurabilityConfig, DurabilityStats,
+        Item, ObserveOutcome, PredictResponse, RecoveryReport, SystemStats, TopKResponse,
+        TrainingExample, Velox, VeloxConfig, VeloxError, VeloxModel, VeloxServer,
     };
     pub use velox_data::{
         Rating, RatingsDataset, SyntheticConfig, VeloxRng, WorkloadConfig, ZipfGenerator,
@@ -39,4 +40,5 @@ pub mod prelude {
     };
     pub use velox_obs::{Counter, EventKind, Gauge, Histogram, Registry, SpanTimer, Timer};
     pub use velox_online::UpdateStrategy;
+    pub use velox_storage::{FsyncPolicy, ScratchDir};
 }
