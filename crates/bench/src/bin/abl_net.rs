@@ -1,0 +1,193 @@
+//! NET-LAT — predict/observe latency over real sockets, local vs routed.
+//!
+//! The paper serves predictions "with low latency" over an RPC boundary
+//! (§3, §8) and routes each request to the node holding the user's
+//! weights. This experiment prices that boundary on a 3-node loopback TCP
+//! cluster (`velox-net`): wall-clock p50/p99 for
+//!
+//! - `in-process`: the simulator behind the same `Transport` trait — the
+//!   no-sockets floor;
+//! - `net local`: client-side routing straight to the owning node (one
+//!   RPC round trip);
+//! - `net routed`: a deliberately mis-addressed request that a non-owner
+//!   must forward one hop to the owner (two round trips);
+//! - `net observe`: an acknowledged online update — WAL append plus
+//!   synchronous log shipping to the replica before the ack.
+//!
+//! `--smoke` runs a smaller workload and exits non-zero unless every
+//! request is served and routed answers are bit-identical to local ones —
+//! the CI gate for the TCP serving path.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use velox_bench::{print_header, print_row};
+use velox_cluster::{Cluster, ClusterConfig, SimTransport, Transport};
+use velox_linalg::stats::LatencySummary;
+use velox_net::{NetCluster, NetClusterConfig, Request, Response};
+
+const N_USERS: u64 = 64;
+const N_ITEMS: u64 = 256;
+const DIM: usize = 16;
+const N_NODES: usize = 3;
+const LR: f64 = 0.05;
+
+fn item_features(item: u64) -> Vec<f64> {
+    (0..DIM).map(|d| ((item * 31 + d as u64 * 7) % 17) as f64 / 16.0).collect()
+}
+
+fn seeded_items() -> Vec<(u64, Vec<f64>)> {
+    (0..N_ITEMS).map(|i| (i, item_features(i))).collect()
+}
+
+fn summary_row(name: &str, samples: &[f64]) {
+    let s = LatencySummary::from_samples(samples).expect("samples");
+    print_row(&[
+        name.to_string(),
+        s.n.to_string(),
+        format!("{:.1}", s.p50),
+        format!("{:.1}", s.p99),
+        format!("{:.1}", s.mean),
+        format!("{:.1}", s.max),
+    ]);
+}
+
+fn timed_us(f: impl FnOnce()) -> f64 {
+    let started = Instant::now();
+    f();
+    started.elapsed().as_secs_f64() * 1e6
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let iters: usize = if smoke { 2_000 } else { 20_000 };
+    let warmup: u64 = 4;
+
+    println!("# NET-LAT: serving latency over real sockets, local vs routed (§3, §8)");
+    println!(
+        "\n{N_NODES}-node loopback TCP cluster, 2x user replication, {N_USERS} users, \
+         {N_ITEMS} items, dim {DIM}, {iters} requests per class"
+    );
+
+    // The two backends behind one trait: simulator floor + TCP runtime.
+    let sim_cluster = Arc::new(Cluster::new(ClusterConfig {
+        n_nodes: N_NODES,
+        user_replication: 2,
+        item_replication: N_NODES,
+        ..Default::default()
+    }));
+    for (item, x) in seeded_items() {
+        sim_cluster.put_item_features(item, x);
+    }
+    let sim = SimTransport::new(sim_cluster, LR);
+    let net = NetCluster::start(NetClusterConfig {
+        n_nodes: N_NODES,
+        user_replication: 2,
+        lr: LR,
+        wal_root: None,
+        workers: 8,
+        request_timeout: Duration::from_secs(5),
+    })
+    .expect("start loopback cluster");
+    net.publish_item_features(seeded_items());
+
+    // Warm every user on both backends so predicts are never cold and the
+    // backends stay bit-identical.
+    for uid in 0..N_USERS {
+        for i in 0..warmup {
+            let item = (uid + i) % N_ITEMS;
+            let y = if (uid + i) % 3 == 0 { 1.0 } else { 0.0 };
+            sim.observe(uid, item, y).expect("sim warm");
+            net.observe(uid, item, y).expect("net warm");
+        }
+    }
+
+    let mut lat_sim = Vec::with_capacity(iters);
+    let mut lat_local = Vec::with_capacity(iters);
+    let mut lat_routed = Vec::with_capacity(iters);
+    let mut lat_observe = Vec::with_capacity(iters);
+    let mut served = 0usize;
+    let mut forwarded = 0usize;
+    let mut mismatches = 0usize;
+
+    for i in 0..iters {
+        let uid = i as u64 % N_USERS;
+        let item = (i as u64 * 7) % N_ITEMS;
+        let owner = net.home_of_user(uid);
+        let non_owner = net.client((owner + 1) % N_NODES).expect("live non-owner");
+
+        let mut sim_score = f64::NAN;
+        lat_sim.push(timed_us(|| sim_score = sim.predict(uid, item).expect("sim predict").score));
+
+        let mut local_score = f64::NAN;
+        lat_routed.push(timed_us(|| {
+            match non_owner
+                .call(&Request::Predict { uid, item_id: item, no_forward: false })
+                .expect("routed predict")
+            {
+                Response::Predicted { score, forwarded: f, .. } => {
+                    if f {
+                        forwarded += 1;
+                    }
+                    local_score = score; // checked against the local path below
+                }
+                other => panic!("unexpected routed reply {other:?}"),
+            }
+        }));
+        let routed_score = local_score;
+
+        lat_local.push(timed_us(|| {
+            let p = net.predict(uid, item).expect("local predict");
+            local_score = p.score;
+        }));
+        served += 1;
+
+        // The forwarded hop answers with the owner's exact floats; any
+        // divergence from the local path (or the simulator) is a bug.
+        if routed_score.to_bits() != local_score.to_bits()
+            || sim_score.to_bits() != local_score.to_bits()
+        {
+            mismatches += 1;
+        }
+
+        let y = if i % 2 == 0 { 1.0 } else { 0.0 };
+        lat_observe.push(timed_us(|| {
+            net.observe(uid, item, y).expect("net observe");
+        }));
+        // Keep the simulator in lockstep (untimed) so scores stay
+        // bit-identical next iteration.
+        sim.observe(uid, item, y).expect("sim observe");
+    }
+
+    print_header(
+        "Wall-clock latency per request class (µs)",
+        &["class", "n", "p50", "p99", "mean", "max"],
+    );
+    summary_row("in-process (sim)", &lat_sim);
+    summary_row("net local (1 hop)", &lat_local);
+    summary_row("net routed (2 hops)", &lat_routed);
+    summary_row("net observe (WAL+ship)", &lat_observe);
+
+    println!("\nserved {served}/{iters} predict pairs; {forwarded} routed replies forwarded");
+    println!("score mismatches across sim / local / routed paths: {mismatches}");
+
+    if smoke {
+        let mut ok = true;
+        if served != iters {
+            eprintln!("SMOKE FAIL: served {served}/{iters}");
+            ok = false;
+        }
+        if forwarded != iters {
+            eprintln!("SMOKE FAIL: only {forwarded}/{iters} mis-addressed requests forwarded");
+            ok = false;
+        }
+        if mismatches != 0 {
+            eprintln!("SMOKE FAIL: {mismatches} score mismatches between serving paths");
+            ok = false;
+        }
+        if !ok {
+            std::process::exit(1);
+        }
+        println!("smoke: all gates passed");
+    }
+}

@@ -104,7 +104,7 @@ struct Node {
     user_weights: Namespace<Vec<f64>>,
     item_features: Namespace<Vec<f64>>,
     item_cache: Mutex<LruCache<u64, Vec<f64>>>,
-    /// Health state, encoded for lock-free reads (see `health_of_u8`).
+    /// Health state, encoded for lock-free reads ([`NodeHealth::encode`]).
     health: AtomicU8,
     requests_served: Arc<Counter>,
     local_reads: Arc<Counter>,
@@ -113,27 +113,13 @@ struct Node {
     cache_misses: Arc<Counter>,
     /// Reads this node served for keys whose primary was unreachable.
     failover_reads: Arc<Counter>,
+    /// Reads served at this node that found no live replica anywhere.
+    unavailable_reads: Arc<Counter>,
+    /// Entries this node re-populated from survivors during recoveries.
+    catch_up_entries: Arc<Counter>,
 }
 
 const HEALTH_UP: u8 = 0;
-const HEALTH_RECOVERING: u8 = 1;
-const HEALTH_DOWN: u8 = 2;
-
-fn health_to_u8(h: NodeHealth) -> u8 {
-    match h {
-        NodeHealth::Up => HEALTH_UP,
-        NodeHealth::Recovering => HEALTH_RECOVERING,
-        NodeHealth::Down => HEALTH_DOWN,
-    }
-}
-
-fn health_of_u8(v: u8) -> NodeHealth {
-    match v {
-        HEALTH_RECOVERING => NodeHealth::Recovering,
-        HEALTH_DOWN => NodeHealth::Down,
-        _ => NodeHealth::Up,
-    }
-}
 
 /// State of an installed fault plan (events sorted by fire time).
 struct FaultState {
@@ -154,6 +140,10 @@ pub struct NodeStats {
     /// Reads this node served for keys whose primary was unreachable
     /// (a subset of `remote_reads`).
     pub failover_reads: u64,
+    /// Reads served at this node that found no live replica anywhere.
+    pub unavailable_reads: u64,
+    /// Entries this node re-populated from survivors during recoveries.
+    pub catch_up_entries: u64,
     /// Item-cache hit/miss/eviction counters.
     pub cache: (u64, u64, u64),
     /// Entries in this node's user-weight shard.
@@ -247,8 +237,6 @@ pub struct Cluster {
     /// Health transitions not yet collected by the serving layer.
     transitions: Mutex<Vec<HealthTransition>>,
     transitions_pending: AtomicBool,
-    unavailable_reads: Arc<Counter>,
-    catch_up_entries: Arc<Counter>,
     injected_read_failures: Arc<Counter>,
     injected_latency_spikes: Arc<Counter>,
 }
@@ -270,10 +258,12 @@ impl Cluster {
                 cache_hits: Arc::new(Counter::new()),
                 cache_misses: Arc::new(Counter::new()),
                 failover_reads: Arc::new(Counter::new()),
+                unavailable_reads: Arc::new(Counter::new()),
+                catch_up_entries: Arc::new(Counter::new()),
             })
             .collect();
-        let user_part = HashPartitioner::new(config.n_nodes, 0x5EED_0001);
-        let item_part = HashPartitioner::new(config.n_nodes, 0x5EED_0002);
+        let user_part = HashPartitioner::new(config.n_nodes, crate::partition::USER_SALT);
+        let item_part = HashPartitioner::new(config.n_nodes, crate::partition::ITEM_SALT);
         let router = Router::new(config.routing, user_part.clone());
         Cluster {
             config,
@@ -287,8 +277,6 @@ impl Cluster {
             faults: Mutex::new(None),
             transitions: Mutex::new(Vec::new()),
             transitions_pending: AtomicBool::new(false),
-            unavailable_reads: Arc::new(Counter::new()),
-            catch_up_entries: Arc::new(Counter::new()),
             injected_read_failures: Arc::new(Counter::new()),
             injected_latency_spikes: Arc::new(Counter::new()),
         }
@@ -332,7 +320,7 @@ impl Cluster {
 
     /// Current health of a node.
     pub fn node_health(&self, node: NodeId) -> NodeHealth {
-        health_of_u8(self.nodes[node].health.load(Ordering::Acquire))
+        NodeHealth::decode(self.nodes[node].health.load(Ordering::Acquire))
     }
 
     /// Number of nodes currently `Up`.
@@ -349,7 +337,7 @@ impl Cluster {
     }
 
     fn set_health(&self, node: NodeId, health: NodeHealth, caught_up: u64) {
-        self.nodes[node].health.store(health_to_u8(health), Ordering::Release);
+        self.nodes[node].health.store(health.encode(), Ordering::Release);
         self.transitions.lock().unwrap().push(HealthTransition { node, health, caught_up });
         self.transitions_pending.store(true, Ordering::Release);
     }
@@ -398,7 +386,7 @@ impl Cluster {
                 }
             }
         }
-        self.catch_up_entries.add(caught_up);
+        self.nodes[node].catch_up_entries.add(caught_up);
         self.set_health(node, NodeHealth::Up, caught_up);
         caught_up
     }
@@ -592,7 +580,7 @@ impl Cluster {
                 unavailable: false,
             };
         }
-        self.unavailable_reads.inc();
+        self.nodes[at].unavailable_reads.inc();
         ClusterRead {
             value: None,
             kind: AccessKind::Remote,
@@ -792,7 +780,7 @@ impl Cluster {
                 unavailable: false,
             };
         }
-        self.unavailable_reads.inc();
+        self.nodes[at].unavailable_reads.inc();
         ClusterRead {
             value: None,
             kind: AccessKind::Remote,
@@ -831,17 +819,19 @@ impl Cluster {
                 local_reads: n.local_reads.get(),
                 remote_reads: n.remote_reads.get(),
                 failover_reads: n.failover_reads.get(),
+                unavailable_reads: n.unavailable_reads.get(),
+                catch_up_entries: n.catch_up_entries.get(),
                 cache: n.item_cache.lock().unwrap().stats(),
                 users_owned: n.user_weights.len(),
                 items_owned: n.item_features.len(),
-                health: health_of_u8(n.health.load(Ordering::Acquire)),
+                health: NodeHealth::decode(n.health.load(Ordering::Acquire)),
             })
             .collect();
         ClusterStats {
             nodes,
             virtual_read_us: self.virtual_read_nanos.load(Ordering::Relaxed) as f64 / 1000.0,
-            unavailable_reads: self.unavailable_reads.get(),
-            catch_up_entries: self.catch_up_entries.get(),
+            unavailable_reads: self.nodes.iter().map(|n| n.unavailable_reads.get()).sum(),
+            catch_up_entries: self.nodes.iter().map(|n| n.catch_up_entries.get()).sum(),
             injected_read_failures: self.injected_read_failures.get(),
             injected_latency_spikes: self.injected_latency_spikes.get(),
         }
@@ -857,11 +847,11 @@ impl Cluster {
             n.cache_hits.reset();
             n.cache_misses.reset();
             n.failover_reads.reset();
+            n.unavailable_reads.reset();
+            n.catch_up_entries.reset();
             n.item_cache.lock().unwrap().reset_stats();
         }
         self.virtual_read_nanos.store(0, Ordering::Relaxed);
-        self.unavailable_reads.reset();
-        self.catch_up_entries.reset();
         self.injected_read_failures.reset();
         self.injected_latency_spikes.reset();
     }
@@ -904,6 +894,16 @@ impl Cluster {
                 &labels,
                 Arc::clone(&node.failover_reads),
             );
+            registry.register_counter(
+                "velox_cluster_unavailable_reads_total",
+                &labels,
+                Arc::clone(&node.unavailable_reads),
+            );
+            registry.register_counter(
+                "velox_cluster_catch_up_entries_total",
+                &labels,
+                Arc::clone(&node.catch_up_entries),
+            );
             for ns in [&node.user_weights, &node.item_features] {
                 let table_labels: [(&str, &str); 2] = [("node", id.as_str()), ("table", ns.name())];
                 registry.register_counter(
@@ -918,16 +918,6 @@ impl Cluster {
                 );
             }
         }
-        registry.register_counter(
-            "velox_cluster_unavailable_reads_total",
-            &[],
-            Arc::clone(&self.unavailable_reads),
-        );
-        registry.register_counter(
-            "velox_cluster_catch_up_entries_total",
-            &[],
-            Arc::clone(&self.catch_up_entries),
-        );
         registry.register_counter(
             "velox_cluster_injected_read_failures_total",
             &[],

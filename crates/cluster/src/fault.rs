@@ -31,6 +31,25 @@ impl NodeHealth {
             NodeHealth::Down => "down",
         }
     }
+
+    /// Compact encoding for lock-free storage in an `AtomicU8` (used by
+    /// both the simulated cluster and the TCP runtime in `velox-net`).
+    pub fn encode(self) -> u8 {
+        match self {
+            NodeHealth::Up => 0,
+            NodeHealth::Recovering => 1,
+            NodeHealth::Down => 2,
+        }
+    }
+
+    /// Inverse of [`NodeHealth::encode`]; unknown values decode to `Up`.
+    pub fn decode(v: u8) -> NodeHealth {
+        match v {
+            1 => NodeHealth::Recovering,
+            2 => NodeHealth::Down,
+            _ => NodeHealth::Up,
+        }
+    }
 }
 
 /// What a scheduled fault event does to its node.

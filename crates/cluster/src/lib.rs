@@ -33,7 +33,11 @@
 pub mod cluster;
 pub mod fault;
 pub mod partition;
+pub mod transport;
 
 pub use cluster::{AccessKind, Cluster, ClusterConfig, ClusterRead, ClusterStats, NodeStats};
 pub use fault::{FaultAction, FaultEvent, FaultPlan, HealthTransition, NodeHealth};
-pub use partition::{HashPartitioner, NodeId, RoutingPolicy};
+pub use partition::{HashPartitioner, NodeId, RoutingPolicy, ITEM_SALT, USER_SALT};
+pub use transport::{
+    dot, lms_update, SimTransport, Transport, TransportError, TransportObserve, TransportPredict,
+};

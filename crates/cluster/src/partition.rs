@@ -9,6 +9,13 @@
 /// Identifies a node in the simulated cluster.
 pub type NodeId = usize;
 
+/// Salt for the user partitioner. Every backend (simulator, TCP runtime)
+/// must hash users identically or routing and replica placement disagree.
+pub const USER_SALT: u64 = 0x5EED_0001;
+
+/// Salt for the item partitioner (decorrelated from [`USER_SALT`]).
+pub const ITEM_SALT: u64 = 0x5EED_0002;
+
 /// Salted hash partitioner mapping entity ids to nodes.
 #[derive(Debug, Clone)]
 pub struct HashPartitioner {

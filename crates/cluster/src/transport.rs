@@ -1,0 +1,266 @@
+//! Backend-agnostic serving transport.
+//!
+//! The paper's cluster (§3) is reachable two ways in this repo: the
+//! in-process simulator ([`Cluster`]) that models locality and cost in
+//! virtual time, and the real loopback TCP runtime in `velox-net`. The
+//! [`Transport`] trait is the seam between them: a driver written against
+//! it — the chaos harness, the REST layer, the NET-LAT bench — runs
+//! unchanged over either backend, which is what lets us check that the
+//! socket path computes *bit-identical* scores to the simulator
+//! (`velox-net`'s backends-agree test).
+//!
+//! The model served over the transport is the paper's online user model: a
+//! per-user weight vector `wᵤ` over fixed item features `x`, scored as
+//! `wᵤ·x` and updated online with least-mean-squares ([`lms_update`]).
+//! Both backends share the exact update routine so floating-point op order
+//! cannot diverge between them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::cluster::Cluster;
+use crate::fault::NodeHealth;
+use crate::partition::NodeId;
+
+/// Why a transport request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// No live replica could serve the request (every candidate node was
+    /// down or the key's data is gone).
+    Unavailable,
+    /// The transport itself failed: socket error, corrupt frame, timeout.
+    /// The in-process backend never returns this.
+    Failed(String),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Unavailable => write!(f, "no live replica available"),
+            TransportError::Failed(msg) => write!(f, "transport failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Outcome of a predict served over a transport.
+#[derive(Debug, Clone)]
+pub struct TransportPredict {
+    /// The score `wᵤ·x`.
+    pub score: f64,
+    /// Node that computed the score.
+    pub node: NodeId,
+    /// True when the request was served by a node other than the user's
+    /// home partition (forwarded over the wire, or failed over).
+    pub routed: bool,
+    /// True when no weight vector existed for the user and the score came
+    /// from the all-zeros bootstrap prior.
+    pub cold_start: bool,
+}
+
+/// Outcome of an acknowledged observe.
+#[derive(Debug, Clone)]
+pub struct TransportObserve {
+    /// Node that owns the user's partition and applied the update.
+    pub node: NodeId,
+    /// Logical timestamp assigned to the observation by the owning node.
+    /// Monotone per owner; replicas replay in `ts` order during recovery.
+    pub ts: u64,
+    /// Replicas the acknowledged record was shipped to (0 when
+    /// replication is off or no replica is live).
+    pub shipped_to: usize,
+}
+
+/// A serving-path connection to a Velox cluster, real or simulated.
+///
+/// An `Ok` from [`Transport::observe`] is an *acknowledgement*: the update
+/// is applied at the owner and durable per the backend's policy (WAL +
+/// shipped log for the TCP runtime). The log-shipping tests hold every
+/// backend to that contract.
+pub trait Transport {
+    /// Number of nodes in the cluster (fixed at construction).
+    fn n_nodes(&self) -> usize;
+
+    /// Current health of `node`.
+    fn node_health(&self, node: NodeId) -> NodeHealth;
+
+    /// Scores item `item_id` for user `uid`: routes to the node holding
+    /// `wᵤ`, computes `wᵤ·x`, and reports how the request was served.
+    fn predict(&self, uid: u64, item_id: u64) -> Result<TransportPredict, TransportError>;
+
+    /// Applies one online observation `(uid, item_id, y)` at the owning
+    /// node via [`lms_update`] and acknowledges it.
+    fn observe(&self, uid: u64, item_id: u64, y: f64) -> Result<TransportObserve, TransportError>;
+
+    /// Fetches the current weight vector for `uid` (`None` when the user
+    /// has never been observed). Management-plane read.
+    fn fetch_weights(&self, uid: u64) -> Result<Option<Vec<f64>>, TransportError>;
+}
+
+/// Dot product in index order — the one accumulation order both backends
+/// use, so scores agree bit-for-bit across transports.
+pub fn dot(w: &[f64], x: &[f64]) -> f64 {
+    w.iter().zip(x).map(|(wi, xi)| wi * xi).sum()
+}
+
+/// One least-mean-squares step: `w += lr·(y − w·x)·x`, growing `w` with
+/// zeros to `x`'s length first. Shared by every transport backend so the
+/// floating-point op order is identical everywhere.
+pub fn lms_update(w: &mut Vec<f64>, x: &[f64], y: f64, lr: f64) {
+    if w.len() < x.len() {
+        w.resize(x.len(), 0.0);
+    }
+    let err = y - dot(w, x);
+    for (wi, xi) in w.iter_mut().zip(x) {
+        *wi += lr * err * xi;
+    }
+}
+
+/// The in-process backend: [`Transport`] over the simulated [`Cluster`].
+///
+/// Routing, replication, failover, and fault injection all come from the
+/// simulator; this adapter adds only the model math (scoring and
+/// [`lms_update`]) and a monotone observation clock, mirroring what
+/// `velox-net`'s node servers do on real sockets.
+pub struct SimTransport {
+    cluster: Arc<Cluster>,
+    lr: f64,
+    ts: AtomicU64,
+}
+
+impl SimTransport {
+    /// Wraps `cluster`, applying observes with learning rate `lr`.
+    pub fn new(cluster: Arc<Cluster>, lr: f64) -> Self {
+        SimTransport { cluster, lr, ts: AtomicU64::new(0) }
+    }
+
+    /// The wrapped simulator (for fault plans, stats, and seeding).
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+}
+
+impl Transport for SimTransport {
+    fn n_nodes(&self) -> usize {
+        self.cluster.n_nodes()
+    }
+
+    fn node_health(&self, node: NodeId) -> NodeHealth {
+        self.cluster.node_health(node)
+    }
+
+    fn predict(&self, uid: u64, item_id: u64) -> Result<TransportPredict, TransportError> {
+        let at = self.cluster.route_request(uid);
+        let x = match self.cluster.read_item_features(at, item_id) {
+            read if read.unavailable => return Err(TransportError::Unavailable),
+            read => read.value.ok_or(TransportError::Unavailable)?,
+        };
+        let w_read = self.cluster.read_user_weights(at, uid);
+        if w_read.unavailable {
+            return Err(TransportError::Unavailable);
+        }
+        let cold_start = w_read.value.is_none();
+        let w = w_read.value.unwrap_or_default();
+        Ok(TransportPredict {
+            score: dot(&w, &x),
+            node: at,
+            routed: at != self.cluster.home_of_user(uid),
+            cold_start,
+        })
+    }
+
+    fn observe(&self, uid: u64, item_id: u64, y: f64) -> Result<TransportObserve, TransportError> {
+        let at = self.cluster.route_request(uid);
+        let read = self.cluster.read_item_features(at, item_id);
+        if read.unavailable {
+            return Err(TransportError::Unavailable);
+        }
+        let x = read.value.ok_or(TransportError::Unavailable)?;
+        let lr = self.lr;
+        self.cluster
+            .try_update_user_weights(at, uid, Vec::new, |w| lms_update(w, &x, y, lr))
+            .ok_or(TransportError::Unavailable)?;
+        let ts = self.ts.fetch_add(1, Ordering::Relaxed) + 1;
+        let shipped_to = self.cluster.live_user_replicas(uid).len().saturating_sub(1);
+        Ok(TransportObserve { node: at, ts, shipped_to })
+    }
+
+    fn fetch_weights(&self, uid: u64) -> Result<Option<Vec<f64>>, TransportError> {
+        Ok(self.cluster.peek_user_weights(uid))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::fault::NodeHealth;
+
+    fn transport(n_nodes: usize, user_replication: usize) -> SimTransport {
+        let cluster = Arc::new(Cluster::new(ClusterConfig {
+            n_nodes,
+            user_replication,
+            item_replication: n_nodes,
+            ..Default::default()
+        }));
+        for item in 0..16u64 {
+            cluster.put_item_features(item, vec![1.0, (item % 4) as f64, 0.5]);
+        }
+        SimTransport::new(cluster, 0.1)
+    }
+
+    #[test]
+    fn observe_then_predict_moves_score_toward_label() {
+        let t = transport(3, 1);
+        let before = t.predict(7, 3).unwrap();
+        assert_eq!(before.score, 0.0);
+        assert!(before.cold_start);
+        for _ in 0..50 {
+            t.observe(7, 3, 1.0).unwrap();
+        }
+        let after = t.predict(7, 3).unwrap();
+        assert!((after.score - 1.0).abs() < 0.05, "score {} should approach 1.0", after.score);
+        assert!(!after.cold_start);
+    }
+
+    #[test]
+    fn observe_acknowledges_with_monotone_ts() {
+        let t = transport(3, 2);
+        let a = t.observe(1, 0, 1.0).unwrap();
+        let b = t.observe(1, 1, 0.0).unwrap();
+        assert!(b.ts > a.ts);
+        assert_eq!(a.shipped_to, 1);
+    }
+
+    #[test]
+    fn predict_survives_home_node_kill_with_replication() {
+        let t = transport(3, 2);
+        t.observe(42, 1, 1.0).unwrap();
+        let home = t.cluster().home_of_user(42);
+        t.cluster().kill_node(home);
+        let read = t.predict(42, 1).unwrap();
+        assert!(read.routed, "request should fail over off the dead home");
+        assert_eq!(t.node_health(home), NodeHealth::Down);
+    }
+
+    #[test]
+    fn unreplicated_user_is_unavailable_after_kill() {
+        let t = transport(3, 1);
+        t.observe(42, 1, 1.0).unwrap();
+        let home = t.cluster().home_of_user(42);
+        t.cluster().kill_node(home);
+        assert_eq!(t.predict(42, 1).unwrap_err(), TransportError::Unavailable);
+    }
+
+    #[test]
+    fn lms_update_grows_and_converges() {
+        let mut w = Vec::new();
+        let x = [1.0, 2.0];
+        for _ in 0..200 {
+            lms_update(&mut w, &x, 1.0, 0.05);
+        }
+        assert_eq!(w.len(), 2);
+        assert!((dot(&w, &x) - 1.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,254 @@
+//! RPC client: connection pooling, per-request deadlines, reconnect.
+//!
+//! A [`NetClient`] owns a small pool of persistent connections to one
+//! node. Calls check a connection out of the pool (dialing lazily on
+//! first use), set the socket's read/write timeouts from the *remaining*
+//! request deadline, and run one frame round trip. A connection that
+//! fails mid-call is discarded and — unless the deadline is the thing
+//! that expired — the call redials once and retries, so a node restart
+//! costs one reconnect rather than a failed request.
+
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::rpc::{Request, Response};
+
+/// Client tuning knobs.
+#[derive(Debug, Clone)]
+pub struct NetClientConfig {
+    /// Cap on pooled idle connections. Keep small: each pooled connection
+    /// pins a worker thread at the server while idle.
+    pub pool_size: usize,
+    /// Timeout for establishing a new connection.
+    pub connect_timeout: Duration,
+    /// Default per-request deadline (round trip, including any redial).
+    pub request_timeout: Duration,
+}
+
+impl Default for NetClientConfig {
+    fn default() -> Self {
+        NetClientConfig {
+            pool_size: 1,
+            connect_timeout: Duration::from_millis(500),
+            request_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Why an RPC failed at the transport layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The request deadline expired (connect, send, or awaiting reply).
+    Timeout,
+    /// Connecting or talking to the node failed.
+    Io(String),
+    /// Bytes arrived but were not a valid frame or message.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Timeout => write!(f, "rpc deadline exceeded"),
+            NetError::Io(what) => write!(f, "rpc io error: {what}"),
+            NetError::Corrupt(what) => write!(f, "rpc corrupt reply: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+fn classify(err: FrameError) -> NetError {
+    match err {
+        FrameError::Closed => NetError::Io("connection closed".into()),
+        ref e @ FrameError::Io(_) if e.is_timeout() => NetError::Timeout,
+        FrameError::Io(e) => NetError::Io(e.to_string()),
+        FrameError::Corrupt(what) => NetError::Corrupt(what),
+        FrameError::TooLarge(len) => NetError::Corrupt(format!("frame length {len} too large")),
+    }
+}
+
+/// A pooled RPC client for one node address.
+pub struct NetClient {
+    addr: SocketAddr,
+    config: NetClientConfig,
+    pool: Mutex<Vec<TcpStream>>,
+}
+
+impl NetClient {
+    /// Creates a client for `addr` with default configuration. No
+    /// connection is made until the first call.
+    pub fn connect(addr: SocketAddr) -> NetClient {
+        NetClient::with_config(addr, NetClientConfig::default())
+    }
+
+    /// Creates a client with explicit configuration.
+    pub fn with_config(addr: SocketAddr, config: NetClientConfig) -> NetClient {
+        NetClient { addr, config, pool: Mutex::new(Vec::new()) }
+    }
+
+    /// The node this client talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// One RPC round trip under the default deadline.
+    pub fn call(&self, req: &Request) -> Result<Response, NetError> {
+        self.call_deadline(req, self.config.request_timeout)
+    }
+
+    /// One RPC round trip that must complete within `deadline`. On a
+    /// connection failure the call redials once if deadline remains.
+    pub fn call_deadline(&self, req: &Request, deadline: Duration) -> Result<Response, NetError> {
+        let started = Instant::now();
+        let payload = req.encode();
+        let mut last_err = None;
+        for attempt in 0..2 {
+            let remaining = match deadline.checked_sub(started.elapsed()) {
+                Some(d) if !d.is_zero() => d,
+                _ => return Err(last_err.unwrap_or(NetError::Timeout)),
+            };
+            let mut conn = match self.checkout(remaining, attempt > 0) {
+                Ok(c) => c,
+                Err(e) => {
+                    last_err = Some(e);
+                    continue;
+                }
+            };
+            match round_trip(&mut conn, &payload, started, deadline) {
+                Ok(resp) => {
+                    self.check_in(conn);
+                    return Ok(resp);
+                }
+                Err(NetError::Timeout) => {
+                    // The deadline is gone either way; don't burn a retry.
+                    return Err(NetError::Timeout);
+                }
+                Err(e) => {
+                    // Connection is in an unknown state: drop it, redial.
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| NetError::Io("exhausted retries".into())))
+    }
+
+    /// Takes a pooled connection, or dials. `force_fresh` skips the pool
+    /// (used on retry, when the pooled connection just failed).
+    fn checkout(&self, remaining: Duration, force_fresh: bool) -> Result<TcpStream, NetError> {
+        if !force_fresh {
+            if let Some(conn) = self.pool.lock().unwrap().pop() {
+                return Ok(conn);
+            }
+        }
+        let connect_budget = self.config.connect_timeout.min(remaining);
+        let conn = TcpStream::connect_timeout(&self.addr, connect_budget).map_err(|e| {
+            if e.kind() == ErrorKind::TimedOut || e.kind() == ErrorKind::WouldBlock {
+                NetError::Timeout
+            } else {
+                NetError::Io(format!("connect {}: {e}", self.addr))
+            }
+        })?;
+        let _ = conn.set_nodelay(true);
+        Ok(conn)
+    }
+
+    /// Returns a healthy connection to the pool (dropped when full).
+    fn check_in(&self, conn: TcpStream) {
+        let mut pool = self.pool.lock().unwrap();
+        if pool.len() < self.config.pool_size {
+            pool.push(conn);
+        }
+    }
+
+    /// Drops every pooled connection (next call redials). Used when a
+    /// node is known to have restarted on a new port.
+    pub fn reset(&self) {
+        self.pool.lock().unwrap().clear();
+    }
+}
+
+/// Sends one frame and reads one reply, arming socket timeouts from the
+/// remaining deadline before each blocking step.
+fn round_trip(
+    conn: &mut TcpStream,
+    payload: &[u8],
+    started: Instant,
+    deadline: Duration,
+) -> Result<Response, NetError> {
+    let arm = |conn: &TcpStream| -> Result<(), NetError> {
+        let remaining = deadline.checked_sub(started.elapsed()).ok_or(NetError::Timeout)?;
+        if remaining.is_zero() {
+            return Err(NetError::Timeout);
+        }
+        conn.set_write_timeout(Some(remaining)).map_err(|e| NetError::Io(e.to_string()))?;
+        conn.set_read_timeout(Some(remaining)).map_err(|e| NetError::Io(e.to_string()))?;
+        Ok(())
+    };
+    arm(conn)?;
+    write_frame(conn, payload).map_err(classify)?;
+    arm(conn)?;
+    let reply = read_frame(conn).map_err(classify)?;
+    Response::decode(&reply).map_err(|e| NetError::Corrupt(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rpc::ErrorCode;
+    use crate::server::{NetServer, NetServerConfig};
+    use std::sync::Arc;
+
+    fn health_server() -> NetServer {
+        NetServer::bind(
+            "127.0.0.1:0",
+            Arc::new(|req: Request| match req {
+                Request::Health => Response::Ok,
+                _ => Response::Error { code: ErrorCode::BadRequest, message: "health".into() },
+            }),
+            NetServerConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn calls_reuse_the_pooled_connection() {
+        let server = health_server();
+        let client = NetClient::connect(server.local_addr());
+        for _ in 0..20 {
+            assert_eq!(client.call(&Request::Health).unwrap(), Response::Ok);
+        }
+    }
+
+    #[test]
+    fn reconnects_after_server_restart_on_same_port() {
+        let mut server = health_server();
+        let addr = server.local_addr();
+        let client = NetClient::connect(addr);
+        assert_eq!(client.call(&Request::Health).unwrap(), Response::Ok);
+        server.shutdown();
+        let mut server2 =
+            NetServer::bind(&addr.to_string(), Arc::new(|_| Response::Ok), Default::default())
+                .unwrap();
+        // The pooled connection is dead; the call must redial transparently.
+        assert_eq!(client.call(&Request::Health).unwrap(), Response::Ok);
+        server2.shutdown();
+    }
+
+    #[test]
+    fn dead_node_times_out_within_deadline() {
+        let addr: SocketAddr = {
+            // Bind then drop to get a port with (very likely) no listener.
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let client = NetClient::connect(addr);
+        let started = Instant::now();
+        let err = client.call_deadline(&Request::Health, Duration::from_millis(300)).unwrap_err();
+        assert!(matches!(err, NetError::Timeout | NetError::Io(_)), "got {err:?}");
+        assert!(started.elapsed() < Duration::from_secs(5));
+    }
+}

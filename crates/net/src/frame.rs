@@ -1,0 +1,195 @@
+//! Length-prefixed, CRC-checksummed frame codec.
+//!
+//! Every message on a `velox-net` socket is one frame:
+//!
+//! ```text
+//! ┌────────────┬────────────┬───────────────────┐
+//! │ len (u32)  │ crc (u32)  │ payload (len B)   │   all integers big-endian
+//! └────────────┴────────────┴───────────────────┘
+//! ```
+//!
+//! `crc` is the same reflected CRC-32 the WAL uses
+//! ([`velox_storage::crc32`]) computed over the payload, so a bit flip
+//! anywhere in transit is detected before the payload reaches the RPC
+//! decoder. `len` is bounded by [`MAX_FRAME_LEN`]: a corrupt or hostile
+//! length prefix fails fast instead of asking the reader to allocate
+//! gigabytes.
+//!
+//! The codec is carefully un-clever: blocking reads, no buffering beyond
+//! the frame being assembled, and a clean distinction between an orderly
+//! peer close (EOF *between* frames → [`FrameError::Closed`]) and a torn
+//! frame (EOF *inside* a frame → [`FrameError::Corrupt`]).
+
+use std::io::{ErrorKind, Read, Write};
+
+use velox_storage::crc32;
+
+/// Hard upper bound on a frame payload (8 MiB). Large enough for a bulk
+/// table seed, small enough that a corrupt length cannot balloon memory.
+pub const MAX_FRAME_LEN: u32 = 8 << 20;
+
+/// Bytes of framing overhead per message (length + checksum).
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// Why a frame could not be read or written.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection at a frame boundary (orderly EOF).
+    Closed,
+    /// The operating system reported an I/O error (includes timeouts).
+    Io(std::io::Error),
+    /// The bytes on the wire are not a valid frame: checksum mismatch or
+    /// EOF in the middle of a frame.
+    Corrupt(String),
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    TooLarge(u32),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Io(e) => write!(f, "frame io error: {e}"),
+            FrameError::Corrupt(what) => write!(f, "corrupt frame: {what}"),
+            FrameError::TooLarge(len) => {
+                write!(f, "frame length {len} exceeds maximum {MAX_FRAME_LEN}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl FrameError {
+    /// True when the error signals a timed-out blocking read/write (the
+    /// deadline expired) rather than a broken connection.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, FrameError::Io(e)
+            if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut)
+    }
+}
+
+/// Writes one frame (header + payload) to `w` and flushes it.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() as u64 > MAX_FRAME_LEN as u64 {
+        return Err(FrameError::TooLarge(payload.len() as u32));
+    }
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    header[0..4].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+    header[4..8].copy_from_slice(&crc32(payload).to_be_bytes());
+    w.write_all(&header).map_err(FrameError::Io)?;
+    w.write_all(payload).map_err(FrameError::Io)?;
+    w.flush().map_err(FrameError::Io)
+}
+
+/// Reads exactly `buf.len()` bytes. `at_boundary` selects how EOF before
+/// the first byte is classified: an orderly close between frames, or a
+/// torn frame.
+fn read_exact_or(r: &mut impl Read, buf: &mut [u8], at_boundary: bool) -> Result<(), FrameError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if at_boundary && filled == 0 {
+                    Err(FrameError::Closed)
+                } else {
+                    Err(FrameError::Corrupt(format!(
+                        "torn frame: eof after {filled} of {} bytes",
+                        buf.len()
+                    )))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame from `r`, verifying length bound and checksum.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    read_exact_or(r, &mut header, true)?;
+    let len = u32::from_be_bytes(header[0..4].try_into().unwrap());
+    let want_crc = u32::from_be_bytes(header[4..8].try_into().unwrap());
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_or(r, &mut payload, false)?;
+    let got_crc = crc32(&payload);
+    if got_crc != want_crc {
+        return Err(FrameError::Corrupt(format!(
+            "checksum mismatch: header {want_crc:#010x}, payload {got_crc:#010x}"
+        )));
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn encode(payload: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, payload).unwrap();
+        buf
+    }
+
+    #[test]
+    fn round_trip() {
+        let payloads: [&[u8]; 4] = [b"", b"x", b"hello velox", &[0u8; 4096]];
+        for payload in payloads {
+            let buf = encode(payload);
+            assert_eq!(buf.len(), FRAME_HEADER_LEN + payload.len());
+            let got = read_frame(&mut Cursor::new(&buf)).unwrap();
+            assert_eq!(got, payload);
+        }
+    }
+
+    #[test]
+    fn back_to_back_frames_then_orderly_close() {
+        let mut buf = encode(b"first");
+        buf.extend(encode(b"second"));
+        let mut cur = Cursor::new(&buf);
+        assert_eq!(read_frame(&mut cur).unwrap(), b"first");
+        assert_eq!(read_frame(&mut cur).unwrap(), b"second");
+        assert!(matches!(read_frame(&mut cur), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn bit_flip_is_corrupt() {
+        let mut buf = encode(b"payload under test");
+        let last = buf.len() - 1;
+        buf[last] ^= 0x40;
+        match read_frame(&mut Cursor::new(&buf)) {
+            Err(FrameError::Corrupt(msg)) => assert!(msg.contains("checksum")),
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn torn_frame_is_corrupt_not_closed() {
+        let buf = encode(b"truncated in flight");
+        let cut = &buf[..buf.len() - 5];
+        assert!(matches!(read_frame(&mut Cursor::new(cut)), Err(FrameError::Corrupt(_))));
+    }
+
+    #[test]
+    fn oversized_length_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        assert!(matches!(read_frame(&mut Cursor::new(&buf)), Err(FrameError::TooLarge(_))));
+    }
+
+    #[test]
+    fn writer_refuses_oversized_payload() {
+        let huge = vec![0u8; MAX_FRAME_LEN as usize + 1];
+        let mut sink = Vec::new();
+        assert!(matches!(write_frame(&mut sink, &huge), Err(FrameError::TooLarge(_))));
+        assert!(sink.is_empty(), "nothing may reach the wire on refusal");
+    }
+}

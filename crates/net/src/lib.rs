@@ -1,0 +1,40 @@
+//! # velox-net
+//!
+//! A real TCP transport for the Velox cluster — std-only, no async
+//! runtime, no external dependencies, consistent with the workspace's
+//! hermetic build.
+//!
+//! The stack, bottom up:
+//!
+//! - [`frame`]: length-prefixed, CRC-32-checksummed frames (the WAL's
+//!   checksum, re-exported from `velox-storage`).
+//! - [`rpc`]: the message set — `Predict` / `Observe` / `FetchWeights`
+//!   for serving, `ShipLog` / `PullLog` for WAL replication, plus the
+//!   management plane — with a compact big-endian binary encoding.
+//! - [`server`] / [`client`]: a blocking worker-pool server and a pooled
+//!   client with per-request deadlines and reconnect-on-failure.
+//! - [`node`]: one partition's state behind the RPC surface: weights,
+//!   a full item-table copy, the local WAL, and log shipping.
+//! - [`runtime`]: [`NetCluster`] — N nodes on loopback implementing
+//!   `velox-cluster`'s `Transport` trait, with fault plans, replica
+//!   failover, and WAL-log-shipping recovery over real sockets.
+//!
+//! The paper's claims this backs: request routing to the node owning
+//! `wᵤ` (§3), low-latency serving over an RPC boundary, and durable
+//! online updates that survive node loss via replication (§3, §8).
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod node;
+pub mod rpc;
+pub mod runtime;
+pub mod server;
+
+pub use client::{NetClient, NetClientConfig, NetError};
+pub use frame::{read_frame, write_frame, FrameError, FRAME_HEADER_LEN, MAX_FRAME_LEN};
+pub use node::{NodeConfig, NodeMetrics, NodeServer, NodeState, PeerTable};
+pub use rpc::{DecodeError, ErrorCode, Request, Response};
+pub use runtime::{NetCluster, NetClusterConfig};
+pub use server::{Handler, NetServer, NetServerConfig};

@@ -1,0 +1,435 @@
+//! A node: one partition of `W`, its WAL, and the RPC handlers.
+//!
+//! Each [`NodeServer`] is what the paper co-locates with a storage worker
+//! (§3): the shard of the user-weight table its partition owns (plus the
+//! shards shipped to it as a replica), a full copy of the item-feature
+//! table, a local write-ahead log, and the serving logic — score `wᵤ·x`,
+//! apply online LMS updates, and replicate acknowledged observations to
+//! the partition's replica set before acking (`ShipLog`).
+//!
+//! ## Durability and ordering
+//!
+//! An observe is acknowledged only after (1) the record is appended to
+//! the owner's WAL and (2) a `ShipLog` round trip to every *reachable*
+//! replica completed — so losing the owner's disk still leaves every
+//! acknowledged record in a replica's WAL. Records carry a logical
+//! timestamp from the owner's clock; the clock is `fetch_max`-ed with
+//! every shipped/pulled record so an acting owner (failover writer)
+//! always assigns timestamps above everything it has seen, and recovery
+//! replays strictly in timestamp order. The `(uid, ts)` pair identifies a
+//! record: replay and re-shipping are idempotent.
+//!
+//! Weight updates happen under the log lock, so replaying the log in
+//! timestamp order reproduces the exact floating-point op sequence — the
+//! property the backends-agree and recovery tests lean on.
+
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use velox_cluster::partition::USER_SALT;
+use velox_cluster::transport::{dot, lms_update};
+use velox_cluster::{HashPartitioner, NodeId};
+use velox_obs::{Counter, Registry};
+use velox_storage::{Observation, Wal, WalConfig, WalRecovery};
+
+use crate::client::NetClient;
+use crate::rpc::{ErrorCode, Request, Response};
+use crate::server::{Handler, NetServer, NetServerConfig};
+
+/// Shared, mutable address book: node id → client for its current
+/// incarnation (`None` while the node is down). Nodes use it to forward
+/// and ship; the runtime rewrites entries as nodes die and come back on
+/// new ports.
+pub struct PeerTable {
+    clients: RwLock<Vec<Option<Arc<NetClient>>>>,
+}
+
+impl PeerTable {
+    /// An address book for `n_nodes`, all initially down.
+    pub fn new(n_nodes: usize) -> Self {
+        PeerTable { clients: RwLock::new(vec![None; n_nodes]) }
+    }
+
+    /// The client for `node`, when it is reachable.
+    pub fn get(&self, node: NodeId) -> Option<Arc<NetClient>> {
+        self.clients.read().unwrap().get(node).cloned().flatten()
+    }
+
+    /// Installs (or clears) the client for `node`.
+    pub fn set(&self, node: NodeId, client: Option<Arc<NetClient>>) {
+        self.clients.write().unwrap()[node] = client;
+    }
+}
+
+/// Counters for one node, owned by the runtime so they survive the
+/// node's restarts (a reborn node keeps incrementing the same series).
+#[derive(Clone)]
+pub struct NodeMetrics {
+    /// Predict requests answered (locally or via forward).
+    pub predicts: Arc<Counter>,
+    /// Observations applied at this node as owner or acting owner.
+    pub observes: Arc<Counter>,
+    /// Requests this node forwarded to the owning node.
+    pub forwards: Arc<Counter>,
+    /// Log records received (and newly applied) via `ShipLog`.
+    pub ship_in_records: Arc<Counter>,
+    /// `ShipLog` sends that failed (replica unreachable before deadline).
+    pub ship_failures: Arc<Counter>,
+}
+
+impl NodeMetrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        NodeMetrics {
+            predicts: Arc::new(Counter::new()),
+            observes: Arc::new(Counter::new()),
+            forwards: Arc::new(Counter::new()),
+            ship_in_records: Arc::new(Counter::new()),
+            ship_failures: Arc::new(Counter::new()),
+        }
+    }
+
+    /// Registers every counter under `velox_net_*` with a `node` label.
+    pub fn register(&self, registry: &Registry, node: NodeId) {
+        let id = node.to_string();
+        let labels = [("node", id.as_str())];
+        registry.register_counter("velox_net_predicts_total", &labels, Arc::clone(&self.predicts));
+        registry.register_counter("velox_net_observes_total", &labels, Arc::clone(&self.observes));
+        registry.register_counter("velox_net_forwards_total", &labels, Arc::clone(&self.forwards));
+        registry.register_counter(
+            "velox_net_ship_in_records_total",
+            &labels,
+            Arc::clone(&self.ship_in_records),
+        );
+        registry.register_counter(
+            "velox_net_ship_failures_total",
+            &labels,
+            Arc::clone(&self.ship_failures),
+        );
+    }
+}
+
+impl Default for NodeMetrics {
+    fn default() -> Self {
+        NodeMetrics::new()
+    }
+}
+
+/// Configuration for one node server.
+pub struct NodeConfig {
+    /// This node's id on the ring.
+    pub node_id: NodeId,
+    /// Cluster size (fixed).
+    pub n_nodes: usize,
+    /// Copies of each user's weights (primary + successors on the ring).
+    pub user_replication: usize,
+    /// LMS learning rate.
+    pub lr: f64,
+    /// WAL directory for this node; `None` runs without local durability
+    /// (acknowledged records then live only in replicas' WALs).
+    pub wal_dir: Option<std::path::PathBuf>,
+    /// Worker threads for the node's RPC server.
+    pub workers: usize,
+    /// Runtime-owned counters (survive restarts).
+    pub metrics: NodeMetrics,
+}
+
+/// The log half of a node's state: the WAL handle, every record this
+/// node holds (own writes + shipped-in), and the idempotency set.
+struct LogInner {
+    wal: Option<Wal>,
+    records: Vec<Observation>,
+    applied: HashSet<(u64, u64)>,
+}
+
+/// All mutable state of one node. Lock order: `log` before `weights`.
+pub struct NodeState {
+    config: NodeConfig,
+    users: HashPartitioner,
+    weights: Mutex<HashMap<u64, Vec<f64>>>,
+    items: Mutex<HashMap<u64, Vec<f64>>>,
+    log: Mutex<LogInner>,
+    /// Last logical timestamp assigned or seen (Lamport-style).
+    clock: AtomicU64,
+    peers: Arc<PeerTable>,
+}
+
+impl NodeState {
+    /// Replica set of a user: home plus successors on the ring.
+    fn replica_nodes_of_user(&self, uid: u64) -> Vec<NodeId> {
+        let primary = self.users.node_for(uid);
+        let r = self.config.user_replication.clamp(1, self.config.n_nodes);
+        (0..r).map(|k| (primary + k) % self.config.n_nodes).collect()
+    }
+
+    /// True when this node is in `uid`'s replica set.
+    pub fn holds_user(&self, uid: u64) -> bool {
+        self.replica_nodes_of_user(uid).contains(&self.config.node_id)
+    }
+
+    /// Installs item features (management plane; not logged).
+    pub fn seed_items(&self, entries: &[(u64, Vec<f64>)]) {
+        let mut items = self.items.lock().unwrap();
+        for (item_id, x) in entries {
+            items.insert(*item_id, x.clone());
+        }
+    }
+
+    /// Merges foreign log records (recovery): records already applied are
+    /// skipped; new ones enter the log and the local WAL but do **not**
+    /// touch the weights — call [`NodeState::rebuild_weights`] once after
+    /// all merges. Returns how many records were new.
+    pub fn merge_records(&self, records: &[Observation]) -> io::Result<u64> {
+        let mut log = self.log.lock().unwrap();
+        let mut added = 0u64;
+        for rec in records {
+            self.clock.fetch_max(rec.timestamp, Ordering::AcqRel);
+            if !log.applied.insert((rec.uid, rec.timestamp)) {
+                continue;
+            }
+            if let Some(wal) = log.wal.as_mut() {
+                wal.append(rec).map_err(|e| io::Error::other(e.to_string()))?;
+            }
+            log.records.push(rec.clone());
+            added += 1;
+        }
+        Ok(added)
+    }
+
+    /// Rebuilds the weight table by replaying every held record in
+    /// timestamp order — the same op order the records were first applied
+    /// in, so the rebuilt floats are bit-identical.
+    pub fn rebuild_weights(&self) {
+        let lr = self.config.lr;
+        let log = self.log.lock().unwrap();
+        let mut records: Vec<&Observation> = log.records.iter().collect();
+        records.sort_by_key(|r| r.timestamp);
+        let items = self.items.lock().unwrap();
+        let mut weights = self.weights.lock().unwrap();
+        weights.clear();
+        for rec in records {
+            if let Some(x) = items.get(&rec.item_id) {
+                lms_update(weights.entry(rec.uid).or_default(), x, rec.y, lr);
+            }
+        }
+    }
+
+    /// Number of log records currently held.
+    pub fn log_len(&self) -> usize {
+        self.log.lock().unwrap().records.len()
+    }
+
+    fn respond_predict(&self, uid: u64, item_id: u64, no_forward: bool) -> Response {
+        let me = self.config.node_id;
+        let owner = self.users.node_for(uid);
+        if owner != me && !no_forward {
+            if let Some(peer) = self.peers.get(owner) {
+                let fwd = Request::Predict { uid, item_id, no_forward: true };
+                if let Ok(Response::Predicted { score, node, cold_start, .. }) = peer.call(&fwd) {
+                    self.config.metrics.forwards.inc();
+                    return Response::Predicted { score, node, forwarded: true, cold_start };
+                }
+            }
+            // Owner unreachable: fall through and answer from local state
+            // (a replica's shipped copy, or the cold-start prior).
+        }
+        let Some(x) = self.items.lock().unwrap().get(&item_id).cloned() else {
+            return Response::Error {
+                code: ErrorCode::Unavailable,
+                message: format!("item {item_id} not seeded at node {me}"),
+            };
+        };
+        let weights = self.weights.lock().unwrap();
+        let (score, cold_start) = match weights.get(&uid) {
+            Some(w) => (dot(w, &x), false),
+            None => (0.0, true),
+        };
+        self.config.metrics.predicts.inc();
+        Response::Predicted { score, node: me as u32, forwarded: false, cold_start }
+    }
+
+    fn respond_observe(&self, uid: u64, item_id: u64, y: f64, no_forward: bool) -> Response {
+        let me = self.config.node_id;
+        let owner = self.users.node_for(uid);
+        if owner != me && !no_forward {
+            if let Some(peer) = self.peers.get(owner) {
+                let fwd = Request::Observe { uid, item_id, y, no_forward: true };
+                match peer.call(&fwd) {
+                    Ok(resp @ Response::Observed { .. }) => {
+                        self.config.metrics.forwards.inc();
+                        return resp;
+                    }
+                    Ok(other) => return other,
+                    Err(_) => {} // owner unreachable → act as owner below
+                }
+            }
+        }
+        let Some(x) = self.items.lock().unwrap().get(&item_id).cloned() else {
+            return Response::Error {
+                code: ErrorCode::Unavailable,
+                message: format!("item {item_id} not seeded at node {me}"),
+            };
+        };
+        let ts = self.clock.fetch_add(1, Ordering::AcqRel) + 1;
+        let rec = Observation { uid, item_id, y, timestamp: ts };
+        {
+            let mut log = self.log.lock().unwrap();
+            if let Some(wal) = log.wal.as_mut() {
+                if let Err(e) = wal.append(&rec) {
+                    return Response::Error {
+                        code: ErrorCode::Internal,
+                        message: format!("wal append failed: {e}"),
+                    };
+                }
+            }
+            log.applied.insert((uid, ts));
+            log.records.push(rec.clone());
+            lms_update(self.weights.lock().unwrap().entry(uid).or_default(), &x, y, self.config.lr);
+        }
+        // Replicate outside the log lock (two owners shipping to each
+        // other must not deadlock); idempotent replay keeps this safe.
+        let mut shipped_to = 0u32;
+        for replica in self.replica_nodes_of_user(uid) {
+            if replica == me {
+                continue;
+            }
+            let Some(peer) = self.peers.get(replica) else { continue };
+            match peer.call(&Request::ShipLog { records: vec![rec.clone()] }) {
+                Ok(Response::Ok) => shipped_to += 1,
+                _ => self.config.metrics.ship_failures.inc(),
+            }
+        }
+        self.config.metrics.observes.inc();
+        Response::Observed { node: me as u32, ts, shipped_to }
+    }
+
+    fn respond_ship(&self, records: Vec<Observation>) -> Response {
+        let lr = self.config.lr;
+        let mut log = self.log.lock().unwrap();
+        for rec in &records {
+            self.clock.fetch_max(rec.timestamp, Ordering::AcqRel);
+            if !log.applied.insert((rec.uid, rec.timestamp)) {
+                continue;
+            }
+            if let Some(wal) = log.wal.as_mut() {
+                if let Err(e) = wal.append(rec) {
+                    return Response::Error {
+                        code: ErrorCode::Internal,
+                        message: format!("replica wal append failed: {e}"),
+                    };
+                }
+            }
+            log.records.push(rec.clone());
+            if let Some(x) = self.items.lock().unwrap().get(&rec.item_id).cloned() {
+                lms_update(self.weights.lock().unwrap().entry(rec.uid).or_default(), &x, rec.y, lr);
+            }
+            self.config.metrics.ship_in_records.inc();
+        }
+        Response::Ok
+    }
+
+    fn respond_pull(&self, from_ts: u64) -> Response {
+        let log = self.log.lock().unwrap();
+        let mut records: Vec<Observation> =
+            log.records.iter().filter(|r| r.timestamp >= from_ts).cloned().collect();
+        records.sort_by_key(|r| r.timestamp);
+        Response::Log { records }
+    }
+}
+
+impl Handler for NodeState {
+    fn handle(&self, req: Request) -> Response {
+        match req {
+            Request::Predict { uid, item_id, no_forward } => {
+                self.respond_predict(uid, item_id, no_forward)
+            }
+            Request::Observe { uid, item_id, y, no_forward } => {
+                self.respond_observe(uid, item_id, y, no_forward)
+            }
+            Request::FetchWeights { uid } => {
+                Response::Weights { w: self.weights.lock().unwrap().get(&uid).cloned() }
+            }
+            Request::ShipLog { records } => self.respond_ship(records),
+            Request::PullLog { from_ts } => self.respond_pull(from_ts),
+            Request::SeedItems { entries } => {
+                self.seed_items(&entries);
+                Response::Ok
+            }
+            Request::PutWeights { uid, w } => {
+                self.weights.lock().unwrap().insert(uid, w);
+                Response::Ok
+            }
+            Request::Health => Response::Ok,
+        }
+    }
+}
+
+/// A running node: its state plus its TCP server.
+pub struct NodeServer {
+    state: Arc<NodeState>,
+    server: NetServer,
+}
+
+impl NodeServer {
+    /// Opens the node's WAL (when configured), loads whatever it held
+    /// into the log (weights are *not* rebuilt — recovery seeds items
+    /// first, then calls [`NodeState::rebuild_weights`]), and starts
+    /// serving on an ephemeral loopback port. Returns the node plus what
+    /// the WAL scan found.
+    pub fn start(
+        config: NodeConfig,
+        peers: Arc<PeerTable>,
+    ) -> io::Result<(NodeServer, Option<WalRecovery>)> {
+        let mut wal = None;
+        let mut recovery = None;
+        if let Some(dir) = &config.wal_dir {
+            let (w, rec) =
+                Wal::open(WalConfig::new(dir)).map_err(|e| io::Error::other(e.to_string()))?;
+            wal = Some(w);
+            recovery = Some(rec);
+        }
+        let mut log = LogInner { wal, records: Vec::new(), applied: HashSet::new() };
+        let mut clock = 0u64;
+        if let Some(rec) = &recovery {
+            for obs in &rec.records {
+                clock = clock.max(obs.timestamp);
+                log.applied.insert((obs.uid, obs.timestamp));
+                log.records.push(obs.clone());
+            }
+        }
+        let workers = config.workers;
+        let state = Arc::new(NodeState {
+            users: HashPartitioner::new(config.n_nodes, USER_SALT),
+            config,
+            weights: Mutex::new(HashMap::new()),
+            items: Mutex::new(HashMap::new()),
+            log: Mutex::new(log),
+            clock: AtomicU64::new(clock),
+            peers,
+        });
+        let server = NetServer::bind(
+            "127.0.0.1:0",
+            Arc::clone(&state) as Arc<dyn Handler>,
+            NetServerConfig { workers },
+        )?;
+        Ok((NodeServer { state, server }, recovery))
+    }
+
+    /// The node's state (the runtime drives recovery through it).
+    pub fn state(&self) -> &Arc<NodeState> {
+        &self.state
+    }
+
+    /// The node's listening address.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// Stops the node's server (simulated crash: in-memory state is
+    /// dropped with the handle; the WAL directory survives).
+    pub fn shutdown(&mut self) {
+        self.server.shutdown();
+    }
+}

@@ -1,0 +1,531 @@
+//! RPC message set and binary wire encoding.
+//!
+//! One frame carries one message. The payload is a `u8` tag followed by
+//! big-endian fixed-width fields; vectors are length-prefixed (`u32`
+//! count). Shipped log records use the WAL's own payload order
+//! (`timestamp, uid, item_id, y` — see `velox-storage::wal`), so a record
+//! read back from disk and a record on the wire are byte-identical.
+//!
+//! The RPC set is the paper's serving interface plus the replication
+//! plane: `Predict` / `Observe` / `FetchWeights` for the model, `ShipLog`
+//! / `PullLog` for WAL log shipping, `SeedItems` / `PutWeights` for the
+//! management plane, and `Health` for liveness probes.
+
+use velox_storage::Observation;
+
+/// Wire tag values for [`Request`] variants.
+mod req_tag {
+    pub const PREDICT: u8 = 1;
+    pub const OBSERVE: u8 = 2;
+    pub const FETCH_WEIGHTS: u8 = 3;
+    pub const SHIP_LOG: u8 = 4;
+    pub const PULL_LOG: u8 = 5;
+    pub const SEED_ITEMS: u8 = 6;
+    pub const PUT_WEIGHTS: u8 = 7;
+    pub const HEALTH: u8 = 8;
+}
+
+/// Wire tag values for [`Response`] variants.
+mod resp_tag {
+    pub const PREDICTED: u8 = 1;
+    pub const OBSERVED: u8 = 2;
+    pub const WEIGHTS: u8 = 3;
+    pub const LOG: u8 = 4;
+    pub const OK: u8 = 5;
+    pub const ERROR: u8 = 6;
+}
+
+/// Why a node refused a request (carried in [`Response::Error`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// No live replica can serve the key (degrade or retry elsewhere).
+    Unavailable,
+    /// The request was malformed or addressed to the wrong node.
+    BadRequest,
+    /// The node hit an internal failure (e.g. its WAL append failed).
+    Internal,
+}
+
+impl ErrorCode {
+    fn encode(self) -> u8 {
+        match self {
+            ErrorCode::Unavailable => 1,
+            ErrorCode::BadRequest => 2,
+            ErrorCode::Internal => 3,
+        }
+    }
+
+    fn decode(v: u8) -> Result<Self, DecodeError> {
+        match v {
+            1 => Ok(ErrorCode::Unavailable),
+            2 => Ok(ErrorCode::BadRequest),
+            3 => Ok(ErrorCode::Internal),
+            other => Err(DecodeError(format!("unknown error code {other}"))),
+        }
+    }
+}
+
+/// A request frame, client → node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Score `item_id` for `uid`. A node that does not own the user's
+    /// partition forwards one hop to the owner unless `no_forward` is set
+    /// (set on the forwarded leg to make loops impossible).
+    Predict {
+        /// User whose weight vector scores the item.
+        uid: u64,
+        /// Item to score.
+        item_id: u64,
+        /// Answer locally even if this node is not the owner.
+        no_forward: bool,
+    },
+    /// Apply one online observation at the owning node.
+    Observe {
+        /// User whose model updates.
+        uid: u64,
+        /// Observed item.
+        item_id: u64,
+        /// Supervised label.
+        y: f64,
+        /// Apply locally even if this node is not the owner (failover
+        /// writes and the forwarded leg).
+        no_forward: bool,
+    },
+    /// Management-plane read of a user's current weights.
+    FetchWeights {
+        /// User to look up.
+        uid: u64,
+    },
+    /// Replication plane: the owner ships acknowledged log records to a
+    /// replica, which applies and persists them.
+    ShipLog {
+        /// Acknowledged records in owner log order.
+        records: Vec<Observation>,
+    },
+    /// Recovery plane: fetch every log record with `timestamp ≥ from_ts`
+    /// that this node holds (its own writes plus records shipped to it).
+    PullLog {
+        /// Inclusive lower bound on record timestamps.
+        from_ts: u64,
+    },
+    /// Management plane: install item feature vectors (full copy).
+    SeedItems {
+        /// `(item_id, features)` pairs.
+        entries: Vec<(u64, Vec<f64>)>,
+    },
+    /// Management plane: install a user's weight vector directly.
+    PutWeights {
+        /// User to install.
+        uid: u64,
+        /// The weight vector.
+        w: Vec<f64>,
+    },
+    /// Liveness probe.
+    Health,
+}
+
+/// A response frame, node → client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Predict`].
+    Predicted {
+        /// The score `wᵤ·x`.
+        score: f64,
+        /// Node that computed the score.
+        node: u32,
+        /// True when the request took the forwarding hop to the owner.
+        forwarded: bool,
+        /// True when the user had no weights and the zero prior scored.
+        cold_start: bool,
+    },
+    /// Answer to [`Request::Observe`]: the acknowledgement.
+    Observed {
+        /// Node that applied the update.
+        node: u32,
+        /// Logical timestamp the owner assigned to the record.
+        ts: u64,
+        /// Replicas the record was shipped to before this ack.
+        shipped_to: u32,
+    },
+    /// Answer to [`Request::FetchWeights`].
+    Weights {
+        /// The vector, or `None` for a never-observed user.
+        w: Option<Vec<f64>>,
+    },
+    /// Answer to [`Request::PullLog`].
+    Log {
+        /// Matching records in timestamp order.
+        records: Vec<Observation>,
+    },
+    /// Generic success (ship, seed, put, health).
+    Ok,
+    /// The request failed at the node.
+    Error {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// A message payload that could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rpc decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// ---------------------------------------------------------------------------
+// Encoding primitives
+// ---------------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_vec_f64(buf: &mut Vec<u8>, v: &[f64]) {
+    put_u32(buf, v.len() as u32);
+    for &x in v {
+        put_f64(buf, x);
+    }
+}
+
+fn put_observation(buf: &mut Vec<u8>, obs: &Observation) {
+    put_u64(buf, obs.timestamp);
+    put_u64(buf, obs.uid);
+    put_u64(buf, obs.item_id);
+    put_f64(buf, obs.y);
+}
+
+/// Bounded cursor over a payload; every read is checked.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError(format!(
+                "payload truncated: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> Result<bool, DecodeError> {
+        Ok(self.u8()? != 0)
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Checked element count: rejects counts whose encoding could not fit
+    /// in the remaining payload (corrupt counts would otherwise allocate).
+    fn count(&mut self, elem_bytes: usize) -> Result<usize, DecodeError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(elem_bytes) > self.buf.len() - self.pos {
+            return Err(DecodeError(format!("element count {n} exceeds payload")));
+        }
+        Ok(n)
+    }
+
+    fn vec_f64(&mut self) -> Result<Vec<f64>, DecodeError> {
+        let n = self.count(8)?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    fn observation(&mut self) -> Result<Observation, DecodeError> {
+        Ok(Observation {
+            timestamp: self.u64()?,
+            uid: self.u64()?,
+            item_id: self.u64()?,
+            y: self.f64()?,
+        })
+    }
+
+    fn finish(self) -> Result<(), DecodeError> {
+        if self.pos != self.buf.len() {
+            return Err(DecodeError(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Request {
+    /// Serializes the request to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32);
+        match self {
+            Request::Predict { uid, item_id, no_forward } => {
+                buf.push(req_tag::PREDICT);
+                put_u64(&mut buf, *uid);
+                put_u64(&mut buf, *item_id);
+                buf.push(*no_forward as u8);
+            }
+            Request::Observe { uid, item_id, y, no_forward } => {
+                buf.push(req_tag::OBSERVE);
+                put_u64(&mut buf, *uid);
+                put_u64(&mut buf, *item_id);
+                put_f64(&mut buf, *y);
+                buf.push(*no_forward as u8);
+            }
+            Request::FetchWeights { uid } => {
+                buf.push(req_tag::FETCH_WEIGHTS);
+                put_u64(&mut buf, *uid);
+            }
+            Request::ShipLog { records } => {
+                buf.push(req_tag::SHIP_LOG);
+                put_u32(&mut buf, records.len() as u32);
+                for rec in records {
+                    put_observation(&mut buf, rec);
+                }
+            }
+            Request::PullLog { from_ts } => {
+                buf.push(req_tag::PULL_LOG);
+                put_u64(&mut buf, *from_ts);
+            }
+            Request::SeedItems { entries } => {
+                buf.push(req_tag::SEED_ITEMS);
+                put_u32(&mut buf, entries.len() as u32);
+                for (item_id, x) in entries {
+                    put_u64(&mut buf, *item_id);
+                    put_vec_f64(&mut buf, x);
+                }
+            }
+            Request::PutWeights { uid, w } => {
+                buf.push(req_tag::PUT_WEIGHTS);
+                put_u64(&mut buf, *uid);
+                put_vec_f64(&mut buf, w);
+            }
+            Request::Health => buf.push(req_tag::HEALTH),
+        }
+        buf
+    }
+
+    /// Parses a frame payload into a request.
+    pub fn decode(buf: &[u8]) -> Result<Request, DecodeError> {
+        let mut c = Cursor::new(buf);
+        let req = match c.u8()? {
+            req_tag::PREDICT => {
+                Request::Predict { uid: c.u64()?, item_id: c.u64()?, no_forward: c.bool()? }
+            }
+            req_tag::OBSERVE => Request::Observe {
+                uid: c.u64()?,
+                item_id: c.u64()?,
+                y: c.f64()?,
+                no_forward: c.bool()?,
+            },
+            req_tag::FETCH_WEIGHTS => Request::FetchWeights { uid: c.u64()? },
+            req_tag::SHIP_LOG => {
+                let n = c.count(32)?;
+                let records = (0..n).map(|_| c.observation()).collect::<Result<_, _>>()?;
+                Request::ShipLog { records }
+            }
+            req_tag::PULL_LOG => Request::PullLog { from_ts: c.u64()? },
+            req_tag::SEED_ITEMS => {
+                let n = c.count(12)?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let item_id = c.u64()?;
+                    entries.push((item_id, c.vec_f64()?));
+                }
+                Request::SeedItems { entries }
+            }
+            req_tag::PUT_WEIGHTS => Request::PutWeights { uid: c.u64()?, w: c.vec_f64()? },
+            req_tag::HEALTH => Request::Health,
+            other => return Err(DecodeError(format!("unknown request tag {other}"))),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serializes the response to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32);
+        match self {
+            Response::Predicted { score, node, forwarded, cold_start } => {
+                buf.push(resp_tag::PREDICTED);
+                put_f64(&mut buf, *score);
+                put_u32(&mut buf, *node);
+                buf.push(*forwarded as u8);
+                buf.push(*cold_start as u8);
+            }
+            Response::Observed { node, ts, shipped_to } => {
+                buf.push(resp_tag::OBSERVED);
+                put_u32(&mut buf, *node);
+                put_u64(&mut buf, *ts);
+                put_u32(&mut buf, *shipped_to);
+            }
+            Response::Weights { w } => {
+                buf.push(resp_tag::WEIGHTS);
+                match w {
+                    Some(w) => {
+                        buf.push(1);
+                        put_vec_f64(&mut buf, w);
+                    }
+                    None => buf.push(0),
+                }
+            }
+            Response::Log { records } => {
+                buf.push(resp_tag::LOG);
+                put_u32(&mut buf, records.len() as u32);
+                for rec in records {
+                    put_observation(&mut buf, rec);
+                }
+            }
+            Response::Ok => buf.push(resp_tag::OK),
+            Response::Error { code, message } => {
+                buf.push(resp_tag::ERROR);
+                buf.push(code.encode());
+                let bytes = message.as_bytes();
+                put_u32(&mut buf, bytes.len() as u32);
+                buf.extend_from_slice(bytes);
+            }
+        }
+        buf
+    }
+
+    /// Parses a frame payload into a response.
+    pub fn decode(buf: &[u8]) -> Result<Response, DecodeError> {
+        let mut c = Cursor::new(buf);
+        let resp = match c.u8()? {
+            resp_tag::PREDICTED => Response::Predicted {
+                score: c.f64()?,
+                node: c.u32()?,
+                forwarded: c.bool()?,
+                cold_start: c.bool()?,
+            },
+            resp_tag::OBSERVED => {
+                Response::Observed { node: c.u32()?, ts: c.u64()?, shipped_to: c.u32()? }
+            }
+            resp_tag::WEIGHTS => {
+                let present = c.bool()?;
+                Response::Weights { w: if present { Some(c.vec_f64()?) } else { None } }
+            }
+            resp_tag::LOG => {
+                let n = c.count(32)?;
+                let records = (0..n).map(|_| c.observation()).collect::<Result<_, _>>()?;
+                Response::Log { records }
+            }
+            resp_tag::OK => Response::Ok,
+            resp_tag::ERROR => {
+                let code = ErrorCode::decode(c.u8()?)?;
+                let n = c.count(1)?;
+                let message = String::from_utf8(c.take(n)?.to_vec())
+                    .map_err(|_| DecodeError("error message is not utf-8".into()))?;
+                Response::Error { code, message }
+            }
+            other => return Err(DecodeError(format!("unknown response tag {other}"))),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(ts: u64) -> Observation {
+        Observation { uid: ts * 7, item_id: ts * 13, y: ts as f64 * 0.5, timestamp: ts }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let cases = vec![
+            Request::Predict { uid: 1, item_id: 2, no_forward: false },
+            Request::Observe { uid: 3, item_id: 4, y: -1.5, no_forward: true },
+            Request::FetchWeights { uid: u64::MAX },
+            Request::ShipLog { records: vec![obs(1), obs(2), obs(3)] },
+            Request::ShipLog { records: vec![] },
+            Request::PullLog { from_ts: 42 },
+            Request::SeedItems { entries: vec![(9, vec![1.0, 2.0]), (10, vec![])] },
+            Request::PutWeights { uid: 5, w: vec![0.25, -0.5, 1e300] },
+            Request::Health,
+        ];
+        for req in cases {
+            let buf = req.encode();
+            assert_eq!(Request::decode(&buf).unwrap(), req, "round trip failed");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = vec![
+            Response::Predicted { score: 0.75, node: 2, forwarded: true, cold_start: false },
+            Response::Observed { node: 0, ts: 99, shipped_to: 2 },
+            Response::Weights { w: Some(vec![1.0, 2.0, 3.0]) },
+            Response::Weights { w: None },
+            Response::Log { records: vec![obs(5)] },
+            Response::Ok,
+            Response::Error { code: ErrorCode::Unavailable, message: "node 1 down".into() },
+        ];
+        for resp in cases {
+            let buf = resp.encode();
+            assert_eq!(Response::decode(&buf).unwrap(), resp, "round trip failed");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = Request::Health.encode();
+        buf.push(0);
+        assert!(Request::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let buf = Request::Observe { uid: 1, item_id: 2, y: 3.0, no_forward: false }.encode();
+        for cut in 0..buf.len() {
+            assert!(Request::decode(&buf[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn hostile_count_rejected_without_allocation() {
+        // ShipLog claiming u32::MAX records in a 9-byte payload.
+        let mut buf = vec![4u8]; // SHIP_LOG
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(Request::decode(&buf).is_err());
+    }
+}

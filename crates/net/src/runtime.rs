@@ -1,0 +1,506 @@
+//! The multi-node loopback runtime: N node servers behind one front.
+//!
+//! [`NetCluster`] is the TCP twin of the simulator in `velox-cluster`: it
+//! starts one [`NodeServer`](crate::node::NodeServer) per partition on an
+//! ephemeral loopback port, keeps the shared [`PeerTable`] pointing at
+//! each node's current incarnation, and implements the
+//! [`Transport`] trait so every driver written against the simulator —
+//! the chaos ladder, the REST layer, the benches — runs unchanged over
+//! real sockets.
+//!
+//! Fault plans work over TCP too, but here a *kill is a kill*: the node's
+//! server is shut down and its in-memory state dropped; only its WAL
+//! directory survives (unless [`NetCluster::kill_node_lose_disk`] wipes
+//! that as well). Recovery starts a fresh incarnation on a new port,
+//! replays the local WAL, re-seeds the item table from the management
+//! plane, pulls shipped records from live peers (`PullLog`), and rebuilds
+//! the weight table by replaying the merged log in timestamp order.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use velox_cluster::transport::{Transport, TransportError, TransportObserve, TransportPredict};
+use velox_cluster::{FaultAction, FaultPlan, HashPartitioner, NodeHealth, NodeId, USER_SALT};
+use velox_data::VeloxRng;
+use velox_obs::{Counter, Histogram, Registry};
+use velox_storage::Observation;
+
+use crate::client::{NetClient, NetClientConfig};
+use crate::node::{NodeConfig, NodeMetrics, NodeServer, PeerTable};
+use crate::rpc::{ErrorCode, Request, Response};
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct NetClusterConfig {
+    /// Number of nodes.
+    pub n_nodes: usize,
+    /// Copies of each user's weights (primary + ring successors).
+    pub user_replication: usize,
+    /// LMS learning rate applied at the owning node.
+    pub lr: f64,
+    /// Root directory for per-node WALs (`<root>/node-<i>`); `None`
+    /// disables local durability everywhere.
+    pub wal_root: Option<PathBuf>,
+    /// Worker threads per node server.
+    pub workers: usize,
+    /// Per-request deadline for front → node RPCs.
+    pub request_timeout: Duration,
+}
+
+impl Default for NetClusterConfig {
+    fn default() -> Self {
+        NetClusterConfig {
+            n_nodes: 3,
+            user_replication: 2,
+            lr: 0.1,
+            wal_root: None,
+            workers: 8,
+            request_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Fault plan in flight (events sorted by request tick).
+struct FaultState {
+    plan: FaultPlan,
+    rng: VeloxRng,
+    next_event: usize,
+}
+
+/// Per-node runtime counters that survive node restarts.
+struct NodeSlot {
+    server: Option<NodeServer>,
+    health: AtomicU8,
+    metrics: NodeMetrics,
+    requests_routed: Arc<Counter>,
+    failover_requests: Arc<Counter>,
+    recoveries: Arc<Counter>,
+    catch_up_records: Arc<Counter>,
+}
+
+/// A running loopback TCP cluster; dropping it stops every node.
+pub struct NetCluster {
+    config: NetClusterConfig,
+    users: HashPartitioner,
+    peers: Arc<PeerTable>,
+    slots: Vec<Mutex<NodeSlot>>,
+    health: Vec<AtomicU8>,
+    /// Management-plane master copy of the item table (for re-seeding
+    /// recovered nodes).
+    items: Mutex<HashMap<u64, Vec<f64>>>,
+    request_clock: AtomicU64,
+    faults: Mutex<Option<FaultState>>,
+    fault_active: AtomicBool,
+    /// Predict round-trip latency (µs) as seen by the front.
+    predict_us: Arc<Histogram>,
+    /// Observe (ack) round-trip latency (µs) as seen by the front.
+    observe_us: Arc<Histogram>,
+    /// Requests that found no live replica at all.
+    unavailable: Arc<Counter>,
+}
+
+impl NetCluster {
+    /// Starts `config.n_nodes` node servers on loopback and wires the
+    /// peer table. Blocks until every node is listening.
+    pub fn start(config: NetClusterConfig) -> std::io::Result<NetCluster> {
+        assert!(config.n_nodes > 0, "cluster needs at least one node");
+        let peers = Arc::new(PeerTable::new(config.n_nodes));
+        let mut slots = Vec::with_capacity(config.n_nodes);
+        for node_id in 0..config.n_nodes {
+            let metrics = NodeMetrics::new();
+            let (server, _) = NodeServer::start(
+                NodeConfig {
+                    node_id,
+                    n_nodes: config.n_nodes,
+                    user_replication: config.user_replication,
+                    lr: config.lr,
+                    wal_dir: config.wal_root.as_ref().map(|r| r.join(format!("node-{node_id}"))),
+                    workers: config.workers,
+                    metrics: metrics.clone(),
+                },
+                Arc::clone(&peers),
+            )?;
+            let client = Arc::new(NetClient::with_config(
+                server.local_addr(),
+                NetClientConfig { request_timeout: config.request_timeout, ..Default::default() },
+            ));
+            peers.set(node_id, Some(client));
+            slots.push(Mutex::new(NodeSlot {
+                server: Some(server),
+                health: AtomicU8::new(NodeHealth::Up.encode()),
+                metrics,
+                requests_routed: Arc::new(Counter::new()),
+                failover_requests: Arc::new(Counter::new()),
+                recoveries: Arc::new(Counter::new()),
+                catch_up_records: Arc::new(Counter::new()),
+            }));
+        }
+        let health = (0..config.n_nodes).map(|_| AtomicU8::new(NodeHealth::Up.encode())).collect();
+        Ok(NetCluster {
+            users: HashPartitioner::new(config.n_nodes, USER_SALT),
+            config,
+            peers,
+            slots,
+            health,
+            items: Mutex::new(HashMap::new()),
+            request_clock: AtomicU64::new(0),
+            faults: Mutex::new(None),
+            fault_active: AtomicBool::new(false),
+            predict_us: Arc::new(Histogram::new()),
+            observe_us: Arc::new(Histogram::new()),
+            unavailable: Arc::new(Counter::new()),
+        })
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &NetClusterConfig {
+        &self.config
+    }
+
+    /// Home (primary) node of a user.
+    pub fn home_of_user(&self, uid: u64) -> NodeId {
+        self.users.node_for(uid)
+    }
+
+    /// Replica set of a user: home plus ring successors.
+    pub fn replica_nodes_of_user(&self, uid: u64) -> Vec<NodeId> {
+        let primary = self.home_of_user(uid);
+        let r = self.config.user_replication.clamp(1, self.config.n_nodes);
+        (0..r).map(|k| (primary + k) % self.config.n_nodes).collect()
+    }
+
+    /// The client for `node`'s current incarnation (`None` while down).
+    pub fn client(&self, node: NodeId) -> Option<Arc<NetClient>> {
+        self.peers.get(node)
+    }
+
+    /// Installs item features everywhere (management plane): the master
+    /// copy is kept for re-seeding recovered nodes.
+    pub fn publish_item_features(&self, entries: Vec<(u64, Vec<f64>)>) {
+        self.items.lock().unwrap().extend(entries.iter().cloned());
+        let req = Request::SeedItems { entries };
+        for node in 0..self.config.n_nodes {
+            if let Some(client) = self.peers.get(node) {
+                let _ = client.call(&req);
+            }
+        }
+    }
+
+    /// Crashes `node`: the server stops, its in-memory state is gone, the
+    /// peer table entry clears. The WAL directory survives.
+    pub fn kill_node(&self, node: NodeId) {
+        let mut slot = self.slots[node].lock().unwrap();
+        if let Some(mut server) = slot.server.take() {
+            server.shutdown();
+        }
+        self.peers.set(node, None);
+        slot.health.store(NodeHealth::Down.encode(), Ordering::Release);
+        self.health[node].store(NodeHealth::Down.encode(), Ordering::Release);
+    }
+
+    /// [`NetCluster::kill_node`] plus losing the disk: the WAL directory
+    /// is deleted, so recovery can only replay from replicas' shipped
+    /// logs.
+    pub fn kill_node_lose_disk(&self, node: NodeId) {
+        self.kill_node(node);
+        if let Some(root) = &self.config.wal_root {
+            let _ = std::fs::remove_dir_all(root.join(format!("node-{node}")));
+        }
+    }
+
+    /// Restarts `node` on a fresh port and runs full recovery: local WAL
+    /// replay, item re-seed, `PullLog` from every live peer (keeping only
+    /// records in this node's replica sets), weight rebuild in timestamp
+    /// order. Returns how many records came back from peers.
+    pub fn recover_node(&self, node: NodeId) -> std::io::Result<u64> {
+        let mut slot = self.slots[node].lock().unwrap();
+        slot.health.store(NodeHealth::Recovering.encode(), Ordering::Release);
+        self.health[node].store(NodeHealth::Recovering.encode(), Ordering::Release);
+
+        let (server, _recovery) = NodeServer::start(
+            NodeConfig {
+                node_id: node,
+                n_nodes: self.config.n_nodes,
+                user_replication: self.config.user_replication,
+                lr: self.config.lr,
+                wal_dir: self.config.wal_root.as_ref().map(|r| r.join(format!("node-{node}"))),
+                workers: self.config.workers,
+                metrics: slot.metrics.clone(),
+            },
+            Arc::clone(&self.peers),
+        )?;
+        let state = Arc::clone(server.state());
+
+        // Re-seed the item table from the management-plane master copy.
+        {
+            let items = self.items.lock().unwrap();
+            let entries: Vec<(u64, Vec<f64>)> =
+                items.iter().map(|(k, v)| (*k, v.clone())).collect();
+            state.seed_items(&entries);
+        }
+
+        // Pull shipped records from live peers; keep only the shards this
+        // node participates in.
+        let mut pulled = 0u64;
+        for peer in 0..self.config.n_nodes {
+            if peer == node {
+                continue;
+            }
+            let Some(client) = self.peers.get(peer) else { continue };
+            if let Ok(Response::Log { records }) = client.call(&Request::PullLog { from_ts: 0 }) {
+                let mine: Vec<Observation> =
+                    records.into_iter().filter(|r| state.holds_user(r.uid)).collect();
+                pulled += state.merge_records(&mine)?;
+            }
+        }
+        state.rebuild_weights();
+        slot.catch_up_records.add(pulled);
+        slot.recoveries.inc();
+
+        let client = Arc::new(NetClient::with_config(
+            server.local_addr(),
+            NetClientConfig { request_timeout: self.config.request_timeout, ..Default::default() },
+        ));
+        self.peers.set(node, Some(client));
+        slot.server = Some(server);
+        slot.health.store(NodeHealth::Up.encode(), Ordering::Release);
+        self.health[node].store(NodeHealth::Up.encode(), Ordering::Release);
+        Ok(pulled)
+    }
+
+    /// Installs a deterministic fault plan driven by the request clock.
+    pub fn install_fault_plan(&self, mut plan: FaultPlan) {
+        plan.events.sort_by_key(|e| e.at_request);
+        let rng = VeloxRng::seed_from(plan.seed);
+        *self.faults.lock().unwrap() = Some(FaultState { plan, rng, next_event: 0 });
+        self.fault_active.store(true, Ordering::Release);
+    }
+
+    /// Removes the fault plan (scheduled events stop firing).
+    pub fn clear_fault_plan(&self) {
+        *self.faults.lock().unwrap() = None;
+        self.fault_active.store(false, Ordering::Release);
+    }
+
+    /// Advances the request clock by one and fires any due fault events.
+    /// Returns the latency-spike sleep (µs) this request incurs, plus
+    /// whether a transient read failure hits it.
+    fn tick_faults(&self) -> (u64, bool) {
+        let tick = self.request_clock.fetch_add(1, Ordering::Relaxed) + 1;
+        if !self.fault_active.load(Ordering::Acquire) {
+            return (0, false);
+        }
+        let mut due: Vec<(NodeId, FaultAction)> = Vec::new();
+        let mut spike = 0u64;
+        let mut fail = false;
+        {
+            let mut guard = self.faults.lock().unwrap();
+            let Some(state) = guard.as_mut() else { return (0, false) };
+            while state.next_event < state.plan.events.len()
+                && state.plan.events[state.next_event].at_request <= tick
+            {
+                let ev = state.plan.events[state.next_event];
+                due.push((ev.node, ev.action));
+                state.next_event += 1;
+            }
+            if state.plan.read_failure_prob > 0.0
+                && state.rng.uniform() < state.plan.read_failure_prob
+            {
+                fail = true;
+            }
+            if state.plan.latency_spike_prob > 0.0
+                && state.rng.uniform() < state.plan.latency_spike_prob
+            {
+                spike = state.plan.latency_spike_us as u64;
+            }
+        }
+        // Apply events outside the fault lock (kill/recover take slot locks).
+        for (node, action) in due {
+            match action {
+                FaultAction::Kill => self.kill_node(node),
+                FaultAction::Recover => {
+                    let _ = self.recover_node(node);
+                }
+            }
+        }
+        (spike, fail)
+    }
+
+    /// Live replicas of a user in failover order (home first). When
+    /// `skip_primary` (injected transient failure), the home is dropped.
+    fn serving_candidates(&self, uid: u64, skip_primary: bool) -> Vec<NodeId> {
+        self.replica_nodes_of_user(uid)
+            .into_iter()
+            .skip(skip_primary as usize)
+            .filter(|&n| self.node_health(n) == NodeHealth::Up)
+            .collect()
+    }
+
+    /// Registers runtime and per-node metrics (node-labelled series).
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_histogram("velox_net_predict_us", &[], Arc::clone(&self.predict_us));
+        registry.register_histogram("velox_net_observe_us", &[], Arc::clone(&self.observe_us));
+        registry.register_counter(
+            "velox_net_unavailable_total",
+            &[],
+            Arc::clone(&self.unavailable),
+        );
+        for (id, slot) in self.slots.iter().enumerate() {
+            let slot = slot.lock().unwrap();
+            let label = id.to_string();
+            let labels = [("node", label.as_str())];
+            slot.metrics.register(registry, id);
+            registry.register_counter(
+                "velox_net_requests_routed_total",
+                &labels,
+                Arc::clone(&slot.requests_routed),
+            );
+            registry.register_counter(
+                "velox_net_failover_requests_total",
+                &labels,
+                Arc::clone(&slot.failover_requests),
+            );
+            registry.register_counter(
+                "velox_net_recoveries_total",
+                &labels,
+                Arc::clone(&slot.recoveries),
+            );
+            registry.register_counter(
+                "velox_net_catch_up_records_total",
+                &labels,
+                Arc::clone(&slot.catch_up_records),
+            );
+        }
+    }
+
+    /// Stops every node (also happens on drop).
+    pub fn shutdown(&self) {
+        for node in 0..self.config.n_nodes {
+            let mut slot = self.slots[node].lock().unwrap();
+            if let Some(mut server) = slot.server.take() {
+                server.shutdown();
+            }
+            self.peers.set(node, None);
+        }
+    }
+}
+
+impl Drop for NetCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Maps a node-level error response onto the transport error space.
+fn map_error(code: ErrorCode, message: String) -> TransportError {
+    match code {
+        ErrorCode::Unavailable => TransportError::Unavailable,
+        _ => TransportError::Failed(message),
+    }
+}
+
+impl Transport for NetCluster {
+    fn n_nodes(&self) -> usize {
+        self.config.n_nodes
+    }
+
+    fn node_health(&self, node: NodeId) -> NodeHealth {
+        NodeHealth::decode(self.health[node].load(Ordering::Acquire))
+    }
+
+    fn predict(&self, uid: u64, item_id: u64) -> Result<TransportPredict, TransportError> {
+        let (spike_us, fail) = self.tick_faults();
+        if spike_us > 0 {
+            std::thread::sleep(Duration::from_micros(spike_us));
+        }
+        let home = self.home_of_user(uid);
+        let timer = std::time::Instant::now();
+        let mut last = TransportError::Unavailable;
+        for node in self.serving_candidates(uid, fail) {
+            let Some(client) = self.peers.get(node) else { continue };
+            // The front routes to the owner (or a live replica) itself, so
+            // the node answers from local state — no second hop.
+            let req = Request::Predict { uid, item_id, no_forward: true };
+            match client.call(&req) {
+                Ok(Response::Predicted { score, node: at, cold_start, .. }) => {
+                    let slot = self.slots[node].lock().unwrap();
+                    slot.requests_routed.inc();
+                    if node != home {
+                        slot.failover_requests.inc();
+                    }
+                    drop(slot);
+                    self.predict_us.record(timer.elapsed().as_micros() as u64);
+                    return Ok(TransportPredict {
+                        score,
+                        node: at as NodeId,
+                        routed: node != home,
+                        cold_start,
+                    });
+                }
+                Ok(Response::Error { code, message }) => return Err(map_error(code, message)),
+                Ok(other) => {
+                    return Err(TransportError::Failed(format!("unexpected reply {other:?}")))
+                }
+                Err(e) => last = TransportError::Failed(e.to_string()),
+            }
+        }
+        if matches!(last, TransportError::Unavailable) {
+            self.unavailable.inc();
+        }
+        Err(last)
+    }
+
+    fn observe(&self, uid: u64, item_id: u64, y: f64) -> Result<TransportObserve, TransportError> {
+        let (spike_us, _) = self.tick_faults();
+        if spike_us > 0 {
+            std::thread::sleep(Duration::from_micros(spike_us));
+        }
+        let timer = std::time::Instant::now();
+        let mut last = TransportError::Unavailable;
+        for node in self.serving_candidates(uid, false) {
+            let Some(client) = self.peers.get(node) else { continue };
+            // no_forward: a live replica acts as owner when the home is
+            // down (its clock is ahead of every record it has seen).
+            let req = Request::Observe { uid, item_id, y, no_forward: true };
+            match client.call(&req) {
+                Ok(Response::Observed { node: at, ts, shipped_to }) => {
+                    self.slots[node].lock().unwrap().requests_routed.inc();
+                    self.observe_us.record(timer.elapsed().as_micros() as u64);
+                    return Ok(TransportObserve {
+                        node: at as NodeId,
+                        ts,
+                        shipped_to: shipped_to as usize,
+                    });
+                }
+                Ok(Response::Error { code, message }) => return Err(map_error(code, message)),
+                Ok(other) => {
+                    return Err(TransportError::Failed(format!("unexpected reply {other:?}")))
+                }
+                Err(e) => last = TransportError::Failed(e.to_string()),
+            }
+        }
+        if matches!(last, TransportError::Unavailable) {
+            self.unavailable.inc();
+        }
+        Err(last)
+    }
+
+    fn fetch_weights(&self, uid: u64) -> Result<Option<Vec<f64>>, TransportError> {
+        let mut last = TransportError::Unavailable;
+        for node in self.serving_candidates(uid, false) {
+            let Some(client) = self.peers.get(node) else { continue };
+            match client.call(&Request::FetchWeights { uid }) {
+                Ok(Response::Weights { w }) => return Ok(w),
+                Ok(Response::Error { code, message }) => return Err(map_error(code, message)),
+                Ok(other) => {
+                    return Err(TransportError::Failed(format!("unexpected reply {other:?}")))
+                }
+                Err(e) => last = TransportError::Failed(e.to_string()),
+            }
+        }
+        Err(last)
+    }
+}

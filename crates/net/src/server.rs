@@ -1,0 +1,252 @@
+//! Blocking TCP server with a fixed worker pool.
+//!
+//! The shape follows the serving tier Clipper-style RPC front-ends use:
+//! an accept thread hands persistent connections to a pool of worker
+//! threads; each worker owns one connection at a time and runs its
+//! request/response loop (one frame in, one frame out) until the peer
+//! closes. No async runtime, no epoll — the cluster peers keep a handful
+//! of long-lived connections each, so pinning a worker per live
+//! connection is the simplest design that serves the paper's workload.
+//! Size `workers` above the expected number of concurrently connected
+//! peers; excess connections wait in the accept queue until a worker
+//! frees up (clients see a deadline miss, not a hang).
+//!
+//! Shutdown is prompt even with workers blocked in `read`: the server
+//! keeps a clone of every live connection in a slab and calls
+//! `TcpStream::shutdown` on each, which unblocks the owning worker.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::rpc::{ErrorCode, Request, Response};
+
+/// Implemented by whatever owns the node's state; called once per frame.
+pub trait Handler: Send + Sync + 'static {
+    /// Produces the response for one decoded request.
+    fn handle(&self, req: Request) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(Request) -> Response + Send + Sync + 'static,
+{
+    fn handle(&self, req: Request) -> Response {
+        self(req)
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Worker threads (each pins one live connection). Must exceed the
+    /// number of concurrently connected peers.
+    pub workers: usize,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig { workers: 8 }
+    }
+}
+
+/// Connections waiting for a worker.
+struct AcceptQueue {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+}
+
+/// A running server; dropping it (or calling [`NetServer::shutdown`])
+/// stops the accept loop, unblocks every worker, and joins all threads.
+pub struct NetServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    accept_queue: Arc<AcceptQueue>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `handler` on `config.workers` threads.
+    pub fn bind(
+        addr: &str,
+        handler: Arc<dyn Handler>,
+        config: NetServerConfig,
+    ) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let accept_queue =
+            Arc::new(AcceptQueue { queue: Mutex::new(VecDeque::new()), ready: Condvar::new() });
+        let next_conn_id = Arc::new(AtomicU64::new(0));
+
+        let mut threads = Vec::with_capacity(config.workers + 1);
+        {
+            let stop = Arc::clone(&stop);
+            let q = Arc::clone(&accept_queue);
+            threads.push(std::thread::spawn(move || {
+                for incoming in listener.incoming() {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = incoming else { continue };
+                    let _ = stream.set_nodelay(true);
+                    q.queue.lock().unwrap().push_back(stream);
+                    q.ready.notify_one();
+                }
+            }));
+        }
+
+        for _ in 0..config.workers.max(1) {
+            let stop = Arc::clone(&stop);
+            let q = Arc::clone(&accept_queue);
+            let conns = Arc::clone(&conns);
+            let ids = Arc::clone(&next_conn_id);
+            let handler = Arc::clone(&handler);
+            threads.push(std::thread::spawn(move || loop {
+                let stream = {
+                    let mut queue = q.queue.lock().unwrap();
+                    loop {
+                        if stop.load(Ordering::Acquire) {
+                            return;
+                        }
+                        if let Some(s) = queue.pop_front() {
+                            break s;
+                        }
+                        queue = q.ready.wait(queue).unwrap();
+                    }
+                };
+                let id = ids.fetch_add(1, Ordering::Relaxed);
+                if let Ok(clone) = stream.try_clone() {
+                    conns.lock().unwrap().insert(id, clone);
+                }
+                serve_connection(stream, &*handler, &stop);
+                conns.lock().unwrap().remove(&id);
+            }));
+        }
+
+        Ok(NetServer { addr: local, stop, conns, accept_queue, threads })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, severs every live connection, and joins all
+    /// threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        // Unblock workers parked on the queue. Holding the queue lock
+        // while notifying means a worker that checked `stop` before the
+        // swap has already reached `wait` and cannot miss the wakeup.
+        {
+            let _queue = self.accept_queue.queue.lock().unwrap();
+            self.accept_queue.ready.notify_all();
+        }
+        // ...and workers parked in read().
+        for (_, conn) in self.conns.lock().unwrap().drain() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One connection's request/response loop: runs until the peer closes,
+/// the bytes stop parsing, or the server shuts down.
+fn serve_connection(mut stream: TcpStream, handler: &dyn Handler, stop: &AtomicBool) {
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(p) => p,
+            Err(_) => return, // orderly close, torn frame, or severed by shutdown
+        };
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let response = match Request::decode(&payload) {
+            Ok(req) => handler.handle(req),
+            Err(e) => Response::Error { code: ErrorCode::BadRequest, message: e.to_string() },
+        };
+        if let Err(err) = write_frame(&mut stream, &response.encode()) {
+            // A client that vanished mid-response is routine; anything else
+            // still just drops the connection (the client will redial).
+            let _ = err;
+            return;
+        }
+    }
+}
+
+/// Classifies a [`FrameError`] for retry decisions: timeouts are distinct
+/// from hard connection failures.
+pub fn frame_error_is_fatal(err: &FrameError) -> bool {
+    !err.is_timeout()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> NetServer {
+        NetServer::bind(
+            "127.0.0.1:0",
+            Arc::new(|req: Request| match req {
+                Request::Health => Response::Ok,
+                Request::FetchWeights { uid } => Response::Weights { w: Some(vec![uid as f64]) },
+                _ => Response::Error { code: ErrorCode::BadRequest, message: "echo only".into() },
+            }),
+            NetServerConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn serves_frames_over_a_persistent_connection() {
+        let server = echo_server();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        for uid in 0..10u64 {
+            write_frame(&mut conn, &Request::FetchWeights { uid }.encode()).unwrap();
+            let resp = Response::decode(&read_frame(&mut conn).unwrap()).unwrap();
+            assert_eq!(resp, Response::Weights { w: Some(vec![uid as f64]) });
+        }
+    }
+
+    #[test]
+    fn garbage_payload_gets_bad_request() {
+        let server = echo_server();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        write_frame(&mut conn, &[0xFF, 0xFE]).unwrap();
+        match Response::decode(&read_frame(&mut conn).unwrap()).unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_unblocks_parked_workers() {
+        let mut server = echo_server();
+        // Park a worker on an idle connection, then shut down; the join in
+        // shutdown() only returns if the worker was unblocked.
+        let _idle = TcpStream::connect(server.local_addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        server.shutdown();
+    }
+}

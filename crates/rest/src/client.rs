@@ -33,6 +33,10 @@ pub enum ClientError {
         status: u16,
         /// The server's error message.
         message: String,
+        /// Parsed `Retry-After` header (delta-seconds form), when the
+        /// server sent one — load-shedding 503s do. The retry loop honors
+        /// it in place of its own exponential backoff.
+        retry_after: Option<Duration>,
     },
     /// The circuit breaker for this endpoint is open; the request was not
     /// sent. Retry after the breaker cooldown.
@@ -47,7 +51,7 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "io error: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
-            ClientError::Server { status, message } => {
+            ClientError::Server { status, message, .. } => {
                 write!(f, "server error {status}: {message}")
             }
             ClientError::CircuitOpen { endpoint } => {
@@ -149,6 +153,19 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Extracts a delta-seconds `Retry-After` header from a raw response head
+/// (status line + headers). The HTTP-date form is not supported — this
+/// workspace's servers only emit the seconds form.
+fn retry_after(head: &str) -> Option<Duration> {
+    head.lines().find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        if !name.trim().eq_ignore_ascii_case("retry-after") {
+            return None;
+        }
+        value.trim().parse::<u64>().ok().map(Duration::from_secs)
+    })
+}
+
 /// A point-prediction result.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClientPrediction {
@@ -187,6 +204,30 @@ pub struct ClientObserve {
     /// partition had no live replica (trained is `false` until a recovered
     /// node drains the queue).
     pub deferred: bool,
+}
+
+/// A cluster-route prediction (`POST /cluster/predict`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientClusterPredict {
+    /// Predicted score `wᵤ·x`.
+    pub score: f64,
+    /// Node that computed the score.
+    pub node: usize,
+    /// Served by a node other than the user's home partition.
+    pub routed: bool,
+    /// No weights existed for the user; the score is the zero prior.
+    pub cold_start: bool,
+}
+
+/// A cluster-route observe acknowledgement (`POST /cluster/observe`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientClusterObserve {
+    /// Node that applied the update.
+    pub node: usize,
+    /// Logical timestamp the owner assigned.
+    pub ts: u64,
+    /// Replicas the record was shipped to before the ack.
+    pub shipped_to: usize,
 }
 
 /// A typed client bound to one Velox REST endpoint and one model name.
@@ -341,7 +382,14 @@ impl VeloxClient {
                     if attempt >= self.retry.max_attempts.max(1) {
                         return Err(e);
                     }
-                    std::thread::sleep(self.backoff(attempt));
+                    // A server that said how long to back off (Retry-After
+                    // on a shed 503) knows better than our guess; fall back
+                    // to jittered exponential backoff otherwise.
+                    let wait = match &e {
+                        ClientError::Server { retry_after: Some(wait), .. } => *wait,
+                        _ => self.backoff(attempt),
+                    };
+                    std::thread::sleep(wait);
                 }
                 Err(e) => {
                     // The server processed the request and rejected it at
@@ -370,16 +418,15 @@ impl VeloxClient {
             .nth(1)
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| ClientError::Protocol("missing status line".into()))?;
-        let json_text = response
-            .split("\r\n\r\n")
-            .nth(1)
+        let (head, json_text) = response
+            .split_once("\r\n\r\n")
             .ok_or_else(|| ClientError::Protocol("missing body".into()))?;
         let json = Json::parse(json_text)
             .map_err(|e| ClientError::Protocol(format!("bad JSON body: {e}")))?;
         if status != 200 {
             let message =
                 json.get("error").and_then(Json::as_str).unwrap_or("unknown error").to_string();
-            return Err(ClientError::Server { status, message });
+            return Err(ClientError::Server { status, message, retry_after: retry_after(head) });
         }
         Ok(json)
     }
@@ -476,6 +523,62 @@ impl VeloxClient {
     /// recovery report as raw JSON.
     pub fn recover(&self) -> Result<Json, ClientError> {
         self.call("POST", &format!("/models/{}/recover", self.model), "")
+    }
+
+    /// `POST /cluster/predict` — scores over the attached cluster backend
+    /// (404 unless the server was built with `RestServer::with_cluster`).
+    pub fn cluster_predict(
+        &self,
+        uid: u64,
+        item_id: u64,
+    ) -> Result<ClientClusterPredict, ClientError> {
+        let body = Json::object(vec![
+            ("uid", Json::Number(uid as f64)),
+            ("item_id", Json::Number(item_id as f64)),
+        ]);
+        let resp = self.call("POST", "/cluster/predict", &body.to_string())?;
+        Ok(ClientClusterPredict {
+            score: resp.get("score").and_then(Json::as_f64).unwrap_or(f64::NAN),
+            node: resp.get("node").and_then(Json::as_u64).unwrap_or(0) as usize,
+            routed: resp.get("routed").and_then(Json::as_bool).unwrap_or(false),
+            cold_start: resp.get("cold_start").and_then(Json::as_bool).unwrap_or(false),
+        })
+    }
+
+    /// `POST /cluster/observe` — applies one online observation at the
+    /// owning node of the attached cluster backend.
+    pub fn cluster_observe(
+        &self,
+        uid: u64,
+        item_id: u64,
+        y: f64,
+    ) -> Result<ClientClusterObserve, ClientError> {
+        let body = Json::object(vec![
+            ("uid", Json::Number(uid as f64)),
+            ("item_id", Json::Number(item_id as f64)),
+            ("y", Json::Number(y)),
+        ]);
+        let resp = self.call("POST", "/cluster/observe", &body.to_string())?;
+        Ok(ClientClusterObserve {
+            node: resp.get("node").and_then(Json::as_u64).unwrap_or(0) as usize,
+            ts: resp.get("ts").and_then(Json::as_u64).unwrap_or(0),
+            shipped_to: resp.get("shipped_to").and_then(Json::as_u64).unwrap_or(0) as usize,
+        })
+    }
+
+    /// `GET /cluster/health` — per-node health labels, indexed by node id.
+    pub fn cluster_health(&self) -> Result<Vec<String>, ClientError> {
+        let resp = self.call("GET", "/cluster/health", "")?;
+        Ok(resp
+            .get("nodes")
+            .and_then(Json::as_array)
+            .map(|nodes| {
+                nodes
+                    .iter()
+                    .filter_map(|n| n.get("health").and_then(Json::as_str).map(String::from))
+                    .collect()
+            })
+            .unwrap_or_default())
     }
 
     /// Lists all deployed model names on the server.

@@ -147,6 +147,18 @@ pub fn write_response(
     content_type: &str,
     body: &str,
 ) -> Result<(), HttpError> {
+    write_response_with_headers(stream, status, content_type, &[], body)
+}
+
+/// Like [`write_response`], with extra response headers (name, value)
+/// inserted before the body — e.g. `Retry-After` on a shed `503`.
+pub fn write_response_with_headers(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> Result<(), HttpError> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -157,10 +169,18 @@ pub fn write_response(
         503 => "Service Unavailable",
         _ => "Unknown",
     };
-    let response = format!(
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+    let mut response = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        response.push_str(name);
+        response.push_str(": ");
+        response.push_str(value);
+        response.push_str("\r\n");
+    }
+    response.push_str("\r\n");
+    response.push_str(body);
     stream.write_all(response.as_bytes())?;
     stream.flush()?;
     Ok(())
@@ -255,5 +275,32 @@ mod tests {
         assert!(response.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(response.contains("content-type: application/json"));
         assert!(response.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn extra_headers_land_before_the_body() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let _ = read_request(&stream).unwrap();
+            write_response_with_headers(
+                &mut stream,
+                503,
+                "application/json",
+                &[("retry-after", "2")],
+                "{\"error\":\"shed\"}",
+            )
+            .unwrap();
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        let mut response = String::new();
+        client.read_to_string(&mut response).unwrap();
+        server.join().unwrap();
+        assert!(response.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        assert!(head.contains("retry-after: 2"));
+        assert_eq!(body, "{\"error\":\"shed\"}");
     }
 }

@@ -20,9 +20,16 @@
 //! | `POST /models/{name}/observe` | `{"uid": u, "item_id": i, "y": y}` | `{"loss", "trained", "stale"}` |
 //! | `POST /models/{name}/retrain` | — | `{"version"}` |
 //! | `GET /models/{name}/stats` | — | system stats |
+//! | `POST /cluster/predict` | `{"uid": u, "item_id": i}` | `{"score", "node", "routed", "cold_start"}` |
+//! | `POST /cluster/observe` | `{"uid": u, "item_id": i, "y": y}` | `{"node", "ts", "shipped_to"}` |
+//! | `GET /cluster/health` | — | `{"nodes": [{"node", "health"}..]}` |
 //!
 //! Raw (non-catalog) items can be passed to predict/observe as
 //! `{"uid": u, "features": [..]}` instead of `item_id`.
+//!
+//! The `/cluster/*` routes appear when a cluster backend is attached with
+//! [`RestServer::with_cluster`]: any `velox_cluster::Transport` — the
+//! in-process simulator or `velox-net`'s loopback TCP runtime.
 //!
 //! [`VeloxServer`]: velox_core::VeloxServer
 
@@ -33,5 +40,8 @@ pub mod http;
 pub mod json;
 pub mod server;
 
-pub use client::{BreakerConfig, BreakerState, ClientError, RetryPolicy, VeloxClient};
-pub use server::{RestHandle, RestServer, ServerConfig};
+pub use client::{
+    BreakerConfig, BreakerState, ClientClusterObserve, ClientClusterPredict, ClientError,
+    RetryPolicy, VeloxClient,
+};
+pub use server::{ClusterBackend, RestHandle, RestServer, ServerConfig};

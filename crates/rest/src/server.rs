@@ -7,14 +7,20 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use velox_cluster::{Transport, TransportError};
 use velox_core::server::ModelSchema;
 use velox_core::{Velox, VeloxError, VeloxServer};
 use velox_linalg::Vector;
 use velox_models::Item;
 use velox_obs::{Gauge, Registry, RegistrySnapshot, Timer};
 
-use crate::http::{read_request, write_response, Request};
+use crate::http::{read_request, write_response, write_response_with_headers, Request};
 use crate::json::Json;
+
+/// The cluster backend a [`RestServer`] can front: any [`Transport`]
+/// implementation (the in-process simulator or `velox-net`'s loopback TCP
+/// runtime), shared across request threads.
+pub type ClusterBackend = Arc<dyn Transport + Send + Sync>;
 
 const JSON_TYPE: &str = "application/json";
 /// Prometheus text exposition content type.
@@ -40,6 +46,10 @@ pub struct ServerConfig {
     /// caching. The cache also invalidates immediately when the deployment
     /// set changes, so a scrape never misses a new model for a full TTL.
     pub metrics_cache_ttl: std::time::Duration,
+    /// `Retry-After` value (in whole seconds, rounded up) attached to shed
+    /// `503` responses, telling well-behaved clients how long to hold off
+    /// before retrying instead of guessing with exponential backoff.
+    pub shed_retry_after: std::time::Duration,
 }
 
 impl Default for ServerConfig {
@@ -49,6 +59,7 @@ impl Default for ServerConfig {
             read_timeout: std::time::Duration::from_secs(30),
             write_timeout: std::time::Duration::from_secs(30),
             metrics_cache_ttl: std::time::Duration::from_millis(250),
+            shed_retry_after: std::time::Duration::from_secs(1),
         }
     }
 }
@@ -96,6 +107,8 @@ pub struct RestServer {
     /// REST-layer registry: per-endpoint request-latency histograms.
     registry: Arc<Registry>,
     config: ServerConfig,
+    /// Optional cluster backend served under `/cluster/*`.
+    cluster: Option<ClusterBackend>,
 }
 
 /// Decrements the in-flight gauge when a request thread exits, however it
@@ -151,7 +164,15 @@ impl RestServer {
 
     /// Wraps a deployment set with explicit listener tuning.
     pub fn with_config(deployments: Arc<VeloxServer>, config: ServerConfig) -> Self {
-        RestServer { deployments, registry: Arc::new(Registry::new()), config }
+        RestServer { deployments, registry: Arc::new(Registry::new()), config, cluster: None }
+    }
+
+    /// Attaches a cluster backend, enabling the `/cluster/*` routes. Any
+    /// [`Transport`] works: the in-process simulator or the loopback TCP
+    /// runtime — the REST layer can't tell them apart.
+    pub fn with_cluster(mut self, cluster: ClusterBackend) -> Self {
+        self.cluster = Some(cluster);
+        self
     }
 
     /// The REST layer's own metric registry (per-endpoint latency). The
@@ -171,9 +192,13 @@ impl RestServer {
         let deployments = self.deployments;
         let registry = self.registry;
         let config = self.config;
+        let cluster = self.cluster;
         let in_flight = registry.gauge("velox_rest_in_flight_requests");
         let shed = registry.counter("velox_rest_shed_total");
         let metrics_cache = Arc::new(MetricsCache::new(config.metrics_cache_ttl));
+        // Whole seconds, rounded up: Retry-After has one-second resolution
+        // and "0" would tell clients to hammer a saturated server.
+        let retry_after_secs = config.shed_retry_after.as_secs_f64().ceil().max(1.0).to_string();
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if stop2.load(Ordering::Acquire) {
@@ -190,12 +215,14 @@ impl RestServer {
                     // The request is drained first so closing doesn't RST the
                     // connection before the client reads the answer.
                     shed.inc();
+                    let retry_after = retry_after_secs.clone();
                     std::thread::spawn(move || {
                         let _ = read_request(&stream);
-                        let _ = write_response(
+                        let _ = write_response_with_headers(
                             &mut stream,
                             503,
                             JSON_TYPE,
+                            &[("retry-after", retry_after.as_str())],
                             &error_json("server saturated; request shed"),
                         );
                     });
@@ -206,10 +233,17 @@ impl RestServer {
                 let deployments = Arc::clone(&deployments);
                 let registry = Arc::clone(&registry);
                 let metrics_cache = Arc::clone(&metrics_cache);
+                let cluster = cluster.clone();
                 std::thread::spawn(move || {
                     let _guard = guard;
                     let (status, content_type, body) = match read_request(&stream) {
-                        Ok(request) => handle(&deployments, &registry, &metrics_cache, &request),
+                        Ok(request) => handle(
+                            &deployments,
+                            &registry,
+                            &metrics_cache,
+                            cluster.as_deref(),
+                            &request,
+                        ),
                         Err(e) => (400, JSON_TYPE, error_json(&format!("{e}"))),
                     };
                     let _ = write_response(&mut stream, status, content_type, &body);
@@ -273,6 +307,9 @@ fn endpoint_of(method: &str, segments: &[&str]) -> &'static str {
         ("POST", ["models", _, "retrain"]) => "retrain",
         ("POST", ["models", _, "checkpoint"]) => "checkpoint",
         ("POST", ["models", _, "recover"]) => "recover",
+        ("GET", ["cluster", "health"]) => "cluster_health",
+        ("POST", ["cluster", "predict"]) => "cluster_predict",
+        ("POST", ["cluster", "observe"]) => "cluster_observe",
         _ => "other",
     }
 }
@@ -283,6 +320,7 @@ fn handle(
     server: &VeloxServer,
     registry: &Registry,
     metrics_cache: &MetricsCache,
+    cluster: Option<&(dyn Transport + Send + Sync)>,
     request: &Request,
 ) -> (u16, &'static str, String) {
     let timer = Timer::start();
@@ -291,6 +329,10 @@ fn handle(
     let result = match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["metrics"]) => (200, METRICS_TYPE, metrics_cache.get(server, registry)),
         ("GET", ["events"]) => (200, JSON_TYPE, events_json(server)),
+        (_, ["cluster", ..]) => {
+            let (status, body) = dispatch_cluster(cluster, request, &segments);
+            (status, JSON_TYPE, body)
+        }
         _ => {
             let (status, body) = dispatch(server, request);
             (status, JSON_TYPE, body)
@@ -529,6 +571,94 @@ fn dispatch(server: &VeloxServer, request: &Request) -> (u16, String) {
         }
         (method, ["models", ..]) if method != "GET" && method != "POST" => {
             (405, error_json("method not allowed"))
+        }
+        _ => (404, error_json(&format!("no route for {} {}", request.method, request.path))),
+    }
+}
+
+/// Maps a [`TransportError`] onto HTTP: `Unavailable` (no live replica)
+/// is the server's `503` vocabulary, everything else is a `500`.
+fn transport_error(e: &TransportError) -> (u16, String) {
+    let status = match e {
+        TransportError::Unavailable => 503,
+        TransportError::Failed(_) => 500,
+    };
+    (status, error_json(&e.to_string()))
+}
+
+/// The `/cluster/*` routes: the multi-node serving path (§3) exposed over
+/// REST. `predict`/`observe` hit the node owning the user's weights via
+/// whatever [`Transport`] backend is attached; `health` reports per-node
+/// liveness.
+fn dispatch_cluster(
+    cluster: Option<&(dyn Transport + Send + Sync)>,
+    request: &Request,
+    segments: &[&str],
+) -> (u16, String) {
+    let Some(cluster) = cluster else {
+        return (404, error_json("no cluster backend attached"));
+    };
+    match (request.method.as_str(), segments) {
+        ("GET", ["cluster", "health"]) => {
+            let nodes: Vec<Json> = (0..cluster.n_nodes())
+                .map(|node| {
+                    Json::object(vec![
+                        ("node", Json::Number(node as f64)),
+                        ("health", Json::String(cluster.node_health(node).label().to_string())),
+                    ])
+                })
+                .collect();
+            (200, Json::object(vec![("nodes", Json::Array(nodes))]).to_string())
+        }
+        ("POST", ["cluster", "predict"]) => {
+            let body = match parse_body(request) {
+                Ok(b) => b,
+                Err(e) => return (400, error_json(&e)),
+            };
+            let (Some(uid), Some(item_id)) = (
+                body.get("uid").and_then(Json::as_u64),
+                body.get("item_id").and_then(Json::as_u64),
+            ) else {
+                return (400, error_json("body must contain uid and item_id"));
+            };
+            match cluster.predict(uid, item_id) {
+                Err(e) => transport_error(&e),
+                Ok(p) => (
+                    200,
+                    Json::object(vec![
+                        ("score", Json::Number(p.score)),
+                        ("node", Json::Number(p.node as f64)),
+                        ("routed", Json::Bool(p.routed)),
+                        ("cold_start", Json::Bool(p.cold_start)),
+                    ])
+                    .to_string(),
+                ),
+            }
+        }
+        ("POST", ["cluster", "observe"]) => {
+            let body = match parse_body(request) {
+                Ok(b) => b,
+                Err(e) => return (400, error_json(&e)),
+            };
+            let (Some(uid), Some(item_id), Some(y)) = (
+                body.get("uid").and_then(Json::as_u64),
+                body.get("item_id").and_then(Json::as_u64),
+                body.get("y").and_then(Json::as_f64),
+            ) else {
+                return (400, error_json("body must contain uid, item_id, and y"));
+            };
+            match cluster.observe(uid, item_id, y) {
+                Err(e) => transport_error(&e),
+                Ok(ack) => (
+                    200,
+                    Json::object(vec![
+                        ("node", Json::Number(ack.node as f64)),
+                        ("ts", Json::Number(ack.ts as f64)),
+                        ("shipped_to", Json::Number(ack.shipped_to as f64)),
+                    ])
+                    .to_string(),
+                ),
+            }
         }
         _ => (404, error_json(&format!("no route for {} {}", request.method, request.path))),
     }

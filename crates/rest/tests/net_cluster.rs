@@ -1,0 +1,120 @@
+//! The REST layer fronting a real multi-node TCP cluster: `/cluster/*`
+//! routes dispatch over the `Transport` trait, so the same HTTP surface
+//! serves the in-process simulator and `velox-net`'s loopback runtime.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use velox_cluster::{Cluster, ClusterConfig, SimTransport};
+use velox_core::VeloxServer;
+use velox_net::{NetCluster, NetClusterConfig};
+use velox_rest::{ClientError, ClusterBackend, RestServer, VeloxClient};
+
+const DIM: usize = 3;
+const LR: f64 = 0.1;
+
+fn item_features(item: u64) -> Vec<f64> {
+    (0..DIM).map(|d| ((item * 31 + d as u64 * 7) % 5) as f64 / 4.0).collect()
+}
+
+fn seeded_items() -> Vec<(u64, Vec<f64>)> {
+    (0..16u64).map(|i| (i, item_features(i))).collect()
+}
+
+fn start_net_cluster() -> Arc<NetCluster> {
+    let cluster = NetCluster::start(NetClusterConfig {
+        n_nodes: 3,
+        user_replication: 2,
+        lr: LR,
+        wal_root: None,
+        workers: 8,
+        request_timeout: Duration::from_secs(2),
+    })
+    .expect("start loopback cluster");
+    cluster.publish_item_features(seeded_items());
+    Arc::new(cluster)
+}
+
+fn rest_over(backend: ClusterBackend) -> velox_rest::RestHandle {
+    RestServer::new(Arc::new(VeloxServer::new()))
+        .with_cluster(backend)
+        .serve("127.0.0.1:0")
+        .expect("bind")
+}
+
+#[test]
+fn cluster_routes_serve_over_real_sockets() {
+    let net = start_net_cluster();
+    let handle = rest_over(Arc::clone(&net) as ClusterBackend);
+    let client = VeloxClient::new(handle.addr(), "unused");
+
+    let uid = 7u64;
+    let home = net.home_of_user(uid);
+    for i in 0..20u64 {
+        let ack = client.cluster_observe(uid, i % 16, 1.0).expect("observe over REST");
+        assert_eq!(ack.node, home, "observe must land at the owner");
+        assert_eq!(ack.shipped_to, 1, "replica ships before the ack");
+    }
+    let p = client.cluster_predict(uid, 3).expect("predict over REST");
+    assert_eq!(p.node, home);
+    assert!(!p.routed);
+    assert!(!p.cold_start);
+    assert!(p.score.is_finite());
+
+    assert_eq!(client.cluster_health().expect("health"), vec!["up", "up", "up"]);
+    handle.shutdown();
+}
+
+#[test]
+fn cluster_routes_survive_node_kill_with_failover() {
+    let net = start_net_cluster();
+    let handle = rest_over(Arc::clone(&net) as ClusterBackend);
+    let client = VeloxClient::new(handle.addr(), "unused");
+
+    let uid = 4u64;
+    let home = net.home_of_user(uid);
+    client.cluster_observe(uid, 1, 1.0).expect("observe");
+    net.kill_node(home);
+
+    let health = client.cluster_health().expect("health");
+    assert_eq!(health[home], "down");
+
+    let p = client.cluster_predict(uid, 1).expect("failover predict over REST");
+    assert!(p.routed, "predict must fail over off the dead home");
+    assert_ne!(p.node, home);
+    handle.shutdown();
+}
+
+#[test]
+fn same_routes_serve_the_in_process_simulator() {
+    let sim_cluster = Arc::new(Cluster::new(ClusterConfig {
+        n_nodes: 3,
+        user_replication: 2,
+        item_replication: 3,
+        ..Default::default()
+    }));
+    for (item, x) in seeded_items() {
+        sim_cluster.put_item_features(item, x);
+    }
+    let sim = Arc::new(SimTransport::new(sim_cluster, LR));
+    let handle = rest_over(sim as ClusterBackend);
+    let client = VeloxClient::new(handle.addr(), "unused");
+
+    client.cluster_observe(3, 2, 1.0).expect("sim observe over REST");
+    let p = client.cluster_predict(3, 2).expect("sim predict over REST");
+    assert!(!p.cold_start);
+    assert!(p.score.is_finite());
+    assert_eq!(client.cluster_health().expect("health"), vec!["up", "up", "up"]);
+    handle.shutdown();
+}
+
+#[test]
+fn cluster_routes_404_without_a_backend() {
+    let handle = RestServer::new(Arc::new(VeloxServer::new())).serve("127.0.0.1:0").expect("bind");
+    let client = VeloxClient::new(handle.addr(), "unused");
+    match client.cluster_predict(1, 1) {
+        Err(ClientError::Server { status: 404, .. }) => {}
+        other => panic!("expected 404 without a cluster backend, got {other:?}"),
+    }
+    handle.shutdown();
+}

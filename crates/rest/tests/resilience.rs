@@ -58,6 +58,59 @@ fn saturated_server_sheds_with_503() {
 }
 
 #[test]
+fn shed_503_carries_retry_after() {
+    let config = ServerConfig {
+        max_in_flight: 0,
+        shed_retry_after: Duration::from_secs(3),
+        ..ServerConfig::default()
+    };
+    let handle = RestServer::with_config(deployments(), config).serve("127.0.0.1:0").expect("bind");
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream.write_all(b"GET /models HTTP/1.1\r\ncontent-length: 0\r\n\r\n").expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("receive");
+    let head = response.split("\r\n\r\n").next().unwrap_or("");
+    assert!(response.starts_with("HTTP/1.1 503"), "shed response: {response}");
+    assert!(
+        head.lines().any(|l| l.eq_ignore_ascii_case("retry-after: 3")),
+        "missing retry-after header in: {head}"
+    );
+    handle.shutdown();
+}
+
+/// The client must honor a server-provided `Retry-After` in place of its
+/// own (much shorter here) exponential backoff, and surface the parsed
+/// duration on the error.
+#[test]
+fn client_honors_retry_after_before_backoff() {
+    let config = ServerConfig {
+        max_in_flight: 0,
+        shed_retry_after: Duration::from_secs(1),
+        ..ServerConfig::default()
+    };
+    let handle = RestServer::with_config(deployments(), config).serve("127.0.0.1:0").expect("bind");
+    let client = VeloxClient::new(handle.addr(), "songs")
+        .with_timeout(Duration::from_secs(2))
+        .with_retry(fast_retry(2))
+        .with_breaker(BreakerConfig { failure_threshold: 100, cooldown: Duration::from_secs(5) });
+    let started = std::time::Instant::now();
+    match client.list_models() {
+        Err(ClientError::Server { status: 503, retry_after, .. }) => {
+            assert_eq!(retry_after, Some(Duration::from_secs(1)), "Retry-After must be parsed");
+        }
+        other => panic!("expected shed 503, got {other:?}"),
+    }
+    // Two attempts with one wait between them: the wait must be the
+    // server's 1s, not fast_retry's ~1ms backoff.
+    assert!(
+        started.elapsed() >= Duration::from_millis(900),
+        "client retried after only {:?}; Retry-After was ignored",
+        started.elapsed()
+    );
+    handle.shutdown();
+}
+
+#[test]
 fn unsaturated_server_does_not_shed() {
     let config = ServerConfig { max_in_flight: 8, ..ServerConfig::default() };
     let handle = RestServer::with_config(deployments(), config).serve("127.0.0.1:0").expect("bind");

@@ -225,7 +225,7 @@ mod client_tests {
         let (handle, addr) = start();
         let client = VeloxClient::new(addr, "no-such-model");
         match client.predict(1, 1) {
-            Err(velox_rest::ClientError::Server { status: 404, message }) => {
+            Err(velox_rest::ClientError::Server { status: 404, message, .. }) => {
                 assert!(message.contains("no-such-model"));
             }
             other => panic!("expected 404 server error, got {other:?}"),

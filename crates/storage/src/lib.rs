@@ -47,6 +47,7 @@ pub mod tmp;
 pub mod wal;
 
 pub use checkpoint::{CheckpointData, CheckpointStore};
+pub use crc::crc32;
 pub use kv::{KvStore, Namespace, VersionedValue};
 pub use lru::LruCache;
 pub use obslog::{Observation, ObservationLog};

@@ -18,6 +18,13 @@ echo "==> durability regression tests (offline)"
 cargo test --release --offline -q --test durability
 cargo test --release --offline -q -p velox-storage --test wal_crash
 
+echo "==> velox-net loopback cluster tests (offline)"
+cargo test --release --offline -q -p velox-net --test log_shipping
+cargo test --release --offline -q -p velox-net --test frame_fuzz
+
+echo "==> net serving latency smoke (offline)"
+cargo run --release --offline -q -p velox-bench --bin abl_net -- --smoke > /dev/null
+
 echo "==> chaos availability smoke (offline)"
 cargo run --release --offline -q -p velox-bench --bin abl_chaos -- --smoke > /dev/null
 

@@ -12,6 +12,7 @@ pub use velox_core as core;
 pub use velox_data as data;
 pub use velox_linalg as linalg;
 pub use velox_models as models;
+pub use velox_net as net;
 pub use velox_obs as obs;
 pub use velox_online as online;
 pub use velox_storage as storage;
@@ -21,7 +22,8 @@ pub mod prelude {
     pub use velox_bandit::{BanditPolicy, Candidate};
     pub use velox_batch::{AlsConfig, AlsModel, JobExecutor};
     pub use velox_cluster::{
-        ClusterConfig, FaultAction, FaultEvent, FaultPlan, NodeHealth, RoutingPolicy,
+        ClusterConfig, FaultAction, FaultEvent, FaultPlan, NodeHealth, RoutingPolicy, SimTransport,
+        Transport, TransportError, TransportObserve, TransportPredict,
     };
     pub use velox_core::config::BanditChoice;
     pub use velox_core::server::ModelSchema;
@@ -37,6 +39,9 @@ pub mod prelude {
     pub use velox_models::{
         IdentityModel, MatrixFactorizationModel, MlpFeatureModel, RandomFourierModel,
         SvmEnsembleModel,
+    };
+    pub use velox_net::{
+        NetClient, NetClientConfig, NetCluster, NetClusterConfig, NetServer, NetServerConfig,
     };
     pub use velox_obs::{Counter, EventKind, Gauge, Histogram, Registry, SpanTimer, Timer};
     pub use velox_online::UpdateStrategy;
