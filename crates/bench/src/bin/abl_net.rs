@@ -14,10 +14,18 @@
 //! - `net observe`: an acknowledged online update — WAL append plus
 //!   synchronous log shipping to the replica before the ack.
 //!
+//! A second, fully traced phase (separate cluster with the WAL on and
+//! `sample_all`) breaks each request down **per hop** from its span tree:
+//! wire + serialize time (client RPC span minus server recv span), server
+//! queue wait (recv span minus the work span), node compute, WAL append
+//! and fsync, and the synchronous replica ship round trip. This is the
+//! "where did the p99 go" table the histograms alone cannot produce.
+//!
 //! `--smoke` runs a smaller workload and exits non-zero unless every
 //! request is served and routed answers are bit-identical to local ones —
 //! the CI gate for the TCP serving path.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -25,6 +33,7 @@ use velox_bench::{print_header, print_row};
 use velox_cluster::{Cluster, ClusterConfig, SimTransport, Transport};
 use velox_linalg::stats::LatencySummary;
 use velox_net::{NetCluster, NetClusterConfig, Request, Response};
+use velox_obs::{build_tree, SpanKind, TraceConfig, TraceNode};
 
 const N_USERS: u64 = 64;
 const N_ITEMS: u64 = 256;
@@ -58,6 +67,147 @@ fn timed_us(f: impl FnOnce()) -> f64 {
     started.elapsed().as_secs_f64() * 1e6
 }
 
+/// Per-hop latency samples (µs), keyed by row label in display order.
+#[derive(Default)]
+struct HopAgg {
+    rows: BTreeMap<&'static str, Vec<f64>>,
+}
+
+impl HopAgg {
+    fn push(&mut self, row: &'static str, ns: u64) {
+        self.rows.entry(row).or_default().push(ns as f64 / 1e3);
+    }
+}
+
+fn child_of(node: &TraceNode, kind: SpanKind) -> Option<&TraceNode> {
+    node.children.iter().find(|c| c.span.kind == kind)
+}
+
+/// Decomposes one predict trace along its known span chain:
+/// `cluster_predict(route, rpc_call(server_recv(node_predict)))`.
+fn predict_hops(agg: &mut HopAgg, root: &TraceNode) -> bool {
+    let (Some(rpc), Some(route)) =
+        (child_of(root, SpanKind::RpcCall), child_of(root, SpanKind::Route))
+    else {
+        return false;
+    };
+    let Some(sr) = child_of(rpc, SpanKind::ServerRecv) else { return false };
+    let Some(work) = child_of(sr, SpanKind::NodePredict) else { return false };
+    agg.push("p1 route decision", route.span.duration_ns());
+    agg.push("p2 wire + serialize", rpc.span.duration_ns().saturating_sub(sr.span.duration_ns()));
+    agg.push("p3 server queue wait", sr.span.duration_ns().saturating_sub(work.span.duration_ns()));
+    agg.push("p4 node compute", work.span.duration_ns());
+    true
+}
+
+/// Decomposes one observe trace: `cluster_observe(route,
+/// rpc_call(server_recv(node_observe(wal_append, wal_fsync?,
+/// ship_replica(server_recv(ship_apply))))))`. The fsync span only exists
+/// on appends the WAL policy actually synced.
+fn observe_hops(agg: &mut HopAgg, root: &TraceNode) -> bool {
+    let Some(rpc) = child_of(root, SpanKind::RpcCall) else { return false };
+    let Some(sr) = child_of(rpc, SpanKind::ServerRecv) else { return false };
+    let Some(work) = child_of(sr, SpanKind::NodeObserve) else { return false };
+    agg.push("o1 wire + serialize", rpc.span.duration_ns().saturating_sub(sr.span.duration_ns()));
+    agg.push("o2 server queue wait", sr.span.duration_ns().saturating_sub(work.span.duration_ns()));
+    let mut accounted = 0u64;
+    if let Some(append) = child_of(work, SpanKind::WalAppend) {
+        agg.push("o3 wal append", append.span.duration_ns());
+        accounted += append.span.duration_ns();
+    }
+    if let Some(fsync) = child_of(work, SpanKind::WalFsync) {
+        agg.push("o4 wal fsync", fsync.span.duration_ns());
+        accounted += fsync.span.duration_ns();
+    }
+    let Some(ship) = child_of(work, SpanKind::ShipReplica) else { return false };
+    accounted += ship.span.duration_ns();
+    agg.push("o5 update compute", work.span.duration_ns().saturating_sub(accounted));
+    agg.push("o6 replica ack (ship rt)", ship.span.duration_ns());
+    if let Some(rsr) = child_of(ship, SpanKind::ServerRecv) {
+        agg.push("o7 ship wire", ship.span.duration_ns().saturating_sub(rsr.span.duration_ns()));
+        if let Some(apply) = child_of(rsr, SpanKind::ShipApply) {
+            agg.push("o8 replica apply", apply.span.duration_ns());
+        }
+    }
+    true
+}
+
+/// The traced phase: a separate durable cluster with `sample_all`, every
+/// request's span tree decomposed into the per-hop table.
+fn hop_breakdown(iters: usize, smoke: bool) {
+    let wal_root = std::env::temp_dir().join(format!("velox-net-lat-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_root);
+    std::fs::create_dir_all(&wal_root).expect("wal dir");
+    let net = NetCluster::start(NetClusterConfig {
+        n_nodes: N_NODES,
+        user_replication: 2,
+        lr: LR,
+        wal_root: Some(wal_root.clone()),
+        workers: 8,
+        request_timeout: Duration::from_secs(5),
+        trace: TraceConfig::sample_all(),
+    })
+    .expect("start traced cluster");
+    net.publish_item_features(seeded_items());
+    let tracer = net.tracer();
+
+    let mut agg = HopAgg::default();
+    let mut undecomposed = 0usize;
+    for i in 0..iters {
+        let uid = i as u64 % N_USERS;
+        let item = (i as u64 * 7) % N_ITEMS;
+        let y = if i % 2 == 0 { 1.0 } else { 0.0 };
+        // Collect immediately after each request: the span rings are
+        // bounded, so a trace must be read before later ones evict it.
+        let ack = net.observe_traced(uid, item, y, None).expect("traced observe");
+        let tree = build_tree(&tracer.collect(ack.trace_id.expect("sampled")));
+        if !(tree.len() == 1 && observe_hops(&mut agg, &tree[0])) {
+            undecomposed += 1;
+        }
+        let p = net.predict_traced(uid, item, None).expect("traced predict");
+        let tree = build_tree(&tracer.collect(p.trace_id.expect("sampled")));
+        if !(tree.len() == 1 && predict_hops(&mut agg, &tree[0])) {
+            undecomposed += 1;
+        }
+    }
+
+    print_header(
+        "Per-hop latency breakdown from spans (µs; p* = predict hops, o* = observe hops)",
+        &["hop", "n", "p50", "p99", "mean", "max"],
+    );
+    for (row, samples) in &agg.rows {
+        summary_row(row, samples);
+    }
+    println!(
+        "\n{} spans recorded, {} dropped, {undecomposed}/{} traces undecomposed",
+        tracer.spans_recorded(),
+        tracer.spans_dropped(),
+        iters * 2
+    );
+    let _ = std::fs::remove_dir_all(&wal_root);
+
+    if smoke {
+        let mut ok = true;
+        if undecomposed != 0 {
+            eprintln!("SMOKE FAIL: {undecomposed} traces did not match the canonical span chain");
+            ok = false;
+        }
+        for row in
+            ["p2 wire + serialize", "p4 node compute", "o3 wal append", "o6 replica ack (ship rt)"]
+        {
+            let n = agg.rows.get(row).map_or(0, Vec::len);
+            if n != iters {
+                eprintln!("SMOKE FAIL: hop row '{row}' has {n}/{iters} samples");
+                ok = false;
+            }
+        }
+        if !ok {
+            std::process::exit(1);
+        }
+        println!("smoke: per-hop breakdown gates passed");
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let iters: usize = if smoke { 2_000 } else { 20_000 };
@@ -87,6 +237,7 @@ fn main() {
         wal_root: None,
         workers: 8,
         request_timeout: Duration::from_secs(5),
+        ..Default::default()
     })
     .expect("start loopback cluster");
     net.publish_item_features(seeded_items());
@@ -170,6 +321,8 @@ fn main() {
 
     println!("\nserved {served}/{iters} predict pairs; {forwarded} routed replies forwarded");
     println!("score mismatches across sim / local / routed paths: {mismatches}");
+
+    hop_breakdown(if smoke { 400 } else { 4_000 }, smoke);
 
     if smoke {
         let mut ok = true;

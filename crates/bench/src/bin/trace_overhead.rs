@@ -1,0 +1,183 @@
+//! TRACE-OVERHEAD — what end-to-end tracing costs the hot serving path.
+//!
+//! Tracing is only free to leave on if the instrumented path — span mint,
+//! clock reads, the frame-header trace TLV on every RPC, ring writes on
+//! both ends — stays within noise of the untraced path. This experiment
+//! prices it directly: two identical 3-node loopback TCP clusters, one
+//! with tracing off (legacy frames, zero span writes) and one with the
+//! production sampling policy (head 1-in-64 plus tail capture, which
+//! records spans for *every* request and indexes the slow ones), driven
+//! pairwise: each request runs on the untraced cluster and immediately
+//! after on the traced one, so clock drift and scheduler noise hit both
+//! sides of every pair. The reported overhead is the median of per-pair
+//! latency deltas over the median untraced latency — the paired-sample
+//! estimator, far tighter than comparing two independent medians because
+//! the noise common to a pair cancels inside its delta.
+//!
+//! `--smoke` runs a smaller workload and exits non-zero if traced-path
+//! overhead exceeds 5% on predict or observe — the CI gate that keeps
+//! tracing cheap enough to ship on by default. `--control` runs the
+//! "traced" cluster with tracing off too; its overhead should read ~0,
+//! which validates the estimator itself (it exposes any ordering bias in
+//! the pairing).
+
+use std::time::{Duration, Instant};
+
+use velox_bench::{print_header, print_row};
+use velox_cluster::Transport;
+use velox_net::{NetCluster, NetClusterConfig};
+use velox_obs::TraceConfig;
+
+const N_USERS: u64 = 64;
+const N_ITEMS: u64 = 256;
+const DIM: usize = 16;
+const N_NODES: usize = 3;
+const LR: f64 = 0.05;
+const OVERHEAD_GATE_PCT: f64 = 5.0;
+
+fn item_features(item: u64) -> Vec<f64> {
+    (0..DIM).map(|d| ((item * 31 + d as u64 * 7) % 17) as f64 / 16.0).collect()
+}
+
+fn start_cluster(trace: TraceConfig) -> NetCluster {
+    let net = NetCluster::start(NetClusterConfig {
+        n_nodes: N_NODES,
+        user_replication: 2,
+        lr: LR,
+        wal_root: None,
+        workers: 8,
+        request_timeout: Duration::from_secs(5),
+        trace,
+    })
+    .expect("start loopback cluster");
+    net.publish_item_features((0..N_ITEMS).map(|i| (i, item_features(i))).collect());
+    net
+}
+
+/// Per-request latency samples for one class, untraced and traced sides
+/// of each pair kept in lockstep so `deltas` can difference them.
+#[derive(Default)]
+struct Paired {
+    untraced: Vec<f64>,
+    traced: Vec<f64>,
+}
+
+impl Paired {
+    fn push(&mut self, untraced_us: f64, traced_us: f64) {
+        self.untraced.push(untraced_us);
+        self.traced.push(traced_us);
+    }
+
+    /// (median untraced µs, median traced µs, overhead %). The overhead
+    /// is median(traced − untraced) / median(untraced): each pair ran
+    /// back-to-back, so the delta cancels noise the two sides share.
+    fn summarize(&mut self) -> (f64, f64, f64) {
+        let mut deltas: Vec<f64> =
+            self.untraced.iter().zip(&self.traced).map(|(u, t)| t - u).collect();
+        let d = median(&mut deltas);
+        let u = median(&mut self.untraced);
+        let t = median(&mut self.traced);
+        (u, t, d / u * 100.0)
+    }
+}
+
+fn run_pairs(
+    untraced: &NetCluster,
+    traced: &NetCluster,
+    base: usize,
+    reqs: usize,
+    predict: &mut Paired,
+    observe: &mut Paired,
+) {
+    for i in base..base + reqs {
+        let uid = i as u64 % N_USERS;
+        let item = (i as u64 * 7) % N_ITEMS;
+        let y = if i % 2 == 0 { 1.0 } else { 0.0 };
+        let mut p = [0.0f64; 2];
+        let mut o = [0.0f64; 2];
+        for (k, net) in [untraced, traced].into_iter().enumerate() {
+            let started = Instant::now();
+            net.predict(uid, item).expect("predict");
+            p[k] = started.elapsed().as_secs_f64() * 1e6;
+            let started = Instant::now();
+            net.observe(uid, item, y).expect("observe");
+            o[k] = started.elapsed().as_secs_f64() * 1e6;
+        }
+        predict.push(p[0], p[1]);
+        observe.push(o[0], o[1]);
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let pairs: usize = if smoke { 6_000 } else { 32_000 };
+
+    println!("# TRACE-OVERHEAD: tracing cost on the hot TCP serving path");
+    println!(
+        "\n{N_NODES}-node loopback clusters (untraced vs head-1-in-64 + tail capture), \
+         {pairs} back-to-back predict+observe pairs"
+    );
+
+    let untraced = start_cluster(TraceConfig::off());
+    let control = std::env::args().any(|a| a == "--control");
+    let traced = start_cluster(if control { TraceConfig::off() } else { TraceConfig::default() });
+
+    // Warm both clusters (weights, socket buffers, branch predictors)
+    // before any measured pair.
+    let (mut sink_p, mut sink_o) = (Paired::default(), Paired::default());
+    run_pairs(&untraced, &traced, 0, pairs / 8, &mut sink_p, &mut sink_o);
+
+    let (mut predict, mut observe) = (Paired::default(), Paired::default());
+    run_pairs(&untraced, &traced, 0, pairs, &mut predict, &mut observe);
+
+    let (pb, pt, p_pct) = predict.summarize();
+    let (ob, ot, o_pct) = observe.summarize();
+
+    print_header(
+        "Median per-request latency (µs); overhead = median paired delta",
+        &["class", "untraced", "traced", "overhead %"],
+    );
+    print_row(&["predict".into(), format!("{pb:.2}"), format!("{pt:.2}"), format!("{p_pct:+.2}")]);
+    print_row(&["observe".into(), format!("{ob:.2}"), format!("{ot:.2}"), format!("{o_pct:+.2}")]);
+
+    let tracer = traced.tracer();
+    println!(
+        "\ntraced cluster: {} spans recorded, {} dropped, {} traces kept",
+        tracer.spans_recorded(),
+        tracer.spans_dropped(),
+        tracer.kept().len()
+    );
+
+    if smoke {
+        let mut ok = true;
+        if p_pct >= OVERHEAD_GATE_PCT || o_pct >= OVERHEAD_GATE_PCT {
+            eprintln!(
+                "SMOKE FAIL: tracing overhead predict {p_pct:+.2}% / observe {o_pct:+.2}% \
+                 (gate {OVERHEAD_GATE_PCT}%)"
+            );
+            ok = false;
+        }
+        if !control && tracer.spans_recorded() == 0 {
+            eprintln!("SMOKE FAIL: traced cluster recorded no spans — the comparison is vacuous");
+            ok = false;
+        }
+        if !control && tracer.kept().is_empty() {
+            eprintln!("SMOKE FAIL: head sampling kept no traces over the whole run");
+            ok = false;
+        }
+        if !ok {
+            std::process::exit(1);
+        }
+        println!("smoke: tracing overhead within {OVERHEAD_GATE_PCT}% gate");
+    }
+}

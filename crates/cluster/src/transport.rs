@@ -18,6 +18,10 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use velox_obs::{
+    ActiveSpan, RootSpan, SpanKind, SpanStatus, TraceConfig, TraceContext, Tracer, FRONT_NODE,
+};
+
 use crate::cluster::Cluster;
 use crate::fault::NodeHealth;
 use crate::partition::NodeId;
@@ -57,6 +61,9 @@ pub struct TransportPredict {
     /// True when no weight vector existed for the user and the score came
     /// from the all-zeros bootstrap prior.
     pub cold_start: bool,
+    /// Trace id recorded for this request, when it was sampled — the key
+    /// for `GET /trace/<id>` span-tree reassembly.
+    pub trace_id: Option<u64>,
 }
 
 /// Outcome of an acknowledged observe.
@@ -70,6 +77,8 @@ pub struct TransportObserve {
     /// Replicas the acknowledged record was shipped to (0 when
     /// replication is off or no replica is live).
     pub shipped_to: usize,
+    /// Trace id recorded for this request, when it was sampled.
+    pub trace_id: Option<u64>,
 }
 
 /// A serving-path connection to a Velox cluster, real or simulated.
@@ -96,6 +105,39 @@ pub trait Transport {
     /// Fetches the current weight vector for `uid` (`None` when the user
     /// has never been observed). Management-plane read.
     fn fetch_weights(&self, uid: u64) -> Result<Option<Vec<f64>>, TransportError>;
+
+    /// [`Transport::predict`] under an optional caller trace context
+    /// (e.g. the REST ingress root span). The default ignores the context
+    /// — a backend without tracing keeps working; trace-aware backends
+    /// override this, record per-hop spans, and mint their own root when
+    /// `ctx` is `None`.
+    fn predict_traced(
+        &self,
+        uid: u64,
+        item_id: u64,
+        ctx: Option<&TraceContext>,
+    ) -> Result<TransportPredict, TransportError> {
+        let _ = ctx;
+        self.predict(uid, item_id)
+    }
+
+    /// [`Transport::observe`] under an optional caller trace context.
+    fn observe_traced(
+        &self,
+        uid: u64,
+        item_id: u64,
+        y: f64,
+        ctx: Option<&TraceContext>,
+    ) -> Result<TransportObserve, TransportError> {
+        let _ = ctx;
+        self.observe(uid, item_id, y)
+    }
+
+    /// The backend's tracer, when it has one ([`Tracer::disabled`]
+    /// otherwise). REST uses this to serve `GET /trace/<id>`.
+    fn tracer(&self) -> Arc<Tracer> {
+        Tracer::disabled()
+    }
 }
 
 /// Dot product in index order — the one accumulation order both backends
@@ -127,17 +169,50 @@ pub struct SimTransport {
     cluster: Arc<Cluster>,
     lr: f64,
     ts: AtomicU64,
+    tracer: Arc<Tracer>,
 }
 
 impl SimTransport {
     /// Wraps `cluster`, applying observes with learning rate `lr`.
+    /// Tracing is off; use [`SimTransport::with_trace`] to record spans.
     pub fn new(cluster: Arc<Cluster>, lr: f64) -> Self {
-        SimTransport { cluster, lr, ts: AtomicU64::new(0) }
+        SimTransport { cluster, lr, ts: AtomicU64::new(0), tracer: Tracer::disabled() }
+    }
+
+    /// Like [`SimTransport::new`] but with request tracing per `trace`.
+    /// The simulator emits the same span chain as the TCP runtime —
+    /// route, failover, RPC, server receive, node work, log shipping —
+    /// so span trees are structurally comparable across backends.
+    pub fn with_trace(cluster: Arc<Cluster>, lr: f64, trace: TraceConfig) -> Self {
+        let tracer = Tracer::new(cluster.n_nodes(), trace);
+        SimTransport { cluster, lr, ts: AtomicU64::new(0), tracer }
     }
 
     /// The wrapped simulator (for fault plans, stats, and seeding).
     pub fn cluster(&self) -> &Arc<Cluster> {
         &self.cluster
+    }
+
+    /// Entry span for one request: a child when the caller propagated a
+    /// context (REST ingress), a fresh root otherwise.
+    fn entry(
+        &self,
+        kind: SpanKind,
+        ctx: Option<&TraceContext>,
+    ) -> (Option<RootSpan>, Option<ActiveSpan>) {
+        if ctx.is_some() {
+            (None, self.tracer.child(ctx, kind, FRONT_NODE))
+        } else {
+            (self.tracer.ingress(kind, FRONT_NODE), None)
+        }
+    }
+
+    /// Closes the entry span (and roots' keep decision) after the work.
+    fn close_entry(&self, root: Option<RootSpan>, child: Option<ActiveSpan>, status: SpanStatus) {
+        self.tracer.finish_status(child, status);
+        if let Some(r) = root {
+            self.tracer.end_root(r);
+        }
     }
 }
 
@@ -151,43 +226,149 @@ impl Transport for SimTransport {
     }
 
     fn predict(&self, uid: u64, item_id: u64) -> Result<TransportPredict, TransportError> {
-        let at = self.cluster.route_request(uid);
-        let x = match self.cluster.read_item_features(at, item_id) {
-            read if read.unavailable => return Err(TransportError::Unavailable),
-            read => read.value.ok_or(TransportError::Unavailable)?,
-        };
-        let w_read = self.cluster.read_user_weights(at, uid);
-        if w_read.unavailable {
-            return Err(TransportError::Unavailable);
-        }
-        let cold_start = w_read.value.is_none();
-        let w = w_read.value.unwrap_or_default();
-        Ok(TransportPredict {
-            score: dot(&w, &x),
-            node: at,
-            routed: at != self.cluster.home_of_user(uid),
-            cold_start,
-        })
+        self.predict_traced(uid, item_id, None)
     }
 
     fn observe(&self, uid: u64, item_id: u64, y: f64) -> Result<TransportObserve, TransportError> {
+        self.observe_traced(uid, item_id, y, None)
+    }
+
+    fn predict_traced(
+        &self,
+        uid: u64,
+        item_id: u64,
+        ctx: Option<&TraceContext>,
+    ) -> Result<TransportPredict, TransportError> {
+        let tracer = &self.tracer;
+        let (root, entry_child) = self.entry(SpanKind::ClusterPredict, ctx);
+        let entry_ctx =
+            root.as_ref().map(|r| r.ctx()).or_else(|| entry_child.as_ref().map(|c| c.ctx()));
+
+        let route_span = tracer.child(entry_ctx.as_ref(), SpanKind::Route, FRONT_NODE);
         let at = self.cluster.route_request(uid);
-        let read = self.cluster.read_item_features(at, item_id);
-        if read.unavailable {
-            return Err(TransportError::Unavailable);
+        let home = self.cluster.home_of_user(uid);
+        tracer.finish(route_span);
+        if at != home {
+            let fo = tracer.child(entry_ctx.as_ref(), SpanKind::Failover, FRONT_NODE);
+            tracer.finish(fo);
         }
-        let x = read.value.ok_or(TransportError::Unavailable)?;
-        let lr = self.lr;
-        self.cluster
-            .try_update_user_weights(at, uid, Vec::new, |w| lms_update(w, &x, y, lr))
-            .ok_or(TransportError::Unavailable)?;
-        let ts = self.ts.fetch_add(1, Ordering::Relaxed) + 1;
-        let shipped_to = self.cluster.live_user_replicas(uid).len().saturating_sub(1);
-        Ok(TransportObserve { node: at, ts, shipped_to })
+
+        // The simulator has no wire hop; the RPC → recv → work nesting is
+        // emitted anyway so both backends produce the same tree shape.
+        let rpc_span = tracer.child(entry_ctx.as_ref(), SpanKind::RpcCall, FRONT_NODE);
+        let rpc_ctx = rpc_span.as_ref().map(|s| s.ctx());
+        let recv_span = tracer.child(rpc_ctx.as_ref(), SpanKind::ServerRecv, at as u32);
+        let recv_ctx = recv_span.as_ref().map(|s| s.ctx());
+        let work_span = tracer.child(recv_ctx.as_ref(), SpanKind::NodePredict, at as u32);
+
+        let result = (|| {
+            let x = match self.cluster.read_item_features(at, item_id) {
+                read if read.unavailable => return Err(TransportError::Unavailable),
+                read => read.value.ok_or(TransportError::Unavailable)?,
+            };
+            let w_read = self.cluster.read_user_weights(at, uid);
+            if w_read.unavailable {
+                return Err(TransportError::Unavailable);
+            }
+            let cold_start = w_read.value.is_none();
+            let w = w_read.value.unwrap_or_default();
+            Ok((dot(&w, &x), cold_start))
+        })();
+
+        let status = if result.is_ok() { SpanStatus::Ok } else { SpanStatus::Error };
+        tracer.finish_status(work_span, status);
+        tracer.finish_status(recv_span, status);
+        tracer.finish_status(rpc_span, status);
+        let trace_id = entry_ctx.map(|c| c.trace_id);
+        self.close_entry(root, entry_child, status);
+
+        result.map(|(score, cold_start)| TransportPredict {
+            score,
+            node: at,
+            routed: at != home,
+            cold_start,
+            trace_id,
+        })
+    }
+
+    fn observe_traced(
+        &self,
+        uid: u64,
+        item_id: u64,
+        y: f64,
+        ctx: Option<&TraceContext>,
+    ) -> Result<TransportObserve, TransportError> {
+        let tracer = &self.tracer;
+        let (root, entry_child) = self.entry(SpanKind::ClusterObserve, ctx);
+        let entry_ctx =
+            root.as_ref().map(|r| r.ctx()).or_else(|| entry_child.as_ref().map(|c| c.ctx()));
+
+        let route_span = tracer.child(entry_ctx.as_ref(), SpanKind::Route, FRONT_NODE);
+        let at = self.cluster.route_request(uid);
+        let home = self.cluster.home_of_user(uid);
+        tracer.finish(route_span);
+        if at != home {
+            let fo = tracer.child(entry_ctx.as_ref(), SpanKind::Failover, FRONT_NODE);
+            tracer.finish(fo);
+        }
+
+        let rpc_span = tracer.child(entry_ctx.as_ref(), SpanKind::RpcCall, FRONT_NODE);
+        let rpc_ctx = rpc_span.as_ref().map(|s| s.ctx());
+        let recv_span = tracer.child(rpc_ctx.as_ref(), SpanKind::ServerRecv, at as u32);
+        let recv_ctx = recv_span.as_ref().map(|s| s.ctx());
+        let work_span = tracer.child(recv_ctx.as_ref(), SpanKind::NodeObserve, at as u32);
+        let work_ctx = work_span.as_ref().map(|s| s.ctx());
+
+        let result = (|| {
+            let read = self.cluster.read_item_features(at, item_id);
+            if read.unavailable {
+                return Err(TransportError::Unavailable);
+            }
+            let x = read.value.ok_or(TransportError::Unavailable)?;
+            let lr = self.lr;
+            self.cluster
+                .try_update_user_weights(at, uid, Vec::new, |w| lms_update(w, &x, y, lr))
+                .ok_or(TransportError::Unavailable)?;
+            let ts = self.ts.fetch_add(1, Ordering::Relaxed) + 1;
+            Ok(ts)
+        })();
+
+        let mut shipped_to = 0;
+        if result.is_ok() {
+            // Mirror the TCP runtime's log shipping: one replica hop per
+            // live replica (owner excluded), applied synchronously.
+            for replica in self.cluster.live_user_replicas(uid) {
+                if replica == at {
+                    continue;
+                }
+                let ship = tracer.child(work_ctx.as_ref(), SpanKind::ShipReplica, at as u32);
+                let ship_ctx = ship.as_ref().map(|s| s.ctx());
+                let rrecv = tracer.child(ship_ctx.as_ref(), SpanKind::ServerRecv, replica as u32);
+                let rrecv_ctx = rrecv.as_ref().map(|s| s.ctx());
+                let apply = tracer.child(rrecv_ctx.as_ref(), SpanKind::ShipApply, replica as u32);
+                tracer.finish(apply);
+                tracer.finish(rrecv);
+                tracer.finish(ship);
+                shipped_to += 1;
+            }
+        }
+
+        let status = if result.is_ok() { SpanStatus::Ok } else { SpanStatus::Error };
+        tracer.finish_status(work_span, status);
+        tracer.finish_status(recv_span, status);
+        tracer.finish_status(rpc_span, status);
+        let trace_id = entry_ctx.map(|c| c.trace_id);
+        self.close_entry(root, entry_child, status);
+
+        result.map(|ts| TransportObserve { node: at, ts, shipped_to, trace_id })
     }
 
     fn fetch_weights(&self, uid: u64) -> Result<Option<Vec<f64>>, TransportError> {
         Ok(self.cluster.peek_user_weights(uid))
+    }
+
+    fn tracer(&self) -> Arc<Tracer> {
+        Arc::clone(&self.tracer)
     }
 }
 

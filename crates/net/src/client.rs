@@ -13,7 +13,9 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use crate::frame::{read_frame, write_frame, FrameError};
+use velox_obs::TraceContext;
+
+use crate::frame::{read_frame, write_frame_ext, FrameError};
 use crate::rpc::{Request, Response};
 
 /// Client tuning knobs.
@@ -100,9 +102,29 @@ impl NetClient {
         self.call_deadline(req, self.config.request_timeout)
     }
 
+    /// One RPC round trip under the default deadline, propagating `trace`
+    /// in the frame header extension when present.
+    pub fn call_traced(
+        &self,
+        req: &Request,
+        trace: Option<&TraceContext>,
+    ) -> Result<Response, NetError> {
+        self.call_deadline_traced(req, self.config.request_timeout, trace)
+    }
+
     /// One RPC round trip that must complete within `deadline`. On a
     /// connection failure the call redials once if deadline remains.
     pub fn call_deadline(&self, req: &Request, deadline: Duration) -> Result<Response, NetError> {
+        self.call_deadline_traced(req, deadline, None)
+    }
+
+    /// [`NetClient::call_deadline`] with trace-context propagation.
+    pub fn call_deadline_traced(
+        &self,
+        req: &Request,
+        deadline: Duration,
+        trace: Option<&TraceContext>,
+    ) -> Result<Response, NetError> {
         let started = Instant::now();
         let payload = req.encode();
         let mut last_err = None;
@@ -118,7 +140,7 @@ impl NetClient {
                     continue;
                 }
             };
-            match round_trip(&mut conn, &payload, started, deadline) {
+            match round_trip(&mut conn, &payload, started, deadline, trace) {
                 Ok(resp) => {
                     self.check_in(conn);
                     return Ok(resp);
@@ -178,6 +200,7 @@ fn round_trip(
     payload: &[u8],
     started: Instant,
     deadline: Duration,
+    trace: Option<&TraceContext>,
 ) -> Result<Response, NetError> {
     let arm = |conn: &TcpStream| -> Result<(), NetError> {
         let remaining = deadline.checked_sub(started.elapsed()).ok_or(NetError::Timeout)?;
@@ -189,7 +212,7 @@ fn round_trip(
         Ok(())
     };
     arm(conn)?;
-    write_frame(conn, payload).map_err(classify)?;
+    write_frame_ext(conn, payload, trace).map_err(classify)?;
     arm(conn)?;
     let reply = read_frame(conn).map_err(classify)?;
     Response::decode(&reply).map_err(|e| NetError::Corrupt(e.to_string()))

@@ -15,14 +15,37 @@
 //! length prefix fails fast instead of asking the reader to allocate
 //! gigabytes.
 //!
+//! # Header extension section
+//!
+//! Because [`MAX_FRAME_LEN`] is far below 2³¹, the top bit of the length
+//! word is free; setting it ([`FLAG_EXT`]) announces an *extension
+//! section* between the base header and the payload:
+//!
+//! ```text
+//! ┌──────────────────┬────────────┬───────────────┬───────────┬─────────┐
+//! │ FLAG_EXT|len u32 │ crc (u32)  │ ext_len (u16) │ ext bytes │ payload │
+//! └──────────────────┴────────────┴───────────────┴───────────┴─────────┘
+//! ```
+//!
+//! The extension bytes are a TLV sequence (`type u8`, `len u8`, value):
+//! today the only defined type is [`EXT_TRACE`] carrying a
+//! [`TraceContext`]. Unknown types are *skipped* (and counted via
+//! [`unknown_ext_skipped_total`]) rather than rejected, so a node that
+//! understands newer header fields interoperates with one that does not.
+//! `crc` covers `ext_len ‖ ext bytes ‖ payload`, so corruption anywhere
+//! in the extension is caught exactly like payload corruption. A frame
+//! without the flag is byte-identical to the pre-extension format.
+//!
 //! The codec is carefully un-clever: blocking reads, no buffering beyond
 //! the frame being assembled, and a clean distinction between an orderly
 //! peer close (EOF *between* frames → [`FrameError::Closed`]) and a torn
 //! frame (EOF *inside* a frame → [`FrameError::Corrupt`]).
 
 use std::io::{ErrorKind, Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use velox_storage::crc32;
+use velox_obs::TraceContext;
+use velox_storage::{crc32, crc32_begin, crc32_feed, crc32_finish};
 
 /// Hard upper bound on a frame payload (8 MiB). Large enough for a bulk
 /// table seed, small enough that a corrupt length cannot balloon memory.
@@ -30,6 +53,35 @@ pub const MAX_FRAME_LEN: u32 = 8 << 20;
 
 /// Bytes of framing overhead per message (length + checksum).
 pub const FRAME_HEADER_LEN: usize = 8;
+
+/// Top bit of the length word: an extension section follows the header.
+pub const FLAG_EXT: u32 = 1 << 31;
+
+/// Hard upper bound on the extension section (TLV bytes, excluding the
+/// `ext_len` prefix itself).
+pub const MAX_EXT_LEN: u16 = 1024;
+
+/// TLV type: a propagated trace context (17 bytes: trace_id u64,
+/// span_id u64, flags u8 with bit 0 = sampled).
+pub const EXT_TRACE: u8 = 1;
+
+static UNKNOWN_EXT_SKIPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of unknown header-extension TLVs skipped by
+/// [`read_frame_ext`] — nonzero means a peer is sending header fields
+/// this build does not understand (and interop still worked).
+pub fn unknown_ext_skipped_total() -> u64 {
+    UNKNOWN_EXT_SKIPPED.load(Ordering::Relaxed)
+}
+
+/// Decoded extension section of a frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameMeta {
+    /// Trace context propagated by the peer, if any.
+    pub trace: Option<TraceContext>,
+    /// Unknown TLV entries skipped in this frame.
+    pub unknown_exts: u32,
+}
 
 /// Why a frame could not be read or written.
 #[derive(Debug)]
@@ -69,16 +121,81 @@ impl FrameError {
     }
 }
 
-/// Writes one frame (header + payload) to `w` and flushes it.
+/// Writes one plain frame (header + payload) to `w` and flushes it.
+/// Byte-identical to the pre-extension wire format.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
+    write_frame_ext(w, payload, None)
+}
+
+/// Encoded size of the trace TLV: type byte + length byte + 17-byte value.
+const TRACE_EXT_LEN: usize = 19;
+
+fn encode_trace_ext(trace: &TraceContext) -> [u8; TRACE_EXT_LEN] {
+    let mut ext = [0u8; TRACE_EXT_LEN];
+    ext[0] = EXT_TRACE;
+    ext[1] = 17;
+    ext[2..10].copy_from_slice(&trace.trace_id.to_be_bytes());
+    ext[10..18].copy_from_slice(&trace.span_id.to_be_bytes());
+    ext[18] = trace.sampled as u8;
+    ext
+}
+
+/// RPC-sized payloads ship as one `write_all` (header and payload in a
+/// single stack buffer), so a small frame costs one syscall on an
+/// unbuffered socket instead of two. The wire bytes are identical either
+/// way.
+const SMALL_WRITE_MAX: usize = 512;
+
+/// Writes `head ‖ payload`, coalescing small payloads into a single
+/// write.
+fn write_parts(w: &mut impl Write, head: &[u8], payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() <= SMALL_WRITE_MAX {
+        let mut buf = [0u8; FRAME_HEADER_LEN + 2 + TRACE_EXT_LEN + SMALL_WRITE_MAX];
+        buf[..head.len()].copy_from_slice(head);
+        buf[head.len()..head.len() + payload.len()].copy_from_slice(payload);
+        w.write_all(&buf[..head.len() + payload.len()]).map_err(FrameError::Io)
+    } else {
+        w.write_all(head).map_err(FrameError::Io)?;
+        w.write_all(payload).map_err(FrameError::Io)
+    }
+}
+
+/// Writes one frame, attaching `trace` as a header-extension TLV when
+/// present. Without a trace this is exactly [`write_frame`].
+pub fn write_frame_ext(
+    w: &mut impl Write,
+    payload: &[u8],
+    trace: Option<&TraceContext>,
+) -> Result<(), FrameError> {
     if payload.len() as u64 > MAX_FRAME_LEN as u64 {
         return Err(FrameError::TooLarge(payload.len() as u32));
     }
-    let mut header = [0u8; FRAME_HEADER_LEN];
-    header[0..4].copy_from_slice(&(payload.len() as u32).to_be_bytes());
-    header[4..8].copy_from_slice(&crc32(payload).to_be_bytes());
-    w.write_all(&header).map_err(FrameError::Io)?;
-    w.write_all(payload).map_err(FrameError::Io)?;
+    match trace {
+        None => {
+            let mut header = [0u8; FRAME_HEADER_LEN];
+            header[0..4].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+            header[4..8].copy_from_slice(&crc32(payload).to_be_bytes());
+            write_parts(w, &header, payload)?;
+        }
+        Some(trace) => {
+            let ext = encode_trace_ext(trace);
+            let ext_len = (ext.len() as u16).to_be_bytes();
+            // The checksum covers ext_len ‖ ext ‖ payload, fed through the
+            // incremental CRC so the hot path never concatenates buffers.
+            let mut crc = crc32_begin();
+            crc = crc32_feed(crc, &ext_len);
+            crc = crc32_feed(crc, &ext);
+            crc = crc32_feed(crc, payload);
+            // Header, ext_len, and the trace TLV go out as one stack
+            // buffer, keeping the write count identical to plain frames.
+            let mut head = [0u8; FRAME_HEADER_LEN + 2 + TRACE_EXT_LEN];
+            head[0..4].copy_from_slice(&((payload.len() as u32) | FLAG_EXT).to_be_bytes());
+            head[4..8].copy_from_slice(&crc32_finish(crc).to_be_bytes());
+            head[8..10].copy_from_slice(&ext_len);
+            head[10..].copy_from_slice(&ext);
+            write_parts(w, &head, payload)?;
+        }
+    }
     w.flush().map_err(FrameError::Io)
 }
 
@@ -107,24 +224,108 @@ fn read_exact_or(r: &mut impl Read, buf: &mut [u8], at_boundary: bool) -> Result
     Ok(())
 }
 
-/// Reads one frame from `r`, verifying length bound and checksum.
+/// Reads one frame from `r`, verifying length bound and checksum and
+/// discarding any extension metadata.
 pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    read_frame_ext(r).map(|(payload, _)| payload)
+}
+
+/// Reads one frame, returning the payload plus decoded extension
+/// metadata. Plain (unflagged) frames decode exactly as before with a
+/// default [`FrameMeta`]; unknown TLV types in the extension are skipped
+/// and counted, not rejected.
+pub fn read_frame_ext(r: &mut impl Read) -> Result<(Vec<u8>, FrameMeta), FrameError> {
     let mut header = [0u8; FRAME_HEADER_LEN];
     read_exact_or(r, &mut header, true)?;
-    let len = u32::from_be_bytes(header[0..4].try_into().unwrap());
+    let len_word = u32::from_be_bytes(header[0..4].try_into().unwrap());
     let want_crc = u32::from_be_bytes(header[4..8].try_into().unwrap());
+    let len = len_word & !FLAG_EXT;
     if len > MAX_FRAME_LEN {
         return Err(FrameError::TooLarge(len));
     }
-    let mut payload = vec![0u8; len as usize];
-    read_exact_or(r, &mut payload, false)?;
-    let got_crc = crc32(&payload);
-    if got_crc != want_crc {
+    if len_word & FLAG_EXT == 0 {
+        let mut payload = vec![0u8; len as usize];
+        read_exact_or(r, &mut payload, false)?;
+        let got_crc = crc32(&payload);
+        if got_crc != want_crc {
+            return Err(FrameError::Corrupt(format!(
+                "checksum mismatch: header {want_crc:#010x}, payload {got_crc:#010x}"
+            )));
+        }
+        return Ok((payload, FrameMeta::default()));
+    }
+    let mut ext_len_buf = [0u8; 2];
+    read_exact_or(r, &mut ext_len_buf, false)?;
+    let ext_len = u16::from_be_bytes(ext_len_buf);
+    if ext_len > MAX_EXT_LEN {
         return Err(FrameError::Corrupt(format!(
-            "checksum mismatch: header {want_crc:#010x}, payload {got_crc:#010x}"
+            "extension length {ext_len} exceeds maximum {MAX_EXT_LEN}"
         )));
     }
-    Ok(payload)
+    // A trace-only ext (the overwhelmingly common case) fits a small
+    // stack buffer — zeroing MAX_EXT_LEN bytes per frame would cost more
+    // than the rest of the decode. Oversized exts (forward-compat TLVs)
+    // take the heap path. The incremental CRC sees ext_len ‖ ext ‖
+    // payload exactly as the writer summed it, with no concatenation.
+    let mut small = [0u8; 64];
+    let mut big = Vec::new();
+    let ext: &mut [u8] = if ext_len as usize <= small.len() {
+        &mut small[..ext_len as usize]
+    } else {
+        big.resize(ext_len as usize, 0);
+        &mut big
+    };
+    read_exact_or(r, ext, false)?;
+    let mut payload = vec![0u8; len as usize];
+    read_exact_or(r, &mut payload, false)?;
+    let mut crc = crc32_begin();
+    crc = crc32_feed(crc, &ext_len_buf);
+    crc = crc32_feed(crc, ext);
+    crc = crc32_feed(crc, &payload);
+    let got_crc = crc32_finish(crc);
+    if got_crc != want_crc {
+        return Err(FrameError::Corrupt(format!(
+            "checksum mismatch: header {want_crc:#010x}, frame {got_crc:#010x}"
+        )));
+    }
+    let meta = parse_ext(ext)?;
+    Ok((payload, meta))
+}
+
+fn parse_ext(ext: &[u8]) -> Result<FrameMeta, FrameError> {
+    let mut meta = FrameMeta::default();
+    let mut i = 0usize;
+    while i < ext.len() {
+        if i + 2 > ext.len() {
+            return Err(FrameError::Corrupt("truncated TLV header in extension".to_string()));
+        }
+        let tlv_type = ext[i];
+        let tlv_len = ext[i + 1] as usize;
+        i += 2;
+        if i + tlv_len > ext.len() {
+            return Err(FrameError::Corrupt(format!(
+                "TLV type {tlv_type} length {tlv_len} overruns extension"
+            )));
+        }
+        let value = &ext[i..i + tlv_len];
+        i += tlv_len;
+        match tlv_type {
+            // A trace TLV with an unexpected length is treated as unknown
+            // (a future revision may grow the context).
+            EXT_TRACE if tlv_len == 17 => {
+                meta.trace = Some(TraceContext {
+                    trace_id: u64::from_be_bytes(value[0..8].try_into().unwrap()),
+                    span_id: u64::from_be_bytes(value[8..16].try_into().unwrap()),
+                    sampled: value[16] & 1 == 1,
+                });
+            }
+            _ => {
+                meta.unknown_exts += 1;
+                UNKNOWN_EXT_SKIPPED.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    Ok(meta)
 }
 
 #[cfg(test)]
@@ -191,5 +392,104 @@ mod tests {
         let mut sink = Vec::new();
         assert!(matches!(write_frame(&mut sink, &huge), Err(FrameError::TooLarge(_))));
         assert!(sink.is_empty(), "nothing may reach the wire on refusal");
+    }
+
+    fn test_ctx() -> TraceContext {
+        TraceContext {
+            trace_id: 0x1122_3344_5566_7788,
+            span_id: 0x99aa_bbcc_ddee_ff00,
+            sampled: true,
+        }
+    }
+
+    #[test]
+    fn traced_frame_round_trips_context_and_payload() {
+        let ctx = test_ctx();
+        let mut buf = Vec::new();
+        write_frame_ext(&mut buf, b"payload", Some(&ctx)).unwrap();
+        let (payload, meta) = read_frame_ext(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(payload, b"payload");
+        assert_eq!(meta.trace, Some(ctx));
+        assert_eq!(meta.unknown_exts, 0);
+    }
+
+    #[test]
+    fn untraced_frame_is_byte_identical_to_legacy_format() {
+        let payload = b"legacy wire bytes";
+        let mut via_ext = Vec::new();
+        write_frame_ext(&mut via_ext, payload, None).unwrap();
+        // Hand-build the pre-extension encoding.
+        let mut legacy = Vec::new();
+        legacy.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        legacy.extend_from_slice(&crc32(payload).to_be_bytes());
+        legacy.extend_from_slice(payload);
+        assert_eq!(via_ext, legacy);
+        // And an ext-aware reader decodes it with empty metadata.
+        let (got, meta) = read_frame_ext(&mut Cursor::new(&legacy)).unwrap();
+        assert_eq!(got, payload);
+        assert_eq!(meta, FrameMeta::default());
+    }
+
+    #[test]
+    fn unknown_tlv_types_are_skipped_and_counted() {
+        // Hand-build a frame whose extension holds an unknown TLV followed
+        // by a valid trace TLV: the reader must skip the former and still
+        // decode the latter.
+        let ctx = test_ctx();
+        let payload = b"interop";
+        let mut ext = vec![0xee, 3, 1, 2, 3]; // unknown type 0xee, 3 bytes
+        let mut traced = Vec::new();
+        write_frame_ext(&mut traced, payload, Some(&ctx)).unwrap();
+        ext.extend_from_slice(&traced[FRAME_HEADER_LEN + 2..FRAME_HEADER_LEN + 2 + 19]);
+        let mut covered = Vec::new();
+        covered.extend_from_slice(&(ext.len() as u16).to_be_bytes());
+        covered.extend_from_slice(&ext);
+        covered.extend_from_slice(payload);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&((payload.len() as u32) | FLAG_EXT).to_be_bytes());
+        frame.extend_from_slice(&crc32(&covered).to_be_bytes());
+        frame.extend_from_slice(&covered);
+
+        let before = unknown_ext_skipped_total();
+        let (got, meta) = read_frame_ext(&mut Cursor::new(&frame)).unwrap();
+        assert_eq!(got, payload);
+        assert_eq!(meta.trace, Some(ctx), "known TLV after unknown one must still decode");
+        assert_eq!(meta.unknown_exts, 1);
+        assert!(unknown_ext_skipped_total() > before);
+    }
+
+    #[test]
+    fn bit_flip_in_extension_is_corrupt() {
+        let mut buf = Vec::new();
+        write_frame_ext(&mut buf, b"guarded", Some(&test_ctx())).unwrap();
+        // Flip a bit inside the trace_id bytes (after header + ext_len + TL).
+        buf[FRAME_HEADER_LEN + 2 + 2] ^= 0x01;
+        match read_frame_ext(&mut Cursor::new(&buf)) {
+            Err(FrameError::Corrupt(msg)) => assert!(msg.contains("checksum")),
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_extension_length_rejected() {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&FLAG_EXT.to_be_bytes()); // payload len 0
+        frame.extend_from_slice(&0u32.to_be_bytes());
+        frame.extend_from_slice(&(MAX_EXT_LEN + 1).to_be_bytes());
+        assert!(matches!(read_frame_ext(&mut Cursor::new(&frame)), Err(FrameError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncated_tlv_is_corrupt_not_panic() {
+        // Extension of one byte: a TLV header needs two.
+        let ext = [0x07u8];
+        let mut covered = Vec::new();
+        covered.extend_from_slice(&1u16.to_be_bytes());
+        covered.extend_from_slice(&ext);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&FLAG_EXT.to_be_bytes());
+        frame.extend_from_slice(&crc32(&covered).to_be_bytes());
+        frame.extend_from_slice(&covered);
+        assert!(matches!(read_frame_ext(&mut Cursor::new(&frame)), Err(FrameError::Corrupt(_))));
     }
 }

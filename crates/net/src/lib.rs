@@ -33,8 +33,11 @@ pub mod runtime;
 pub mod server;
 
 pub use client::{NetClient, NetClientConfig, NetError};
-pub use frame::{read_frame, write_frame, FrameError, FRAME_HEADER_LEN, MAX_FRAME_LEN};
+pub use frame::{
+    read_frame, read_frame_ext, unknown_ext_skipped_total, write_frame, write_frame_ext,
+    FrameError, FrameMeta, EXT_TRACE, FLAG_EXT, FRAME_HEADER_LEN, MAX_EXT_LEN, MAX_FRAME_LEN,
+};
 pub use node::{NodeConfig, NodeMetrics, NodeServer, NodeState, PeerTable};
 pub use rpc::{DecodeError, ErrorCode, Request, Response};
 pub use runtime::{NetCluster, NetClusterConfig};
-pub use server::{Handler, NetServer, NetServerConfig};
+pub use server::{Handler, NetServer, NetServerConfig, RpcContext};

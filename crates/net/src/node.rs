@@ -31,12 +31,12 @@ use std::sync::{Arc, Mutex, RwLock};
 use velox_cluster::partition::USER_SALT;
 use velox_cluster::transport::{dot, lms_update};
 use velox_cluster::{HashPartitioner, NodeId};
-use velox_obs::{Counter, Registry};
+use velox_obs::{trace::now_ns, Counter, Registry, SpanKind, TraceContext, Tracer};
 use velox_storage::{Observation, Wal, WalConfig, WalRecovery};
 
 use crate::client::NetClient;
 use crate::rpc::{ErrorCode, Request, Response};
-use crate::server::{Handler, NetServer, NetServerConfig};
+use crate::server::{Handler, NetServer, NetServerConfig, RpcContext};
 
 /// Shared, mutable address book: node id → client for its current
 /// incarnation (`None` while the node is down). Nodes use it to forward
@@ -134,6 +134,9 @@ pub struct NodeConfig {
     pub workers: usize,
     /// Runtime-owned counters (survive restarts).
     pub metrics: NodeMetrics,
+    /// Cluster-wide tracer (this node records into its own ring). Use
+    /// [`Tracer::disabled`] to run untraced.
+    pub tracer: Arc<Tracer>,
 }
 
 /// The log half of a node's state: the WAL handle, every record this
@@ -221,13 +224,24 @@ impl NodeState {
         self.log.lock().unwrap().records.len()
     }
 
-    fn respond_predict(&self, uid: u64, item_id: u64, no_forward: bool) -> Response {
+    fn respond_predict(
+        &self,
+        uid: u64,
+        item_id: u64,
+        no_forward: bool,
+        ctx: Option<&TraceContext>,
+    ) -> Response {
         let me = self.config.node_id;
+        let tracer = &self.config.tracer;
         let owner = self.users.node_for(uid);
         if owner != me && !no_forward {
             if let Some(peer) = self.peers.get(owner) {
                 let fwd = Request::Predict { uid, item_id, no_forward: true };
-                if let Ok(Response::Predicted { score, node, cold_start, .. }) = peer.call(&fwd) {
+                let rpc_span = tracer.child(ctx, SpanKind::RpcCall, me as u32);
+                let rpc_ctx = rpc_span.as_ref().map(|s| s.ctx());
+                let reply = peer.call_traced(&fwd, rpc_ctx.as_ref());
+                tracer.finish(rpc_span);
+                if let Ok(Response::Predicted { score, node, cold_start, .. }) = reply {
                     self.config.metrics.forwards.inc();
                     return Response::Predicted { score, node, forwarded: true, cold_start };
                 }
@@ -235,7 +249,9 @@ impl NodeState {
             // Owner unreachable: fall through and answer from local state
             // (a replica's shipped copy, or the cold-start prior).
         }
+        let work = tracer.child(ctx, SpanKind::NodePredict, me as u32);
         let Some(x) = self.items.lock().unwrap().get(&item_id).cloned() else {
+            tracer.finish_status(work, velox_obs::SpanStatus::Error);
             return Response::Error {
                 code: ErrorCode::Unavailable,
                 message: format!("item {item_id} not seeded at node {me}"),
@@ -247,16 +263,29 @@ impl NodeState {
             None => (0.0, true),
         };
         self.config.metrics.predicts.inc();
+        tracer.finish(work);
         Response::Predicted { score, node: me as u32, forwarded: false, cold_start }
     }
 
-    fn respond_observe(&self, uid: u64, item_id: u64, y: f64, no_forward: bool) -> Response {
+    fn respond_observe(
+        &self,
+        uid: u64,
+        item_id: u64,
+        y: f64,
+        no_forward: bool,
+        ctx: Option<&TraceContext>,
+    ) -> Response {
         let me = self.config.node_id;
+        let tracer = &self.config.tracer;
         let owner = self.users.node_for(uid);
         if owner != me && !no_forward {
             if let Some(peer) = self.peers.get(owner) {
                 let fwd = Request::Observe { uid, item_id, y, no_forward: true };
-                match peer.call(&fwd) {
+                let rpc_span = tracer.child(ctx, SpanKind::RpcCall, me as u32);
+                let rpc_ctx = rpc_span.as_ref().map(|s| s.ctx());
+                let reply = peer.call_traced(&fwd, rpc_ctx.as_ref());
+                tracer.finish(rpc_span);
+                match reply {
                     Ok(resp @ Response::Observed { .. }) => {
                         self.config.metrics.forwards.inc();
                         return resp;
@@ -266,7 +295,10 @@ impl NodeState {
                 }
             }
         }
+        let work = tracer.child(ctx, SpanKind::NodeObserve, me as u32);
+        let work_ctx = work.as_ref().map(|s| s.ctx());
         let Some(x) = self.items.lock().unwrap().get(&item_id).cloned() else {
+            tracer.finish_status(work, velox_obs::SpanStatus::Error);
             return Response::Error {
                 code: ErrorCode::Unavailable,
                 message: format!("item {item_id} not seeded at node {me}"),
@@ -277,11 +309,37 @@ impl NodeState {
         {
             let mut log = self.log.lock().unwrap();
             if let Some(wal) = log.wal.as_mut() {
-                if let Err(e) = wal.append(&rec) {
-                    return Response::Error {
-                        code: ErrorCode::Internal,
-                        message: format!("wal append failed: {e}"),
-                    };
+                let append_start = if work_ctx.is_some() { now_ns() } else { 0 };
+                match wal.append_timed(&rec) {
+                    Ok(timing) => {
+                        // WAL spans are externally timed: the storage layer
+                        // measured the write and the (possibly skipped)
+                        // fsync, so attribute exactly those windows.
+                        let append_end = append_start + timing.append_ns;
+                        tracer.record(
+                            work_ctx.as_ref(),
+                            SpanKind::WalAppend,
+                            me as u32,
+                            append_start,
+                            append_end,
+                        );
+                        if timing.fsync_ns > 0 {
+                            tracer.record(
+                                work_ctx.as_ref(),
+                                SpanKind::WalFsync,
+                                me as u32,
+                                append_end,
+                                append_end + timing.fsync_ns,
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        tracer.finish_status(work, velox_obs::SpanStatus::Error);
+                        return Response::Error {
+                            code: ErrorCode::Internal,
+                            message: format!("wal append failed: {e}"),
+                        };
+                    }
                 }
             }
             log.applied.insert((uid, ts));
@@ -296,16 +354,39 @@ impl NodeState {
                 continue;
             }
             let Some(peer) = self.peers.get(replica) else { continue };
-            match peer.call(&Request::ShipLog { records: vec![rec.clone()] }) {
-                Ok(Response::Ok) => shipped_to += 1,
-                _ => self.config.metrics.ship_failures.inc(),
+            let ship_span = tracer.child(work_ctx.as_ref(), SpanKind::ShipReplica, me as u32);
+            let ship_ctx = ship_span.as_ref().map(|s| s.ctx());
+            match peer
+                .call_traced(&Request::ShipLog { records: vec![rec.clone()] }, ship_ctx.as_ref())
+            {
+                Ok(Response::Ok) => {
+                    shipped_to += 1;
+                    tracer.finish(ship_span);
+                }
+                _ => {
+                    self.config.metrics.ship_failures.inc();
+                    tracer.finish_status(ship_span, velox_obs::SpanStatus::Error);
+                }
             }
         }
         self.config.metrics.observes.inc();
+        tracer.finish(work);
         Response::Observed { node: me as u32, ts, shipped_to }
     }
 
-    fn respond_ship(&self, records: Vec<Observation>) -> Response {
+    fn respond_ship(&self, records: Vec<Observation>, ctx: Option<&TraceContext>) -> Response {
+        let apply = self.config.tracer.child(ctx, SpanKind::ShipApply, self.config.node_id as u32);
+        let resp = self.apply_shipped(records);
+        let status = if matches!(resp, Response::Ok) {
+            velox_obs::SpanStatus::Ok
+        } else {
+            velox_obs::SpanStatus::Error
+        };
+        self.config.tracer.finish_status(apply, status);
+        resp
+    }
+
+    fn apply_shipped(&self, records: Vec<Observation>) -> Response {
         let lr = self.config.lr;
         let mut log = self.log.lock().unwrap();
         for rec in &records {
@@ -339,19 +420,21 @@ impl NodeState {
     }
 }
 
-impl Handler for NodeState {
-    fn handle(&self, req: Request) -> Response {
+impl NodeState {
+    /// Request dispatch, with the optional span context of the server
+    /// receive span wrapping this request.
+    fn dispatch(&self, req: Request, ctx: Option<&TraceContext>) -> Response {
         match req {
             Request::Predict { uid, item_id, no_forward } => {
-                self.respond_predict(uid, item_id, no_forward)
+                self.respond_predict(uid, item_id, no_forward, ctx)
             }
             Request::Observe { uid, item_id, y, no_forward } => {
-                self.respond_observe(uid, item_id, y, no_forward)
+                self.respond_observe(uid, item_id, y, no_forward, ctx)
             }
             Request::FetchWeights { uid } => {
                 Response::Weights { w: self.weights.lock().unwrap().get(&uid).cloned() }
             }
-            Request::ShipLog { records } => self.respond_ship(records),
+            Request::ShipLog { records } => self.respond_ship(records, ctx),
             Request::PullLog { from_ts } => self.respond_pull(from_ts),
             Request::SeedItems { entries } => {
                 self.seed_items(&entries);
@@ -363,6 +446,28 @@ impl Handler for NodeState {
             }
             Request::Health => Response::Ok,
         }
+    }
+}
+
+impl Handler for NodeState {
+    fn handle(&self, req: Request) -> Response {
+        self.dispatch(req, None)
+    }
+
+    fn handle_traced(&self, req: Request, rpc: RpcContext) -> Response {
+        // The receive span starts when the frame finished arriving
+        // (`rpc.recv_ns`), so its head — before the node work child —
+        // is decode + dispatch + queue wait on the server side.
+        let recv = self.config.tracer.child_at(
+            rpc.trace.as_ref(),
+            SpanKind::ServerRecv,
+            self.config.node_id as u32,
+            rpc.recv_ns,
+        );
+        let recv_ctx = recv.as_ref().map(|s| s.ctx());
+        let resp = self.dispatch(req, recv_ctx.as_ref());
+        self.config.tracer.finish(recv);
+        resp
     }
 }
 

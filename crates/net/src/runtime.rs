@@ -25,7 +25,10 @@ use std::time::Duration;
 use velox_cluster::transport::{Transport, TransportError, TransportObserve, TransportPredict};
 use velox_cluster::{FaultAction, FaultPlan, HashPartitioner, NodeHealth, NodeId, USER_SALT};
 use velox_data::VeloxRng;
-use velox_obs::{Counter, Histogram, Registry};
+use velox_obs::{
+    Counter, Histogram, Registry, RootSpan, SpanKind, SpanStatus, TraceConfig, TraceContext,
+    Tracer, FRONT_NODE,
+};
 use velox_storage::Observation;
 
 use crate::client::{NetClient, NetClientConfig};
@@ -48,6 +51,9 @@ pub struct NetClusterConfig {
     pub workers: usize,
     /// Per-request deadline for front → node RPCs.
     pub request_timeout: Duration,
+    /// Request-tracing policy. Off by default: untraced requests send
+    /// byte-identical legacy frames and skip every span branch.
+    pub trace: TraceConfig,
 }
 
 impl Default for NetClusterConfig {
@@ -59,6 +65,7 @@ impl Default for NetClusterConfig {
             wal_root: None,
             workers: 8,
             request_timeout: Duration::from_secs(2),
+            trace: TraceConfig::off(),
         }
     }
 }
@@ -100,6 +107,8 @@ pub struct NetCluster {
     observe_us: Arc<Histogram>,
     /// Requests that found no live replica at all.
     unavailable: Arc<Counter>,
+    /// Cluster-wide tracer: per-node span rings plus the front's.
+    tracer: Arc<Tracer>,
 }
 
 impl NetCluster {
@@ -107,6 +116,7 @@ impl NetCluster {
     /// peer table. Blocks until every node is listening.
     pub fn start(config: NetClusterConfig) -> std::io::Result<NetCluster> {
         assert!(config.n_nodes > 0, "cluster needs at least one node");
+        let tracer = Tracer::new(config.n_nodes, config.trace);
         let peers = Arc::new(PeerTable::new(config.n_nodes));
         let mut slots = Vec::with_capacity(config.n_nodes);
         for node_id in 0..config.n_nodes {
@@ -120,6 +130,7 @@ impl NetCluster {
                     wal_dir: config.wal_root.as_ref().map(|r| r.join(format!("node-{node_id}"))),
                     workers: config.workers,
                     metrics: metrics.clone(),
+                    tracer: Arc::clone(&tracer),
                 },
                 Arc::clone(&peers),
             )?;
@@ -152,6 +163,7 @@ impl NetCluster {
             predict_us: Arc::new(Histogram::new()),
             observe_us: Arc::new(Histogram::new()),
             unavailable: Arc::new(Counter::new()),
+            tracer,
         })
     }
 
@@ -229,6 +241,7 @@ impl NetCluster {
                 wal_dir: self.config.wal_root.as_ref().map(|r| r.join(format!("node-{node}"))),
                 workers: self.config.workers,
                 metrics: slot.metrics.clone(),
+                tracer: Arc::clone(&self.tracer),
             },
             Arc::clone(&self.peers),
         )?;
@@ -376,6 +389,35 @@ impl NetCluster {
         }
     }
 
+    /// Entry span for one request: a child when the caller propagated a
+    /// context (REST ingress), a fresh root otherwise.
+    fn trace_entry(
+        &self,
+        kind: SpanKind,
+        ctx: Option<&TraceContext>,
+    ) -> (Option<RootSpan>, Option<velox_obs::ActiveSpan>) {
+        if ctx.is_some() {
+            (None, self.tracer.child(ctx, kind, FRONT_NODE))
+        } else {
+            (self.tracer.ingress(kind, FRONT_NODE), None)
+        }
+    }
+
+    /// Closes the entry span (applying the keep policy for roots) at a
+    /// shared clock reading; `end_ns == 0` reads the clock.
+    fn close_trace_entry(
+        &self,
+        root: Option<RootSpan>,
+        child: Option<velox_obs::ActiveSpan>,
+        status: SpanStatus,
+        end_ns: u64,
+    ) {
+        self.tracer.finish_status_at(child, status, end_ns);
+        if let Some(r) = root {
+            self.tracer.end_root_at(r, end_ns);
+        }
+    }
+
     /// Stops every node (also happens on drop).
     pub fn shutdown(&self) {
         for node in 0..self.config.n_nodes {
@@ -412,80 +454,196 @@ impl Transport for NetCluster {
     }
 
     fn predict(&self, uid: u64, item_id: u64) -> Result<TransportPredict, TransportError> {
+        self.predict_traced(uid, item_id, None)
+    }
+
+    fn observe(&self, uid: u64, item_id: u64, y: f64) -> Result<TransportObserve, TransportError> {
+        self.observe_traced(uid, item_id, y, None)
+    }
+
+    fn predict_traced(
+        &self,
+        uid: u64,
+        item_id: u64,
+        ctx: Option<&TraceContext>,
+    ) -> Result<TransportPredict, TransportError> {
         let (spike_us, fail) = self.tick_faults();
         if spike_us > 0 {
             std::thread::sleep(Duration::from_micros(spike_us));
         }
+        let tracer = &self.tracer;
+        let (troot, tchild) = self.trace_entry(SpanKind::ClusterPredict, ctx);
+        let entry_ctx =
+            troot.as_ref().map(|r| r.ctx()).or_else(|| tchild.as_ref().map(|c| c.ctx()));
+        let trace_id = entry_ctx.map(|c| c.trace_id);
+
+        // The route span starts at the entry boundary and ends at one
+        // shared clock reading that also starts the RPC span — adjacent
+        // spans share boundaries so tracing costs one clock read per hop,
+        // not two.
+        let entry_start = troot
+            .as_ref()
+            .map(|r| r.start_ns())
+            .or_else(|| tchild.as_ref().map(|c| c.start_ns()))
+            .unwrap_or(0);
+        let route_span =
+            tracer.child_at(entry_ctx.as_ref(), SpanKind::Route, FRONT_NODE, entry_start);
         let home = self.home_of_user(uid);
+        let candidates = self.serving_candidates(uid, fail);
+        let routed_ns = if route_span.is_some() { velox_obs::trace::now_ns() } else { 0 };
+        tracer.finish_status_at(route_span, SpanStatus::Ok, routed_ns);
+
         let timer = std::time::Instant::now();
         let mut last = TransportError::Unavailable;
-        for node in self.serving_candidates(uid, fail) {
+        for node in candidates {
             let Some(client) = self.peers.get(node) else { continue };
+            // A candidate that isn't the home partition is a failover hop;
+            // the marker span makes that decision visible in the trace.
+            if node != home {
+                let fo =
+                    tracer.child_at(entry_ctx.as_ref(), SpanKind::Failover, FRONT_NODE, routed_ns);
+                tracer.finish_status_at(fo, SpanStatus::Ok, routed_ns);
+            }
             // The front routes to the owner (or a live replica) itself, so
             // the node answers from local state — no second hop.
             let req = Request::Predict { uid, item_id, no_forward: true };
-            match client.call(&req) {
+            let rpc_span =
+                tracer.child_at(entry_ctx.as_ref(), SpanKind::RpcCall, FRONT_NODE, routed_ns);
+            let rpc_ctx = rpc_span.as_ref().map(|s| s.ctx());
+            match client.call_traced(&req, rpc_ctx.as_ref()) {
                 Ok(Response::Predicted { score, node: at, cold_start, .. }) => {
+                    let done_ns = if rpc_span.is_some() { velox_obs::trace::now_ns() } else { 0 };
+                    tracer.finish_status_at(rpc_span, SpanStatus::Ok, done_ns);
                     let slot = self.slots[node].lock().unwrap();
                     slot.requests_routed.inc();
                     if node != home {
                         slot.failover_requests.inc();
                     }
                     drop(slot);
-                    self.predict_us.record(timer.elapsed().as_micros() as u64);
+                    let us = timer.elapsed().as_micros() as u64;
+                    match trace_id {
+                        Some(t) => self.predict_us.record_exemplar(us, t),
+                        None => self.predict_us.record(us),
+                    }
+                    self.close_trace_entry(troot, tchild, SpanStatus::Ok, done_ns);
                     return Ok(TransportPredict {
                         score,
                         node: at as NodeId,
                         routed: node != home,
                         cold_start,
+                        trace_id,
                     });
                 }
-                Ok(Response::Error { code, message }) => return Err(map_error(code, message)),
-                Ok(other) => {
-                    return Err(TransportError::Failed(format!("unexpected reply {other:?}")))
+                Ok(Response::Error { code, message }) => {
+                    tracer.finish_status(rpc_span, SpanStatus::Error);
+                    self.close_trace_entry(troot, tchild, SpanStatus::Error, 0);
+                    return Err(map_error(code, message));
                 }
-                Err(e) => last = TransportError::Failed(e.to_string()),
+                Ok(other) => {
+                    tracer.finish_status(rpc_span, SpanStatus::Error);
+                    self.close_trace_entry(troot, tchild, SpanStatus::Error, 0);
+                    return Err(TransportError::Failed(format!("unexpected reply {other:?}")));
+                }
+                Err(e) => {
+                    tracer.finish_status(rpc_span, SpanStatus::Error);
+                    last = TransportError::Failed(e.to_string());
+                }
             }
         }
         if matches!(last, TransportError::Unavailable) {
             self.unavailable.inc();
         }
+        self.close_trace_entry(troot, tchild, SpanStatus::Error, 0);
         Err(last)
     }
 
-    fn observe(&self, uid: u64, item_id: u64, y: f64) -> Result<TransportObserve, TransportError> {
+    fn observe_traced(
+        &self,
+        uid: u64,
+        item_id: u64,
+        y: f64,
+        ctx: Option<&TraceContext>,
+    ) -> Result<TransportObserve, TransportError> {
         let (spike_us, _) = self.tick_faults();
         if spike_us > 0 {
             std::thread::sleep(Duration::from_micros(spike_us));
         }
+        let tracer = &self.tracer;
+        let (troot, tchild) = self.trace_entry(SpanKind::ClusterObserve, ctx);
+        let entry_ctx =
+            troot.as_ref().map(|r| r.ctx()).or_else(|| tchild.as_ref().map(|c| c.ctx()));
+        let trace_id = entry_ctx.map(|c| c.trace_id);
+
+        let entry_start = troot
+            .as_ref()
+            .map(|r| r.start_ns())
+            .or_else(|| tchild.as_ref().map(|c| c.start_ns()))
+            .unwrap_or(0);
+        let route_span =
+            tracer.child_at(entry_ctx.as_ref(), SpanKind::Route, FRONT_NODE, entry_start);
+        let home = self.home_of_user(uid);
+        let candidates = self.serving_candidates(uid, false);
+        let routed_ns = if route_span.is_some() { velox_obs::trace::now_ns() } else { 0 };
+        tracer.finish_status_at(route_span, SpanStatus::Ok, routed_ns);
+
         let timer = std::time::Instant::now();
         let mut last = TransportError::Unavailable;
-        for node in self.serving_candidates(uid, false) {
+        for node in candidates {
             let Some(client) = self.peers.get(node) else { continue };
+            if node != home {
+                let fo =
+                    tracer.child_at(entry_ctx.as_ref(), SpanKind::Failover, FRONT_NODE, routed_ns);
+                tracer.finish_status_at(fo, SpanStatus::Ok, routed_ns);
+            }
             // no_forward: a live replica acts as owner when the home is
             // down (its clock is ahead of every record it has seen).
             let req = Request::Observe { uid, item_id, y, no_forward: true };
-            match client.call(&req) {
+            let rpc_span =
+                tracer.child_at(entry_ctx.as_ref(), SpanKind::RpcCall, FRONT_NODE, routed_ns);
+            let rpc_ctx = rpc_span.as_ref().map(|s| s.ctx());
+            match client.call_traced(&req, rpc_ctx.as_ref()) {
                 Ok(Response::Observed { node: at, ts, shipped_to }) => {
+                    let done_ns = if rpc_span.is_some() { velox_obs::trace::now_ns() } else { 0 };
+                    tracer.finish_status_at(rpc_span, SpanStatus::Ok, done_ns);
                     self.slots[node].lock().unwrap().requests_routed.inc();
-                    self.observe_us.record(timer.elapsed().as_micros() as u64);
+                    let us = timer.elapsed().as_micros() as u64;
+                    match trace_id {
+                        Some(t) => self.observe_us.record_exemplar(us, t),
+                        None => self.observe_us.record(us),
+                    }
+                    self.close_trace_entry(troot, tchild, SpanStatus::Ok, done_ns);
                     return Ok(TransportObserve {
                         node: at as NodeId,
                         ts,
                         shipped_to: shipped_to as usize,
+                        trace_id,
                     });
                 }
-                Ok(Response::Error { code, message }) => return Err(map_error(code, message)),
-                Ok(other) => {
-                    return Err(TransportError::Failed(format!("unexpected reply {other:?}")))
+                Ok(Response::Error { code, message }) => {
+                    tracer.finish_status(rpc_span, SpanStatus::Error);
+                    self.close_trace_entry(troot, tchild, SpanStatus::Error, 0);
+                    return Err(map_error(code, message));
                 }
-                Err(e) => last = TransportError::Failed(e.to_string()),
+                Ok(other) => {
+                    tracer.finish_status(rpc_span, SpanStatus::Error);
+                    self.close_trace_entry(troot, tchild, SpanStatus::Error, 0);
+                    return Err(TransportError::Failed(format!("unexpected reply {other:?}")));
+                }
+                Err(e) => {
+                    tracer.finish_status(rpc_span, SpanStatus::Error);
+                    last = TransportError::Failed(e.to_string());
+                }
             }
         }
         if matches!(last, TransportError::Unavailable) {
             self.unavailable.inc();
         }
+        self.close_trace_entry(troot, tchild, SpanStatus::Error, 0);
         Err(last)
+    }
+
+    fn tracer(&self) -> Arc<Tracer> {
+        Arc::clone(&self.tracer)
     }
 
     fn fetch_weights(&self, uid: u64) -> Result<Option<Vec<f64>>, TransportError> {

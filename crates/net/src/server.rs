@@ -23,13 +23,38 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::frame::{read_frame, write_frame, FrameError};
+use velox_obs::TraceContext;
+
+use crate::frame::{read_frame_ext, write_frame, FrameError};
 use crate::rpc::{ErrorCode, Request, Response};
+
+/// Per-request transport metadata handed to [`Handler::handle_traced`]:
+/// the propagated trace context (if the caller sent one) plus the
+/// trace-clock time the request frame finished arriving, which lets the
+/// handler account decode + dispatch ("server queue wait") to a span.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RpcContext {
+    /// Trace context from the frame header extension, if any.
+    pub trace: Option<TraceContext>,
+    /// [`velox_obs::trace::now_ns`] right after the frame was read
+    /// (0 when the request carried no trace context).
+    pub recv_ns: u64,
+    /// Unknown header-extension TLVs skipped while decoding the frame.
+    pub unknown_exts: u32,
+}
 
 /// Implemented by whatever owns the node's state; called once per frame.
 pub trait Handler: Send + Sync + 'static {
     /// Produces the response for one decoded request.
     fn handle(&self, req: Request) -> Response;
+
+    /// Like [`Handler::handle`], but with transport metadata. The default
+    /// ignores the metadata, so plain closures keep working; trace-aware
+    /// handlers (the cluster's `NodeState`) override this.
+    fn handle_traced(&self, req: Request, rpc: RpcContext) -> Response {
+        let _ = rpc;
+        self.handle(req)
+    }
 }
 
 impl<F> Handler for F
@@ -173,20 +198,32 @@ impl Drop for NetServer {
 
 /// One connection's request/response loop: runs until the peer closes,
 /// the bytes stop parsing, or the server shuts down.
-fn serve_connection(mut stream: TcpStream, handler: &dyn Handler, stop: &AtomicBool) {
+fn serve_connection(stream: TcpStream, handler: &dyn Handler, stop: &AtomicBool) {
+    // Buffer the read side so one kernel read covers the whole frame —
+    // extended frames are parsed in several small reads (header, ext_len,
+    // ext, payload) that must not each cost a syscall. Writes stay on the
+    // raw stream; `&TcpStream` is `Read + Write`, so shutdown still
+    // severs both sides.
+    let mut reader = std::io::BufReader::with_capacity(4096, &stream);
+    let mut writer = &stream;
     loop {
-        let payload = match read_frame(&mut stream) {
+        let (payload, meta) = match read_frame_ext(&mut reader) {
             Ok(p) => p,
             Err(_) => return, // orderly close, torn frame, or severed by shutdown
         };
         if stop.load(Ordering::Acquire) {
             return;
         }
+        let rpc = RpcContext {
+            trace: meta.trace,
+            recv_ns: if meta.trace.is_some() { velox_obs::trace::now_ns() } else { 0 },
+            unknown_exts: meta.unknown_exts,
+        };
         let response = match Request::decode(&payload) {
-            Ok(req) => handler.handle(req),
+            Ok(req) => handler.handle_traced(req, rpc),
             Err(e) => Response::Error { code: ErrorCode::BadRequest, message: e.to_string() },
         };
-        if let Err(err) = write_frame(&mut stream, &response.encode()) {
+        if let Err(err) = write_frame(&mut writer, &response.encode()) {
             // A client that vanished mid-response is routine; anything else
             // still just drops the connection (the client will redial).
             let _ = err;
@@ -204,6 +241,7 @@ pub fn frame_error_is_fatal(err: &FrameError) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frame::read_frame;
 
     fn echo_server() -> NetServer {
         NetServer::bind(

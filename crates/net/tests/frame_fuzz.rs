@@ -11,8 +11,11 @@
 use std::io::Cursor;
 
 use velox_data::VeloxRng;
-use velox_net::frame::{read_frame, write_frame, FrameError};
+use velox_net::frame::{
+    read_frame, read_frame_ext, write_frame, write_frame_ext, FrameError, FrameMeta,
+};
 use velox_net::rpc::{Request, Response};
+use velox_obs::TraceContext;
 use velox_storage::Observation;
 
 const SEED: u64 = 0x5EED_F4A3;
@@ -120,6 +123,118 @@ fn random_garbage_never_panics() {
         let _ = read_frame(&mut Cursor::new(&garbage));
         let _ = Request::decode(&garbage);
         let _ = Response::decode(&garbage);
+    }
+}
+
+fn random_ctx(rng: &mut VeloxRng) -> TraceContext {
+    TraceContext {
+        trace_id: rng.next_u64() | 1,
+        span_id: rng.next_u64() | 1,
+        sampled: rng.below(2) == 1,
+    }
+}
+
+fn encode_traced_frame(payload: &[u8], ctx: &TraceContext) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_frame_ext(&mut buf, payload, Some(ctx)).expect("encode traced");
+    buf
+}
+
+/// Decodes one extended frame, asserting payload and metadata match when
+/// the decode is accepted.
+fn ext_decodes_to(bytes: &[u8], expect: Option<(&[u8], &FrameMeta)>) -> bool {
+    match read_frame_ext(&mut Cursor::new(bytes)) {
+        Ok((p, meta)) => {
+            if let Some((want, want_meta)) = expect {
+                assert_eq!(p, want, "traced frame decoded to different payload bytes");
+                assert_eq!(&meta, want_meta, "traced frame decoded to different metadata");
+            }
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// The truncation battery over frames carrying a header-extension trace
+/// TLV: every proper prefix must be rejected, exactly like plain frames.
+#[test]
+fn traced_frames_survive_truncation_battery() {
+    let mut rng = VeloxRng::seed_from(SEED ^ 4);
+    for round in 0..4 {
+        let payload = random_payload(&mut rng);
+        let ctx = random_ctx(&mut rng);
+        let meta = FrameMeta { trace: Some(ctx), unknown_exts: 0 };
+        let raw = encode_traced_frame(&payload, &ctx);
+        assert!(
+            ext_decodes_to(&raw, Some((&payload, &meta))),
+            "round {round}: pristine traced frame must decode"
+        );
+        for t in 0..TRUNCATIONS {
+            let cut = if t == 0 { 0 } else { (rng.below(raw.len() as u64 - 1) + 1) as usize };
+            if cut == raw.len() {
+                continue;
+            }
+            assert!(
+                !ext_decodes_to(&raw[..cut], None),
+                "round {round}: accepted a {cut}-byte truncation of a {}-byte traced frame",
+                raw.len()
+            );
+        }
+    }
+}
+
+/// The bit-flip battery over traced frames. The extension section — the
+/// flag bit, `ext_len`, and the TLV bytes — is covered by the same CRC as
+/// the payload, so a flip anywhere (including clearing `FLAG_EXT` itself,
+/// which re-frames the bytes) must never be silently absorbed: either the
+/// read errors, or it reproduces the exact payload *and* trace context.
+#[test]
+fn traced_frames_survive_bit_flip_battery() {
+    let mut rng = VeloxRng::seed_from(SEED ^ 5);
+    for round in 0..4 {
+        let payload = random_payload(&mut rng);
+        let ctx = random_ctx(&mut rng);
+        let meta = FrameMeta { trace: Some(ctx), unknown_exts: 0 };
+        let raw = encode_traced_frame(&payload, &ctx);
+        for _ in 0..BIT_FLIPS {
+            let byte = rng.below(raw.len() as u64) as usize;
+            let bit = rng.below(8) as u8;
+            let mut flipped = raw.clone();
+            flipped[byte] ^= 1 << bit;
+            if ext_decodes_to(&flipped, Some((&payload, &meta))) {
+                panic!(
+                    "round {round}: accepted a bit flip at byte {byte} bit {bit} \
+                     of a traced frame (decode matched, so the flip was silently absorbed)"
+                );
+            }
+        }
+    }
+}
+
+/// Full single-bit-flip coverage of one traced RPC frame: every flip is
+/// rejected, or decodes to the identical payload and trace context.
+#[test]
+fn traced_rpc_frame_rejects_every_single_bit_flip() {
+    let ctx = TraceContext {
+        trace_id: 0xfeed_beef_cafe_f00d,
+        span_id: 0x0123_4567_89ab_cdef,
+        sampled: true,
+    };
+    let payload = Request::Observe { uid: 3, item_id: 9, y: 0.75, no_forward: true }.encode();
+    let raw = encode_traced_frame(&payload, &ctx);
+    let meta = FrameMeta { trace: Some(ctx), unknown_exts: 0 };
+    for byte in 0..raw.len() {
+        for bit in 0..8 {
+            let mut flipped = raw.clone();
+            flipped[byte] ^= 1 << bit;
+            if let Ok((p, m)) = read_frame_ext(&mut Cursor::new(&flipped)) {
+                assert_eq!(
+                    (p, m),
+                    (payload.clone(), meta),
+                    "flip at byte {byte} bit {bit} absorbed"
+                );
+            }
+        }
     }
 }
 

@@ -39,6 +39,7 @@ fn start_net(wal_root: Option<&ScratchDir>, user_replication: usize) -> NetClust
         wal_root: wal_root.map(|d| d.path().to_path_buf()),
         workers: 8,
         request_timeout: Duration::from_secs(2),
+        ..Default::default()
     })
     .expect("start loopback cluster");
     cluster.publish_item_features(seeded_items());

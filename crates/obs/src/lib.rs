@@ -25,6 +25,10 @@
 //! - [`Registry`]: a named collection of the above, snapshotable as plain
 //!   data ([`RegistrySnapshot`]) and renderable as Prometheus-style text
 //!   exposition for the REST `/metrics` endpoint.
+//! - [`Tracer`] / [`TraceContext`] / [`SpanRing`] (module [`trace`]):
+//!   end-to-end request tracing with head + tail sampling, lock-free
+//!   per-node span rings, and span-tree reassembly — the "where did the
+//!   p99 go" companion to the histograms above.
 //!
 //! ## Metric naming scheme
 //!
@@ -47,8 +51,13 @@ pub mod events;
 pub mod metrics;
 pub mod registry;
 pub mod timer;
+pub mod trace;
 
 pub use events::{Event, EventKind, EventLog};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{MetricSample, MetricValue, Registry, RegistrySnapshot};
 pub use timer::{CoarseClock, ObsConfig, SpanTimer, Timer, TimerMode, COARSE_REFRESH_INTERVAL};
+pub use trace::{
+    build_tree, structure, ActiveSpan, KeepDecision, KeepReason, KeptTrace, RootSpan, SpanKind,
+    SpanRecord, SpanRing, SpanStatus, TraceConfig, TraceContext, TraceNode, Tracer, FRONT_NODE,
+};

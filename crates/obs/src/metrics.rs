@@ -93,6 +93,11 @@ pub struct Histogram {
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
+    /// Last sampled trace_id per bucket (0 = none): OpenMetrics-style
+    /// exemplars linking high-latency buckets to traces. Written only by
+    /// [`Histogram::record_exemplar`]; plain [`Histogram::record`] never
+    /// touches it.
+    exemplars: [AtomicU64; HISTOGRAM_BUCKETS],
 }
 
 impl Default for Histogram {
@@ -109,6 +114,7 @@ impl Histogram {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
+            exemplars: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -142,6 +148,19 @@ impl Histogram {
         self.max.fetch_max(value, Ordering::Relaxed);
     }
 
+    /// Records one sample and attaches `trace_id` as the bucket's
+    /// exemplar (last writer wins), so `/metrics` readers can jump from a
+    /// latency bucket straight to the trace that landed there. One extra
+    /// relaxed store over [`Histogram::record`]; `trace_id == 0` records
+    /// the sample without updating the exemplar.
+    #[inline]
+    pub fn record_exemplar(&self, value: u64, trace_id: u64) {
+        self.record(value);
+        if trace_id != 0 {
+            self.exemplars[Self::bucket_of(value)].store(trace_id, Ordering::Relaxed);
+        }
+    }
+
     /// Records a [`std::time::Duration`] as nanoseconds.
     #[inline]
     pub fn record_duration(&self, d: std::time::Duration) {
@@ -170,6 +189,7 @@ impl Histogram {
             sum: self.sum.load(Ordering::Relaxed),
             max: self.max.load(Ordering::Relaxed),
             buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            exemplars: std::array::from_fn(|i| self.exemplars[i].load(Ordering::Relaxed)),
         }
     }
 }
@@ -185,12 +205,20 @@ pub struct HistogramSnapshot {
     pub max: u64,
     /// Per-bucket sample counts; bucket `i` covers `[2^i, 2^(i+1))`.
     pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Per-bucket exemplar trace_ids (0 = none recorded).
+    pub exemplars: [u64; HISTOGRAM_BUCKETS],
 }
 
 impl HistogramSnapshot {
     /// An empty snapshot.
     pub fn empty() -> Self {
-        HistogramSnapshot { count: 0, sum: 0, max: 0, buckets: [0; HISTOGRAM_BUCKETS] }
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+            exemplars: [0; HISTOGRAM_BUCKETS],
+        }
     }
 
     /// Mean sample value in nanoseconds (0 when empty).
@@ -202,22 +230,37 @@ impl HistogramSnapshot {
         }
     }
 
-    /// The `q`-quantile (`0.0..=1.0`) in nanoseconds: the upper bound of
-    /// the bucket containing that rank, clamped to the observed max.
-    pub fn quantile(&self, q: f64) -> u64 {
+    /// The `q`-quantile (`0.0..=1.0`) in nanoseconds, or `None` when the
+    /// histogram is empty (an empty histogram has no quantiles; callers
+    /// that want a sentinel use [`HistogramSnapshot::quantile`]).
+    ///
+    /// The estimate is the upper bound of the bucket containing the rank,
+    /// clamped to the observed max — so when every sample landed in one
+    /// bucket, all quantiles collapse to the observed max rather than the
+    /// (possibly much larger) bucket bound. A non-finite `q` (NaN /
+    /// infinity) is treated as `1.0`; a torn concurrent snapshot whose
+    /// bucket counts undershoot `count` also degrades to the max.
+    pub fn try_quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
-        let q = q.clamp(0.0, 1.0);
+        let q = if q.is_finite() { q.clamp(0.0, 1.0) } else { 1.0 };
         let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return Histogram::bucket_upper_bound(i).min(self.max);
+                return Some(Histogram::bucket_upper_bound(i).min(self.max));
             }
         }
-        self.max
+        Some(self.max)
+    }
+
+    /// Like [`HistogramSnapshot::try_quantile`], but returns the sentinel
+    /// `0` for an empty histogram — convenient for tables and gauges
+    /// where "no data" renders the same as zero latency.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.try_quantile(q).unwrap_or(0)
     }
 
     /// Median (ns).
@@ -242,6 +285,11 @@ impl HistogramSnapshot {
         self.max = self.max.max(other.max);
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *a += b;
+        }
+        for (a, b) in self.exemplars.iter_mut().zip(other.exemplars.iter()) {
+            if *b != 0 {
+                *a = *b;
+            }
         }
     }
 }
@@ -324,6 +372,66 @@ mod tests {
         let s = Histogram::new().snapshot();
         assert_eq!((s.count, s.max, s.p50(), s.p99()), (0, 0, 0, 0));
         assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let s = Histogram::new().snapshot();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.try_quantile(q), None, "empty histogram must report no quantile");
+            assert_eq!(s.quantile(q), 0, "sentinel for empty histogram is 0");
+        }
+    }
+
+    #[test]
+    fn single_bucket_quantiles_return_observed_max_not_bucket_bound() {
+        // All samples in bucket [64, 128): a naive implementation would
+        // report the bucket bound 127 for every quantile.
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(100);
+        }
+        let s = h.snapshot();
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(s.try_quantile(q), Some(100), "single-value histogram: q={q}");
+        }
+        // Single sample: same story.
+        let h = Histogram::new();
+        h.record(77);
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 77);
+        assert_eq!(s.p99(), 77);
+    }
+
+    #[test]
+    fn non_finite_quantile_degrades_to_max() {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(2000);
+        let s = h.snapshot();
+        assert_eq!(s.try_quantile(f64::NAN), Some(s.quantile(1.0)));
+        assert_eq!(s.try_quantile(f64::INFINITY), Some(s.quantile(1.0)));
+    }
+
+    #[test]
+    fn exemplars_attach_to_buckets_and_survive_merge() {
+        let h = Histogram::new();
+        h.record(100); // plain record: no exemplar
+        h.record_exemplar(100, 0xabc);
+        h.record_exemplar(1_000_000, 0xdef);
+        h.record_exemplar(50, 0); // zero trace_id: sample only
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.exemplars[Histogram::bucket_of(100)], 0xabc);
+        assert_eq!(s.exemplars[Histogram::bucket_of(1_000_000)], 0xdef);
+        assert_eq!(s.exemplars[Histogram::bucket_of(50)], 0);
+
+        let other = Histogram::new();
+        other.record_exemplar(100, 0x123);
+        let mut merged = s.clone();
+        merged.merge(&other.snapshot());
+        assert_eq!(merged.exemplars[Histogram::bucket_of(100)], 0x123, "newest exemplar wins");
+        assert_eq!(merged.exemplars[Histogram::bucket_of(1_000_000)], 0xdef, "absent stays");
     }
 
     #[test]

@@ -308,8 +308,18 @@ impl RegistrySnapshot {
                     for i in 0..highest {
                         cumulative += h.buckets[i];
                         let le = crate::Histogram::bucket_upper_bound(i);
+                        // OpenMetrics-style exemplar suffix: ties the
+                        // bucket to the last sampled trace that landed in
+                        // it, so a p99 spike on /metrics links straight to
+                        // GET /trace/<id>. The exemplar value is the
+                        // bucket bound (per-sample values aren't retained).
+                        let exemplar = if h.exemplars[i] != 0 {
+                            format!(" # {{trace_id=\"{:016x}\"}} {le}", h.exemplars[i])
+                        } else {
+                            String::new()
+                        };
                         out.push_str(&format!(
-                            "{}_bucket{} {cumulative}\n",
+                            "{}_bucket{} {cumulative}{exemplar}\n",
                             m.name,
                             Self::fmt_labels_with_le(&m.labels, extra_labels, &le.to_string())
                         ));
@@ -444,6 +454,25 @@ mod tests {
             assert!(v >= last);
             last = v;
         }
+    }
+
+    #[test]
+    fn exemplars_render_on_bucket_lines() {
+        let r = Registry::new();
+        let h = r.histogram("velox_e_latency_ns");
+        h.record(100); // no exemplar on this bucket
+        h.record_exemplar(1_000_000, 0xabcdef);
+        let text = r.render_prometheus(&[]);
+        assert!(
+            text.contains("# {trace_id=\"0000000000abcdef\"}"),
+            "exemplar missing from exposition:\n{text}"
+        );
+        // The untouched bucket renders without an exemplar suffix.
+        let bucket_100 = text
+            .lines()
+            .find(|l| l.contains("le=\"127\""))
+            .expect("bucket for 100ns sample rendered");
+        assert!(!bucket_100.contains('#'), "unexpected exemplar: {bucket_100}");
     }
 
     #[test]

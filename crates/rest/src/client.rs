@@ -217,6 +217,8 @@ pub struct ClientClusterPredict {
     pub routed: bool,
     /// No weights existed for the user; the score is the zero prior.
     pub cold_start: bool,
+    /// Hex trace id when the request was sampled (`GET /trace/<id>`).
+    pub trace_id: Option<String>,
 }
 
 /// A cluster-route observe acknowledgement (`POST /cluster/observe`).
@@ -228,6 +230,8 @@ pub struct ClientClusterObserve {
     pub ts: u64,
     /// Replicas the record was shipped to before the ack.
     pub shipped_to: usize,
+    /// Hex trace id when the request was sampled (`GET /trace/<id>`).
+    pub trace_id: Option<String>,
 }
 
 /// A typed client bound to one Velox REST endpoint and one model name.
@@ -542,6 +546,7 @@ impl VeloxClient {
             node: resp.get("node").and_then(Json::as_u64).unwrap_or(0) as usize,
             routed: resp.get("routed").and_then(Json::as_bool).unwrap_or(false),
             cold_start: resp.get("cold_start").and_then(Json::as_bool).unwrap_or(false),
+            trace_id: resp.get("trace_id").and_then(Json::as_str).map(String::from),
         })
     }
 
@@ -563,7 +568,20 @@ impl VeloxClient {
             node: resp.get("node").and_then(Json::as_u64).unwrap_or(0) as usize,
             ts: resp.get("ts").and_then(Json::as_u64).unwrap_or(0),
             shipped_to: resp.get("shipped_to").and_then(Json::as_u64).unwrap_or(0) as usize,
+            trace_id: resp.get("trace_id").and_then(Json::as_str).map(String::from),
         })
+    }
+
+    /// `GET /trace/<id>` — the reassembled span tree of one sampled
+    /// request, as raw JSON (`spans` flat, `tree` nested).
+    pub fn trace(&self, trace_id: &str) -> Result<Json, ClientError> {
+        self.call("GET", &format!("/trace/{trace_id}"), "")
+    }
+
+    /// `GET /traces/slow` — the kept-trace index (tail-latency offenders
+    /// and head samples, newest first), as raw JSON.
+    pub fn slow_traces(&self) -> Result<Json, ClientError> {
+        self.call("GET", "/traces/slow", "")
     }
 
     /// `GET /cluster/health` — per-node health labels, indexed by node id.

@@ -12,7 +12,10 @@ use velox_core::server::ModelSchema;
 use velox_core::{Velox, VeloxError, VeloxServer};
 use velox_linalg::Vector;
 use velox_models::Item;
-use velox_obs::{Gauge, Registry, RegistrySnapshot, Timer};
+use velox_obs::{
+    build_tree, Gauge, KeepReason, Registry, RegistrySnapshot, SpanKind, SpanRecord, Timer,
+    TraceNode, FRONT_NODE,
+};
 
 use crate::http::{read_request, write_response, write_response_with_headers, Request};
 use crate::json::Json;
@@ -310,6 +313,8 @@ fn endpoint_of(method: &str, segments: &[&str]) -> &'static str {
         ("GET", ["cluster", "health"]) => "cluster_health",
         ("POST", ["cluster", "predict"]) => "cluster_predict",
         ("POST", ["cluster", "observe"]) => "cluster_observe",
+        ("GET", ["trace", _]) => "trace",
+        ("GET", ["traces", "slow"]) => "traces_slow",
         _ => "other",
     }
 }
@@ -331,6 +336,14 @@ fn handle(
         ("GET", ["events"]) => (200, JSON_TYPE, events_json(server)),
         (_, ["cluster", ..]) => {
             let (status, body) = dispatch_cluster(cluster, request, &segments);
+            (status, JSON_TYPE, body)
+        }
+        ("GET", ["trace", id]) => {
+            let (status, body) = trace_json(cluster, id);
+            (status, JSON_TYPE, body)
+        }
+        ("GET", ["traces", "slow"]) => {
+            let (status, body) = slow_traces_json(cluster);
             (status, JSON_TYPE, body)
         }
         _ => {
@@ -621,7 +634,16 @@ fn dispatch_cluster(
             ) else {
                 return (400, error_json("body must contain uid and item_id"));
             };
-            match cluster.predict(uid, item_id) {
+            // REST ingress mints the trace root; the transport's spans
+            // (route, RPC, node work) hang off it.
+            let tracer = cluster.tracer();
+            let root = tracer.ingress(SpanKind::RestRequest, FRONT_NODE);
+            let ctx = root.as_ref().map(|r| r.ctx());
+            let result = cluster.predict_traced(uid, item_id, ctx.as_ref());
+            if let Some(r) = root {
+                tracer.end_root(r);
+            }
+            match result {
                 Err(e) => transport_error(&e),
                 Ok(p) => (
                     200,
@@ -630,6 +652,7 @@ fn dispatch_cluster(
                         ("node", Json::Number(p.node as f64)),
                         ("routed", Json::Bool(p.routed)),
                         ("cold_start", Json::Bool(p.cold_start)),
+                        ("trace_id", trace_id_json(p.trace_id)),
                     ])
                     .to_string(),
                 ),
@@ -647,7 +670,14 @@ fn dispatch_cluster(
             ) else {
                 return (400, error_json("body must contain uid, item_id, and y"));
             };
-            match cluster.observe(uid, item_id, y) {
+            let tracer = cluster.tracer();
+            let root = tracer.ingress(SpanKind::RestRequest, FRONT_NODE);
+            let ctx = root.as_ref().map(|r| r.ctx());
+            let result = cluster.observe_traced(uid, item_id, y, ctx.as_ref());
+            if let Some(r) = root {
+                tracer.end_root(r);
+            }
+            match result {
                 Err(e) => transport_error(&e),
                 Ok(ack) => (
                     200,
@@ -655,6 +685,7 @@ fn dispatch_cluster(
                         ("node", Json::Number(ack.node as f64)),
                         ("ts", Json::Number(ack.ts as f64)),
                         ("shipped_to", Json::Number(ack.shipped_to as f64)),
+                        ("trace_id", trace_id_json(ack.trace_id)),
                     ])
                     .to_string(),
                 ),
@@ -662,6 +693,110 @@ fn dispatch_cluster(
         }
         _ => (404, error_json(&format!("no route for {} {}", request.method, request.path))),
     }
+}
+
+/// Trace ids travel through JSON as zero-padded hex strings: an f64 JSON
+/// number can't hold all 64 bits.
+fn trace_id_json(t: Option<u64>) -> Json {
+    t.map(|t| Json::String(format!("{t:016x}"))).unwrap_or(Json::Null)
+}
+
+fn node_json(node: u32) -> Json {
+    if node == FRONT_NODE {
+        Json::String("front".to_string())
+    } else {
+        Json::Number(node as f64)
+    }
+}
+
+fn span_json(s: &SpanRecord) -> Vec<(&'static str, Json)> {
+    vec![
+        ("span_id", Json::String(format!("{:016x}", s.span_id))),
+        (
+            "parent_span_id",
+            if s.parent_span_id == 0 {
+                Json::Null
+            } else {
+                Json::String(format!("{:016x}", s.parent_span_id))
+            },
+        ),
+        ("kind", Json::String(s.kind.as_str().to_string())),
+        ("node", node_json(s.node)),
+        (
+            "status",
+            Json::String(
+                if s.status == velox_obs::SpanStatus::Ok { "ok" } else { "error" }.to_string(),
+            ),
+        ),
+        ("start_ns", Json::Number(s.start_ns as f64)),
+        ("duration_ns", Json::Number(s.duration_ns() as f64)),
+    ]
+}
+
+fn tree_json(node: &TraceNode) -> Json {
+    let mut fields = span_json(&node.span);
+    fields.push(("children", Json::Array(node.children.iter().map(tree_json).collect())));
+    Json::object(fields)
+}
+
+/// `GET /trace/<id>`: the reassembled span tree of one sampled request.
+/// `<id>` is the hex trace id returned by `/cluster/*` responses and
+/// `/traces/slow` (and attached to `/metrics` histogram exemplars).
+fn trace_json(cluster: Option<&(dyn Transport + Send + Sync)>, id: &str) -> (u16, String) {
+    let Some(cluster) = cluster else {
+        return (404, error_json("no cluster backend attached"));
+    };
+    let Ok(trace_id) = u64::from_str_radix(id, 16) else {
+        return (400, error_json("trace id must be hex"));
+    };
+    let tracer = cluster.tracer();
+    if !tracer.enabled() {
+        return (404, error_json("tracing is disabled on this backend"));
+    }
+    let spans = tracer.collect(trace_id);
+    if spans.is_empty() {
+        return (404, error_json("trace not found (unsampled, or aged out of the span rings)"));
+    }
+    let tree = build_tree(&spans);
+    let body = Json::object(vec![
+        ("trace_id", Json::String(format!("{trace_id:016x}"))),
+        ("span_count", Json::Number(spans.len() as f64)),
+        ("spans", Json::Array(spans.iter().map(|s| Json::object(span_json(s))).collect())),
+        ("tree", Json::Array(tree.iter().map(tree_json).collect())),
+    ]);
+    (200, body.to_string())
+}
+
+/// `GET /traces/slow`: the kept-trace index, newest first — tail-latency
+/// offenders (and head samples), each linking to `GET /trace/<id>`.
+fn slow_traces_json(cluster: Option<&(dyn Transport + Send + Sync)>) -> (u16, String) {
+    let Some(cluster) = cluster else {
+        return (404, error_json("no cluster backend attached"));
+    };
+    let tracer = cluster.tracer();
+    if !tracer.enabled() {
+        return (404, error_json("tracing is disabled on this backend"));
+    }
+    let traces: Vec<Json> = tracer
+        .kept()
+        .into_iter()
+        .map(|k| {
+            Json::object(vec![
+                ("trace_id", Json::String(format!("{:016x}", k.trace_id))),
+                ("root", Json::String(k.root_kind.as_str().to_string())),
+                ("duration_ns", Json::Number(k.duration_ns as f64)),
+                ("end_ns", Json::Number(k.end_ns as f64)),
+                (
+                    "reason",
+                    Json::String(
+                        if k.reason == KeepReason::Slow { "slow" } else { "head_sampled" }
+                            .to_string(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    (200, Json::object(vec![("traces", Json::Array(traces))]).to_string())
 }
 
 /// Recovery drill: rebuilds `name`'s deployment strictly from its durable

@@ -29,6 +29,7 @@ fn start_net_cluster() -> Arc<NetCluster> {
         wal_root: None,
         workers: 8,
         request_timeout: Duration::from_secs(2),
+        ..Default::default()
     })
     .expect("start loopback cluster");
     cluster.publish_item_features(seeded_items());

@@ -31,11 +31,27 @@ const fn build_table() -> [u32; 256] {
 
 /// CRC-32 of `data` in one shot.
 pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
+    crc32_finish(crc32_feed(crc32_begin(), data))
+}
+
+/// Starts an incremental CRC-32 over a region that arrives in chunks
+/// (e.g. a frame-header extension followed by the payload), so callers
+/// never have to concatenate buffers just to checksum them.
+pub fn crc32_begin() -> u32 {
+    0xFFFF_FFFF
+}
+
+/// Folds `data` into a running CRC-32 state from [`crc32_begin`].
+pub fn crc32_feed(mut state: u32, data: &[u8]) -> u32 {
     for &b in data {
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        state = (state >> 8) ^ TABLE[((state ^ b as u32) & 0xFF) as usize];
     }
-    !crc
+    state
+}
+
+/// Finalizes an incremental CRC-32 state into the checksum value.
+pub fn crc32_finish(state: u32) -> u32 {
+    !state
 }
 
 #[cfg(test)]
@@ -48,6 +64,16 @@ mod tests {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot_at_every_split() {
+        let data = b"velox incremental checksum";
+        let want = crc32(data);
+        for split in 0..=data.len() {
+            let state = crc32_feed(crc32_begin(), &data[..split]);
+            assert_eq!(crc32_finish(crc32_feed(state, &data[split..])), want, "split {split}");
+        }
     }
 
     #[test]

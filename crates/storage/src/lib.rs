@@ -47,12 +47,12 @@ pub mod tmp;
 pub mod wal;
 
 pub use checkpoint::{CheckpointData, CheckpointStore};
-pub use crc::crc32;
+pub use crc::{crc32, crc32_begin, crc32_feed, crc32_finish};
 pub use kv::{KvStore, Namespace, VersionedValue};
 pub use lru::LruCache;
 pub use obslog::{Observation, ObservationLog};
 pub use tmp::ScratchDir;
-pub use wal::{FsyncPolicy, Wal, WalConfig, WalRecovery};
+pub use wal::{FsyncPolicy, Wal, WalAppendTiming, WalConfig, WalRecovery};
 
 /// Errors surfaced by the storage layer.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -130,6 +130,15 @@ pub struct WalRecovery {
     pub quarantined: usize,
 }
 
+/// Where one [`Wal::append_timed`] call spent its time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalAppendTiming {
+    /// Serialize + buffered write (+ any segment rotation), nanoseconds.
+    pub append_ns: u64,
+    /// The fsync, when the policy issued one on this append; 0 otherwise.
+    pub fsync_ns: u64,
+}
+
 /// Append/flush counters, shareable with a metrics registry.
 #[derive(Clone)]
 pub struct WalStats {
@@ -407,6 +416,16 @@ impl Wal {
     /// Appends one record, honoring the fsync policy. On return `Ok`, the
     /// record is on disk (modulo the policy's loss window).
     pub fn append(&mut self, obs: &Observation) -> Result<()> {
+        self.append_timed(obs).map(|_| ())
+    }
+
+    /// [`Wal::append`] that also reports where the time went, so the
+    /// serving layer can attribute the observe ack's tail to the buffered
+    /// write vs the fsync (the two behave very differently under
+    /// [`FsyncPolicy`]). Two extra `Instant` reads over plain `append` —
+    /// noise next to the write syscall it times.
+    pub fn append_timed(&mut self, obs: &Observation) -> Result<WalAppendTiming> {
+        let append_started = std::time::Instant::now();
         let needs_rotation = match &self.current {
             None => true,
             Some(seg) => seg.bytes + RECORD_LEN as u64 > self.config.segment_max_bytes,
@@ -430,7 +449,10 @@ impl Wal {
         seg.bytes += RECORD_LEN as u64;
         self.stats.appends.inc();
         self.stats.bytes_written.add(RECORD_LEN as u64);
+        let append_ns = append_started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
 
+        let fsyncs_before = self.stats.fsyncs.get();
+        let sync_started = std::time::Instant::now();
         match self.config.fsync {
             FsyncPolicy::PerRecord => self.sync()?,
             FsyncPolicy::Batched { every } => {
@@ -441,7 +463,12 @@ impl Wal {
             }
             FsyncPolicy::Off => {}
         }
-        Ok(())
+        let fsync_ns = if self.stats.fsyncs.get() > fsyncs_before {
+            sync_started.elapsed().as_nanos().min(u64::MAX as u128) as u64
+        } else {
+            0
+        };
+        Ok(WalAppendTiming { append_ns, fsync_ns })
     }
 
     /// Flushes the current segment to stable storage.

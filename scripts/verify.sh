@@ -22,8 +22,15 @@ echo "==> velox-net loopback cluster tests (offline)"
 cargo test --release --offline -q -p velox-net --test log_shipping
 cargo test --release --offline -q -p velox-net --test frame_fuzz
 
+echo "==> velox-net tracing tests (offline)"
+cargo test --release --offline -q -p velox-net --test tracing
+cargo test --release --offline -q -p velox-rest --test trace_endpoints
+
 echo "==> net serving latency smoke (offline)"
 cargo run --release --offline -q -p velox-bench --bin abl_net -- --smoke > /dev/null
+
+echo "==> tracing overhead smoke (<5% hot-path cost, offline)"
+cargo run --release --offline -q -p velox-bench --bin trace_overhead -- --smoke > /dev/null
 
 echo "==> chaos availability smoke (offline)"
 cargo run --release --offline -q -p velox-bench --bin abl_chaos -- --smoke > /dev/null
