@@ -146,6 +146,7 @@ fn hop_breakdown(iters: usize, smoke: bool) {
         workers: 8,
         request_timeout: Duration::from_secs(5),
         trace: TraceConfig::sample_all(),
+        ..Default::default()
     })
     .expect("start traced cluster");
     net.publish_item_features(seeded_items());

@@ -48,6 +48,7 @@ fn start_cluster(trace: TraceConfig) -> NetCluster {
         workers: 8,
         request_timeout: Duration::from_secs(5),
         trace,
+        ..Default::default()
     })
     .expect("start loopback cluster");
     net.publish_item_features((0..N_ITEMS).map(|i| (i, item_features(i))).collect());

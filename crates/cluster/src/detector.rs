@@ -1,0 +1,307 @@
+//! Heartbeat-driven failure detection with suspect/dead thresholds.
+//!
+//! Per-request timeouts discover a dead peer over and over, one blown
+//! deadline at a time. A [`FailureDetector`] amortizes that discovery:
+//! a probe loop (plus piggybacked data-plane outcomes) feeds per-peer
+//! consecutive-miss counts, and routing consults the resulting
+//! [`PeerState`] so failover happens on *suspicion* — before a request
+//! has to burn its deadline finding out. Thresholds are deliberately
+//! two-stage: a `Suspect` peer is deprioritized but still reachable
+//! (one miss may be a lost probe, not a dead peer); a `Dead` peer is
+//! skipped outright until it proves itself again.
+//!
+//! The detector is transport-agnostic: `velox-net` drives it from a
+//! heartbeat thread over real sockets, and `SimTransport` feeds it from
+//! simulated attempt outcomes, so `/cluster/health` reports the same
+//! shape on both backends.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+
+use velox_obs::{Gauge, Registry};
+
+/// Liveness verdict for one peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerState {
+    /// Responding to probes.
+    Alive,
+    /// Missed `suspect_after` consecutive probes: deprioritized for
+    /// routing but still tried as a fallback.
+    Suspect,
+    /// Missed `dead_after` consecutive probes: skipped by routing until
+    /// a probe succeeds again.
+    Dead,
+}
+
+impl PeerState {
+    /// Stable snake_case label (for metrics and `/cluster/health`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PeerState::Alive => "alive",
+            PeerState::Suspect => "suspect",
+            PeerState::Dead => "dead",
+        }
+    }
+
+    /// Compact encoding for lock-free storage in an `AtomicU8`.
+    pub fn encode(self) -> u8 {
+        match self {
+            PeerState::Alive => 0,
+            PeerState::Suspect => 1,
+            PeerState::Dead => 2,
+        }
+    }
+
+    /// Inverse of [`PeerState::encode`]; unknown values decode to `Alive`.
+    pub fn decode(v: u8) -> PeerState {
+        match v {
+            1 => PeerState::Suspect,
+            2 => PeerState::Dead,
+            _ => PeerState::Alive,
+        }
+    }
+}
+
+/// Consecutive-miss thresholds for the two-stage verdict.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorConfig {
+    /// Consecutive misses before a peer turns `Suspect`.
+    pub suspect_after: u32,
+    /// Consecutive misses before a peer turns `Dead`.
+    pub dead_after: u32,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig { suspect_after: 2, dead_after: 5 }
+    }
+}
+
+/// One peer's liveness, as reported by `/cluster/health`.
+#[derive(Debug, Clone, Copy)]
+pub struct PeerLiveness {
+    /// Peer id.
+    pub node: u32,
+    /// Current verdict.
+    pub state: PeerState,
+    /// Consecutive probe misses.
+    pub misses: u32,
+    /// Round-trip time of the last successful probe, in microseconds.
+    pub last_rtt_us: u64,
+    /// Total probe outcomes recorded (successes + failures).
+    pub probes: u64,
+    /// Total probe failures recorded.
+    pub failures: u64,
+}
+
+struct Slot {
+    // State math runs under the mutex (misses + transition decision);
+    // the atomics mirror the results for lock-free readers on the
+    // serving path.
+    core: Mutex<u32>, // consecutive misses
+    state: AtomicU8,
+    last_rtt_us: AtomicU64,
+    probes: AtomicU64,
+    failures: AtomicU64,
+}
+
+/// Per-peer liveness from consecutive probe outcomes.
+pub struct FailureDetector {
+    config: DetectorConfig,
+    slots: Vec<Slot>,
+    exports: Mutex<Vec<Arc<Gauge>>>,
+}
+
+impl std::fmt::Debug for FailureDetector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FailureDetector")
+            .field("peers", &self.slots.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl FailureDetector {
+    /// A detector tracking `n_peers` peers.
+    pub fn new(n_peers: usize, config: DetectorConfig) -> Self {
+        let slots = (0..n_peers)
+            .map(|_| Slot {
+                core: Mutex::new(0),
+                state: AtomicU8::new(PeerState::Alive.encode()),
+                last_rtt_us: AtomicU64::new(0),
+                probes: AtomicU64::new(0),
+                failures: AtomicU64::new(0),
+            })
+            .collect();
+        FailureDetector { config, slots, exports: Mutex::new(Vec::new()) }
+    }
+
+    /// Number of peers tracked.
+    pub fn n_peers(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Current verdict for `peer` (lock-free).
+    pub fn state(&self, peer: u32) -> PeerState {
+        PeerState::decode(self.slots[peer as usize].state.load(Ordering::Acquire))
+    }
+
+    /// Records a successful probe (or data-plane call) to `peer` with the
+    /// observed round trip. Returns the previous state when this outcome
+    /// *revived* the peer — the caller's cue to run heal work (e.g. drain
+    /// a ship backlog).
+    pub fn record_success(&self, peer: u32, rtt_us: u64) -> Option<PeerState> {
+        let slot = &self.slots[peer as usize];
+        slot.probes.fetch_add(1, Ordering::Relaxed);
+        slot.last_rtt_us.store(rtt_us, Ordering::Relaxed);
+        // Fast path: already alive with no misses — skip the lock.
+        if slot.state.load(Ordering::Acquire) == PeerState::Alive.encode() {
+            let mut misses = slot.core.lock().unwrap();
+            *misses = 0;
+            return None;
+        }
+        let mut misses = slot.core.lock().unwrap();
+        *misses = 0;
+        let old = PeerState::decode(slot.state.swap(PeerState::Alive.encode(), Ordering::AcqRel));
+        if old == PeerState::Alive {
+            None
+        } else {
+            Some(old)
+        }
+    }
+
+    /// Records a missed probe (or failed data-plane call) to `peer`.
+    /// Returns the new state when the verdict changed.
+    pub fn record_failure(&self, peer: u32) -> Option<PeerState> {
+        let slot = &self.slots[peer as usize];
+        slot.probes.fetch_add(1, Ordering::Relaxed);
+        slot.failures.fetch_add(1, Ordering::Relaxed);
+        let mut misses = slot.core.lock().unwrap();
+        *misses = misses.saturating_add(1);
+        let new = if *misses >= self.config.dead_after {
+            PeerState::Dead
+        } else if *misses >= self.config.suspect_after {
+            PeerState::Suspect
+        } else {
+            PeerState::Alive
+        };
+        let old = PeerState::decode(slot.state.swap(new.encode(), Ordering::AcqRel));
+        if old == new {
+            None
+        } else {
+            Some(new)
+        }
+    }
+
+    /// Forces `peer` to `state` (used when the runtime *knows* — e.g. it
+    /// just killed or recovered the node — rather than waiting for the
+    /// probe loop to find out).
+    pub fn force(&self, peer: u32, state: PeerState) {
+        let slot = &self.slots[peer as usize];
+        let mut misses = slot.core.lock().unwrap();
+        *misses = match state {
+            PeerState::Alive => 0,
+            PeerState::Suspect => self.config.suspect_after,
+            PeerState::Dead => self.config.dead_after,
+        };
+        slot.state.store(state.encode(), Ordering::Release);
+    }
+
+    /// Snapshot of every peer's liveness.
+    pub fn snapshot(&self) -> Vec<PeerLiveness> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| PeerLiveness {
+                node: i as u32,
+                state: PeerState::decode(s.state.load(Ordering::Acquire)),
+                misses: *s.core.lock().unwrap(),
+                last_rtt_us: s.last_rtt_us.load(Ordering::Relaxed),
+                probes: s.probes.load(Ordering::Relaxed),
+                failures: s.failures.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Registers per-peer state gauges (`velox_detector_state`, encoded
+    /// 0=alive 1=suspect 2=dead) and RTT gauges with `registry`. Call
+    /// [`FailureDetector::export`] to refresh the gauges.
+    pub fn register_metrics(&self, registry: &Registry) {
+        let mut exports = self.exports.lock().unwrap();
+        exports.clear();
+        for i in 0..self.slots.len() {
+            let label = i.to_string();
+            let g = registry.gauge_with("velox_detector_state", &[("node", &label)]);
+            exports.push(g);
+            let rtt = registry.gauge_with("velox_detector_last_rtt_us", &[("node", &label)]);
+            exports.push(rtt);
+        }
+        self.export();
+    }
+
+    /// Pushes current per-peer state into the registered gauges.
+    pub fn export(&self) {
+        let exports = self.exports.lock().unwrap();
+        if exports.is_empty() {
+            return;
+        }
+        for (i, s) in self.slots.iter().enumerate() {
+            exports[i * 2].set(s.state.load(Ordering::Acquire) as i64);
+            exports[i * 2 + 1].set(s.last_rtt_us.load(Ordering::Relaxed) as i64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_drive_two_stage_verdict() {
+        let d = FailureDetector::new(2, DetectorConfig { suspect_after: 2, dead_after: 4 });
+        assert_eq!(d.state(0), PeerState::Alive);
+        assert_eq!(d.record_failure(0), None); // 1 miss: still alive
+        assert_eq!(d.record_failure(0), Some(PeerState::Suspect)); // 2
+        assert_eq!(d.record_failure(0), None); // 3: still suspect
+        assert_eq!(d.record_failure(0), Some(PeerState::Dead)); // 4
+        assert_eq!(d.record_failure(0), None); // stays dead
+        assert_eq!(d.state(0), PeerState::Dead);
+        assert_eq!(d.state(1), PeerState::Alive, "peers are independent");
+    }
+
+    #[test]
+    fn success_revives_and_reports_previous_state() {
+        let d = FailureDetector::new(1, DetectorConfig { suspect_after: 1, dead_after: 2 });
+        d.record_failure(0);
+        d.record_failure(0);
+        assert_eq!(d.state(0), PeerState::Dead);
+        assert_eq!(d.record_success(0, 120), Some(PeerState::Dead));
+        assert_eq!(d.state(0), PeerState::Alive);
+        assert_eq!(d.record_success(0, 80), None, "already alive: no transition");
+        let snap = d.snapshot();
+        assert_eq!(snap[0].last_rtt_us, 80);
+        assert_eq!(snap[0].failures, 2);
+        assert_eq!(snap[0].probes, 4);
+    }
+
+    #[test]
+    fn force_overrides_probe_history() {
+        let d = FailureDetector::new(1, DetectorConfig::default());
+        d.force(0, PeerState::Dead);
+        assert_eq!(d.state(0), PeerState::Dead);
+        d.force(0, PeerState::Alive);
+        assert_eq!(d.state(0), PeerState::Alive);
+        // A forced-alive peer starts from zero misses.
+        assert_eq!(d.record_failure(0), None);
+    }
+
+    #[test]
+    fn labels_and_encoding_are_stable() {
+        for s in [PeerState::Alive, PeerState::Suspect, PeerState::Dead] {
+            assert_eq!(PeerState::decode(s.encode()), s);
+        }
+        assert_eq!(PeerState::Alive.label(), "alive");
+        assert_eq!(PeerState::Suspect.label(), "suspect");
+        assert_eq!(PeerState::Dead.label(), "dead");
+    }
+}

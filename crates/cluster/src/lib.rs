@@ -26,18 +26,32 @@
 //! kill/recover schedules, transient read failures, and latency spikes,
 //! with replica failover and recovery catch-up in the cluster itself — the
 //! substrate for the CHAOS-AVAIL experiment and `velox-core`'s graceful
-//! degradation ladder.
+//! degradation ladder. [`netfault`] extends the adversary to the *links*
+//! (seeded drop/delay/duplication/corruption/reset and directional
+//! partitions between named peers), [`detector`] turns probe outcomes
+//! into suspect/dead liveness verdicts that feed routing, and [`retry`]
+//! supplies the budgeted-backoff and observation-dedupe policies both
+//! transports share — together the substrate for the CHAOS-NET
+//! experiment.
 
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod detector;
 pub mod fault;
+pub mod netfault;
 pub mod partition;
+pub mod retry;
 pub mod transport;
 
 pub use cluster::{AccessKind, Cluster, ClusterConfig, ClusterRead, ClusterStats, NodeStats};
+pub use detector::{DetectorConfig, FailureDetector, PeerLiveness, PeerState};
 pub use fault::{FaultAction, FaultEvent, FaultPlan, HealthTransition, NodeHealth};
+pub use netfault::{
+    ChaosControl, LinkChaos, LinkFaultEvent, LinkFaultKind, LinkFaultPlan, LinkVerdict, FRONT_PEER,
+};
 pub use partition::{HashPartitioner, NodeId, RoutingPolicy, ITEM_SALT, USER_SALT};
+pub use retry::{obs_id_nonce, ObsDedupe, RetryPolicy};
 pub use transport::{
     dot, lms_update, SimTransport, Transport, TransportError, TransportObserve, TransportPredict,
 };

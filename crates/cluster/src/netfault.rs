@@ -1,0 +1,522 @@
+//! Network fault injection: a deterministic link-level adversary.
+//!
+//! [`fault`](crate::fault) scripts *process* faults (kill/recover); this
+//! module scripts *network* faults on the links between named peers. A
+//! [`LinkChaos`] engine owns a seeded RNG and a send-clock: every
+//! data-plane RPC attempt asks for a [`LinkVerdict`] on its directional
+//! link `(src, dst)`, advancing the clock by one tick, firing any
+//! scheduled partition/heal events due at that tick, and drawing a fixed
+//! number of uniforms for the probabilistic knobs (drop, delay,
+//! duplication, corruption, reset, reorder-jitter). The fixed draw
+//! discipline means enabling one knob never shifts another knob's stream,
+//! so a fault schedule replays identically under a fixed seed.
+//!
+//! Partitions are *directional*: `partition(a, b)` silences frames from
+//! `a` to `b` while the reverse path keeps working — the classic
+//! "request applied, ack lost" failure that forces idempotency machinery
+//! to earn its keep. Both the in-process [`SimTransport`] and the TCP
+//! `NetCluster` in `velox-net` consume the same engine, so one chaos
+//! suite runs against both backends.
+//!
+//! [`SimTransport`]: crate::transport::SimTransport
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use velox_data::VeloxRng;
+use velox_obs::{Counter, Registry};
+
+/// Peer id used for the cluster front (routing tier) on chaos links,
+/// matching `velox_obs::FRONT_NODE`.
+pub const FRONT_PEER: u32 = u32::MAX;
+
+/// What a scheduled link event does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFaultKind {
+    /// Silence the directional link `from → to`.
+    Partition {
+        /// Sending peer.
+        from: u32,
+        /// Receiving peer.
+        to: u32,
+    },
+    /// Restore the directional link `from → to`.
+    Heal {
+        /// Sending peer.
+        from: u32,
+        /// Receiving peer.
+        to: u32,
+    },
+    /// Restore every partitioned link.
+    HealAll,
+}
+
+/// One scheduled link fault: when the engine's send clock reaches
+/// `at_send`, apply `kind`.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkFaultEvent {
+    /// Send-clock tick (1-based count of data-plane verdicts) at which
+    /// the event fires.
+    pub at_send: u64,
+    /// Partition, heal, or heal-all.
+    pub kind: LinkFaultKind,
+}
+
+/// A deterministic link-fault plan, the network analogue of
+/// [`FaultPlan`](crate::fault::FaultPlan).
+///
+/// Scheduled partition/heal events fire against the engine's send clock;
+/// probabilistic knobs model a sick link. All randomness comes from one
+/// seeded RNG, so a plan replays identically for identical workloads.
+#[derive(Debug, Clone)]
+pub struct LinkFaultPlan {
+    /// Scheduled partition/heal events (any order; the engine sorts them).
+    pub events: Vec<LinkFaultEvent>,
+    /// Probability a request frame is dropped in flight (0 disables).
+    pub drop_prob: f64,
+    /// Probability a frame picks up `delay_us` of extra one-way latency.
+    pub delay_prob: f64,
+    /// Extra microseconds added by one injected delay.
+    pub delay_us: u64,
+    /// Probability a request frame is duplicated in flight.
+    pub dup_prob: f64,
+    /// Probability a request frame is corrupted in flight (the receiver
+    /// must reject it at the CRC layer and fail the connection closed).
+    pub corrupt_prob: f64,
+    /// Probability the connection is reset after the request is sent.
+    pub reset_prob: f64,
+    /// Probability a frame picks up reorder jitter: up to `reorder_us` of
+    /// extra delay, letting frames behind it overtake. (The RPC protocol
+    /// is lock-step per connection, so reordering manifests as jitter
+    /// between connections rather than within one.)
+    pub reorder_prob: f64,
+    /// Maximum reorder jitter in microseconds.
+    pub reorder_us: u64,
+    /// Seed for the engine's RNG.
+    pub seed: u64,
+}
+
+impl Default for LinkFaultPlan {
+    fn default() -> Self {
+        LinkFaultPlan {
+            events: Vec::new(),
+            drop_prob: 0.0,
+            delay_prob: 0.0,
+            delay_us: 2_000,
+            dup_prob: 0.0,
+            corrupt_prob: 0.0,
+            reset_prob: 0.0,
+            reorder_prob: 0.0,
+            reorder_us: 1_000,
+            seed: 0xC4A0_5EED,
+        }
+    }
+}
+
+impl LinkFaultPlan {
+    /// A plan with only scripted partition/heal events (no random noise).
+    pub fn scripted(events: Vec<LinkFaultEvent>) -> Self {
+        LinkFaultPlan { events, ..Default::default() }
+    }
+
+    /// True when the plan can never inject anything.
+    fn inert(&self) -> bool {
+        self.events.is_empty()
+            && self.drop_prob == 0.0
+            && self.delay_prob == 0.0
+            && self.dup_prob == 0.0
+            && self.corrupt_prob == 0.0
+            && self.reset_prob == 0.0
+            && self.reorder_prob == 0.0
+    }
+}
+
+/// The engine's decision for one RPC attempt on a directional link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkVerdict {
+    /// The `src → dst` path is partitioned: the request never arrives.
+    pub partitioned_request: bool,
+    /// The `dst → src` path is partitioned: the request arrives and is
+    /// applied, but the response never comes back.
+    pub partitioned_response: bool,
+    /// The request frame is lost in flight (receiver never sees it).
+    pub drop: bool,
+    /// Extra one-way latency to inject, in microseconds (0 = none).
+    pub delay_us: u64,
+    /// The request frame is delivered twice.
+    pub duplicate: bool,
+    /// The request frame is corrupted in flight.
+    pub corrupt: bool,
+    /// The connection is reset after the request is sent.
+    pub reset: bool,
+}
+
+impl LinkVerdict {
+    /// True when nothing is injected for this attempt.
+    pub fn clean(&self) -> bool {
+        *self == LinkVerdict::default()
+    }
+}
+
+struct ChaosInner {
+    plan: LinkFaultPlan,
+    rng: VeloxRng,
+    next_event: usize,
+    partitions: HashSet<(u32, u32)>,
+}
+
+/// Counters for injected faults, registered under `/metrics` so a chaos
+/// run can assert the adversary actually showed up.
+#[derive(Debug)]
+pub struct ChaosCounters {
+    /// Request frames dropped.
+    pub drops: Arc<Counter>,
+    /// Delays injected (including reorder jitter).
+    pub delays: Arc<Counter>,
+    /// Request frames duplicated.
+    pub dups: Arc<Counter>,
+    /// Request frames corrupted.
+    pub corrupts: Arc<Counter>,
+    /// Connections reset mid-call.
+    pub resets: Arc<Counter>,
+    /// Sends refused because the link was partitioned (either direction).
+    pub partitioned: Arc<Counter>,
+}
+
+impl ChaosCounters {
+    fn new() -> Self {
+        ChaosCounters {
+            drops: Arc::new(Counter::new()),
+            delays: Arc::new(Counter::new()),
+            dups: Arc::new(Counter::new()),
+            corrupts: Arc::new(Counter::new()),
+            resets: Arc::new(Counter::new()),
+            partitioned: Arc::new(Counter::new()),
+        }
+    }
+}
+
+/// Deterministic link-fault engine shared by every client on a backend.
+///
+/// Interior-mutable: install a [`LinkFaultPlan`] (or drive partitions
+/// imperatively) at any time; data-plane callers ask [`LinkChaos::verdict`]
+/// per RPC attempt. With the default (inert) plan the verdict path is one
+/// atomic increment and a relaxed load — cheap enough to leave compiled
+/// into the hot path.
+pub struct LinkChaos {
+    inner: Mutex<ChaosInner>,
+    tick: AtomicU64,
+    active: AtomicBool,
+    counters: ChaosCounters,
+}
+
+impl std::fmt::Debug for LinkChaos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LinkChaos")
+            .field("ticks", &self.ticks())
+            .field("active", &self.active.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for LinkChaos {
+    fn default() -> Self {
+        LinkChaos::new(LinkFaultPlan::default())
+    }
+}
+
+impl LinkChaos {
+    /// Builds an engine for `plan`.
+    pub fn new(plan: LinkFaultPlan) -> Self {
+        let engine = LinkChaos {
+            inner: Mutex::new(ChaosInner {
+                plan: LinkFaultPlan::default(),
+                rng: VeloxRng::seed_from(0),
+                next_event: 0,
+                partitions: HashSet::new(),
+            }),
+            tick: AtomicU64::new(0),
+            active: AtomicBool::new(false),
+            counters: ChaosCounters::new(),
+        };
+        engine.install(plan);
+        engine
+    }
+
+    /// Installs a new plan, resetting the send clock, the RNG, and any
+    /// partitions (scripted or imperative).
+    pub fn install(&self, mut plan: LinkFaultPlan) {
+        let mut g = self.inner.lock().unwrap();
+        plan.events.sort_by_key(|e| e.at_send);
+        g.rng = VeloxRng::seed_from(plan.seed);
+        g.next_event = 0;
+        g.partitions.clear();
+        self.active.store(!plan.inert(), Ordering::Release);
+        g.plan = plan;
+        self.tick.store(0, Ordering::Release);
+    }
+
+    /// Removes all injected faults (equivalent to installing the default
+    /// inert plan).
+    pub fn clear(&self) {
+        self.install(LinkFaultPlan::default());
+    }
+
+    /// Silences the directional link `from → to` immediately.
+    pub fn partition(&self, from: u32, to: u32) {
+        let mut g = self.inner.lock().unwrap();
+        g.partitions.insert((from, to));
+        self.active.store(true, Ordering::Release);
+    }
+
+    /// Silences both directions between `a` and `b`.
+    pub fn partition_both(&self, a: u32, b: u32) {
+        self.partition(a, b);
+        self.partition(b, a);
+    }
+
+    /// Restores the directional link `from → to`.
+    pub fn heal(&self, from: u32, to: u32) {
+        let mut g = self.inner.lock().unwrap();
+        g.partitions.remove(&(from, to));
+        let still = !g.partitions.is_empty() || !g.plan.inert();
+        self.active.store(still, Ordering::Release);
+    }
+
+    /// Restores every partitioned link.
+    pub fn heal_all(&self) {
+        let mut g = self.inner.lock().unwrap();
+        g.partitions.clear();
+        self.active.store(!g.plan.inert(), Ordering::Release);
+    }
+
+    /// True when frames from `src` to `dst` are currently silenced.
+    /// Control-plane probes (heartbeats) use this directly: they see
+    /// partitions but are exempt from the probabilistic knobs, so probe
+    /// traffic never perturbs the data-plane fault stream.
+    pub fn is_partitioned(&self, src: u32, dst: u32) -> bool {
+        if !self.active.load(Ordering::Acquire) {
+            return false;
+        }
+        self.inner.lock().unwrap().partitions.contains(&(src, dst))
+    }
+
+    /// Send-clock ticks consumed so far.
+    pub fn ticks(&self) -> u64 {
+        self.tick.load(Ordering::Relaxed)
+    }
+
+    /// Injection counters (shared handles; also registered by
+    /// [`LinkChaos::register_metrics`]).
+    pub fn counters(&self) -> &ChaosCounters {
+        &self.counters
+    }
+
+    /// Decides the fate of one RPC attempt from `src` to `dst`,
+    /// advancing the send clock.
+    pub fn verdict(&self, src: u32, dst: u32) -> LinkVerdict {
+        let t = self.tick.fetch_add(1, Ordering::AcqRel) + 1;
+        if !self.active.load(Ordering::Acquire) {
+            return LinkVerdict::default();
+        }
+        let mut g = self.inner.lock().unwrap();
+        while g.next_event < g.plan.events.len() && g.plan.events[g.next_event].at_send <= t {
+            let ev = g.plan.events[g.next_event];
+            match ev.kind {
+                LinkFaultKind::Partition { from, to } => {
+                    g.partitions.insert((from, to));
+                }
+                LinkFaultKind::Heal { from, to } => {
+                    g.partitions.remove(&(from, to));
+                }
+                LinkFaultKind::HealAll => g.partitions.clear(),
+            }
+            g.next_event += 1;
+        }
+        // Fixed draw discipline: one uniform per knob, every verdict, so
+        // the stream for knob k is independent of every other knob's
+        // probability. (delay/reorder burn a second uniform only via the
+        // jitter magnitude, drawn lazily below — still deterministic
+        // because it is conditioned only on its own knob's draw.)
+        let d_drop = g.rng.uniform();
+        let d_delay = g.rng.uniform();
+        let d_dup = g.rng.uniform();
+        let d_corrupt = g.rng.uniform();
+        let d_reset = g.rng.uniform();
+        let d_reorder = g.rng.uniform();
+
+        let mut v = LinkVerdict {
+            partitioned_request: g.partitions.contains(&(src, dst)),
+            partitioned_response: g.partitions.contains(&(dst, src)),
+            ..Default::default()
+        };
+        if v.partitioned_request || v.partitioned_response {
+            self.counters.partitioned.inc();
+            return v;
+        }
+        v.drop = d_drop < g.plan.drop_prob;
+        if d_delay < g.plan.delay_prob {
+            v.delay_us = g.plan.delay_us;
+        }
+        if d_reorder < g.plan.reorder_prob && g.plan.reorder_us > 0 {
+            let span = g.plan.reorder_us;
+            v.delay_us += g.rng.below(span) + 1;
+        }
+        v.duplicate = d_dup < g.plan.dup_prob;
+        v.corrupt = d_corrupt < g.plan.corrupt_prob;
+        v.reset = d_reset < g.plan.reset_prob;
+
+        if v.drop {
+            self.counters.drops.inc();
+        }
+        if v.delay_us > 0 {
+            self.counters.delays.inc();
+        }
+        if v.duplicate {
+            self.counters.dups.inc();
+        }
+        if v.corrupt {
+            self.counters.corrupts.inc();
+        }
+        if v.reset {
+            self.counters.resets.inc();
+        }
+        v
+    }
+
+    /// Registers the injection counters with `registry` under
+    /// `velox_chaos_net_*` names.
+    pub fn register_metrics(&self, registry: &Registry) {
+        let c = &self.counters;
+        registry.register_counter("velox_chaos_net_drops_total", &[], Arc::clone(&c.drops));
+        registry.register_counter("velox_chaos_net_delays_total", &[], Arc::clone(&c.delays));
+        registry.register_counter("velox_chaos_net_dups_total", &[], Arc::clone(&c.dups));
+        registry.register_counter("velox_chaos_net_corrupts_total", &[], Arc::clone(&c.corrupts));
+        registry.register_counter("velox_chaos_net_resets_total", &[], Arc::clone(&c.resets));
+        registry.register_counter(
+            "velox_chaos_net_partitioned_sends_total",
+            &[],
+            Arc::clone(&c.partitioned),
+        );
+    }
+}
+
+/// Uniform control surface for installing link faults on a backend, so
+/// one chaos suite drives both `SimTransport` and the TCP `NetCluster`.
+pub trait ChaosControl {
+    /// The backend's shared link-fault engine.
+    fn link_chaos(&self) -> &Arc<LinkChaos>;
+
+    /// Installs `plan`, replacing any active faults.
+    fn install_link_faults(&self, plan: LinkFaultPlan) {
+        self.link_chaos().install(plan);
+    }
+
+    /// Clears all link faults.
+    fn clear_link_faults(&self) {
+        self.link_chaos().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_plan(seed: u64) -> LinkFaultPlan {
+        LinkFaultPlan {
+            drop_prob: 0.1,
+            delay_prob: 0.2,
+            delay_us: 500,
+            dup_prob: 0.05,
+            corrupt_prob: 0.05,
+            reset_prob: 0.05,
+            reorder_prob: 0.1,
+            reorder_us: 200,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn same_seed_same_verdict_sequence() {
+        let a = LinkChaos::new(noisy_plan(42));
+        let b = LinkChaos::new(noisy_plan(42));
+        for i in 0..2_000 {
+            let (src, dst) = ((i % 3) as u32, ((i + 1) % 3) as u32);
+            assert_eq!(a.verdict(src, dst), b.verdict(src, dst), "verdict {i} diverged");
+        }
+        assert_eq!(a.ticks(), b.ticks());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = LinkChaos::new(noisy_plan(1));
+        let b = LinkChaos::new(noisy_plan(2));
+        let diverged = (0..500).any(|_| a.verdict(0, 1) != b.verdict(0, 1));
+        assert!(diverged, "independent seeds produced identical fault streams");
+    }
+
+    #[test]
+    fn inert_plan_injects_nothing() {
+        let chaos = LinkChaos::default();
+        for _ in 0..100 {
+            assert!(chaos.verdict(0, 1).clean());
+        }
+        assert_eq!(chaos.ticks(), 100);
+    }
+
+    #[test]
+    fn partitions_are_directional() {
+        let chaos = LinkChaos::default();
+        chaos.partition(0, 1);
+        let fwd = chaos.verdict(0, 1);
+        assert!(fwd.partitioned_request && !fwd.partitioned_response);
+        // The reverse link sees the same cut as a *response* partition:
+        // node 1 can reach node 0, but 0's replies to 1 are silenced.
+        let rev = chaos.verdict(1, 0);
+        assert!(!rev.partitioned_request && rev.partitioned_response);
+        assert!(chaos.is_partitioned(0, 1));
+        assert!(!chaos.is_partitioned(1, 0));
+        chaos.heal(0, 1);
+        assert!(chaos.verdict(0, 1).clean());
+        assert!(!chaos.is_partitioned(0, 1));
+    }
+
+    #[test]
+    fn scripted_events_fire_on_the_send_clock() {
+        let plan = LinkFaultPlan::scripted(vec![
+            LinkFaultEvent { at_send: 3, kind: LinkFaultKind::Partition { from: 0, to: 1 } },
+            LinkFaultEvent { at_send: 6, kind: LinkFaultKind::HealAll },
+        ]);
+        let chaos = LinkChaos::new(plan);
+        assert!(chaos.verdict(0, 1).clean()); // tick 1
+        assert!(chaos.verdict(0, 1).clean()); // tick 2
+        assert!(chaos.verdict(0, 1).partitioned_request); // tick 3: event fired
+        assert!(chaos.verdict(0, 1).partitioned_request); // tick 4
+        assert!(chaos.verdict(0, 1).partitioned_request); // tick 5
+        assert!(chaos.verdict(0, 1).clean()); // tick 6: healed
+        assert_eq!(chaos.counters().partitioned.get(), 3);
+    }
+
+    #[test]
+    fn install_resets_clock_rng_and_partitions() {
+        let chaos = LinkChaos::new(noisy_plan(7));
+        chaos.partition(0, 1);
+        let first: Vec<LinkVerdict> = (0..50).map(|_| chaos.verdict(2, 3)).collect();
+        chaos.install(noisy_plan(7));
+        assert_eq!(chaos.ticks(), 0);
+        assert!(!chaos.is_partitioned(0, 1));
+        let second: Vec<LinkVerdict> = (0..50).map(|_| chaos.verdict(2, 3)).collect();
+        assert_eq!(first, second, "reinstalling the same plan must replay the same stream");
+    }
+
+    #[test]
+    fn probabilistic_knobs_hit_near_their_rates() {
+        let chaos =
+            LinkChaos::new(LinkFaultPlan { drop_prob: 0.2, seed: 0xD0_11, ..Default::default() });
+        let drops = (0..10_000).filter(|_| chaos.verdict(0, 1).drop).count();
+        assert!((1_500..2_500).contains(&drops), "drop rate off: {drops}/10000");
+        assert_eq!(chaos.counters().drops.get(), drops as u64);
+    }
+}

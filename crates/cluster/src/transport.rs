@@ -16,15 +16,19 @@
 //! cannot diverge between them.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
+use velox_data::VeloxRng;
 use velox_obs::{
     ActiveSpan, RootSpan, SpanKind, SpanStatus, TraceConfig, TraceContext, Tracer, FRONT_NODE,
 };
 
 use crate::cluster::Cluster;
+use crate::detector::{PeerLiveness, PeerState};
 use crate::fault::NodeHealth;
+use crate::netfault::{ChaosControl, LinkChaos, FRONT_PEER};
 use crate::partition::NodeId;
+use crate::retry::{obs_id_nonce, ObsDedupe, RetryPolicy};
 
 /// Why a transport request failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -138,6 +142,27 @@ pub trait Transport {
     fn tracer(&self) -> Arc<Tracer> {
         Tracer::disabled()
     }
+
+    /// Per-peer liveness as seen by the backend's failure detector,
+    /// served by `GET /cluster/health`. The default derives a coarse
+    /// verdict from [`Transport::node_health`] with no probe statistics;
+    /// backends with a real detector override it.
+    fn liveness(&self) -> Vec<PeerLiveness> {
+        (0..self.n_nodes())
+            .map(|i| PeerLiveness {
+                node: i as u32,
+                state: match self.node_health(i) {
+                    NodeHealth::Up => PeerState::Alive,
+                    NodeHealth::Recovering => PeerState::Suspect,
+                    NodeHealth::Down => PeerState::Dead,
+                },
+                misses: 0,
+                last_rtt_us: 0,
+                probes: 0,
+                failures: 0,
+            })
+            .collect()
+    }
 }
 
 /// Dot product in index order — the one accumulation order both backends
@@ -170,13 +195,25 @@ pub struct SimTransport {
     lr: f64,
     ts: AtomicU64,
     tracer: Arc<Tracer>,
+    // Network-fault mirror: the same link chaos engine, retry budget, and
+    // observation dedupe the TCP runtime uses, so the CHAOS-NET suite
+    // runs unchanged over the simulator. All inert by default — with no
+    // installed plan the serving path is byte-for-byte the old one.
+    chaos: Arc<LinkChaos>,
+    retry: RetryPolicy,
+    retry_rng: Mutex<VeloxRng>,
+    obs_dedupe: Mutex<ObsDedupe<(NodeId, u64, usize)>>,
+    obs_nonce: u64,
+    obs_seq: AtomicU64,
+    dedupe_hits: AtomicU64,
+    chaos_retries: AtomicU64,
 }
 
 impl SimTransport {
     /// Wraps `cluster`, applying observes with learning rate `lr`.
     /// Tracing is off; use [`SimTransport::with_trace`] to record spans.
     pub fn new(cluster: Arc<Cluster>, lr: f64) -> Self {
-        SimTransport { cluster, lr, ts: AtomicU64::new(0), tracer: Tracer::disabled() }
+        Self::build(cluster, lr, Tracer::disabled())
     }
 
     /// Like [`SimTransport::new`] but with request tracing per `trace`.
@@ -185,12 +222,72 @@ impl SimTransport {
     /// so span trees are structurally comparable across backends.
     pub fn with_trace(cluster: Arc<Cluster>, lr: f64, trace: TraceConfig) -> Self {
         let tracer = Tracer::new(cluster.n_nodes(), trace);
-        SimTransport { cluster, lr, ts: AtomicU64::new(0), tracer }
+        Self::build(cluster, lr, tracer)
+    }
+
+    fn build(cluster: Arc<Cluster>, lr: f64, tracer: Arc<Tracer>) -> Self {
+        SimTransport {
+            cluster,
+            lr,
+            ts: AtomicU64::new(0),
+            tracer,
+            chaos: Arc::new(LinkChaos::default()),
+            retry: RetryPolicy::default(),
+            retry_rng: Mutex::new(VeloxRng::seed_from(0x51A1_7E57)),
+            obs_dedupe: Mutex::new(ObsDedupe::new(65_536)),
+            obs_nonce: obs_id_nonce(),
+            obs_seq: AtomicU64::new(0),
+            dedupe_hits: AtomicU64::new(0),
+            chaos_retries: AtomicU64::new(0),
+        }
+    }
+
+    /// Replaces the retry policy (builder-style, before sharing).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// The wrapped simulator (for fault plans, stats, and seeding).
     pub fn cluster(&self) -> &Arc<Cluster> {
         &self.cluster
+    }
+
+    /// Observes suppressed by the exactly-once dedupe window (duplicate
+    /// deliveries plus ack-lost replays).
+    pub fn dedupe_hit_count(&self) -> u64 {
+        self.dedupe_hits.load(Ordering::Relaxed)
+    }
+
+    /// RPC attempts retried because of injected link faults.
+    pub fn chaos_retry_count(&self) -> u64 {
+        self.chaos_retries.load(Ordering::Relaxed)
+    }
+
+    /// Mints a process-unique observation id.
+    fn next_obs_id(&self) -> u64 {
+        let id = self.obs_nonce.wrapping_add(self.obs_seq.fetch_add(1, Ordering::Relaxed) + 1);
+        if id == 0 {
+            1
+        } else {
+            id
+        }
+    }
+
+    /// Marks one chaos-failed attempt: a `Retry` span marker plus
+    /// jittered backoff when budget remains.
+    fn note_chaos_retry(&self, entry_ctx: Option<&TraceContext>, attempt: u32, budget: u32) {
+        self.chaos_retries.fetch_add(1, Ordering::Relaxed);
+        let marker = self.tracer.child(entry_ctx, SpanKind::Retry, FRONT_NODE);
+        self.tracer.finish_status(marker, SpanStatus::Error);
+        if attempt + 1 < budget {
+            let pause = {
+                let mut rng = self.retry_rng.lock().unwrap();
+                self.retry.backoff(attempt, &mut rng)
+            };
+            // Simulated time, real sleeps: chaos plans keep backoff small.
+            std::thread::sleep(pause);
+        }
     }
 
     /// Entry span for one request: a child when the caller propagated a
@@ -248,44 +345,81 @@ impl Transport for SimTransport {
         let at = self.cluster.route_request(uid);
         let home = self.cluster.home_of_user(uid);
         tracer.finish(route_span);
-        if at != home {
-            let fo = tracer.child(entry_ctx.as_ref(), SpanKind::Failover, FRONT_NODE);
-            tracer.finish(fo);
+
+        // Chaos failover order: the routed target first, then the user's
+        // other live replicas. With no link faults installed, attempt 0
+        // on `at` is the only attempt and the path is exactly the
+        // chaos-free one.
+        let mut candidates = vec![at];
+        for r in self.cluster.live_user_replicas(uid) {
+            if r != at {
+                candidates.push(r);
+            }
         }
 
-        // The simulator has no wire hop; the RPC → recv → work nesting is
-        // emitted anyway so both backends produce the same tree shape.
-        let rpc_span = tracer.child(entry_ctx.as_ref(), SpanKind::RpcCall, FRONT_NODE);
-        let rpc_ctx = rpc_span.as_ref().map(|s| s.ctx());
-        let recv_span = tracer.child(rpc_ctx.as_ref(), SpanKind::ServerRecv, at as u32);
-        let recv_ctx = recv_span.as_ref().map(|s| s.ctx());
-        let work_span = tracer.child(recv_ctx.as_ref(), SpanKind::NodePredict, at as u32);
-
-        let result = (|| {
-            let x = match self.cluster.read_item_features(at, item_id) {
-                read if read.unavailable => return Err(TransportError::Unavailable),
-                read => read.value.ok_or(TransportError::Unavailable)?,
-            };
-            let w_read = self.cluster.read_user_weights(at, uid);
-            if w_read.unavailable {
-                return Err(TransportError::Unavailable);
+        let budget = self.retry.max_attempts.max(1);
+        let mut served_at = at;
+        let mut outcome: Result<(f64, bool), TransportError> =
+            Err(TransportError::Failed("chaos: retry budget exhausted".into()));
+        for attempt in 0..budget {
+            let target = candidates[attempt as usize % candidates.len()];
+            let v = self.chaos.verdict(FRONT_PEER, target as u32);
+            if v.delay_us > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(v.delay_us));
             }
-            let cold_start = w_read.value.is_none();
-            let w = w_read.value.unwrap_or_default();
-            Ok((dot(&w, &x), cold_start))
-        })();
+            if v.partitioned_request || v.partitioned_response || v.drop || v.corrupt || v.reset {
+                // Predicts are idempotent: any lost request or lost
+                // response is safe to retry on the next candidate.
+                self.note_chaos_retry(entry_ctx.as_ref(), attempt, budget);
+                continue;
+            }
+            if target != home {
+                let fo = tracer.child(entry_ctx.as_ref(), SpanKind::Failover, FRONT_NODE);
+                tracer.finish(fo);
+            }
 
-        let status = if result.is_ok() { SpanStatus::Ok } else { SpanStatus::Error };
-        tracer.finish_status(work_span, status);
-        tracer.finish_status(recv_span, status);
-        tracer.finish_status(rpc_span, status);
+            // The simulator has no wire hop; the RPC → recv → work nesting
+            // is emitted anyway so both backends produce the same tree
+            // shape.
+            let rpc_span = tracer.child(entry_ctx.as_ref(), SpanKind::RpcCall, FRONT_NODE);
+            let rpc_ctx = rpc_span.as_ref().map(|s| s.ctx());
+            let recv_span = tracer.child(rpc_ctx.as_ref(), SpanKind::ServerRecv, target as u32);
+            let recv_ctx = recv_span.as_ref().map(|s| s.ctx());
+            let work_span = tracer.child(recv_ctx.as_ref(), SpanKind::NodePredict, target as u32);
+
+            let result = (|| {
+                let x = match self.cluster.read_item_features(target, item_id) {
+                    read if read.unavailable => return Err(TransportError::Unavailable),
+                    read => read.value.ok_or(TransportError::Unavailable)?,
+                };
+                let w_read = self.cluster.read_user_weights(target, uid);
+                if w_read.unavailable {
+                    return Err(TransportError::Unavailable);
+                }
+                let cold_start = w_read.value.is_none();
+                let w = w_read.value.unwrap_or_default();
+                Ok((dot(&w, &x), cold_start))
+            })();
+
+            let status = if result.is_ok() { SpanStatus::Ok } else { SpanStatus::Error };
+            tracer.finish_status(work_span, status);
+            tracer.finish_status(recv_span, status);
+            tracer.finish_status(rpc_span, status);
+            served_at = target;
+            outcome = result;
+            // Cluster-level errors (node down, data gone) keep their
+            // original single-shot semantics; only link faults retry.
+            break;
+        }
+
+        let status = if outcome.is_ok() { SpanStatus::Ok } else { SpanStatus::Error };
         let trace_id = entry_ctx.map(|c| c.trace_id);
         self.close_entry(root, entry_child, status);
 
-        result.map(|(score, cold_start)| TransportPredict {
+        outcome.map(|(score, cold_start)| TransportPredict {
             score,
-            node: at,
-            routed: at != home,
+            node: served_at,
+            routed: served_at != home,
             cold_start,
             trace_id,
         })
@@ -303,64 +437,134 @@ impl Transport for SimTransport {
         let entry_ctx =
             root.as_ref().map(|r| r.ctx()).or_else(|| entry_child.as_ref().map(|c| c.ctx()));
 
-        let route_span = tracer.child(entry_ctx.as_ref(), SpanKind::Route, FRONT_NODE);
-        let at = self.cluster.route_request(uid);
+        // One observation id for the whole logical call: every attempt
+        // (including ack-lost replays) carries the same id, so the dedupe
+        // window makes the operation exactly-once no matter how the link
+        // misbehaves.
+        let obs_id = self.next_obs_id();
         let home = self.cluster.home_of_user(uid);
-        tracer.finish(route_span);
-        if at != home {
-            let fo = tracer.child(entry_ctx.as_ref(), SpanKind::Failover, FRONT_NODE);
-            tracer.finish(fo);
-        }
+        let budget = self.retry.max_attempts.max(1);
+        let mut outcome: Result<(NodeId, u64, usize), TransportError> =
+            Err(TransportError::Failed("chaos: retry budget exhausted".into()));
+        for attempt in 0..budget {
+            let route_span = if attempt == 0 {
+                tracer.child(entry_ctx.as_ref(), SpanKind::Route, FRONT_NODE)
+            } else {
+                None
+            };
+            let at = self.cluster.route_request(uid);
+            tracer.finish(route_span);
 
-        let rpc_span = tracer.child(entry_ctx.as_ref(), SpanKind::RpcCall, FRONT_NODE);
-        let rpc_ctx = rpc_span.as_ref().map(|s| s.ctx());
-        let recv_span = tracer.child(rpc_ctx.as_ref(), SpanKind::ServerRecv, at as u32);
-        let recv_ctx = recv_span.as_ref().map(|s| s.ctx());
-        let work_span = tracer.child(recv_ctx.as_ref(), SpanKind::NodeObserve, at as u32);
-        let work_ctx = work_span.as_ref().map(|s| s.ctx());
-
-        let result = (|| {
-            let read = self.cluster.read_item_features(at, item_id);
-            if read.unavailable {
-                return Err(TransportError::Unavailable);
+            let v = self.chaos.verdict(FRONT_PEER, at as u32);
+            if v.delay_us > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(v.delay_us));
             }
-            let x = read.value.ok_or(TransportError::Unavailable)?;
-            let lr = self.lr;
-            self.cluster
-                .try_update_user_weights(at, uid, Vec::new, |w| lms_update(w, &x, y, lr))
-                .ok_or(TransportError::Unavailable)?;
-            let ts = self.ts.fetch_add(1, Ordering::Relaxed) + 1;
-            Ok(ts)
-        })();
+            // Faults that lose the request *before* the node sees it (or
+            // sever the connection before dispatch) are guaranteed
+            // not-applied: replaying them is unconditionally safe.
+            if v.partitioned_request || v.drop || v.corrupt || v.reset {
+                self.note_chaos_retry(entry_ctx.as_ref(), attempt, budget);
+                continue;
+            }
+            if at != home {
+                let fo = tracer.child(entry_ctx.as_ref(), SpanKind::Failover, FRONT_NODE);
+                tracer.finish(fo);
+            }
 
-        let mut shipped_to = 0;
-        if result.is_ok() {
-            // Mirror the TCP runtime's log shipping: one replica hop per
-            // live replica (owner excluded), applied synchronously.
-            for replica in self.cluster.live_user_replicas(uid) {
-                if replica == at {
-                    continue;
+            let rpc_span = tracer.child(entry_ctx.as_ref(), SpanKind::RpcCall, FRONT_NODE);
+            let rpc_ctx = rpc_span.as_ref().map(|s| s.ctx());
+            let recv_span = tracer.child(rpc_ctx.as_ref(), SpanKind::ServerRecv, at as u32);
+            let recv_ctx = recv_span.as_ref().map(|s| s.ctx());
+            let work_span = tracer.child(recv_ctx.as_ref(), SpanKind::NodeObserve, at as u32);
+            let work_ctx = work_span.as_ref().map(|s| s.ctx());
+
+            // Replayed id: the node already applied this observation on a
+            // previous attempt whose ack was lost — return the original
+            // ack instead of a second LMS step.
+            let replayed = self.obs_dedupe.lock().unwrap().hit(obs_id);
+            let result = if let Some(ack) = replayed {
+                self.dedupe_hits.fetch_add(1, Ordering::Relaxed);
+                Ok(ack)
+            } else {
+                let fresh = (|| {
+                    let read = self.cluster.read_item_features(at, item_id);
+                    if read.unavailable {
+                        return Err(TransportError::Unavailable);
+                    }
+                    let x = read.value.ok_or(TransportError::Unavailable)?;
+                    let lr = self.lr;
+                    self.cluster
+                        .try_update_user_weights(at, uid, Vec::new, |w| lms_update(w, &x, y, lr))
+                        .ok_or(TransportError::Unavailable)?;
+                    Ok(self.ts.fetch_add(1, Ordering::Relaxed) + 1)
+                })();
+
+                match fresh {
+                    Err(e) => Err(e),
+                    Ok(ts) => {
+                        // Mirror the TCP runtime's log shipping: one
+                        // replica hop per live replica (owner excluded),
+                        // applied synchronously.
+                        let mut shipped_to = 0;
+                        for replica in self.cluster.live_user_replicas(uid) {
+                            if replica == at {
+                                continue;
+                            }
+                            let ship =
+                                tracer.child(work_ctx.as_ref(), SpanKind::ShipReplica, at as u32);
+                            let ship_ctx = ship.as_ref().map(|s| s.ctx());
+                            let rrecv = tracer.child(
+                                ship_ctx.as_ref(),
+                                SpanKind::ServerRecv,
+                                replica as u32,
+                            );
+                            let rrecv_ctx = rrecv.as_ref().map(|s| s.ctx());
+                            let apply = tracer.child(
+                                rrecv_ctx.as_ref(),
+                                SpanKind::ShipApply,
+                                replica as u32,
+                            );
+                            tracer.finish(apply);
+                            tracer.finish(rrecv);
+                            tracer.finish(ship);
+                            shipped_to += 1;
+                        }
+                        self.obs_dedupe.lock().unwrap().put(obs_id, (at, ts, shipped_to));
+                        if v.duplicate {
+                            // The frame was delivered twice: the second
+                            // delivery lands in the dedupe window and is
+                            // suppressed instead of re-applied.
+                            if self.obs_dedupe.lock().unwrap().hit(obs_id).is_some() {
+                                self.dedupe_hits.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Ok((at, ts, shipped_to))
+                    }
                 }
-                let ship = tracer.child(work_ctx.as_ref(), SpanKind::ShipReplica, at as u32);
-                let ship_ctx = ship.as_ref().map(|s| s.ctx());
-                let rrecv = tracer.child(ship_ctx.as_ref(), SpanKind::ServerRecv, replica as u32);
-                let rrecv_ctx = rrecv.as_ref().map(|s| s.ctx());
-                let apply = tracer.child(rrecv_ctx.as_ref(), SpanKind::ShipApply, replica as u32);
-                tracer.finish(apply);
-                tracer.finish(rrecv);
-                tracer.finish(ship);
-                shipped_to += 1;
+            };
+
+            let status = if result.is_ok() { SpanStatus::Ok } else { SpanStatus::Error };
+            tracer.finish_status(work_span, status);
+            tracer.finish_status(recv_span, status);
+            tracer.finish_status(rpc_span, status);
+
+            if result.is_ok() && v.partitioned_response {
+                // Applied (and recorded under obs_id), but the ack is
+                // lost on the way back. Replay with the same id: if the
+                // reverse path stays cut for the whole budget the caller
+                // gets an error and never counts the observe acked.
+                self.note_chaos_retry(entry_ctx.as_ref(), attempt, budget);
+                continue;
             }
+            outcome = result;
+            break;
         }
 
-        let status = if result.is_ok() { SpanStatus::Ok } else { SpanStatus::Error };
-        tracer.finish_status(work_span, status);
-        tracer.finish_status(recv_span, status);
-        tracer.finish_status(rpc_span, status);
+        let status = if outcome.is_ok() { SpanStatus::Ok } else { SpanStatus::Error };
         let trace_id = entry_ctx.map(|c| c.trace_id);
         self.close_entry(root, entry_child, status);
 
-        result.map(|ts| TransportObserve { node: at, ts, shipped_to, trace_id })
+        outcome.map(|(node, ts, shipped_to)| TransportObserve { node, ts, shipped_to, trace_id })
     }
 
     fn fetch_weights(&self, uid: u64) -> Result<Option<Vec<f64>>, TransportError> {
@@ -369,6 +573,12 @@ impl Transport for SimTransport {
 
     fn tracer(&self) -> Arc<Tracer> {
         Arc::clone(&self.tracer)
+    }
+}
+
+impl ChaosControl for SimTransport {
+    fn link_chaos(&self) -> &Arc<LinkChaos> {
+        &self.chaos
     }
 }
 

@@ -127,6 +127,19 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError>
     write_frame_ext(w, payload, None)
 }
 
+/// Encodes one frame (with optional trace TLV) into a byte vector — the
+/// exact bytes [`write_frame_ext`] would put on the wire. The chaos
+/// layer uses this to corrupt a frame *after* framing, so injected bit
+/// rot exercises the receiver's CRC rejection path.
+pub fn encode_frame_ext(
+    payload: &[u8],
+    trace: Option<&TraceContext>,
+) -> Result<Vec<u8>, FrameError> {
+    let mut buf = Vec::with_capacity(payload.len() + FRAME_HEADER_LEN + TRACE_EXT_LEN + 2);
+    write_frame_ext(&mut buf, payload, trace)?;
+    Ok(buf)
+}
+
 /// Encoded size of the trace TLV: type byte + length byte + 17-byte value.
 const TRACE_EXT_LEN: usize = 19;
 

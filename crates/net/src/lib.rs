@@ -32,7 +32,7 @@ pub mod rpc;
 pub mod runtime;
 pub mod server;
 
-pub use client::{NetClient, NetClientConfig, NetError};
+pub use client::{ChaosLink, ClientMetrics, NetClient, NetClientConfig, NetError, RetryMode};
 pub use frame::{
     read_frame, read_frame_ext, unknown_ext_skipped_total, write_frame, write_frame_ext,
     FrameError, FrameMeta, EXT_TRACE, FLAG_EXT, FRAME_HEADER_LEN, MAX_EXT_LEN, MAX_FRAME_LEN,

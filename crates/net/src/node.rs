@@ -23,43 +23,113 @@
 //! timestamp order reproduces the exact floating-point op sequence — the
 //! property the backends-agree and recovery tests lean on.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
+use velox_cluster::netfault::{LinkChaos, FRONT_PEER};
 use velox_cluster::partition::USER_SALT;
+use velox_cluster::retry::ObsDedupe;
 use velox_cluster::transport::{dot, lms_update};
 use velox_cluster::{HashPartitioner, NodeId};
 use velox_obs::{trace::now_ns, Counter, Registry, SpanKind, TraceContext, Tracer};
 use velox_storage::{Observation, Wal, WalConfig, WalRecovery};
 
-use crate::client::NetClient;
+use crate::client::{ChaosLink, ClientMetrics, NetClient, NetClientConfig};
 use crate::rpc::{ErrorCode, Request, Response};
 use crate::server::{Handler, NetServer, NetServerConfig, RpcContext};
 
-/// Shared, mutable address book: node id → client for its current
+/// Observe acks remembered per node for exactly-once replay.
+const OBS_DEDUPE_WINDOW: usize = 65_536;
+
+/// One reachable node incarnation: its address plus the clients built for
+/// it so far, one per *calling* peer. Keying clients by caller is what
+/// makes partitions directional — the front's link to node 2 and node 0's
+/// link to node 2 are separate [`ChaosLink`]s the fault engine can cut
+/// independently.
+struct PeerEndpoint {
+    addr: SocketAddr,
+    config: NetClientConfig,
+    /// Lazily built clients, keyed by the calling peer id
+    /// ([`FRONT_PEER`] for the routing tier).
+    clients: Mutex<HashMap<u32, Arc<NetClient>>>,
+}
+
+/// Shared, mutable address book: node id → endpoint of its current
 /// incarnation (`None` while the node is down). Nodes use it to forward
 /// and ship; the runtime rewrites entries as nodes die and come back on
-/// new ports.
+/// new ports. Client attempt/failure counters live here (per destination,
+/// shared by every caller) so they survive node restarts.
 pub struct PeerTable {
-    clients: RwLock<Vec<Option<Arc<NetClient>>>>,
+    entries: RwLock<Vec<Option<Arc<PeerEndpoint>>>>,
+    /// Installed once at cluster start; every client built afterwards
+    /// carries a link into it. Inert plans cost one atomic load per call.
+    chaos: Option<Arc<LinkChaos>>,
+    metrics: Vec<ClientMetrics>,
 }
 
 impl PeerTable {
-    /// An address book for `n_nodes`, all initially down.
+    /// An address book for `n_nodes`, all initially down, without fault
+    /// injection.
     pub fn new(n_nodes: usize) -> Self {
-        PeerTable { clients: RwLock::new(vec![None; n_nodes]) }
+        PeerTable {
+            entries: RwLock::new((0..n_nodes).map(|_| None).collect()),
+            chaos: None,
+            metrics: (0..n_nodes).map(|_| ClientMetrics::new()).collect(),
+        }
     }
 
-    /// The client for `node`, when it is reachable.
+    /// An address book whose clients all route through `chaos`.
+    pub fn with_chaos(n_nodes: usize, chaos: Arc<LinkChaos>) -> Self {
+        PeerTable { chaos: Some(chaos), ..PeerTable::new(n_nodes) }
+    }
+
+    /// The routing tier's client for `node`, when it is reachable.
     pub fn get(&self, node: NodeId) -> Option<Arc<NetClient>> {
-        self.clients.read().unwrap().get(node).cloned().flatten()
+        self.get_from(FRONT_PEER, node)
     }
 
-    /// Installs (or clears) the client for `node`.
-    pub fn set(&self, node: NodeId, client: Option<Arc<NetClient>>) {
-        self.clients.write().unwrap()[node] = client;
+    /// The client `src` uses to reach `node`, when `node` is reachable.
+    /// Built lazily per `(src, node)` edge and cached for the lifetime of
+    /// the node's current incarnation.
+    pub fn get_from(&self, src: u32, node: NodeId) -> Option<Arc<NetClient>> {
+        let endpoint = self.entries.read().unwrap().get(node).cloned().flatten()?;
+        let mut clients = endpoint.clients.lock().unwrap();
+        if let Some(client) = clients.get(&src) {
+            return Some(Arc::clone(client));
+        }
+        let mut client = NetClient::with_config(endpoint.addr, endpoint.config.clone())
+            .with_metrics(self.metrics[node].clone());
+        if let Some(chaos) = &self.chaos {
+            client =
+                client.with_chaos(ChaosLink { chaos: Arc::clone(chaos), src, dst: node as u32 });
+        }
+        let client = Arc::new(client);
+        clients.insert(src, Arc::clone(&client));
+        Some(client)
+    }
+
+    /// Installs (or clears) the endpoint for `node`. Installing drops
+    /// every client built for the previous incarnation, so callers redial
+    /// the new port instead of a stale one.
+    pub fn set(&self, node: NodeId, endpoint: Option<(SocketAddr, NetClientConfig)>) {
+        self.entries.write().unwrap()[node] = endpoint.map(|(addr, config)| {
+            Arc::new(PeerEndpoint { addr, config, clients: Mutex::new(HashMap::new()) })
+        });
+    }
+
+    /// The address of `node`'s current incarnation, when it is up. The
+    /// heartbeat prober dials this directly (bypassing the chaos-linked
+    /// clients, so probes never perturb the data-plane fault stream).
+    pub fn addr(&self, node: NodeId) -> Option<SocketAddr> {
+        self.entries.read().unwrap().get(node).cloned().flatten().map(|e| e.addr)
+    }
+
+    /// The restart-surviving client counters for calls *to* `node`.
+    pub fn client_metrics(&self, node: NodeId) -> &ClientMetrics {
+        &self.metrics[node]
     }
 }
 
@@ -77,6 +147,13 @@ pub struct NodeMetrics {
     pub ship_in_records: Arc<Counter>,
     /// `ShipLog` sends that failed (replica unreachable before deadline).
     pub ship_failures: Arc<Counter>,
+    /// Observes answered from the dedupe window (a retry or a chaos
+    /// duplicate replayed its original ack instead of updating twice).
+    pub duplicate_observes: Arc<Counter>,
+    /// Records queued for a replica whose link was down at ship time.
+    pub ship_backlog_queued: Arc<Counter>,
+    /// Backlogged records delivered to a replica after its link healed.
+    pub ship_catch_up_records: Arc<Counter>,
 }
 
 impl NodeMetrics {
@@ -88,6 +165,9 @@ impl NodeMetrics {
             forwards: Arc::new(Counter::new()),
             ship_in_records: Arc::new(Counter::new()),
             ship_failures: Arc::new(Counter::new()),
+            duplicate_observes: Arc::new(Counter::new()),
+            ship_backlog_queued: Arc::new(Counter::new()),
+            ship_catch_up_records: Arc::new(Counter::new()),
         }
     }
 
@@ -107,6 +187,21 @@ impl NodeMetrics {
             "velox_net_ship_failures_total",
             &labels,
             Arc::clone(&self.ship_failures),
+        );
+        registry.register_counter(
+            "velox_net_duplicate_observes_total",
+            &labels,
+            Arc::clone(&self.duplicate_observes),
+        );
+        registry.register_counter(
+            "velox_net_ship_backlog_queued_total",
+            &labels,
+            Arc::clone(&self.ship_backlog_queued),
+        );
+        registry.register_counter(
+            "velox_net_ship_catch_up_records_total",
+            &labels,
+            Arc::clone(&self.ship_catch_up_records),
         );
     }
 }
@@ -132,6 +227,10 @@ pub struct NodeConfig {
     pub wal_dir: Option<std::path::PathBuf>,
     /// Worker threads for the node's RPC server.
     pub workers: usize,
+    /// Records queued per replica while its ship link is down before the
+    /// queue collapses into a resync marker (re-ship from the log on
+    /// heal).
+    pub ship_backlog_cap: usize,
     /// Runtime-owned counters (survive restarts).
     pub metrics: NodeMetrics,
     /// Cluster-wide tracer (this node records into its own ring). Use
@@ -147,7 +246,24 @@ struct LogInner {
     applied: HashSet<(u64, u64)>,
 }
 
-/// All mutable state of one node. Lock order: `log` before `weights`.
+/// What an owner owes one replica whose ship link failed. Queued records
+/// preserve ship order; once the bounded queue overflows, the exact
+/// backlog no longer fits and the state collapses to "re-ship everything
+/// from timestamp `ts` on" — the log holds it all, so nothing acked is
+/// ever lost, only re-sent (idempotent by `(uid, ts)`).
+enum ShipBacklog {
+    /// Link healthy, nothing owed.
+    Clear,
+    /// Records to deliver, in ship order.
+    Queue(VecDeque<Observation>),
+    /// Queue overflowed: on heal, re-ship every log record with
+    /// `timestamp >= ts` instead.
+    ResyncFrom(u64),
+}
+
+/// All mutable state of one node. Lock order: `log` before `weights`;
+/// a `backlog` slot may take `log` (resync reads the records) but never
+/// the other way around.
 pub struct NodeState {
     config: NodeConfig,
     users: HashPartitioner,
@@ -157,6 +273,21 @@ pub struct NodeState {
     /// Last logical timestamp assigned or seen (Lamport-style).
     clock: AtomicU64,
     peers: Arc<PeerTable>,
+    /// Recent observe acks by observation id: a replayed id (client retry
+    /// or chaos duplication) answers with its original ack instead of a
+    /// second weight update.
+    dedupe: Mutex<ObsDedupe<(u32, u64, u32)>>,
+    /// Per-replica ship debt, one slot per cluster node. Each slot's
+    /// mutex is held across the drain + ship RPCs so records reach a
+    /// replica in ship order even under concurrent observes.
+    backlog: Vec<Mutex<ShipBacklog>>,
+    /// Observation ids currently being applied. An ack only enters the
+    /// dedupe window after the (possibly slow) replica ship, so a client
+    /// retry racing its own original attempt parks here until the
+    /// original's ack is published instead of re-applying the update.
+    inflight: Mutex<HashSet<u64>>,
+    /// Signalled whenever an id leaves `inflight`.
+    inflight_done: Condvar,
 }
 
 impl NodeState {
@@ -273,14 +404,15 @@ impl NodeState {
         item_id: u64,
         y: f64,
         no_forward: bool,
+        obs_id: u64,
         ctx: Option<&TraceContext>,
     ) -> Response {
         let me = self.config.node_id;
         let tracer = &self.config.tracer;
         let owner = self.users.node_for(uid);
         if owner != me && !no_forward {
-            if let Some(peer) = self.peers.get(owner) {
-                let fwd = Request::Observe { uid, item_id, y, no_forward: true };
+            if let Some(peer) = self.peers.get_from(me as u32, owner) {
+                let fwd = Request::Observe { uid, item_id, y, no_forward: true, obs_id };
                 let rpc_span = tracer.child(ctx, SpanKind::RpcCall, me as u32);
                 let rpc_ctx = rpc_span.as_ref().map(|s| s.ctx());
                 let reply = peer.call_traced(&fwd, rpc_ctx.as_ref());
@@ -295,6 +427,49 @@ impl NodeState {
                 }
             }
         }
+        // Exactly-once past the ack point: a replayed observation id —
+        // a client retry after a lost ack, or chaos duplicating the
+        // request frame — answers with the original ack, not a second
+        // LMS update. Ids still being applied (the ack only enters the
+        // dedupe window after the replica ship, which can outlast the
+        // client's per-try timeout) park until the original publishes
+        // its ack; re-applying concurrently would double-count.
+        if obs_id != 0 {
+            let mut inflight = self.inflight.lock().unwrap();
+            loop {
+                if let Some((node, ts, shipped_to)) = self.dedupe.lock().unwrap().hit(obs_id) {
+                    self.config.metrics.duplicate_observes.inc();
+                    return Response::Observed { node, ts, shipped_to };
+                }
+                if inflight.insert(obs_id) {
+                    break;
+                }
+                inflight = self.inflight_done.wait(inflight).unwrap();
+            }
+        }
+        let resp = self.apply_observe(uid, item_id, y, obs_id, ctx);
+        if obs_id != 0 {
+            // The ack (if any) is in the dedupe window by now; parked
+            // replays wake and answer from it.
+            self.inflight.lock().unwrap().remove(&obs_id);
+            self.inflight_done.notify_all();
+        }
+        resp
+    }
+
+    /// The owner-side apply: WAL append, LMS update, replica ship, and
+    /// dedupe-window publication. Callers hold the `inflight` claim for
+    /// `obs_id` (when non-zero) across this call.
+    fn apply_observe(
+        &self,
+        uid: u64,
+        item_id: u64,
+        y: f64,
+        obs_id: u64,
+        ctx: Option<&TraceContext>,
+    ) -> Response {
+        let me = self.config.node_id;
+        let tracer = &self.config.tracer;
         let work = tracer.child(ctx, SpanKind::NodeObserve, me as u32);
         let work_ctx = work.as_ref().map(|s| s.ctx());
         let Some(x) = self.items.lock().unwrap().get(&item_id).cloned() else {
@@ -353,7 +528,18 @@ impl NodeState {
             if replica == me {
                 continue;
             }
-            let Some(peer) = self.peers.get(replica) else { continue };
+            let Some(peer) = self.peers.get_from(me as u32, replica) else { continue };
+            // Serialize ships per replica and settle any backlog first,
+            // so records arrive in ship order even across a heal.
+            let mut debt = self.backlog[replica].lock().unwrap();
+            if !self.settle_backlog(&mut debt, &peer, work_ctx.as_ref()) {
+                // Link still bad: this record joins the debt; the owner
+                // keeps serving (degraded) and catches the replica up on
+                // heal or via its `PullLog` recovery.
+                self.config.metrics.ship_failures.inc();
+                self.push_backlog(&mut debt, rec.clone());
+                continue;
+            }
             let ship_span = tracer.child(work_ctx.as_ref(), SpanKind::ShipReplica, me as u32);
             let ship_ctx = ship_span.as_ref().map(|s| s.ctx());
             match peer
@@ -365,13 +551,97 @@ impl NodeState {
                 }
                 _ => {
                     self.config.metrics.ship_failures.inc();
+                    self.push_backlog(&mut debt, rec.clone());
                     tracer.finish_status(ship_span, velox_obs::SpanStatus::Error);
                 }
             }
         }
+        self.dedupe.lock().unwrap().put(obs_id, (me as u32, ts, shipped_to));
         self.config.metrics.observes.inc();
         tracer.finish(work);
         Response::Observed { node: me as u32, ts, shipped_to }
+    }
+
+    /// Queues one record a replica missed, collapsing to a resync marker
+    /// when the bounded queue is full.
+    fn push_backlog(&self, debt: &mut ShipBacklog, rec: Observation) {
+        let cap = self.config.ship_backlog_cap.max(1);
+        self.config.metrics.ship_backlog_queued.inc();
+        match debt {
+            ShipBacklog::Clear => {
+                *debt = ShipBacklog::Queue(VecDeque::from([rec]));
+            }
+            ShipBacklog::Queue(q) => {
+                if q.len() >= cap {
+                    let oldest = q.front().map(|r| r.timestamp).unwrap_or(rec.timestamp);
+                    *debt = ShipBacklog::ResyncFrom(oldest.min(rec.timestamp));
+                } else {
+                    q.push_back(rec);
+                }
+            }
+            ShipBacklog::ResyncFrom(ts) => {
+                *debt = ShipBacklog::ResyncFrom(rec.timestamp.min(*ts));
+            }
+        }
+    }
+
+    /// Tries to deliver everything owed to one replica. Returns `true`
+    /// when the backlog is clear (link usable for fresh ships); on a
+    /// failed delivery the debt is kept and `false` says "queue, don't
+    /// ship".
+    fn settle_backlog(
+        &self,
+        debt: &mut ShipBacklog,
+        peer: &NetClient,
+        ctx: Option<&TraceContext>,
+    ) -> bool {
+        let records: Vec<Observation> = match &*debt {
+            ShipBacklog::Clear => return true,
+            ShipBacklog::Queue(q) => q.iter().cloned().collect(),
+            ShipBacklog::ResyncFrom(ts) => {
+                let from = *ts;
+                let log = self.log.lock().unwrap();
+                let mut records: Vec<Observation> =
+                    log.records.iter().filter(|r| r.timestamp >= from).cloned().collect();
+                drop(log);
+                records.sort_by_key(|r| r.timestamp);
+                records
+            }
+        };
+        let n = records.len() as u64;
+        let tracer = &self.config.tracer;
+        let ship_span = tracer.child(ctx, SpanKind::ShipReplica, self.config.node_id as u32);
+        let ship_ctx = ship_span.as_ref().map(|s| s.ctx());
+        match peer.call_traced(&Request::ShipLog { records }, ship_ctx.as_ref()) {
+            Ok(Response::Ok) => {
+                tracer.finish(ship_span);
+                self.config.metrics.ship_catch_up_records.add(n);
+                *debt = ShipBacklog::Clear;
+                true
+            }
+            _ => {
+                tracer.finish_status(ship_span, velox_obs::SpanStatus::Error);
+                false
+            }
+        }
+    }
+
+    /// Total records currently owed to replicas (resync markers count the
+    /// log suffix they would re-ship).
+    pub fn ship_backlog_len(&self) -> usize {
+        let mut total = 0usize;
+        for slot in &self.backlog {
+            match &*slot.lock().unwrap() {
+                ShipBacklog::Clear => {}
+                ShipBacklog::Queue(q) => total += q.len(),
+                ShipBacklog::ResyncFrom(ts) => {
+                    let from = *ts;
+                    let log = self.log.lock().unwrap();
+                    total += log.records.iter().filter(|r| r.timestamp >= from).count();
+                }
+            }
+        }
+        total
     }
 
     fn respond_ship(&self, records: Vec<Observation>, ctx: Option<&TraceContext>) -> Response {
@@ -428,8 +698,8 @@ impl NodeState {
             Request::Predict { uid, item_id, no_forward } => {
                 self.respond_predict(uid, item_id, no_forward, ctx)
             }
-            Request::Observe { uid, item_id, y, no_forward } => {
-                self.respond_observe(uid, item_id, y, no_forward, ctx)
+            Request::Observe { uid, item_id, y, no_forward, obs_id } => {
+                self.respond_observe(uid, item_id, y, no_forward, obs_id, ctx)
             }
             Request::FetchWeights { uid } => {
                 Response::Weights { w: self.weights.lock().unwrap().get(&uid).cloned() }
@@ -505,6 +775,7 @@ impl NodeServer {
             }
         }
         let workers = config.workers;
+        let n_nodes = config.n_nodes;
         let state = Arc::new(NodeState {
             users: HashPartitioner::new(config.n_nodes, USER_SALT),
             config,
@@ -513,11 +784,15 @@ impl NodeServer {
             log: Mutex::new(log),
             clock: AtomicU64::new(clock),
             peers,
+            dedupe: Mutex::new(ObsDedupe::new(OBS_DEDUPE_WINDOW)),
+            backlog: (0..n_nodes).map(|_| Mutex::new(ShipBacklog::Clear)).collect(),
+            inflight: Mutex::new(HashSet::new()),
+            inflight_done: Condvar::new(),
         });
         let server = NetServer::bind(
             "127.0.0.1:0",
             Arc::clone(&state) as Arc<dyn Handler>,
-            NetServerConfig { workers },
+            NetServerConfig { workers, ..Default::default() },
         )?;
         Ok((NodeServer { state, server }, recovery))
     }

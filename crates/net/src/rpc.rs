@@ -44,6 +44,9 @@ pub enum ErrorCode {
     BadRequest,
     /// The node hit an internal failure (e.g. its WAL append failed).
     Internal,
+    /// The server shed the connection before dispatch (accept queue
+    /// full). Nothing was applied; retry after backoff.
+    Overloaded,
 }
 
 impl ErrorCode {
@@ -52,6 +55,7 @@ impl ErrorCode {
             ErrorCode::Unavailable => 1,
             ErrorCode::BadRequest => 2,
             ErrorCode::Internal => 3,
+            ErrorCode::Overloaded => 4,
         }
     }
 
@@ -60,6 +64,7 @@ impl ErrorCode {
             1 => Ok(ErrorCode::Unavailable),
             2 => Ok(ErrorCode::BadRequest),
             3 => Ok(ErrorCode::Internal),
+            4 => Ok(ErrorCode::Overloaded),
             other => Err(DecodeError(format!("unknown error code {other}"))),
         }
     }
@@ -90,6 +95,10 @@ pub enum Request {
         /// Apply locally even if this node is not the owner (failover
         /// writes and the forwarded leg).
         no_forward: bool,
+        /// Caller-chosen observation id for exactly-once application: a
+        /// node remembers recent ids and answers a replayed id with the
+        /// original ack instead of a second weight update. `0` opts out.
+        obs_id: u64,
     },
     /// Management-plane read of a user's current weights.
     FetchWeights {
@@ -300,12 +309,13 @@ impl Request {
                 put_u64(&mut buf, *item_id);
                 buf.push(*no_forward as u8);
             }
-            Request::Observe { uid, item_id, y, no_forward } => {
+            Request::Observe { uid, item_id, y, no_forward, obs_id } => {
                 buf.push(req_tag::OBSERVE);
                 put_u64(&mut buf, *uid);
                 put_u64(&mut buf, *item_id);
                 put_f64(&mut buf, *y);
                 buf.push(*no_forward as u8);
+                put_u64(&mut buf, *obs_id);
             }
             Request::FetchWeights { uid } => {
                 buf.push(req_tag::FETCH_WEIGHTS);
@@ -352,6 +362,7 @@ impl Request {
                 item_id: c.u64()?,
                 y: c.f64()?,
                 no_forward: c.bool()?,
+                obs_id: c.u64()?,
             },
             req_tag::FETCH_WEIGHTS => Request::FetchWeights { uid: c.u64()? },
             req_tag::SHIP_LOG => {
@@ -474,7 +485,7 @@ mod tests {
     fn requests_round_trip() {
         let cases = vec![
             Request::Predict { uid: 1, item_id: 2, no_forward: false },
-            Request::Observe { uid: 3, item_id: 4, y: -1.5, no_forward: true },
+            Request::Observe { uid: 3, item_id: 4, y: -1.5, no_forward: true, obs_id: 77 },
             Request::FetchWeights { uid: u64::MAX },
             Request::ShipLog { records: vec![obs(1), obs(2), obs(3)] },
             Request::ShipLog { records: vec![] },
@@ -515,7 +526,8 @@ mod tests {
 
     #[test]
     fn truncated_payload_rejected() {
-        let buf = Request::Observe { uid: 1, item_id: 2, y: 3.0, no_forward: false }.encode();
+        let buf =
+            Request::Observe { uid: 1, item_id: 2, y: 3.0, no_forward: false, obs_id: 9 }.encode();
         for cut in 0..buf.len() {
             assert!(Request::decode(&buf[..cut]).is_err(), "cut at {cut} must fail");
         }

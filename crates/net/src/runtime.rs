@@ -17,13 +17,21 @@
 //! the weight table by replaying the merged log in timestamp order.
 
 use std::collections::HashMap;
+use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
+use velox_cluster::netfault::{ChaosControl, LinkChaos, LinkFaultPlan, FRONT_PEER};
+use velox_cluster::retry::obs_id_nonce;
 use velox_cluster::transport::{Transport, TransportError, TransportObserve, TransportPredict};
-use velox_cluster::{FaultAction, FaultPlan, HashPartitioner, NodeHealth, NodeId, USER_SALT};
+use velox_cluster::{
+    DetectorConfig, FailureDetector, FaultAction, FaultPlan, HashPartitioner, NodeHealth, NodeId,
+    PeerLiveness, PeerState, USER_SALT,
+};
 use velox_data::VeloxRng;
 use velox_obs::{
     Counter, Histogram, Registry, RootSpan, SpanKind, SpanStatus, TraceConfig, TraceContext,
@@ -32,7 +40,8 @@ use velox_obs::{
 use velox_storage::Observation;
 
 use crate::client::{NetClient, NetClientConfig};
-use crate::node::{NodeConfig, NodeMetrics, NodeServer, PeerTable};
+use crate::frame::{read_frame, write_frame};
+use crate::node::{NodeConfig, NodeMetrics, NodeServer, NodeState, PeerTable};
 use crate::rpc::{ErrorCode, Request, Response};
 
 /// Runtime configuration.
@@ -51,9 +60,27 @@ pub struct NetClusterConfig {
     pub workers: usize,
     /// Per-request deadline for front → node RPCs.
     pub request_timeout: Duration,
+    /// Template for every RPC client the cluster builds (retry budget,
+    /// backoff, per-try cap, pool size); `request_timeout` above
+    /// overrides the template's deadline.
+    pub client: NetClientConfig,
     /// Request-tracing policy. Off by default: untraced requests send
     /// byte-identical legacy frames and skip every span branch.
     pub trace: TraceConfig,
+    /// Heartbeat probe period for the failure detector; `None` disables
+    /// the prober (peers then only change liveness via kill/recover).
+    pub heartbeat_interval: Option<Duration>,
+    /// Per-probe deadline (connect + Health round trip).
+    pub heartbeat_timeout: Duration,
+    /// Consecutive-miss thresholds for suspect/dead.
+    pub detector: DetectorConfig,
+    /// Records an owner queues per partitioned replica before collapsing
+    /// the queue into a full log resync on heal.
+    pub ship_backlog_cap: usize,
+    /// Hedge slow predict reads: when the home replica has not answered
+    /// within a p99-derived delay, race a second replica and take the
+    /// first reply. Off by default (costs one helper thread per predict).
+    pub hedge_predicts: bool,
 }
 
 impl Default for NetClusterConfig {
@@ -65,7 +92,13 @@ impl Default for NetClusterConfig {
             wal_root: None,
             workers: 8,
             request_timeout: Duration::from_secs(2),
+            client: NetClientConfig::default(),
             trace: TraceConfig::off(),
+            heartbeat_interval: Some(Duration::from_millis(50)),
+            heartbeat_timeout: Duration::from_millis(100),
+            detector: DetectorConfig::default(),
+            ship_backlog_cap: 1024,
+            hedge_predicts: false,
         }
     }
 }
@@ -109,6 +142,20 @@ pub struct NetCluster {
     unavailable: Arc<Counter>,
     /// Cluster-wide tracer: per-node span rings plus the front's.
     tracer: Arc<Tracer>,
+    /// The CHAOS-NET link-fault engine every client routes through.
+    chaos: Arc<LinkChaos>,
+    /// Heartbeat-driven per-peer liveness.
+    detector: Arc<FailureDetector>,
+    hb_stop: Arc<AtomicBool>,
+    hb_thread: Mutex<Option<JoinHandle<()>>>,
+    /// Predicts that fired a hedge because the primary ran long.
+    hedged: Arc<Counter>,
+    /// Hedged predicts where the hedge reply was used.
+    hedge_wins: Arc<Counter>,
+    /// Observation-id generator: process-random nonce + sequence, so ids
+    /// never collide across cluster restarts sharing a node's window.
+    obs_nonce: u64,
+    obs_seq: AtomicU64,
 }
 
 impl NetCluster {
@@ -117,7 +164,9 @@ impl NetCluster {
     pub fn start(config: NetClusterConfig) -> std::io::Result<NetCluster> {
         assert!(config.n_nodes > 0, "cluster needs at least one node");
         let tracer = Tracer::new(config.n_nodes, config.trace);
-        let peers = Arc::new(PeerTable::new(config.n_nodes));
+        let chaos = Arc::new(LinkChaos::new(LinkFaultPlan::default()));
+        let peers = Arc::new(PeerTable::with_chaos(config.n_nodes, Arc::clone(&chaos)));
+        let detector = Arc::new(FailureDetector::new(config.n_nodes, config.detector));
         let mut slots = Vec::with_capacity(config.n_nodes);
         for node_id in 0..config.n_nodes {
             let metrics = NodeMetrics::new();
@@ -129,16 +178,13 @@ impl NetCluster {
                     lr: config.lr,
                     wal_dir: config.wal_root.as_ref().map(|r| r.join(format!("node-{node_id}"))),
                     workers: config.workers,
+                    ship_backlog_cap: config.ship_backlog_cap,
                     metrics: metrics.clone(),
                     tracer: Arc::clone(&tracer),
                 },
                 Arc::clone(&peers),
             )?;
-            let client = Arc::new(NetClient::with_config(
-                server.local_addr(),
-                NetClientConfig { request_timeout: config.request_timeout, ..Default::default() },
-            ));
-            peers.set(node_id, Some(client));
+            peers.set(node_id, Some((server.local_addr(), Self::client_config(&config))));
             slots.push(Mutex::new(NodeSlot {
                 server: Some(server),
                 health: AtomicU8::new(NodeHealth::Up.encode()),
@@ -150,6 +196,18 @@ impl NetCluster {
             }));
         }
         let health = (0..config.n_nodes).map(|_| AtomicU8::new(NodeHealth::Up.encode())).collect();
+        let hb_stop = Arc::new(AtomicBool::new(false));
+        let hb_thread = config.heartbeat_interval.map(|interval| {
+            spawn_heartbeat(
+                Arc::clone(&peers),
+                Arc::clone(&detector),
+                Arc::clone(&chaos),
+                Arc::clone(&hb_stop),
+                interval,
+                config.heartbeat_timeout,
+                config.n_nodes,
+            )
+        });
         Ok(NetCluster {
             users: HashPartitioner::new(config.n_nodes, USER_SALT),
             config,
@@ -164,7 +222,31 @@ impl NetCluster {
             observe_us: Arc::new(Histogram::new()),
             unavailable: Arc::new(Counter::new()),
             tracer,
+            chaos,
+            detector,
+            hb_stop,
+            hb_thread: Mutex::new(hb_thread),
+            hedged: Arc::new(Counter::new()),
+            hedge_wins: Arc::new(Counter::new()),
+            obs_nonce: obs_id_nonce(),
+            obs_seq: AtomicU64::new(0),
         })
+    }
+
+    /// The per-client configuration: the shared template with the
+    /// cluster's request deadline.
+    fn client_config(config: &NetClusterConfig) -> NetClientConfig {
+        NetClientConfig { request_timeout: config.request_timeout, ..config.client.clone() }
+    }
+
+    /// A fresh observation id: never 0 (0 opts out of dedupe).
+    fn next_obs_id(&self) -> u64 {
+        let id = self.obs_nonce.wrapping_add(self.obs_seq.fetch_add(1, Ordering::Relaxed) + 1);
+        if id == 0 {
+            1
+        } else {
+            id
+        }
     }
 
     /// The runtime's configuration.
@@ -211,6 +293,8 @@ impl NetCluster {
         self.peers.set(node, None);
         slot.health.store(NodeHealth::Down.encode(), Ordering::Release);
         self.health[node].store(NodeHealth::Down.encode(), Ordering::Release);
+        // A deliberate kill needs no probe evidence.
+        self.detector.force(node as u32, PeerState::Dead);
     }
 
     /// [`NetCluster::kill_node`] plus losing the disk: the WAL directory
@@ -240,6 +324,7 @@ impl NetCluster {
                 lr: self.config.lr,
                 wal_dir: self.config.wal_root.as_ref().map(|r| r.join(format!("node-{node}"))),
                 workers: self.config.workers,
+                ship_backlog_cap: self.config.ship_backlog_cap,
                 metrics: slot.metrics.clone(),
                 tracer: Arc::clone(&self.tracer),
             },
@@ -273,14 +358,11 @@ impl NetCluster {
         slot.catch_up_records.add(pulled);
         slot.recoveries.inc();
 
-        let client = Arc::new(NetClient::with_config(
-            server.local_addr(),
-            NetClientConfig { request_timeout: self.config.request_timeout, ..Default::default() },
-        ));
-        self.peers.set(node, Some(client));
+        self.peers.set(node, Some((server.local_addr(), Self::client_config(&self.config))));
         slot.server = Some(server);
         slot.health.store(NodeHealth::Up.encode(), Ordering::Release);
         self.health[node].store(NodeHealth::Up.encode(), Ordering::Release);
+        self.detector.force(node as u32, PeerState::Alive);
         Ok(pulled)
     }
 
@@ -342,14 +424,83 @@ impl NetCluster {
         (spike, fail)
     }
 
-    /// Live replicas of a user in failover order (home first). When
-    /// `skip_primary` (injected transient failure), the home is dropped.
+    /// Live replicas of a user in failover order. Within the health-Up
+    /// set, the failure detector decides precedence: peers it believes
+    /// alive come first (home leading), suspected peers next, and peers
+    /// it has declared dead last — still present because the detector can
+    /// be wrong (a cut probe path, not a dead node), but no longer the
+    /// first hop, so failover happens on suspicion instead of burning a
+    /// request deadline per call. When `skip_primary` (injected transient
+    /// failure), the home is dropped.
     fn serving_candidates(&self, uid: u64, skip_primary: bool) -> Vec<NodeId> {
-        self.replica_nodes_of_user(uid)
+        let up: Vec<NodeId> = self
+            .replica_nodes_of_user(uid)
             .into_iter()
             .skip(skip_primary as usize)
             .filter(|&n| self.node_health(n) == NodeHealth::Up)
-            .collect()
+            .collect();
+        let mut ordered = Vec::with_capacity(up.len());
+        for want in [PeerState::Alive, PeerState::Suspect, PeerState::Dead] {
+            ordered.extend(up.iter().copied().filter(|&n| self.detector.state(n as u32) == want));
+        }
+        ordered
+    }
+
+    /// The failure detector driving routing (snapshot it for tests).
+    pub fn detector(&self) -> &Arc<FailureDetector> {
+        &self.detector
+    }
+
+    /// `node`'s runtime counters (these survive the node's restarts).
+    pub fn node_metrics(&self, node: NodeId) -> NodeMetrics {
+        self.slots[node].lock().unwrap().metrics.clone()
+    }
+
+    /// `node`'s live state, if it is currently running (chaos suites
+    /// inspect the ship backlog and WAL length through this).
+    pub fn node_state(&self, node: NodeId) -> Option<Arc<NodeState>> {
+        self.slots[node].lock().unwrap().server.as_ref().map(|s| Arc::clone(s.state()))
+    }
+
+    /// How long a predict's primary may run before a hedge fires: derived
+    /// from the live p99, floored so hedges never trigger on healthy
+    /// sub-millisecond traffic and capped well under the request deadline.
+    fn hedge_delay(&self) -> Duration {
+        let p99 = self.predict_us.snapshot().p99();
+        Duration::from_micros(p99.clamp(1_000, 100_000))
+    }
+
+    /// Predicts that raced a replica / hedges whose reply won.
+    pub fn hedge_counts(&self) -> (u64, u64) {
+        (self.hedged.get(), self.hedge_wins.get())
+    }
+
+    /// Success-path bookkeeping for one answered predict: route counters,
+    /// the latency histogram, and the result struct. Entry spans are the
+    /// caller's to close.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_predict(
+        &self,
+        node: NodeId,
+        home: NodeId,
+        score: f64,
+        at: u32,
+        cold_start: bool,
+        timer: Instant,
+        trace_id: Option<u64>,
+    ) -> TransportPredict {
+        let slot = self.slots[node].lock().unwrap();
+        slot.requests_routed.inc();
+        if node != home {
+            slot.failover_requests.inc();
+        }
+        drop(slot);
+        let us = timer.elapsed().as_micros() as u64;
+        match trace_id {
+            Some(t) => self.predict_us.record_exemplar(us, t),
+            None => self.predict_us.record(us),
+        }
+        TransportPredict { score, node: at as NodeId, routed: node != home, cold_start, trace_id }
     }
 
     /// Registers runtime and per-node metrics (node-labelled series).
@@ -361,6 +512,10 @@ impl NetCluster {
             &[],
             Arc::clone(&self.unavailable),
         );
+        registry.register_counter("velox_net_hedged_total", &[], Arc::clone(&self.hedged));
+        registry.register_counter("velox_net_hedge_wins_total", &[], Arc::clone(&self.hedge_wins));
+        self.detector.register_metrics(registry);
+        self.chaos.register_metrics(registry);
         for (id, slot) in self.slots.iter().enumerate() {
             let slot = slot.lock().unwrap();
             let label = id.to_string();
@@ -386,6 +541,7 @@ impl NetCluster {
                 &labels,
                 Arc::clone(&slot.catch_up_records),
             );
+            self.peers.client_metrics(id).register(registry, &labels);
         }
     }
 
@@ -418,8 +574,12 @@ impl NetCluster {
         }
     }
 
-    /// Stops every node (also happens on drop).
+    /// Stops every node and the heartbeat prober (also happens on drop).
     pub fn shutdown(&self) {
+        self.hb_stop.store(true, Ordering::Release);
+        if let Some(handle) = self.hb_thread.lock().unwrap().take() {
+            let _ = handle.join();
+        }
         for node in 0..self.config.n_nodes {
             let mut slot = self.slots[node].lock().unwrap();
             if let Some(mut server) = slot.server.take() {
@@ -428,6 +588,78 @@ impl NetCluster {
             self.peers.set(node, None);
         }
     }
+}
+
+impl ChaosControl for NetCluster {
+    fn link_chaos(&self) -> &Arc<LinkChaos> {
+        &self.chaos
+    }
+}
+
+/// Starts the failure-detector's prober: every `interval` it probes each
+/// peer with a raw Health round trip on a throwaway connection — never
+/// through the chaos-linked clients, so probes cost no fault-stream
+/// ticks. A chaos partition of the front→peer link still counts as a
+/// miss ([`LinkChaos::is_partitioned`] is side-effect free), which is
+/// exactly how a real prober would experience it.
+fn spawn_heartbeat(
+    peers: Arc<PeerTable>,
+    detector: Arc<FailureDetector>,
+    chaos: Arc<LinkChaos>,
+    stop: Arc<AtomicBool>,
+    interval: Duration,
+    timeout: Duration,
+    n_nodes: usize,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        while !stop.load(Ordering::Acquire) {
+            for node in 0..n_nodes {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                let Some(addr) = peers.addr(node) else {
+                    detector.record_failure(node as u32);
+                    continue;
+                };
+                if chaos.is_partitioned(FRONT_PEER, node as u32) {
+                    detector.record_failure(node as u32);
+                    continue;
+                }
+                let started = Instant::now();
+                if probe_health(addr, timeout) {
+                    detector.record_success(node as u32, started.elapsed().as_micros() as u64);
+                } else {
+                    detector.record_failure(node as u32);
+                }
+            }
+            detector.export();
+            // Sleep in short slices so shutdown never waits a full period.
+            let wake = Instant::now() + interval;
+            while Instant::now() < wake {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5).min(interval));
+            }
+        }
+    })
+}
+
+/// One probe: dial, Health, read the ack — all within `timeout`.
+fn probe_health(addr: SocketAddr, timeout: Duration) -> bool {
+    let Ok(mut conn) = std::net::TcpStream::connect_timeout(&addr, timeout) else {
+        return false;
+    };
+    let _ = conn.set_nodelay(true);
+    if conn.set_read_timeout(Some(timeout)).is_err()
+        || conn.set_write_timeout(Some(timeout)).is_err()
+    {
+        return false;
+    }
+    if write_frame(&mut conn, &Request::Health.encode()).is_err() {
+        return false;
+    }
+    matches!(read_frame(&mut conn).map(|b| Response::decode(&b)), Ok(Ok(Response::Ok)))
 }
 
 impl Drop for NetCluster {
@@ -493,9 +725,143 @@ impl Transport for NetCluster {
         let routed_ns = if route_span.is_some() { velox_obs::trace::now_ns() } else { 0 };
         tracer.finish_status_at(route_span, SpanStatus::Ok, routed_ns);
 
-        let timer = std::time::Instant::now();
+        let timer = Instant::now();
+        let req = Request::Predict { uid, item_id, no_forward: true };
         let mut last = TransportError::Unavailable;
-        for node in candidates {
+        let mut start_at = 0usize;
+
+        // Hedged fast path: run the first candidate on a helper thread
+        // and give it a p99-derived delay to answer; past that, race a
+        // replica and take whichever replies first. Reads are idempotent,
+        // so the duplicated work is just work.
+        if self.config.hedge_predicts && candidates.len() >= 2 {
+            if let Some(client) = self.peers.get(candidates[0]) {
+                let primary = candidates[0];
+                let rpc_span =
+                    tracer.child_at(entry_ctx.as_ref(), SpanKind::RpcCall, FRONT_NODE, routed_ns);
+                let rpc_ctx = rpc_span.as_ref().map(|s| s.ctx());
+                let (tx, rx) = mpsc::channel();
+                {
+                    let client = Arc::clone(&client);
+                    let req = req.clone();
+                    std::thread::spawn(move || {
+                        let _ = tx.send(client.call_traced(&req, rpc_ctx.as_ref()));
+                    });
+                }
+                match rx.recv_timeout(self.hedge_delay()) {
+                    Ok(Ok(Response::Predicted { score, node: at, cold_start, .. })) => {
+                        let done_ns =
+                            if rpc_span.is_some() { velox_obs::trace::now_ns() } else { 0 };
+                        tracer.finish_status_at(rpc_span, SpanStatus::Ok, done_ns);
+                        let out = self
+                            .finish_predict(primary, home, score, at, cold_start, timer, trace_id);
+                        self.close_trace_entry(troot, tchild, SpanStatus::Ok, done_ns);
+                        return Ok(out);
+                    }
+                    Ok(Ok(Response::Error { code, message })) => {
+                        tracer.finish_status(rpc_span, SpanStatus::Error);
+                        self.close_trace_entry(troot, tchild, SpanStatus::Error, 0);
+                        return Err(map_error(code, message));
+                    }
+                    Ok(Ok(other)) => {
+                        tracer.finish_status(rpc_span, SpanStatus::Error);
+                        self.close_trace_entry(troot, tchild, SpanStatus::Error, 0);
+                        return Err(TransportError::Failed(format!("unexpected reply {other:?}")));
+                    }
+                    Ok(Err(e)) => {
+                        tracer.finish_status(rpc_span, SpanStatus::Error);
+                        last = TransportError::Failed(e.to_string());
+                        start_at = 1;
+                    }
+                    Err(_) => {
+                        // Primary is slow, not (yet) failed: hedge.
+                        self.hedged.inc();
+                        let hedge_node = candidates[1];
+                        let mut hedged_out = None;
+                        if let Some(hclient) = self.peers.get(hedge_node) {
+                            let now_ns =
+                                if entry_ctx.is_some() { velox_obs::trace::now_ns() } else { 0 };
+                            let mark = tracer.child_at(
+                                entry_ctx.as_ref(),
+                                SpanKind::Hedge,
+                                FRONT_NODE,
+                                now_ns,
+                            );
+                            tracer.finish_status_at(mark, SpanStatus::Ok, now_ns);
+                            let hspan = tracer.child_at(
+                                entry_ctx.as_ref(),
+                                SpanKind::RpcCall,
+                                FRONT_NODE,
+                                now_ns,
+                            );
+                            let hctx = hspan.as_ref().map(|s| s.ctx());
+                            match hclient.call_traced(&req, hctx.as_ref()) {
+                                Ok(Response::Predicted { score, node: at, cold_start, .. }) => {
+                                    let done_ns = if hspan.is_some() {
+                                        velox_obs::trace::now_ns()
+                                    } else {
+                                        0
+                                    };
+                                    tracer.finish_status_at(hspan, SpanStatus::Ok, done_ns);
+                                    hedged_out = Some((score, at, cold_start, done_ns));
+                                }
+                                _ => tracer.finish_status(hspan, SpanStatus::Error),
+                            }
+                        }
+                        if let Some((score, at, cold_start, done_ns)) = hedged_out {
+                            // The hedge won the race; the primary's reply
+                            // (if it ever lands) is discarded with its span.
+                            self.hedge_wins.inc();
+                            tracer.finish_status(rpc_span, SpanStatus::Error);
+                            let out = self.finish_predict(
+                                hedge_node, home, score, at, cold_start, timer, trace_id,
+                            );
+                            self.close_trace_entry(troot, tchild, SpanStatus::Ok, done_ns);
+                            return Ok(out);
+                        }
+                        // Hedge lost too — fall back to whatever the
+                        // primary produces within the remaining deadline.
+                        let remaining = self.config.request_timeout.saturating_sub(timer.elapsed());
+                        match rx.recv_timeout(remaining) {
+                            Ok(Ok(Response::Predicted { score, node: at, cold_start, .. })) => {
+                                let done_ns =
+                                    if rpc_span.is_some() { velox_obs::trace::now_ns() } else { 0 };
+                                tracer.finish_status_at(rpc_span, SpanStatus::Ok, done_ns);
+                                let out = self.finish_predict(
+                                    primary, home, score, at, cold_start, timer, trace_id,
+                                );
+                                self.close_trace_entry(troot, tchild, SpanStatus::Ok, done_ns);
+                                return Ok(out);
+                            }
+                            Ok(Ok(Response::Error { code, message })) => {
+                                tracer.finish_status(rpc_span, SpanStatus::Error);
+                                self.close_trace_entry(troot, tchild, SpanStatus::Error, 0);
+                                return Err(map_error(code, message));
+                            }
+                            Ok(Ok(other)) => {
+                                tracer.finish_status(rpc_span, SpanStatus::Error);
+                                self.close_trace_entry(troot, tchild, SpanStatus::Error, 0);
+                                return Err(TransportError::Failed(format!(
+                                    "unexpected reply {other:?}"
+                                )));
+                            }
+                            Ok(Err(e)) => {
+                                tracer.finish_status(rpc_span, SpanStatus::Error);
+                                last = TransportError::Failed(e.to_string());
+                                start_at = 2;
+                            }
+                            Err(_) => {
+                                tracer.finish_status(rpc_span, SpanStatus::Error);
+                                last = TransportError::Failed("predict deadline exceeded".into());
+                                start_at = 2;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        for &node in &candidates[start_at.min(candidates.len())..] {
             let Some(client) = self.peers.get(node) else { continue };
             // A candidate that isn't the home partition is a failover hop;
             // the marker span makes that decision visible in the trace.
@@ -506,7 +872,6 @@ impl Transport for NetCluster {
             }
             // The front routes to the owner (or a live replica) itself, so
             // the node answers from local state — no second hop.
-            let req = Request::Predict { uid, item_id, no_forward: true };
             let rpc_span =
                 tracer.child_at(entry_ctx.as_ref(), SpanKind::RpcCall, FRONT_NODE, routed_ns);
             let rpc_ctx = rpc_span.as_ref().map(|s| s.ctx());
@@ -514,25 +879,10 @@ impl Transport for NetCluster {
                 Ok(Response::Predicted { score, node: at, cold_start, .. }) => {
                     let done_ns = if rpc_span.is_some() { velox_obs::trace::now_ns() } else { 0 };
                     tracer.finish_status_at(rpc_span, SpanStatus::Ok, done_ns);
-                    let slot = self.slots[node].lock().unwrap();
-                    slot.requests_routed.inc();
-                    if node != home {
-                        slot.failover_requests.inc();
-                    }
-                    drop(slot);
-                    let us = timer.elapsed().as_micros() as u64;
-                    match trace_id {
-                        Some(t) => self.predict_us.record_exemplar(us, t),
-                        None => self.predict_us.record(us),
-                    }
+                    let out =
+                        self.finish_predict(node, home, score, at, cold_start, timer, trace_id);
                     self.close_trace_entry(troot, tchild, SpanStatus::Ok, done_ns);
-                    return Ok(TransportPredict {
-                        score,
-                        node: at as NodeId,
-                        routed: node != home,
-                        cold_start,
-                        trace_id,
-                    });
+                    return Ok(out);
                 }
                 Ok(Response::Error { code, message }) => {
                     tracer.finish_status(rpc_span, SpanStatus::Error);
@@ -586,7 +936,11 @@ impl Transport for NetCluster {
         let routed_ns = if route_span.is_some() { velox_obs::trace::now_ns() } else { 0 };
         tracer.finish_status_at(route_span, SpanStatus::Ok, routed_ns);
 
-        let timer = std::time::Instant::now();
+        let timer = Instant::now();
+        // One observation id for the whole logical call: every client
+        // retry replays the same id, so the applying node's dedupe window
+        // collapses replays into the original ack.
+        let obs_id = self.next_obs_id();
         let mut last = TransportError::Unavailable;
         for node in candidates {
             let Some(client) = self.peers.get(node) else { continue };
@@ -597,7 +951,7 @@ impl Transport for NetCluster {
             }
             // no_forward: a live replica acts as owner when the home is
             // down (its clock is ahead of every record it has seen).
-            let req = Request::Observe { uid, item_id, y, no_forward: true };
+            let req = Request::Observe { uid, item_id, y, no_forward: true, obs_id };
             let rpc_span =
                 tracer.child_at(entry_ctx.as_ref(), SpanKind::RpcCall, FRONT_NODE, routed_ns);
             let rpc_ctx = rpc_span.as_ref().map(|s| s.ctx());
@@ -631,7 +985,19 @@ impl Transport for NetCluster {
                 }
                 Err(e) => {
                     tracer.finish_status(rpc_span, SpanStatus::Error);
-                    last = TransportError::Failed(e.to_string());
+                    if e.definitely_not_delivered() {
+                        // The node never saw the request, so a different
+                        // replica may safely act as owner.
+                        last = TransportError::Failed(e.to_string());
+                        continue;
+                    }
+                    // Ambiguous failure past the ack point: `node` may
+                    // have applied the observation and lost only the ack.
+                    // Acting-owner failover would apply it again under a
+                    // fresh timestamp (the dedupe window is per node), so
+                    // surface the error — at-most-once, not at-least-once.
+                    self.close_trace_entry(troot, tchild, SpanStatus::Error, 0);
+                    return Err(TransportError::Failed(e.to_string()));
                 }
             }
         }
@@ -644,6 +1010,10 @@ impl Transport for NetCluster {
 
     fn tracer(&self) -> Arc<Tracer> {
         Arc::clone(&self.tracer)
+    }
+
+    fn liveness(&self) -> Vec<PeerLiveness> {
+        self.detector.snapshot()
     }
 
     fn fetch_weights(&self, uid: u64) -> Result<Option<Vec<f64>>, TransportError> {

@@ -72,11 +72,16 @@ pub struct NetServerConfig {
     /// Worker threads (each pins one live connection). Must exceed the
     /// number of concurrently connected peers.
     pub workers: usize,
+    /// Accepted connections allowed to wait for a worker before the
+    /// server sheds new arrivals with an [`ErrorCode::Overloaded`] reply
+    /// and a close — bounded so a worker-pool stall degrades into clean,
+    /// retryable errors instead of an unbounded queue of hung dials.
+    pub max_pending: usize,
 }
 
 impl Default for NetServerConfig {
     fn default() -> Self {
-        NetServerConfig { workers: 8 }
+        NetServerConfig { workers: 8, max_pending: 64 }
     }
 }
 
@@ -93,6 +98,7 @@ pub struct NetServer {
     stop: Arc<AtomicBool>,
     conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
     accept_queue: Arc<AcceptQueue>,
+    shed: Arc<AtomicU64>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -111,11 +117,14 @@ impl NetServer {
         let accept_queue =
             Arc::new(AcceptQueue { queue: Mutex::new(VecDeque::new()), ready: Condvar::new() });
         let next_conn_id = Arc::new(AtomicU64::new(0));
+        let shed = Arc::new(AtomicU64::new(0));
 
         let mut threads = Vec::with_capacity(config.workers + 1);
         {
             let stop = Arc::clone(&stop);
             let q = Arc::clone(&accept_queue);
+            let shed = Arc::clone(&shed);
+            let max_pending = config.max_pending.max(1);
             threads.push(std::thread::spawn(move || {
                 for incoming in listener.incoming() {
                     if stop.load(Ordering::Acquire) {
@@ -123,6 +132,12 @@ impl NetServer {
                     }
                     let Ok(stream) = incoming else { continue };
                     let _ = stream.set_nodelay(true);
+                    let backlog = q.queue.lock().unwrap().len();
+                    if backlog >= max_pending {
+                        shed.fetch_add(1, Ordering::Relaxed);
+                        shed_connection(stream);
+                        continue;
+                    }
                     q.queue.lock().unwrap().push_back(stream);
                     q.ready.notify_one();
                 }
@@ -157,12 +172,18 @@ impl NetServer {
             }));
         }
 
-        Ok(NetServer { addr: local, stop, conns, accept_queue, threads })
+        Ok(NetServer { addr: local, stop, conns, accept_queue, shed, threads })
     }
 
     /// The bound address (resolves ephemeral ports).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Connections shed with an `Overloaded` reply because the accept
+    /// queue was full.
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
     }
 
     /// Stops accepting, severs every live connection, and joins all
@@ -194,6 +215,19 @@ impl Drop for NetServer {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// Tells a shed connection why it is being turned away, then closes it.
+/// The reply frame arrives before the peer's first request, which is
+/// fine: the client reads one response per request, so the `Overloaded`
+/// error is what its in-flight (or next) call observes, and the close
+/// behind it fails any further use of the connection fast.
+fn shed_connection(stream: TcpStream) {
+    let reply =
+        Response::Error { code: ErrorCode::Overloaded, message: "server accept queue full".into() };
+    let mut writer = &stream;
+    let _ = write_frame(&mut writer, &reply.encode());
+    let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
 /// One connection's request/response loop: runs until the peer closes,

@@ -220,7 +220,8 @@ fn traced_rpc_frame_rejects_every_single_bit_flip() {
         span_id: 0x0123_4567_89ab_cdef,
         sampled: true,
     };
-    let payload = Request::Observe { uid: 3, item_id: 9, y: 0.75, no_forward: true }.encode();
+    let payload =
+        Request::Observe { uid: 3, item_id: 9, y: 0.75, no_forward: true, obs_id: 42 }.encode();
     let raw = encode_traced_frame(&payload, &ctx);
     let meta = FrameMeta { trace: Some(ctx), unknown_exts: 0 };
     for byte in 0..raw.len() {
@@ -245,7 +246,7 @@ fn traced_rpc_frame_rejects_every_single_bit_flip() {
 fn rpc_frames_reject_every_single_bit_flip() {
     let messages = [
         Request::Predict { uid: 77, item_id: 12, no_forward: false }.encode(),
-        Request::Observe { uid: 3, item_id: 9, y: 0.75, no_forward: true }.encode(),
+        Request::Observe { uid: 3, item_id: 9, y: 0.75, no_forward: true, obs_id: 42 }.encode(),
         Request::ShipLog {
             records: vec![Observation { uid: 1, item_id: 2, y: 0.5, timestamp: 42 }],
         }
@@ -267,5 +268,60 @@ fn rpc_frames_reject_every_single_bit_flip() {
                 }
             }
         }
+    }
+}
+
+/// Chaos corruptor: a multi-frame stream (the shape a persistent RPC
+/// connection carries) hit mid-stream by truncation, bit flips, and
+/// frame duplication — the same injections `LinkChaos` performs on live
+/// sockets. The connection must fail closed: every frame that decodes
+/// at all must be byte-identical to one that was sent, in order; the
+/// first corrupted frame kills the rest of the stream (no resync onto a
+/// payload that was never sent).
+#[test]
+fn chaos_corrupted_streams_fail_closed_never_misparse() {
+    let mut rng = VeloxRng::seed_from(SEED ^ 6);
+    for _ in 0..120 {
+        // A stream of 2–5 frames, with one duplicated mid-stream the way
+        // the chaos client re-sends a frame.
+        let n = (rng.below(4) + 2) as usize;
+        let payloads: Vec<Vec<u8>> = (0..n).map(|_| random_payload(&mut rng)).collect();
+        let mut sent: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+        let dup_at = (rng.below(n as u64)) as usize;
+        sent.insert(dup_at, sent[dup_at]);
+
+        let mut stream = Vec::new();
+        for p in &sent {
+            stream.extend_from_slice(&encode_frame(p));
+        }
+
+        // One mid-stream injury: truncate the tail, or flip a bit.
+        let injured = match rng.below(3) {
+            0 => {
+                let cut = (rng.below(stream.len() as u64 - 1) + 1) as usize;
+                stream[..cut].to_vec()
+            }
+            1 => {
+                let byte = rng.below(stream.len() as u64) as usize;
+                let mut s = stream.clone();
+                s[byte] ^= 1 << (rng.below(8) as u8);
+                s
+            }
+            _ => stream.clone(), // duplication alone must decode cleanly
+        };
+
+        let mut cursor = Cursor::new(injured.as_slice());
+        let mut decoded = 0usize;
+        // Fail closed: the first undecodable frame ends the connection;
+        // nothing after it is interpreted.
+        while let Ok(frame) = read_frame(&mut cursor) {
+            assert!(decoded < sent.len(), "stream yielded more frames than were sent");
+            assert_eq!(
+                frame, sent[decoded],
+                "frame {decoded} decoded to bytes that were never sent"
+            );
+            decoded += 1;
+        }
+        assert!(decoded <= sent.len());
     }
 }

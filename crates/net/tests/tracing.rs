@@ -44,6 +44,7 @@ fn start_net(trace: TraceConfig) -> NetCluster {
         workers: 8,
         request_timeout: Duration::from_secs(2),
         trace,
+        ..Default::default()
     })
     .expect("start loopback cluster");
     net.publish_item_features(seeded_items());
@@ -179,6 +180,7 @@ fn wal_spans_attribute_fsync_time_when_durability_is_on() {
         workers: 8,
         request_timeout: Duration::from_secs(2),
         trace: TraceConfig::sample_all(),
+        ..Default::default()
     })
     .expect("start durable cluster");
     net.publish_item_features(seeded_items());

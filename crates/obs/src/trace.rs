@@ -167,11 +167,17 @@ pub enum SpanKind {
     ShipReplica = 11,
     /// Replica-side application of a shipped observation.
     ShipApply = 12,
+    /// Marker: an RPC attempt failed on a link fault and was retried
+    /// (budgeted backoff).
+    Retry = 13,
+    /// Marker: the primary read ran past the hedge delay and a hedged
+    /// attempt was sent to a replica.
+    Hedge = 14,
 }
 
 impl SpanKind {
     /// All kinds, in numeric order.
-    pub const ALL: [SpanKind; 13] = [
+    pub const ALL: [SpanKind; 15] = [
         SpanKind::RestRequest,
         SpanKind::ClusterPredict,
         SpanKind::ClusterObserve,
@@ -185,6 +191,8 @@ impl SpanKind {
         SpanKind::WalFsync,
         SpanKind::ShipReplica,
         SpanKind::ShipApply,
+        SpanKind::Retry,
+        SpanKind::Hedge,
     ];
 
     /// Stable snake_case name (used in JSON and tables).
@@ -203,6 +211,8 @@ impl SpanKind {
             SpanKind::WalFsync => "wal_fsync",
             SpanKind::ShipReplica => "ship_replica",
             SpanKind::ShipApply => "ship_apply",
+            SpanKind::Retry => "retry",
+            SpanKind::Hedge => "hedge",
         }
     }
 

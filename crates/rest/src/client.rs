@@ -599,6 +599,13 @@ impl VeloxClient {
             .unwrap_or_default())
     }
 
+    /// `GET /cluster/health` — the full per-node records, including the
+    /// failure detector's `liveness`/`misses`/`last_rtt_us` fields, as
+    /// raw JSON.
+    pub fn cluster_health_full(&self) -> Result<Json, ClientError> {
+        self.call("GET", "/cluster/health", "")
+    }
+
     /// Lists all deployed model names on the server.
     pub fn list_models(&self) -> Result<Vec<String>, ClientError> {
         let resp = self.call("GET", "/models", "")?;

@@ -613,12 +613,24 @@ fn dispatch_cluster(
     };
     match (request.method.as_str(), segments) {
         ("GET", ["cluster", "health"]) => {
+            // Pair the control-plane health (Up/Recovering/Down — what the
+            // operator did) with the failure detector's liveness verdict
+            // (Alive/Suspect/Dead — what the heartbeats observed).
+            let liveness = cluster.liveness();
             let nodes: Vec<Json> = (0..cluster.n_nodes())
                 .map(|node| {
-                    Json::object(vec![
+                    let mut fields = vec![
                         ("node", Json::Number(node as f64)),
                         ("health", Json::String(cluster.node_health(node).label().to_string())),
-                    ])
+                    ];
+                    if let Some(l) = liveness.iter().find(|l| l.node == node as u32) {
+                        fields.push(("liveness", Json::String(l.state.label().to_string())));
+                        fields.push(("misses", Json::Number(l.misses as f64)));
+                        fields.push(("last_rtt_us", Json::Number(l.last_rtt_us as f64)));
+                        fields.push(("probes", Json::Number(l.probes as f64)));
+                        fields.push(("failures", Json::Number(l.failures as f64)));
+                    }
+                    Json::object(fields)
                 })
                 .collect();
             (200, Json::object(vec![("nodes", Json::Array(nodes))]).to_string())

@@ -8,6 +8,7 @@ use std::time::Duration;
 use velox_cluster::{Cluster, ClusterConfig, SimTransport};
 use velox_core::VeloxServer;
 use velox_net::{NetCluster, NetClusterConfig};
+use velox_rest::json::Json;
 use velox_rest::{ClientError, ClusterBackend, RestServer, VeloxClient};
 
 const DIM: usize = 3;
@@ -63,6 +64,36 @@ fn cluster_routes_serve_over_real_sockets() {
     assert!(p.score.is_finite());
 
     assert_eq!(client.cluster_health().expect("health"), vec!["up", "up", "up"]);
+    handle.shutdown();
+}
+
+#[test]
+fn cluster_health_reports_detector_liveness() {
+    let net = start_net_cluster();
+    let handle = rest_over(Arc::clone(&net) as ClusterBackend);
+    let client = VeloxClient::new(handle.addr(), "unused");
+
+    // Give the heartbeat prober a few rounds to mark every peer alive.
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    loop {
+        let resp = client.cluster_health_full().expect("health");
+        let nodes = resp.get("nodes").and_then(Json::as_array).expect("nodes array");
+        assert_eq!(nodes.len(), 3);
+        let all_alive = nodes.iter().all(|n| {
+            n.get("liveness").and_then(Json::as_str) == Some("alive")
+                && n.get("probes").and_then(Json::as_u64).unwrap_or(0) > 0
+        });
+        for n in nodes {
+            assert!(n.get("liveness").is_some(), "liveness field present: {n:?}");
+            assert!(n.get("misses").is_some(), "misses field present");
+            assert!(n.get("last_rtt_us").is_some(), "last_rtt_us field present");
+        }
+        if all_alive {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "detector never marked all nodes alive");
+        std::thread::sleep(Duration::from_millis(25));
+    }
     handle.shutdown();
 }
 

@@ -27,6 +27,7 @@ fn start_traced_rest() -> (RestHandle, VeloxClient) {
         workers: 8,
         request_timeout: Duration::from_secs(2),
         trace: TraceConfig::sample_all(),
+        ..Default::default()
     })
     .expect("start traced cluster");
     net.publish_item_features((0..16u64).map(|i| (i, item_features(i))).collect());

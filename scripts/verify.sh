@@ -22,6 +22,9 @@ echo "==> velox-net loopback cluster tests (offline)"
 cargo test --release --offline -q -p velox-net --test log_shipping
 cargo test --release --offline -q -p velox-net --test frame_fuzz
 
+echo "==> network chaos tests: drop/dup/partition/reset on both transports (offline)"
+cargo test --release --offline -q -p velox-net --test chaos_net
+
 echo "==> velox-net tracing tests (offline)"
 cargo test --release --offline -q -p velox-net --test tracing
 cargo test --release --offline -q -p velox-rest --test trace_endpoints
@@ -34,6 +37,9 @@ cargo run --release --offline -q -p velox-bench --bin trace_overhead -- --smoke 
 
 echo "==> chaos availability smoke (offline)"
 cargo run --release --offline -q -p velox-bench --bin abl_chaos -- --smoke > /dev/null
+
+echo "==> network chaos availability + zero-acked-loss smoke (offline)"
+cargo run --release --offline -q -p velox-bench --bin abl_chaos_net -- --smoke > /dev/null
 
 echo "==> recovery durability smoke (offline)"
 cargo run --release --offline -q -p velox-bench --bin abl_recovery -- --smoke > /dev/null
