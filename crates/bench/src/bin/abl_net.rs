@@ -274,7 +274,7 @@ fn main() {
         let mut local_score = f64::NAN;
         lat_routed.push(timed_us(|| {
             match non_owner
-                .call(&Request::Predict { uid, item_id: item, no_forward: false })
+                .call(&Request::Predict { uid, item_id: item, no_forward: false, epoch: 0 })
                 .expect("routed predict")
             {
                 Response::Predicted { score, forwarded: f, .. } => {

@@ -24,7 +24,9 @@ use velox_obs::{Counter, Registry};
 use velox_storage::{LruCache, Namespace};
 
 use crate::fault::{FaultAction, FaultPlan, HealthTransition, NodeHealth};
-use crate::partition::{HashPartitioner, NodeId, Router, RoutingPolicy};
+use crate::partition::{
+    HashPartitioner, MigrationStatus, NodeId, PartitionError, PartitionMap, Router, RoutingPolicy,
+};
 
 /// Cluster topology and cost-model configuration.
 #[derive(Debug, Clone)]
@@ -52,6 +54,11 @@ pub struct ClusterConfig {
     /// home partition degrades a user's reads to a replica instead of
     /// losing them. Online updates fan out to every live replica.
     pub user_replication: usize,
+    /// Maximum nodes the cluster can ever hold (`0` = `n_nodes`, i.e. no
+    /// headroom). Slots beyond `n_nodes` are pre-provisioned but start
+    /// `Down` and outside the partition map; [`Cluster::join_node`] brings
+    /// them into membership.
+    pub max_nodes: usize,
 }
 
 impl Default for ClusterConfig {
@@ -66,6 +73,7 @@ impl Default for ClusterConfig {
             routing: RoutingPolicy::ByUser,
             item_replication: 1,
             user_replication: 1,
+            max_nodes: 0,
         }
     }
 }
@@ -222,9 +230,17 @@ impl ClusterStats {
 pub struct Cluster {
     config: ClusterConfig,
     nodes: Vec<Node>,
-    user_part: HashPartitioner,
     item_part: HashPartitioner,
     router: Router,
+    /// Epoch-stamped partition map — the single source of truth for user
+    /// placement. Swapped atomically (whole-`Arc`) on every membership
+    /// change.
+    map: std::sync::RwLock<Arc<PartitionMap>>,
+    /// Requests rejected because the caller presented a stale map epoch.
+    wrong_epoch: Arc<Counter>,
+    /// Ledger of completed partition migrations (most recent last), the
+    /// source for `/cluster/health` membership reporting.
+    migrations: Mutex<Vec<MigrationStatus>>,
     /// Virtual microseconds accumulated by all reads (scaled ×1000 to keep
     /// three decimal places in an atomic integer).
     virtual_read_nanos: AtomicU64,
@@ -246,12 +262,19 @@ impl Cluster {
     pub fn new(config: ClusterConfig) -> Self {
         assert!(config.n_nodes > 0);
         assert!(config.remote_read_us >= config.local_read_us);
-        let nodes = (0..config.n_nodes)
+        let capacity = config.max_nodes.max(config.n_nodes);
+        let nodes = (0..capacity)
             .map(|i| Node {
                 user_weights: Namespace::new(format!("user_weights@{i}")),
                 item_features: Namespace::new(format!("item_features@{i}")),
                 item_cache: Mutex::new(LruCache::new(config.item_cache_capacity)),
-                health: AtomicU8::new(HEALTH_UP),
+                // Headroom slots start Down: they are outside the map and
+                // join_node flips them Up when membership grows.
+                health: AtomicU8::new(if i < config.n_nodes {
+                    HEALTH_UP
+                } else {
+                    NodeHealth::Down.encode()
+                }),
                 requests_served: Arc::new(Counter::new()),
                 local_reads: Arc::new(Counter::new()),
                 remote_reads: Arc::new(Counter::new()),
@@ -262,15 +285,25 @@ impl Cluster {
                 catch_up_entries: Arc::new(Counter::new()),
             })
             .collect();
-        let user_part = HashPartitioner::new(config.n_nodes, crate::partition::USER_SALT);
-        let item_part = HashPartitioner::new(config.n_nodes, crate::partition::ITEM_SALT);
-        let router = Router::new(config.routing, user_part.clone());
+        let user_part = HashPartitioner::new(config.n_nodes, crate::partition::USER_SALT)
+            .expect("n_nodes asserted positive above");
+        let item_part = HashPartitioner::new(config.n_nodes, crate::partition::ITEM_SALT)
+            .expect("n_nodes asserted positive above");
+        let router = Router::new(config.routing, user_part);
+        let map = PartitionMap::bootstrap(
+            config.n_nodes,
+            config.user_replication,
+            crate::partition::USER_SALT,
+        )
+        .expect("n_nodes asserted positive above");
         Cluster {
             config,
             nodes,
-            user_part,
             item_part,
             router,
+            map: std::sync::RwLock::new(Arc::new(map)),
+            wrong_epoch: Arc::new(Counter::new()),
+            migrations: Mutex::new(Vec::new()),
             virtual_read_nanos: AtomicU64::new(0),
             request_clock: AtomicU64::new(0),
             fault_active: AtomicBool::new(false),
@@ -287,14 +320,59 @@ impl Cluster {
         &self.config
     }
 
-    /// Number of nodes.
+    /// Number of provisioned node slots (members plus join headroom).
     pub fn n_nodes(&self) -> usize {
-        self.config.n_nodes
+        self.nodes.len()
+    }
+
+    /// Snapshot of the current partition map.
+    pub fn map(&self) -> Arc<PartitionMap> {
+        Arc::clone(&self.map.read().unwrap())
+    }
+
+    /// Current partition-map epoch.
+    pub fn map_epoch(&self) -> u64 {
+        self.map.read().unwrap().epoch()
+    }
+
+    /// Installs `map` if it is newer than the current one (idempotent for
+    /// same-or-older epochs). Returns true when the map was adopted.
+    pub fn install_map(&self, map: Arc<PartitionMap>) -> bool {
+        let mut cur = self.map.write().unwrap();
+        if map.epoch() > cur.epoch() {
+            *cur = map;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Epoch admission check — the simulated analogue of the TCP
+    /// transport's `WrongEpoch` rejection. A request stamped with a stale
+    /// (or future) epoch is refused with the current epoch so the caller
+    /// can refresh its cached map and retry; epoch `0` bypasses the check
+    /// (server-internal traffic).
+    pub fn admit_epoch(&self, epoch: u64) -> Result<(), u64> {
+        if epoch == 0 {
+            return Ok(());
+        }
+        let cur = self.map.read().unwrap().epoch();
+        if epoch == cur {
+            Ok(())
+        } else {
+            self.wrong_epoch.inc();
+            Err(cur)
+        }
+    }
+
+    /// Requests rejected for presenting a stale map epoch.
+    pub fn wrong_epoch_count(&self) -> u64 {
+        self.wrong_epoch.get()
     }
 
     /// Home node of a user.
     pub fn home_of_user(&self, uid: u64) -> NodeId {
-        self.user_part.node_for(uid)
+        self.map.read().unwrap().owner_of(uid)
     }
 
     /// Home (primary) node of an item.
@@ -303,19 +381,19 @@ impl Cluster {
     }
 
     /// All nodes holding a copy of an item's features: the primary plus
-    /// `item_replication − 1` successors on the node ring.
+    /// `item_replication − 1` successors on the bootstrap node ring (item
+    /// placement does not participate in elastic membership; joined nodes
+    /// fetch remotely and fill their caches).
     pub fn replica_nodes_of_item(&self, item_id: u64) -> Vec<NodeId> {
         let primary = self.home_of_item(item_id);
         let r = self.config.item_replication.clamp(1, self.config.n_nodes);
         (0..r).map(|k| (primary + k) % self.config.n_nodes).collect()
     }
 
-    /// All nodes holding a copy of a user's weights: the home node plus
-    /// `user_replication − 1` successors on the node ring.
+    /// All nodes holding a copy of a user's weights, owner first, per the
+    /// current partition map.
     pub fn replica_nodes_of_user(&self, uid: u64) -> Vec<NodeId> {
-        let primary = self.home_of_user(uid);
-        let r = self.config.user_replication.clamp(1, self.config.n_nodes);
-        (0..r).map(|k| (primary + k) % self.config.n_nodes).collect()
+        self.map.read().unwrap().replicas_of(uid).to_vec()
     }
 
     /// Current health of a node.
@@ -389,6 +467,125 @@ impl Cluster {
         self.nodes[node].catch_up_entries.add(caught_up);
         self.set_health(node, NodeHealth::Up, caught_up);
         caught_up
+    }
+
+    /// Brings the next pre-provisioned headroom slot into membership as a
+    /// fresh, empty node (health `Up`, owning no partitions). Returns the
+    /// new node id; fails when no headroom slot is left (`max_nodes`
+    /// exhausted). Partitions move afterwards via
+    /// [`Cluster::rebalance_join`] / [`Cluster::migrate_partition`].
+    pub fn join_node(&self) -> Result<NodeId, PartitionError> {
+        let mut cur = self.map.write().unwrap();
+        let next_id = cur.members().iter().max().map_or(0, |&m| m + 1);
+        if next_id >= self.nodes.len() {
+            return Err(PartitionError::InvalidMap(format!(
+                "no headroom: slot {next_id} exceeds capacity {}",
+                self.nodes.len()
+            )));
+        }
+        *cur = Arc::new(cur.with_member(next_id)?);
+        drop(cur);
+        self.set_health(next_id, NodeHealth::Up, 0);
+        Ok(next_id)
+    }
+
+    /// Live-migrates virtual partition `p` to `dst` through the epoch
+    /// protocol: (1) install a map adding `dst` as an extra replica — the
+    /// dual-write window, during which every new write fans out to `dst`
+    /// too; (2) copy the partition's existing user weights from the
+    /// current owner; (3) install the cutover map making `dst` the owner.
+    /// Returns the number of users copied.
+    pub fn migrate_partition(&self, p: u32, dst: NodeId) -> Result<u64, PartitionError> {
+        let map0 = self.map();
+        let src = map0.owner_of_partition(p);
+        if src == dst {
+            return Ok(0);
+        }
+        // Phase 1: dual-write window (epoch +1).
+        let map1 = Arc::new(map0.with_extra_replica(p, dst)?);
+        self.install_map(Arc::clone(&map1));
+        // Phase 2: bulk copy of pre-window state from the source shard.
+        let mut copied = 0u64;
+        for (uid, w) in self.nodes[src].user_weights.snapshot_entries() {
+            if map1.partition_of(uid) == p && !self.nodes[dst].user_weights.contains(uid) {
+                self.nodes[dst].user_weights.put(uid, w);
+                copied += 1;
+            }
+        }
+        self.nodes[dst].catch_up_entries.add(copied);
+        // Phase 3: cutover (epoch +2); the old owner stays a replica.
+        let map2 = Arc::new(map1.with_owner(p, dst)?);
+        let epoch_end = map2.epoch();
+        self.install_map(map2);
+        self.migrations.lock().unwrap().push(MigrationStatus {
+            partition: p,
+            from: src,
+            to: dst,
+            phase: "done",
+            epoch_start: map0.epoch(),
+            epoch_end,
+            users_streamed: copied,
+            records_replayed: 0,
+        });
+        Ok(copied)
+    }
+
+    /// Completed partition migrations, most recent last.
+    pub fn migrations(&self) -> Vec<MigrationStatus> {
+        self.migrations.lock().unwrap().clone()
+    }
+
+    /// Planned handoff after [`Cluster::join_node`]: migrates the
+    /// deterministic [`PartitionMap::plan_join`] set of partitions onto
+    /// `dst`, one epoch-bumped migration at a time. Returns the moved
+    /// partitions.
+    pub fn rebalance_join(&self, dst: NodeId) -> Result<Vec<u32>, PartitionError> {
+        let plan = self.map().plan_join(dst)?;
+        for &p in &plan {
+            self.migrate_partition(p, dst)?;
+        }
+        Ok(plan)
+    }
+
+    /// Removes a dead member from the map: its partitions are re-owned by
+    /// their first surviving replica, depleted replica sets are backfilled
+    /// from survivors, and backfilled holders copy the partition state
+    /// from a surviving replica. Returns the entries copied during
+    /// backfill. The node must already be `Down` (see
+    /// [`Cluster::kill_node`]).
+    pub fn fail_over_dead(&self, dead: NodeId) -> Result<u64, PartitionError> {
+        if self.node_health(dead) != NodeHealth::Down {
+            return Err(PartitionError::InvalidMap(format!("node {dead} is not down")));
+        }
+        let old = self.map();
+        let new = Arc::new(old.without_member(dead)?);
+        self.install_map(Arc::clone(&new));
+        let mut copied = 0u64;
+        for p in 0..new.n_partitions() {
+            let old_set = old.replicas_of_partition(p);
+            let new_set = new.replicas_of_partition(p);
+            let Some(&source) =
+                old_set.iter().find(|&&n| n != dead && self.node_health(n) == NodeHealth::Up)
+            else {
+                continue; // no surviving copy; lost until the next publish
+            };
+            for &holder in new_set {
+                if old_set.contains(&holder) || self.node_health(holder) != NodeHealth::Up {
+                    continue;
+                }
+                let mut here = 0u64;
+                for (uid, w) in self.nodes[source].user_weights.snapshot_entries() {
+                    if new.partition_of(uid) == p && !self.nodes[holder].user_weights.contains(uid)
+                    {
+                        self.nodes[holder].user_weights.put(uid, w);
+                        here += 1;
+                    }
+                }
+                self.nodes[holder].catch_up_entries.add(here);
+                copied += here;
+            }
+        }
+        Ok(copied)
     }
 
     /// Installs (or replaces) a fault plan. Scheduled events fire against
@@ -500,15 +697,19 @@ impl Cluster {
         if self.fault_active.load(Ordering::Acquire) {
             self.apply_due_faults(tick);
         }
-        let mut node = self.router.route(uid);
+        let mut node = match self.config.routing {
+            // ByUser consults the live partition map so routing follows
+            // migrations; the static router only drives the round-robin
+            // ablation baseline.
+            RoutingPolicy::ByUser => self.map.read().unwrap().owner_of(uid),
+            RoutingPolicy::RoundRobin => self.router.route(uid),
+        };
         if self.node_health(node) != NodeHealth::Up {
             node = self
                 .replica_nodes_of_user(uid)
                 .into_iter()
                 .find(|&n| self.node_health(n) == NodeHealth::Up)
-                .or_else(|| {
-                    (0..self.config.n_nodes).find(|&n| self.node_health(n) == NodeHealth::Up)
-                })
+                .or_else(|| (0..self.nodes.len()).find(|&n| self.node_health(n) == NodeHealth::Up))
                 .unwrap_or(node);
         }
         self.nodes[node].requests_served.inc();
@@ -647,7 +848,7 @@ impl Cluster {
     /// their state is whatever recovery later copies back.
     pub fn publish_user_weights(&self, entries: Vec<(u64, Vec<f64>)>) {
         let mut per_node: Vec<Vec<(u64, Vec<f64>)>> =
-            (0..self.config.n_nodes).map(|_| Vec::new()).collect();
+            (0..self.nodes.len()).map(|_| Vec::new()).collect();
         for (uid, w) in entries {
             for node in self.replica_nodes_of_user(uid) {
                 per_node[node].push((uid, w.clone()));
@@ -701,7 +902,7 @@ impl Cluster {
     /// "invalidates both prediction and feature caches").
     pub fn publish_item_features(&self, entries: Vec<(u64, Vec<f64>)>) {
         let mut per_node: Vec<Vec<(u64, Vec<f64>)>> =
-            (0..self.config.n_nodes).map(|_| Vec::new()).collect();
+            (0..self.nodes.len()).map(|_| Vec::new()).collect();
         for (item, feat) in entries {
             for node in self.replica_nodes_of_item(item) {
                 per_node[node].push((item, feat.clone()));
@@ -927,6 +1128,11 @@ impl Cluster {
             "velox_cluster_injected_latency_spikes_total",
             &[],
             Arc::clone(&self.injected_latency_spikes),
+        );
+        registry.register_counter(
+            "velox_cluster_wrong_epoch_total",
+            &[],
+            Arc::clone(&self.wrong_epoch),
         );
     }
 }
@@ -1282,6 +1488,85 @@ mod tests {
         c.route_request(29);
         assert_eq!(c.live_nodes(), 4, "recover fires at request 30");
         assert_eq!(c.request_clock(), 30);
+    }
+
+    #[test]
+    fn join_and_rebalance_move_ownership_with_epoch_bumps() {
+        let c = Cluster::new(ClusterConfig {
+            n_nodes: 3,
+            user_replication: 2,
+            max_nodes: 4,
+            ..Default::default()
+        });
+        for uid in 0..500u64 {
+            c.put_user_weights(uid, vec![uid as f64]);
+        }
+        assert_eq!(c.map_epoch(), 1);
+        let new = c.join_node().unwrap();
+        assert_eq!(new, 3);
+        assert_eq!(c.map_epoch(), 2, "join bumps the epoch");
+        assert_eq!(c.map().partitions_owned_by(new).len(), 0, "join moves no data yet");
+
+        let moved = c.rebalance_join(new).unwrap();
+        assert_eq!(moved.len(), c.map().n_partitions() as usize / 4);
+        assert_eq!(
+            c.map_epoch(),
+            2 + 2 * moved.len() as u64,
+            "each migration is two epoch bumps (dual-write, cutover)"
+        );
+        assert_eq!(c.map().partitions_owned_by(new).len(), moved.len());
+
+        // Every user still reads its exact weights, served by the current
+        // owner without failover.
+        for uid in 0..500u64 {
+            let at = c.route_request(uid);
+            let read = c.read_user_weights(at, uid);
+            assert_eq!(read.value.unwrap(), vec![uid as f64], "uid {uid} after rebalance");
+            assert!(!read.failover, "owner must hold the data post-migration");
+        }
+        // No headroom left: a second join fails with a typed error.
+        assert!(c.join_node().is_err());
+    }
+
+    #[test]
+    fn wrong_epoch_is_rejected_until_refresh() {
+        let c = Cluster::new(ClusterConfig {
+            n_nodes: 2,
+            user_replication: 2,
+            max_nodes: 3,
+            ..Default::default()
+        });
+        let stale = c.map_epoch();
+        assert!(c.admit_epoch(stale).is_ok());
+        c.join_node().unwrap();
+        assert_eq!(c.admit_epoch(stale).unwrap_err(), stale + 1, "stale epoch rejected");
+        assert_eq!(c.wrong_epoch_count(), 1);
+        assert!(c.admit_epoch(c.map_epoch()).is_ok(), "refreshed epoch admitted");
+        assert!(c.admit_epoch(0).is_ok(), "epoch 0 bypasses the check");
+    }
+
+    #[test]
+    fn fail_over_dead_reowns_from_replicas_and_backfills() {
+        let c = replicated_cluster(3, 2);
+        for uid in 0..300u64 {
+            c.put_user_weights(uid, vec![uid as f64]);
+        }
+        c.kill_node(1);
+        assert!(c.fail_over_dead(0).is_err(), "only a down node can be failed over");
+        let copied = c.fail_over_dead(1).unwrap();
+        assert!(copied > 0, "backfilled replicas must copy state");
+        let map = c.map();
+        assert!(!map.is_member(1));
+        for p in 0..map.n_partitions() {
+            assert_eq!(map.replicas_of_partition(p).len(), 2, "replication restored");
+        }
+        for uid in 0..300u64 {
+            let at = c.route_request(uid);
+            assert_ne!(at, 1);
+            let read = c.read_user_weights(at, uid);
+            assert!(!read.unavailable);
+            assert_eq!(read.value.unwrap(), vec![uid as f64], "uid {uid} after fail-over");
+        }
     }
 
     #[test]

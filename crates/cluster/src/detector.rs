@@ -69,11 +69,16 @@ pub struct DetectorConfig {
     pub suspect_after: u32,
     /// Consecutive misses before a peer turns `Dead`.
     pub dead_after: u32,
+    /// Consecutive *successes* required before a `Suspect`/`Dead` peer is
+    /// promoted back to `Alive` — flap damping, so a marginal link that
+    /// alternates hit/miss cannot oscillate routing on every probe. One
+    /// intervening failure resets the streak.
+    pub revive_after: u32,
 }
 
 impl Default for DetectorConfig {
     fn default() -> Self {
-        DetectorConfig { suspect_after: 2, dead_after: 5 }
+        DetectorConfig { suspect_after: 2, dead_after: 5, revive_after: 3 }
     }
 }
 
@@ -94,11 +99,19 @@ pub struct PeerLiveness {
     pub failures: u64,
 }
 
+#[derive(Default)]
+struct ProbeRuns {
+    /// Consecutive failed probes (reset by any success).
+    misses: u32,
+    /// Consecutive successful probes (reset by any failure).
+    streak: u32,
+}
+
 struct Slot {
-    // State math runs under the mutex (misses + transition decision);
+    // State math runs under the mutex (run counts + transition decision);
     // the atomics mirror the results for lock-free readers on the
     // serving path.
-    core: Mutex<u32>, // consecutive misses
+    core: Mutex<ProbeRuns>,
     state: AtomicU8,
     last_rtt_us: AtomicU64,
     probes: AtomicU64,
@@ -126,7 +139,7 @@ impl FailureDetector {
     pub fn new(n_peers: usize, config: DetectorConfig) -> Self {
         let slots = (0..n_peers)
             .map(|_| Slot {
-                core: Mutex::new(0),
+                core: Mutex::new(ProbeRuns::default()),
                 state: AtomicU8::new(PeerState::Alive.encode()),
                 last_rtt_us: AtomicU64::new(0),
                 probes: AtomicU64::new(0),
@@ -147,21 +160,28 @@ impl FailureDetector {
     }
 
     /// Records a successful probe (or data-plane call) to `peer` with the
-    /// observed round trip. Returns the previous state when this outcome
-    /// *revived* the peer — the caller's cue to run heal work (e.g. drain
-    /// a ship backlog).
+    /// observed round trip. A `Suspect`/`Dead` peer is only promoted back
+    /// to `Alive` after `revive_after` *consecutive* successes (flap
+    /// damping). Returns the previous state when this outcome revived the
+    /// peer — the caller's cue to run heal work (e.g. drain a ship
+    /// backlog).
     pub fn record_success(&self, peer: u32, rtt_us: u64) -> Option<PeerState> {
         let slot = &self.slots[peer as usize];
         slot.probes.fetch_add(1, Ordering::Relaxed);
         slot.last_rtt_us.store(rtt_us, Ordering::Relaxed);
-        // Fast path: already alive with no misses — skip the lock.
+        // Fast path: already alive — zero the miss run, skip transitions.
         if slot.state.load(Ordering::Acquire) == PeerState::Alive.encode() {
-            let mut misses = slot.core.lock().unwrap();
-            *misses = 0;
+            let mut runs = slot.core.lock().unwrap();
+            runs.misses = 0;
+            runs.streak = runs.streak.saturating_add(1);
             return None;
         }
-        let mut misses = slot.core.lock().unwrap();
-        *misses = 0;
+        let mut runs = slot.core.lock().unwrap();
+        runs.misses = 0;
+        runs.streak = runs.streak.saturating_add(1);
+        if runs.streak < self.config.revive_after.max(1) {
+            return None; // not enough consecutive successes yet
+        }
         let old = PeerState::decode(slot.state.swap(PeerState::Alive.encode(), Ordering::AcqRel));
         if old == PeerState::Alive {
             None
@@ -171,20 +191,28 @@ impl FailureDetector {
     }
 
     /// Records a missed probe (or failed data-plane call) to `peer`.
-    /// Returns the new state when the verdict changed.
+    /// Failures only escalate the verdict (`Alive → Suspect → Dead`);
+    /// de-escalation happens solely through the success streak in
+    /// [`FailureDetector::record_success`]. Returns the new state when
+    /// the verdict changed.
     pub fn record_failure(&self, peer: u32) -> Option<PeerState> {
         let slot = &self.slots[peer as usize];
         slot.probes.fetch_add(1, Ordering::Relaxed);
         slot.failures.fetch_add(1, Ordering::Relaxed);
-        let mut misses = slot.core.lock().unwrap();
-        *misses = misses.saturating_add(1);
-        let new = if *misses >= self.config.dead_after {
+        let mut runs = slot.core.lock().unwrap();
+        runs.streak = 0;
+        runs.misses = runs.misses.saturating_add(1);
+        let candidate = if runs.misses >= self.config.dead_after {
             PeerState::Dead
-        } else if *misses >= self.config.suspect_after {
+        } else if runs.misses >= self.config.suspect_after {
             PeerState::Suspect
         } else {
             PeerState::Alive
         };
+        let cur = PeerState::decode(slot.state.load(Ordering::Acquire));
+        // A failure must never *improve* the verdict (a short miss run
+        // after a partial revival does not mean the peer is alive).
+        let new = if candidate.encode() >= cur.encode() { candidate } else { cur };
         let old = PeerState::decode(slot.state.swap(new.encode(), Ordering::AcqRel));
         if old == new {
             None
@@ -195,15 +223,16 @@ impl FailureDetector {
 
     /// Forces `peer` to `state` (used when the runtime *knows* — e.g. it
     /// just killed or recovered the node — rather than waiting for the
-    /// probe loop to find out).
+    /// probe loop to find out). Bypasses revival hysteresis.
     pub fn force(&self, peer: u32, state: PeerState) {
         let slot = &self.slots[peer as usize];
-        let mut misses = slot.core.lock().unwrap();
-        *misses = match state {
+        let mut runs = slot.core.lock().unwrap();
+        runs.misses = match state {
             PeerState::Alive => 0,
             PeerState::Suspect => self.config.suspect_after,
             PeerState::Dead => self.config.dead_after,
         };
+        runs.streak = 0;
         slot.state.store(state.encode(), Ordering::Release);
     }
 
@@ -215,7 +244,7 @@ impl FailureDetector {
             .map(|(i, s)| PeerLiveness {
                 node: i as u32,
                 state: PeerState::decode(s.state.load(Ordering::Acquire)),
-                misses: *s.core.lock().unwrap(),
+                misses: s.core.lock().unwrap().misses,
                 last_rtt_us: s.last_rtt_us.load(Ordering::Relaxed),
                 probes: s.probes.load(Ordering::Relaxed),
                 failures: s.failures.load(Ordering::Relaxed),
@@ -258,7 +287,10 @@ mod tests {
 
     #[test]
     fn thresholds_drive_two_stage_verdict() {
-        let d = FailureDetector::new(2, DetectorConfig { suspect_after: 2, dead_after: 4 });
+        let d = FailureDetector::new(
+            2,
+            DetectorConfig { suspect_after: 2, dead_after: 4, revive_after: 1 },
+        );
         assert_eq!(d.state(0), PeerState::Alive);
         assert_eq!(d.record_failure(0), None); // 1 miss: still alive
         assert_eq!(d.record_failure(0), Some(PeerState::Suspect)); // 2
@@ -271,7 +303,10 @@ mod tests {
 
     #[test]
     fn success_revives_and_reports_previous_state() {
-        let d = FailureDetector::new(1, DetectorConfig { suspect_after: 1, dead_after: 2 });
+        let d = FailureDetector::new(
+            1,
+            DetectorConfig { suspect_after: 1, dead_after: 2, revive_after: 1 },
+        );
         d.record_failure(0);
         d.record_failure(0);
         assert_eq!(d.state(0), PeerState::Dead);
@@ -282,6 +317,48 @@ mod tests {
         assert_eq!(snap[0].last_rtt_us, 80);
         assert_eq!(snap[0].failures, 2);
         assert_eq!(snap[0].probes, 4);
+    }
+
+    #[test]
+    fn revival_requires_consecutive_success_streak() {
+        let d = FailureDetector::new(
+            1,
+            DetectorConfig { suspect_after: 1, dead_after: 3, revive_after: 3 },
+        );
+        d.record_failure(0);
+        assert_eq!(d.state(0), PeerState::Suspect);
+        // Two successes are not enough.
+        assert_eq!(d.record_success(0, 10), None);
+        assert_eq!(d.record_success(0, 10), None);
+        assert_eq!(d.state(0), PeerState::Suspect, "still damped");
+        // The third consecutive success revives and reports the old state.
+        assert_eq!(d.record_success(0, 10), Some(PeerState::Suspect));
+        assert_eq!(d.state(0), PeerState::Alive);
+    }
+
+    #[test]
+    fn flapping_link_cannot_oscillate_routing() {
+        // hit/miss alternation: the success streak never reaches
+        // revive_after, so once suspect the peer stays suspect (and
+        // eventually the misses alone would have flapped it alive before
+        // this change).
+        let d = FailureDetector::new(
+            1,
+            DetectorConfig { suspect_after: 2, dead_after: 100, revive_after: 2 },
+        );
+        d.record_failure(0);
+        d.record_failure(0);
+        assert_eq!(d.state(0), PeerState::Suspect);
+        for _ in 0..10 {
+            d.record_success(0, 10);
+            assert_eq!(d.state(0), PeerState::Suspect, "single success must not revive");
+            d.record_failure(0);
+            assert_eq!(d.state(0), PeerState::Suspect, "single miss must not demote to alive");
+        }
+        // A clean streak finally revives it.
+        assert_eq!(d.record_success(0, 10), None);
+        assert_eq!(d.record_success(0, 10), Some(PeerState::Suspect));
+        assert_eq!(d.state(0), PeerState::Alive);
     }
 
     #[test]

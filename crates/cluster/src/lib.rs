@@ -50,7 +50,10 @@ pub use fault::{FaultAction, FaultEvent, FaultPlan, HealthTransition, NodeHealth
 pub use netfault::{
     ChaosControl, LinkChaos, LinkFaultEvent, LinkFaultKind, LinkFaultPlan, LinkVerdict, FRONT_PEER,
 };
-pub use partition::{HashPartitioner, NodeId, RoutingPolicy, ITEM_SALT, USER_SALT};
+pub use partition::{
+    HashPartitioner, MembershipView, MigrationStatus, NodeId, PartitionError, PartitionMap,
+    RoutingPolicy, ITEM_SALT, PARTITIONS_PER_NODE, USER_SALT,
+};
 pub use retry::{obs_id_nonce, ObsDedupe, RetryPolicy};
 pub use transport::{
     dot, lms_update, SimTransport, Transport, TransportError, TransportObserve, TransportPredict,

@@ -27,7 +27,7 @@ use crate::cluster::Cluster;
 use crate::detector::{PeerLiveness, PeerState};
 use crate::fault::NodeHealth;
 use crate::netfault::{ChaosControl, LinkChaos, FRONT_PEER};
-use crate::partition::NodeId;
+use crate::partition::{MembershipView, NodeId, PartitionMap};
 use crate::retry::{obs_id_nonce, ObsDedupe, RetryPolicy};
 
 /// Why a transport request failed.
@@ -163,6 +163,13 @@ pub trait Transport {
             })
             .collect()
     }
+
+    /// Membership and migration state (map epoch, members, migration
+    /// ledger, wrong-epoch rejections), served by `GET /cluster/health`.
+    /// `None` for backends without elastic membership.
+    fn membership(&self) -> Option<MembershipView> {
+        None
+    }
 }
 
 /// Dot product in index order — the one accumulation order both backends
@@ -207,6 +214,12 @@ pub struct SimTransport {
     obs_seq: AtomicU64,
     dedupe_hits: AtomicU64,
     chaos_retries: AtomicU64,
+    // Client-side partition-map cache: every request presents this map's
+    // epoch to the cluster exactly like a TCP client stamps its frames.
+    // A WrongEpoch rejection refreshes the cache and retries — the same
+    // stale-client protocol the socket backend runs.
+    map: Mutex<Arc<PartitionMap>>,
+    map_refreshes: AtomicU64,
 }
 
 impl SimTransport {
@@ -226,6 +239,7 @@ impl SimTransport {
     }
 
     fn build(cluster: Arc<Cluster>, lr: f64, tracer: Arc<Tracer>) -> Self {
+        let map = Mutex::new(cluster.map());
         SimTransport {
             cluster,
             lr,
@@ -239,6 +253,8 @@ impl SimTransport {
             obs_seq: AtomicU64::new(0),
             dedupe_hits: AtomicU64::new(0),
             chaos_retries: AtomicU64::new(0),
+            map,
+            map_refreshes: AtomicU64::new(0),
         }
     }
 
@@ -262,6 +278,29 @@ impl SimTransport {
     /// RPC attempts retried because of injected link faults.
     pub fn chaos_retry_count(&self) -> u64 {
         self.chaos_retries.load(Ordering::Relaxed)
+    }
+
+    /// Map refreshes forced by `WrongEpoch` rejections (each one is a
+    /// stale client catching up to a membership change).
+    pub fn map_refresh_count(&self) -> u64 {
+        self.map_refreshes.load(Ordering::Relaxed)
+    }
+
+    /// Presents the cached map epoch to the cluster before a request, as a
+    /// TCP client stamps its frames. A `WrongEpoch` rejection refreshes
+    /// the cache from the cluster and re-presents — bounded because the
+    /// refreshed epoch is the one the rejection reported (or newer).
+    fn admit_with_refresh(&self) {
+        loop {
+            let epoch = self.map.lock().unwrap().epoch();
+            match self.cluster.admit_epoch(epoch) {
+                Ok(()) => return,
+                Err(_) => {
+                    *self.map.lock().unwrap() = self.cluster.map();
+                    self.map_refreshes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
     }
 
     /// Mints a process-unique observation id.
@@ -341,6 +380,7 @@ impl Transport for SimTransport {
         let entry_ctx =
             root.as_ref().map(|r| r.ctx()).or_else(|| entry_child.as_ref().map(|c| c.ctx()));
 
+        self.admit_with_refresh();
         let route_span = tracer.child(entry_ctx.as_ref(), SpanKind::Route, FRONT_NODE);
         let at = self.cluster.route_request(uid);
         let home = self.cluster.home_of_user(uid);
@@ -442,6 +482,7 @@ impl Transport for SimTransport {
         // window makes the operation exactly-once no matter how the link
         // misbehaves.
         let obs_id = self.next_obs_id();
+        self.admit_with_refresh();
         let home = self.cluster.home_of_user(uid);
         let budget = self.retry.max_attempts.max(1);
         let mut outcome: Result<(NodeId, u64, usize), TransportError> =
@@ -574,6 +615,19 @@ impl Transport for SimTransport {
     fn tracer(&self) -> Arc<Tracer> {
         Arc::clone(&self.tracer)
     }
+
+    fn membership(&self) -> Option<MembershipView> {
+        let map = self.cluster.map();
+        Some(MembershipView {
+            epoch: map.epoch(),
+            members: map.members().to_vec(),
+            n_partitions: map.n_partitions(),
+            replication: map.replication(),
+            migrations: self.cluster.migrations(),
+            wrong_epoch: self.cluster.wrong_epoch_count(),
+            map_refreshes: self.map_refresh_count(),
+        })
+    }
 }
 
 impl ChaosControl for SimTransport {
@@ -642,6 +696,41 @@ mod tests {
         let home = t.cluster().home_of_user(42);
         t.cluster().kill_node(home);
         assert_eq!(t.predict(42, 1).unwrap_err(), TransportError::Unavailable);
+    }
+
+    #[test]
+    fn stale_client_refreshes_map_and_serves_through_rebalance() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig {
+            n_nodes: 3,
+            user_replication: 2,
+            item_replication: 3,
+            max_nodes: 4,
+            ..Default::default()
+        }));
+        for item in 0..16u64 {
+            cluster.put_item_features(item, vec![1.0, (item % 4) as f64, 0.5]);
+        }
+        let t = SimTransport::new(Arc::clone(&cluster), 0.1);
+        for uid in 0..64u64 {
+            t.observe(uid, uid % 16, 1.0).unwrap();
+        }
+        // Membership changes behind the client's back: join + rebalance.
+        let new = cluster.join_node().unwrap();
+        cluster.rebalance_join(new).unwrap();
+        assert_eq!(t.map_refresh_count(), 0, "client still holds the stale map");
+        // The next request is rejected as WrongEpoch, refreshes, retries,
+        // and serves — no user-visible error.
+        for uid in 0..64u64 {
+            let read = t.predict(uid, uid % 16).unwrap();
+            assert!(!read.cold_start, "weights must survive the rebalance (uid {uid})");
+        }
+        assert_eq!(t.map_refresh_count(), 1, "one refresh catches the client up");
+        assert!(cluster.wrong_epoch_count() >= 1);
+        let view = t.membership().expect("sim backend reports membership");
+        assert_eq!(view.epoch, cluster.map_epoch());
+        assert!(view.members.contains(&new));
+        assert!(!view.migrations.is_empty());
+        assert!(view.migrations.iter().all(|m| m.phase == "done"));
     }
 
     #[test]

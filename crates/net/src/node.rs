@@ -30,11 +30,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use velox_cluster::netfault::{LinkChaos, FRONT_PEER};
-use velox_cluster::partition::USER_SALT;
 use velox_cluster::retry::ObsDedupe;
 use velox_cluster::transport::{dot, lms_update};
-use velox_cluster::{HashPartitioner, NodeId};
-use velox_obs::{trace::now_ns, Counter, Registry, SpanKind, TraceContext, Tracer};
+use velox_cluster::{NodeId, PartitionMap};
+use velox_obs::{trace::now_ns, Counter, Gauge, Registry, SpanKind, TraceContext, Tracer};
 use velox_storage::{Observation, Wal, WalConfig, WalRecovery};
 
 use crate::client::{ChaosLink, ClientMetrics, NetClient, NetClientConfig};
@@ -154,6 +153,15 @@ pub struct NodeMetrics {
     pub ship_backlog_queued: Arc<Counter>,
     /// Backlogged records delivered to a replica after its link healed.
     pub ship_catch_up_records: Arc<Counter>,
+    /// Records currently sitting in bounded per-replica ship queues
+    /// (resync markers excluded — their debt lives in the log).
+    pub ship_backlog_depth: Arc<Gauge>,
+    /// High-watermark of `ship_backlog_depth` over the node's lifetime.
+    pub ship_backlog_hwm: Arc<Gauge>,
+    /// Requests rejected because the sender's map epoch was stale.
+    pub wrong_epoch: Arc<Counter>,
+    /// Partition maps adopted via `InstallMap` (newer-epoch installs only).
+    pub map_installs: Arc<Counter>,
 }
 
 impl NodeMetrics {
@@ -168,6 +176,10 @@ impl NodeMetrics {
             duplicate_observes: Arc::new(Counter::new()),
             ship_backlog_queued: Arc::new(Counter::new()),
             ship_catch_up_records: Arc::new(Counter::new()),
+            ship_backlog_depth: Arc::new(Gauge::new()),
+            ship_backlog_hwm: Arc::new(Gauge::new()),
+            wrong_epoch: Arc::new(Counter::new()),
+            map_installs: Arc::new(Counter::new()),
         }
     }
 
@@ -203,6 +215,26 @@ impl NodeMetrics {
             &labels,
             Arc::clone(&self.ship_catch_up_records),
         );
+        registry.register_gauge(
+            "velox_net_ship_backlog_depth",
+            &labels,
+            Arc::clone(&self.ship_backlog_depth),
+        );
+        registry.register_gauge(
+            "velox_net_ship_backlog_hwm",
+            &labels,
+            Arc::clone(&self.ship_backlog_hwm),
+        );
+        registry.register_counter(
+            "velox_net_wrong_epoch_total",
+            &labels,
+            Arc::clone(&self.wrong_epoch),
+        );
+        registry.register_counter(
+            "velox_net_map_installs_total",
+            &labels,
+            Arc::clone(&self.map_installs),
+        );
     }
 }
 
@@ -216,10 +248,14 @@ impl Default for NodeMetrics {
 pub struct NodeConfig {
     /// This node's id on the ring.
     pub node_id: NodeId,
-    /// Cluster size (fixed).
+    /// Cluster *capacity*: one more than the highest node id the cluster
+    /// can ever grow to. Sizes the per-replica backlog slots; the live
+    /// member set comes from the partition map.
     pub n_nodes: usize,
-    /// Copies of each user's weights (primary + successors on the ring).
-    pub user_replication: usize,
+    /// The partition map at start. Ownership, replica sets, and
+    /// `holds_user` all come from the node's current map, which later
+    /// `InstallMap` frames advance.
+    pub map: Arc<PartitionMap>,
     /// LMS learning rate.
     pub lr: f64,
     /// WAL directory for this node; `None` runs without local durability
@@ -254,10 +290,12 @@ struct LogInner {
 enum ShipBacklog {
     /// Link healthy, nothing owed.
     Clear,
-    /// Records to deliver, in ship order.
-    Queue(VecDeque<Observation>),
+    /// `(record, obs_id)` pairs to deliver, in ship order.
+    Queue(VecDeque<(Observation, u64)>),
     /// Queue overflowed: on heal, re-ship every log record with
-    /// `timestamp >= ts` instead.
+    /// `timestamp >= ts` instead (obs ids are lost for resynced records —
+    /// the log does not store them — so only the queued window feeds the
+    /// replica's dedupe).
     ResyncFrom(u64),
 }
 
@@ -266,7 +304,8 @@ enum ShipBacklog {
 /// the other way around.
 pub struct NodeState {
     config: NodeConfig,
-    users: HashPartitioner,
+    /// Current partition map; swapped whole-`Arc` by `InstallMap`.
+    map: RwLock<Arc<PartitionMap>>,
     weights: Mutex<HashMap<u64, Vec<f64>>>,
     items: Mutex<HashMap<u64, Vec<f64>>>,
     log: Mutex<LogInner>,
@@ -291,16 +330,54 @@ pub struct NodeState {
 }
 
 impl NodeState {
-    /// Replica set of a user: home plus successors on the ring.
+    /// The node's current partition map.
+    pub fn current_map(&self) -> Arc<PartitionMap> {
+        Arc::clone(&self.map.read().unwrap())
+    }
+
+    /// Adopts `map` if it is newer than the current one (idempotent for
+    /// replayed install frames). Returns whether it was adopted.
+    pub fn install_map(&self, map: Arc<PartitionMap>) -> bool {
+        let mut cur = self.map.write().unwrap();
+        if map.epoch() > cur.epoch() {
+            *cur = map;
+            self.config.metrics.map_installs.inc();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Replica set of a user under the current map (owner first).
     fn replica_nodes_of_user(&self, uid: u64) -> Vec<NodeId> {
-        let primary = self.users.node_for(uid);
-        let r = self.config.user_replication.clamp(1, self.config.n_nodes);
-        (0..r).map(|k| (primary + k) % self.config.n_nodes).collect()
+        self.map.read().unwrap().replicas_of(uid).to_vec()
     }
 
     /// True when this node is in `uid`'s replica set.
     pub fn holds_user(&self, uid: u64) -> bool {
-        self.replica_nodes_of_user(uid).contains(&self.config.node_id)
+        let map = self.map.read().unwrap();
+        map.holds(self.config.node_id, uid)
+    }
+
+    /// Checks a request's map-epoch stamp against the node's map. `0`
+    /// (unstamped: server-internal hops, pre-membership tooling) always
+    /// passes. A mismatch in either direction means the sender routed
+    /// with a different map than this node serves under, so the request
+    /// is refused before anything is applied — the sender refreshes
+    /// (`GetMap`) and retries under the new map.
+    fn admit_epoch(&self, epoch: u64) -> Result<(), Response> {
+        if epoch == 0 {
+            return Ok(());
+        }
+        let cur = self.map.read().unwrap().epoch();
+        if epoch == cur {
+            return Ok(());
+        }
+        self.config.metrics.wrong_epoch.inc();
+        Err(Response::Error {
+            code: ErrorCode::WrongEpoch,
+            message: format!("stale map epoch {epoch}, node is at {cur}"),
+        })
     }
 
     /// Installs item features (management plane; not logged).
@@ -364,10 +441,13 @@ impl NodeState {
     ) -> Response {
         let me = self.config.node_id;
         let tracer = &self.config.tracer;
-        let owner = self.users.node_for(uid);
+        let owner = self.map.read().unwrap().owner_of(uid);
         if owner != me && !no_forward {
             if let Some(peer) = self.peers.get(owner) {
-                let fwd = Request::Predict { uid, item_id, no_forward: true };
+                // Forwarded leg is unstamped (epoch 0): both hops already
+                // run under this node's map, and a mid-flight install
+                // must not fail a request that routed correctly.
+                let fwd = Request::Predict { uid, item_id, no_forward: true, epoch: 0 };
                 let rpc_span = tracer.child(ctx, SpanKind::RpcCall, me as u32);
                 let rpc_ctx = rpc_span.as_ref().map(|s| s.ctx());
                 let reply = peer.call_traced(&fwd, rpc_ctx.as_ref());
@@ -409,10 +489,10 @@ impl NodeState {
     ) -> Response {
         let me = self.config.node_id;
         let tracer = &self.config.tracer;
-        let owner = self.users.node_for(uid);
+        let owner = self.map.read().unwrap().owner_of(uid);
         if owner != me && !no_forward {
             if let Some(peer) = self.peers.get_from(me as u32, owner) {
-                let fwd = Request::Observe { uid, item_id, y, no_forward: true, obs_id };
+                let fwd = Request::Observe { uid, item_id, y, no_forward: true, obs_id, epoch: 0 };
                 let rpc_span = tracer.child(ctx, SpanKind::RpcCall, me as u32);
                 let rpc_ctx = rpc_span.as_ref().map(|s| s.ctx());
                 let reply = peer.call_traced(&fwd, rpc_ctx.as_ref());
@@ -537,21 +617,20 @@ impl NodeState {
                 // keeps serving (degraded) and catches the replica up on
                 // heal or via its `PullLog` recovery.
                 self.config.metrics.ship_failures.inc();
-                self.push_backlog(&mut debt, rec.clone());
+                self.push_backlog(&mut debt, rec.clone(), obs_id);
                 continue;
             }
             let ship_span = tracer.child(work_ctx.as_ref(), SpanKind::ShipReplica, me as u32);
             let ship_ctx = ship_span.as_ref().map(|s| s.ctx());
-            match peer
-                .call_traced(&Request::ShipLog { records: vec![rec.clone()] }, ship_ctx.as_ref())
-            {
+            let ship = Request::ShipLog { records: vec![rec.clone()], obs_ids: vec![obs_id] };
+            match peer.call_traced(&ship, ship_ctx.as_ref()) {
                 Ok(Response::Ok) => {
                     shipped_to += 1;
                     tracer.finish(ship_span);
                 }
                 _ => {
                     self.config.metrics.ship_failures.inc();
-                    self.push_backlog(&mut debt, rec.clone());
+                    self.push_backlog(&mut debt, rec.clone(), obs_id);
                     tracer.finish_status(ship_span, velox_obs::SpanStatus::Error);
                 }
             }
@@ -563,25 +642,34 @@ impl NodeState {
     }
 
     /// Queues one record a replica missed, collapsing to a resync marker
-    /// when the bounded queue is full.
-    fn push_backlog(&self, debt: &mut ShipBacklog, rec: Observation) {
+    /// when the bounded queue is full. Tracks the queued-depth gauge and
+    /// its high-watermark.
+    fn push_backlog(&self, debt: &mut ShipBacklog, rec: Observation, obs_id: u64) {
         let cap = self.config.ship_backlog_cap.max(1);
-        self.config.metrics.ship_backlog_queued.inc();
+        let metrics = &self.config.metrics;
+        metrics.ship_backlog_queued.inc();
         match debt {
             ShipBacklog::Clear => {
-                *debt = ShipBacklog::Queue(VecDeque::from([rec]));
+                *debt = ShipBacklog::Queue(VecDeque::from([(rec, obs_id)]));
+                metrics.ship_backlog_depth.add(1);
             }
             ShipBacklog::Queue(q) => {
                 if q.len() >= cap {
-                    let oldest = q.front().map(|r| r.timestamp).unwrap_or(rec.timestamp);
+                    let oldest = q.front().map(|(r, _)| r.timestamp).unwrap_or(rec.timestamp);
+                    metrics.ship_backlog_depth.add(-(q.len() as i64));
                     *debt = ShipBacklog::ResyncFrom(oldest.min(rec.timestamp));
                 } else {
-                    q.push_back(rec);
+                    q.push_back((rec, obs_id));
+                    metrics.ship_backlog_depth.add(1);
                 }
             }
             ShipBacklog::ResyncFrom(ts) => {
                 *debt = ShipBacklog::ResyncFrom(rec.timestamp.min(*ts));
             }
+        }
+        let depth = metrics.ship_backlog_depth.get();
+        if depth > metrics.ship_backlog_hwm.get() {
+            metrics.ship_backlog_hwm.set(depth);
         }
     }
 
@@ -595,9 +683,9 @@ impl NodeState {
         peer: &NetClient,
         ctx: Option<&TraceContext>,
     ) -> bool {
-        let records: Vec<Observation> = match &*debt {
+        let (records, obs_ids): (Vec<Observation>, Vec<u64>) = match &*debt {
             ShipBacklog::Clear => return true,
-            ShipBacklog::Queue(q) => q.iter().cloned().collect(),
+            ShipBacklog::Queue(q) => q.iter().cloned().unzip(),
             ShipBacklog::ResyncFrom(ts) => {
                 let from = *ts;
                 let log = self.log.lock().unwrap();
@@ -605,17 +693,22 @@ impl NodeState {
                     log.records.iter().filter(|r| r.timestamp >= from).cloned().collect();
                 drop(log);
                 records.sort_by_key(|r| r.timestamp);
-                records
+                let ids = vec![0u64; records.len()];
+                (records, ids)
             }
         };
         let n = records.len() as u64;
+        let queued = matches!(&*debt, ShipBacklog::Queue(_));
         let tracer = &self.config.tracer;
         let ship_span = tracer.child(ctx, SpanKind::ShipReplica, self.config.node_id as u32);
         let ship_ctx = ship_span.as_ref().map(|s| s.ctx());
-        match peer.call_traced(&Request::ShipLog { records }, ship_ctx.as_ref()) {
+        match peer.call_traced(&Request::ShipLog { records, obs_ids }, ship_ctx.as_ref()) {
             Ok(Response::Ok) => {
                 tracer.finish(ship_span);
                 self.config.metrics.ship_catch_up_records.add(n);
+                if queued {
+                    self.config.metrics.ship_backlog_depth.add(-(n as i64));
+                }
                 *debt = ShipBacklog::Clear;
                 true
             }
@@ -644,9 +737,14 @@ impl NodeState {
         total
     }
 
-    fn respond_ship(&self, records: Vec<Observation>, ctx: Option<&TraceContext>) -> Response {
+    fn respond_ship(
+        &self,
+        records: Vec<Observation>,
+        obs_ids: Vec<u64>,
+        ctx: Option<&TraceContext>,
+    ) -> Response {
         let apply = self.config.tracer.child(ctx, SpanKind::ShipApply, self.config.node_id as u32);
-        let resp = self.apply_shipped(records);
+        let resp = self.apply_shipped(records, obs_ids);
         let status = if matches!(resp, Response::Ok) {
             velox_obs::SpanStatus::Ok
         } else {
@@ -656,11 +754,23 @@ impl NodeState {
         resp
     }
 
-    fn apply_shipped(&self, records: Vec<Observation>) -> Response {
+    fn apply_shipped(&self, records: Vec<Observation>, obs_ids: Vec<u64>) -> Response {
         let lr = self.config.lr;
         let mut log = self.log.lock().unwrap();
-        for rec in &records {
+        for (i, rec) in records.iter().enumerate() {
             self.clock.fetch_max(rec.timestamp, Ordering::AcqRel);
+            // Feed the owner's observation id into this replica's dedupe
+            // window even for records it already holds: if a cutover later
+            // promotes this replica to owner, an ack-lost client retry
+            // routed here answers with the original ack instead of a
+            // second LMS update.
+            let obs_id = obs_ids.get(i).copied().unwrap_or(0);
+            if obs_id != 0 {
+                let mut dedupe = self.dedupe.lock().unwrap();
+                if dedupe.hit(obs_id).is_none() {
+                    dedupe.put(obs_id, (self.config.node_id as u32, rec.timestamp, 0));
+                }
+            }
             if !log.applied.insert((rec.uid, rec.timestamp)) {
                 continue;
             }
@@ -688,6 +798,56 @@ impl NodeState {
         records.sort_by_key(|r| r.timestamp);
         Response::Log { records }
     }
+
+    /// Snapshot of every user weight vector this node holds for one
+    /// virtual partition — the migration checkpoint stream source. The
+    /// snapshot covers weights with no log records too (management-plane
+    /// `PutWeights` installs), which log replay alone would miss.
+    fn respond_pull_partition(&self, partition: u32) -> Response {
+        let map = self.current_map();
+        let weights = self.weights.lock().unwrap();
+        let entries: Vec<(u64, Vec<f64>)> = weights
+            .iter()
+            .filter(|(uid, _)| map.partition_of(**uid) == partition)
+            .map(|(uid, w)| (*uid, w.clone()))
+            .collect();
+        Response::Partition { entries }
+    }
+
+    /// Installs checkpoint-streamed weights, keeping any vector this node
+    /// already has (dual-write updates that landed here are newer than
+    /// the snapshot; the post-cutover log replay reconciles exactly).
+    fn respond_push_partition(&self, entries: Vec<(u64, Vec<f64>)>) -> Response {
+        let mut weights = self.weights.lock().unwrap();
+        for (uid, w) in entries {
+            weights.entry(uid).or_insert(w);
+        }
+        Response::Ok
+    }
+
+    /// Rebuilds the weights of every user in `partition` that has log
+    /// records here, replaying in timestamp order — the same op order the
+    /// owner first applied, so the rebuilt floats are bit-identical.
+    /// Users without records (checkpoint-only state) are left untouched;
+    /// other partitions' weights are never cleared.
+    pub fn rebuild_partition(&self, partition: u32) {
+        let lr = self.config.lr;
+        let map = self.current_map();
+        let log = self.log.lock().unwrap();
+        let mut records: Vec<&Observation> =
+            log.records.iter().filter(|r| map.partition_of(r.uid) == partition).collect();
+        records.sort_by_key(|r| r.timestamp);
+        let items = self.items.lock().unwrap();
+        let mut weights = self.weights.lock().unwrap();
+        for rec in &records {
+            weights.remove(&rec.uid);
+        }
+        for rec in records {
+            if let Some(x) = items.get(&rec.item_id) {
+                lms_update(weights.entry(rec.uid).or_default(), x, rec.y, lr);
+            }
+        }
+    }
 }
 
 impl NodeState {
@@ -695,16 +855,24 @@ impl NodeState {
     /// receive span wrapping this request.
     fn dispatch(&self, req: Request, ctx: Option<&TraceContext>) -> Response {
         match req {
-            Request::Predict { uid, item_id, no_forward } => {
+            Request::Predict { uid, item_id, no_forward, epoch } => {
+                if let Err(reject) = self.admit_epoch(epoch) {
+                    return reject;
+                }
                 self.respond_predict(uid, item_id, no_forward, ctx)
             }
-            Request::Observe { uid, item_id, y, no_forward, obs_id } => {
+            Request::Observe { uid, item_id, y, no_forward, obs_id, epoch } => {
+                // Rejected-for-epoch observes were never applied, so the
+                // client's same-obs_id retry under the fresh map is safe.
+                if let Err(reject) = self.admit_epoch(epoch) {
+                    return reject;
+                }
                 self.respond_observe(uid, item_id, y, no_forward, obs_id, ctx)
             }
             Request::FetchWeights { uid } => {
                 Response::Weights { w: self.weights.lock().unwrap().get(&uid).cloned() }
             }
-            Request::ShipLog { records } => self.respond_ship(records, ctx),
+            Request::ShipLog { records, obs_ids } => self.respond_ship(records, obs_ids, ctx),
             Request::PullLog { from_ts } => self.respond_pull(from_ts),
             Request::SeedItems { entries } => {
                 self.seed_items(&entries);
@@ -715,6 +883,13 @@ impl NodeState {
                 Response::Ok
             }
             Request::Health => Response::Ok,
+            Request::GetMap => Response::Map { map: (*self.current_map()).clone() },
+            Request::InstallMap { map } => {
+                self.install_map(Arc::new(map));
+                Response::Ok
+            }
+            Request::PullPartition { partition } => self.respond_pull_partition(partition),
+            Request::PushPartition { entries } => self.respond_push_partition(entries),
         }
     }
 }
@@ -777,7 +952,7 @@ impl NodeServer {
         let workers = config.workers;
         let n_nodes = config.n_nodes;
         let state = Arc::new(NodeState {
-            users: HashPartitioner::new(config.n_nodes, USER_SALT),
+            map: RwLock::new(Arc::clone(&config.map)),
             config,
             weights: Mutex::new(HashMap::new()),
             items: Mutex::new(HashMap::new()),

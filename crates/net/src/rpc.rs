@@ -11,6 +11,7 @@
 //! / `PullLog` for WAL log shipping, `SeedItems` / `PutWeights` for the
 //! management plane, and `Health` for liveness probes.
 
+use velox_cluster::{PartitionError, PartitionMap};
 use velox_storage::Observation;
 
 /// Wire tag values for [`Request`] variants.
@@ -23,6 +24,10 @@ mod req_tag {
     pub const SEED_ITEMS: u8 = 6;
     pub const PUT_WEIGHTS: u8 = 7;
     pub const HEALTH: u8 = 8;
+    pub const GET_MAP: u8 = 9;
+    pub const INSTALL_MAP: u8 = 10;
+    pub const PULL_PARTITION: u8 = 11;
+    pub const PUSH_PARTITION: u8 = 12;
 }
 
 /// Wire tag values for [`Response`] variants.
@@ -33,6 +38,8 @@ mod resp_tag {
     pub const LOG: u8 = 4;
     pub const OK: u8 = 5;
     pub const ERROR: u8 = 6;
+    pub const MAP: u8 = 7;
+    pub const PARTITION: u8 = 8;
 }
 
 /// Why a node refused a request (carried in [`Response::Error`]).
@@ -47,6 +54,9 @@ pub enum ErrorCode {
     /// The server shed the connection before dispatch (accept queue
     /// full). Nothing was applied; retry after backoff.
     Overloaded,
+    /// The request was stamped with a stale partition-map epoch. Nothing
+    /// was applied; refresh the map (`GetMap`) and retry.
+    WrongEpoch,
 }
 
 impl ErrorCode {
@@ -56,6 +66,7 @@ impl ErrorCode {
             ErrorCode::BadRequest => 2,
             ErrorCode::Internal => 3,
             ErrorCode::Overloaded => 4,
+            ErrorCode::WrongEpoch => 5,
         }
     }
 
@@ -65,6 +76,7 @@ impl ErrorCode {
             2 => Ok(ErrorCode::BadRequest),
             3 => Ok(ErrorCode::Internal),
             4 => Ok(ErrorCode::Overloaded),
+            5 => Ok(ErrorCode::WrongEpoch),
             other => Err(DecodeError(format!("unknown error code {other}"))),
         }
     }
@@ -83,6 +95,11 @@ pub enum Request {
         item_id: u64,
         /// Answer locally even if this node is not the owner.
         no_forward: bool,
+        /// Sender's partition-map epoch. A node whose map is at a
+        /// different epoch rejects with [`ErrorCode::WrongEpoch`];
+        /// `0` means "unstamped" and bypasses the check (server-internal
+        /// hops and pre-membership tooling).
+        epoch: u64,
     },
     /// Apply one online observation at the owning node.
     Observe {
@@ -99,6 +116,8 @@ pub enum Request {
         /// node remembers recent ids and answers a replayed id with the
         /// original ack instead of a second weight update. `0` opts out.
         obs_id: u64,
+        /// Sender's partition-map epoch (`0` = unstamped, skip the check).
+        epoch: u64,
     },
     /// Management-plane read of a user's current weights.
     FetchWeights {
@@ -110,6 +129,11 @@ pub enum Request {
     ShipLog {
         /// Acknowledged records in owner log order.
         records: Vec<Observation>,
+        /// Observation id of each record, parallel to `records` (`0` for
+        /// records without one). Replicas feed these into their dedupe
+        /// window so an ack-lost retry that lands on a promoted replica
+        /// after a cutover is suppressed, not applied twice.
+        obs_ids: Vec<u64>,
     },
     /// Recovery plane: fetch every log record with `timestamp ≥ from_ts`
     /// that this node holds (its own writes plus records shipped to it).
@@ -131,6 +155,29 @@ pub enum Request {
     },
     /// Liveness probe.
     Health,
+    /// Membership plane: fetch the node's current partition map.
+    GetMap,
+    /// Membership plane: install a partition map if it is newer than the
+    /// node's current one (idempotent for replayed frames). This is the
+    /// cutover frame: the payload carries the map followed by a TLV
+    /// extension section; unknown TLV types are skipped so older nodes
+    /// survive frames from newer tooling.
+    InstallMap {
+        /// The epoch-stamped map to adopt.
+        map: PartitionMap,
+    },
+    /// Migration plane: snapshot every user weight vector this node holds
+    /// for one virtual partition (the checkpoint stream source).
+    PullPartition {
+        /// The virtual partition to snapshot.
+        partition: u32,
+    },
+    /// Migration plane: bulk-install user weight vectors streamed from a
+    /// partition snapshot (the checkpoint stream sink).
+    PushPartition {
+        /// `(uid, weights)` pairs.
+        entries: Vec<(u64, Vec<f64>)>,
+    },
 }
 
 /// A response frame, node → client.
@@ -166,7 +213,17 @@ pub enum Response {
         /// Matching records in timestamp order.
         records: Vec<Observation>,
     },
-    /// Generic success (ship, seed, put, health).
+    /// Answer to [`Request::GetMap`].
+    Map {
+        /// The node's current partition map.
+        map: PartitionMap,
+    },
+    /// Answer to [`Request::PullPartition`].
+    Partition {
+        /// `(uid, weights)` pairs held by the node for the partition.
+        entries: Vec<(u64, Vec<f64>)>,
+    },
+    /// Generic success (ship, seed, put, install, push, health).
     Ok,
     /// The request failed at the node.
     Error {
@@ -217,6 +274,40 @@ fn put_observation(buf: &mut Vec<u8>, obs: &Observation) {
     put_u64(buf, obs.uid);
     put_u64(buf, obs.item_id);
     put_f64(buf, obs.y);
+}
+
+fn put_entries(buf: &mut Vec<u8>, entries: &[(u64, Vec<f64>)]) {
+    put_u32(buf, entries.len() as u32);
+    for (id, v) in entries {
+        put_u64(buf, *id);
+        put_vec_f64(buf, v);
+    }
+}
+
+/// Map wire layout: `epoch u64 · salt u64 · replication u32 · members
+/// (count + u32 each) · partitions count · owners (u32 each) · replica
+/// sets (count + u32 each, one set per partition)`. Decoding revalidates
+/// through [`PartitionMap::from_parts`], so a corrupt frame can never
+/// install a structurally broken map.
+fn put_map(buf: &mut Vec<u8>, map: &PartitionMap) {
+    put_u64(buf, map.epoch());
+    put_u64(buf, map.salt());
+    put_u32(buf, map.replication() as u32);
+    put_u32(buf, map.members().len() as u32);
+    for &m in map.members() {
+        put_u32(buf, m as u32);
+    }
+    put_u32(buf, map.n_partitions());
+    for p in 0..map.n_partitions() {
+        put_u32(buf, map.owner_of_partition(p) as u32);
+    }
+    for p in 0..map.n_partitions() {
+        let set = map.replicas_of_partition(p);
+        put_u32(buf, set.len() as u32);
+        for &n in set {
+            put_u32(buf, n as u32);
+        }
+    }
 }
 
 /// Bounded cursor over a payload; every read is checked.
@@ -287,6 +378,50 @@ impl<'a> Cursor<'a> {
         })
     }
 
+    fn entries(&mut self) -> Result<Vec<(u64, Vec<f64>)>, DecodeError> {
+        let n = self.count(12)?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = self.u64()?;
+            entries.push((id, self.vec_f64()?));
+        }
+        Ok(entries)
+    }
+
+    fn map(&mut self) -> Result<PartitionMap, DecodeError> {
+        let epoch = self.u64()?;
+        let salt = self.u64()?;
+        let replication = self.u32()? as usize;
+        let n_members = self.count(4)?;
+        let members = (0..n_members)
+            .map(|_| self.u32().map(|m| m as usize))
+            .collect::<Result<Vec<_>, _>>()?;
+        let n_parts = self.count(4)?;
+        let owners =
+            (0..n_parts).map(|_| self.u32().map(|o| o as usize)).collect::<Result<Vec<_>, _>>()?;
+        let mut replicas = Vec::with_capacity(n_parts);
+        for _ in 0..n_parts {
+            let k = self.count(4)?;
+            replicas
+                .push((0..k).map(|_| self.u32().map(|r| r as usize)).collect::<Result<_, _>>()?);
+        }
+        PartitionMap::from_parts(epoch, salt, replication, members, owners, replicas)
+            .map_err(|e: PartitionError| DecodeError(format!("invalid map: {e}")))
+    }
+
+    /// Skips a TLV extension section: `count u32`, then per entry a
+    /// `type u8 · len u32 · len bytes` triple. Unknown types are legal
+    /// (skipped); a length past the payload end is not.
+    fn skip_tlvs(&mut self) -> Result<(), DecodeError> {
+        let n = self.count(5)?;
+        for _ in 0..n {
+            let _ty = self.u8()?;
+            let len = self.count(1)?;
+            self.take(len)?;
+        }
+        Ok(())
+    }
+
     fn finish(self) -> Result<(), DecodeError> {
         if self.pos != self.buf.len() {
             return Err(DecodeError(format!(
@@ -303,29 +438,33 @@ impl Request {
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(32);
         match self {
-            Request::Predict { uid, item_id, no_forward } => {
+            Request::Predict { uid, item_id, no_forward, epoch } => {
                 buf.push(req_tag::PREDICT);
                 put_u64(&mut buf, *uid);
                 put_u64(&mut buf, *item_id);
                 buf.push(*no_forward as u8);
+                put_u64(&mut buf, *epoch);
             }
-            Request::Observe { uid, item_id, y, no_forward, obs_id } => {
+            Request::Observe { uid, item_id, y, no_forward, obs_id, epoch } => {
                 buf.push(req_tag::OBSERVE);
                 put_u64(&mut buf, *uid);
                 put_u64(&mut buf, *item_id);
                 put_f64(&mut buf, *y);
                 buf.push(*no_forward as u8);
                 put_u64(&mut buf, *obs_id);
+                put_u64(&mut buf, *epoch);
             }
             Request::FetchWeights { uid } => {
                 buf.push(req_tag::FETCH_WEIGHTS);
                 put_u64(&mut buf, *uid);
             }
-            Request::ShipLog { records } => {
+            Request::ShipLog { records, obs_ids } => {
                 buf.push(req_tag::SHIP_LOG);
+                debug_assert_eq!(records.len(), obs_ids.len());
                 put_u32(&mut buf, records.len() as u32);
-                for rec in records {
+                for (rec, id) in records.iter().zip(obs_ids) {
                     put_observation(&mut buf, rec);
+                    put_u64(&mut buf, *id);
                 }
             }
             Request::PullLog { from_ts } => {
@@ -346,6 +485,21 @@ impl Request {
                 put_vec_f64(&mut buf, w);
             }
             Request::Health => buf.push(req_tag::HEALTH),
+            Request::GetMap => buf.push(req_tag::GET_MAP),
+            Request::InstallMap { map } => {
+                buf.push(req_tag::INSTALL_MAP);
+                put_map(&mut buf, map);
+                // Empty TLV extension section (see `Cursor::skip_tlvs`).
+                put_u32(&mut buf, 0);
+            }
+            Request::PullPartition { partition } => {
+                buf.push(req_tag::PULL_PARTITION);
+                put_u32(&mut buf, *partition);
+            }
+            Request::PushPartition { entries } => {
+                buf.push(req_tag::PUSH_PARTITION);
+                put_entries(&mut buf, entries);
+            }
         }
         buf
     }
@@ -354,34 +508,43 @@ impl Request {
     pub fn decode(buf: &[u8]) -> Result<Request, DecodeError> {
         let mut c = Cursor::new(buf);
         let req = match c.u8()? {
-            req_tag::PREDICT => {
-                Request::Predict { uid: c.u64()?, item_id: c.u64()?, no_forward: c.bool()? }
-            }
+            req_tag::PREDICT => Request::Predict {
+                uid: c.u64()?,
+                item_id: c.u64()?,
+                no_forward: c.bool()?,
+                epoch: c.u64()?,
+            },
             req_tag::OBSERVE => Request::Observe {
                 uid: c.u64()?,
                 item_id: c.u64()?,
                 y: c.f64()?,
                 no_forward: c.bool()?,
                 obs_id: c.u64()?,
+                epoch: c.u64()?,
             },
             req_tag::FETCH_WEIGHTS => Request::FetchWeights { uid: c.u64()? },
             req_tag::SHIP_LOG => {
-                let n = c.count(32)?;
-                let records = (0..n).map(|_| c.observation()).collect::<Result<_, _>>()?;
-                Request::ShipLog { records }
+                let n = c.count(40)?;
+                let mut records = Vec::with_capacity(n);
+                let mut obs_ids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    records.push(c.observation()?);
+                    obs_ids.push(c.u64()?);
+                }
+                Request::ShipLog { records, obs_ids }
             }
             req_tag::PULL_LOG => Request::PullLog { from_ts: c.u64()? },
-            req_tag::SEED_ITEMS => {
-                let n = c.count(12)?;
-                let mut entries = Vec::with_capacity(n);
-                for _ in 0..n {
-                    let item_id = c.u64()?;
-                    entries.push((item_id, c.vec_f64()?));
-                }
-                Request::SeedItems { entries }
-            }
+            req_tag::SEED_ITEMS => Request::SeedItems { entries: c.entries()? },
             req_tag::PUT_WEIGHTS => Request::PutWeights { uid: c.u64()?, w: c.vec_f64()? },
             req_tag::HEALTH => Request::Health,
+            req_tag::GET_MAP => Request::GetMap,
+            req_tag::INSTALL_MAP => {
+                let map = c.map()?;
+                c.skip_tlvs()?;
+                Request::InstallMap { map }
+            }
+            req_tag::PULL_PARTITION => Request::PullPartition { partition: c.u32()? },
+            req_tag::PUSH_PARTITION => Request::PushPartition { entries: c.entries()? },
             other => return Err(DecodeError(format!("unknown request tag {other}"))),
         };
         c.finish()?;
@@ -424,6 +587,14 @@ impl Response {
                     put_observation(&mut buf, rec);
                 }
             }
+            Response::Map { map } => {
+                buf.push(resp_tag::MAP);
+                put_map(&mut buf, map);
+            }
+            Response::Partition { entries } => {
+                buf.push(resp_tag::PARTITION);
+                put_entries(&mut buf, entries);
+            }
             Response::Ok => buf.push(resp_tag::OK),
             Response::Error { code, message } => {
                 buf.push(resp_tag::ERROR);
@@ -458,6 +629,8 @@ impl Response {
                 let records = (0..n).map(|_| c.observation()).collect::<Result<_, _>>()?;
                 Response::Log { records }
             }
+            resp_tag::MAP => Response::Map { map: c.map()? },
+            resp_tag::PARTITION => Response::Partition { entries: c.entries()? },
             resp_tag::OK => Response::Ok,
             resp_tag::ERROR => {
                 let code = ErrorCode::decode(c.u8()?)?;
@@ -481,18 +654,33 @@ mod tests {
         Observation { uid: ts * 7, item_id: ts * 13, y: ts as f64 * 0.5, timestamp: ts }
     }
 
+    fn sample_map() -> PartitionMap {
+        PartitionMap::bootstrap(3, 2, 0xC0FFEE).unwrap().with_member(3).unwrap()
+    }
+
     #[test]
     fn requests_round_trip() {
         let cases = vec![
-            Request::Predict { uid: 1, item_id: 2, no_forward: false },
-            Request::Observe { uid: 3, item_id: 4, y: -1.5, no_forward: true, obs_id: 77 },
+            Request::Predict { uid: 1, item_id: 2, no_forward: false, epoch: 7 },
+            Request::Observe {
+                uid: 3,
+                item_id: 4,
+                y: -1.5,
+                no_forward: true,
+                obs_id: 77,
+                epoch: 0,
+            },
             Request::FetchWeights { uid: u64::MAX },
-            Request::ShipLog { records: vec![obs(1), obs(2), obs(3)] },
-            Request::ShipLog { records: vec![] },
+            Request::ShipLog { records: vec![obs(1), obs(2), obs(3)], obs_ids: vec![9, 0, 11] },
+            Request::ShipLog { records: vec![], obs_ids: vec![] },
             Request::PullLog { from_ts: 42 },
             Request::SeedItems { entries: vec![(9, vec![1.0, 2.0]), (10, vec![])] },
             Request::PutWeights { uid: 5, w: vec![0.25, -0.5, 1e300] },
             Request::Health,
+            Request::GetMap,
+            Request::InstallMap { map: sample_map() },
+            Request::PullPartition { partition: 17 },
+            Request::PushPartition { entries: vec![(1, vec![0.5]), (2, vec![])] },
         ];
         for req in cases {
             let buf = req.encode();
@@ -508,8 +696,10 @@ mod tests {
             Response::Weights { w: Some(vec![1.0, 2.0, 3.0]) },
             Response::Weights { w: None },
             Response::Log { records: vec![obs(5)] },
+            Response::Map { map: sample_map() },
+            Response::Partition { entries: vec![(8, vec![1.0, -2.0])] },
             Response::Ok,
-            Response::Error { code: ErrorCode::Unavailable, message: "node 1 down".into() },
+            Response::Error { code: ErrorCode::WrongEpoch, message: "stale epoch 3".into() },
         ];
         for resp in cases {
             let buf = resp.encode();
@@ -527,7 +717,8 @@ mod tests {
     #[test]
     fn truncated_payload_rejected() {
         let buf =
-            Request::Observe { uid: 1, item_id: 2, y: 3.0, no_forward: false, obs_id: 9 }.encode();
+            Request::Observe { uid: 1, item_id: 2, y: 3.0, no_forward: false, obs_id: 9, epoch: 4 }
+                .encode();
         for cut in 0..buf.len() {
             assert!(Request::decode(&buf[..cut]).is_err(), "cut at {cut} must fail");
         }
@@ -539,5 +730,27 @@ mod tests {
         let mut buf = vec![4u8]; // SHIP_LOG
         buf.extend_from_slice(&u32::MAX.to_be_bytes());
         assert!(Request::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn install_map_skips_unknown_tlvs() {
+        // Rebuild the frame with a non-empty TLV tail: one unknown type.
+        let map = sample_map();
+        let mut buf = Request::InstallMap { map: map.clone() }.encode();
+        buf.truncate(buf.len() - 4); // drop the empty TLV count
+        buf.extend_from_slice(&1u32.to_be_bytes()); // one TLV
+        buf.push(0xEE); // unknown type
+        buf.extend_from_slice(&3u32.to_be_bytes()); // 3-byte value
+        buf.extend_from_slice(&[1, 2, 3]);
+        assert_eq!(Request::decode(&buf).unwrap(), Request::InstallMap { map });
+    }
+
+    #[test]
+    fn install_map_rejects_structurally_invalid_map() {
+        let mut buf = Request::InstallMap { map: sample_map() }.encode();
+        // Flip a replica id inside the map body to a non-member (0xFF).
+        let n = buf.len();
+        buf[n - 6] = 0xFF;
+        assert!(Request::decode(&buf).is_err(), "corrupt map must not install");
     }
 }

@@ -21,7 +21,7 @@ use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -29,12 +29,12 @@ use velox_cluster::netfault::{ChaosControl, LinkChaos, LinkFaultPlan, FRONT_PEER
 use velox_cluster::retry::obs_id_nonce;
 use velox_cluster::transport::{Transport, TransportError, TransportObserve, TransportPredict};
 use velox_cluster::{
-    DetectorConfig, FailureDetector, FaultAction, FaultPlan, HashPartitioner, NodeHealth, NodeId,
-    PeerLiveness, PeerState, USER_SALT,
+    DetectorConfig, FailureDetector, FaultAction, FaultPlan, MembershipView, MigrationStatus,
+    NodeHealth, NodeId, PartitionMap, PeerLiveness, PeerState, USER_SALT,
 };
 use velox_data::VeloxRng;
 use velox_obs::{
-    Counter, Histogram, Registry, RootSpan, SpanKind, SpanStatus, TraceConfig, TraceContext,
+    Counter, Gauge, Histogram, Registry, RootSpan, SpanKind, SpanStatus, TraceConfig, TraceContext,
     Tracer, FRONT_NODE,
 };
 use velox_storage::Observation;
@@ -47,8 +47,12 @@ use crate::rpc::{ErrorCode, Request, Response};
 /// Runtime configuration.
 #[derive(Debug, Clone)]
 pub struct NetClusterConfig {
-    /// Number of nodes.
+    /// Number of nodes at bootstrap.
     pub n_nodes: usize,
+    /// Capacity ceiling for elastic growth (`0` means `n_nodes`): slots
+    /// `n_nodes..max_nodes` start empty and come alive through
+    /// [`NetCluster::join_node`].
+    pub max_nodes: usize,
     /// Copies of each user's weights (primary + ring successors).
     pub user_replication: usize,
     /// LMS learning rate applied at the owning node.
@@ -81,12 +85,20 @@ pub struct NetClusterConfig {
     /// within a p99-derived delay, race a second replica and take the
     /// first reply. Off by default (costs one helper thread per predict).
     pub hedge_predicts: bool,
+    /// Fail dead members out of the partition map automatically: when the
+    /// failure detector declares a member `Dead` *and* its process is
+    /// down, the next request triggers [`NetCluster::fail_over_dead`].
+    /// Off by default — a detector verdict alone can be wrong (a cut
+    /// probe path, not a dead node), so suites that partition and heal
+    /// links keep ownership stable unless they opt in.
+    pub auto_rebalance: bool,
 }
 
 impl Default for NetClusterConfig {
     fn default() -> Self {
         NetClusterConfig {
             n_nodes: 3,
+            max_nodes: 0,
             user_replication: 2,
             lr: 0.1,
             wal_root: None,
@@ -99,6 +111,7 @@ impl Default for NetClusterConfig {
             detector: DetectorConfig::default(),
             ship_backlog_cap: 1024,
             hedge_predicts: false,
+            auto_rebalance: false,
         }
     }
 }
@@ -124,7 +137,13 @@ struct NodeSlot {
 /// A running loopback TCP cluster; dropping it stops every node.
 pub struct NetCluster {
     config: NetClusterConfig,
-    users: HashPartitioner,
+    /// Epoch-stamped ownership map: the front's working copy. The control
+    /// plane installs new epochs on the nodes first and here last, so a
+    /// racing request can be rejected with `WrongEpoch` and refresh like
+    /// any other stale client.
+    map: RwLock<Arc<PartitionMap>>,
+    /// Total node slots (`max_nodes` resolved against `n_nodes`).
+    capacity: usize,
     peers: Arc<PeerTable>,
     slots: Vec<Mutex<NodeSlot>>,
     health: Vec<AtomicU8>,
@@ -152,6 +171,14 @@ pub struct NetCluster {
     hedged: Arc<Counter>,
     /// Hedged predicts where the hedge reply was used.
     hedge_wins: Arc<Counter>,
+    /// Migration ledger, oldest first (the `Migrator`'s trail).
+    migration_log: Mutex<Vec<MigrationStatus>>,
+    /// Front map refreshes forced by `WrongEpoch` rejections.
+    map_refreshes: Arc<Counter>,
+    /// Current front map epoch, scrapeable.
+    map_epoch_gauge: Arc<Gauge>,
+    /// Reentrancy guard for detector-triggered auto fail-over.
+    auto_failover_gate: Mutex<()>,
     /// Observation-id generator: process-random nonce + sequence, so ids
     /// never collide across cluster restarts sharing a node's window.
     obs_nonce: u64,
@@ -163,31 +190,47 @@ impl NetCluster {
     /// peer table. Blocks until every node is listening.
     pub fn start(config: NetClusterConfig) -> std::io::Result<NetCluster> {
         assert!(config.n_nodes > 0, "cluster needs at least one node");
-        let tracer = Tracer::new(config.n_nodes, config.trace);
+        let capacity = config.max_nodes.max(config.n_nodes);
+        let map = Arc::new(
+            PartitionMap::bootstrap(config.n_nodes, config.user_replication, USER_SALT)
+                .map_err(|e| std::io::Error::other(e.to_string()))?,
+        );
+        let tracer = Tracer::new(capacity, config.trace);
         let chaos = Arc::new(LinkChaos::new(LinkFaultPlan::default()));
-        let peers = Arc::new(PeerTable::with_chaos(config.n_nodes, Arc::clone(&chaos)));
-        let detector = Arc::new(FailureDetector::new(config.n_nodes, config.detector));
-        let mut slots = Vec::with_capacity(config.n_nodes);
-        for node_id in 0..config.n_nodes {
+        let peers = Arc::new(PeerTable::with_chaos(capacity, Arc::clone(&chaos)));
+        let detector = Arc::new(FailureDetector::new(capacity, config.detector));
+        let mut slots = Vec::with_capacity(capacity);
+        for node_id in 0..capacity {
             let metrics = NodeMetrics::new();
-            let (server, _) = NodeServer::start(
-                NodeConfig {
-                    node_id,
-                    n_nodes: config.n_nodes,
-                    user_replication: config.user_replication,
-                    lr: config.lr,
-                    wal_dir: config.wal_root.as_ref().map(|r| r.join(format!("node-{node_id}"))),
-                    workers: config.workers,
-                    ship_backlog_cap: config.ship_backlog_cap,
-                    metrics: metrics.clone(),
-                    tracer: Arc::clone(&tracer),
-                },
-                Arc::clone(&peers),
-            )?;
-            peers.set(node_id, Some((server.local_addr(), Self::client_config(&config))));
+            // Headroom slots hold no process until `join_node` fills them.
+            let server = if node_id < config.n_nodes {
+                let (server, _) = NodeServer::start(
+                    NodeConfig {
+                        node_id,
+                        n_nodes: capacity,
+                        map: Arc::clone(&map),
+                        lr: config.lr,
+                        wal_dir: config
+                            .wal_root
+                            .as_ref()
+                            .map(|r| r.join(format!("node-{node_id}"))),
+                        workers: config.workers,
+                        ship_backlog_cap: config.ship_backlog_cap,
+                        metrics: metrics.clone(),
+                        tracer: Arc::clone(&tracer),
+                    },
+                    Arc::clone(&peers),
+                )?;
+                peers.set(node_id, Some((server.local_addr(), Self::client_config(&config))));
+                Some(server)
+            } else {
+                None
+            };
+            let up = server.is_some();
+            let state = if up { NodeHealth::Up } else { NodeHealth::Down };
             slots.push(Mutex::new(NodeSlot {
-                server: Some(server),
-                health: AtomicU8::new(NodeHealth::Up.encode()),
+                server,
+                health: AtomicU8::new(state.encode()),
                 metrics,
                 requests_routed: Arc::new(Counter::new()),
                 failover_requests: Arc::new(Counter::new()),
@@ -195,7 +238,12 @@ impl NetCluster {
                 catch_up_records: Arc::new(Counter::new()),
             }));
         }
-        let health = (0..config.n_nodes).map(|_| AtomicU8::new(NodeHealth::Up.encode())).collect();
+        let health = (0..capacity)
+            .map(|i| {
+                let state = if i < config.n_nodes { NodeHealth::Up } else { NodeHealth::Down };
+                AtomicU8::new(state.encode())
+            })
+            .collect();
         let hb_stop = Arc::new(AtomicBool::new(false));
         let hb_thread = config.heartbeat_interval.map(|interval| {
             spawn_heartbeat(
@@ -205,11 +253,14 @@ impl NetCluster {
                 Arc::clone(&hb_stop),
                 interval,
                 config.heartbeat_timeout,
-                config.n_nodes,
+                capacity,
             )
         });
+        let map_epoch_gauge = Arc::new(Gauge::new());
+        map_epoch_gauge.set(map.epoch() as i64);
         Ok(NetCluster {
-            users: HashPartitioner::new(config.n_nodes, USER_SALT),
+            map: RwLock::new(map),
+            capacity,
             config,
             peers,
             slots,
@@ -228,6 +279,10 @@ impl NetCluster {
             hb_thread: Mutex::new(hb_thread),
             hedged: Arc::new(Counter::new()),
             hedge_wins: Arc::new(Counter::new()),
+            migration_log: Mutex::new(Vec::new()),
+            map_refreshes: Arc::new(Counter::new()),
+            map_epoch_gauge,
+            auto_failover_gate: Mutex::new(()),
             obs_nonce: obs_id_nonce(),
             obs_seq: AtomicU64::new(0),
         })
@@ -254,16 +309,58 @@ impl NetCluster {
         &self.config
     }
 
-    /// Home (primary) node of a user.
-    pub fn home_of_user(&self, uid: u64) -> NodeId {
-        self.users.node_for(uid)
+    /// The front's current partition map.
+    pub fn map(&self) -> Arc<PartitionMap> {
+        Arc::clone(&self.map.read().unwrap())
     }
 
-    /// Replica set of a user: home plus ring successors.
+    /// Current front map epoch.
+    pub fn map_epoch(&self) -> u64 {
+        self.map.read().unwrap().epoch()
+    }
+
+    /// Front map refreshes forced by `WrongEpoch` rejections.
+    pub fn map_refresh_count(&self) -> u64 {
+        self.map_refreshes.get()
+    }
+
+    /// Completed and failed migrations, oldest first.
+    pub fn migrations(&self) -> Vec<MigrationStatus> {
+        self.migration_log.lock().unwrap().clone()
+    }
+
+    /// Adopts `map` on the front if strictly newer; returns whether it
+    /// took.
+    fn install_front_map(&self, map: Arc<PartitionMap>) -> bool {
+        let mut cur = self.map.write().unwrap();
+        if map.epoch() <= cur.epoch() {
+            return false;
+        }
+        self.map_epoch_gauge.set(map.epoch() as i64);
+        *cur = map;
+        true
+    }
+
+    /// `WrongEpoch` recovery: pulls the rejecting node's map and adopts
+    /// it if newer. Returns whether the front map advanced.
+    fn refresh_map_from(&self, client: &NetClient) -> bool {
+        if let Ok(Response::Map { map }) = client.call(&Request::GetMap) {
+            if self.install_front_map(Arc::new(map)) {
+                self.map_refreshes.inc();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Home (primary) node of a user.
+    pub fn home_of_user(&self, uid: u64) -> NodeId {
+        self.map.read().unwrap().owner_of(uid)
+    }
+
+    /// Replica set of a user: owner first, then the partition's replicas.
     pub fn replica_nodes_of_user(&self, uid: u64) -> Vec<NodeId> {
-        let primary = self.home_of_user(uid);
-        let r = self.config.user_replication.clamp(1, self.config.n_nodes);
-        (0..r).map(|k| (primary + k) % self.config.n_nodes).collect()
+        self.map.read().unwrap().replicas_of(uid).to_vec()
     }
 
     /// The client for `node`'s current incarnation (`None` while down).
@@ -276,7 +373,7 @@ impl NetCluster {
     pub fn publish_item_features(&self, entries: Vec<(u64, Vec<f64>)>) {
         self.items.lock().unwrap().extend(entries.iter().cloned());
         let req = Request::SeedItems { entries };
-        for node in 0..self.config.n_nodes {
+        for node in 0..self.capacity {
             if let Some(client) = self.peers.get(node) {
                 let _ = client.call(&req);
             }
@@ -319,8 +416,8 @@ impl NetCluster {
         let (server, _recovery) = NodeServer::start(
             NodeConfig {
                 node_id: node,
-                n_nodes: self.config.n_nodes,
-                user_replication: self.config.user_replication,
+                n_nodes: self.capacity,
+                map: self.map(),
                 lr: self.config.lr,
                 wal_dir: self.config.wal_root.as_ref().map(|r| r.join(format!("node-{node}"))),
                 workers: self.config.workers,
@@ -343,7 +440,7 @@ impl NetCluster {
         // Pull shipped records from live peers; keep only the shards this
         // node participates in.
         let mut pulled = 0u64;
-        for peer in 0..self.config.n_nodes {
+        for peer in 0..self.capacity {
             if peer == node {
                 continue;
             }
@@ -366,6 +463,267 @@ impl NetCluster {
         Ok(pulled)
     }
 
+    /// Installs `map` on every live node first and on the front last, so
+    /// a request racing the rollout is rejected with `WrongEpoch` and
+    /// refreshes — it is never served under a retired epoch.
+    fn install_map_cluster(&self, map: &Arc<PartitionMap>) {
+        let req = Request::InstallMap { map: (**map).clone() };
+        for node in 0..self.capacity {
+            if let Some(client) = self.peers.get(node) {
+                let _ = client.call(&req);
+            }
+        }
+        self.install_front_map(Arc::clone(map));
+    }
+
+    /// Starts a node in the first free slot, seeds its item table from
+    /// the management plane, and announces it cluster-wide as a member
+    /// owning nothing — ownership then moves partition by partition via
+    /// [`NetCluster::rebalance_join`] / [`NetCluster::migrate_partition`].
+    /// Returns the new node's id.
+    pub fn join_node(&self) -> std::io::Result<NodeId> {
+        let map0 = self.map();
+        let node = (0..self.capacity)
+            .find(|&n| !map0.is_member(n) && self.slots[n].lock().unwrap().server.is_none())
+            .ok_or_else(|| {
+                std::io::Error::other("no free slot for a joining node (raise max_nodes)")
+            })?;
+        let map1 =
+            Arc::new(map0.with_member(node).map_err(|e| std::io::Error::other(e.to_string()))?);
+        let mut slot = self.slots[node].lock().unwrap();
+        let (server, _) = NodeServer::start(
+            NodeConfig {
+                node_id: node,
+                n_nodes: self.capacity,
+                map: Arc::clone(&map1),
+                lr: self.config.lr,
+                wal_dir: self.config.wal_root.as_ref().map(|r| r.join(format!("node-{node}"))),
+                workers: self.config.workers,
+                ship_backlog_cap: self.config.ship_backlog_cap,
+                metrics: slot.metrics.clone(),
+                tracer: Arc::clone(&self.tracer),
+            },
+            Arc::clone(&self.peers),
+        )?;
+        {
+            let items = self.items.lock().unwrap();
+            let entries: Vec<(u64, Vec<f64>)> =
+                items.iter().map(|(k, v)| (*k, v.clone())).collect();
+            server.state().seed_items(&entries);
+        }
+        self.peers.set(node, Some((server.local_addr(), Self::client_config(&self.config))));
+        slot.server = Some(server);
+        slot.health.store(NodeHealth::Up.encode(), Ordering::Release);
+        drop(slot);
+        self.health[node].store(NodeHealth::Up.encode(), Ordering::Release);
+        self.detector.force(node as u32, PeerState::Alive);
+        self.install_map_cluster(&map1);
+        Ok(node)
+    }
+
+    /// The `Migrator`: moves partition `p` to `dst` live, with no refused
+    /// predicts and no lost or double-applied acked observes.
+    ///
+    /// 1. **dual_write** — epoch `E+1` adds `dst` to `p`'s replica set:
+    ///    the owner keeps serving, but every new observe also ships to
+    ///    `dst` (with its observation id, pre-seeding `dst`'s dedupe
+    ///    window for the post-cutover retry case).
+    /// 2. **checkpoint** — `PullPartition` streams the owner's weight
+    ///    snapshot for `p` into `dst` (`PushPartition` inserts, never
+    ///    overwrites), covering management-plane installs that log replay
+    ///    alone would miss.
+    /// 3. **catch_up** — the owner's log for `p` ships to `dst`; the
+    ///    receiver's merge dedups by `(uid, ts)`.
+    /// 4. **cut_over** — epoch `E+2` makes `dst` the owner; the old owner
+    ///    stays in the replica set, so it keeps answering reads routed
+    ///    under the old epoch and sources the tail replay.
+    /// 5. **tail_replay** — one more log pass for records applied between
+    ///    catch-up and cutover, then a deterministic partition rebuild at
+    ///    `dst` (timestamp-ordered), so twin clusters converge
+    ///    bit-identically.
+    pub fn migrate_partition(&self, p: u32, dst: NodeId) -> std::io::Result<MigrationStatus> {
+        let map0 = self.map();
+        let src = map0.owner_of_partition(p);
+        let mut status = MigrationStatus {
+            partition: p,
+            from: src,
+            to: dst,
+            phase: "dual_write",
+            epoch_start: map0.epoch(),
+            epoch_end: 0,
+            users_streamed: 0,
+            records_replayed: 0,
+        };
+        let (troot, tchild) = self.trace_entry(SpanKind::Migrate, None);
+        let result = self.run_migration(p, src, dst, &map0, &mut status);
+        let span_status = if result.is_ok() { SpanStatus::Ok } else { SpanStatus::Error };
+        self.close_trace_entry(troot, tchild, span_status, 0);
+        if result.is_err() {
+            status.phase = "failed";
+        }
+        self.migration_log.lock().unwrap().push(status.clone());
+        result.map(|()| status)
+    }
+
+    fn run_migration(
+        &self,
+        p: u32,
+        src: NodeId,
+        dst: NodeId,
+        map0: &Arc<PartitionMap>,
+        status: &mut MigrationStatus,
+    ) -> std::io::Result<()> {
+        if src == dst {
+            return Err(std::io::Error::other(format!("partition {p} already owned by {dst}")));
+        }
+        let map1 = Arc::new(
+            map0.with_extra_replica(p, dst).map_err(|e| std::io::Error::other(e.to_string()))?,
+        );
+        self.install_map_cluster(&map1);
+
+        status.phase = "checkpoint";
+        let src_client = self
+            .peers
+            .get(src)
+            .ok_or_else(|| std::io::Error::other(format!("migration source {src} is down")))?;
+        let dst_client = self
+            .peers
+            .get(dst)
+            .ok_or_else(|| std::io::Error::other(format!("migration target {dst} is down")))?;
+        let entries = match src_client.call(&Request::PullPartition { partition: p }) {
+            Ok(Response::Partition { entries }) => entries,
+            other => {
+                return Err(std::io::Error::other(format!("checkpoint pull failed: {other:?}")))
+            }
+        };
+        status.users_streamed = entries.len() as u64;
+        match dst_client.call(&Request::PushPartition { entries }) {
+            Ok(Response::Ok) => {}
+            other => {
+                return Err(std::io::Error::other(format!("checkpoint push failed: {other:?}")))
+            }
+        }
+
+        status.phase = "catch_up";
+        status.records_replayed += self.copy_partition_log(p, &src_client, &dst_client)?;
+
+        status.phase = "cut_over";
+        let map2 =
+            Arc::new(map1.with_owner(p, dst).map_err(|e| std::io::Error::other(e.to_string()))?);
+        self.install_map_cluster(&map2);
+
+        status.phase = "tail_replay";
+        status.records_replayed += self.copy_partition_log(p, &src_client, &dst_client)?;
+        if let Some(state) = self.node_state(dst) {
+            state.rebuild_partition(p);
+        }
+
+        status.phase = "done";
+        status.epoch_end = map2.epoch();
+        Ok(())
+    }
+
+    /// Ships every record of partition `p` in `src`'s log to `dst` (the
+    /// receiver's merge dedups, so re-shipping history is idempotent).
+    /// Returns how many records were shipped.
+    fn copy_partition_log(&self, p: u32, src: &NetClient, dst: &NetClient) -> std::io::Result<u64> {
+        let map = self.map();
+        let records = match src.call(&Request::PullLog { from_ts: 0 }) {
+            Ok(Response::Log { records }) => records,
+            other => return Err(std::io::Error::other(format!("log pull failed: {other:?}"))),
+        };
+        let mine: Vec<Observation> =
+            records.into_iter().filter(|r| map.partition_of(r.uid) == p).collect();
+        if mine.is_empty() {
+            return Ok(0);
+        }
+        let n = mine.len() as u64;
+        // Log history carries no observation ids (only the live queue
+        // does), so the dedupe window is not fed here — `(uid, ts)` merge
+        // dedupe still makes the copy idempotent.
+        let obs_ids = vec![0u64; mine.len()];
+        match dst.call(&Request::ShipLog { records: mine, obs_ids }) {
+            Ok(Response::Ok) => Ok(n),
+            other => Err(std::io::Error::other(format!("log ship failed: {other:?}"))),
+        }
+    }
+
+    /// Planned handoff for a freshly joined `dst`: migrates the
+    /// partitions [`PartitionMap::plan_join`] picks (deterministic, so
+    /// twin clusters rebalance identically). Returns the moved set.
+    pub fn rebalance_join(&self, dst: NodeId) -> std::io::Result<Vec<u32>> {
+        let plan = self.map().plan_join(dst).map_err(|e| std::io::Error::other(e.to_string()))?;
+        for &p in &plan {
+            self.migrate_partition(p, dst)?;
+        }
+        Ok(plan)
+    }
+
+    /// Fails `dead` out of the membership: its partitions are re-owned by
+    /// their first surviving replica, depleted replica sets are
+    /// backfilled toward the replication target, and every backfilled
+    /// node receives the partition's checkpoint and log history from a
+    /// survivor. Zero-loss for acked observes as long as each partition
+    /// keeps one live replica. Returns how many records were backfilled.
+    pub fn fail_over_dead(&self, dead: NodeId) -> std::io::Result<u64> {
+        let map0 = self.map();
+        let map1 =
+            Arc::new(map0.without_member(dead).map_err(|e| std::io::Error::other(e.to_string()))?);
+        // Cut the map over first: new observes route and ship under the
+        // survivor topology while history backfills underneath (the merge
+        // dedups the overlap).
+        self.install_map_cluster(&map1);
+        let mut backfilled = 0u64;
+        for p in 0..map1.n_partitions() {
+            let old = map0.replicas_of_partition(p);
+            if !old.contains(&dead) {
+                continue;
+            }
+            let Some(survivor) =
+                map1.replicas_of_partition(p).iter().copied().find(|n| old.contains(n))
+            else {
+                continue;
+            };
+            let Some(src) = self.peers.get(survivor) else { continue };
+            for &added in map1.replicas_of_partition(p) {
+                if old.contains(&added) {
+                    continue;
+                }
+                let Some(dst) = self.peers.get(added) else { continue };
+                if let Ok(Response::Partition { entries }) =
+                    src.call(&Request::PullPartition { partition: p })
+                {
+                    let _ = dst.call(&Request::PushPartition { entries });
+                }
+                backfilled += self.copy_partition_log(p, &src, &dst)?;
+                if let Some(state) = self.node_state(added) {
+                    state.rebuild_partition(p);
+                }
+            }
+        }
+        Ok(backfilled)
+    }
+
+    /// Detector-triggered fail-over (the `auto_rebalance` knob): a member
+    /// the detector declares `Dead` whose process is also down is failed
+    /// out of the map on the next request. The health check is what keeps
+    /// a wrongly-suspected node — partitioned probe path, live process —
+    /// in the membership.
+    fn maybe_auto_fail_over(&self) {
+        let Ok(_gate) = self.auto_failover_gate.try_lock() else { return };
+        let members = self.map().members().to_vec();
+        if members.len() <= 1 {
+            return;
+        }
+        for m in members {
+            if self.detector.state(m as u32) == PeerState::Dead
+                && self.node_health(m) == NodeHealth::Down
+            {
+                let _ = self.fail_over_dead(m);
+            }
+        }
+    }
+
     /// Installs a deterministic fault plan driven by the request clock.
     pub fn install_fault_plan(&self, mut plan: FaultPlan) {
         plan.events.sort_by_key(|e| e.at_request);
@@ -385,6 +743,9 @@ impl NetCluster {
     /// whether a transient read failure hits it.
     fn tick_faults(&self) -> (u64, bool) {
         let tick = self.request_clock.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.config.auto_rebalance {
+            self.maybe_auto_fail_over();
+        }
         if !self.fault_active.load(Ordering::Acquire) {
             return (0, false);
         }
@@ -432,10 +793,11 @@ impl NetCluster {
     /// first hop, so failover happens on suspicion instead of burning a
     /// request deadline per call. When `skip_primary` (injected transient
     /// failure), the home is dropped.
-    fn serving_candidates(&self, uid: u64, skip_primary: bool) -> Vec<NodeId> {
-        let up: Vec<NodeId> = self
-            .replica_nodes_of_user(uid)
-            .into_iter()
+    fn serving_candidates(&self, map: &PartitionMap, uid: u64, skip_primary: bool) -> Vec<NodeId> {
+        let up: Vec<NodeId> = map
+            .replicas_of(uid)
+            .iter()
+            .copied()
             .skip(skip_primary as usize)
             .filter(|&n| self.node_health(n) == NodeHealth::Up)
             .collect();
@@ -514,6 +876,12 @@ impl NetCluster {
         );
         registry.register_counter("velox_net_hedged_total", &[], Arc::clone(&self.hedged));
         registry.register_counter("velox_net_hedge_wins_total", &[], Arc::clone(&self.hedge_wins));
+        registry.register_counter(
+            "velox_net_map_refreshes_total",
+            &[],
+            Arc::clone(&self.map_refreshes),
+        );
+        registry.register_gauge("velox_net_map_epoch", &[], Arc::clone(&self.map_epoch_gauge));
         self.detector.register_metrics(registry);
         self.chaos.register_metrics(registry);
         for (id, slot) in self.slots.iter().enumerate() {
@@ -580,7 +948,7 @@ impl NetCluster {
         if let Some(handle) = self.hb_thread.lock().unwrap().take() {
             let _ = handle.join();
         }
-        for node in 0..self.config.n_nodes {
+        for node in 0..self.capacity {
             let mut slot = self.slots[node].lock().unwrap();
             if let Some(mut server) = slot.server.take() {
                 server.shutdown();
@@ -678,7 +1046,7 @@ fn map_error(code: ErrorCode, message: String) -> TransportError {
 
 impl Transport for NetCluster {
     fn n_nodes(&self) -> usize {
-        self.config.n_nodes
+        self.capacity
     }
 
     fn node_health(&self, node: NodeId) -> NodeHealth {
@@ -720,13 +1088,16 @@ impl Transport for NetCluster {
             .unwrap_or(0);
         let route_span =
             tracer.child_at(entry_ctx.as_ref(), SpanKind::Route, FRONT_NODE, entry_start);
-        let home = self.home_of_user(uid);
-        let candidates = self.serving_candidates(uid, fail);
+        // One map snapshot serves routing, candidate order, and the epoch
+        // stamp — a single lock acquisition on the hot path, not three.
+        let map = self.map();
+        let home = map.owner_of(uid);
+        let candidates = self.serving_candidates(&map, uid, fail);
         let routed_ns = if route_span.is_some() { velox_obs::trace::now_ns() } else { 0 };
         tracer.finish_status_at(route_span, SpanStatus::Ok, routed_ns);
 
         let timer = Instant::now();
-        let req = Request::Predict { uid, item_id, no_forward: true };
+        let mut req = Request::Predict { uid, item_id, no_forward: true, epoch: map.epoch() };
         let mut last = TransportError::Unavailable;
         let mut start_at = 0usize;
 
@@ -757,6 +1128,19 @@ impl Transport for NetCluster {
                             .finish_predict(primary, home, score, at, cold_start, timer, trace_id);
                         self.close_trace_entry(troot, tchild, SpanStatus::Ok, done_ns);
                         return Ok(out);
+                    }
+                    Ok(Ok(Response::Error { code: ErrorCode::WrongEpoch, message })) => {
+                        // Stale front map: refresh it and fall through to
+                        // the sequential loop under the new epoch.
+                        tracer.finish_status(rpc_span, SpanStatus::Error);
+                        self.refresh_map_from(&client);
+                        req = Request::Predict {
+                            uid,
+                            item_id,
+                            no_forward: true,
+                            epoch: self.map_epoch(),
+                        };
+                        last = TransportError::Failed(message);
                     }
                     Ok(Ok(Response::Error { code, message })) => {
                         tracer.finish_status(rpc_span, SpanStatus::Error);
@@ -833,6 +1217,18 @@ impl Transport for NetCluster {
                                 self.close_trace_entry(troot, tchild, SpanStatus::Ok, done_ns);
                                 return Ok(out);
                             }
+                            Ok(Ok(Response::Error { code: ErrorCode::WrongEpoch, message })) => {
+                                tracer.finish_status(rpc_span, SpanStatus::Error);
+                                self.refresh_map_from(&client);
+                                req = Request::Predict {
+                                    uid,
+                                    item_id,
+                                    no_forward: true,
+                                    epoch: self.map_epoch(),
+                                };
+                                last = TransportError::Failed(message);
+                                start_at = 0;
+                            }
                             Ok(Ok(Response::Error { code, message })) => {
                                 tracer.finish_status(rpc_span, SpanStatus::Error);
                                 self.close_trace_entry(troot, tchild, SpanStatus::Error, 0);
@@ -871,32 +1267,52 @@ impl Transport for NetCluster {
                 tracer.finish_status_at(fo, SpanStatus::Ok, routed_ns);
             }
             // The front routes to the owner (or a live replica) itself, so
-            // the node answers from local state — no second hop.
-            let rpc_span =
-                tracer.child_at(entry_ctx.as_ref(), SpanKind::RpcCall, FRONT_NODE, routed_ns);
-            let rpc_ctx = rpc_span.as_ref().map(|s| s.ctx());
-            match client.call_traced(&req, rpc_ctx.as_ref()) {
-                Ok(Response::Predicted { score, node: at, cold_start, .. }) => {
-                    let done_ns = if rpc_span.is_some() { velox_obs::trace::now_ns() } else { 0 };
-                    tracer.finish_status_at(rpc_span, SpanStatus::Ok, done_ns);
-                    let out =
-                        self.finish_predict(node, home, score, at, cold_start, timer, trace_id);
-                    self.close_trace_entry(troot, tchild, SpanStatus::Ok, done_ns);
-                    return Ok(out);
-                }
-                Ok(Response::Error { code, message }) => {
-                    tracer.finish_status(rpc_span, SpanStatus::Error);
-                    self.close_trace_entry(troot, tchild, SpanStatus::Error, 0);
-                    return Err(map_error(code, message));
-                }
-                Ok(other) => {
-                    tracer.finish_status(rpc_span, SpanStatus::Error);
-                    self.close_trace_entry(troot, tchild, SpanStatus::Error, 0);
-                    return Err(TransportError::Failed(format!("unexpected reply {other:?}")));
-                }
-                Err(e) => {
-                    tracer.finish_status(rpc_span, SpanStatus::Error);
-                    last = TransportError::Failed(e.to_string());
+            // the node answers from local state — no second hop. One
+            // stale-epoch retry per node: a `WrongEpoch` rejection
+            // refreshes the front map and replays the same request under
+            // the new epoch (the old owner keeps the data across a
+            // cutover, so the node can still answer).
+            let mut refreshed = false;
+            loop {
+                let rpc_span =
+                    tracer.child_at(entry_ctx.as_ref(), SpanKind::RpcCall, FRONT_NODE, routed_ns);
+                let rpc_ctx = rpc_span.as_ref().map(|s| s.ctx());
+                match client.call_traced(&req, rpc_ctx.as_ref()) {
+                    Ok(Response::Predicted { score, node: at, cold_start, .. }) => {
+                        let done_ns =
+                            if rpc_span.is_some() { velox_obs::trace::now_ns() } else { 0 };
+                        tracer.finish_status_at(rpc_span, SpanStatus::Ok, done_ns);
+                        let out =
+                            self.finish_predict(node, home, score, at, cold_start, timer, trace_id);
+                        self.close_trace_entry(troot, tchild, SpanStatus::Ok, done_ns);
+                        return Ok(out);
+                    }
+                    Ok(Response::Error { code: ErrorCode::WrongEpoch, .. }) if !refreshed => {
+                        tracer.finish_status(rpc_span, SpanStatus::Error);
+                        refreshed = true;
+                        self.refresh_map_from(&client);
+                        req = Request::Predict {
+                            uid,
+                            item_id,
+                            no_forward: true,
+                            epoch: self.map_epoch(),
+                        };
+                    }
+                    Ok(Response::Error { code, message }) => {
+                        tracer.finish_status(rpc_span, SpanStatus::Error);
+                        self.close_trace_entry(troot, tchild, SpanStatus::Error, 0);
+                        return Err(map_error(code, message));
+                    }
+                    Ok(other) => {
+                        tracer.finish_status(rpc_span, SpanStatus::Error);
+                        self.close_trace_entry(troot, tchild, SpanStatus::Error, 0);
+                        return Err(TransportError::Failed(format!("unexpected reply {other:?}")));
+                    }
+                    Err(e) => {
+                        tracer.finish_status(rpc_span, SpanStatus::Error);
+                        last = TransportError::Failed(e.to_string());
+                        break;
+                    }
                 }
             }
         }
@@ -931,12 +1347,15 @@ impl Transport for NetCluster {
             .unwrap_or(0);
         let route_span =
             tracer.child_at(entry_ctx.as_ref(), SpanKind::Route, FRONT_NODE, entry_start);
-        let home = self.home_of_user(uid);
-        let candidates = self.serving_candidates(uid, false);
+        // One map snapshot for routing, candidates, and the epoch stamp.
+        let map = self.map();
+        let home = map.owner_of(uid);
+        let candidates = self.serving_candidates(&map, uid, false);
         let routed_ns = if route_span.is_some() { velox_obs::trace::now_ns() } else { 0 };
         tracer.finish_status_at(route_span, SpanStatus::Ok, routed_ns);
 
         let timer = Instant::now();
+        let mut epoch = map.epoch();
         // One observation id for the whole logical call: every client
         // retry replays the same id, so the applying node's dedupe window
         // collapses replays into the original ack.
@@ -950,54 +1369,68 @@ impl Transport for NetCluster {
                 tracer.finish_status_at(fo, SpanStatus::Ok, routed_ns);
             }
             // no_forward: a live replica acts as owner when the home is
-            // down (its clock is ahead of every record it has seen).
-            let req = Request::Observe { uid, item_id, y, no_forward: true, obs_id };
-            let rpc_span =
-                tracer.child_at(entry_ctx.as_ref(), SpanKind::RpcCall, FRONT_NODE, routed_ns);
-            let rpc_ctx = rpc_span.as_ref().map(|s| s.ctx());
-            match client.call_traced(&req, rpc_ctx.as_ref()) {
-                Ok(Response::Observed { node: at, ts, shipped_to }) => {
-                    let done_ns = if rpc_span.is_some() { velox_obs::trace::now_ns() } else { 0 };
-                    tracer.finish_status_at(rpc_span, SpanStatus::Ok, done_ns);
-                    self.slots[node].lock().unwrap().requests_routed.inc();
-                    let us = timer.elapsed().as_micros() as u64;
-                    match trace_id {
-                        Some(t) => self.observe_us.record_exemplar(us, t),
-                        None => self.observe_us.record(us),
+            // down (its clock is ahead of every record it has seen). One
+            // stale-epoch retry per node: a `WrongEpoch` rejection happens
+            // before the observation is applied, so replaying the same
+            // `obs_id` under the refreshed epoch can never double-apply.
+            let mut refreshed = false;
+            'attempt: loop {
+                let req = Request::Observe { uid, item_id, y, no_forward: true, obs_id, epoch };
+                let rpc_span =
+                    tracer.child_at(entry_ctx.as_ref(), SpanKind::RpcCall, FRONT_NODE, routed_ns);
+                let rpc_ctx = rpc_span.as_ref().map(|s| s.ctx());
+                match client.call_traced(&req, rpc_ctx.as_ref()) {
+                    Ok(Response::Observed { node: at, ts, shipped_to }) => {
+                        let done_ns =
+                            if rpc_span.is_some() { velox_obs::trace::now_ns() } else { 0 };
+                        tracer.finish_status_at(rpc_span, SpanStatus::Ok, done_ns);
+                        self.slots[node].lock().unwrap().requests_routed.inc();
+                        let us = timer.elapsed().as_micros() as u64;
+                        match trace_id {
+                            Some(t) => self.observe_us.record_exemplar(us, t),
+                            None => self.observe_us.record(us),
+                        }
+                        self.close_trace_entry(troot, tchild, SpanStatus::Ok, done_ns);
+                        return Ok(TransportObserve {
+                            node: at as NodeId,
+                            ts,
+                            shipped_to: shipped_to as usize,
+                            trace_id,
+                        });
                     }
-                    self.close_trace_entry(troot, tchild, SpanStatus::Ok, done_ns);
-                    return Ok(TransportObserve {
-                        node: at as NodeId,
-                        ts,
-                        shipped_to: shipped_to as usize,
-                        trace_id,
-                    });
-                }
-                Ok(Response::Error { code, message }) => {
-                    tracer.finish_status(rpc_span, SpanStatus::Error);
-                    self.close_trace_entry(troot, tchild, SpanStatus::Error, 0);
-                    return Err(map_error(code, message));
-                }
-                Ok(other) => {
-                    tracer.finish_status(rpc_span, SpanStatus::Error);
-                    self.close_trace_entry(troot, tchild, SpanStatus::Error, 0);
-                    return Err(TransportError::Failed(format!("unexpected reply {other:?}")));
-                }
-                Err(e) => {
-                    tracer.finish_status(rpc_span, SpanStatus::Error);
-                    if e.definitely_not_delivered() {
-                        // The node never saw the request, so a different
-                        // replica may safely act as owner.
-                        last = TransportError::Failed(e.to_string());
-                        continue;
+                    Ok(Response::Error { code: ErrorCode::WrongEpoch, .. }) if !refreshed => {
+                        tracer.finish_status(rpc_span, SpanStatus::Error);
+                        refreshed = true;
+                        self.refresh_map_from(&client);
+                        epoch = self.map_epoch();
                     }
-                    // Ambiguous failure past the ack point: `node` may
-                    // have applied the observation and lost only the ack.
-                    // Acting-owner failover would apply it again under a
-                    // fresh timestamp (the dedupe window is per node), so
-                    // surface the error — at-most-once, not at-least-once.
-                    self.close_trace_entry(troot, tchild, SpanStatus::Error, 0);
-                    return Err(TransportError::Failed(e.to_string()));
+                    Ok(Response::Error { code, message }) => {
+                        tracer.finish_status(rpc_span, SpanStatus::Error);
+                        self.close_trace_entry(troot, tchild, SpanStatus::Error, 0);
+                        return Err(map_error(code, message));
+                    }
+                    Ok(other) => {
+                        tracer.finish_status(rpc_span, SpanStatus::Error);
+                        self.close_trace_entry(troot, tchild, SpanStatus::Error, 0);
+                        return Err(TransportError::Failed(format!("unexpected reply {other:?}")));
+                    }
+                    Err(e) => {
+                        tracer.finish_status(rpc_span, SpanStatus::Error);
+                        if e.definitely_not_delivered() {
+                            // The node never saw the request, so a
+                            // different replica may safely act as owner.
+                            last = TransportError::Failed(e.to_string());
+                            break 'attempt;
+                        }
+                        // Ambiguous failure past the ack point: `node` may
+                        // have applied the observation and lost only the
+                        // ack. Acting-owner failover would apply it again
+                        // under a fresh timestamp (the dedupe window is
+                        // per node), so surface the error — at-most-once,
+                        // not at-least-once.
+                        self.close_trace_entry(troot, tchild, SpanStatus::Error, 0);
+                        return Err(TransportError::Failed(e.to_string()));
+                    }
                 }
             }
         }
@@ -1016,9 +1449,24 @@ impl Transport for NetCluster {
         self.detector.snapshot()
     }
 
+    fn membership(&self) -> Option<MembershipView> {
+        let map = self.map();
+        let wrong_epoch: u64 =
+            self.slots.iter().map(|s| s.lock().unwrap().metrics.wrong_epoch.get()).sum();
+        Some(MembershipView {
+            epoch: map.epoch(),
+            members: map.members().to_vec(),
+            n_partitions: map.n_partitions(),
+            replication: map.replication(),
+            migrations: self.migrations(),
+            wrong_epoch,
+            map_refreshes: self.map_refreshes.get(),
+        })
+    }
+
     fn fetch_weights(&self, uid: u64) -> Result<Option<Vec<f64>>, TransportError> {
         let mut last = TransportError::Unavailable;
-        for node in self.serving_candidates(uid, false) {
+        for node in self.serving_candidates(&self.map(), uid, false) {
             let Some(client) = self.peers.get(node) else { continue };
             match client.call(&Request::FetchWeights { uid }) {
                 Ok(Response::Weights { w }) => return Ok(w),

@@ -221,7 +221,8 @@ fn traced_rpc_frame_rejects_every_single_bit_flip() {
         sampled: true,
     };
     let payload =
-        Request::Observe { uid: 3, item_id: 9, y: 0.75, no_forward: true, obs_id: 42 }.encode();
+        Request::Observe { uid: 3, item_id: 9, y: 0.75, no_forward: true, obs_id: 42, epoch: 0 }
+            .encode();
     let raw = encode_traced_frame(&payload, &ctx);
     let meta = FrameMeta { trace: Some(ctx), unknown_exts: 0 };
     for byte in 0..raw.len() {
@@ -245,10 +246,12 @@ fn traced_rpc_frame_rejects_every_single_bit_flip() {
 #[test]
 fn rpc_frames_reject_every_single_bit_flip() {
     let messages = [
-        Request::Predict { uid: 77, item_id: 12, no_forward: false }.encode(),
-        Request::Observe { uid: 3, item_id: 9, y: 0.75, no_forward: true, obs_id: 42 }.encode(),
+        Request::Predict { uid: 77, item_id: 12, no_forward: false, epoch: 3 }.encode(),
+        Request::Observe { uid: 3, item_id: 9, y: 0.75, no_forward: true, obs_id: 42, epoch: 0 }
+            .encode(),
         Request::ShipLog {
             records: vec![Observation { uid: 1, item_id: 2, y: 0.5, timestamp: 42 }],
+            obs_ids: vec![9],
         }
         .encode(),
         Response::Predicted { score: 0.25, node: 1, forwarded: true, cold_start: false }.encode(),
@@ -323,5 +326,127 @@ fn chaos_corrupted_streams_fail_closed_never_misparse() {
             decoded += 1;
         }
         assert!(decoded <= sent.len());
+    }
+}
+
+/// The membership-plane wire surface for the batteries below: map
+/// exchange (`GetMap`/`InstallMap`/`Map`) and the migration checkpoint
+/// stream (`PullPartition`/`PushPartition`/`Partition`).
+fn sample_map() -> velox_cluster::PartitionMap {
+    velox_cluster::PartitionMap::bootstrap(3, 2, 0xC0FFEE)
+        .expect("bootstrap")
+        .with_member(3)
+        .expect("join")
+}
+
+/// Every migration/epoch RPC rejects every truncation at the decode
+/// layer — a torn checkpoint stream or cutover frame must fail closed,
+/// never install a partial map or a partial weights batch.
+#[test]
+fn migration_rpcs_reject_every_truncation() {
+    let requests = [
+        Request::GetMap.encode(),
+        Request::InstallMap { map: sample_map() }.encode(),
+        Request::PullPartition { partition: 7 }.encode(),
+        Request::PushPartition { entries: vec![(42, vec![0.5, 0.25]), (7, vec![1.0])] }.encode(),
+    ];
+    for raw in &requests {
+        assert!(Request::decode(raw).is_ok(), "pristine request must decode");
+        for cut in 0..raw.len() {
+            assert!(
+                Request::decode(&raw[..cut]).is_err(),
+                "accepted a {cut}-byte truncation of a {}-byte request",
+                raw.len()
+            );
+        }
+    }
+    let responses = [
+        Response::Map { map: sample_map() }.encode(),
+        Response::Partition { entries: vec![(1, vec![1.0, 0.5]), (9, vec![0.25])] }.encode(),
+    ];
+    for raw in &responses {
+        assert!(Response::decode(raw).is_ok(), "pristine response must decode");
+        for cut in 0..raw.len() {
+            assert!(
+                Response::decode(&raw[..cut]).is_err(),
+                "accepted a {cut}-byte truncation of a {}-byte response",
+                raw.len()
+            );
+        }
+    }
+}
+
+/// A bit flip inside an epoch stamp is never silently absorbed: the
+/// decoder either rejects the message or surfaces a *different* epoch,
+/// which the node-side `admit_epoch` check then refuses. (End-to-end the
+/// frame CRC already rejects the flip; this pins the decode layer too.)
+#[test]
+fn bit_flipped_epochs_are_never_silently_absorbed() {
+    let stamped = [
+        Request::Predict { uid: 9, item_id: 4, no_forward: true, epoch: 41 }.encode(),
+        Request::Observe { uid: 9, item_id: 4, y: 0.5, no_forward: false, obs_id: 77, epoch: 41 }
+            .encode(),
+    ];
+    for raw in &stamped {
+        let orig = Request::decode(raw).expect("pristine");
+        // The epoch stamp is the trailing u64 of both requests.
+        for byte in raw.len() - 8..raw.len() {
+            for bit in 0..8 {
+                let mut flipped = raw.clone();
+                flipped[byte] ^= 1 << bit;
+                if let Ok(m) = Request::decode(&flipped) {
+                    assert_ne!(m, orig, "flip at byte {byte} bit {bit} absorbed");
+                }
+            }
+        }
+    }
+    // The cutover frame leads with the map's epoch (tag, then u64).
+    let raw = Request::InstallMap { map: sample_map() }.encode();
+    let orig = Request::decode(&raw).expect("pristine");
+    for byte in 1..9 {
+        for bit in 0..8 {
+            let mut flipped = raw.clone();
+            flipped[byte] ^= 1 << bit;
+            if let Ok(m) = Request::decode(&flipped) {
+                assert_ne!(m, orig, "map epoch flip at byte {byte} bit {bit} absorbed");
+            }
+        }
+    }
+}
+
+/// Seeded battery over the cutover frame's TLV extension tail: unknown
+/// TLV types of random shapes are skipped (forward compatibility for
+/// future membership metadata), while any truncation inside the tail is
+/// rejected — a partial extension can never smuggle a map in.
+#[test]
+fn cutover_frame_tlv_tail_battery() {
+    let mut rng = VeloxRng::seed_from(SEED ^ 7);
+    let map = sample_map();
+    let base = Request::InstallMap { map: map.clone() }.encode();
+    let body = &base[..base.len() - 4]; // strip the empty TLV count
+    for round in 0..200 {
+        let n_tlv = rng.below(4) as usize + 1;
+        let mut buf = body.to_vec();
+        buf.extend_from_slice(&(n_tlv as u32).to_be_bytes());
+        for _ in 0..n_tlv {
+            buf.push(rng.below(256) as u8); // type: anything goes
+            let len = rng.below(16) as usize;
+            buf.extend_from_slice(&(len as u32).to_be_bytes());
+            for _ in 0..len {
+                buf.push(rng.below(256) as u8);
+            }
+        }
+        match Request::decode(&buf) {
+            Ok(Request::InstallMap { map: decoded }) => {
+                assert_eq!(decoded, map, "round {round}: TLV tail altered the decoded map")
+            }
+            other => panic!("round {round}: unknown TLVs must be skipped, got {other:?}"),
+        }
+        let tail_start = body.len() + 4;
+        let cut = tail_start + rng.below((buf.len() - tail_start) as u64) as usize;
+        assert!(
+            Request::decode(&buf[..cut]).is_err(),
+            "round {round}: accepted a TLV tail truncated at byte {cut}"
+        );
     }
 }

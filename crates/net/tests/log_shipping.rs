@@ -78,10 +78,11 @@ fn non_owner_forwards_one_hop_to_the_owner() {
     let via = net.client(other).unwrap();
 
     let at_home = direct
-        .call(&Request::Predict { uid: 5, item_id: 2, no_forward: false })
+        .call(&Request::Predict { uid: 5, item_id: 2, no_forward: false, epoch: 0 })
         .expect("direct call");
-    let via_other =
-        via.call(&Request::Predict { uid: 5, item_id: 2, no_forward: false }).expect("routed call");
+    let via_other = via
+        .call(&Request::Predict { uid: 5, item_id: 2, no_forward: false, epoch: 0 })
+        .expect("routed call");
     match (at_home, via_other) {
         (
             Response::Predicted { score: a, forwarded: f1, node: n1, .. },

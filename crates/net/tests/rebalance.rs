@@ -1,0 +1,228 @@
+//! Elastic membership over real sockets: epoch-stamped partition maps,
+//! live partition migration, and chaos fail-over.
+//!
+//! The acceptance gate for the membership plane:
+//!
+//! - a node joins a serving cluster and takes partitions over with the
+//!   dual-write / checkpoint / catch-up / cut-over / tail-replay state
+//!   machine, losing **no acknowledged observe** and double-applying
+//!   none — the final weights are bit-identical to a local replay of the
+//!   ack stream;
+//! - killing a member *and its disk* after a rebalance fails it out of
+//!   the map with zero acked loss (survivor replicas re-own and
+//!   backfill);
+//! - a front with a stale map is rejected with `WrongEpoch`, refreshes
+//!   via `GetMap`, and retries — at-most-once observes included;
+//! - twin clusters fed the same workload through a join + rebalance
+//!   converge to bit-identical weights at the same epoch (the migration
+//!   plan and replay order are deterministic).
+
+use std::time::Duration;
+
+use velox_cluster::transport::Transport;
+use velox_cluster::{lms_update, NodeId};
+use velox_net::{NetCluster, NetClusterConfig, Request, Response};
+use velox_storage::ScratchDir;
+
+const DIM: usize = 3;
+const LR: f64 = 0.1;
+const USERS: u64 = 13;
+
+fn item_features(item: u64) -> Vec<f64> {
+    (0..DIM).map(|d| ((item * 31 + d as u64 * 7) % 5) as f64 / 4.0).collect()
+}
+
+fn seeded_items() -> Vec<(u64, Vec<f64>)> {
+    (0..24u64).map(|i| (i, item_features(i))).collect()
+}
+
+fn start_net(wal_root: Option<&ScratchDir>, max_nodes: usize) -> NetCluster {
+    let cluster = NetCluster::start(NetClusterConfig {
+        n_nodes: 3,
+        max_nodes,
+        user_replication: 2,
+        lr: LR,
+        wal_root: wal_root.map(|d| d.path().to_path_buf()),
+        workers: 8,
+        request_timeout: Duration::from_secs(2),
+        ..Default::default()
+    })
+    .expect("start loopback cluster");
+    cluster.publish_item_features(seeded_items());
+    cluster
+}
+
+/// A deterministic workload: (uid, item, label) triples.
+fn workload(offset: u64, n: u64) -> Vec<(u64, u64, f64)> {
+    (offset..offset + n)
+        .map(|i| (i % USERS, i % 24, if (i * i) % 3 == 0 { 1.0 } else { 0.0 }))
+        .collect()
+}
+
+/// Local replay of the acked stream: what every user's weights must be
+/// if no acked observe was lost and none was applied twice.
+fn expected_weights(acked: &[(u64, u64, f64)]) -> Vec<(u64, Vec<f64>)> {
+    let mut w: std::collections::HashMap<u64, Vec<f64>> = std::collections::HashMap::new();
+    for &(uid, item, y) in acked {
+        lms_update(w.entry(uid).or_default(), &item_features(item), y, LR);
+    }
+    let mut out: Vec<(u64, Vec<f64>)> = w.into_iter().collect();
+    out.sort_by_key(|(uid, _)| *uid);
+    out
+}
+
+fn assert_weights_match(net: &NetCluster, acked: &[(u64, u64, f64)], what: &str) {
+    for (uid, expect) in expected_weights(acked) {
+        let got = net
+            .fetch_weights(uid)
+            .expect("fetch weights")
+            .unwrap_or_else(|| panic!("{what}: user {uid} has no weights — acked records lost"));
+        assert_eq!(
+            got, expect,
+            "{what}: user {uid} weights diverge from the acked stream \
+             (lost or double-applied records)"
+        );
+    }
+}
+
+#[test]
+fn join_and_rebalance_lose_no_acked_observe() {
+    let net = start_net(None, 4);
+    let mut acked: Vec<(u64, u64, f64)> = Vec::new();
+    for (uid, item, y) in workload(0, 150) {
+        net.observe(uid, item, y).expect("observe before join");
+        acked.push((uid, item, y));
+    }
+    assert_eq!(net.map_epoch(), 1, "bootstrap map is epoch 1");
+
+    let joined = net.join_node().expect("join");
+    assert_eq!(joined, 3, "first free slot");
+    let moved = net.rebalance_join(joined).expect("rebalance");
+    assert!(!moved.is_empty(), "a 3→4 rebalance must move partitions");
+    assert_eq!(
+        net.map_epoch(),
+        2 + 2 * moved.len() as u64,
+        "join bumps once, each migration bumps twice (dual-write + cutover)"
+    );
+
+    // The joined node owns what the plan moved; traffic keeps flowing.
+    let map = net.map();
+    for &p in &moved {
+        assert_eq!(map.owner_of_partition(p), joined, "cutover re-owned partition {p}");
+    }
+    for (uid, item, y) in workload(1000, 100) {
+        net.observe(uid, item, y).expect("observe after rebalance");
+        acked.push((uid, item, y));
+    }
+    for uid in 0..USERS {
+        let p = net.predict(uid, uid % 24).expect("predict after rebalance");
+        assert!(!p.cold_start, "no user may go cold through a rebalance");
+    }
+    assert_weights_match(&net, &acked, "after join+rebalance");
+
+    let view = net.membership().expect("net transport exposes membership");
+    assert_eq!(view.members, vec![0, 1, 2, 3]);
+    assert_eq!(view.migrations.len(), moved.len());
+    assert!(view.migrations.iter().all(|m| m.phase == "done"));
+    assert!(view.migrations.iter().all(|m| m.to == joined));
+    assert!(
+        view.migrations.iter().all(|m| m.epoch_end > m.epoch_start),
+        "every migration spans a dual-write and a cutover epoch bump"
+    );
+}
+
+#[test]
+fn owner_death_with_disk_loss_fails_over_with_zero_loss() {
+    let wal = ScratchDir::new("rebalance-failover");
+    let net = start_net(Some(&wal), 4);
+    let mut acked: Vec<(u64, u64, f64)> = Vec::new();
+    for (uid, item, y) in workload(0, 150) {
+        net.observe(uid, item, y).expect("observe");
+        acked.push((uid, item, y));
+    }
+    let joined = net.join_node().expect("join");
+    net.rebalance_join(joined).expect("rebalance");
+
+    // Kill a founding member and wipe its disk: recovery from local state
+    // is impossible, only replicas hold its partitions now.
+    let victim: NodeId = 0;
+    net.kill_node_lose_disk(victim);
+    let backfilled = net.fail_over_dead(victim).expect("fail over");
+    let view = net.membership().expect("membership");
+    assert_eq!(view.members, vec![1, 2, 3], "dead member left the map");
+    assert!(
+        net.map().members().iter().all(|&m| m != victim),
+        "no partition may reference the dead node"
+    );
+    let _ = backfilled; // may be 0 if every survivor already replicated
+
+    for (uid, item, y) in workload(2000, 100) {
+        net.observe(uid, item, y).expect("observe after fail-over");
+        acked.push((uid, item, y));
+    }
+    for uid in 0..USERS {
+        let p = net.predict(uid, uid % 24).expect("predict after fail-over");
+        assert!(!p.cold_start, "no user may go cold through owner death");
+    }
+    assert_weights_match(&net, &acked, "after kill_lose_disk+fail_over");
+}
+
+#[test]
+fn stale_front_is_rejected_refreshes_and_retries() {
+    let net = start_net(None, 3);
+    for (uid, item, y) in workload(0, 60) {
+        net.observe(uid, item, y).expect("observe");
+    }
+    let map0 = net.map();
+    // Build a newer map behind the front's back and install it on the
+    // nodes only — exactly what a second control plane (or an operator
+    // tool) would do. Partition 0 gains its one non-replica member.
+    let extra = *map0
+        .members()
+        .iter()
+        .find(|&&m| !map0.replicas_of_partition(0).contains(&m))
+        .expect("replication 2 of 3 leaves one non-replica");
+    let map1 = map0.with_extra_replica(0, extra).expect("bump epoch");
+    for node in 0..3 {
+        let client = net.client(node).expect("live node");
+        match client.call(&Request::InstallMap { map: map1.clone() }) {
+            Ok(Response::Ok) => {}
+            other => panic!("install on node {node} failed: {other:?}"),
+        }
+    }
+    assert_eq!(net.map_epoch(), map0.epoch(), "front still on the stale epoch");
+
+    // Every node now rejects the front's stamp; the front must refresh
+    // once and serve — predicts and at-most-once observes both.
+    net.predict(5, 2).expect("predict refreshes through WrongEpoch");
+    net.observe(5, 2, 1.0).expect("observe refreshes through WrongEpoch");
+    assert_eq!(net.map_epoch(), map1.epoch(), "front adopted the nodes' map");
+    assert_eq!(net.map_refresh_count(), 1, "one rejection forced one refresh");
+    let view = net.membership().expect("membership");
+    assert!(view.wrong_epoch >= 1, "nodes counted the stale-epoch rejection");
+    assert_eq!(view.epoch, map1.epoch());
+}
+
+#[test]
+fn twin_clusters_converge_bit_identically_across_epoch_bumps() {
+    let run = |tag: &str| {
+        let wal = ScratchDir::new(tag);
+        let net = start_net(Some(&wal), 4);
+        for (uid, item, y) in workload(0, 120) {
+            net.observe(uid, item, y).expect("observe");
+        }
+        let joined = net.join_node().expect("join");
+        let moved = net.rebalance_join(joined).expect("rebalance");
+        for (uid, item, y) in workload(500, 80) {
+            net.observe(uid, item, y).expect("observe");
+        }
+        let weights: Vec<(u64, Option<Vec<f64>>)> =
+            (0..USERS).map(|uid| (uid, net.fetch_weights(uid).expect("fetch"))).collect();
+        (net.map_epoch(), moved, weights)
+    };
+    let (epoch_a, moved_a, weights_a) = run("twin-a");
+    let (epoch_b, moved_b, weights_b) = run("twin-b");
+    assert_eq!(epoch_a, epoch_b, "twin clusters bump through identical epochs");
+    assert_eq!(moved_a, moved_b, "the rebalance plan is deterministic");
+    assert_eq!(weights_a, weights_b, "weights are bit-identical across twins");
+}

@@ -173,11 +173,14 @@ pub enum SpanKind {
     /// Marker: the primary read ran past the hedge delay and a hedged
     /// attempt was sent to a replica.
     Hedge = 14,
+    /// One phase of a live partition migration (dual-write install,
+    /// checkpoint stream, catch-up, cutover, tail replay).
+    Migrate = 15,
 }
 
 impl SpanKind {
     /// All kinds, in numeric order.
-    pub const ALL: [SpanKind; 15] = [
+    pub const ALL: [SpanKind; 16] = [
         SpanKind::RestRequest,
         SpanKind::ClusterPredict,
         SpanKind::ClusterObserve,
@@ -193,6 +196,7 @@ impl SpanKind {
         SpanKind::ShipApply,
         SpanKind::Retry,
         SpanKind::Hedge,
+        SpanKind::Migrate,
     ];
 
     /// Stable snake_case name (used in JSON and tables).
@@ -213,6 +217,7 @@ impl SpanKind {
             SpanKind::ShipApply => "ship_apply",
             SpanKind::Retry => "retry",
             SpanKind::Hedge => "hedge",
+            SpanKind::Migrate => "migrate",
         }
     }
 

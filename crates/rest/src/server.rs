@@ -633,7 +633,45 @@ fn dispatch_cluster(
                     Json::object(fields)
                 })
                 .collect();
-            (200, Json::object(vec![("nodes", Json::Array(nodes))]).to_string())
+            let mut top = vec![("nodes", Json::Array(nodes))];
+            // Membership plane (epoch-stamped partition map + migration
+            // ledger), when the transport exposes one.
+            if let Some(view) = cluster.membership() {
+                let migrations: Vec<Json> = view
+                    .migrations
+                    .iter()
+                    .map(|m| {
+                        Json::object(vec![
+                            ("partition", Json::Number(m.partition as f64)),
+                            ("from", Json::Number(m.from as f64)),
+                            ("to", Json::Number(m.to as f64)),
+                            ("phase", Json::String(m.phase.to_string())),
+                            ("epoch_start", Json::Number(m.epoch_start as f64)),
+                            ("epoch_end", Json::Number(m.epoch_end as f64)),
+                            ("users_streamed", Json::Number(m.users_streamed as f64)),
+                            ("records_replayed", Json::Number(m.records_replayed as f64)),
+                        ])
+                    })
+                    .collect();
+                top.push((
+                    "membership",
+                    Json::object(vec![
+                        ("epoch", Json::Number(view.epoch as f64)),
+                        (
+                            "members",
+                            Json::Array(
+                                view.members.iter().map(|&m| Json::Number(m as f64)).collect(),
+                            ),
+                        ),
+                        ("n_partitions", Json::Number(view.n_partitions as f64)),
+                        ("replication", Json::Number(view.replication as f64)),
+                        ("wrong_epoch", Json::Number(view.wrong_epoch as f64)),
+                        ("map_refreshes", Json::Number(view.map_refreshes as f64)),
+                        ("migrations", Json::Array(migrations)),
+                    ]),
+                ));
+            }
+            (200, Json::object(top).to_string())
         }
         ("POST", ["cluster", "predict"]) => {
             let body = match parse_body(request) {

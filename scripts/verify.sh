@@ -25,6 +25,9 @@ cargo test --release --offline -q -p velox-net --test frame_fuzz
 echo "==> network chaos tests: drop/dup/partition/reset on both transports (offline)"
 cargo test --release --offline -q -p velox-net --test chaos_net
 
+echo "==> elastic membership tests: join/migrate/fail-over/WrongEpoch (offline)"
+cargo test --release --offline -q -p velox-net --test rebalance
+
 echo "==> velox-net tracing tests (offline)"
 cargo test --release --offline -q -p velox-net --test tracing
 cargo test --release --offline -q -p velox-rest --test trace_endpoints
@@ -32,7 +35,7 @@ cargo test --release --offline -q -p velox-rest --test trace_endpoints
 echo "==> net serving latency smoke (offline)"
 cargo run --release --offline -q -p velox-bench --bin abl_net -- --smoke > /dev/null
 
-echo "==> tracing overhead smoke (<5% hot-path cost, offline)"
+echo "==> tracing overhead smoke (traced delta <1.2/1.6 µs, offline)"
 cargo run --release --offline -q -p velox-bench --bin trace_overhead -- --smoke > /dev/null
 
 echo "==> chaos availability smoke (offline)"
@@ -40,6 +43,9 @@ cargo run --release --offline -q -p velox-bench --bin abl_chaos -- --smoke > /de
 
 echo "==> network chaos availability + zero-acked-loss smoke (offline)"
 cargo run --release --offline -q -p velox-bench --bin abl_chaos_net -- --smoke > /dev/null
+
+echo "==> rebalance availability + zero-acked-loss smoke, both transports (offline)"
+cargo run --release --offline -q -p velox-bench --bin abl_rebalance -- --smoke > /dev/null
 
 echo "==> recovery durability smoke (offline)"
 cargo run --release --offline -q -p velox-bench --bin abl_recovery -- --smoke > /dev/null
