@@ -1,0 +1,713 @@
+//! CHAOS-REBALANCE — migration under fire: chunked resumable checkpoint
+//! streaming, abort/rollback, and hardened membership, on both backends.
+//!
+//! REBALANCE (`abl_rebalance`) proves elastic membership works when every
+//! migration is *allowed to finish*. This experiment attacks the
+//! migrations themselves: Zipf traffic keeps flowing while the transfer
+//! path is partitioned, the source or destination node is killed
+//! mid-plan, the wall-clock deadline expires, and the operator cancels —
+//! on **both** transport backends (loopback TCP `velox-net` and the
+//! in-process `SimTransport`) behind the shared `Transport` trait.
+//!
+//! The scenarios, each run against live traffic:
+//!
+//! - `abort: dst death` — the destination dies before the checkpoint
+//!   commits; the migration aborts, the source stays authoritative, the
+//!   epoch does not move.
+//! - `abort: src death` — the source dies; same rollback property, and
+//!   traffic keeps flowing off replicas through the outage.
+//! - `partition mid-stream` — the checkpoint link is cut *during* the
+//!   chunk stream. The TCP runtime's cursor-resumable pulls retry at the
+//!   same cursor until the link heals, then the migration commits
+//!   (resumes observed > 0); the simulator's synchronous transfer
+//!   instead aborts with `checkpoint link partitioned`.
+//! - `deadline abort` — a zero wall-clock budget aborts every attempt
+//!   with `deadline exceeded` before any map install.
+//! - `operator cancel` (sim) — a pre-armed cancel lands at the first
+//!   chunk boundary.
+//!
+//! After the fire drill, the planned `rebalance_join` handoff commits
+//! cleanly on the same cluster — aborts must not poison later attempts.
+//!
+//! Verification is the strongest available: the acked `(uid, item, y)`
+//! stream replays locally through the shared [`lms_update`] and every
+//! user's weights must match the cluster **bit-for-bit** (zero acked
+//! loss, zero double-applies); every backend runs **twice** with the
+//! same seed and the two runs' final `(epoch, weights)` must be
+//! identical (abort rollback is deterministic, not best-effort); and on
+//! the TCP backend no checkpoint frame may exceed the configured chunk
+//! budget (the `checkpoint_frame_max` gauge).
+//!
+//! `--smoke` runs shorter phases and exits non-zero unless, on both
+//! backends: **100%** availability in every phase, bit-exact replay,
+//! every abort left the epoch untouched with the source authoritative,
+//! the resumable stream resumed at least once through the link fault,
+//! the ledger's terminal outcomes match the script, and the max
+//! checkpoint frame honours the chunk budget.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use velox_bench::{print_header, print_row};
+use velox_cluster::transport::{SimTransport, Transport};
+use velox_cluster::{
+    lms_update, ChaosControl, Cluster, ClusterConfig, LinkChaos, LinkFaultPlan, MembershipError,
+    MigrationOutcome, NodeId, RetryPolicy, FRONT_PEER,
+};
+use velox_data::{WorkloadConfig, ZipfGenerator};
+use velox_linalg::stats::LatencySummary;
+use velox_net::{NetClientConfig, NetCluster, NetClusterConfig};
+
+const N_USERS: u64 = 24;
+const N_ITEMS: u64 = 48;
+const DIM: usize = 8;
+const N_NODES: usize = 3;
+const MAX_NODES: usize = 4;
+const LR: f64 = 0.05;
+const ZIPF_SKEW: f64 = 1.0;
+/// Checkpoint chunk budget on the TCP backend: small enough that a
+/// partition's snapshot needs several frames, so the resume cursor and
+/// the frame-size gauge are actually exercised.
+const CHUNK_BYTES: u32 = 4096;
+/// Simulator chunk granularity (users per chunk): several abort-trigger
+/// boundary checks per migration.
+const CHUNK_USERS: usize = 4;
+
+fn item_features(item: u64) -> Vec<f64> {
+    (0..DIM).map(|d| ((item * 31 + d as u64 * 7) % 17) as f64 / 16.0).collect()
+}
+
+fn seeded_items() -> Vec<(u64, Vec<f64>)> {
+    (0..N_ITEMS).map(|i| (i, item_features(i))).collect()
+}
+
+fn zipf_stream(seed: u64) -> ZipfGenerator {
+    ZipfGenerator::new(WorkloadConfig {
+        n_users: N_USERS as usize,
+        n_items: N_ITEMS as usize,
+        item_skew: ZIPF_SKEW,
+        topk_set_size: 1,
+        seed,
+    })
+}
+
+/// Final cluster state a twin run must reproduce bit-for-bit.
+type Fingerprint = (u64, Vec<(u64, Option<Vec<f64>>)>);
+
+fn fingerprint(t: &dyn Transport, epoch: u64) -> Fingerprint {
+    let weights = (0..N_USERS).map(|uid| (uid, t.fetch_weights(uid).ok().flatten())).collect();
+    (epoch, weights)
+}
+
+/// One phase's availability + latency ledger, transport-agnostic.
+#[derive(Default)]
+struct Ledger {
+    predict_us: Vec<f64>,
+    predict_errors: u64,
+    observe_us: Vec<f64>,
+    observe_errors: u64,
+}
+
+impl Ledger {
+    fn predict(&mut self, t: &dyn Transport, uid: u64, item: u64) {
+        let start = Instant::now();
+        match t.predict(uid, item) {
+            Ok(_) => self.predict_us.push(start.elapsed().as_secs_f64() * 1e6),
+            Err(_) => self.predict_errors += 1,
+        }
+    }
+
+    fn observe(
+        &mut self,
+        t: &dyn Transport,
+        acked: &mut Vec<(u64, u64, f64)>,
+        uid: u64,
+        item: u64,
+    ) {
+        let y = if (uid + item).is_multiple_of(2) { 1.0 } else { 0.0 };
+        let start = Instant::now();
+        match t.observe(uid, item, y) {
+            Ok(_) => {
+                self.observe_us.push(start.elapsed().as_secs_f64() * 1e6);
+                acked.push((uid, item, y));
+            }
+            Err(_) => self.observe_errors += 1,
+        }
+    }
+
+    fn errors(&self) -> u64 {
+        self.predict_errors + self.observe_errors
+    }
+
+    fn row(&self, phase: &str) {
+        let p = LatencySummary::from_samples(&self.predict_us);
+        let (p50, p99) = p.map(|s| (s.p50, s.p99)).unwrap_or((0.0, 0.0));
+        print_row(&[
+            phase.to_string(),
+            format!("{}", self.predict_us.len() + self.observe_us.len()),
+            format!("{}", self.errors()),
+            format!("{p50:.0}"),
+            format!("{p99:.0}"),
+        ]);
+    }
+}
+
+/// Replays the acked stream locally and counts users whose cluster
+/// weights diverge from the bit-exact expectation (lost or
+/// double-applied acked records).
+fn replay_divergence(t: &dyn Transport, acked: &[(u64, u64, f64)]) -> u64 {
+    let mut replay: HashMap<u64, Vec<f64>> = HashMap::new();
+    for &(uid, item, y) in acked {
+        lms_update(replay.entry(uid).or_default(), &item_features(item), y, LR);
+    }
+    let mut diverged = 0u64;
+    for (uid, expect) in &replay {
+        match t.fetch_weights(*uid) {
+            Ok(Some(got)) if &got == expect => {}
+            _ => diverged += 1,
+        }
+    }
+    diverged
+}
+
+/// First partition owned by `node` under `map`.
+fn partition_owned_by(map: &velox_cluster::PartitionMap, node: NodeId) -> u32 {
+    (0..map.n_partitions())
+        .find(|&p| map.owner_of_partition(p) == node)
+        .expect("every founding member owns at least one partition")
+}
+
+// ---------------------------------------------------------------------
+// TCP backend
+// ---------------------------------------------------------------------
+
+fn start_net() -> Arc<NetCluster> {
+    let net = NetCluster::start(NetClusterConfig {
+        n_nodes: N_NODES,
+        max_nodes: MAX_NODES,
+        user_replication: 2,
+        lr: LR,
+        workers: 4,
+        request_timeout: Duration::from_secs(2),
+        checkpoint_chunk_bytes: CHUNK_BYTES,
+        migration_deadline: Duration::from_secs(30),
+        client: NetClientConfig {
+            per_try_timeout: Some(Duration::from_millis(100)),
+            retry: RetryPolicy {
+                max_attempts: 4,
+                backoff_base: Duration::from_millis(20),
+                backoff_max: Duration::from_millis(60),
+                jitter: 0.2,
+            },
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+    .expect("start loopback cluster");
+    net.publish_item_features(seeded_items());
+    Arc::new(net)
+}
+
+/// Asserts a migration attempt aborted for `want`, without an epoch bump
+/// and with `src` still the owner; failures accumulate instead of
+/// panicking so the smoke report names every broken gate.
+fn expect_net_abort(
+    failures: &mut Vec<String>,
+    net: &NetCluster,
+    scenario: &str,
+    p: u32,
+    src: NodeId,
+    dst: NodeId,
+    want: &str,
+) {
+    let epoch0 = net.map_epoch();
+    match net.migrate_partition(p, dst) {
+        Err(e) if e.to_string().contains(want) => {}
+        Err(e) => failures.push(format!("net/{scenario}: wrong abort reason: {e}")),
+        Ok(s) => failures.push(format!("net/{scenario}: migration committed ({s:?})")),
+    }
+    if net.map_epoch() != epoch0 {
+        failures.push(format!("net/{scenario}: abort bumped the epoch"));
+    }
+    if net.map().owner_of_partition(p) != src {
+        failures.push(format!("net/{scenario}: source lost ownership on abort"));
+    }
+    match net.migrations().last() {
+        Some(m) if m.phase == "aborted" && m.epoch_end == 0 => {}
+        other => failures.push(format!("net/{scenario}: ledger tail not aborted: {other:?}")),
+    }
+}
+
+fn run_net(scale: u64, verbose: bool) -> (Vec<String>, Fingerprint) {
+    let net = start_net();
+    let t: &dyn Transport = net.as_ref();
+    let mut gen = zipf_stream(0x5EBA1B);
+    let mut acked: Vec<(u64, u64, f64)> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+
+    if verbose {
+        print_header(
+            "[net] availability per phase (migrations under fire)",
+            &["phase", "ok", "errors", "predict p50 µs", "predict p99 µs"],
+        );
+    }
+
+    // -- baseline ----------------------------------------------------------
+    let mut base = Ledger::default();
+    for _ in 0..(80 * scale) {
+        let (uid, item) = gen.next_point();
+        base.observe(t, &mut acked, uid, item);
+        base.predict(t, uid, (item * 3) % N_ITEMS);
+    }
+
+    let dst = net.join_node().expect("join 4th node");
+    let src: NodeId = 0;
+    let p = partition_owned_by(&net.map(), src);
+    let epoch_join = net.map_epoch();
+
+    // -- abort: destination dies before the checkpoint commits -------------
+    let mut ld_dst = Ledger::default();
+    net.kill_node(dst);
+    expect_net_abort(&mut failures, &net, "dst-death", p, src, dst, "destination death");
+    net.recover_node(dst).expect("recover destination");
+    for _ in 0..(30 * scale) {
+        let (uid, item) = gen.next_point();
+        ld_dst.observe(t, &mut acked, uid, item);
+        ld_dst.predict(t, uid, (item * 3) % N_ITEMS);
+    }
+
+    // -- abort: source dies; traffic rides the replicas --------------------
+    let mut ld_src = Ledger::default();
+    net.kill_node(src);
+    expect_net_abort(&mut failures, &net, "src-death", p, src, dst, "source death");
+    for _ in 0..(30 * scale) {
+        let (uid, item) = gen.next_point();
+        ld_src.observe(t, &mut acked, uid, item);
+        ld_src.predict(t, uid, (item * 3) % N_ITEMS);
+    }
+    net.recover_node(src).expect("recover source");
+    for _ in 0..(20 * scale) {
+        let (uid, item) = gen.next_point();
+        ld_src.observe(t, &mut acked, uid, item);
+        ld_src.predict(t, uid, (item * 3) % N_ITEMS);
+    }
+
+    // -- partition mid-stream: cursor-resume, then commit ------------------
+    // The checkpoint pulls flow front → src; cutting that link stalls the
+    // stream. The migration must not abort (the deadline is generous) —
+    // it retries at the same cursor, and commits once the link heals.
+    let mut ld_part = Ledger::default();
+    let (_, aborts_before, resumes_before) = net.migration_chunk_stats();
+    net.link_chaos().partition(FRONT_PEER, src as u32);
+    let migrator = {
+        let net = Arc::clone(&net);
+        std::thread::spawn(move || net.migrate_partition(p, dst))
+    };
+    // Keep serving while the stream is jammed — a *fixed* number of
+    // requests, so the twin run acks an identical stream. Users homed at
+    // `src` are skipped here: with heartbeats off, nothing re-routes
+    // around the severed front→src link, and the availability gate is
+    // 100%, not best-effort. Everyone else must be answered.
+    for _ in 0..(30 * scale) {
+        let (uid, item) = gen.next_point();
+        if net.home_of_user(uid) == src {
+            continue;
+        }
+        ld_part.observe(t, &mut acked, uid, item);
+        ld_part.predict(t, uid, (item * 3) % N_ITEMS);
+    }
+    // Hold the fault until the stream has demonstrably retried a cursor.
+    let jam_started = Instant::now();
+    while net.migration_chunk_stats().2 == resumes_before
+        && jam_started.elapsed() < Duration::from_secs(10)
+    {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let resumed = net.migration_chunk_stats().2 > resumes_before;
+    net.link_chaos().heal(FRONT_PEER, src as u32);
+    match migrator.join().expect("migrator thread") {
+        Ok(status) => {
+            if !matches!(status.outcome, MigrationOutcome::Committed) {
+                failures.push(format!("net/partition: outcome {:?}", status.outcome));
+            }
+            if status.chunks_streamed == 0 {
+                failures.push("net/partition: committed without streaming a chunk".into());
+            }
+        }
+        Err(e) => failures.push(format!("net/partition: resumable migration died: {e}")),
+    }
+    if !resumed {
+        failures.push("net/partition: the chunk stream never resumed through the fault".into());
+    }
+    if net.migration_chunk_stats().1 != aborts_before {
+        failures.push("net/partition: a resumable fault was turned into an abort".into());
+    }
+    if net.map_epoch() != epoch_join + 2 {
+        failures.push(format!(
+            "net/partition: commit epoch {} != {}",
+            net.map_epoch(),
+            epoch_join + 2
+        ));
+    }
+    if net.map().owner_of_partition(p) != dst {
+        failures.push("net/partition: committed migration left ownership at the source".into());
+    }
+    for _ in 0..(30 * scale) {
+        let (uid, item) = gen.next_point();
+        ld_part.observe(t, &mut acked, uid, item);
+        ld_part.predict(t, uid, (item * 3) % N_ITEMS);
+    }
+
+    // -- aborts must not poison the planned handoff ------------------------
+    let mut ld_fin = Ledger::default();
+    let plan = net.rebalance_join(dst).expect("planned handoff commits after the fire drill");
+    for _ in 0..(40 * scale) {
+        let (uid, item) = gen.next_point();
+        ld_fin.observe(t, &mut acked, uid, item);
+        ld_fin.predict(t, uid, (item * 3) % N_ITEMS);
+    }
+
+    // -- verification ------------------------------------------------------
+    let diverged = replay_divergence(t, &acked);
+    let (chunks, aborts, resumes) = net.migration_chunk_stats();
+    let frame_max = net.checkpoint_frame_max_bytes();
+    let epoch = net.map_epoch();
+    let ledger = net.migrations();
+    let committed =
+        ledger.iter().filter(|m| matches!(m.outcome, MigrationOutcome::Committed)).count();
+    let aborted =
+        ledger.iter().filter(|m| matches!(m.outcome, MigrationOutcome::Aborted(_))).count();
+
+    let phases = [
+        ("baseline", &base),
+        ("abort: dst death", &ld_dst),
+        ("abort: src death", &ld_src),
+        ("partition mid-stream", &ld_part),
+        ("rebalance+final", &ld_fin),
+    ];
+    if verbose {
+        for (name, l) in &phases {
+            l.row(name);
+        }
+        println!(
+            "\n[net] {} chunks streamed, {aborts} aborts, {resumes} resumes, max frame \
+             {frame_max} B (budget {CHUNK_BYTES}); epoch {epoch}, {committed} committed / \
+             {aborted} aborted migrations; {} acked records, {diverged} users diverged",
+            chunks,
+            acked.len(),
+        );
+    }
+
+    for (name, l) in &phases {
+        if l.errors() > 0 {
+            failures.push(format!("net/{name}: {} requests failed (want 100%)", l.errors()));
+        }
+    }
+    if diverged > 0 {
+        failures.push(format!(
+            "net: {diverged} users diverged from the acked-stream replay \
+             (lost or double-applied records)"
+        ));
+    }
+    if aborted != 2 {
+        failures.push(format!("net: ledger has {aborted} aborted migrations, want 2"));
+    }
+    if committed != 1 + plan.len() {
+        failures.push(format!(
+            "net: ledger has {committed} committed migrations, want {}",
+            1 + plan.len()
+        ));
+    }
+    if epoch != epoch_join + 2 * (1 + plan.len() as u64) {
+        failures.push(format!(
+            "net: epoch arithmetic broken — {epoch} != {epoch_join} + 2·{}",
+            1 + plan.len()
+        ));
+    }
+    if frame_max <= 0 || frame_max > CHUNK_BYTES as i64 {
+        failures.push(format!(
+            "net: max checkpoint frame {frame_max} B violates the {CHUNK_BYTES} B chunk budget"
+        ));
+    }
+
+    let fp = fingerprint(t, epoch);
+    net.shutdown();
+    (failures, fp)
+}
+
+/// Deadline abort on the TCP backend: a zero wall-clock budget dooms the
+/// migration before any map install, and serving is untouched.
+fn net_deadline_abort(failures: &mut Vec<String>) {
+    let net = NetCluster::start(NetClusterConfig {
+        n_nodes: N_NODES,
+        max_nodes: MAX_NODES,
+        user_replication: 2,
+        lr: LR,
+        workers: 4,
+        request_timeout: Duration::from_secs(2),
+        checkpoint_chunk_bytes: CHUNK_BYTES,
+        migration_deadline: Duration::ZERO,
+        ..Default::default()
+    })
+    .expect("start deadline cluster");
+    net.publish_item_features(seeded_items());
+    let t: &dyn Transport = &net;
+    let mut acked = Vec::new();
+    let mut ld = Ledger::default();
+    for i in 0..40u64 {
+        ld.observe(t, &mut acked, i % N_USERS, i % N_ITEMS);
+    }
+    let dst = net.join_node().expect("join");
+    let p = partition_owned_by(&net.map(), 0);
+    expect_net_abort(failures, &net, "deadline", p, 0, dst, "deadline exceeded");
+    for i in 0..40u64 {
+        ld.predict(t, i % N_USERS, i % N_ITEMS);
+    }
+    if ld.errors() > 0 {
+        failures.push(format!("net/deadline: {} requests failed (want 100%)", ld.errors()));
+    }
+    if replay_divergence(t, &acked) > 0 {
+        failures.push("net/deadline: replay diverged after the abort".into());
+    }
+    println!("[net] deadline abort: rollback clean, serving untouched");
+    net.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Simulator backend
+// ---------------------------------------------------------------------
+
+fn expect_sim_abort(
+    failures: &mut Vec<String>,
+    cluster: &Cluster,
+    scenario: &str,
+    p: u32,
+    src: NodeId,
+    dst: NodeId,
+    want: &str,
+) {
+    let epoch0 = cluster.map_epoch();
+    match cluster.migrate_partition(p, dst) {
+        Err(MembershipError::Aborted(reason)) if reason.contains(want) => {}
+        Err(e) => failures.push(format!("sim/{scenario}: wrong abort error: {e}")),
+        Ok(n) => failures.push(format!("sim/{scenario}: migration committed ({n} users)")),
+    }
+    if cluster.map_epoch() != epoch0 {
+        failures.push(format!("sim/{scenario}: abort bumped the epoch"));
+    }
+    if cluster.map().owner_of_partition(p) != src {
+        failures.push(format!("sim/{scenario}: source lost ownership on abort"));
+    }
+    match cluster.migrations().last() {
+        Some(m) if m.phase == "aborted" && m.epoch_end == 0 => {}
+        other => failures.push(format!("sim/{scenario}: ledger tail not aborted: {other:?}")),
+    }
+}
+
+fn run_sim(scale: u64, verbose: bool) -> (Vec<String>, Fingerprint) {
+    let cluster = Arc::new(Cluster::new(ClusterConfig {
+        n_nodes: N_NODES,
+        max_nodes: MAX_NODES,
+        user_replication: 2,
+        item_replication: N_NODES,
+        checkpoint_chunk_users: CHUNK_USERS,
+        ..Default::default()
+    }));
+    for (item, x) in seeded_items() {
+        cluster.put_item_features(item, x);
+    }
+    let sim = SimTransport::new(Arc::clone(&cluster), LR);
+    let t: &dyn Transport = &sim;
+    let mut gen = zipf_stream(0x5EBA1B);
+    let mut acked: Vec<(u64, u64, f64)> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+
+    if verbose {
+        print_header(
+            "[sim] availability per phase (migrations under fire)",
+            &["phase", "ok", "errors", "predict p50 µs", "predict p99 µs"],
+        );
+    }
+
+    let mut base = Ledger::default();
+    for _ in 0..(80 * scale) {
+        let (uid, item) = gen.next_point();
+        base.observe(t, &mut acked, uid, item);
+        base.predict(t, uid, (item * 3) % N_ITEMS);
+    }
+
+    let dst = cluster.join_node().expect("join 4th node");
+    let src: NodeId = 0;
+    let p = partition_owned_by(&cluster.map(), src);
+    let epoch_join = cluster.map_epoch();
+
+    // -- abort: destination death ------------------------------------------
+    let mut ld_dst = Ledger::default();
+    cluster.kill_node(dst);
+    expect_sim_abort(&mut failures, &cluster, "dst-death", p, src, dst, "destination death");
+    cluster.recover_node(dst);
+    for _ in 0..(30 * scale) {
+        let (uid, item) = gen.next_point();
+        ld_dst.observe(t, &mut acked, uid, item);
+        ld_dst.predict(t, uid, (item * 3) % N_ITEMS);
+    }
+
+    // -- abort: source death; replicas carry the traffic -------------------
+    let mut ld_src = Ledger::default();
+    cluster.kill_node(src);
+    expect_sim_abort(&mut failures, &cluster, "src-death", p, src, dst, "source death");
+    for _ in 0..(30 * scale) {
+        let (uid, item) = gen.next_point();
+        ld_src.observe(t, &mut acked, uid, item);
+        ld_src.predict(t, uid, (item * 3) % N_ITEMS);
+    }
+    cluster.recover_node(src);
+    for _ in 0..(20 * scale) {
+        let (uid, item) = gen.next_point();
+        ld_src.observe(t, &mut acked, uid, item);
+        ld_src.predict(t, uid, (item * 3) % N_ITEMS);
+    }
+
+    // -- abort: checkpoint link partitioned --------------------------------
+    // The simulator's transfer is synchronous, so a partitioned src↔dst
+    // link is an abort trigger, not a stall it could wait out.
+    let mut ld_part = Ledger::default();
+    let chaos = Arc::new(LinkChaos::new(LinkFaultPlan::scripted(Vec::new())));
+    chaos.partition_both(src as u32, dst as u32);
+    cluster.set_migration_link_chaos(Arc::clone(&chaos));
+    expect_sim_abort(&mut failures, &cluster, "partition", p, src, dst, "link partitioned");
+    chaos.heal_all();
+    for _ in 0..(30 * scale) {
+        let (uid, item) = gen.next_point();
+        ld_part.observe(t, &mut acked, uid, item);
+        ld_part.predict(t, uid, (item * 3) % N_ITEMS);
+    }
+
+    // -- abort: deadline exceeded, then operator cancel --------------------
+    cluster.set_migration_deadline(Some(Duration::ZERO));
+    expect_sim_abort(&mut failures, &cluster, "deadline", p, src, dst, "deadline exceeded");
+    cluster.set_migration_deadline(None);
+    if cluster.request_migration_cancel() {
+        failures.push("sim/cancel: no migration should be in flight".into());
+    }
+    expect_sim_abort(&mut failures, &cluster, "cancel", p, src, dst, "operator cancel");
+
+    // -- aborts must not poison the planned handoff ------------------------
+    let mut ld_fin = Ledger::default();
+    let plan = cluster.rebalance_join(dst).expect("planned handoff commits after the fire drill");
+    for _ in 0..(40 * scale) {
+        let (uid, item) = gen.next_point();
+        ld_fin.observe(t, &mut acked, uid, item);
+        ld_fin.predict(t, uid, (item * 3) % N_ITEMS);
+    }
+
+    // -- verification ------------------------------------------------------
+    let diverged = replay_divergence(t, &acked);
+    let epoch = cluster.map_epoch();
+    let ledger = cluster.migrations();
+    let committed =
+        ledger.iter().filter(|m| matches!(m.outcome, MigrationOutcome::Committed)).count();
+    let aborted =
+        ledger.iter().filter(|m| matches!(m.outcome, MigrationOutcome::Aborted(_))).count();
+    let chunks: u64 = ledger.iter().map(|m| m.chunks_streamed).sum();
+
+    let phases = [
+        ("baseline", &base),
+        ("abort: dst death", &ld_dst),
+        ("abort: src death", &ld_src),
+        ("abort: partition", &ld_part),
+        ("rebalance+final", &ld_fin),
+    ];
+    if verbose {
+        for (name, l) in &phases {
+            l.row(name);
+        }
+        println!(
+            "\n[sim] {chunks} chunks streamed; epoch {epoch}, {committed} committed / {aborted} \
+             aborted migrations; {} acked records, {diverged} users diverged",
+            acked.len(),
+        );
+    }
+
+    for (name, l) in &phases {
+        if l.errors() > 0 {
+            failures.push(format!("sim/{name}: {} requests failed (want 100%)", l.errors()));
+        }
+    }
+    if diverged > 0 {
+        failures.push(format!(
+            "sim: {diverged} users diverged from the acked-stream replay \
+             (lost or double-applied records)"
+        ));
+    }
+    if aborted != 5 {
+        failures.push(format!("sim: ledger has {aborted} aborted migrations, want 5"));
+    }
+    if committed != plan.len() {
+        failures
+            .push(format!("sim: ledger has {committed} committed migrations, want {}", plan.len()));
+    }
+    if epoch != epoch_join + 2 * plan.len() as u64 {
+        failures.push(format!(
+            "sim: epoch arithmetic broken — {epoch} != {epoch_join} + 2·{}",
+            plan.len()
+        ));
+    }
+    if plan.is_empty() {
+        failures.push("sim: the planned handoff moved no partition".into());
+    }
+
+    (failures, fingerprint(t, epoch))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { 1 } else { 5 };
+
+    println!("# CHAOS-REBALANCE: migrations under fire — abort/rollback + resumable streams (§3)");
+    println!(
+        "\n{N_NODES}→{MAX_NODES} nodes, 2x user replication, {N_USERS} users, {N_ITEMS} items, \
+         dim {DIM}, Zipf(s={ZIPF_SKEW}) traffic; kill-source, kill-destination, \
+         partition-during-checkpoint, deadline and operator-cancel aborts; zero-loss checked by \
+         bit-exact replay, rollback determinism by twin runs"
+    );
+
+    let (mut failures, net_a) = run_net(scale, true);
+    let (more, net_b) = run_net(scale, false);
+    failures.extend(more);
+    if net_a != net_b {
+        failures.push("net: twin runs diverged — rollback is not deterministic".into());
+    } else {
+        println!("[net] twin runs bit-identical (epoch {})", net_a.0);
+    }
+    net_deadline_abort(&mut failures);
+
+    println!();
+    let (more, sim_a) = run_sim(scale, true);
+    failures.extend(more);
+    let (more, sim_b) = run_sim(scale, false);
+    failures.extend(more);
+    if sim_a != sim_b {
+        failures.push("sim: twin runs diverged — rollback is not deterministic".into());
+    } else {
+        println!("[sim] twin runs bit-identical (epoch {})", sim_a.0);
+    }
+
+    if smoke {
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("smoke FAIL: {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("\nsmoke: all chaos-rebalance gates passed on both transports");
+    } else if failures.is_empty() {
+        println!("\nall chaos-rebalance invariants held on both transports");
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

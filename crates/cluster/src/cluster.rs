@@ -18,14 +18,17 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use velox_data::VeloxRng;
 use velox_obs::{Counter, Registry};
 use velox_storage::{LruCache, Namespace};
 
 use crate::fault::{FaultAction, FaultPlan, HealthTransition, NodeHealth};
+use crate::netfault::LinkChaos;
 use crate::partition::{
-    HashPartitioner, MigrationStatus, NodeId, PartitionError, PartitionMap, Router, RoutingPolicy,
+    HashPartitioner, MembershipError, MigrationOutcome, MigrationStatus, NodeId, PartitionError,
+    PartitionMap, Router, RoutingPolicy,
 };
 
 /// Cluster topology and cost-model configuration.
@@ -59,6 +62,10 @@ pub struct ClusterConfig {
     /// `Down` and outside the partition map; [`Cluster::join_node`] brings
     /// them into membership.
     pub max_nodes: usize,
+    /// Users copied per checkpoint chunk during a partition migration
+    /// (`0` = one unbounded chunk). Bounding the chunk keeps each transfer
+    /// step small and gives the abort checks a place to fire.
+    pub checkpoint_chunk_users: usize,
 }
 
 impl Default for ClusterConfig {
@@ -74,6 +81,7 @@ impl Default for ClusterConfig {
             item_replication: 1,
             user_replication: 1,
             max_nodes: 0,
+            checkpoint_chunk_users: 256,
         }
     }
 }
@@ -255,6 +263,19 @@ pub struct Cluster {
     transitions_pending: AtomicBool,
     injected_read_failures: Arc<Counter>,
     injected_latency_spikes: Arc<Counter>,
+    /// At-most-one in-flight migration (the hardened-rebalance policy).
+    migration_active: AtomicBool,
+    /// Operator cancel request: consumed by the next abort check of the
+    /// running (or next) migration.
+    migration_cancel: AtomicBool,
+    /// Rebalance kill switch (`false` = operator disabled migrations).
+    rebalance_enabled: AtomicBool,
+    /// Wall-clock budget for a whole migration; exceeded → abort.
+    migration_deadline: Mutex<Option<Duration>>,
+    /// Link-fault engine consulted between checkpoint chunks: a partition
+    /// of the src↔dst link aborts the transfer (the TCP runtime instead
+    /// retries and resumes from the cursor).
+    migration_link_chaos: Mutex<Option<Arc<LinkChaos>>>,
 }
 
 impl Cluster {
@@ -312,6 +333,11 @@ impl Cluster {
             transitions_pending: AtomicBool::new(false),
             injected_read_failures: Arc::new(Counter::new()),
             injected_latency_spikes: Arc::new(Counter::new()),
+            migration_active: AtomicBool::new(false),
+            migration_cancel: AtomicBool::new(false),
+            rebalance_enabled: AtomicBool::new(true),
+            migration_deadline: Mutex::new(None),
+            migration_link_chaos: Mutex::new(None),
         }
     }
 
@@ -420,10 +446,19 @@ impl Cluster {
         self.transitions_pending.store(true, Ordering::Release);
     }
 
+    /// Whether `node` is a valid slot id (members and join headroom).
+    fn check_slot(&self, node: NodeId) -> Result<(), MembershipError> {
+        if node >= self.nodes.len() {
+            return Err(MembershipError::UnknownNode { node, capacity: self.nodes.len() });
+        }
+        Ok(())
+    }
+
     /// Kills a node: shards wiped (the crash loses in-memory state), item
-    /// cache cleared, health `Down`. Idempotent on an already-down node.
+    /// cache cleared, health `Down`. Idempotent on an already-down node;
+    /// a slot id outside the cluster is ignored.
     pub fn kill_node(&self, node: NodeId) {
-        if self.node_health(node) == NodeHealth::Down {
+        if self.check_slot(node).is_err() || self.node_health(node) == NodeHealth::Down {
             return;
         }
         self.nodes[node].user_weights.publish_version(Vec::new());
@@ -438,7 +473,7 @@ impl Cluster {
     /// surviving replica stay lost until the next write or publish (the
     /// serving layer degrades them). No-op on a node that is already `Up`.
     pub fn recover_node(&self, node: NodeId) -> u64 {
-        if self.node_health(node) == NodeHealth::Up {
+        if self.check_slot(node).is_err() || self.node_health(node) == NodeHealth::Up {
             return 0;
         }
         self.set_health(node, NodeHealth::Recovering, 0);
@@ -474,14 +509,14 @@ impl Cluster {
     /// new node id; fails when no headroom slot is left (`max_nodes`
     /// exhausted). Partitions move afterwards via
     /// [`Cluster::rebalance_join`] / [`Cluster::migrate_partition`].
-    pub fn join_node(&self) -> Result<NodeId, PartitionError> {
+    pub fn join_node(&self) -> Result<NodeId, MembershipError> {
         let mut cur = self.map.write().unwrap();
         let next_id = cur.members().iter().max().map_or(0, |&m| m + 1);
         if next_id >= self.nodes.len() {
-            return Err(PartitionError::InvalidMap(format!(
+            return Err(MembershipError::Map(PartitionError::InvalidMap(format!(
                 "no headroom: slot {next_id} exceeds capacity {}",
                 self.nodes.len()
-            )));
+            ))));
         }
         *cur = Arc::new(cur.with_member(next_id)?);
         drop(cur);
@@ -489,48 +524,213 @@ impl Cluster {
         Ok(next_id)
     }
 
+    /// Requests that the in-flight (or next) migration abort with
+    /// `operator cancel` at its next chunk boundary. Returns whether a
+    /// migration was running when the cancel landed.
+    pub fn request_migration_cancel(&self) -> bool {
+        self.migration_cancel.store(true, Ordering::Release);
+        self.migration_active.load(Ordering::Acquire)
+    }
+
+    /// Flips the rebalance kill switch; `false` makes
+    /// [`Cluster::rebalance_join`] and [`Cluster::migrate_partition`]
+    /// refuse with [`MembershipError::RebalanceDisabled`].
+    pub fn set_rebalance_enabled(&self, on: bool) {
+        self.rebalance_enabled.store(on, Ordering::Release);
+    }
+
+    /// Current state of the rebalance kill switch.
+    pub fn rebalance_enabled(&self) -> bool {
+        self.rebalance_enabled.load(Ordering::Acquire)
+    }
+
+    /// Sets the wall-clock budget for each subsequent migration (`None`
+    /// removes the deadline). The simulator's migrations are synchronous,
+    /// so in practice only a zero deadline fires — the deterministic
+    /// deadline-abort scenario.
+    pub fn set_migration_deadline(&self, deadline: Option<Duration>) {
+        *self.migration_deadline.lock().unwrap() = deadline;
+    }
+
+    /// Wires a link-fault engine into the migration path: a chunk transfer
+    /// that finds the src↔dst link partitioned aborts (the simulator
+    /// cannot wait for a heal the way the TCP runtime's cursor-resume
+    /// loop does).
+    pub fn set_migration_link_chaos(&self, chaos: Arc<LinkChaos>) {
+        *self.migration_link_chaos.lock().unwrap() = Some(chaos);
+    }
+
+    /// First satisfied abort trigger for a migration step, if any.
+    fn migration_abort_reason(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        started: Instant,
+        deadline: Option<Duration>,
+    ) -> Option<String> {
+        if self.migration_cancel.swap(false, Ordering::AcqRel) {
+            return Some("operator cancel".into());
+        }
+        if let Some(limit) = deadline {
+            if started.elapsed() > limit {
+                return Some("deadline exceeded".into());
+            }
+        }
+        if self.node_health(src) != NodeHealth::Up {
+            return Some(format!("source death (node {src})"));
+        }
+        if self.node_health(dst) != NodeHealth::Up {
+            return Some(format!("destination death (node {dst})"));
+        }
+        if let Some(chaos) = self.migration_link_chaos.lock().unwrap().as_ref() {
+            if chaos.is_partitioned(src as u32, dst as u32) {
+                return Some(format!("checkpoint link partitioned ({src}<->{dst})"));
+            }
+        }
+        None
+    }
+
     /// Live-migrates virtual partition `p` to `dst` through the epoch
-    /// protocol: (1) install a map adding `dst` as an extra replica — the
-    /// dual-write window, during which every new write fans out to `dst`
-    /// too; (2) copy the partition's existing user weights from the
-    /// current owner; (3) install the cutover map making `dst` the owner.
+    /// protocol, chunked and abortable:
+    ///
+    /// 1. **chunk_stream** — the partition's user weights are copied from
+    ///    the owner in bounded, uid-sorted chunks
+    ///    ([`ClusterConfig::checkpoint_chunk_users`]); every chunk
+    ///    boundary checks the abort triggers (operator cancel, deadline,
+    ///    source/destination death, partitioned link). An abort here
+    ///    rolls back completely: copied entries are scrubbed from `dst`,
+    ///    no map was installed, the epoch did not move.
+    /// 2. **dual_write** — epoch `+1` adds `dst` to the replica set;
+    ///    every new write now fans out to `dst` too.
+    /// 3. **catch_up** — a reconcile pass overwrites `dst` with the
+    ///    owner's current values (covers writes that raced phase 1).
+    /// 4. **cut_over** — epoch `+2` makes `dst` the owner; the old owner
+    ///    stays a replica.
+    ///
     /// Returns the number of users copied.
-    pub fn migrate_partition(&self, p: u32, dst: NodeId) -> Result<u64, PartitionError> {
+    pub fn migrate_partition(&self, p: u32, dst: NodeId) -> Result<u64, MembershipError> {
+        self.check_slot(dst)?;
+        if !self.rebalance_enabled() {
+            return Err(MembershipError::RebalanceDisabled);
+        }
         let map0 = self.map();
+        if !map0.is_member(dst) {
+            return Err(MembershipError::NotAMember(dst));
+        }
         let src = map0.owner_of_partition(p);
         if src == dst {
             return Ok(0);
         }
-        // Phase 1: dual-write window (epoch +1).
-        let map1 = Arc::new(map0.with_extra_replica(p, dst)?);
-        self.install_map(Arc::clone(&map1));
-        // Phase 2: bulk copy of pre-window state from the source shard.
-        let mut copied = 0u64;
-        for (uid, w) in self.nodes[src].user_weights.snapshot_entries() {
-            if map1.partition_of(uid) == p && !self.nodes[dst].user_weights.contains(uid) {
-                self.nodes[dst].user_weights.put(uid, w);
-                copied += 1;
-            }
+        if self.migration_active.swap(true, Ordering::AcqRel) {
+            return Err(MembershipError::MigrationInFlight);
         }
-        self.nodes[dst].catch_up_entries.add(copied);
-        // Phase 3: cutover (epoch +2); the old owner stays a replica.
-        let map2 = Arc::new(map1.with_owner(p, dst)?);
-        let epoch_end = map2.epoch();
-        self.install_map(map2);
-        self.migrations.lock().unwrap().push(MigrationStatus {
+        let result = self.run_migration(p, src, dst, &map0);
+        self.migration_active.store(false, Ordering::Release);
+        result
+    }
+
+    fn run_migration(
+        &self,
+        p: u32,
+        src: NodeId,
+        dst: NodeId,
+        map0: &Arc<PartitionMap>,
+    ) -> Result<u64, MembershipError> {
+        let started = Instant::now();
+        let deadline = *self.migration_deadline.lock().unwrap();
+        let chunk_users = match self.config.checkpoint_chunk_users {
+            0 => usize::MAX,
+            n => n,
+        };
+        let mut status = MigrationStatus {
             partition: p,
             from: src,
             to: dst,
-            phase: "done",
+            phase: "chunk_stream",
             epoch_start: map0.epoch(),
-            epoch_end,
-            users_streamed: copied,
+            epoch_end: 0,
+            users_streamed: 0,
             records_replayed: 0,
-        });
+            chunks_streamed: 0,
+            outcome: MigrationOutcome::InFlight,
+        };
+
+        // Phase 1: chunked checkpoint, before any install — aborting here
+        // leaves the cluster bit-identical to never having tried.
+        let mut entries: Vec<(u64, Vec<f64>)> = self.nodes[src]
+            .user_weights
+            .snapshot_entries()
+            .into_iter()
+            .filter(|(uid, _)| map0.partition_of(*uid) == p)
+            .collect();
+        entries.sort_by_key(|(uid, _)| *uid);
+        let mut placed: Vec<u64> = Vec::new();
+        let mut abort = self.migration_abort_reason(src, dst, started, deadline);
+        if abort.is_none() {
+            for chunk in entries.chunks(chunk_users.max(1)) {
+                for (uid, w) in chunk {
+                    if !self.nodes[dst].user_weights.contains(*uid) {
+                        self.nodes[dst].user_weights.put(*uid, w.clone());
+                        placed.push(*uid);
+                    }
+                }
+                status.chunks_streamed += 1;
+                status.users_streamed += chunk.len() as u64;
+                abort = self.migration_abort_reason(src, dst, started, deadline);
+                if abort.is_some() {
+                    break;
+                }
+            }
+        }
+        if let Some(reason) = abort {
+            // Roll back: scrub everything this migration placed at `dst`,
+            // leaving the source authoritative and the epoch untouched.
+            if !placed.is_empty() {
+                let keep: Vec<(u64, Vec<f64>)> = self.nodes[dst]
+                    .user_weights
+                    .snapshot_entries()
+                    .into_iter()
+                    .filter(|(uid, _)| !placed.contains(uid))
+                    .collect();
+                self.nodes[dst].user_weights.publish_version(keep);
+            }
+            status.phase = "aborted";
+            status.outcome = MigrationOutcome::Aborted(reason.clone());
+            self.migrations.lock().unwrap().push(status);
+            return Err(MembershipError::Aborted(reason));
+        }
+        self.nodes[dst].catch_up_entries.add(placed.len() as u64);
+
+        // Phase 2: dual-write window (epoch +1) — the commit point.
+        status.phase = "dual_write";
+        let map1 = Arc::new(map0.with_extra_replica(p, dst)?);
+        self.install_map(Arc::clone(&map1));
+
+        // Phase 3: reconcile writes that raced the chunk stream — the
+        // owner's current values win (it stayed authoritative throughout).
+        status.phase = "catch_up";
+        for (uid, w) in self.nodes[src].user_weights.snapshot_entries() {
+            if map1.partition_of(uid) == p {
+                self.nodes[dst].user_weights.put(uid, w);
+                status.records_replayed += 1;
+            }
+        }
+
+        // Phase 4: cutover (epoch +2); the old owner stays a replica.
+        status.phase = "cut_over";
+        let map2 = Arc::new(map1.with_owner(p, dst)?);
+        let epoch_end = map2.epoch();
+        self.install_map(map2);
+        status.phase = "done";
+        status.epoch_end = epoch_end;
+        status.outcome = MigrationOutcome::Committed;
+        let copied = status.users_streamed;
+        self.migrations.lock().unwrap().push(status);
         Ok(copied)
     }
 
-    /// Completed partition migrations, most recent last.
+    /// Completed, aborted, and failed partition migrations, most recent
+    /// last (the ledger behind `/cluster/health`).
     pub fn migrations(&self) -> Vec<MigrationStatus> {
         self.migrations.lock().unwrap().clone()
     }
@@ -539,7 +739,11 @@ impl Cluster {
     /// deterministic [`PartitionMap::plan_join`] set of partitions onto
     /// `dst`, one epoch-bumped migration at a time. Returns the moved
     /// partitions.
-    pub fn rebalance_join(&self, dst: NodeId) -> Result<Vec<u32>, PartitionError> {
+    pub fn rebalance_join(&self, dst: NodeId) -> Result<Vec<u32>, MembershipError> {
+        self.check_slot(dst)?;
+        if !self.rebalance_enabled() {
+            return Err(MembershipError::RebalanceDisabled);
+        }
         let plan = self.map().plan_join(dst)?;
         for &p in &plan {
             self.migrate_partition(p, dst)?;
@@ -553,11 +757,15 @@ impl Cluster {
     /// from a surviving replica. Returns the entries copied during
     /// backfill. The node must already be `Down` (see
     /// [`Cluster::kill_node`]).
-    pub fn fail_over_dead(&self, dead: NodeId) -> Result<u64, PartitionError> {
-        if self.node_health(dead) != NodeHealth::Down {
-            return Err(PartitionError::InvalidMap(format!("node {dead} is not down")));
-        }
+    pub fn fail_over_dead(&self, dead: NodeId) -> Result<u64, MembershipError> {
+        self.check_slot(dead)?;
         let old = self.map();
+        if !old.is_member(dead) {
+            return Err(MembershipError::NotAMember(dead));
+        }
+        if self.node_health(dead) != NodeHealth::Down {
+            return Err(MembershipError::NotDown(dead));
+        }
         let new = Arc::new(old.without_member(dead)?);
         self.install_map(Arc::clone(&new));
         let mut copied = 0u64;

@@ -51,10 +51,11 @@ pub use netfault::{
     ChaosControl, LinkChaos, LinkFaultEvent, LinkFaultKind, LinkFaultPlan, LinkVerdict, FRONT_PEER,
 };
 pub use partition::{
-    HashPartitioner, MembershipView, MigrationStatus, NodeId, PartitionError, PartitionMap,
-    RoutingPolicy, ITEM_SALT, PARTITIONS_PER_NODE, USER_SALT,
+    HashPartitioner, MembershipError, MembershipView, MigrationOutcome, MigrationStatus, NodeId,
+    PartitionError, PartitionMap, RoutingPolicy, ITEM_SALT, PARTITIONS_PER_NODE, USER_SALT,
 };
 pub use retry::{obs_id_nonce, ObsDedupe, RetryPolicy};
 pub use transport::{
-    dot, lms_update, SimTransport, Transport, TransportError, TransportObserve, TransportPredict,
+    dot, lms_update, membership_rejection, SimTransport, Transport, TransportError,
+    TransportObserve, TransportPredict,
 };

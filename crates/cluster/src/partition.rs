@@ -72,6 +72,73 @@ impl std::fmt::Display for PartitionError {
 
 impl std::error::Error for PartitionError {}
 
+/// Typed errors from membership operations (`rebalance_join`,
+/// `fail_over_dead`, `migrate_partition`, kill/recover). These are
+/// *caller* mistakes or refused preconditions — REST surfaces them as
+/// 4xx — as opposed to [`PartitionError`], which covers structurally
+/// invalid maps, and I/O errors, which cover the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MembershipError {
+    /// The node id is outside the cluster's slot range entirely.
+    UnknownNode {
+        /// The offending id.
+        node: NodeId,
+        /// Total slots (valid ids are `0..capacity`).
+        capacity: usize,
+    },
+    /// The node is already a member (join/backfill would be a no-op).
+    AlreadyMember(NodeId),
+    /// The node is not a member of the current map.
+    NotAMember(NodeId),
+    /// Fail-over was requested for a node that is still up.
+    NotDown(NodeId),
+    /// The auto-rebalance kill switch is off (operator disabled it).
+    RebalanceDisabled,
+    /// Another migration is already in flight (at-most-one policy).
+    MigrationInFlight,
+    /// A migration aborted and rolled back; the reason names the trigger
+    /// (operator cancel, deadline, source/destination death, link fault).
+    Aborted(String),
+    /// The underlying map transition was structurally invalid.
+    Map(PartitionError),
+}
+
+impl std::fmt::Display for MembershipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MembershipError::UnknownNode { node, capacity } => {
+                write!(f, "unknown node {node} (valid slots are 0..{capacity})")
+            }
+            MembershipError::AlreadyMember(n) => write!(f, "node {n} is already a member"),
+            MembershipError::NotAMember(n) => write!(f, "node {n} is not a member"),
+            MembershipError::NotDown(n) => {
+                write!(f, "node {n} is not down (refusing to fail over a live member)")
+            }
+            MembershipError::RebalanceDisabled => {
+                write!(f, "rebalance is disabled by the kill switch")
+            }
+            MembershipError::MigrationInFlight => {
+                write!(f, "another migration is already in flight")
+            }
+            MembershipError::Aborted(reason) => {
+                write!(f, "migration aborted: {reason}")
+            }
+            MembershipError::Map(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MembershipError {}
+
+impl From<PartitionError> for MembershipError {
+    fn from(e: PartitionError) -> Self {
+        match e {
+            PartitionError::NotAMember(n) => MembershipError::NotAMember(n),
+            other => MembershipError::Map(other),
+        }
+    }
+}
+
 /// Salted hash partitioner mapping entity ids to nodes.
 #[derive(Debug, Clone)]
 pub struct HashPartitioner {
@@ -445,6 +512,37 @@ impl PartitionMap {
     }
 }
 
+/// Terminal (or in-flight) outcome of a migration, recorded in the
+/// ledger. An aborted migration rolled back cleanly: the source stayed
+/// authoritative and the map epoch did not move.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigrationOutcome {
+    /// Still running.
+    InFlight,
+    /// Cutover completed; the destination owns the partition.
+    Committed,
+    /// Rolled back before the dual-write install: no epoch bump, source
+    /// authoritative, destination scrubbed. The reason is one of
+    /// `source death`, `destination death`, `deadline exceeded`,
+    /// `operator cancel`, or a transfer-level cause.
+    Aborted(String),
+    /// Failed past the commit point (after the first map install); the
+    /// cluster rolls forward — dual-write replicas keep the data safe —
+    /// but the ledger records what broke.
+    Failed(String),
+}
+
+impl std::fmt::Display for MigrationOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrationOutcome::InFlight => write!(f, "in_flight"),
+            MigrationOutcome::Committed => write!(f, "committed"),
+            MigrationOutcome::Aborted(reason) => write!(f, "aborted: {reason}"),
+            MigrationOutcome::Failed(why) => write!(f, "failed: {why}"),
+        }
+    }
+}
+
 /// One in-flight or completed partition migration, as exposed by
 /// `/cluster/health` and the `membership()` transport hook.
 #[derive(Debug, Clone)]
@@ -455,17 +553,22 @@ pub struct MigrationStatus {
     pub from: NodeId,
     /// New owner (migration destination).
     pub to: NodeId,
-    /// Current phase label (`dual_write`, `checkpoint`, `catch_up`,
-    /// `cut_over`, `tail_replay`, `done`, `failed`).
+    /// Current phase label (`chunk_stream`, `dual_write`, `checkpoint`,
+    /// `catch_up`, `cut_over`, `tail_replay`, `done`, `aborted`,
+    /// `failed`).
     pub phase: &'static str,
     /// Map epoch when the migration started.
     pub epoch_start: u64,
-    /// Map epoch after cutover (0 while still in flight).
+    /// Map epoch after cutover (0 while still in flight or aborted).
     pub epoch_end: u64,
     /// Users streamed in the checkpoint phase.
     pub users_streamed: u64,
     /// WAL records replayed in catch-up + tail phases.
     pub records_replayed: u64,
+    /// Checkpoint chunks transferred (resumes re-pull the same cursor).
+    pub chunks_streamed: u64,
+    /// Terminal outcome (`Committed` / `Aborted` / `Failed`).
+    pub outcome: MigrationOutcome,
 }
 
 /// Membership and migration state for health endpoints, identical in
@@ -486,6 +589,9 @@ pub struct MembershipView {
     pub wrong_epoch: u64,
     /// Client-side map refreshes triggered by those rejections.
     pub map_refreshes: u64,
+    /// Whether detector-driven auto-rebalance is currently enabled (the
+    /// operator kill switch; `false` also when the backend never had it).
+    pub auto_rebalance: bool,
 }
 
 #[cfg(test)]

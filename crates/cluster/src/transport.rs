@@ -39,6 +39,10 @@ pub enum TransportError {
     /// The transport itself failed: socket error, corrupt frame, timeout.
     /// The in-process backend never returns this.
     Failed(String),
+    /// The request was well-formed but refused — bad membership argument,
+    /// kill switch, or a migration that aborted and rolled back. Maps to
+    /// a 4xx at the REST layer, never a 5xx.
+    Rejected(String),
 }
 
 impl std::fmt::Display for TransportError {
@@ -46,6 +50,7 @@ impl std::fmt::Display for TransportError {
         match self {
             TransportError::Unavailable => write!(f, "no live replica available"),
             TransportError::Failed(msg) => write!(f, "transport failed: {msg}"),
+            TransportError::Rejected(msg) => write!(f, "request rejected: {msg}"),
         }
     }
 }
@@ -170,6 +175,49 @@ pub trait Transport {
     fn membership(&self) -> Option<MembershipView> {
         None
     }
+
+    /// Requests that the in-flight migration (if any) abort at its next
+    /// chunk boundary, rolling back to the pre-migration state. Returns
+    /// whether a migration was running when the cancel landed. The
+    /// default (no migration machinery) reports `false`.
+    fn cancel_migration(&self) -> bool {
+        false
+    }
+
+    /// Flips the auto-rebalance/migration kill switch. A no-op on
+    /// backends without membership machinery.
+    fn set_auto_rebalance(&self, on: bool) {
+        let _ = on;
+    }
+
+    /// Current state of the auto-rebalance kill switch (`false` on
+    /// backends without membership machinery).
+    fn auto_rebalance_enabled(&self) -> bool {
+        false
+    }
+
+    /// Operator-initiated planned handoff: migrates the planned partition
+    /// set onto `node`. Bad arguments (unknown slot, non-member) come
+    /// back as [`TransportError::Rejected`], not a panic.
+    fn rebalance_join_node(&self, node: NodeId) -> Result<Vec<u32>, TransportError> {
+        let _ = node;
+        Err(TransportError::Rejected("backend has no membership machinery".into()))
+    }
+
+    /// Operator-initiated fail-over of a down member: removes it from the
+    /// map and backfills depleted replica sets. Returns the entries
+    /// copied during backfill.
+    fn fail_over_node(&self, node: NodeId) -> Result<u64, TransportError> {
+        let _ = node;
+        Err(TransportError::Rejected("backend has no membership machinery".into()))
+    }
+}
+
+/// Folds a typed membership failure into a transport error: every
+/// [`MembershipError`] is an operator-input problem (4xx), not a backend
+/// fault.
+pub fn membership_rejection(e: crate::partition::MembershipError) -> TransportError {
+    TransportError::Rejected(e.to_string())
 }
 
 /// Dot product in index order — the one accumulation order both backends
@@ -240,12 +288,17 @@ impl SimTransport {
 
     fn build(cluster: Arc<Cluster>, lr: f64, tracer: Arc<Tracer>) -> Self {
         let map = Mutex::new(cluster.map());
+        let chaos = Arc::new(LinkChaos::default());
+        // The migration path consults the same link-fault engine the
+        // serving path does, so a partition cut by the chaos harness also
+        // aborts an in-flight checkpoint transfer.
+        cluster.set_migration_link_chaos(Arc::clone(&chaos));
         SimTransport {
             cluster,
             lr,
             ts: AtomicU64::new(0),
             tracer,
-            chaos: Arc::new(LinkChaos::default()),
+            chaos,
             retry: RetryPolicy::default(),
             retry_rng: Mutex::new(VeloxRng::seed_from(0x51A1_7E57)),
             obs_dedupe: Mutex::new(ObsDedupe::new(65_536)),
@@ -626,7 +679,28 @@ impl Transport for SimTransport {
             migrations: self.cluster.migrations(),
             wrong_epoch: self.cluster.wrong_epoch_count(),
             map_refreshes: self.map_refresh_count(),
+            auto_rebalance: self.cluster.rebalance_enabled(),
         })
+    }
+
+    fn cancel_migration(&self) -> bool {
+        self.cluster.request_migration_cancel()
+    }
+
+    fn set_auto_rebalance(&self, on: bool) {
+        self.cluster.set_rebalance_enabled(on);
+    }
+
+    fn auto_rebalance_enabled(&self) -> bool {
+        self.cluster.rebalance_enabled()
+    }
+
+    fn rebalance_join_node(&self, node: NodeId) -> Result<Vec<u32>, TransportError> {
+        self.cluster.rebalance_join(node).map_err(membership_rejection)
+    }
+
+    fn fail_over_node(&self, node: NodeId) -> Result<u64, TransportError> {
+        self.cluster.fail_over_dead(node).map_err(membership_rejection)
     }
 }
 

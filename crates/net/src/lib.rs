@@ -38,6 +38,9 @@ pub use frame::{
     FrameError, FrameMeta, EXT_TRACE, FLAG_EXT, FRAME_HEADER_LEN, MAX_EXT_LEN, MAX_FRAME_LEN,
 };
 pub use node::{NodeConfig, NodeMetrics, NodeServer, NodeState, PeerTable};
-pub use rpc::{DecodeError, ErrorCode, Request, Response};
+pub use rpc::{
+    build_chunk, chunk_crc, chunk_entry_bytes, verify_chunk, DecodeError, ErrorCode, Request,
+    Response, CHUNK_ENVELOPE_BYTES,
+};
 pub use runtime::{NetCluster, NetClusterConfig};
 pub use server::{Handler, NetServer, NetServerConfig, RpcContext};

@@ -37,7 +37,7 @@ use velox_obs::{trace::now_ns, Counter, Gauge, Registry, SpanKind, TraceContext,
 use velox_storage::{Observation, Wal, WalConfig, WalRecovery};
 
 use crate::client::{ChaosLink, ClientMetrics, NetClient, NetClientConfig};
-use crate::rpc::{ErrorCode, Request, Response};
+use crate::rpc::{build_chunk, ErrorCode, Request, Response};
 use crate::server::{Handler, NetServer, NetServerConfig, RpcContext};
 
 /// Observe acks remembered per node for exactly-once replay.
@@ -814,6 +814,50 @@ impl NodeState {
         Response::Partition { entries }
     }
 
+    /// One bounded step of the resumable checkpoint stream: the held
+    /// `(uid, weights)` pairs of `partition` with `uid ≥ cursor`, uid
+    /// ascending, cut off at `max_bytes` of encoded entries and stamped
+    /// with a CRC over the chunk body, cursor, and done flag. Pure read —
+    /// re-pulling a cursor after a dropped link replays the same chunk.
+    fn respond_pull_partition_chunk(
+        &self,
+        partition: u32,
+        cursor: u64,
+        max_bytes: u32,
+    ) -> Response {
+        let map = self.current_map();
+        let weights = self.weights.lock().unwrap();
+        let mut entries: Vec<(u64, Vec<f64>)> = weights
+            .iter()
+            .filter(|(uid, _)| map.partition_of(**uid) == partition)
+            .map(|(uid, w)| (*uid, w.clone()))
+            .collect();
+        drop(weights);
+        entries.sort_by_key(|(uid, _)| *uid);
+        build_chunk(&entries, cursor, max_bytes)
+    }
+
+    /// Drops every weight vector of `partition` that this node's current
+    /// map says it does not hold — the abort rollback for checkpoint
+    /// chunks streamed to a destination that never became a replica.
+    /// Weights the map legitimately places here are untouched, so a
+    /// scrub after a *committed* migration is a no-op. Returns how many
+    /// vectors were dropped.
+    pub fn scrub_partition(&self, partition: u32) -> u64 {
+        let me = self.config.node_id;
+        let map = self.current_map();
+        let mut weights = self.weights.lock().unwrap();
+        let doomed: Vec<u64> = weights
+            .keys()
+            .filter(|uid| map.partition_of(**uid) == partition && !map.holds(me, **uid))
+            .copied()
+            .collect();
+        for uid in &doomed {
+            weights.remove(uid);
+        }
+        doomed.len() as u64
+    }
+
     /// Installs checkpoint-streamed weights, keeping any vector this node
     /// already has (dual-write updates that landed here are newer than
     /// the snapshot; the post-cutover log replay reconciles exactly).
@@ -890,6 +934,9 @@ impl NodeState {
             }
             Request::PullPartition { partition } => self.respond_pull_partition(partition),
             Request::PushPartition { entries } => self.respond_push_partition(entries),
+            Request::PullPartitionChunk { partition, cursor, max_bytes } => {
+                self.respond_pull_partition_chunk(partition, cursor, max_bytes)
+            }
         }
     }
 }

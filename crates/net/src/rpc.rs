@@ -28,6 +28,7 @@ mod req_tag {
     pub const INSTALL_MAP: u8 = 10;
     pub const PULL_PARTITION: u8 = 11;
     pub const PUSH_PARTITION: u8 = 12;
+    pub const PULL_PARTITION_CHUNK: u8 = 13;
 }
 
 /// Wire tag values for [`Response`] variants.
@@ -40,6 +41,7 @@ mod resp_tag {
     pub const ERROR: u8 = 6;
     pub const MAP: u8 = 7;
     pub const PARTITION: u8 = 8;
+    pub const PARTITION_CHUNK: u8 = 9;
 }
 
 /// Why a node refused a request (carried in [`Response::Error`]).
@@ -178,6 +180,24 @@ pub enum Request {
         /// `(uid, weights)` pairs.
         entries: Vec<(u64, Vec<f64>)>,
     },
+    /// Migration plane: one bounded step of a resumable checkpoint
+    /// stream. The source returns every held `(uid, weights)` pair of
+    /// `partition` with `uid ≥ cursor` in ascending uid order, stopping
+    /// once the encoded entries would exceed `max_bytes` (at least one
+    /// entry is always returned so oversized vectors cannot wedge the
+    /// stream). Idempotent: re-sending the same cursor after a dropped or
+    /// reset link replays the same chunk, which is how a migrator resumes
+    /// mid-transfer without restarting from zero.
+    PullPartitionChunk {
+        /// The virtual partition being streamed.
+        partition: u32,
+        /// Exclusive-lower-bound resume point: only uids `≥ cursor` are
+        /// returned. `0` starts the stream.
+        cursor: u64,
+        /// Soft bound on the encoded entry bytes per chunk (the in-flight
+        /// budget; also bounds the response frame size).
+        max_bytes: u32,
+    },
 }
 
 /// A response frame, node → client.
@@ -223,6 +243,26 @@ pub enum Response {
         /// `(uid, weights)` pairs held by the node for the partition.
         entries: Vec<(u64, Vec<f64>)>,
     },
+    /// Answer to [`Request::PullPartitionChunk`]: one bounded chunk of
+    /// the stream, integrity-checked end to end. The frame ends with a
+    /// TLV extension section (empty today) so future senders can attach
+    /// metadata without breaking old receivers.
+    PartitionChunk {
+        /// `(uid, weights)` pairs, ascending by uid, all `≥` the request
+        /// cursor.
+        entries: Vec<(u64, Vec<f64>)>,
+        /// Cursor to present on the next pull (first uid not included in
+        /// this chunk). Meaningless when `done`.
+        next_cursor: u64,
+        /// True when the stream is exhausted: no held uid of the
+        /// partition is `≥ next_cursor`.
+        done: bool,
+        /// CRC-32 over the encoded `entries · next_cursor · done` fields
+        /// (see [`chunk_crc`]) — a bit flip anywhere in the chunk body,
+        /// cursor, or done flag fails verification before anything is
+        /// applied.
+        crc: u32,
+    },
     /// Generic success (ship, seed, put, install, push, health).
     Ok,
     /// The request failed at the node.
@@ -232,6 +272,105 @@ pub enum Response {
         /// Human-readable detail.
         message: String,
     },
+}
+
+/// Wire cost of one `(uid, weights)` entry inside a chunk: `uid u64 ·
+/// count u32 · count × f64`. The chunk budget and the source's stopping
+/// rule both use this, so "no frame exceeds the bound" is checkable.
+pub fn chunk_entry_bytes(dim: usize) -> usize {
+    8 + 4 + 8 * dim
+}
+
+/// Integrity checksum for a [`Response::PartitionChunk`]: CRC-32 over the
+/// canonically encoded `entries`, `next_cursor`, and `done` fields. The
+/// cursor and done flag are covered on purpose — a bit flip that would
+/// silently skip or rewind the stream fails the check the same way a
+/// flipped weight byte does.
+pub fn chunk_crc(entries: &[(u64, Vec<f64>)], next_cursor: u64, done: bool) -> u32 {
+    let mut buf = Vec::with_capacity(16 + entries.len() * 16);
+    put_entries(&mut buf, entries);
+    put_u64(&mut buf, next_cursor);
+    buf.push(done as u8);
+    velox_storage::crc32(&buf)
+}
+
+/// Fixed encoding overhead of a [`Response::PartitionChunk`] beyond its
+/// entries: response tag, entry count, `next_cursor`, `done`, `crc`, and
+/// the empty TLV-section count. [`build_chunk`] charges this against the
+/// byte budget so the *whole encoded frame* honours `max_bytes`, not
+/// just the entry payload.
+pub const CHUNK_ENVELOPE_BYTES: usize = 1 + 4 + 8 + 1 + 4 + 4;
+
+/// Builds one bounded chunk of a partition checkpoint stream from
+/// `entries`, the **uid-ascending** full entry set of the partition:
+/// takes pairs with `uid ≥ cursor` while the encoded frame (envelope
+/// included) stays within `max_bytes` (always at least one entry, so an
+/// oversized vector cannot wedge the stream), and stamps the result with
+/// its CRC.
+pub fn build_chunk(entries: &[(u64, Vec<f64>)], cursor: u64, max_bytes: u32) -> Response {
+    let start = entries.partition_point(|(uid, _)| *uid < cursor);
+    let mut taken = 0usize;
+    let mut size = CHUNK_ENVELOPE_BYTES;
+    for (uid, w) in &entries[start..] {
+        let cost = chunk_entry_bytes(w.len());
+        if taken > 0 && size + cost > max_bytes as usize {
+            break;
+        }
+        debug_assert!(*uid >= cursor);
+        size += cost;
+        taken += 1;
+    }
+    let chunk = &entries[start..start + taken];
+    let done = start + taken == entries.len();
+    let next_cursor = chunk.last().map_or(cursor, |(uid, _)| uid + 1);
+    let crc = chunk_crc(chunk, next_cursor, done);
+    Response::PartitionChunk { entries: chunk.to_vec(), next_cursor, done, crc }
+}
+
+/// Receiver-side admission check for a [`Response::PartitionChunk`],
+/// run **before** any entry is applied: the CRC must match, uids must be
+/// strictly ascending and `≥ cursor` (no duplicated or reordered chunk
+/// can smuggle a repeat application), and the stream must advance
+/// (`next_cursor` past every delivered uid and past `cursor` unless the
+/// stream is done and empty). Returns the reason the chunk is
+/// inadmissible, or `None` when it is safe to apply.
+pub fn verify_chunk(
+    cursor: u64,
+    entries: &[(u64, Vec<f64>)],
+    next_cursor: u64,
+    done: bool,
+    crc: u32,
+) -> Option<String> {
+    let expect = chunk_crc(entries, next_cursor, done);
+    if crc != expect {
+        return Some(format!("chunk crc mismatch: got {crc:#010x}, want {expect:#010x}"));
+    }
+    let mut prev: Option<u64> = None;
+    for (uid, _) in entries {
+        if *uid < cursor {
+            return Some(format!("chunk replays uid {uid} below cursor {cursor}"));
+        }
+        if let Some(p) = prev {
+            if *uid <= p {
+                return Some(format!("chunk uids not strictly ascending at {uid}"));
+            }
+        }
+        prev = Some(*uid);
+    }
+    if let Some(last) = prev {
+        if next_cursor <= last {
+            return Some(format!("next_cursor {next_cursor} does not pass delivered uid {last}"));
+        }
+    }
+    if !done && entries.is_empty() {
+        return Some("chunk is empty but the stream claims more data".into());
+    }
+    if !done && next_cursor <= cursor {
+        return Some(format!(
+            "stream does not advance: next_cursor {next_cursor} ≤ cursor {cursor}"
+        ));
+    }
+    None
 }
 
 /// A message payload that could not be decoded.
@@ -339,7 +478,13 @@ impl<'a> Cursor<'a> {
     }
 
     fn bool(&mut self) -> Result<bool, DecodeError> {
-        Ok(self.u8()? != 0)
+        // Canonical encoding only: anything but 0/1 is corruption, not a
+        // creative truthy value (keeps re-encoding byte-exact for CRCs).
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(DecodeError(format!("non-canonical bool byte {other:#04x}"))),
+        }
     }
 
     fn u32(&mut self) -> Result<u32, DecodeError> {
@@ -500,6 +645,12 @@ impl Request {
                 buf.push(req_tag::PUSH_PARTITION);
                 put_entries(&mut buf, entries);
             }
+            Request::PullPartitionChunk { partition, cursor, max_bytes } => {
+                buf.push(req_tag::PULL_PARTITION_CHUNK);
+                put_u32(&mut buf, *partition);
+                put_u64(&mut buf, *cursor);
+                put_u32(&mut buf, *max_bytes);
+            }
         }
         buf
     }
@@ -545,6 +696,11 @@ impl Request {
             }
             req_tag::PULL_PARTITION => Request::PullPartition { partition: c.u32()? },
             req_tag::PUSH_PARTITION => Request::PushPartition { entries: c.entries()? },
+            req_tag::PULL_PARTITION_CHUNK => Request::PullPartitionChunk {
+                partition: c.u32()?,
+                cursor: c.u64()?,
+                max_bytes: c.u32()?,
+            },
             other => return Err(DecodeError(format!("unknown request tag {other}"))),
         };
         c.finish()?;
@@ -595,6 +751,15 @@ impl Response {
                 buf.push(resp_tag::PARTITION);
                 put_entries(&mut buf, entries);
             }
+            Response::PartitionChunk { entries, next_cursor, done, crc } => {
+                buf.push(resp_tag::PARTITION_CHUNK);
+                put_entries(&mut buf, entries);
+                put_u64(&mut buf, *next_cursor);
+                buf.push(*done as u8);
+                put_u32(&mut buf, *crc);
+                // Empty TLV extension section (see `Cursor::skip_tlvs`).
+                put_u32(&mut buf, 0);
+            }
             Response::Ok => buf.push(resp_tag::OK),
             Response::Error { code, message } => {
                 buf.push(resp_tag::ERROR);
@@ -631,6 +796,14 @@ impl Response {
             }
             resp_tag::MAP => Response::Map { map: c.map()? },
             resp_tag::PARTITION => Response::Partition { entries: c.entries()? },
+            resp_tag::PARTITION_CHUNK => {
+                let entries = c.entries()?;
+                let next_cursor = c.u64()?;
+                let done = c.bool()?;
+                let crc = c.u32()?;
+                c.skip_tlvs()?;
+                Response::PartitionChunk { entries, next_cursor, done, crc }
+            }
             resp_tag::OK => Response::Ok,
             resp_tag::ERROR => {
                 let code = ErrorCode::decode(c.u8()?)?;
@@ -681,6 +854,7 @@ mod tests {
             Request::InstallMap { map: sample_map() },
             Request::PullPartition { partition: 17 },
             Request::PushPartition { entries: vec![(1, vec![0.5]), (2, vec![])] },
+            Request::PullPartitionChunk { partition: 5, cursor: 1 << 40, max_bytes: 4096 },
         ];
         for req in cases {
             let buf = req.encode();
@@ -698,6 +872,12 @@ mod tests {
             Response::Log { records: vec![obs(5)] },
             Response::Map { map: sample_map() },
             Response::Partition { entries: vec![(8, vec![1.0, -2.0])] },
+            {
+                let entries = vec![(8u64, vec![1.0, -2.0]), (11, vec![0.5])];
+                let crc = chunk_crc(&entries, 12, false);
+                Response::PartitionChunk { entries, next_cursor: 12, done: false, crc }
+            },
+            Response::PartitionChunk { entries: vec![], next_cursor: 0, done: true, crc: 7 },
             Response::Ok,
             Response::Error { code: ErrorCode::WrongEpoch, message: "stale epoch 3".into() },
         ];
@@ -743,6 +923,98 @@ mod tests {
         buf.extend_from_slice(&3u32.to_be_bytes()); // 3-byte value
         buf.extend_from_slice(&[1, 2, 3]);
         assert_eq!(Request::decode(&buf).unwrap(), Request::InstallMap { map });
+    }
+
+    /// uid-sorted sample partition: 6 entries of dim 2.
+    fn chunk_entries() -> Vec<(u64, Vec<f64>)> {
+        (0..6u64).map(|i| (i * 10 + 3, vec![i as f64, -(i as f64)])).collect()
+    }
+
+    #[test]
+    fn build_chunk_respects_budget_and_resumes_idempotently() {
+        let entries = chunk_entries();
+        let per_entry = chunk_entry_bytes(2);
+        // Budget for exactly two entries per chunk, envelope included.
+        let budget = (CHUNK_ENVELOPE_BYTES + 2 * per_entry) as u32;
+        let mut cursor = 0u64;
+        let mut collected = Vec::new();
+        let mut chunks = 0;
+        loop {
+            let Response::PartitionChunk { entries: got, next_cursor, done, crc } =
+                build_chunk(&entries, cursor, budget)
+            else {
+                unreachable!()
+            };
+            assert!(verify_chunk(cursor, &got, next_cursor, done, crc).is_none());
+            assert!(got.len() <= 2, "budget holds");
+            let frame =
+                Response::PartitionChunk { entries: got.clone(), next_cursor, done, crc }.encode();
+            assert!(frame.len() <= budget as usize, "the whole encoded frame honours the budget");
+            // Replaying the same cursor yields the identical chunk (the
+            // resume path after a dropped link).
+            assert_eq!(
+                build_chunk(&entries, cursor, budget),
+                Response::PartitionChunk { entries: got.clone(), next_cursor, done, crc }
+            );
+            collected.extend(got);
+            chunks += 1;
+            cursor = next_cursor;
+            if done {
+                break;
+            }
+        }
+        assert_eq!(chunks, 3);
+        assert_eq!(collected, entries, "stream reassembles the partition exactly");
+    }
+
+    #[test]
+    fn build_chunk_never_wedges_on_oversized_entry() {
+        let entries = vec![(1u64, vec![0.0; 100]), (2, vec![0.0; 100])];
+        let Response::PartitionChunk { entries: got, done, .. } = build_chunk(&entries, 0, 16)
+        else {
+            unreachable!()
+        };
+        assert_eq!(got.len(), 1, "at least one entry always moves");
+        assert!(!done);
+    }
+
+    #[test]
+    fn verify_chunk_rejects_tampered_fields() {
+        let entries = chunk_entries();
+        let crc = chunk_crc(&entries, 54, true);
+        assert!(verify_chunk(0, &entries, 54, true, crc).is_none());
+        // Flipped CRC.
+        assert!(verify_chunk(0, &entries, 54, true, crc ^ 1).is_some());
+        // Tampered cursor (CRC covers it).
+        assert!(verify_chunk(0, &entries, 55, true, crc).is_some());
+        // Tampered done flag.
+        assert!(verify_chunk(0, &entries, 54, false, crc).is_some());
+        // Reordered entries fail even with a freshly computed CRC.
+        let mut swapped = entries.clone();
+        swapped.swap(0, 1);
+        let crc2 = chunk_crc(&swapped, 54, true);
+        assert!(verify_chunk(0, &swapped, 54, true, crc2).is_some());
+        // Duplicated entry likewise.
+        let mut duped = entries.clone();
+        duped.insert(1, duped[0].clone());
+        let crc3 = chunk_crc(&duped, 54, true);
+        assert!(verify_chunk(0, &duped, 54, true, crc3).is_some());
+        // Replay below the cursor is refused even when self-consistent.
+        assert!(verify_chunk(100, &entries, 54, true, crc).is_some());
+    }
+
+    #[test]
+    fn partition_chunk_skips_unknown_tlvs() {
+        let entries = vec![(4u64, vec![1.5])];
+        let crc = chunk_crc(&entries, 5, true);
+        let resp = Response::PartitionChunk { entries, next_cursor: 5, done: true, crc };
+        let mut buf = resp.encode();
+        buf.truncate(buf.len() - 4); // drop the empty TLV count
+        buf.extend_from_slice(&1u32.to_be_bytes());
+        buf.push(0xAB); // unknown type
+        buf.extend_from_slice(&2u32.to_be_bytes());
+        buf.extend_from_slice(&[9, 9]);
+        assert_eq!(Response::decode(&buf).unwrap(), resp);
     }
 
     #[test]

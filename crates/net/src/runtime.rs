@@ -27,10 +27,13 @@ use std::time::{Duration, Instant};
 
 use velox_cluster::netfault::{ChaosControl, LinkChaos, LinkFaultPlan, FRONT_PEER};
 use velox_cluster::retry::obs_id_nonce;
-use velox_cluster::transport::{Transport, TransportError, TransportObserve, TransportPredict};
+use velox_cluster::transport::{
+    membership_rejection, Transport, TransportError, TransportObserve, TransportPredict,
+};
 use velox_cluster::{
-    DetectorConfig, FailureDetector, FaultAction, FaultPlan, MembershipView, MigrationStatus,
-    NodeHealth, NodeId, PartitionMap, PeerLiveness, PeerState, USER_SALT,
+    DetectorConfig, FailureDetector, FaultAction, FaultPlan, MembershipError, MembershipView,
+    MigrationOutcome, MigrationStatus, NodeHealth, NodeId, PartitionMap, PeerLiveness, PeerState,
+    USER_SALT,
 };
 use velox_data::VeloxRng;
 use velox_obs::{
@@ -92,6 +95,22 @@ pub struct NetClusterConfig {
     /// probe path, not a dead node), so suites that partition and heal
     /// links keep ownership stable unless they opt in.
     pub auto_rebalance: bool,
+    /// Wall-clock budget for one [`NetCluster::migrate_partition`]: a
+    /// migration that has not committed by then aborts and rolls back
+    /// (source stays authoritative, no epoch bump).
+    pub migration_deadline: Duration,
+    /// In-flight budget for one checkpoint chunk (encoded entry bytes per
+    /// `PullPartitionChunk`). Bounds every checkpoint transfer frame —
+    /// the gauge `velox_net_checkpoint_frame_max` proves it.
+    pub checkpoint_chunk_bytes: u32,
+    /// Consecutive Dead-and-Down evaluations of a member before
+    /// auto-rebalance acts on the verdict (hysteresis against detector
+    /// flaps).
+    pub rebalance_hysteresis: u32,
+    /// Failed or aborted auto fail-overs tolerated before auto-rebalance
+    /// gives up until an operator re-enables it (each failure also backs
+    /// off exponentially).
+    pub rebalance_retry_cap: u32,
 }
 
 impl Default for NetClusterConfig {
@@ -112,8 +131,28 @@ impl Default for NetClusterConfig {
             ship_backlog_cap: 1024,
             hedge_predicts: false,
             auto_rebalance: false,
+            migration_deadline: Duration::from_secs(30),
+            checkpoint_chunk_bytes: 64 * 1024,
+            rebalance_hysteresis: 3,
+            rebalance_retry_cap: 5,
         }
     }
+}
+
+/// Exponential-backoff ledger for the automatic fail-over path.
+struct AutoRebalanceBackoff {
+    /// Consecutive failed/aborted automatic fail-overs.
+    failures: u32,
+    /// No automatic action before this instant.
+    hold_until: Option<Instant>,
+}
+
+/// Why a migration did not commit.
+enum MigrationFailure {
+    /// Rolled back cleanly before the commit point (no epoch bump).
+    Aborted(String),
+    /// Failed past the commit point or on a control-plane error.
+    Error(std::io::Error),
 }
 
 /// Fault plan in flight (events sorted by request tick).
@@ -179,6 +218,27 @@ pub struct NetCluster {
     map_epoch_gauge: Arc<Gauge>,
     /// Reentrancy guard for detector-triggered auto fail-over.
     auto_failover_gate: Mutex<()>,
+    /// Operator kill switch for detector-triggered rebalancing (REST
+    /// togglable; starts at `config.auto_rebalance`).
+    auto_rebalance_enabled: AtomicBool,
+    /// At-most-one in-flight migration.
+    migration_active: AtomicBool,
+    /// One-shot operator cancel, consumed by the in-flight (or next)
+    /// migration at a chunk boundary.
+    migration_cancel: AtomicBool,
+    /// Per-node consecutive Dead-and-Down evaluations (hysteresis).
+    dead_streak: Vec<AtomicU64>,
+    /// Backoff + retry-cap state for automatic fail-over.
+    auto_backoff: Mutex<AutoRebalanceBackoff>,
+    /// Checkpoint chunks pulled and applied across all migrations.
+    migration_chunks: Arc<Counter>,
+    /// Migrations that aborted and rolled back.
+    migration_aborts: Arc<Counter>,
+    /// Chunk pulls retried at the same cursor after a link fault.
+    migration_resumes: Arc<Counter>,
+    /// Largest checkpoint-chunk response payload seen (bytes) — the
+    /// CHAOS-REBALANCE gate asserts this stays within the chunk budget.
+    checkpoint_frame_max: Arc<Gauge>,
     /// Observation-id generator: process-random nonce + sequence, so ids
     /// never collide across cluster restarts sharing a node's window.
     obs_nonce: u64,
@@ -258,6 +318,7 @@ impl NetCluster {
         });
         let map_epoch_gauge = Arc::new(Gauge::new());
         map_epoch_gauge.set(map.epoch() as i64);
+        let auto_rebalance = config.auto_rebalance;
         Ok(NetCluster {
             map: RwLock::new(map),
             capacity,
@@ -283,6 +344,15 @@ impl NetCluster {
             map_refreshes: Arc::new(Counter::new()),
             map_epoch_gauge,
             auto_failover_gate: Mutex::new(()),
+            auto_rebalance_enabled: AtomicBool::new(auto_rebalance),
+            migration_active: AtomicBool::new(false),
+            migration_cancel: AtomicBool::new(false),
+            dead_streak: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            auto_backoff: Mutex::new(AutoRebalanceBackoff { failures: 0, hold_until: None }),
+            migration_chunks: Arc::new(Counter::new()),
+            migration_aborts: Arc::new(Counter::new()),
+            migration_resumes: Arc::new(Counter::new()),
+            checkpoint_frame_max: Arc::new(Gauge::new()),
             obs_nonce: obs_id_nonce(),
             obs_seq: AtomicU64::new(0),
         })
@@ -524,16 +594,23 @@ impl NetCluster {
     /// The `Migrator`: moves partition `p` to `dst` live, with no refused
     /// predicts and no lost or double-applied acked observes.
     ///
-    /// 1. **dual_write** — epoch `E+1` adds `dst` to `p`'s replica set:
+    /// 1. **chunk_stream** — the owner's weight snapshot for `p` streams
+    ///    into `dst` in bounded, CRC-checked, cursor-resumable
+    ///    `PullPartitionChunk` steps (`PushPartition` inserts, never
+    ///    overwrites). This runs *before* any map install, so an abort
+    ///    here — operator cancel, deadline, source or destination death —
+    ///    rolls back completely: `dst` is scrubbed, no epoch moved, the
+    ///    source stays authoritative. A dropped or reset link is not an
+    ///    abort: the pull retries at the same cursor (a *resume*) until
+    ///    the deadline says otherwise.
+    /// 2. **dual_write** — epoch `E+1` adds `dst` to `p`'s replica set:
     ///    the owner keeps serving, but every new observe also ships to
     ///    `dst` (with its observation id, pre-seeding `dst`'s dedupe
-    ///    window for the post-cutover retry case).
-    /// 2. **checkpoint** — `PullPartition` streams the owner's weight
-    ///    snapshot for `p` into `dst` (`PushPartition` inserts, never
-    ///    overwrites), covering management-plane installs that log replay
-    ///    alone would miss.
+    ///    window for the post-cutover retry case). This is the commit
+    ///    point: from here the migration only rolls forward.
     /// 3. **catch_up** — the owner's log for `p` ships to `dst`; the
-    ///    receiver's merge dedups by `(uid, ts)`.
+    ///    receiver's merge dedups by `(uid, ts)`. Covers writes that
+    ///    raced the chunk stream.
     /// 4. **cut_over** — epoch `E+2` makes `dst` the owner; the old owner
     ///    stays in the replica set, so it keeps answering reads routed
     ///    under the old epoch and sources the tail replay.
@@ -542,27 +619,86 @@ impl NetCluster {
     ///    `dst` (timestamp-ordered), so twin clusters converge
     ///    bit-identically.
     pub fn migrate_partition(&self, p: u32, dst: NodeId) -> std::io::Result<MigrationStatus> {
+        if self.migration_active.swap(true, Ordering::AcqRel) {
+            return Err(std::io::Error::other("another migration is already in flight"));
+        }
+        let out = self.migrate_partition_locked(p, dst);
+        self.migration_active.store(false, Ordering::Release);
+        out
+    }
+
+    fn migrate_partition_locked(&self, p: u32, dst: NodeId) -> std::io::Result<MigrationStatus> {
         let map0 = self.map();
         let src = map0.owner_of_partition(p);
         let mut status = MigrationStatus {
             partition: p,
             from: src,
             to: dst,
-            phase: "dual_write",
+            phase: "chunk_stream",
             epoch_start: map0.epoch(),
             epoch_end: 0,
             users_streamed: 0,
             records_replayed: 0,
+            chunks_streamed: 0,
+            outcome: MigrationOutcome::InFlight,
         };
         let (troot, tchild) = self.trace_entry(SpanKind::Migrate, None);
         let result = self.run_migration(p, src, dst, &map0, &mut status);
         let span_status = if result.is_ok() { SpanStatus::Ok } else { SpanStatus::Error };
         self.close_trace_entry(troot, tchild, span_status, 0);
-        if result.is_err() {
-            status.phase = "failed";
-        }
+        let result = match result {
+            Ok(()) => {
+                status.outcome = MigrationOutcome::Committed;
+                Ok(())
+            }
+            Err(MigrationFailure::Aborted(reason)) => {
+                status.phase = "aborted";
+                status.outcome = MigrationOutcome::Aborted(reason.clone());
+                self.migration_aborts.inc();
+                let mark = self.tracer.child(None, SpanKind::MigrateAbort, FRONT_NODE);
+                self.tracer.finish_status(mark, SpanStatus::Error);
+                Err(std::io::Error::other(format!("migration aborted: {reason}")))
+            }
+            Err(MigrationFailure::Error(e)) => {
+                status.phase = "failed";
+                status.outcome = MigrationOutcome::Failed(e.to_string());
+                Err(e)
+            }
+        };
         self.migration_log.lock().unwrap().push(status.clone());
         result.map(|()| status)
+    }
+
+    /// First satisfied abort trigger for the in-flight migration, if any.
+    fn migration_abort_reason(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        deadline: Instant,
+    ) -> Option<String> {
+        if self.migration_cancel.swap(false, Ordering::AcqRel) {
+            return Some("operator cancel".into());
+        }
+        if Instant::now() > deadline {
+            return Some("deadline exceeded".into());
+        }
+        if self.node_health(src) != NodeHealth::Up {
+            return Some(format!("source death (node {src})"));
+        }
+        if self.node_health(dst) != NodeHealth::Up {
+            return Some(format!("destination death (node {dst})"));
+        }
+        None
+    }
+
+    /// The abort rollback: everything the chunk stream placed at `dst`
+    /// is scrubbed (no map was installed, so `dst`'s own map proves it
+    /// holds nothing of `p`), leaving the cluster bit-identical to never
+    /// having tried.
+    fn rollback_chunks(&self, p: u32, dst: NodeId) {
+        if let Some(state) = self.node_state(dst) {
+            state.scrub_partition(p);
+        }
     }
 
     fn run_migration(
@@ -572,48 +708,115 @@ impl NetCluster {
         dst: NodeId,
         map0: &Arc<PartitionMap>,
         status: &mut MigrationStatus,
-    ) -> std::io::Result<()> {
+    ) -> Result<(), MigrationFailure> {
+        let fail = |msg: String| MigrationFailure::Error(std::io::Error::other(msg));
         if src == dst {
-            return Err(std::io::Error::other(format!("partition {p} already owned by {dst}")));
+            return Err(fail(format!("partition {p} already owned by {dst}")));
         }
-        let map1 = Arc::new(
-            map0.with_extra_replica(p, dst).map_err(|e| std::io::Error::other(e.to_string()))?,
-        );
+        if !map0.is_member(dst) {
+            return Err(fail(format!("node {dst} is not a member")));
+        }
+        let deadline = Instant::now() + self.config.migration_deadline;
+        let max_bytes = self.config.checkpoint_chunk_bytes.max(64);
+
+        // Phase 1: chunked, resumable checkpoint — before any install.
+        let mut cursor = 0u64;
+        loop {
+            if let Some(reason) = self.migration_abort_reason(src, dst, deadline) {
+                self.rollback_chunks(p, dst);
+                return Err(MigrationFailure::Aborted(reason));
+            }
+            let (src_client, dst_client) = match (self.peers.get(src), self.peers.get(dst)) {
+                (Some(s), Some(d)) => (s, d),
+                _ => {
+                    // Endpoint gone but health not yet Down: re-check the
+                    // abort triggers after a beat rather than spinning.
+                    std::thread::sleep(Duration::from_millis(5));
+                    continue;
+                }
+            };
+            let pull = Request::PullPartitionChunk { partition: p, cursor, max_bytes };
+            let chunk = match src_client.call(&pull) {
+                Ok(Response::PartitionChunk { entries, next_cursor, done, crc }) => {
+                    (entries, next_cursor, done, crc)
+                }
+                Ok(other) => return Err(fail(format!("chunk pull failed: {other:?}"))),
+                Err(_) => {
+                    // Link fault (drop/partition/reset/timeout): the pull
+                    // is idempotent, so resume at the same cursor once the
+                    // abort triggers have had their say.
+                    self.migration_resumes.inc();
+                    std::thread::sleep(Duration::from_millis(5));
+                    continue;
+                }
+            };
+            let (entries, next_cursor, done, crc) = chunk;
+            if let Some(why) = crate::rpc::verify_chunk(cursor, &entries, next_cursor, done, crc) {
+                // Reject-before-apply: nothing from a bad chunk lands at
+                // the destination; re-pull the same cursor.
+                self.migration_resumes.inc();
+                let _ = why;
+                continue;
+            }
+            let frame_bytes =
+                Response::PartitionChunk { entries: entries.clone(), next_cursor, done, crc }
+                    .encode()
+                    .len();
+            self.checkpoint_frame_max.max(frame_bytes as i64);
+            if !entries.is_empty() {
+                let n = entries.len() as u64;
+                match dst_client.call(&Request::PushPartition { entries }) {
+                    Ok(Response::Ok) => {}
+                    Ok(other) => return Err(fail(format!("chunk push failed: {other:?}"))),
+                    Err(_) => {
+                        // Push is insert-never-overwrite: replaying the
+                        // same chunk after a link fault is idempotent.
+                        self.migration_resumes.inc();
+                        std::thread::sleep(Duration::from_millis(5));
+                        continue;
+                    }
+                }
+                status.users_streamed += n;
+            }
+            status.chunks_streamed += 1;
+            self.migration_chunks.inc();
+            let span = self.tracer.child(None, SpanKind::MigrateChunk, FRONT_NODE);
+            self.tracer.finish(span);
+            cursor = next_cursor;
+            if done {
+                break;
+            }
+        }
+        // Last pre-commit look at the abort triggers; past this point the
+        // migration only rolls forward.
+        if let Some(reason) = self.migration_abort_reason(src, dst, deadline) {
+            self.rollback_chunks(p, dst);
+            return Err(MigrationFailure::Aborted(reason));
+        }
+
+        // Phase 2: dual-write window (epoch +1) — the commit point.
+        status.phase = "dual_write";
+        let map1 = Arc::new(map0.with_extra_replica(p, dst).map_err(|e| fail(e.to_string()))?);
         self.install_map_cluster(&map1);
 
-        status.phase = "checkpoint";
-        let src_client = self
-            .peers
-            .get(src)
-            .ok_or_else(|| std::io::Error::other(format!("migration source {src} is down")))?;
-        let dst_client = self
-            .peers
-            .get(dst)
-            .ok_or_else(|| std::io::Error::other(format!("migration target {dst} is down")))?;
-        let entries = match src_client.call(&Request::PullPartition { partition: p }) {
-            Ok(Response::Partition { entries }) => entries,
-            other => {
-                return Err(std::io::Error::other(format!("checkpoint pull failed: {other:?}")))
-            }
-        };
-        status.users_streamed = entries.len() as u64;
-        match dst_client.call(&Request::PushPartition { entries }) {
-            Ok(Response::Ok) => {}
-            other => {
-                return Err(std::io::Error::other(format!("checkpoint push failed: {other:?}")))
-            }
-        }
+        let src_client =
+            self.peers.get(src).ok_or_else(|| fail(format!("migration source {src} is down")))?;
+        let dst_client =
+            self.peers.get(dst).ok_or_else(|| fail(format!("migration target {dst} is down")))?;
 
         status.phase = "catch_up";
-        status.records_replayed += self.copy_partition_log(p, &src_client, &dst_client)?;
+        status.records_replayed += self
+            .copy_partition_log(p, &src_client, &dst_client)
+            .map_err(MigrationFailure::Error)?;
 
         status.phase = "cut_over";
-        let map2 =
-            Arc::new(map1.with_owner(p, dst).map_err(|e| std::io::Error::other(e.to_string()))?);
+        let map2 = Arc::new(map1.with_owner(p, dst).map_err(|e| fail(e.to_string()))?);
         self.install_map_cluster(&map2);
 
         status.phase = "tail_replay";
-        status.records_replayed += self.copy_partition_log(p, &src_client, &dst_client)?;
+        status.records_replayed += self
+            .copy_partition_log(p, &src_client, &dst_client)
+            .map_err(MigrationFailure::Error)?;
         if let Some(state) = self.node_state(dst) {
             state.rebuild_partition(p);
         }
@@ -704,22 +907,122 @@ impl NetCluster {
         Ok(backfilled)
     }
 
-    /// Detector-triggered fail-over (the `auto_rebalance` knob): a member
-    /// the detector declares `Dead` whose process is also down is failed
-    /// out of the map on the next request. The health check is what keeps
-    /// a wrongly-suspected node — partitioned probe path, live process —
-    /// in the membership.
+    /// Rejects membership operations aimed at ids outside the slot range
+    /// or at nodes the current map does not know — the REST layer maps
+    /// the resulting [`TransportError::Rejected`] to a 4xx.
+    fn check_member(&self, node: NodeId) -> Result<(), TransportError> {
+        if node >= self.capacity {
+            return Err(membership_rejection(MembershipError::UnknownNode {
+                node,
+                capacity: self.capacity,
+            }));
+        }
+        if !self.map().is_member(node) {
+            return Err(membership_rejection(MembershipError::NotAMember(node)));
+        }
+        Ok(())
+    }
+
+    /// Requests that the in-flight (or next) migration abort with
+    /// `operator cancel` at its next chunk boundary. Returns whether a
+    /// migration was running when the cancel landed.
+    pub fn request_migration_cancel(&self) -> bool {
+        self.migration_cancel.store(true, Ordering::Release);
+        self.migration_active.load(Ordering::Acquire)
+    }
+
+    /// Flips the auto-rebalance kill switch (also resets the retry-cap
+    /// ledger, so re-enabling gives the automatic path a fresh budget).
+    pub fn set_auto_rebalance_enabled(&self, on: bool) {
+        self.auto_rebalance_enabled.store(on, Ordering::Release);
+        if on {
+            let mut bo = self.auto_backoff.lock().unwrap();
+            bo.failures = 0;
+            bo.hold_until = None;
+        }
+    }
+
+    /// Current state of the auto-rebalance kill switch.
+    pub fn auto_rebalance_on(&self) -> bool {
+        self.auto_rebalance_enabled.load(Ordering::Acquire)
+    }
+
+    /// `(chunks streamed, aborts, resumes)` across every migration so far.
+    pub fn migration_chunk_stats(&self) -> (u64, u64, u64) {
+        (self.migration_chunks.get(), self.migration_aborts.get(), self.migration_resumes.get())
+    }
+
+    /// Largest checkpoint-chunk response payload (bytes) pulled so far.
+    pub fn checkpoint_frame_max_bytes(&self) -> i64 {
+        self.checkpoint_frame_max.get()
+    }
+
+    /// Detector-triggered fail-over (the `auto_rebalance` knob), hardened
+    /// for deployment:
+    ///
+    /// - **kill switch** — a REST-togglable enable bit gates the whole
+    ///   path;
+    /// - **hysteresis** — a member must be `Dead` *and* process-down for
+    ///   [`NetClusterConfig::rebalance_hysteresis`] consecutive
+    ///   evaluations before the map is touched, so one detector flap
+    ///   cannot evict a live node;
+    /// - **at-most-one** — fail-over is skipped while a migration is in
+    ///   flight;
+    /// - **backoff + retry cap** — each failed automatic fail-over backs
+    ///   off exponentially, and after
+    ///   [`NetClusterConfig::rebalance_retry_cap`] consecutive failures
+    ///   the automatic path disables itself until an operator re-enables
+    ///   it.
     fn maybe_auto_fail_over(&self) {
+        if !self.auto_rebalance_enabled.load(Ordering::Acquire) {
+            return;
+        }
         let Ok(_gate) = self.auto_failover_gate.try_lock() else { return };
+        if self.migration_active.load(Ordering::Acquire) {
+            return;
+        }
+        {
+            let bo = self.auto_backoff.lock().unwrap();
+            if bo.failures >= self.config.rebalance_retry_cap {
+                return;
+            }
+            if let Some(until) = bo.hold_until {
+                if Instant::now() < until {
+                    return;
+                }
+            }
+        }
         let members = self.map().members().to_vec();
         if members.len() <= 1 {
             return;
         }
+        let needed = self.config.rebalance_hysteresis.max(1) as u64;
         for m in members {
-            if self.detector.state(m as u32) == PeerState::Dead
-                && self.node_health(m) == NodeHealth::Down
-            {
-                let _ = self.fail_over_dead(m);
+            let verdict = self.detector.state(m as u32) == PeerState::Dead
+                && self.node_health(m) == NodeHealth::Down;
+            if !verdict {
+                self.dead_streak[m].store(0, Ordering::Release);
+                continue;
+            }
+            let streak = self.dead_streak[m].fetch_add(1, Ordering::AcqRel) + 1;
+            if streak < needed {
+                continue;
+            }
+            self.dead_streak[m].store(0, Ordering::Release);
+            match self.fail_over_dead(m) {
+                Ok(_) => {
+                    let mut bo = self.auto_backoff.lock().unwrap();
+                    bo.failures = 0;
+                    bo.hold_until = None;
+                }
+                Err(_) => {
+                    let mut bo = self.auto_backoff.lock().unwrap();
+                    bo.failures += 1;
+                    let pause = Duration::from_millis(
+                        100u64.saturating_mul(1 << bo.failures.min(6)).min(5_000),
+                    );
+                    bo.hold_until = Some(Instant::now() + pause);
+                }
             }
         }
     }
@@ -743,9 +1046,9 @@ impl NetCluster {
     /// whether a transient read failure hits it.
     fn tick_faults(&self) -> (u64, bool) {
         let tick = self.request_clock.fetch_add(1, Ordering::Relaxed) + 1;
-        if self.config.auto_rebalance {
-            self.maybe_auto_fail_over();
-        }
+        // The kill switch (seeded from `config.auto_rebalance`, REST
+        // togglable) gates the whole automatic path inside.
+        self.maybe_auto_fail_over();
         if !self.fault_active.load(Ordering::Acquire) {
             return (0, false);
         }
@@ -882,6 +1185,26 @@ impl NetCluster {
             Arc::clone(&self.map_refreshes),
         );
         registry.register_gauge("velox_net_map_epoch", &[], Arc::clone(&self.map_epoch_gauge));
+        registry.register_counter(
+            "velox_net_migration_chunks_total",
+            &[],
+            Arc::clone(&self.migration_chunks),
+        );
+        registry.register_counter(
+            "velox_net_migration_aborts_total",
+            &[],
+            Arc::clone(&self.migration_aborts),
+        );
+        registry.register_counter(
+            "velox_net_migration_resumes_total",
+            &[],
+            Arc::clone(&self.migration_resumes),
+        );
+        registry.register_gauge(
+            "velox_net_checkpoint_frame_max",
+            &[],
+            Arc::clone(&self.checkpoint_frame_max),
+        );
         self.detector.register_metrics(registry);
         self.chaos.register_metrics(registry);
         for (id, slot) in self.slots.iter().enumerate() {
@@ -1461,7 +1784,40 @@ impl Transport for NetCluster {
             migrations: self.migrations(),
             wrong_epoch,
             map_refreshes: self.map_refreshes.get(),
+            auto_rebalance: self.auto_rebalance_on(),
         })
+    }
+
+    fn cancel_migration(&self) -> bool {
+        self.request_migration_cancel()
+    }
+
+    fn set_auto_rebalance(&self, on: bool) {
+        self.set_auto_rebalance_enabled(on);
+    }
+
+    fn auto_rebalance_enabled(&self) -> bool {
+        self.auto_rebalance_on()
+    }
+
+    fn rebalance_join_node(&self, node: NodeId) -> Result<Vec<u32>, TransportError> {
+        self.check_member(node)?;
+        self.rebalance_join(node).map_err(|e| {
+            let msg = e.to_string();
+            if msg.starts_with("migration aborted") {
+                TransportError::Rejected(msg)
+            } else {
+                TransportError::Failed(msg)
+            }
+        })
+    }
+
+    fn fail_over_node(&self, node: NodeId) -> Result<u64, TransportError> {
+        self.check_member(node)?;
+        if self.node_health(node) != NodeHealth::Down {
+            return Err(membership_rejection(MembershipError::NotDown(node)));
+        }
+        self.fail_over_dead(node).map_err(|e| TransportError::Failed(e.to_string()))
     }
 
     fn fetch_weights(&self, uid: u64) -> Result<Option<Vec<f64>>, TransportError> {

@@ -14,7 +14,7 @@ use velox_data::VeloxRng;
 use velox_net::frame::{
     read_frame, read_frame_ext, write_frame, write_frame_ext, FrameError, FrameMeta,
 };
-use velox_net::rpc::{Request, Response};
+use velox_net::rpc::{build_chunk, chunk_crc, verify_chunk, Request, Response};
 use velox_obs::TraceContext;
 use velox_storage::Observation;
 
@@ -411,6 +411,170 @@ fn bit_flipped_epochs_are_never_silently_absorbed() {
                 assert_ne!(m, orig, "map epoch flip at byte {byte} bit {bit} absorbed");
             }
         }
+    }
+}
+
+/// A realistic chunk stream for the chunked-transfer batteries: a
+/// partition's uid-ascending entries split into several bounded chunks.
+fn sample_chunk_stream() -> (Vec<(u64, Vec<f64>)>, Vec<Response>) {
+    // No ±0.0 weights: `-0.0 == 0.0` under f64 equality, which would let
+    // a sign-bit flip masquerade as a pristine decode in the batteries.
+    let entries: Vec<(u64, Vec<f64>)> = (0..9u64)
+        .map(|i| (i * 7 + 2, vec![i as f64 * 0.5 + 0.125, -(i as f64) - 0.25, 1.0]))
+        .collect();
+    let mut chunks = Vec::new();
+    let mut cursor = 0u64;
+    loop {
+        let chunk = build_chunk(&entries, cursor, 128);
+        let Response::PartitionChunk { next_cursor, done, .. } = &chunk else { unreachable!() };
+        let (nc, d) = (*next_cursor, *done);
+        chunks.push(chunk);
+        cursor = nc;
+        if d {
+            break;
+        }
+    }
+    assert!(chunks.len() >= 3, "the battery needs a multi-chunk stream");
+    (entries, chunks)
+}
+
+fn chunk_fields(r: &Response) -> (Vec<(u64, Vec<f64>)>, u64, bool, u32) {
+    let Response::PartitionChunk { entries, next_cursor, done, crc } = r else {
+        panic!("not a chunk: {r:?}")
+    };
+    (entries.clone(), *next_cursor, *done, *crc)
+}
+
+/// Every chunked-transfer RPC rejects every truncation at the decode
+/// layer — a torn chunk frame fails closed, never delivering a partial
+/// entry batch or a half-parsed cursor.
+#[test]
+fn chunked_transfer_rpcs_reject_every_truncation() {
+    let (_, chunks) = sample_chunk_stream();
+    let pull = Request::PullPartitionChunk { partition: 7, cursor: 23, max_bytes: 4096 }.encode();
+    for cut in 0..pull.len() {
+        assert!(
+            Request::decode(&pull[..cut]).is_err(),
+            "accepted a {cut}-byte truncation of a {}-byte chunk pull",
+            pull.len()
+        );
+    }
+    for raw in chunks.iter().map(Response::encode) {
+        for cut in 0..raw.len() {
+            assert!(
+                Response::decode(&raw[..cut]).is_err(),
+                "accepted a {cut}-byte truncation of a {}-byte chunk response",
+                raw.len()
+            );
+        }
+    }
+}
+
+/// Seeded bit-flip battery over encoded chunk frames: any flip that the
+/// decode layer accepts must fail [`verify_chunk`] — the receiver-side
+/// admission check — unless the decode reproduced the chunk exactly. A
+/// flipped cursor, CRC, done flag, or weight byte never reaches the
+/// destination's weight table (reject-before-apply).
+#[test]
+fn bit_flipped_chunk_fields_reject_before_apply() {
+    let mut rng = VeloxRng::seed_from(SEED ^ 8);
+    let (_, chunks) = sample_chunk_stream();
+    let mut cursor = 0u64;
+    for chunk in &chunks {
+        let raw = chunk.encode();
+        let pristine = chunk_fields(chunk);
+        for _ in 0..BIT_FLIPS {
+            let byte = rng.below(raw.len() as u64) as usize;
+            let bit = rng.below(8) as u8;
+            let mut flipped = raw.clone();
+            flipped[byte] ^= 1 << bit;
+            let Ok(decoded) = Response::decode(&flipped) else { continue };
+            let Response::PartitionChunk { entries, next_cursor, done, crc } = decoded else {
+                continue; // re-framed to another message: callers reject the type
+            };
+            if (entries.clone(), next_cursor, done, crc) == pristine {
+                panic!("flip at byte {byte} bit {bit} decoded back to the pristine chunk");
+            }
+            assert!(
+                verify_chunk(cursor, &entries, next_cursor, done, crc).is_some(),
+                "flip at byte {byte} bit {bit} passed admission — would apply corrupt state"
+            );
+        }
+        cursor = pristine.1;
+    }
+}
+
+/// Duplicated and reordered chunk frames are rejected before apply,
+/// while an exact same-cursor replay (the resume path after a dropped
+/// link) is admitted — it is idempotent by construction.
+#[test]
+fn duplicated_and_reordered_chunk_frames_reject_before_apply() {
+    let (_, chunks) = sample_chunk_stream();
+    let (e0, nc0, d0, crc0) = chunk_fields(&chunks[0]);
+    let (e1, nc1, d1, crc1) = chunk_fields(&chunks[1]);
+
+    // Exact replay at the same cursor: admitted (resume after a fault).
+    assert!(verify_chunk(0, &e0, nc0, d0, crc0).is_none());
+    assert!(verify_chunk(0, &e0, nc0, d0, crc0).is_none());
+
+    // Duplicated frame arriving after the stream advanced: its uids sit
+    // below the cursor — a double-apply attempt — and must be rejected.
+    let why = verify_chunk(nc0, &e0, nc0, d0, crc0).expect("duplicate chunk admitted");
+    assert!(why.contains("below cursor"), "{why}");
+
+    // Entries reordered inside a chunk, CRC honestly recomputed: the
+    // ascending-uid invariant still rejects it (ordering is what makes
+    // cursor resume sound).
+    let mut reordered = e1.clone();
+    reordered.reverse();
+    let recrc = chunk_crc(&reordered, nc1, d1);
+    let why = verify_chunk(nc0, &reordered, nc1, d1, recrc).expect("reordered chunk admitted");
+    assert!(why.contains("ascending"), "{why}");
+
+    // Reordered with the *old* CRC: caught even earlier, by the checksum.
+    let why = verify_chunk(nc0, &reordered, nc1, d1, crc1).expect("reordered chunk admitted");
+    assert!(why.contains("crc"), "{why}");
+}
+
+/// Seeded battery over the chunk frame's TLV extension tail: unknown
+/// TLVs of random shapes are skipped without altering any field
+/// (forward compatibility), while truncations inside the tail are
+/// rejected — a partial extension can never smuggle entries in.
+#[test]
+fn chunk_frame_tlv_tail_battery() {
+    let mut rng = VeloxRng::seed_from(SEED ^ 9);
+    let (_, chunks) = sample_chunk_stream();
+    let pristine = chunk_fields(&chunks[0]);
+    let base = chunks[0].encode();
+    let body = &base[..base.len() - 4]; // strip the empty TLV count
+    for round in 0..200 {
+        let n_tlv = rng.below(4) as usize + 1;
+        let mut buf = body.to_vec();
+        buf.extend_from_slice(&(n_tlv as u32).to_be_bytes());
+        for _ in 0..n_tlv {
+            buf.push(rng.below(256) as u8);
+            let len = rng.below(16) as usize;
+            buf.extend_from_slice(&(len as u32).to_be_bytes());
+            for _ in 0..len {
+                buf.push(rng.below(256) as u8);
+            }
+        }
+        match Response::decode(&buf) {
+            Ok(Response::PartitionChunk { entries, next_cursor, done, crc }) => {
+                assert_eq!(
+                    (entries, next_cursor, done, crc),
+                    pristine.clone(),
+                    "round {round}: TLV tail altered the decoded chunk"
+                );
+            }
+            other => panic!("round {round}: unknown TLVs must be skipped, got {other:?}"),
+        }
+        let tail_start = body.len() + 4;
+        let cut = tail_start + rng.below((buf.len() - tail_start) as u64) as usize;
+        assert!(
+            Response::decode(&buf[..cut]).is_err(),
+            "round {round}: accepted a chunk TLV tail truncated at byte {cut}"
+        );
     }
 }
 

@@ -19,8 +19,8 @@
 
 use std::time::Duration;
 
-use velox_cluster::transport::Transport;
-use velox_cluster::{lms_update, NodeId};
+use velox_cluster::transport::{Transport, TransportError};
+use velox_cluster::{lms_update, MigrationOutcome, NodeId};
 use velox_net::{NetCluster, NetClusterConfig, Request, Response};
 use velox_storage::ScratchDir;
 
@@ -201,6 +201,129 @@ fn stale_front_is_rejected_refreshes_and_retries() {
     let view = net.membership().expect("membership");
     assert!(view.wrong_epoch >= 1, "nodes counted the stale-epoch rejection");
     assert_eq!(view.epoch, map1.epoch());
+}
+
+/// First partition owned by `node` under the cluster's current map.
+fn partition_owned_by(net: &NetCluster, node: NodeId) -> u32 {
+    let map = net.map();
+    (0..map.n_partitions())
+        .find(|&p| map.owner_of_partition(p) == node)
+        .expect("every founding member owns at least one partition")
+}
+
+#[test]
+fn cancelled_migration_rolls_back_without_an_epoch_bump_and_retry_commits() {
+    let net = start_net(None, 4);
+    let mut acked: Vec<(u64, u64, f64)> = Vec::new();
+    for (uid, item, y) in workload(0, 120) {
+        net.observe(uid, item, y).expect("observe");
+        acked.push((uid, item, y));
+    }
+    let joined = net.join_node().expect("join");
+    let epoch0 = net.map_epoch();
+    let p = partition_owned_by(&net, 0);
+
+    // Pre-armed operator cancel: consumed at the first chunk boundary,
+    // before any map install.
+    assert!(!net.request_migration_cancel(), "no migration in flight yet");
+    let err = net.migrate_partition(p, joined).expect_err("cancel must abort");
+    assert!(err.to_string().contains("operator cancel"), "unexpected abort: {err}");
+    assert_eq!(net.map_epoch(), epoch0, "abort must not bump the epoch");
+    assert_eq!(net.map().owner_of_partition(p), 0, "source stays authoritative");
+
+    let view = net.membership().expect("membership");
+    let last = view.migrations.last().expect("abort lands in the ledger");
+    assert_eq!(last.phase, "aborted");
+    assert_eq!(last.epoch_end, 0, "aborted migrations never reach an end epoch");
+    assert!(
+        matches!(&last.outcome, MigrationOutcome::Aborted(r) if r.contains("operator cancel")),
+        "ledger outcome: {:?}",
+        last.outcome
+    );
+    let (_, aborts, _) = net.migration_chunk_stats();
+    assert_eq!(aborts, 1);
+
+    // Traffic keeps flowing and the acked stream is intact.
+    for (uid, item, y) in workload(3000, 80) {
+        net.observe(uid, item, y).expect("observe after abort");
+        acked.push((uid, item, y));
+    }
+    assert_weights_match(&net, &acked, "after cancelled migration");
+
+    // The same partition migrates cleanly on retry.
+    let status = net.migrate_partition(p, joined).expect("retry commits");
+    assert_eq!(status.outcome, MigrationOutcome::Committed);
+    assert!(status.chunks_streamed >= 1, "the checkpoint streamed in chunks");
+    assert_eq!(net.map_epoch(), epoch0 + 2, "commit bumps dual-write + cutover");
+    assert_eq!(net.map().owner_of_partition(p), joined);
+    for (uid, item, y) in workload(4000, 80) {
+        net.observe(uid, item, y).expect("observe after retry");
+        acked.push((uid, item, y));
+    }
+    assert_weights_match(&net, &acked, "after retried migration");
+}
+
+#[test]
+fn zero_deadline_aborts_every_migration_before_any_install() {
+    let net = NetCluster::start(NetClusterConfig {
+        n_nodes: 3,
+        max_nodes: 4,
+        user_replication: 2,
+        lr: LR,
+        workers: 8,
+        request_timeout: Duration::from_secs(2),
+        migration_deadline: Duration::ZERO,
+        ..Default::default()
+    })
+    .expect("start cluster");
+    net.publish_item_features(seeded_items());
+    for (uid, item, y) in workload(0, 60) {
+        net.observe(uid, item, y).expect("observe");
+    }
+    let joined = net.join_node().expect("join");
+    let epoch0 = net.map_epoch();
+    let p = partition_owned_by(&net, 0);
+    let err = net.migrate_partition(p, joined).expect_err("zero deadline must abort");
+    assert!(err.to_string().contains("deadline exceeded"), "unexpected abort: {err}");
+    assert_eq!(net.map_epoch(), epoch0, "abort must not bump the epoch");
+    assert_eq!(net.map().owner_of_partition(p), 0, "source stays authoritative");
+    // Serving is unaffected: predicts and observes still flow.
+    net.predict(5, 2).expect("predict after deadline abort");
+    net.observe(5, 2, 1.0).expect("observe after deadline abort");
+}
+
+#[test]
+fn membership_control_surface_rejects_bad_operations() {
+    let net = start_net(None, 4);
+    // Unknown slot id: outside 0..max_nodes entirely.
+    match net.rebalance_join_node(99) {
+        Err(TransportError::Rejected(msg)) => assert!(msg.contains("unknown node"), "{msg}"),
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    match net.fail_over_node(99) {
+        Err(TransportError::Rejected(msg)) => assert!(msg.contains("unknown node"), "{msg}"),
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    // A provisioned slot that never joined is not a member.
+    match net.fail_over_node(3) {
+        Err(TransportError::Rejected(msg)) => assert!(msg.contains("not a member"), "{msg}"),
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    // Failing over a live member is refused.
+    match net.fail_over_node(0) {
+        Err(TransportError::Rejected(msg)) => assert!(msg.contains("not down"), "{msg}"),
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    // The kill switch round-trips through the transport surface.
+    net.set_auto_rebalance(true);
+    assert!(net.auto_rebalance_enabled());
+    assert!(net.membership().expect("membership").auto_rebalance);
+    net.set_auto_rebalance(false);
+    assert!(!net.auto_rebalance_enabled());
+    assert!(!net.membership().expect("membership").auto_rebalance);
+    // Cancelling with nothing in flight reports idle (and arms the next
+    // migration's first boundary check — covered by the cancel test).
+    assert!(!net.cancel_migration());
 }
 
 #[test]

@@ -71,6 +71,12 @@ impl Gauge {
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
     }
+
+    /// Raises the gauge to `v` if `v` is larger (high-water mark).
+    #[inline]
+    pub fn max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
 }
 
 /// Number of log₂ buckets. Bucket `i` holds samples in `[2^i, 2^(i+1))`

@@ -176,11 +176,15 @@ pub enum SpanKind {
     /// One phase of a live partition migration (dual-write install,
     /// checkpoint stream, catch-up, cutover, tail replay).
     Migrate = 15,
+    /// One checkpoint chunk pulled and applied during a migration.
+    MigrateChunk = 16,
+    /// Marker: a migration rolled back (source stays authoritative).
+    MigrateAbort = 17,
 }
 
 impl SpanKind {
     /// All kinds, in numeric order.
-    pub const ALL: [SpanKind; 16] = [
+    pub const ALL: [SpanKind; 18] = [
         SpanKind::RestRequest,
         SpanKind::ClusterPredict,
         SpanKind::ClusterObserve,
@@ -197,6 +201,8 @@ impl SpanKind {
         SpanKind::Retry,
         SpanKind::Hedge,
         SpanKind::Migrate,
+        SpanKind::MigrateChunk,
+        SpanKind::MigrateAbort,
     ];
 
     /// Stable snake_case name (used in JSON and tables).
@@ -218,6 +224,8 @@ impl SpanKind {
             SpanKind::Retry => "retry",
             SpanKind::Hedge => "hedge",
             SpanKind::Migrate => "migrate",
+            SpanKind::MigrateChunk => "migrate_chunk",
+            SpanKind::MigrateAbort => "migrate_abort",
         }
     }
 

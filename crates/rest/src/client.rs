@@ -606,6 +606,43 @@ impl VeloxClient {
         self.call("GET", "/cluster/health", "")
     }
 
+    /// `POST /cluster/rebalance` — planned partition handoff toward an
+    /// already-joined member. Returns the moved partition ids; bad node
+    /// ids are a typed 4xx ([`ClientError::Server`]).
+    pub fn cluster_rebalance(&self, node: usize) -> Result<Vec<u64>, ClientError> {
+        let body = Json::object(vec![("node", Json::Number(node as f64))]).to_string();
+        let resp = self.call("POST", "/cluster/rebalance", &body)?;
+        Ok(resp
+            .get("moved")
+            .and_then(Json::as_array)
+            .map(|ps| ps.iter().filter_map(Json::as_u64).collect())
+            .unwrap_or_default())
+    }
+
+    /// `POST /cluster/rebalance/auto` — flips the auto-rebalance kill
+    /// switch (re-enabling also resets the retry-cap budget).
+    pub fn cluster_set_auto_rebalance(&self, enabled: bool) -> Result<bool, ClientError> {
+        let body = Json::object(vec![("enabled", Json::Bool(enabled))]).to_string();
+        let resp = self.call("POST", "/cluster/rebalance/auto", &body)?;
+        Ok(resp.get("auto_rebalance").and_then(Json::as_bool).unwrap_or(enabled))
+    }
+
+    /// `POST /cluster/failover` — operator-triggered fail-over of a down
+    /// member. Unknown, non-member, or still-live nodes are a 4xx.
+    pub fn cluster_failover(&self, node: usize) -> Result<u64, ClientError> {
+        let body = Json::object(vec![("node", Json::Number(node as f64))]).to_string();
+        let resp = self.call("POST", "/cluster/failover", &body)?;
+        Ok(resp.get("backfilled").and_then(Json::as_u64).unwrap_or(0))
+    }
+
+    /// `POST /cluster/migrations/cancel` — aborts the in-flight (or next)
+    /// migration with `operator cancel` at its next chunk boundary.
+    /// Returns whether a migration was running when the cancel landed.
+    pub fn cluster_cancel_migration(&self) -> Result<bool, ClientError> {
+        let resp = self.call("POST", "/cluster/migrations/cancel", "")?;
+        Ok(resp.get("was_in_flight").and_then(Json::as_bool).unwrap_or(false))
+    }
+
     /// Lists all deployed model names on the server.
     pub fn list_models(&self) -> Result<Vec<String>, ClientError> {
         let resp = self.call("GET", "/models", "")?;

@@ -28,6 +28,9 @@ pub type ClusterBackend = Arc<dyn Transport + Send + Sync>;
 const JSON_TYPE: &str = "application/json";
 /// Prometheus text exposition content type.
 const METRICS_TYPE: &str = "text/plain; version=0.0.4";
+/// How many migration-ledger entries `/cluster/health` reports (newest
+/// last); the full count still appears as `migrations_total`.
+const MIGRATION_LEDGER_TAIL: usize = 32;
 
 /// Tuning knobs for the REST listener.
 #[derive(Debug, Clone)]
@@ -313,6 +316,10 @@ fn endpoint_of(method: &str, segments: &[&str]) -> &'static str {
         ("GET", ["cluster", "health"]) => "cluster_health",
         ("POST", ["cluster", "predict"]) => "cluster_predict",
         ("POST", ["cluster", "observe"]) => "cluster_observe",
+        ("POST", ["cluster", "rebalance"]) => "cluster_rebalance",
+        ("POST", ["cluster", "rebalance", "auto"]) => "cluster_rebalance_auto",
+        ("POST", ["cluster", "failover"]) => "cluster_failover",
+        ("POST", ["cluster", "migrations", "cancel"]) => "cluster_migration_cancel",
         ("GET", ["trace", _]) => "trace",
         ("GET", ["traces", "slow"]) => "traces_slow",
         _ => "other",
@@ -590,10 +597,12 @@ fn dispatch(server: &VeloxServer, request: &Request) -> (u16, String) {
 }
 
 /// Maps a [`TransportError`] onto HTTP: `Unavailable` (no live replica)
-/// is the server's `503` vocabulary, everything else is a `500`.
+/// is the server's `503` vocabulary, `Rejected` is a caller mistake or
+/// refused precondition (`400`), everything else is a `500`.
 fn transport_error(e: &TransportError) -> (u16, String) {
     let status = match e {
         TransportError::Unavailable => 503,
+        TransportError::Rejected(_) => 400,
         TransportError::Failed(_) => 500,
     };
     (status, error_json(&e.to_string()))
@@ -637,18 +646,25 @@ fn dispatch_cluster(
             // Membership plane (epoch-stamped partition map + migration
             // ledger), when the transport exposes one.
             if let Some(view) = cluster.membership() {
+                // The ledger keeps everything; the endpoint reports the
+                // most recent `MIGRATION_LEDGER_TAIL` entries so health
+                // stays O(1) however long the cluster has been churning.
+                let skipped = view.migrations.len().saturating_sub(MIGRATION_LEDGER_TAIL);
                 let migrations: Vec<Json> = view
                     .migrations
                     .iter()
+                    .skip(skipped)
                     .map(|m| {
                         Json::object(vec![
                             ("partition", Json::Number(m.partition as f64)),
                             ("from", Json::Number(m.from as f64)),
                             ("to", Json::Number(m.to as f64)),
                             ("phase", Json::String(m.phase.to_string())),
+                            ("outcome", Json::String(m.outcome.to_string())),
                             ("epoch_start", Json::Number(m.epoch_start as f64)),
                             ("epoch_end", Json::Number(m.epoch_end as f64)),
                             ("users_streamed", Json::Number(m.users_streamed as f64)),
+                            ("chunks_streamed", Json::Number(m.chunks_streamed as f64)),
                             ("records_replayed", Json::Number(m.records_replayed as f64)),
                         ])
                     })
@@ -667,6 +683,8 @@ fn dispatch_cluster(
                         ("replication", Json::Number(view.replication as f64)),
                         ("wrong_epoch", Json::Number(view.wrong_epoch as f64)),
                         ("map_refreshes", Json::Number(view.map_refreshes as f64)),
+                        ("auto_rebalance", Json::Bool(view.auto_rebalance)),
+                        ("migrations_total", Json::Number(view.migrations.len() as f64)),
                         ("migrations", Json::Array(migrations)),
                     ]),
                 ));
@@ -740,6 +758,65 @@ fn dispatch_cluster(
                     .to_string(),
                 ),
             }
+        }
+        ("POST", ["cluster", "rebalance"]) => {
+            // Planned handoff toward an already-joined member: migrates
+            // the partitions the join plan picks, one at a time.
+            let body = match parse_body(request) {
+                Ok(b) => b,
+                Err(e) => return (400, error_json(&e)),
+            };
+            let Some(node) = body.get("node").and_then(Json::as_u64) else {
+                return (400, error_json("body must contain node"));
+            };
+            match cluster.rebalance_join_node(node as usize) {
+                Err(e) => transport_error(&e),
+                Ok(moved) => (
+                    200,
+                    Json::object(vec![(
+                        "moved",
+                        Json::Array(moved.into_iter().map(|p| Json::Number(p as f64)).collect()),
+                    )])
+                    .to_string(),
+                ),
+            }
+        }
+        ("POST", ["cluster", "rebalance", "auto"]) => {
+            // The kill switch: {"enabled": bool}. Re-enabling resets the
+            // retry-cap ledger so the automatic path gets a fresh budget.
+            let body = match parse_body(request) {
+                Ok(b) => b,
+                Err(e) => return (400, error_json(&e)),
+            };
+            let Some(enabled) = body.get("enabled").and_then(Json::as_bool) else {
+                return (400, error_json("body must contain enabled (boolean)"));
+            };
+            cluster.set_auto_rebalance(enabled);
+            (200, Json::object(vec![("auto_rebalance", Json::Bool(enabled))]).to_string())
+        }
+        ("POST", ["cluster", "failover"]) => {
+            // Operator-triggered fail-over of a down member; refuses live
+            // nodes and unknown ids with a 4xx.
+            let body = match parse_body(request) {
+                Ok(b) => b,
+                Err(e) => return (400, error_json(&e)),
+            };
+            let Some(node) = body.get("node").and_then(Json::as_u64) else {
+                return (400, error_json("body must contain node"));
+            };
+            match cluster.fail_over_node(node as usize) {
+                Err(e) => transport_error(&e),
+                Ok(backfilled) => (
+                    200,
+                    Json::object(vec![("backfilled", Json::Number(backfilled as f64))]).to_string(),
+                ),
+            }
+        }
+        ("POST", ["cluster", "migrations", "cancel"]) => {
+            // Operator abort: the in-flight (or next) migration rolls back
+            // with `operator cancel` at its next chunk boundary.
+            let was_running = cluster.cancel_migration();
+            (200, Json::object(vec![("was_in_flight", Json::Bool(was_running))]).to_string())
         }
         _ => (404, error_json(&format!("no route for {} {}", request.method, request.path))),
     }

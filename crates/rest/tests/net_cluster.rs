@@ -141,6 +141,77 @@ fn same_routes_serve_the_in_process_simulator() {
 }
 
 #[test]
+fn membership_routes_reject_rebalance_and_commit_over_http() {
+    // A dedicated cluster with join headroom: the happy-path rebalance
+    // needs a joinable slot (`max_nodes` > `n_nodes`).
+    let net = NetCluster::start(NetClusterConfig {
+        n_nodes: 3,
+        max_nodes: 4,
+        user_replication: 2,
+        lr: LR,
+        wal_root: None,
+        workers: 8,
+        request_timeout: Duration::from_secs(2),
+        ..Default::default()
+    })
+    .expect("start loopback cluster");
+    net.publish_item_features(seeded_items());
+    let net = Arc::new(net);
+    let handle = rest_over(Arc::clone(&net) as ClusterBackend);
+    let client = VeloxClient::new(handle.addr(), "unused");
+
+    for uid in 0..12u64 {
+        client.cluster_observe(uid, uid % 16, 1.0).expect("seed observe");
+    }
+
+    // Typed membership rejections surface as 4xx, not 5xx.
+    match client.cluster_rebalance(99) {
+        Err(ClientError::Server { status: 400, .. }) => {}
+        other => panic!("rebalance to unknown node must 400, got {other:?}"),
+    }
+    match client.cluster_failover(99) {
+        Err(ClientError::Server { status: 400, .. }) => {}
+        other => panic!("failover of unknown node must 400, got {other:?}"),
+    }
+    match client.cluster_failover(0) {
+        Err(ClientError::Server { status: 400, .. }) => {}
+        other => panic!("failover of a live member must 400, got {other:?}"),
+    }
+
+    // The kill switch round-trips through the health view's membership
+    // plane.
+    let membership = |h: &Json| h.get("membership").cloned().expect("membership plane");
+    assert!(!client.cluster_set_auto_rebalance(false).expect("disable auto-rebalance"));
+    let m = membership(&client.cluster_health_full().expect("health"));
+    assert_eq!(m.get("auto_rebalance").and_then(Json::as_bool), Some(false));
+    assert!(client.cluster_set_auto_rebalance(true).expect("re-enable auto-rebalance"));
+    let m = membership(&client.cluster_health_full().expect("health"));
+    assert_eq!(m.get("auto_rebalance").and_then(Json::as_bool), Some(true));
+
+    // Happy path: join a node directly, then hand partitions to it over
+    // HTTP and read the committed outcome back out of the ledger.
+    let dst = net.join_node().expect("join");
+    let moved = client.cluster_rebalance(dst).expect("rebalance over REST");
+    assert!(!moved.is_empty(), "join plan must hand over at least one partition");
+    let m = membership(&client.cluster_health_full().expect("health"));
+    let migrations = m.get("migrations").and_then(Json::as_array).expect("migrations ledger");
+    let committed = migrations
+        .iter()
+        .filter(|e| e.get("outcome").and_then(Json::as_str) == Some("committed"))
+        .count();
+    assert_eq!(committed, moved.len(), "one committed ledger entry per moved partition");
+    for e in migrations {
+        assert!(e.get("chunks_streamed").and_then(Json::as_u64).unwrap_or(0) > 0);
+    }
+    assert!(m.get("migrations_total").and_then(Json::as_u64).unwrap_or(0) >= moved.len() as u64);
+
+    // Idle cancel reports nothing in flight. Last on purpose: the cancel
+    // flag stays armed for the next migration.
+    assert!(!client.cluster_cancel_migration().expect("cancel"));
+    handle.shutdown();
+}
+
+#[test]
 fn cluster_routes_404_without_a_backend() {
     let handle = RestServer::new(Arc::new(VeloxServer::new())).serve("127.0.0.1:0").expect("bind");
     let client = VeloxClient::new(handle.addr(), "unused");

@@ -28,6 +28,9 @@ cargo test --release --offline -q -p velox-net --test chaos_net
 echo "==> elastic membership tests: join/migrate/fail-over/WrongEpoch (offline)"
 cargo test --release --offline -q -p velox-net --test rebalance
 
+echo "==> migration abort/rollback property tests (offline)"
+cargo test --release --offline -q -p velox-cluster --test abort_rollback
+
 echo "==> velox-net tracing tests (offline)"
 cargo test --release --offline -q -p velox-net --test tracing
 cargo test --release --offline -q -p velox-rest --test trace_endpoints
@@ -46,6 +49,9 @@ cargo run --release --offline -q -p velox-bench --bin abl_chaos_net -- --smoke >
 
 echo "==> rebalance availability + zero-acked-loss smoke, both transports (offline)"
 cargo run --release --offline -q -p velox-bench --bin abl_rebalance -- --smoke > /dev/null
+
+echo "==> chaos-rebalance smoke: aborted/resumed migrations under fire, both transports (offline)"
+cargo run --release --offline -q -p velox-bench --bin abl_chaos_rebalance -- --smoke > /dev/null
 
 echo "==> recovery durability smoke (offline)"
 cargo run --release --offline -q -p velox-bench --bin abl_recovery -- --smoke > /dev/null
