@@ -107,6 +107,16 @@ pub trait Transport {
     /// `wᵤ`, computes `wᵤ·x`, and reports how the request was served.
     fn predict(&self, uid: u64, item_id: u64) -> Result<TransportPredict, TransportError>;
 
+    /// Scores many `(uid, item_id)` pairs, answered in request order.
+    /// The default serves each pair through [`Transport::predict`];
+    /// batch-capable backends override it to amortize the per-request
+    /// round trip (one RPC per owning node instead of one per pair). An
+    /// override MUST return scores bit-identical to the sequential path
+    /// — batching amortizes overhead, it never changes the math.
+    fn predict_many(&self, pairs: &[(u64, u64)]) -> Vec<Result<TransportPredict, TransportError>> {
+        pairs.iter().map(|&(uid, item_id)| self.predict(uid, item_id)).collect()
+    }
+
     /// Applies one online observation `(uid, item_id, y)` at the owning
     /// node via [`lms_update`] and acknowledges it.
     fn observe(&self, uid: u64, item_id: u64, y: f64) -> Result<TransportObserve, TransportError>;

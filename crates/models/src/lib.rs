@@ -32,7 +32,7 @@ pub mod registry;
 
 pub use basis::{IdentityModel, MlpFeatureModel, RandomFourierModel, SvmEnsembleModel};
 pub use mf::MatrixFactorizationModel;
-pub use registry::ModelRegistry;
+pub use registry::{ModelRegistry, RegistryError};
 
 use std::collections::HashMap;
 use velox_batch::JobExecutor;

@@ -13,6 +13,43 @@ use std::sync::RwLock;
 
 use crate::VeloxModel;
 
+/// Why a registry operation was refused. Every variant is a caller
+/// mistake — a name collision or a dangling reference — so the REST layer
+/// maps these to `400`, never a `500` (the same discipline
+/// `MembershipError` established for the membership plane).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// `register` was asked to create a name that already exists (use
+    /// `upload` to swap a new version in instead).
+    DuplicateModel(String),
+    /// The named model is not registered.
+    UnknownModel(String),
+    /// The named model exists but the requested version is not retained
+    /// (never existed, or aged out of the bounded history).
+    VersionNotRetained {
+        /// The model name.
+        name: String,
+        /// The version that was requested.
+        version: u64,
+    },
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::DuplicateModel(name) => {
+                write!(f, "model {name:?} is already registered")
+            }
+            RegistryError::UnknownModel(name) => write!(f, "model {name:?} is not registered"),
+            RegistryError::VersionNotRetained { name, version } => {
+                write!(f, "model {name:?} has no retained version {version}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
 /// A registered model with its version.
 #[derive(Clone)]
 pub struct RegisteredModel {
@@ -20,6 +57,15 @@ pub struct RegisteredModel {
     pub model: Arc<dyn VeloxModel>,
     /// System-assigned version, starting at 1 and bumped on every swap.
     pub version: u64,
+}
+
+impl std::fmt::Debug for RegisteredModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegisteredModel")
+            .field("model", &self.model.name())
+            .field("version", &self.version)
+            .finish()
+    }
 }
 
 /// How many superseded versions of each model are retained.
@@ -74,18 +120,51 @@ impl ModelRegistry {
         }
     }
 
+    /// Registers a model under a *new* name. Unlike [`ModelRegistry::upload`]
+    /// — which silently swaps a new version in over an existing name — this
+    /// refuses a collision with a typed error, for callers that mean
+    /// "create", not "create or replace". Returns the assigned version (1).
+    pub fn register(&self, model: Arc<dyn VeloxModel>) -> Result<u64, RegistryError> {
+        let name = model.name().to_string();
+        let mut slots = self.slots.write().unwrap();
+        if slots.contains_key(&name) {
+            return Err(RegistryError::DuplicateModel(name));
+        }
+        slots.insert(
+            name,
+            ModelSlot {
+                current: RegisteredModel { model, version: 1 },
+                history: Vec::new(),
+                next_version: 2,
+            },
+        );
+        Ok(1)
+    }
+
     /// The current version of a named model.
     pub fn get(&self, name: &str) -> Option<RegisteredModel> {
         self.slots.read().unwrap().get(name).map(|s| s.current.clone())
     }
 
+    /// The current version of a named model, with a typed error for an
+    /// unknown name (what the REST layer surfaces as a 400/404).
+    pub fn get_required(&self, name: &str) -> Result<RegisteredModel, RegistryError> {
+        self.get(name).ok_or_else(|| RegistryError::UnknownModel(name.to_string()))
+    }
+
     /// Rolls a model back to a retained prior `version`; the restored model
     /// is re-published under a fresh version number. Returns the new
-    /// `RegisteredModel`, or `None` when the name or version is unknown.
-    pub fn rollback(&self, name: &str, version: u64) -> Option<RegisteredModel> {
+    /// `RegisteredModel`; an unknown name or unretained version comes back
+    /// as a typed [`RegistryError`], not an `Option` the caller must guess
+    /// the meaning of.
+    pub fn rollback(&self, name: &str, version: u64) -> Result<RegisteredModel, RegistryError> {
         let mut slots = self.slots.write().unwrap();
-        let slot = slots.get_mut(name)?;
-        let pos = slot.history.iter().position(|m| m.version == version)?;
+        let slot =
+            slots.get_mut(name).ok_or_else(|| RegistryError::UnknownModel(name.to_string()))?;
+        let pos =
+            slot.history.iter().position(|m| m.version == version).ok_or_else(|| {
+                RegistryError::VersionNotRetained { name: name.to_string(), version }
+            })?;
         let restored = slot.history.remove(pos);
         let new_version = slot.next_version;
         slot.next_version += 1;
@@ -97,7 +176,7 @@ impl ModelRegistry {
         if slot.history.len() > HISTORY_PER_MODEL {
             slot.history.remove(0);
         }
-        Some(slot.current.clone())
+        Ok(slot.current.clone())
     }
 
     /// Versions available for rollback of a model, oldest first.
@@ -161,8 +240,33 @@ mod tests {
         assert_eq!(restored.model.dim(), 3, "old parameters restored");
         // v2 is now in history and can itself be rolled back to.
         assert!(reg.history_versions("m").contains(&2));
-        assert!(reg.rollback("m", 99).is_none());
-        assert!(reg.rollback("nope", 1).is_none());
+        assert_eq!(
+            reg.rollback("m", 99).unwrap_err(),
+            RegistryError::VersionNotRetained { name: "m".into(), version: 99 }
+        );
+        assert_eq!(
+            reg.rollback("nope", 1).unwrap_err(),
+            RegistryError::UnknownModel("nope".into())
+        );
+    }
+
+    #[test]
+    fn register_refuses_duplicates_with_typed_error() {
+        let reg = ModelRegistry::new();
+        assert_eq!(reg.register(model("m", 3)).unwrap(), 1);
+        assert_eq!(
+            reg.register(model("m", 4)).unwrap_err(),
+            RegistryError::DuplicateModel("m".into())
+        );
+        assert_eq!(reg.get("m").unwrap().model.dim(), 3, "duplicate register must not swap");
+        // upload remains the create-or-replace path.
+        assert_eq!(reg.upload(model("m", 4)), 2);
+        assert_eq!(reg.get_required("m").unwrap().model.dim(), 4);
+        assert_eq!(
+            reg.get_required("ghost").unwrap_err(),
+            RegistryError::UnknownModel("ghost".into())
+        );
+        assert!(reg.get_required("ghost").unwrap_err().to_string().contains("ghost"));
     }
 
     #[test]

@@ -39,8 +39,8 @@ pub use frame::{
 };
 pub use node::{NodeConfig, NodeMetrics, NodeServer, NodeState, PeerTable};
 pub use rpc::{
-    build_chunk, chunk_crc, chunk_entry_bytes, verify_chunk, DecodeError, ErrorCode, Request,
-    Response, CHUNK_ENVELOPE_BYTES,
+    build_chunk, chunk_crc, chunk_entry_bytes, verify_chunk, BatchScore, DecodeError, ErrorCode,
+    Request, Response, CHUNK_ENVELOPE_BYTES,
 };
 pub use runtime::{NetCluster, NetClusterConfig};
 pub use server::{Handler, NetServer, NetServerConfig, RpcContext};

@@ -37,7 +37,7 @@ use velox_obs::{trace::now_ns, Counter, Gauge, Registry, SpanKind, TraceContext,
 use velox_storage::{Observation, Wal, WalConfig, WalRecovery};
 
 use crate::client::{ChaosLink, ClientMetrics, NetClient, NetClientConfig};
-use crate::rpc::{build_chunk, ErrorCode, Request, Response};
+use crate::rpc::{build_chunk, BatchScore, ErrorCode, Request, Response};
 use crate::server::{Handler, NetServer, NetServerConfig, RpcContext};
 
 /// Observe acks remembered per node for exactly-once replay.
@@ -476,6 +476,36 @@ impl NodeState {
         self.config.metrics.predicts.inc();
         tracer.finish(work);
         Response::Predicted { score, node: me as u32, forwarded: false, cold_start }
+    }
+
+    /// Scores a whole batch at this node. The item table and the weight
+    /// map are each locked once for the pass (items before weights, the
+    /// order `rebuild_partition` uses), so per-pair cost is two map
+    /// probes and a dot product. A pair the node cannot score (unseeded
+    /// item) comes back `!ok` instead of failing the frame — the sender
+    /// retries it on the single-predict path for the precise error. No
+    /// forwarding: the sender already grouped pairs by owner under its
+    /// map, and a stale grouping is answered from local state exactly
+    /// like a `no_forward` single predict.
+    fn respond_predict_batch(&self, pairs: &[(u64, u64)], ctx: Option<&TraceContext>) -> Response {
+        let me = self.config.node_id;
+        let tracer = &self.config.tracer;
+        let work = tracer.child(ctx, SpanKind::NodePredict, me as u32);
+        let items = self.items.lock().unwrap();
+        let weights = self.weights.lock().unwrap();
+        let scores = pairs
+            .iter()
+            .map(|&(uid, item_id)| match items.get(&item_id) {
+                None => BatchScore { ok: false, score: 0.0, cold_start: false },
+                Some(x) => match weights.get(&uid) {
+                    Some(w) => BatchScore { ok: true, score: dot(w, x), cold_start: false },
+                    None => BatchScore { ok: true, score: 0.0, cold_start: true },
+                },
+            })
+            .collect();
+        self.config.metrics.predicts.add(pairs.len() as u64);
+        tracer.finish(work);
+        Response::PredictedBatch { node: me as u32, scores }
     }
 
     fn respond_observe(
@@ -936,6 +966,12 @@ impl NodeState {
             Request::PushPartition { entries } => self.respond_push_partition(entries),
             Request::PullPartitionChunk { partition, cursor, max_bytes } => {
                 self.respond_pull_partition_chunk(partition, cursor, max_bytes)
+            }
+            Request::PredictBatch { pairs, epoch } => {
+                if let Err(reject) = self.admit_epoch(epoch) {
+                    return reject;
+                }
+                self.respond_predict_batch(&pairs, ctx)
             }
         }
     }

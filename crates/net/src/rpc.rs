@@ -29,6 +29,7 @@ mod req_tag {
     pub const PULL_PARTITION: u8 = 11;
     pub const PUSH_PARTITION: u8 = 12;
     pub const PULL_PARTITION_CHUNK: u8 = 13;
+    pub const PREDICT_BATCH: u8 = 14;
 }
 
 /// Wire tag values for [`Response`] variants.
@@ -42,6 +43,7 @@ mod resp_tag {
     pub const MAP: u8 = 7;
     pub const PARTITION: u8 = 8;
     pub const PARTITION_CHUNK: u8 = 9;
+    pub const PREDICTED_BATCH: u8 = 10;
 }
 
 /// Why a node refused a request (carried in [`Response::Error`]).
@@ -198,6 +200,31 @@ pub enum Request {
         /// budget; also bounds the response frame size).
         max_bytes: u32,
     },
+    /// Serving plane: score many `(uid, item_id)` pairs in one frame —
+    /// the serving tier's adaptive batches amortize the round trip this
+    /// way. The sender groups pairs by owning node under its map; the
+    /// receiver answers every pair from local state (no forwarding), in
+    /// request order.
+    PredictBatch {
+        /// `(uid, item_id)` pairs to score.
+        pairs: Vec<(u64, u64)>,
+        /// Sender's partition-map epoch (`0` = unstamped, skip the
+        /// check).
+        epoch: u64,
+    },
+}
+
+/// One `(uid, item_id)` outcome inside a [`Response::PredictedBatch`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchScore {
+    /// False when the node could not score the pair (e.g. the item is
+    /// not seeded there); the caller retries it on the single-predict
+    /// path for a precise error.
+    pub ok: bool,
+    /// The score `wᵤ·x` (`0.0` when `!ok`).
+    pub score: f64,
+    /// True when the user had no weights and the zero prior scored.
+    pub cold_start: bool,
 }
 
 /// A response frame, node → client.
@@ -262,6 +289,14 @@ pub enum Response {
         /// cursor, or done flag fails verification before anything is
         /// applied.
         crc: u32,
+    },
+    /// Answer to [`Request::PredictBatch`]: one outcome per pair, in
+    /// request order.
+    PredictedBatch {
+        /// Node that computed the scores.
+        node: u32,
+        /// Per-pair outcomes.
+        scores: Vec<BatchScore>,
     },
     /// Generic success (ship, seed, put, install, push, health).
     Ok,
@@ -651,6 +686,15 @@ impl Request {
                 put_u64(&mut buf, *cursor);
                 put_u32(&mut buf, *max_bytes);
             }
+            Request::PredictBatch { pairs, epoch } => {
+                buf.push(req_tag::PREDICT_BATCH);
+                put_u32(&mut buf, pairs.len() as u32);
+                for (uid, item_id) in pairs {
+                    put_u64(&mut buf, *uid);
+                    put_u64(&mut buf, *item_id);
+                }
+                put_u64(&mut buf, *epoch);
+            }
         }
         buf
     }
@@ -701,6 +745,12 @@ impl Request {
                 cursor: c.u64()?,
                 max_bytes: c.u32()?,
             },
+            req_tag::PREDICT_BATCH => {
+                let n = c.count(16)?;
+                let pairs =
+                    (0..n).map(|_| Ok((c.u64()?, c.u64()?))).collect::<Result<_, DecodeError>>()?;
+                Request::PredictBatch { pairs, epoch: c.u64()? }
+            }
             other => return Err(DecodeError(format!("unknown request tag {other}"))),
         };
         c.finish()?;
@@ -760,6 +810,15 @@ impl Response {
                 // Empty TLV extension section (see `Cursor::skip_tlvs`).
                 put_u32(&mut buf, 0);
             }
+            Response::PredictedBatch { node, scores } => {
+                buf.push(resp_tag::PREDICTED_BATCH);
+                put_u32(&mut buf, *node);
+                put_u32(&mut buf, scores.len() as u32);
+                for s in scores {
+                    buf.push(s.ok as u8 | (s.cold_start as u8) << 1);
+                    put_f64(&mut buf, s.score);
+                }
+            }
             Response::Ok => buf.push(resp_tag::OK),
             Response::Error { code, message } => {
                 buf.push(resp_tag::ERROR);
@@ -803,6 +862,21 @@ impl Response {
                 let crc = c.u32()?;
                 c.skip_tlvs()?;
                 Response::PartitionChunk { entries, next_cursor, done, crc }
+            }
+            resp_tag::PREDICTED_BATCH => {
+                let node = c.u32()?;
+                let n = c.count(9)?;
+                let scores = (0..n)
+                    .map(|_| {
+                        let flags = c.u8()?;
+                        Ok(BatchScore {
+                            ok: flags & 1 != 0,
+                            score: c.f64()?,
+                            cold_start: flags & 2 != 0,
+                        })
+                    })
+                    .collect::<Result<_, DecodeError>>()?;
+                Response::PredictedBatch { node, scores }
             }
             resp_tag::OK => Response::Ok,
             resp_tag::ERROR => {
@@ -855,6 +929,8 @@ mod tests {
             Request::PullPartition { partition: 17 },
             Request::PushPartition { entries: vec![(1, vec![0.5]), (2, vec![])] },
             Request::PullPartitionChunk { partition: 5, cursor: 1 << 40, max_bytes: 4096 },
+            Request::PredictBatch { pairs: vec![(1, 2), (u64::MAX, 0), (1, 2)], epoch: 9 },
+            Request::PredictBatch { pairs: vec![], epoch: 0 },
         ];
         for req in cases {
             let buf = req.encode();
@@ -878,6 +954,15 @@ mod tests {
                 Response::PartitionChunk { entries, next_cursor: 12, done: false, crc }
             },
             Response::PartitionChunk { entries: vec![], next_cursor: 0, done: true, crc: 7 },
+            Response::PredictedBatch {
+                node: 1,
+                scores: vec![
+                    BatchScore { ok: true, score: -0.25, cold_start: false },
+                    BatchScore { ok: false, score: 0.0, cold_start: false },
+                    BatchScore { ok: true, score: 0.0, cold_start: true },
+                ],
+            },
+            Response::PredictedBatch { node: 0, scores: vec![] },
             Response::Ok,
             Response::Error { code: ErrorCode::WrongEpoch, message: "stale epoch 3".into() },
         ];

@@ -16,7 +16,7 @@
 //! plane, pulls shipped records from live peers (`PullLog`), and rebuilds
 //! the weight table by replaying the merged log in timestamp order.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
@@ -1378,6 +1378,55 @@ impl Transport for NetCluster {
 
     fn predict(&self, uid: u64, item_id: u64) -> Result<TransportPredict, TransportError> {
         self.predict_traced(uid, item_id, None)
+    }
+
+    /// One `PredictBatch` RPC per owning node instead of one round trip
+    /// per pair. Pairs are grouped under a single map snapshot; a group
+    /// whose frame fails (node down, stale epoch, unseeded item) falls
+    /// back pair-by-pair to [`Transport::predict`], which carries the
+    /// full retry/hedge/failover machinery — so the batch path can only
+    /// ever be a fast path, never a new failure mode.
+    fn predict_many(&self, pairs: &[(u64, u64)]) -> Vec<Result<TransportPredict, TransportError>> {
+        let mut out: Vec<Option<Result<TransportPredict, TransportError>>> =
+            (0..pairs.len()).map(|_| None).collect();
+        let map = self.map();
+        let epoch = map.epoch();
+        let mut groups: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
+        for (i, &(uid, _)) in pairs.iter().enumerate() {
+            groups.entry(map.owner_of(uid)).or_default().push(i);
+        }
+        for (node, idxs) in groups {
+            let Some(client) = self.peers.get(node) else { continue };
+            let group: Vec<(u64, u64)> = idxs.iter().map(|&i| pairs[i]).collect();
+            let timer = Instant::now();
+            match client.call(&Request::PredictBatch { pairs: group, epoch }) {
+                Ok(Response::PredictedBatch { node: at, scores }) if scores.len() == idxs.len() => {
+                    let served = scores.iter().filter(|s| s.ok).count() as u64;
+                    for (&i, s) in idxs.iter().zip(&scores) {
+                        if s.ok {
+                            out[i] = Some(Ok(TransportPredict {
+                                score: s.score,
+                                node: at as NodeId,
+                                routed: at as NodeId != node,
+                                cold_start: s.cold_start,
+                                trace_id: None,
+                            }));
+                        }
+                    }
+                    if served > 0 {
+                        self.slots[node].lock().unwrap().requests_routed.add(served);
+                        self.predict_us.record(timer.elapsed().as_micros() as u64);
+                    }
+                }
+                // Any other reply (error frame, stale epoch, transport
+                // failure) leaves the group unanswered for the fallback.
+                _ => {}
+            }
+        }
+        out.iter_mut()
+            .enumerate()
+            .map(|(i, slot)| slot.take().unwrap_or_else(|| self.predict(pairs[i].0, pairs[i].1)))
+            .collect()
     }
 
     fn observe(&self, uid: u64, item_id: u64, y: f64) -> Result<TransportObserve, TransportError> {

@@ -180,11 +180,16 @@ pub enum SpanKind {
     MigrateChunk = 16,
     /// Marker: a migration rolled back (source stays authoritative).
     MigrateAbort = 17,
+    /// One coalesced predict batch served by the adaptive batcher: drain,
+    /// backend pass, and result distribution.
+    Batch = 18,
+    /// One backend `predict_batch` pass inside a serving-tier batch.
+    Backend = 19,
 }
 
 impl SpanKind {
     /// All kinds, in numeric order.
-    pub const ALL: [SpanKind; 18] = [
+    pub const ALL: [SpanKind; 20] = [
         SpanKind::RestRequest,
         SpanKind::ClusterPredict,
         SpanKind::ClusterObserve,
@@ -203,6 +208,8 @@ impl SpanKind {
         SpanKind::Migrate,
         SpanKind::MigrateChunk,
         SpanKind::MigrateAbort,
+        SpanKind::Batch,
+        SpanKind::Backend,
     ];
 
     /// Stable snake_case name (used in JSON and tables).
@@ -226,6 +233,8 @@ impl SpanKind {
             SpanKind::Migrate => "migrate",
             SpanKind::MigrateChunk => "migrate_chunk",
             SpanKind::MigrateAbort => "migrate_abort",
+            SpanKind::Batch => "batch",
+            SpanKind::Backend => "backend",
         }
     }
 

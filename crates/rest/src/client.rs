@@ -652,4 +652,76 @@ impl VeloxClient {
             .map(|models| models.iter().filter_map(|m| m.as_str().map(String::from)).collect())
             .unwrap_or_default())
     }
+
+    /// Lists the serving tier's registered backends (the `backends` array
+    /// of `GET /models`). Empty when no tier is attached.
+    pub fn list_backends(&self) -> Result<Vec<ClientBackend>, ClientError> {
+        let resp = self.call("GET", "/models", "")?;
+        Ok(resp
+            .get("backends")
+            .and_then(Json::as_array)
+            .map(|backends| {
+                backends
+                    .iter()
+                    .filter_map(|b| {
+                        let batch = b.get("batch")?;
+                        Some(ClientBackend {
+                            name: b.get("name")?.as_str()?.to_string(),
+                            kind: b.get("kind")?.as_str()?.to_string(),
+                            serving_version: b.get("serving_version")?.as_u64()?,
+                            versions: b
+                                .get("versions")?
+                                .as_array()?
+                                .iter()
+                                .filter_map(Json::as_u64)
+                                .collect(),
+                            requests: batch.get("requests").and_then(Json::as_u64).unwrap_or(0),
+                            batches: batch.get("batches").and_then(Json::as_u64).unwrap_or(0),
+                            mean_batch: batch
+                                .get("mean_batch")
+                                .and_then(Json::as_f64)
+                                .unwrap_or(0.0),
+                            slo_violations: batch
+                                .get("slo_violations")
+                                .and_then(Json::as_u64)
+                                .unwrap_or(0),
+                        })
+                    })
+                    .collect()
+            })
+            .unwrap_or_default())
+    }
+
+    /// `POST /models/<model>/alias` — atomically flips the configured
+    /// model's serving alias to `version`. Returns the previously serving
+    /// version.
+    pub fn flip_alias(&self, version: u64) -> Result<u64, ClientError> {
+        let body = Json::object(vec![("version", Json::Number(version as f64))]);
+        let resp =
+            self.call("POST", &format!("/models/{}/alias", self.model), &body.to_string())?;
+        resp.get("previous_version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("missing previous_version".into()))
+    }
+}
+
+/// One serving-tier backend as listed by `GET /models`.
+#[derive(Debug, Clone)]
+pub struct ClientBackend {
+    /// Registered backend name.
+    pub name: String,
+    /// Backend flavor (`"velox"`, `"cluster"`, `"custom"`).
+    pub kind: String,
+    /// Version the serving alias points at.
+    pub serving_version: u64,
+    /// All retained versions, ascending.
+    pub versions: Vec<u64>,
+    /// Requests served through the batching lane.
+    pub requests: u64,
+    /// Batched passes executed.
+    pub batches: u64,
+    /// Mean served batch size.
+    pub mean_batch: f64,
+    /// Requests that exceeded the lane's latency SLO.
+    pub slo_violations: u64,
 }

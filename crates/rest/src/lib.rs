@@ -41,7 +41,7 @@ pub mod json;
 pub mod server;
 
 pub use client::{
-    BreakerConfig, BreakerState, ClientClusterObserve, ClientClusterPredict, ClientError,
-    RetryPolicy, VeloxClient,
+    BreakerConfig, BreakerState, ClientBackend, ClientClusterObserve, ClientClusterPredict,
+    ClientError, RetryPolicy, VeloxClient,
 };
 pub use server::{ClusterBackend, RestHandle, RestServer, ServerConfig};

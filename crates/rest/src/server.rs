@@ -16,6 +16,7 @@ use velox_obs::{
     build_tree, Gauge, KeepReason, Registry, RegistrySnapshot, SpanKind, SpanRecord, Timer,
     TraceNode, FRONT_NODE,
 };
+use velox_serve::{ServeDetail, ServeError, ServeTier, CLUSTER_BACKEND};
 
 use crate::http::{read_request, write_response, write_response_with_headers, Request};
 use crate::json::Json;
@@ -89,9 +90,14 @@ impl MetricsCache {
         MetricsCache { ttl, entry: Mutex::new(None) }
     }
 
-    fn get(&self, server: &VeloxServer, registry: &Registry) -> String {
+    fn get(
+        &self,
+        server: &VeloxServer,
+        registry: &Registry,
+        serving: Option<&Arc<ServeTier>>,
+    ) -> String {
         if self.ttl.is_zero() {
-            return metrics_text(server, registry);
+            return metrics_text(server, registry, serving);
         }
         let mut names = server.deployment_names();
         names.sort();
@@ -101,7 +107,7 @@ impl MetricsCache {
                 return cached.body.clone();
             }
         }
-        let body = metrics_text(server, registry);
+        let body = metrics_text(server, registry, serving);
         *entry = Some(MetricsEntry { rendered_at: Instant::now(), names, body: body.clone() });
         body
     }
@@ -115,6 +121,9 @@ pub struct RestServer {
     config: ServerConfig,
     /// Optional cluster backend served under `/cluster/*`.
     cluster: Option<ClusterBackend>,
+    /// Optional serving tier: adaptive batching + backend registry. When
+    /// attached, predict routes go through its batching lanes.
+    serving: Option<Arc<ServeTier>>,
 }
 
 /// Decrements the in-flight gauge when a request thread exits, however it
@@ -170,7 +179,13 @@ impl RestServer {
 
     /// Wraps a deployment set with explicit listener tuning.
     pub fn with_config(deployments: Arc<VeloxServer>, config: ServerConfig) -> Self {
-        RestServer { deployments, registry: Arc::new(Registry::new()), config, cluster: None }
+        RestServer {
+            deployments,
+            registry: Arc::new(Registry::new()),
+            config,
+            cluster: None,
+            serving: None,
+        }
     }
 
     /// Attaches a cluster backend, enabling the `/cluster/*` routes. Any
@@ -178,6 +193,18 @@ impl RestServer {
     /// runtime — the REST layer can't tell them apart.
     pub fn with_cluster(mut self, cluster: ClusterBackend) -> Self {
         self.cluster = Some(cluster);
+        self
+    }
+
+    /// Attaches a serving tier. `POST /models/<name>/predict` routes
+    /// through the tier's adaptive batching lane for any `name` registered
+    /// there (other names keep the direct path), `GET /models` lists the
+    /// registered backends with batch statistics, and
+    /// `POST /models/<name>/alias` flips serving aliases. When a backend
+    /// named [`CLUSTER_BACKEND`] is registered, `/cluster/predict` is
+    /// batched through it too.
+    pub fn with_serving(mut self, serving: Arc<ServeTier>) -> Self {
+        self.serving = Some(serving);
         self
     }
 
@@ -199,6 +226,7 @@ impl RestServer {
         let registry = self.registry;
         let config = self.config;
         let cluster = self.cluster;
+        let serving = self.serving;
         let in_flight = registry.gauge("velox_rest_in_flight_requests");
         let shed = registry.counter("velox_rest_shed_total");
         let metrics_cache = Arc::new(MetricsCache::new(config.metrics_cache_ttl));
@@ -240,6 +268,7 @@ impl RestServer {
                 let registry = Arc::clone(&registry);
                 let metrics_cache = Arc::clone(&metrics_cache);
                 let cluster = cluster.clone();
+                let serving = serving.clone();
                 std::thread::spawn(move || {
                     let _guard = guard;
                     let (status, content_type, body) = match read_request(&stream) {
@@ -248,6 +277,7 @@ impl RestServer {
                             &registry,
                             &metrics_cache,
                             cluster.as_deref(),
+                            serving.as_ref(),
                             &request,
                         ),
                         Err(e) => (400, JSON_TYPE, error_json(&format!("{e}"))),
@@ -307,6 +337,7 @@ fn endpoint_of(method: &str, segments: &[&str]) -> &'static str {
         ("GET", ["events"]) => "events",
         ("GET", ["models"]) => "models",
         ("GET", ["models", _, "stats"]) => "stats",
+        ("POST", ["models", _, "alias"]) => "alias",
         ("POST", ["models", _, "predict"]) => "predict",
         ("POST", ["models", _, "topk"]) => "topk",
         ("POST", ["models", _, "observe"]) => "observe",
@@ -333,16 +364,17 @@ fn handle(
     registry: &Registry,
     metrics_cache: &MetricsCache,
     cluster: Option<&(dyn Transport + Send + Sync)>,
+    serving: Option<&Arc<ServeTier>>,
     request: &Request,
 ) -> (u16, &'static str, String) {
     let timer = Timer::start();
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     let endpoint = endpoint_of(request.method.as_str(), &segments);
     let result = match (request.method.as_str(), segments.as_slice()) {
-        ("GET", ["metrics"]) => (200, METRICS_TYPE, metrics_cache.get(server, registry)),
+        ("GET", ["metrics"]) => (200, METRICS_TYPE, metrics_cache.get(server, registry, serving)),
         ("GET", ["events"]) => (200, JSON_TYPE, events_json(server)),
         (_, ["cluster", ..]) => {
-            let (status, body) = dispatch_cluster(cluster, request, &segments);
+            let (status, body) = dispatch_cluster(cluster, serving, request, &segments);
             (status, JSON_TYPE, body)
         }
         ("GET", ["trace", id]) => {
@@ -354,7 +386,7 @@ fn handle(
             (status, JSON_TYPE, body)
         }
         _ => {
-            let (status, body) = dispatch(server, request);
+            let (status, body) = dispatch(server, serving, request);
             (status, JSON_TYPE, body)
         }
     };
@@ -367,7 +399,11 @@ fn handle(
 /// Merged Prometheus exposition: the REST layer's own metrics plus every
 /// deployment's registry tagged `model="<name>"`. Samples are re-sorted so
 /// each family appears once with a single `# TYPE` line.
-fn metrics_text(server: &VeloxServer, registry: &Registry) -> String {
+fn metrics_text(
+    server: &VeloxServer,
+    registry: &Registry,
+    serving: Option<&Arc<ServeTier>>,
+) -> String {
     let mut metrics = registry.snapshot().metrics;
     let mut names = server.deployment_names();
     names.sort();
@@ -378,6 +414,10 @@ fn metrics_text(server: &VeloxServer, registry: &Registry) -> String {
                 metrics.push(m);
             }
         }
+    }
+    // The serving tier's registry already labels its series by backend.
+    if let Some(tier) = serving {
+        metrics.extend(tier.registry().snapshot().metrics);
     }
     metrics.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
     RegistrySnapshot { metrics }.render_prometheus(&[])
@@ -410,17 +450,121 @@ fn events_json(server: &VeloxServer) -> String {
     Json::object(vec![("events", Json::Array(events))]).to_string()
 }
 
-fn dispatch(server: &VeloxServer, request: &Request) -> (u16, String) {
+/// Maps a [`ServeError`] onto HTTP. Registry-shaped mistakes (duplicate
+/// or unknown names, unretained versions) and refused retires are caller
+/// errors — `400`, mirroring the `MembershipError` discipline; backend
+/// failures keep their own mappings.
+fn serve_error(e: &ServeError) -> (u16, String) {
+    match e {
+        ServeError::Velox(inner) => velox_error(inner),
+        ServeError::Transport(inner) => transport_error(inner),
+        ServeError::ShuttingDown => (503, error_json(&e.to_string())),
+        ServeError::Registry(_)
+        | ServeError::RetireServing { .. }
+        | ServeError::WrongItemKind { .. }
+        | ServeError::Custom(_) => (400, error_json(&e.to_string())),
+    }
+}
+
+/// Renders a tier-served prediction with the same fidelity fields the
+/// unbatched routes answer with, plus the batching provenance.
+fn served_predict_json(name: &str, version: u64, served: &velox_serve::ServedPredict) -> Json {
+    let mut fields = vec![
+        ("score", Json::Number(served.score)),
+        ("backend", Json::String(name.to_string())),
+        ("backend_version", Json::Number(version as f64)),
+        ("batched", Json::Bool(true)),
+    ];
+    match &served.detail {
+        ServeDetail::Plain => {}
+        ServeDetail::Velox { cached, bootstrapped, degradation } => {
+            fields.push(("cached", Json::Bool(*cached)));
+            fields.push(("bootstrapped", Json::Bool(*bootstrapped)));
+            fields.push(("degradation", Json::String(degradation.label().to_string())));
+        }
+        ServeDetail::Cluster { node, routed, cold_start } => {
+            fields.push(("node", Json::Number(*node as f64)));
+            fields.push(("routed", Json::Bool(*routed)));
+            fields.push(("cold_start", Json::Bool(*cold_start)));
+        }
+    }
+    Json::object(fields)
+}
+
+/// The `backends` array of `GET /models`: every tier-registered backend
+/// with its version lineage and batching-lane statistics.
+fn backends_json(tier: &ServeTier) -> Json {
+    Json::Array(
+        tier.backends()
+            .into_iter()
+            .map(|b| {
+                Json::object(vec![
+                    ("name", Json::String(b.name)),
+                    ("kind", Json::String(b.kind.to_string())),
+                    ("dim", Json::Number(b.dim as f64)),
+                    ("serving_version", Json::Number(b.serving_version as f64)),
+                    (
+                        "versions",
+                        Json::Array(b.versions.iter().map(|&v| Json::Number(v as f64)).collect()),
+                    ),
+                    ("model_version", Json::Number(b.model_version as f64)),
+                    (
+                        "batch",
+                        Json::object(vec![
+                            ("requests", Json::Number(b.lane.requests as f64)),
+                            ("batches", Json::Number(b.lane.batches as f64)),
+                            ("mean_batch", Json::Number(b.lane.mean_batch)),
+                            ("batch_target", Json::Number(b.lane.batch_target as f64)),
+                            ("queue_depth", Json::Number(b.lane.queue_depth as f64)),
+                            ("slo_violations", Json::Number(b.lane.slo_violations as f64)),
+                            ("request_p99_ns", Json::Number(b.lane.request_p99_ns as f64)),
+                        ]),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn dispatch(
+    server: &VeloxServer,
+    serving: Option<&Arc<ServeTier>>,
+    request: &Request,
+) -> (u16, String) {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["models"]) => {
             let mut names = server.deployment_names();
             names.sort();
-            let body = Json::object(vec![(
-                "models",
-                Json::Array(names.into_iter().map(Json::String).collect()),
-            )]);
-            (200, body.to_string())
+            let mut fields =
+                vec![("models", Json::Array(names.into_iter().map(Json::String).collect()))];
+            if let Some(tier) = serving {
+                fields.push(("backends", backends_json(tier)));
+            }
+            (200, Json::object(fields).to_string())
+        }
+        ("POST", ["models", name, "alias"]) => {
+            let Some(tier) = serving else {
+                return (404, error_json("no serving tier attached"));
+            };
+            let body = match parse_body(request) {
+                Ok(b) => b,
+                Err(e) => return (400, error_json(&e)),
+            };
+            let Some(version) = body.get("version").and_then(Json::as_u64) else {
+                return (400, error_json("body must contain version"));
+            };
+            match tier.flip_alias(name, version) {
+                Err(e) => serve_error(&e),
+                Ok(previous) => (
+                    200,
+                    Json::object(vec![
+                        ("serving_version", Json::Number(version as f64)),
+                        ("previous_version", Json::Number(previous as f64)),
+                    ])
+                    .to_string(),
+                ),
+            }
         }
         ("GET", ["models", name, "stats"]) => match server.deployment(&ModelSchema::named(*name)) {
             Err(e) => velox_error(&e),
@@ -468,6 +612,15 @@ fn dispatch(server: &VeloxServer, request: &Request) -> (u16, String) {
                 Ok(i) => i,
                 Err(e) => return (400, error_json(&e)),
             };
+            // A tier-registered name serves through the adaptive batching
+            // lane; everything else keeps the direct deployment path.
+            if let Some(tier) = serving.filter(|t| t.has(name)) {
+                let version = tier.snapshot().serving_version(name).unwrap_or(0);
+                return match tier.predict(name, uid, &item) {
+                    Err(e) => serve_error(&e),
+                    Ok(served) => (200, served_predict_json(name, version, &served).to_string()),
+                };
+            }
             match server.predict(&ModelSchema::named(*name), uid, &item) {
                 Err(e) => velox_error(&e),
                 Ok(resp) => {
@@ -614,6 +767,7 @@ fn transport_error(e: &TransportError) -> (u16, String) {
 /// liveness.
 fn dispatch_cluster(
     cluster: Option<&(dyn Transport + Send + Sync)>,
+    serving: Option<&Arc<ServeTier>>,
     request: &Request,
     segments: &[&str],
 ) -> (u16, String) {
@@ -702,6 +856,19 @@ fn dispatch_cluster(
             ) else {
                 return (400, error_json("body must contain uid and item_id"));
             };
+            // When the serving tier fronts the cluster (a backend under
+            // the conventional "cluster" name), predicts coalesce through
+            // its batching lane; the lane worker emits the batch/backend
+            // spans instead of a per-request REST root.
+            if let Some(tier) = serving.filter(|t| t.has(CLUSTER_BACKEND)) {
+                return match tier.predict(CLUSTER_BACKEND, uid, &Item::Id(item_id)) {
+                    Err(e) => serve_error(&e),
+                    Ok(served) => {
+                        let version = tier.snapshot().serving_version(CLUSTER_BACKEND).unwrap_or(0);
+                        (200, served_predict_json(CLUSTER_BACKEND, version, &served).to_string())
+                    }
+                };
+            }
             // REST ingress mints the trace root; the transport's spans
             // (route, RPC, node work) hang off it.
             let tracer = cluster.tracer();

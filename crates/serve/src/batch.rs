@@ -1,0 +1,316 @@
+//! The adaptive batching queue: per-backend request coalescing under an
+//! AIMD-controlled batch size.
+//!
+//! ## Why batch
+//!
+//! A single predict is dominated by per-call overhead — snapshot loads,
+//! weight-table reads, cache probes, lock traffic under concurrency. One
+//! batched pass amortizes all of it (Clipper's core serving-tier insight),
+//! trading a small queueing delay for a large throughput win.
+//!
+//! ## AIMD under a latency SLO
+//!
+//! The batch size is not configured; it is *learned* against the
+//! per-backend SLO, TCP-congestion-control style:
+//!
+//! ```text
+//!            batch served, batch SERVICE latency vs SLO
+//!
+//!              service under SLO and batch was full
+//!            +--------------------------------------+
+//!            |                                      v
+//!        +-------+  service      +----------------------+
+//!        | size  |  over SLO     | size += step (AI)    |
+//!        | /= 2  | <------------ | (cap: max_batch)     |
+//!        | (MD)  | ------------> |                      |
+//!        +-------+   next batch  +----------------------+
+//! ```
+//!
+//! Additive increase only fires when the served batch actually filled the
+//! current target — queue pressure, not optimism, grows the batch.
+//! Multiplicative decrease halves the target (floor 1) when the *batch
+//! service latency* — the one thing batch size controls — exceeds the
+//! SLO, so a service-time regression backs off in O(log) batches.
+//!
+//! The controller deliberately ignores queue wait (Clipper keys its AIMD
+//! off processing latency for the same reason): under a backlog every
+//! request is over the SLO end-to-end *regardless* of batch size, and
+//! the cure for a backlog is a BIGGER batch. Folding queue wait into the
+//! decrease signal creates a death spiral — backlog ⇒ violation ⇒
+//! halve ⇒ worse backlog — that pins the lane at singleton batches
+//! exactly when batching matters most. End-to-end latency is still what
+//! the SLO-violation counter and request-latency histogram report, so
+//! overload remains visible; it just doesn't drive the batch size down.
+//!
+//! ## Flush timeout
+//!
+//! Low-concurrency traffic must never wait out the SLO hoping for a
+//! fuller batch: the worker serves a partial batch once the *oldest*
+//! queued request has waited `flush_timeout`, and serves immediately when
+//! the queue reaches the target size.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use velox_core::Item;
+use velox_obs::{Counter, Gauge, Histogram, Registry, SpanKind, SpanStatus, Tracer, FRONT_NODE};
+
+use crate::backend::ServedPredict;
+use crate::error::ServeError;
+use crate::manager::ModelManager;
+
+/// Batching-queue configuration, per backend.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Latency SLO. The AIMD controller sizes batches so one batched
+    /// pass (service time) stays within it; the violation counter and
+    /// latency histogram measure requests end-to-end (queue wait +
+    /// service) against the same bound.
+    pub slo: Duration,
+    /// Maximum extra wait for a fuller batch, measured from the oldest
+    /// queued request's enqueue time.
+    pub flush_timeout: Duration,
+    /// Hard cap on the learned batch size.
+    pub max_batch: usize,
+    /// Initial batch-size target.
+    pub initial_batch: usize,
+    /// Additive-increase step applied after a full batch under SLO.
+    pub additive_step: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            slo: Duration::from_millis(5),
+            flush_timeout: Duration::from_micros(200),
+            max_batch: 256,
+            initial_batch: 1,
+            additive_step: 1,
+        }
+    }
+}
+
+/// Point-in-time serving statistics of one backend lane.
+#[derive(Debug, Clone)]
+pub struct LaneStats {
+    /// Requests served through the lane.
+    pub requests: u64,
+    /// Batched passes executed.
+    pub batches: u64,
+    /// Mean served batch size.
+    pub mean_batch: f64,
+    /// Current AIMD batch-size target.
+    pub batch_target: usize,
+    /// Requests currently queued.
+    pub queue_depth: usize,
+    /// Requests whose end-to-end latency exceeded the SLO.
+    pub slo_violations: u64,
+    /// p99 end-to-end request latency, nanoseconds.
+    pub request_p99_ns: u64,
+}
+
+struct Slot {
+    result: Mutex<Option<Result<ServedPredict, ServeError>>>,
+    cv: Condvar,
+}
+
+struct Pending {
+    uid: u64,
+    item: Item,
+    enqueued: Instant,
+    slot: Arc<Slot>,
+}
+
+/// One backend's queue, AIMD state, and metrics. Shared between callers
+/// (enqueue) and the lane's worker thread (drain + serve).
+pub(crate) struct Lane {
+    name: String,
+    config: BatchConfig,
+    queue: Mutex<VecDeque<Pending>>,
+    cv: Condvar,
+    batch_target: AtomicUsize,
+    stop: AtomicBool,
+    requests: Arc<Counter>,
+    batches: Arc<Counter>,
+    slo_violations: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    batch_size_hist: Arc<Histogram>,
+    batch_latency_ns: Arc<Histogram>,
+    request_latency_ns: Arc<Histogram>,
+}
+
+impl Lane {
+    pub(crate) fn new(name: &str, config: BatchConfig, registry: &Registry) -> Arc<Lane> {
+        let labels: &[(&str, &str)] = &[("backend", name)];
+        Arc::new(Lane {
+            name: name.to_string(),
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            batch_target: AtomicUsize::new(config.initial_batch.clamp(1, config.max_batch)),
+            stop: AtomicBool::new(false),
+            requests: registry.counter_with("velox_serve_requests_total", labels),
+            batches: registry.counter_with("velox_serve_batches_total", labels),
+            slo_violations: registry.counter_with("velox_serve_slo_violations_total", labels),
+            queue_depth: registry.gauge_with("velox_serve_queue_depth", labels),
+            batch_size_hist: registry.histogram_with("velox_serve_batch_size", labels),
+            batch_latency_ns: registry.histogram_with("velox_serve_batch_latency_ns", labels),
+            request_latency_ns: registry.histogram_with("velox_serve_request_latency_ns", labels),
+        })
+    }
+
+    pub(crate) fn stats(&self) -> LaneStats {
+        let requests = self.requests.get();
+        let batches = self.batches.get();
+        LaneStats {
+            requests,
+            batches,
+            mean_batch: if batches == 0 { 0.0 } else { requests as f64 / batches as f64 },
+            batch_target: self.batch_target.load(Ordering::Relaxed),
+            queue_depth: self.queue.lock().unwrap().len(),
+            slo_violations: self.slo_violations.get(),
+            request_p99_ns: self.request_latency_ns.snapshot().p99(),
+        }
+    }
+
+    /// Enqueues one request and blocks until its batch is served.
+    pub(crate) fn predict(&self, uid: u64, item: &Item) -> Result<ServedPredict, ServeError> {
+        if self.stop.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let slot = Arc::new(Slot { result: Mutex::new(None), cv: Condvar::new() });
+        {
+            let mut q = self.queue.lock().unwrap();
+            q.push_back(Pending {
+                uid,
+                item: item.clone(),
+                enqueued: Instant::now(),
+                slot: Arc::clone(&slot),
+            });
+            self.queue_depth.set(q.len() as i64);
+        }
+        self.cv.notify_one();
+        let mut done = slot.result.lock().unwrap();
+        while done.is_none() {
+            done = slot.cv.wait(done).unwrap();
+        }
+        done.take().unwrap()
+    }
+
+    pub(crate) fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
+
+    /// Blocks until a batch is ready per the flush policy, then drains it.
+    /// Returns `None` when the lane is shut down and drained.
+    fn next_batch(&self) -> Option<Vec<Pending>> {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if q.is_empty() {
+                if self.stop.load(Ordering::Acquire) {
+                    return None;
+                }
+                q = self.cv.wait(q).unwrap();
+                continue;
+            }
+            let target = self.batch_target.load(Ordering::Relaxed).clamp(1, self.config.max_batch);
+            if q.len() >= target || self.stop.load(Ordering::Acquire) {
+                break;
+            }
+            // Partial batch: wait for more work, but only until the oldest
+            // request has been queued for the flush timeout.
+            let deadline = q.front().unwrap().enqueued + self.config.flush_timeout;
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, wait) = self.cv.wait_timeout(q, deadline - now).unwrap();
+            q = guard;
+            if q.is_empty() {
+                continue;
+            }
+            if wait.timed_out() {
+                break;
+            }
+        }
+        let target = self.batch_target.load(Ordering::Relaxed).clamp(1, self.config.max_batch);
+        let n = q.len().min(target).max(1);
+        let batch: Vec<Pending> = q.drain(..n).collect();
+        self.queue_depth.set(q.len() as i64);
+        Some(batch)
+    }
+
+    /// AIMD step after serving a batch. `service` is the batched pass's
+    /// own latency, NOT end-to-end request latency — see the module doc
+    /// for why queue wait must stay out of the decrease signal.
+    fn adjust_target(&self, served: usize, service: Duration) {
+        let target = self.batch_target.load(Ordering::Relaxed);
+        let next = if service > self.config.slo {
+            (target / 2).max(1)
+        } else if served >= target {
+            (target + self.config.additive_step).min(self.config.max_batch)
+        } else {
+            target
+        };
+        self.batch_target.store(next, Ordering::Relaxed);
+    }
+}
+
+/// The lane's worker loop: drain → one snapshot → one batched backend
+/// pass → distribute results → AIMD adjust. Runs until shutdown.
+pub(crate) fn lane_worker(lane: Arc<Lane>, manager: ModelManager, tracer: Arc<Tracer>) {
+    while let Some(batch) = lane.next_batch() {
+        let root = tracer.ingress(SpanKind::Batch, FRONT_NODE);
+        let started = Instant::now();
+        // One manager snapshot per batch: an alias flip concurrent with
+        // this pass cannot be observed mid-batch.
+        let snapshot = manager.snapshot();
+        let requests: Vec<(u64, Item)> = batch.iter().map(|p| (p.uid, p.item.clone())).collect();
+        let results = match snapshot.resolve(&lane.name) {
+            Ok(entry) => {
+                let ctx = root.as_ref().map(|r| r.ctx());
+                let span = tracer.child(ctx.as_ref(), SpanKind::Backend, FRONT_NODE);
+                let results = entry.backend.predict_batch(&requests);
+                tracer.finish(span);
+                results
+            }
+            Err(e) => {
+                if let Some(r) = root.as_ref() {
+                    let span = tracer.child(Some(&r.ctx()), SpanKind::Backend, FRONT_NODE);
+                    tracer.finish_status(span, SpanStatus::Error);
+                }
+                batch.iter().map(|_| Err(e.clone())).collect()
+            }
+        };
+        let service = started.elapsed();
+        lane.batch_latency_ns.record_duration(service);
+        lane.batch_size_hist.record(batch.len() as u64);
+        lane.batches.inc();
+        lane.requests.add(batch.len() as u64);
+
+        for (pending, result) in batch.into_iter().zip(results) {
+            let latency = pending.enqueued.elapsed();
+            lane.request_latency_ns.record_duration(latency);
+            if latency > lane.config.slo {
+                lane.slo_violations.inc();
+            }
+            let mut done = pending.slot.result.lock().unwrap();
+            *done = Some(result);
+            pending.slot.cv.notify_one();
+        }
+        lane.adjust_target(requests.len(), service);
+        if let Some(r) = root {
+            tracer.end_root(r);
+        }
+    }
+    // Shutdown: fail any requests that raced past the stop flag.
+    let drained: Vec<Pending> = lane.queue.lock().unwrap().drain(..).collect();
+    for pending in drained {
+        let mut done = pending.slot.result.lock().unwrap();
+        *done = Some(Err(ServeError::ShuttingDown));
+        pending.slot.cv.notify_one();
+    }
+}

@@ -1,0 +1,75 @@
+//! Typed serving-tier errors.
+
+use velox_cluster::TransportError;
+use velox_core::VeloxError;
+use velox_models::RegistryError;
+
+/// Why a serving-tier request or management operation failed. Registry
+/// shape mistakes reuse [`RegistryError`] verbatim so the REST layer maps
+/// them to the same 400s the model registry produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// A registry-shaped mistake: duplicate name on register, unknown
+    /// name on resolve, or a version that is not retained.
+    Registry(RegistryError),
+    /// `retire` was asked to drop the version currently serving the
+    /// alias; flip the alias to another version first.
+    RetireServing {
+        /// The backend name.
+        name: String,
+        /// The serving version the caller tried to retire.
+        version: u64,
+    },
+    /// The underlying `Velox` deployment failed the request.
+    Velox(VeloxError),
+    /// The underlying cluster transport failed the request.
+    Transport(TransportError),
+    /// The item payload kind doesn't fit the backend (e.g. a raw feature
+    /// vector sent to a transport backend that routes by item id).
+    WrongItemKind {
+        /// What the backend needed.
+        expected: &'static str,
+    },
+    /// A custom scorer rejected the request.
+    Custom(String),
+    /// The tier is shutting down; the queued request was not served.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Registry(e) => write!(f, "{e}"),
+            ServeError::RetireServing { name, version } => {
+                write!(f, "backend {name:?} version {version} is the serving alias; flip first")
+            }
+            ServeError::Velox(e) => write!(f, "{e}"),
+            ServeError::Transport(e) => write!(f, "{e}"),
+            ServeError::WrongItemKind { expected } => {
+                write!(f, "wrong item kind: this backend expects {expected}")
+            }
+            ServeError::Custom(msg) => write!(f, "custom scorer failed: {msg}"),
+            ServeError::ShuttingDown => write!(f, "serving tier is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<RegistryError> for ServeError {
+    fn from(e: RegistryError) -> Self {
+        ServeError::Registry(e)
+    }
+}
+
+impl From<VeloxError> for ServeError {
+    fn from(e: VeloxError) -> Self {
+        ServeError::Velox(e)
+    }
+}
+
+impl From<TransportError> for ServeError {
+    fn from(e: TransportError) -> Self {
+        ServeError::Transport(e)
+    }
+}

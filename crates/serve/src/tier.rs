@@ -1,0 +1,333 @@
+//! The serving tier: batching queues in front of the backend registry,
+//! plus bandit selection across backends.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use velox_bandit::{BanditPolicy, Candidate, EpsilonGreedyPolicy};
+use velox_core::Item;
+use velox_obs::{Registry, Tracer};
+
+use crate::backend::{PredictBackend, ServedPredict, VeloxBackend};
+use crate::batch::{lane_worker, BatchConfig, Lane, LaneStats};
+use crate::error::ServeError;
+use crate::manager::{ManagerSnapshot, ModelManager};
+
+/// Conventional backend name for the cluster transport lane; the REST
+/// layer routes `/cluster/predict` through the tier when a backend is
+/// registered under this name.
+pub const CLUSTER_BACKEND: &str = "cluster";
+
+/// Serving-tier configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Batching-queue configuration applied to every lane.
+    pub batch: BatchConfig,
+    /// Exploration rate of the cross-backend selection policy.
+    pub epsilon: f64,
+    /// Seed for the selection policy.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { batch: BatchConfig::default(), epsilon: 0.05, seed: 42 }
+    }
+}
+
+/// Listing entry for one registered backend (the `GET /models` payload).
+#[derive(Debug, Clone)]
+pub struct BackendStatus {
+    /// Registered name.
+    pub name: String,
+    /// Backend flavor (`"velox"`, `"cluster"`, `"custom"`).
+    pub kind: &'static str,
+    /// Feature dimension (0 = not applicable).
+    pub dim: usize,
+    /// Version the serving alias points at.
+    pub serving_version: u64,
+    /// All retained versions, ascending.
+    pub versions: Vec<u64>,
+    /// Internal model version of the serving backend (Velox deployments).
+    pub model_version: u64,
+    /// Batching-lane statistics.
+    pub lane: LaneStats,
+}
+
+struct RewardStat {
+    n: u64,
+    mean_loss: f64,
+    m2: f64,
+}
+
+/// The serving tier: a [`ModelManager`] of versioned backends, one
+/// adaptive batching lane per backend name, and a bandit policy that
+/// selects across backends using observed prequential loss.
+///
+/// Wrap it in an `Arc` and share freely; every `predict` blocks the
+/// calling thread until its batch is served.
+pub struct ServeTier {
+    manager: ModelManager,
+    config: ServeConfig,
+    registry: Arc<Registry>,
+    tracer: Arc<Tracer>,
+    lanes: Mutex<HashMap<String, Arc<Lane>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    policy: Mutex<Box<dyn BanditPolicy + Send>>,
+    rewards: Mutex<HashMap<String, RewardStat>>,
+}
+
+impl ServeTier {
+    /// A tier with default configuration.
+    pub fn new() -> Arc<ServeTier> {
+        Self::with_config(ServeConfig::default())
+    }
+
+    /// A tier with explicit configuration.
+    pub fn with_config(config: ServeConfig) -> Arc<ServeTier> {
+        Self::with_parts(config, Arc::new(Registry::new()), Tracer::disabled())
+    }
+
+    /// A tier wired to an existing metrics registry and tracer.
+    pub fn with_parts(
+        config: ServeConfig,
+        registry: Arc<Registry>,
+        tracer: Arc<Tracer>,
+    ) -> Arc<ServeTier> {
+        Arc::new(ServeTier {
+            manager: ModelManager::new(),
+            config,
+            registry,
+            tracer,
+            lanes: Mutex::new(HashMap::new()),
+            workers: Mutex::new(Vec::new()),
+            policy: Mutex::new(Box::new(EpsilonGreedyPolicy::new(config.epsilon, config.seed))),
+            rewards: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The backend registry (for direct version management).
+    pub fn manager(&self) -> &ModelManager {
+        &self.manager
+    }
+
+    /// The tier's metrics registry (`velox_serve_*` series).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    fn ensure_lane(&self, name: &str) {
+        let mut lanes = self.lanes.lock().unwrap();
+        if lanes.contains_key(name) {
+            return;
+        }
+        let lane = Lane::new(name, self.config.batch, &self.registry);
+        lanes.insert(name.to_string(), Arc::clone(&lane));
+        let manager = self.manager.clone();
+        let tracer = Arc::clone(&self.tracer);
+        let handle = std::thread::Builder::new()
+            .name(format!("serve-{name}"))
+            .spawn(move || lane_worker(lane, manager, tracer))
+            .expect("spawn serve lane worker");
+        self.workers.lock().unwrap().push(handle);
+    }
+
+    fn lane(&self, name: &str) -> Option<Arc<Lane>> {
+        self.lanes.lock().unwrap().get(name).cloned()
+    }
+
+    /// Registers a backend version under `name` (new names start serving
+    /// immediately; existing names need a [`ServeTier::flip_alias`]).
+    pub fn register(
+        &self,
+        name: &str,
+        backend: Arc<dyn PredictBackend>,
+    ) -> Result<u64, ServeError> {
+        let version = self.manager.register(name, backend)?;
+        self.ensure_lane(name);
+        Ok(version)
+    }
+
+    /// Registers a name that must not already exist.
+    pub fn register_new(
+        &self,
+        name: &str,
+        backend: Arc<dyn PredictBackend>,
+    ) -> Result<u64, ServeError> {
+        let version = self.manager.register_new(name, backend)?;
+        self.ensure_lane(name);
+        Ok(version)
+    }
+
+    /// Atomically flips the serving alias of `name` to `version`. Returns
+    /// the previously serving version.
+    pub fn flip_alias(&self, name: &str, version: u64) -> Result<u64, ServeError> {
+        self.manager.flip_alias(name, version)
+    }
+
+    /// Retires a non-serving version of `name`.
+    pub fn retire(&self, name: &str, version: u64) -> Result<(), ServeError> {
+        self.manager.retire(name, version)
+    }
+
+    /// Whether `name` is registered.
+    pub fn has(&self, name: &str) -> bool {
+        self.manager.snapshot().has(name)
+    }
+
+    /// A point-in-time registry snapshot (one per request).
+    pub fn snapshot(&self) -> ManagerSnapshot {
+        self.manager.snapshot()
+    }
+
+    /// Scores through the adaptive batching queue: blocks until the
+    /// request's batch is served.
+    pub fn predict(&self, name: &str, uid: u64, item: &Item) -> Result<ServedPredict, ServeError> {
+        match self.lane(name) {
+            Some(lane) => lane.predict(uid, item),
+            None => self.predict_direct(name, uid, item),
+        }
+    }
+
+    /// Scores immediately, bypassing the batching queue (the unbatched
+    /// baseline). One manager snapshot per request.
+    pub fn predict_direct(
+        &self,
+        name: &str,
+        uid: u64,
+        item: &Item,
+    ) -> Result<ServedPredict, ServeError> {
+        let snapshot = self.manager.snapshot();
+        let entry = snapshot.resolve(name)?;
+        entry.backend.predict_one(uid, item)
+    }
+
+    /// Applies feedback to `name`'s serving backend and records the
+    /// prequential loss as the backend's selection reward. Backends that
+    /// don't report a loss get a squared-error loss against their own
+    /// pre-update prediction.
+    pub fn observe(&self, name: &str, uid: u64, item: &Item, y: f64) -> Result<f64, ServeError> {
+        let snapshot = self.manager.snapshot();
+        let entry = snapshot.resolve(name)?;
+        let loss = match entry.backend.observe(uid, item, y)? {
+            Some(loss) => loss,
+            None => {
+                let pred = entry.backend.predict_one(uid, item)?;
+                let e = y - pred.score;
+                e * e
+            }
+        };
+        if loss.is_finite() {
+            let mut rewards = self.rewards.lock().unwrap();
+            let stat = rewards.entry(name.to_string()).or_insert(RewardStat {
+                n: 0,
+                mean_loss: 0.0,
+                m2: 0.0,
+            });
+            stat.n += 1;
+            let delta = loss - stat.mean_loss;
+            stat.mean_loss += delta / stat.n as f64;
+            stat.m2 += delta * (loss - stat.mean_loss);
+        }
+        Ok(loss)
+    }
+
+    /// Bandit-selects a backend by observed loss (lower mean loss =
+    /// higher reward; unobserved backends get an optimistic prior) and
+    /// serves the request through its batching lane. Returns the chosen
+    /// backend name with the prediction. Feed outcomes back through
+    /// [`ServeTier::observe`] with the returned name.
+    pub fn select_predict(
+        &self,
+        uid: u64,
+        item: &Item,
+    ) -> Result<(String, ServedPredict), ServeError> {
+        let names = self.manager.snapshot().names();
+        if names.is_empty() {
+            return Err(ServeError::Registry(velox_models::RegistryError::UnknownModel(
+                "<any>".to_string(),
+            )));
+        }
+        let candidates: Vec<Candidate> = {
+            let rewards = self.rewards.lock().unwrap();
+            names
+                .iter()
+                .map(|name| match rewards.get(name) {
+                    Some(stat) if stat.n > 0 => {
+                        let var = if stat.n > 1 { stat.m2 / (stat.n - 1) as f64 } else { 1.0 };
+                        Candidate { score: -stat.mean_loss, variance: var / stat.n as f64 }
+                    }
+                    // Optimistic prior: unobserved backends score high so
+                    // every backend gets explored at least once.
+                    _ => Candidate { score: f64::MAX, variance: 1.0 },
+                })
+                .collect()
+        };
+        let choice = self.policy.lock().unwrap().select(&candidates);
+        let name = names[choice.min(names.len() - 1)].clone();
+        let prediction = self.predict(&name, uid, item)?;
+        Ok((name, prediction))
+    }
+
+    /// Retrains a Velox-backed `name` through the existing offline
+    /// retrain/swap lifecycle, then mirrors the swap at the manager level:
+    /// the retrained deployment is registered as a new version, the alias
+    /// flips to it, and the superseded version retires. Returns the new
+    /// manager version.
+    pub fn retrain(&self, name: &str) -> Result<u64, ServeError> {
+        let snapshot = self.manager.snapshot();
+        let entry = snapshot.resolve(name)?;
+        let velox = entry.backend.velox().ok_or_else(|| {
+            ServeError::Custom(format!("backend {name:?} is not a Velox deployment"))
+        })?;
+        velox.retrain_offline()?;
+        let old_version = entry.version;
+        let new_version = self.manager.register(name, Arc::new(VeloxBackend::new(velox)))?;
+        self.manager.flip_alias(name, new_version)?;
+        self.manager.retire(name, old_version)?;
+        Ok(new_version)
+    }
+
+    /// Listing of every registered backend with its lane statistics,
+    /// sorted by name.
+    pub fn backends(&self) -> Vec<BackendStatus> {
+        let snapshot = self.manager.snapshot();
+        snapshot
+            .names()
+            .into_iter()
+            .filter_map(|name| {
+                let entry = snapshot.resolve(&name).ok()?;
+                let meta = entry.meta();
+                let lane = self.lane(&name)?;
+                Some(BackendStatus {
+                    name: name.clone(),
+                    kind: meta.kind,
+                    dim: meta.dim,
+                    serving_version: entry.version,
+                    versions: snapshot.versions(&name).unwrap_or_default(),
+                    model_version: meta.model_version,
+                    lane: lane.stats(),
+                })
+            })
+            .collect()
+    }
+
+    /// Stops every lane worker and fails queued requests with
+    /// [`ServeError::ShuttingDown`]. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        for lane in self.lanes.lock().unwrap().values() {
+            lane.shutdown();
+        }
+        let workers: Vec<JoinHandle<()>> = self.workers.lock().unwrap().drain(..).collect();
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServeTier {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

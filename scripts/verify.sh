@@ -35,6 +35,11 @@ echo "==> velox-net tracing tests (offline)"
 cargo test --release --offline -q -p velox-net --test tracing
 cargo test --release --offline -q -p velox-rest --test trace_endpoints
 
+echo "==> serving tier tests: batching, manager swap, bit-identity, REST surface (offline)"
+cargo test --release --offline -q -p velox-serve
+cargo test --release --offline -q -p velox-net --test predict_batch
+cargo test --release --offline -q -p velox-rest --test serve_api
+
 echo "==> net serving latency smoke (offline)"
 cargo run --release --offline -q -p velox-bench --bin abl_net -- --smoke > /dev/null
 
@@ -55,6 +60,9 @@ cargo run --release --offline -q -p velox-bench --bin abl_chaos_rebalance -- --s
 
 echo "==> recovery durability smoke (offline)"
 cargo run --release --offline -q -p velox-bench --bin abl_recovery -- --smoke > /dev/null
+
+echo "==> adaptive-batching serving smoke: >=2x throughput, <1% SLO violations (offline)"
+cargo run --release --offline -q -p velox-bench --bin abl_serve -- --smoke > /dev/null
 
 echo "==> cargo clippy -D warnings (offline)"
 cargo clippy --workspace --all-targets --offline -- -D warnings

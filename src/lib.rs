@@ -15,6 +15,8 @@ pub use velox_models as models;
 pub use velox_net as net;
 pub use velox_obs as obs;
 pub use velox_online as online;
+pub use velox_rest as rest;
+pub use velox_serve as serve;
 pub use velox_storage as storage;
 
 /// Commonly-used types, one `use velox::prelude::*` away.
@@ -45,5 +47,9 @@ pub mod prelude {
     };
     pub use velox_obs::{Counter, EventKind, Gauge, Histogram, Registry, SpanTimer, Timer};
     pub use velox_online::UpdateStrategy;
+    pub use velox_serve::{
+        BatchConfig, CustomScorer, ModelManager, PredictBackend, ServeConfig, ServeError,
+        ServeTier, ServedPredict, TransportBackend, VeloxBackend, CLUSTER_BACKEND,
+    };
     pub use velox_storage::{FsyncPolicy, ScratchDir};
 }
